@@ -1,0 +1,65 @@
+"""Ablation — recurring-state detection (§6 future work, implemented).
+
+A non-convergent BGP configuration (a DISAGREE gadget) makes the Datalog
+fixpoint oscillate.  Without recurring-state detection the engine only
+stops at the hard iteration cap; with it, the oscillation is reported as
+soon as a state signature repeats.  This bench measures how much earlier
+(iterations and wall clock) detection fires.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.ddlog.convergence import ConvergenceMonitor, NonConvergenceError
+from repro.routing.program import ControlPlane
+from tests.integration.test_bgp_convergence import bad_gadget_snapshot
+
+HARD_CAP = 2000
+
+
+def _run_with(monitor):
+    control_plane = ControlPlane(monitor=monitor)
+    started = time.perf_counter()
+    try:
+        control_plane.update_to(bad_gadget_snapshot())
+    except NonConvergenceError as error:
+        return error.iteration, time.perf_counter() - started
+    raise AssertionError("the gadget unexpectedly converged")
+
+
+@pytest.mark.parametrize(
+    "label,monitor_factory",
+    [
+        (
+            "hard cap only",
+            lambda: ConvergenceMonitor(
+                max_iterations=HARD_CAP, suspect_after=HARD_CAP + 1
+            ),
+        ),
+        (
+            "recurring-state detection",
+            lambda: ConvergenceMonitor(max_iterations=HARD_CAP, suspect_after=32),
+        ),
+    ],
+    ids=["cap-only", "recurring-detect"],
+)
+def test_ablation_nonconvergence_detection(benchmark, label, monitor_factory):
+    iteration, seconds = _run_with(monitor_factory())
+    record_row(
+        "Ablation: non-convergence detection on a BGP DISAGREE gadget",
+        f"{label:28s} | stopped at iteration {iteration:5d} | "
+        f"{seconds * 1000:7.1f} ms",
+    )
+    benchmark.extra_info["stop_iteration"] = iteration
+
+    def target():
+        _run_with(monitor_factory())
+
+    benchmark.pedantic(target, rounds=2, iterations=1)
+
+    if label == "recurring-state detection":
+        assert iteration < HARD_CAP / 4

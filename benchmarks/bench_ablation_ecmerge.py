@@ -1,0 +1,95 @@
+"""Ablation — minimal equivalence classes (APKeep's key property).
+
+The paper chooses APKeep "because it can incrementally maintain the minimum
+number of ECs, which makes it more scalable than other data plane
+verifiers".  Our EC manager restores minimality by *merging* ECs whose atom
+signatures coincide after a rule deletion.  This bench runs a churn
+workload (install/remove overlapping ACL boxes and forwarding prefixes) with
+merging on and off and reports the EC count and per-update model time —
+without merging, the partition only ever grows and every later update pays
+for the garbage.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topologies import line
+
+CHURN_STEPS = 120
+
+
+def churn_workload(seed: int = 9):
+    """A deterministic install/remove stream of overlapping rules."""
+    rng = random.Random(seed)
+    live = []
+    updates = []
+    for step in range(CHURN_STEPS):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            updates.append(RuleUpdate(-1, victim))
+        else:
+            if rng.random() < 0.5:
+                length = rng.choice([8, 12, 16])
+                network = rng.randrange(0, 1 << 8) << 24
+                rule = ForwardingRule(
+                    "r1",
+                    Prefix.from_address_int(network + (step << 8), length),
+                    rng.choice(["eth0", "eth1"]),
+                )
+            else:
+                lo = rng.randrange(0, 60000)
+                rule = FilterRule(
+                    "r1", "eth0", "in", 1000 + step, "deny",
+                    HeaderBox.build(proto=(6, 6), dst_port=(lo, lo + 100)),
+                )
+            if any(r == rule for r in live):
+                continue
+            live.append(rule)
+            updates.append(RuleUpdate(1, rule))
+    # Tear everything down at the end (worst case for a non-merging manager).
+    for rule in live:
+        updates.append(RuleUpdate(-1, rule))
+    return updates
+
+
+@pytest.mark.parametrize("merge", [True, False], ids=["merge-on", "merge-off"])
+def test_ablation_ec_merging(benchmark, merge):
+    updates = churn_workload()
+
+    def run():
+        model = NetworkModel(line(3).topology, merge_on_unregister=merge)
+        updater = BatchUpdater(model)
+        peak = 0
+        started = time.perf_counter()
+        for update in updates:
+            updater.apply([update])
+            peak = max(peak, model.ecs.num_ecs())
+        elapsed = time.perf_counter() - started
+        return model, peak, elapsed
+
+    model, peak, elapsed = run()
+    record_row(
+        "Ablation: EC merging (minimal partition) under rule churn",
+        f"merge={'on ' if merge else 'off'} | final ECs {model.ecs.num_ecs():4d} "
+        f"| peak ECs {peak:4d} | splits {model.ecs.splits:4d} "
+        f"| merges {model.ecs.merges:4d} | {elapsed * 1000:7.1f} ms total",
+    )
+    benchmark.extra_info["final_ecs"] = model.ecs.num_ecs()
+    benchmark.extra_info["peak_ecs"] = peak
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+    if merge:
+        # Everything was removed: minimality means one EC remains.
+        assert model.ecs.num_ecs() == 1
+    else:
+        assert model.ecs.num_ecs() > 1

@@ -1,0 +1,71 @@
+"""Ablation — batch update ordering and forwarding-table semantics.
+
+The paper measures two orders (insertion-first, deletion-first) and leaves
+"the optimal scheduling of model updates as future work".  We compare three
+orders under both forwarding semantics on a worst-case batch (every prefix
+on a device swaps next hop):
+
+- ``priority`` (APKeep table semantics): insertion-first already achieves
+  one move per EC; deletion-first pays double through the drop port.
+- ``ecmp`` (multipath-union semantics): both simple orders pay a transient
+  (extra-path or drop); only the grouped (per-prefix atomic) schedule is
+  minimal — quantifying what the paper's future-work scheduler buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_row
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.topologies import line
+
+PREFIXES = 64
+
+
+def reroute_batch():
+    inserts, deletes = [], []
+    for i in range(PREFIXES):
+        prefix = Prefix.parse(f"10.{i}.0.0/16")
+        deletes.append(RuleUpdate(-1, ForwardingRule("r1", prefix, "eth0")))
+        inserts.append(RuleUpdate(1, ForwardingRule("r1", prefix, "eth1")))
+    return deletes + inserts
+
+
+def fresh_model(mode):
+    model = NetworkModel(line(3).topology, mode=mode)
+    for i in range(PREFIXES):
+        model.insert_forwarding(
+            ForwardingRule("r1", Prefix.parse(f"10.{i}.0.0/16"), "eth0")
+        )
+    return model
+
+
+@pytest.mark.parametrize("mode", ["priority", "ecmp"])
+@pytest.mark.parametrize("order", ["insertion-first", "deletion-first", "grouped"])
+def test_ablation_update_order(benchmark, mode, order):
+    # Measure moves once, deterministically.
+    model = fresh_model(mode)
+    result = BatchUpdater(model, order).apply(reroute_batch())
+    record_row(
+        "Ablation: batch order x table semantics (64-prefix reroute)",
+        f"{mode:8s} | {order:15s} | {result.num_moves:4d} EC moves | "
+        f"T1 {result.elapsed_seconds * 1000:6.2f} ms",
+    )
+
+    def setup():
+        return (fresh_model(mode),), {}
+
+    def target(fresh):
+        BatchUpdater(fresh, order).apply(reroute_batch())
+
+    benchmark.extra_info["ec_moves"] = result.num_moves
+    benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+
+    if mode == "priority" and order == "deletion-first":
+        assert result.num_moves == 2 * PREFIXES
+    if order == "grouped":
+        assert result.num_moves == PREFIXES

@@ -1,0 +1,74 @@
+"""Scaling curve — where incrementality starts to pay.
+
+Not a single table in the paper, but the quantitative backbone of its
+argument (§2): full recomputation grows superlinearly with network size
+while a change's blast radius does not, so the incremental advantage grows
+with scale.  This bench sweeps fat-tree arities and reports, per protocol,
+the engine's full time, the mean incremental LinkFailure time, and the
+ratio — the series behind EXPERIMENTS.md's scale table.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import record_row, time_call
+from repro.config.changes import apply_changes
+from repro.net.topologies import fat_tree
+from repro.routing.program import ControlPlane
+from repro.workloads import bgp_snapshot, link_failures, ospf_snapshot
+
+ARITIES = (2, 4, 6)
+CHANGES_PER_POINT = 3
+
+
+@pytest.mark.parametrize("protocol", ["ospf", "bgp"])
+def test_scale_curve(benchmark, protocol):
+    rows = []
+    for k in ARITIES:
+        labeled = fat_tree(k)
+        snapshot = (
+            ospf_snapshot(labeled) if protocol == "ospf" else bgp_snapshot(labeled)
+        )
+        control_plane = ControlPlane()
+        full_seconds = time_call(lambda: control_plane.update_to(snapshot))
+        samples = []
+        for change in link_failures(labeled, seed=17)[:CHANGES_PER_POINT]:
+            changed, _ = apply_changes(snapshot, [change])
+            samples.append(
+                time_call(lambda: control_plane.update_to(changed))
+            )
+            control_plane.update_to(snapshot)
+        incremental = statistics.mean(samples)
+        speedup = full_seconds / incremental if incremental else float("inf")
+        rows.append((k, full_seconds, incremental, speedup))
+        record_row(
+            "Scale curve: engine full vs incremental LinkFailure",
+            f"{protocol.upper():5s} k={k:2d} "
+            f"({labeled.topology.num_nodes():3d} nodes) | "
+            f"full {full_seconds:7.3f}s | incremental {incremental:7.4f}s | "
+            f"speedup {speedup:6.1f}x",
+        )
+
+    # The advantage must grow with scale.
+    speedups = [row[3] for row in rows]
+    assert speedups[-1] > speedups[0]
+
+    # Benchmark the largest point's incremental update.
+    labeled = fat_tree(ARITIES[-1])
+    snapshot = (
+        ospf_snapshot(labeled) if protocol == "ospf" else bgp_snapshot(labeled)
+    )
+    control_plane = ControlPlane()
+    control_plane.update_to(snapshot)
+    changed, _ = apply_changes(snapshot, [link_failures(labeled, seed=18)[0]])
+    state = {"flip": False}
+
+    def setup():
+        target = changed if not state["flip"] else snapshot
+        state["flip"] = not state["flip"]
+        return (target,), {}
+
+    benchmark.pedantic(control_plane.update_to, setup=setup, rounds=4, iterations=1)

@@ -1,0 +1,147 @@
+"""Table 3 — model update and policy checking (fat tree running BGP).
+
+Paper (k=12):
+
+    Change      | #Rules         | Order | #ECs | T1   | #Pairs       | T2
+    LinkFailure | +26/-28 (0.32%)| +,-   | 28   | 3ms  | 286/10224    | 58ms
+                |                | -,+   | 54   | 10ms | (2.79%)      |
+    LP          | +54/-54 (0.64%)| +,-   | 54   | 6ms  | 132/10224    | 61ms
+                |                | -,+   | 108  | 20ms | (1.29%)      |
+
+Shape to reproduce: (a) well under 1-5 % of rules/pairs affected, (b)
+deletion-first ("-,+") needs more EC moves and more time than
+insertion-first ("+,-"), (c) model update + policy check well under the
+generation time.
+
+The model runs in APKeep's strict-priority mode, which is what produces the
+paper's order asymmetry; #Pairs counts ordered pairs of prefix-originating
+(edge) nodes, matching the paper's 10224 = 72 x 71 x 2 at k=12.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import NUM_CHANGES, SCALE_K, record_row
+from repro.config.changes import apply_changes
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import updates_from_fib
+from repro.policy.checker import IncrementalChecker
+from repro.routing.program import ControlPlane
+from repro.workloads import bgp_snapshot, lc_changes, link_failures, lp_changes
+from repro.workloads import ospf_snapshot
+
+
+def _pipeline(labeled, protocol, order):
+    snapshot = (
+        ospf_snapshot(labeled) if protocol == "ospf" else bgp_snapshot(labeled)
+    )
+    control_plane = ControlPlane()
+    fib_delta = control_plane.update_to(snapshot)
+    model = NetworkModel(labeled.topology, mode="priority")
+    updater = BatchUpdater(model, order)
+    updater.apply(updates_from_fib(fib_delta.inserted, fib_delta.deleted))
+    checker = IncrementalChecker(model, sorted(labeled.host_prefixes))
+    return snapshot, control_plane, model, updater, checker
+
+
+def _run_changes(labeled, protocol, order, changes):
+    snapshot, control_plane, model, updater, checker = _pipeline(
+        labeled, protocol, order
+    )
+    total_rules = model.num_rules()
+    total_pairs = checker.total_pairs()
+    rows = []
+    for change in changes[:NUM_CHANGES]:
+        changed, _ = apply_changes(snapshot, [change])
+        fib_delta = control_plane.update_to(changed)
+        updates = updates_from_fib(fib_delta.inserted, fib_delta.deleted)
+
+        started = time.perf_counter()
+        batch = updater.apply(updates)
+        t1 = time.perf_counter() - started
+
+        started = time.perf_counter()
+        report = checker.check_batch(batch)
+        t2 = time.perf_counter() - started
+
+        rows.append(
+            {
+                "inserts": batch.num_inserts,
+                "deletes": batch.num_deletes,
+                "moves": batch.num_moves,
+                "t1": t1,
+                "pairs": len(report.affected_pairs),
+                "t2": t2,
+            }
+        )
+        # Roll back for the next change (not measured).
+        rollback = control_plane.update_to(snapshot)
+        back = updater.apply(updates_from_fib(rollback.inserted, rollback.deleted))
+        checker.check_batch(back)
+    return rows, total_rules, total_pairs
+
+
+CASES = [
+    ("bgp", "LinkFailure", lambda labeled: link_failures(labeled, seed=3)),
+    # LP sampled on edge (ToR) uplinks, where import preference changes the
+    # selected paths (matching the paper's non-trivial +54/-54 batches).
+    ("bgp", "LP", lambda labeled: lp_changes(labeled, seed=4, roles=("edge",))),
+]
+
+
+@pytest.mark.parametrize("protocol,kind,gen", CASES, ids=["linkfailure", "lp"])
+@pytest.mark.parametrize("order", ["insertion-first", "deletion-first"])
+def test_table3_model_update(benchmark, fattree, protocol, kind, gen, order):
+    changes = gen(fattree)
+    rows, total_rules, total_pairs = _run_changes(
+        fattree, protocol, order, changes
+    )
+    mean = lambda key: statistics.mean(r[key] for r in rows)
+    rule_pct = 100 * (mean("inserts") + mean("deletes")) / max(total_rules, 1)
+    pair_pct = 100 * mean("pairs") / max(total_pairs, 1)
+    sign = "+,-" if order == "insertion-first" else "-,+"
+    record_row(
+        "Table 3: model update and policy checking (BGP)",
+        f"{kind:12s} | +{mean('inserts'):5.1f}/-{mean('deletes'):5.1f} rules "
+        f"({rule_pct:4.2f}%) | {sign} | {mean('moves'):6.1f} ECs | "
+        f"T1 {mean('t1') * 1000:6.1f}ms | "
+        f"{mean('pairs'):6.1f}/{total_pairs} pairs ({pair_pct:4.2f}%) | "
+        f"T2 {mean('t2') * 1000:6.1f}ms",
+    )
+
+    # Benchmark one full model-update + check round trip.
+    snapshot, control_plane, model, updater, checker = _pipeline(
+        fattree, protocol, order
+    )
+    changed, _ = apply_changes(snapshot, [changes[0]])
+    state = {"flip": False}
+
+    def target(updates):
+        batch = updater.apply(updates)
+        checker.check_batch(batch)
+
+    def setup_toggle():
+        # Toggle between the changed and original snapshots so every round
+        # applies a same-sized batch (the rollback happens here, untimed).
+        target_snapshot = changed if not state["flip"] else snapshot
+        state["flip"] = not state["flip"]
+        fib_delta = control_plane.update_to(target_snapshot)
+        return (updates_from_fib(fib_delta.inserted, fib_delta.deleted),), {}
+
+    benchmark.extra_info["total_rules"] = total_rules
+    benchmark.extra_info["total_pairs"] = total_pairs
+    benchmark.pedantic(target, setup=setup_toggle, rounds=4, iterations=1)
+
+    # Shape assertions.  The pair fraction is scale-dependent (an edge
+    # uplink's preference change touches ECs delivered among most edges at
+    # small k; the paper's 1.29-2.79 % emerges at k=12), so the tight bound
+    # applies only at paper-like scales.
+    assert rule_pct < 25.0
+    assert 0 < mean("pairs") <= total_pairs
+    if SCALE_K >= 10:
+        assert pair_pct < 10.0

@@ -1,0 +1,65 @@
+"""Benchmark configuration and the paper-style table reporter.
+
+Scale is controlled with environment variables:
+
+- ``REPRO_FATTREE_K`` (default 6): the fat-tree arity.  The paper uses
+  k=12 (180 nodes / 864 links); the default keeps the suite interactive.
+- ``REPRO_BENCH_CHANGES`` (default 5): changes averaged per change type.
+- ``REPRO_SWEEP_LIMIT`` (default 12): link-failure conditions in the
+  specification-mining sweep.
+
+Each benchmark registers rows with :func:`record_row`; the tables are
+printed after the pytest-benchmark summary so a run reproduces the paper's
+Table 2 / Table 3 layout alongside raw timings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.net.topologies import fat_tree
+
+SCALE_K = int(os.environ.get("REPRO_FATTREE_K", "6"))
+NUM_CHANGES = int(os.environ.get("REPRO_BENCH_CHANGES", "5"))
+SWEEP_LIMIT = int(os.environ.get("REPRO_SWEEP_LIMIT", "12"))
+
+#: table title -> list of already-formatted rows
+_REPORT: Dict[str, List[str]] = {}
+
+
+def record_row(table: str, row: str) -> None:
+    _REPORT.setdefault(table, []).append(row)
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+@pytest.fixture(scope="session")
+def fattree():
+    return fat_tree(SCALE_K)
+
+
+@pytest.fixture(scope="session")
+def scale_note():
+    nodes = fat_tree(SCALE_K).topology.num_nodes()
+    return f"fat-tree(k={SCALE_K}): {nodes} nodes (paper: k=12, 180 nodes)"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT:
+        return
+    terminalreporter.write_sep("=", "paper-style result tables")
+    terminalreporter.write_line(
+        f"scale: fat-tree(k={SCALE_K}) — set REPRO_FATTREE_K=12 for paper scale"
+    )
+    for table in sorted(_REPORT):
+        terminalreporter.write_sep("-", table)
+        for row in _REPORT[table]:
+            terminalreporter.write_line(row)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Auditing a mixed-protocol enterprise network.
+
+Combines three of the library's capabilities on a realistic network (OSPF
+core + eBGP border + redistribution + static default + ACLs):
+
+1. *specification mining* (paper §2): which pairs stay reachable under
+   every single link failure, and with how many disjoint paths;
+2. *policy verification*: the security intent (no telnet from the
+   provider) and the availability intent (internet reaches the users);
+3. *packet tracing* (paper §4): concrete evidence for the audit report.
+
+Run:  python examples/enterprise_audit.py
+"""
+
+from repro.net.headerspace import HeaderBox, header
+from repro.policy import (
+    LoopFree,
+    Reachability,
+    SpecificationMiner,
+    format_traces,
+    isolation,
+    trace_packet,
+)
+from repro.core import RealConfig
+from repro.workloads import build_enterprise
+from repro.workloads.enterprise import PROVIDER_PREFIX
+
+
+def main() -> None:
+    net = build_enterprise(access_per_core=1)
+    print(f"network: {net.labeled.topology} "
+          f"({len(net.cores)} core, {len(net.access)} access, border, provider)")
+
+    # -- 1. mine the fault-tolerance specification -------------------------
+    print("\n[1] mining the specification under all single link failures...")
+    miner = SpecificationMiner(
+        net.labeled, net.snapshot, endpoints=net.access + [net.provider]
+    )
+    spec = miner.mine()
+    print(f"    {spec.summary()}")
+    print(f"    finding: {len(spec.fragile)} fragile pairs — every access "
+          f"router is single-homed")
+
+    # Remediation: dual-home the access layer, then re-mine.
+    print("\n[1b] remediation: dual-home every access router; re-mine...")
+    fixed = build_enterprise(access_per_core=1, dual_homed=True)
+    fixed_spec = SpecificationMiner(
+        fixed.labeled, fixed.snapshot, endpoints=fixed.access + [fixed.provider]
+    ).mine()
+    print(f"    {fixed_spec.summary()}")
+    remaining = sorted(fixed_spec.fragile)
+    if remaining:
+        for src, dst in remaining:
+            print(f"    still fragile: {src} -> {dst} "
+                  f"(the single border/provider uplink)")
+    widths = {
+        (s, d): w for (s, d), w in fixed_spec.min_width.items()
+        if (s, d) in fixed_spec.always_reachable
+    }
+    if widths:
+        print(f"    surviving width across failures: "
+              f"min={min(widths.values())}")
+
+    # -- 2. verify the operator intent --------------------------------------
+    print("\n[2] verifying intent policies...")
+    user_prefix = net.labeled.host_prefixes["acc0"][0]
+    verifier = RealConfig(
+        net.snapshot,
+        endpoints=net.access + [net.provider],
+        policies=[
+            LoopFree("loop-free"),
+            Reachability(
+                "inet-reaches-users",
+                src=net.provider,
+                dst="acc0",
+                match=HeaderBox.build(
+                    dst_ip=user_prefix.as_interval(), proto=(6, 6),
+                    dst_port=(443, 443),
+                ),
+            ),
+            isolation(
+                "no-telnet-from-inet",
+                net.provider,
+                "acc0",
+                HeaderBox.build(
+                    dst_ip=user_prefix.as_interval(), proto=(6, 6),
+                    dst_port=(23, 23),
+                ),
+            ),
+        ],
+    )
+    for status in verifier.policy_statuses():
+        print(f"    {status}")
+
+    # -- 3. evidence traces ---------------------------------------------------
+    print("\n[3] evidence: packet traces from the provider edge")
+    https = header(user_prefix.first() + 9, proto=6, dst_port=443)
+    print("  HTTPS to a user subnet:")
+    print("   ", format_traces(trace_packet(verifier.model, https,
+                                             net.provider)).replace("\n", "\n    "))
+    telnet = header(user_prefix.first() + 9, proto=6, dst_port=23)
+    print("  telnet to the same subnet (must die at the border ACL):")
+    print("   ", format_traces(trace_packet(verifier.model, telnet,
+                                             net.provider)).replace("\n", "\n    "))
+
+    internal = header(PROVIDER_PREFIX.first() + 40, proto=6, dst_port=443)
+    print("  a user reaching the internet prefix:")
+    print("   ", format_traces(trace_packet(verifier.model, internal,
+                                             "acc2")).replace("\n", "\n    "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Planning a large-scale change in small, verified steps (paper §2).
+
+Modeled on the Alibaba WAN upgrade the paper cites: ACLs are migrated from
+core routers to dedicated gateway devices (here: the aggregation layer),
+re-configuring a large fraction of the network.  The operator plans the
+upgrade in phases and *incrementally verifies the partial plan after each
+phase*, so a bug is localized to the phase that introduced it instead of
+surfacing only after the whole multi-week plan is executed.
+
+The plan (fat-tree, OSPF):
+
+  Phase 1  install the security ACLs on every aggregation switch (unbound);
+  Phase 2  bind them inbound on the aggregation downlinks;
+  Phase 3  remove the legacy core-router ACLs.
+
+Phase 2 as first drafted contains a classic bug — the new ACL forgets the
+trailing ``permit ip any any`` — which the verifier catches immediately,
+the phase is corrected, and the plan proceeds.
+
+Run:  python examples/upgrade_planning.py
+"""
+
+from repro import (
+    CompositeChange,
+    Reachability,
+    RealConfig,
+    isolation,
+    fat_tree,
+    ospf_snapshot,
+)
+from repro.config.changes import AddAclEntry, BindAcl, RemoveAclEntry, UnbindAcl
+from repro.config.schema import AclEntry
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+
+
+def telnet_box(prefix: Prefix) -> HeaderBox:
+    return HeaderBox.build(
+        dst_ip=prefix.as_interval(), proto=(6, 6), dst_port=(23, 23)
+    )
+
+
+def legacy_acls(labeled):
+    """The starting state: telnet blocked at the core (the legacy design)."""
+    changes = []
+    for core in (n for n, r in labeled.roles.items() if r == "core"):
+        changes.append(
+            AddAclEntry("%s" % core, "LEGACY",
+                        AclEntry(10, "deny", proto=6, dst_port=(23, 23)))
+        )
+        changes.append(AddAclEntry(core, "LEGACY", AclEntry(20, "permit")))
+        for iface in labeled.topology.node(core).interfaces:
+            changes.append(BindAcl(core, iface, "LEGACY", "in"))
+    return changes
+
+
+def main() -> None:
+    labeled = fat_tree(4)
+    snapshot = ospf_snapshot(labeled)
+    edges = labeled.edge_nodes()
+    aggs = sorted(n for n, r in labeled.roles.items() if r == "agg")
+
+    policies = []
+    for dst in edges[:4]:
+        prefix = labeled.host_prefixes[dst][0]
+        src = edges[-1] if dst != edges[-1] else edges[0]
+        policies.append(
+            isolation(f"no-telnet:{src}->{dst}", src, dst, telnet_box(prefix))
+        )
+        policies.append(
+            Reachability(
+                f"reach:{src}->{dst}", src=src, dst=dst,
+                match=HeaderBox.build(
+                    dst_ip=prefix.as_interval(), proto=(6, 6), dst_port=(443, 443)
+                ),
+            )
+        )
+
+    verifier = RealConfig(snapshot, endpoints=edges, policies=policies)
+    print("phase 0: install the legacy core ACLs (the pre-upgrade state)")
+    delta = verifier.apply_changes(legacy_acls(labeled))
+    print(f"  {delta.report.summary()}")
+    assert not verifier.violated_policies(), "legacy state must be clean"
+
+    print("\nphase 1: stage the new ACLs on the aggregation layer (unbound)")
+    phase1 = []
+    for agg in aggs:
+        phase1.append(
+            AddAclEntry(agg, "EDGE_SEC",
+                        AclEntry(10, "deny", proto=6, dst_port=(23, 23)))
+        )
+    delta = verifier.apply_changes(phase1)
+    print(f"  {delta.report.summary()}  (no behaviour change: ACLs unbound)")
+    assert delta.ok
+
+    print("\nphase 2 (draft): bind EDGE_SEC on aggregation downlinks")
+    draft = [
+        BindAcl(agg, iface, "EDGE_SEC", "in")
+        for agg in aggs
+        for iface in labeled.topology.node(agg).interfaces
+        if iface.startswith("down")
+    ]
+    delta = verifier.apply_changes(draft)
+    if not delta.ok:
+        print("  BUG CAUGHT after this phase (not weeks later):")
+        for status in delta.newly_violated[:4]:
+            print(f"    {status}")
+        print("  -> the draft ACL is missing the trailing permit; rolling back")
+        verifier.apply_changes(
+            [UnbindAcl(agg, iface, "in") for agg in aggs
+             for iface in labeled.topology.node(agg).interfaces
+             if iface.startswith("down")]
+        )
+
+    print("\nphase 2 (fixed): add the trailing permit, then bind")
+    fixed = [
+        AddAclEntry(agg, "EDGE_SEC", AclEntry(100, "permit")) for agg in aggs
+    ] + draft
+    delta = verifier.apply_changes(fixed)
+    print(f"  {delta.report.summary()}")
+    assert delta.ok, [str(s) for s in delta.newly_violated]
+
+    print("\nphase 3: retire the legacy core ACLs")
+    phase3 = []
+    for core in (n for n, r in labeled.roles.items() if r == "core"):
+        for iface in labeled.topology.node(core).interfaces:
+            phase3.append(UnbindAcl(core, iface, "in"))
+        phase3.append(RemoveAclEntry(core, "LEGACY", 10))
+        phase3.append(RemoveAclEntry(core, "LEGACY", 20))
+    delta = verifier.apply_changes(phase3)
+    print(f"  {delta.report.summary()}")
+    assert delta.ok, [str(s) for s in delta.newly_violated]
+
+    print("\nupgrade complete; all policies hold:")
+    for status in verifier.policy_statuses()[:6]:
+        print(f"  {status}")
+    print(f"  ... ({len(verifier.policy_statuses())} total)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — a reproduction of *Incremental Network Configuration
+Verification* (HotNets '20) and its prototype, RealConfig.
+
+The public API in one import::
+
+    from repro import (
+        RealConfig,            # the incremental verifier (paper Figure 1)
+        Snapshot,              # topology + device configurations
+        fat_tree,              # the paper's evaluation topology
+        ospf_snapshot, bgp_snapshot,
+        ShutdownInterface, SetOspfCost, SetLocalPref,
+        Reachability, Waypoint, LoopFree, BlackholeFree,
+    )
+
+Subpackages:
+
+- :mod:`repro.net` — addressing, header space, topologies;
+- :mod:`repro.config` — configuration schema, text dialect, diffing,
+  typed change operations;
+- :mod:`repro.ddlog` — the differential (incremental) computation engine
+  and its Datalog-flavoured DSL;
+- :mod:`repro.routing` — OSPF / BGP / static / connected / redistribution
+  semantics as Datalog rules, producing FIB deltas;
+- :mod:`repro.baseline` — the from-scratch simulator (Batfish's role);
+- :mod:`repro.dataplane` — the APKeep-style EC model with batch updates;
+- :mod:`repro.policy` — the incremental policy checker;
+- :mod:`repro.core` — the RealConfig pipeline tying it all together;
+- :mod:`repro.workloads` — the paper's experiment workloads.
+"""
+
+from repro.config import (
+    Change,
+    CompositeChange,
+    EnableInterface,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    Snapshot,
+    apply_changes,
+    parse_device,
+    render_device,
+)
+from repro.core import RealConfig, VerificationDelta
+from repro.net import Prefix, Topology, fat_tree, grid, line, random_connected, ring
+from repro.policy import (
+    BlackholeFree,
+    LoopFree,
+    Reachability,
+    Waypoint,
+    isolation,
+)
+from repro.workloads import bgp_snapshot, ospf_snapshot, snapshot_for
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Change",
+    "CompositeChange",
+    "EnableInterface",
+    "SetLocalPref",
+    "SetOspfCost",
+    "ShutdownInterface",
+    "Snapshot",
+    "apply_changes",
+    "parse_device",
+    "render_device",
+    "RealConfig",
+    "VerificationDelta",
+    "Prefix",
+    "Topology",
+    "fat_tree",
+    "grid",
+    "line",
+    "random_connected",
+    "ring",
+    "BlackholeFree",
+    "LoopFree",
+    "Reachability",
+    "Waypoint",
+    "isolation",
+    "bgp_snapshot",
+    "ospf_snapshot",
+    "snapshot_for",
+    "__version__",
+]

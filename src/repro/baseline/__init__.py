@@ -1,0 +1,20 @@
+"""From-scratch (non-incremental) control plane simulation."""
+
+from repro.baseline.path_vector import (
+    BgpDivergenceError,
+    BgpSession,
+    PathVectorSimulation,
+)
+from repro.baseline.simulator import SimulationResult, simulate
+from repro.baseline.spf import all_pairs_distances, dijkstra, ecmp_next_hops
+
+__all__ = [
+    "BgpDivergenceError",
+    "BgpSession",
+    "PathVectorSimulation",
+    "SimulationResult",
+    "simulate",
+    "all_pairs_distances",
+    "dijkstra",
+    "ecmp_next_hops",
+]

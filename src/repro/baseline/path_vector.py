@@ -1,0 +1,174 @@
+"""From-scratch BGP computation: synchronous path-vector iteration.
+
+Mirrors the semantics of :mod:`repro.routing.bgp` with a conventional
+simulation loop: every round, each router recomputes its best routes from
+its neighbors' previous-round advertisements; iteration stops at a fixpoint
+(or raises after a bound, the classic sign of a BGP dispute wheel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.routing.policies import (
+    DEFAULT_LOCAL_PREF,
+    Policy,
+    apply_policy,
+    permits,
+)
+
+
+class BgpDivergenceError(RuntimeError):
+    """The synchronous path-vector iteration did not reach a fixpoint."""
+
+
+@dataclass(frozen=True)
+class BgpSession:
+    """One directed session edge: ``node`` imports via ``recv_if`` from
+    ``peer`` exporting via ``send_if``."""
+
+    node: str
+    recv_if: str
+    peer: str
+    send_if: str
+
+
+#: A candidate route: (local pref, AS path, receiving interface).
+Route = Tuple[int, Tuple[int, ...], str]
+
+#: Pseudo-interface of locally originated routes (matches the Datalog model).
+LOCAL = "@local"
+
+
+def _strictly_contains(anet: int, aplen: int, net: int, plen: int) -> bool:
+    if plen <= aplen:
+        return False
+    mask = (0xFFFFFFFF << (32 - aplen)) & 0xFFFFFFFF if aplen else 0
+    return (net & mask) == anet
+
+
+def _preference(route: Route) -> Tuple[int, int]:
+    return (route[0], -len(route[1]))
+
+
+def select(candidates: Set[Route]) -> Tuple[Optional[Route], List[str]]:
+    """Best advertised route plus every multipath next-hop interface."""
+    if not candidates:
+        return None, []
+    best = max(_preference(route) for route in candidates)
+    winners = sorted(
+        (route for route in candidates if _preference(route) == best),
+        key=lambda route: (route[1], route[2]),
+    )
+    next_hops = sorted(
+        {route[2] for route in candidates if _preference(route) == best}
+        - {LOCAL}
+    )
+    return winners[0], next_hops
+
+
+class PathVectorSimulation:
+    """Synchronous path-vector BGP over explicit sessions."""
+
+    def __init__(
+        self,
+        asn_of: Dict[str, int],
+        sessions: List[BgpSession],
+        originated: Dict[str, Set[Tuple[int, int]]],
+        policy_in: Dict[Tuple[str, str], Policy],
+        policy_out: Dict[Tuple[str, str], Policy],
+        max_rounds: int = 1000,
+        aggregates: Optional[Dict[str, Set[Tuple[int, int]]]] = None,
+    ) -> None:
+        self.asn_of = asn_of
+        self.sessions = sessions
+        self.originated = originated
+        self.policy_in = policy_in
+        self.policy_out = policy_out
+        self.max_rounds = max_rounds
+        self.aggregates = aggregates or {}
+        #: node -> prefix -> advertised best route
+        self.best: Dict[str, Dict[Tuple[int, int], Route]] = {}
+        #: node -> prefix -> multipath receive interfaces
+        self.next_hops: Dict[str, Dict[Tuple[int, int], List[str]]] = {}
+        self.rounds = 0
+
+    def run(self) -> None:
+        best: Dict[str, Dict[Tuple[int, int], Route]] = {
+            node: {} for node in self.asn_of
+        }
+        for _ in range(self.max_rounds):
+            self.rounds += 1
+            new_best, new_hops = self._one_round(best)
+            if new_best == best:
+                self.best = new_best
+                self.next_hops = new_hops
+                return
+            best = new_best
+        raise BgpDivergenceError(
+            f"BGP did not converge within {self.max_rounds} rounds"
+        )
+
+    def _one_round(
+        self, previous: Dict[str, Dict[Tuple[int, int], Route]]
+    ) -> Tuple[
+        Dict[str, Dict[Tuple[int, int], Route]],
+        Dict[str, Dict[Tuple[int, int], List[str]]],
+    ]:
+        candidates: Dict[str, Dict[Tuple[int, int], Set[Route]]] = {
+            node: {} for node in self.asn_of
+        }
+        for node, prefixes in self.originated.items():
+            for prefix in prefixes:
+                candidates[node].setdefault(prefix, set()).add(
+                    (DEFAULT_LOCAL_PREF, (), LOCAL)
+                )
+        # Route aggregation: originate an aggregate while the previous
+        # round's table holds a strictly more specific route (mirrors the
+        # Datalog model's recursion through bgp_best).
+        for node, aggs in self.aggregates.items():
+            table = previous.get(node, {})
+            for anet, aplen in aggs:
+                if any(
+                    _strictly_contains(anet, aplen, net, plen)
+                    for net, plen in table
+                ):
+                    candidates[node].setdefault((anet, aplen), set()).add(
+                        (DEFAULT_LOCAL_PREF, (), LOCAL)
+                    )
+        for session in self.sessions:
+            exports = previous.get(session.peer, {})
+            peer_asn = self.asn_of[session.peer]
+            my_asn = self.asn_of[session.node]
+            out_policy = self.policy_out.get(
+                (session.peer, session.send_if), ()
+            )
+            in_policy = self.policy_in.get((session.node, session.recv_if), ())
+            for prefix, route in exports.items():
+                path = (peer_asn,) + route[1]
+                if my_asn in path:
+                    continue
+                network, plen = prefix
+                if not permits(out_policy, network, plen):
+                    continue
+                local_pref = apply_policy(
+                    in_policy, network, plen, DEFAULT_LOCAL_PREF
+                )
+                if local_pref is None:
+                    continue
+                candidates[session.node].setdefault(prefix, set()).add(
+                    (local_pref, path, session.recv_if)
+                )
+        new_best: Dict[str, Dict[Tuple[int, int], Route]] = {}
+        new_hops: Dict[str, Dict[Tuple[int, int], List[str]]] = {}
+        for node, per_prefix in candidates.items():
+            new_best[node] = {}
+            new_hops[node] = {}
+            for prefix, routes in per_prefix.items():
+                chosen, hops = select(routes)
+                if chosen is not None:
+                    new_best[node][prefix] = chosen
+                    if hops:
+                        new_hops[node][prefix] = hops
+        return new_best, new_hops

@@ -1,0 +1,355 @@
+"""The from-scratch configuration simulator (the "Batfish (current)" role).
+
+Given a snapshot, :func:`simulate` computes the converged FIB with
+conventional domain-specific algorithms — Dijkstra SPF for OSPF, synchronous
+path-vector iteration for BGP, an administrative-distance RIB merge — with
+no incremental state whatsoever.  It fills two roles:
+
+- the paper's Table 2 "Batfish Full" baseline: the thing RealConfig's
+  incremental updates are compared against;
+- an independent correctness oracle: tests assert the incremental engine's
+  FIB equals this simulator's FIB after arbitrary change sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config.schema import DeviceConfig, Snapshot
+from repro.net.addr import Prefix
+from repro.baseline.path_vector import (
+    BgpSession,
+    PathVectorSimulation,
+)
+from repro.baseline.spf import Adjacency, all_pairs_distances, ecmp_next_hops
+from repro.routing.policies import encode_route_map
+from repro.routing.types import ACCEPT, AdminDistance, FibEntry
+
+PrefixKey = Tuple[int, int]
+
+
+@dataclass
+class SimulationResult:
+    """The converged state of a from-scratch simulation."""
+
+    fib: Set[FibEntry] = field(default_factory=set)
+    ospf_distances: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    bgp_rounds: int = 0
+
+    def fib_at(self, node: str) -> List[FibEntry]:
+        return sorted(entry for entry in self.fib if entry.node == node)
+
+
+def _iface_up(device: Optional[DeviceConfig], iface: str) -> bool:
+    if device is None or iface not in device.interfaces:
+        return False
+    return device.interfaces[iface].is_up()
+
+
+def _static_out_interfaces(device: DeviceConfig, route) -> List[str]:
+    """The interfaces an active static route forwards out of (empty when
+    the route is inactive).
+
+    Interface form: the named interface, while up.  IP form: every up
+    interface whose connected subnet covers the next hop (matching the
+    Datalog model, which derives one candidate per covering interface).
+    """
+    if route.next_hop_interface is not None:
+        if _iface_up(device, route.next_hop_interface):
+            return [route.next_hop_interface]
+        return []
+    return [
+        iface.name
+        for iface in device.interfaces.values()
+        if iface.is_up()
+        and iface.prefix is not None
+        and iface.prefix.contains_address(route.next_hop_ip)
+    ]
+
+
+def simulate(snapshot: Snapshot) -> SimulationResult:
+    """Compute the converged FIB of ``snapshot`` from scratch."""
+    result = SimulationResult()
+    #: (node, prefix) -> set of (ad, metric, out interface)
+    rib: Dict[Tuple[str, PrefixKey], Set[Tuple[int, int, str]]] = {}
+
+    def add_route(
+        node: str, prefix: PrefixKey, ad: int, metric: int, out_iface: str
+    ) -> None:
+        rib.setdefault((node, prefix), set()).add((ad, metric, out_iface))
+
+    _connected_and_static(snapshot, add_route)
+    ospf_state = _ospf(snapshot, add_route, result)
+    _bgp(snapshot, ospf_state, add_route, result)
+
+    for (node, (network, plen)), candidates in rib.items():
+        best = min((ad, metric) for ad, metric, _ in candidates)
+        for ad, metric, out_iface in candidates:
+            if (ad, metric) == best:
+                result.fib.add(FibEntry(node, Prefix(network, plen), out_iface))
+    return result
+
+
+# -- connected and static -----------------------------------------------------
+
+
+def _connected_and_static(snapshot: Snapshot, add_route) -> None:
+    for device in snapshot.iter_devices():
+        for iface in device.interfaces.values():
+            if iface.is_up() and iface.prefix is not None:
+                add_route(
+                    device.hostname,
+                    (iface.prefix.network, iface.prefix.length),
+                    int(AdminDistance.CONNECTED),
+                    0,
+                    ACCEPT,
+                )
+        for route in device.static_routes:
+            for iface in _static_out_interfaces(device, route):
+                add_route(
+                    device.hostname,
+                    (route.prefix.network, route.prefix.length),
+                    route.admin_distance,
+                    0,
+                    iface,
+                )
+
+
+# -- OSPF ----------------------------------------------------------------------
+
+
+@dataclass
+class _OspfState:
+    adjacency: Adjacency = field(default_factory=dict)
+    distances: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: advertising router -> {(prefix, metric)}
+    dests: Dict[str, Set[Tuple[PrefixKey, int]]] = field(default_factory=dict)
+    #: advertising router -> {(prefix, metric)} for redistributed routes
+    externals: Dict[str, Set[Tuple[PrefixKey, int]]] = field(default_factory=dict)
+
+
+def _ospf_enabled(device: Optional[DeviceConfig], iface: str) -> bool:
+    if device is None or device.ospf is None or iface not in device.interfaces:
+        return False
+    return device.interfaces[iface].ospf_enabled
+
+
+def _ospf(snapshot: Snapshot, add_route, result: SimulationResult) -> _OspfState:
+    state = _OspfState()
+    topology = snapshot.topology
+    for device in snapshot.iter_devices():
+        if device.ospf is not None:
+            state.adjacency.setdefault(device.hostname, [])
+
+    for link in topology.links():
+        for end, other in (link.endpoints(), tuple(reversed(link.endpoints()))):
+            device = snapshot.devices.get(end.node)
+            peer = snapshot.devices.get(other.node)
+            if (
+                _iface_up(device, end.name)
+                and _iface_up(peer, other.name)
+                and _ospf_enabled(device, end.name)
+                and _ospf_enabled(peer, other.name)
+            ):
+                cost = device.interfaces[end.name].ospf_cost
+                state.adjacency.setdefault(end.node, []).append(
+                    (other.node, end.name, cost)
+                )
+
+    for device in snapshot.iter_devices():
+        if device.ospf is None:
+            continue
+        node = device.hostname
+        for iface in device.interfaces.values():
+            if iface.ospf_enabled and iface.is_up() and iface.prefix is not None:
+                state.dests.setdefault(node, set()).add(
+                    ((iface.prefix.network, iface.prefix.length), 0)
+                )
+        for redist in device.ospf.redistribute:
+            if redist.source == "static":
+                for route in device.static_routes:
+                    if _static_out_interfaces(device, route):
+                        state.externals.setdefault(node, set()).add(
+                            (
+                                (route.prefix.network, route.prefix.length),
+                                redist.metric,
+                            )
+                        )
+            elif redist.source == "connected":
+                for iface in device.interfaces.values():
+                    if iface.is_up() and iface.prefix is not None:
+                        state.externals.setdefault(node, set()).add(
+                            (
+                                (iface.prefix.network, iface.prefix.length),
+                                redist.metric,
+                            )
+                        )
+            # "bgp" externals are filled in by _bgp (they need BGP's result).
+
+    state.distances = all_pairs_distances(state.adjacency)
+    result.ospf_distances = state.distances
+    _install_ospf_routes(state, add_route)
+    return state
+
+
+def _install_ospf_routes(state: _OspfState, add_route) -> None:
+    for source in state.adjacency:
+        for target, dist in state.distances.get(source, {}).items():
+            if source == target:
+                continue
+            hops = ecmp_next_hops(state.adjacency, state.distances, source, target)
+            for prefix, metric in state.dests.get(target, set()):
+                for iface in hops:
+                    add_route(
+                        source,
+                        prefix,
+                        int(AdminDistance.OSPF),
+                        dist + metric,
+                        iface,
+                    )
+            for prefix, metric in state.externals.get(target, set()):
+                for iface in hops:
+                    add_route(
+                        source,
+                        prefix,
+                        int(AdminDistance.OSPF_EXTERNAL),
+                        dist + metric,
+                        iface,
+                    )
+
+
+# -- BGP -----------------------------------------------------------------------
+
+
+def _bgp(
+    snapshot: Snapshot,
+    ospf_state: _OspfState,
+    add_route,
+    result: SimulationResult,
+) -> None:
+    asn_of: Dict[str, int] = {}
+    for device in snapshot.iter_devices():
+        if device.bgp is not None:
+            asn_of[device.hostname] = device.bgp.asn
+    if not asn_of:
+        return
+
+    topology = snapshot.topology
+    sessions: List[BgpSession] = []
+    policy_in: Dict[Tuple[str, str], tuple] = {}
+    policy_out: Dict[Tuple[str, str], tuple] = {}
+    originated: Dict[str, Set[PrefixKey]] = {node: set() for node in asn_of}
+
+    for device in snapshot.iter_devices():
+        if device.bgp is None:
+            continue
+        node = device.hostname
+        for neighbor in device.bgp.neighbors.values():
+            rm_in = (
+                device.route_maps.get(neighbor.route_map_in)
+                if neighbor.route_map_in
+                else None
+            )
+            rm_out = (
+                device.route_maps.get(neighbor.route_map_out)
+                if neighbor.route_map_out
+                else None
+            )
+            policy_in[(node, neighbor.interface)] = encode_route_map(rm_in)
+            policy_out[(node, neighbor.interface)] = encode_route_map(rm_out)
+
+    for link in topology.links():
+        for end, other in (link.endpoints(), tuple(reversed(link.endpoints()))):
+            device = snapshot.devices.get(end.node)
+            peer = snapshot.devices.get(other.node)
+            if device is None or peer is None:
+                continue
+            if device.bgp is None or peer.bgp is None:
+                continue
+            my_neighbor = device.bgp.neighbors.get(end.name)
+            their_neighbor = peer.bgp.neighbors.get(other.name)
+            if my_neighbor is None or their_neighbor is None:
+                continue
+            if not (_iface_up(device, end.name) and _iface_up(peer, other.name)):
+                continue
+            if (
+                my_neighbor.remote_as != peer.bgp.asn
+                or their_neighbor.remote_as != device.bgp.asn
+            ):
+                continue
+            sessions.append(
+                BgpSession(end.node, end.name, other.node, other.name)
+            )
+
+    aggregates: Dict[str, Set[PrefixKey]] = {}
+    for device in snapshot.iter_devices():
+        if device.bgp is None:
+            continue
+        node = device.hostname
+        for prefix in device.bgp.aggregates:
+            aggregates.setdefault(node, set()).add(
+                (prefix.network, prefix.length)
+            )
+        for prefix in device.bgp.networks:
+            originated[node].add((prefix.network, prefix.length))
+        for redist in device.bgp.redistribute:
+            if redist.source == "static":
+                for route in device.static_routes:
+                    if _static_out_interfaces(device, route):
+                        originated[node].add(
+                            (route.prefix.network, route.prefix.length)
+                        )
+            elif redist.source == "connected":
+                for iface in device.interfaces.values():
+                    if iface.is_up() and iface.prefix is not None:
+                        originated[node].add(
+                            (iface.prefix.network, iface.prefix.length)
+                        )
+            elif redist.source == "ospf":
+                # Routes *learned* via OSPF (not the router's own injected
+                # prefixes), matching RIB-based redistribution semantics.
+                for target, dests in ospf_state.dests.items():
+                    dist = ospf_state.distances.get(node, {}).get(target)
+                    if dist is not None and node != target:
+                        for prefix, _ in dests:
+                            originated[node].add(prefix)
+
+    simulation = PathVectorSimulation(
+        asn_of, sessions, originated, policy_in, policy_out,
+        aggregates=aggregates,
+    )
+    simulation.run()
+    result.bgp_rounds = simulation.rounds
+
+    for node, per_prefix in simulation.next_hops.items():
+        for (network, plen), interfaces in per_prefix.items():
+            best = simulation.best[node][(network, plen)]
+            for iface in interfaces:
+                add_route(
+                    node,
+                    (network, plen),
+                    int(AdminDistance.EBGP),
+                    len(best[1]),
+                    iface,
+                )
+
+    # Redistribute BGP into OSPF now that BGP has converged.
+    extra: Dict[str, Set[Tuple[PrefixKey, int]]] = {}
+    for device in snapshot.iter_devices():
+        if device.ospf is None:
+            continue
+        for redist in device.ospf.redistribute:
+            if redist.source != "bgp":
+                continue
+            node = device.hostname
+            for prefix in simulation.best.get(node, {}):
+                extra.setdefault(node, set()).add((prefix, redist.metric))
+    if extra:
+        patched = _OspfState(
+            adjacency=ospf_state.adjacency,
+            distances=ospf_state.distances,
+            dests={},
+            externals=extra,
+        )
+        _install_ospf_routes(patched, add_route)

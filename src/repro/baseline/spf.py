@@ -1,0 +1,62 @@
+"""From-scratch OSPF shortest-path-first computation.
+
+The domain-specific baseline: plain Dijkstra per source over the OSPF
+adjacency graph, with equal-cost multipath next-hop extraction.  This is an
+*independent* implementation of the semantics the Datalog model expresses,
+used both as the paper's Batfish-style full-computation baseline (Table 2)
+and as a correctness oracle for the incremental engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+#: adjacency: node -> [(neighbor, out interface, cost)]
+Adjacency = Dict[str, List[Tuple[str, str, int]]]
+
+
+def dijkstra(adjacency: Adjacency, source: str) -> Dict[str, int]:
+    """Shortest distances from ``source`` to every reachable node."""
+    dist: Dict[str, int] = {source: 0}
+    heap: List[Tuple[int, str]] = [(0, source)]
+    settled: Set[str] = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor, _, edge_cost in adjacency.get(node, []):
+            candidate = cost + edge_cost
+            if candidate < dist.get(neighbor, candidate + 1):
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist
+
+
+def all_pairs_distances(adjacency: Adjacency) -> Dict[str, Dict[str, int]]:
+    return {source: dijkstra(adjacency, source) for source in adjacency}
+
+
+def ecmp_next_hops(
+    adjacency: Adjacency,
+    distances: Dict[str, Dict[str, int]],
+    source: str,
+    target: str,
+) -> List[str]:
+    """All interfaces of ``source`` on a shortest path to ``target``.
+
+    An interface toward neighbor ``w`` qualifies when
+    ``cost(source, w) + dist(w, target) == dist(source, target)``.
+    """
+    if source == target:
+        return []
+    best = distances.get(source, {}).get(target)
+    if best is None:
+        return []
+    interfaces: Set[str] = set()
+    for neighbor, out_iface, edge_cost in adjacency.get(source, []):
+        via = distances.get(neighbor, {}).get(target)
+        if via is not None and edge_cost + via == best:
+            interfaces.add(out_iface)
+    return sorted(interfaces)

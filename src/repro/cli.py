@@ -1,0 +1,268 @@
+"""The ``repro`` command line interface.
+
+Subcommands (also available as ``python -m repro``):
+
+- ``generate``  synthesize a topology + configuration snapshot on disk;
+- ``show-fib``  compute and print the converged FIB of a snapshot;
+- ``verify``    incrementally verify the change from one snapshot to
+  another (loop- and blackhole-freedom plus optional all-pairs edge
+  reachability), printing the paper-style delta report;
+- ``trace``     dump the forwarding paths of a concrete packet;
+- ``mine``      mine the fault-tolerance specification (which pairs stay
+  reachable under every single link failure, and how many disjoint paths
+  survive);
+- ``diff``      show the configuration-line diff between two snapshots.
+
+Example session::
+
+    python -m repro generate --topology fat-tree:4 --protocol bgp --out base
+    cp -r base changed && $EDITOR changed/configs/agg0_0.cfg
+    python -m repro diff base changed
+    python -m repro verify base changed
+    python -m repro trace changed --source edge0_0 --dst 172.16.7.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config.diff import diff_snapshots
+from repro.config.io import load_snapshot, save_snapshot
+from repro.core.realconfig import RealConfig
+from repro.net.addr import parse_ipv4
+from repro.net.headerspace import HeaderBox, header
+from repro.net.topologies import fat_tree, grid, line, random_connected, ring
+from repro.policy.spec import BlackholeFree, LoopFree, Reachability
+from repro.policy.trace import format_traces, trace_packet
+from repro.workloads import snapshot_for
+
+
+class CliError(Exception):
+    """User-facing CLI failure."""
+
+
+def _build_topology(spec: str):
+    """Parse 'fat-tree:4', 'ring:5', 'line:3', 'grid:3x4', 'random:8:3'."""
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "fat-tree":
+            return fat_tree(int(rest))
+        if kind == "ring":
+            return ring(int(rest))
+        if kind == "line":
+            return line(int(rest))
+        if kind == "grid":
+            rows, _, cols = rest.partition("x")
+            return grid(int(rows), int(cols))
+        if kind == "random":
+            n, _, extra = rest.partition(":")
+            return random_connected(int(n), int(extra or 0), seed=0)
+    except ValueError as error:
+        raise CliError(f"bad topology spec {spec!r}: {error}") from error
+    raise CliError(
+        f"unknown topology kind {kind!r} "
+        "(expected fat-tree:k, ring:n, line:n, grid:RxC, random:n[:extra])"
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    labeled = _build_topology(args.topology)
+    snapshot = snapshot_for(labeled, args.protocol)
+    save_snapshot(snapshot, args.out)
+    print(
+        f"wrote {labeled.topology.num_nodes()} device configs "
+        f"({args.protocol}) and topology to {args.out}/"
+    )
+    return 0
+
+
+def cmd_show_fib(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    from repro.routing.program import ControlPlane
+
+    control_plane = ControlPlane()
+    control_plane.update_to(snapshot)
+    entries = control_plane.fib()
+    for entry in entries:
+        if args.node is None or entry.node == args.node:
+            print(entry)
+    print(f"-- {len(entries)} entries total", file=sys.stderr)
+    return 0
+
+
+def _reachability_policies(snapshot) -> List[Reachability]:
+    """All-pairs reachability between prefix-originating devices."""
+    owners = {}
+    for device in snapshot.iter_devices():
+        prefixes = []
+        if device.bgp is not None:
+            prefixes.extend(device.bgp.networks)
+        for iface in device.interfaces.values():
+            if (
+                iface.prefix is not None
+                and iface.name.startswith("host")
+                and iface.is_up()
+            ):
+                prefixes.append(iface.prefix)
+        if prefixes:
+            owners[device.hostname] = prefixes[0]
+    policies = []
+    for src in sorted(owners):
+        for dst in sorted(owners):
+            if src == dst:
+                continue
+            policies.append(
+                Reachability(
+                    f"reach:{src}->{dst}",
+                    src=src,
+                    dst=dst,
+                    match=HeaderBox.from_dst_prefix(owners[dst]),
+                )
+            )
+    return policies
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    base = load_snapshot(args.base)
+    changed = load_snapshot(args.changed)
+    policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
+    if args.all_pairs:
+        policies.extend(_reachability_policies(base))
+    verifier = RealConfig(base, policies=policies)
+    print(f"base snapshot verified: {verifier.initial.report.summary()}")
+    broken_at_base = verifier.violated_policies()
+    for status in broken_at_base:
+        print(f"  already violated at base: {status}")
+    delta = verifier.verify_snapshot(changed)
+    print(delta.summary())
+    for status in delta.newly_violated:
+        print(f"  NEWLY VIOLATED: {status}")
+    for status in delta.newly_satisfied:
+        print(f"  newly satisfied: {status}")
+    return 0 if delta.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    verifier = RealConfig(snapshot)
+    packet = header(
+        parse_ipv4(args.dst),
+        src_ip=parse_ipv4(args.src) if args.src else 0,
+        proto=args.proto,
+        dst_port=args.port,
+    )
+    traces = trace_packet(verifier.model, packet, args.source)
+    print(format_traces(traces))
+    return 0 if any(t.delivered() for t in traces) else 1
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """Mine the fault-tolerance specification under single link failures."""
+    from repro.net.topologies import LabeledTopology
+    from repro.policy.mining import SpecificationMiner
+
+    snapshot = load_snapshot(args.snapshot)
+    labeled = LabeledTopology(snapshot.topology)
+    # Endpoints: devices originating host prefixes (host* stubs or BGP
+    # network statements) — same heuristic as verify --all-pairs.
+    endpoints = sorted(
+        {
+            device.hostname
+            for device in snapshot.iter_devices()
+            if (device.bgp is not None and device.bgp.networks)
+            or any(
+                iface.name.startswith("host") and iface.prefix is not None
+                for iface in device.interfaces.values()
+            )
+        }
+    )
+    if len(endpoints) < 2:
+        print("error: fewer than two endpoint devices found", file=sys.stderr)
+        return 2
+    miner = SpecificationMiner(labeled, snapshot, endpoints=endpoints)
+    spec = miner.mine(with_widths=not args.no_widths)
+    print(spec.summary())
+    for src, dst in sorted(spec.always_reachable):
+        width = spec.min_width.get((src, dst))
+        suffix = f" (width >= {width})" if width is not None else ""
+        print(f"  always: {src} -> {dst}{suffix}")
+    for src, dst in sorted(spec.fragile):
+        print(f"  FRAGILE: {src} -> {dst}")
+    return 0 if not spec.fragile else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    base = load_snapshot(args.base)
+    changed = load_snapshot(args.changed)
+    diff = diff_snapshots(base, changed)
+    print(diff)
+    print(f"-- {diff.summary()}", file=sys.stderr)
+    return 0 if diff.is_empty() else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RealConfig: incremental network configuration verification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a snapshot directory")
+    p.add_argument("--topology", required=True,
+                   help="fat-tree:k | ring:n | line:n | grid:RxC | random:n[:extra]")
+    p.add_argument("--protocol", choices=["ospf", "bgp"], default="ospf")
+    p.add_argument("--out", required=True, help="output snapshot directory")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("show-fib", help="print the converged FIB")
+    p.add_argument("snapshot", help="snapshot directory")
+    p.add_argument("--node", help="restrict to one device")
+    p.set_defaults(func=cmd_show_fib)
+
+    p = sub.add_parser("verify", help="verify base -> changed incrementally")
+    p.add_argument("base", help="base snapshot directory")
+    p.add_argument("changed", help="changed snapshot directory")
+    p.add_argument("--all-pairs", action="store_true",
+                   help="also check all-pairs reachability between "
+                        "prefix-originating devices")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("trace", help="trace a packet through the data plane")
+    p.add_argument("snapshot", help="snapshot directory")
+    p.add_argument("--source", required=True, help="injection device")
+    p.add_argument("--dst", required=True, help="destination IP")
+    p.add_argument("--src", help="source IP (default 0.0.0.0)")
+    p.add_argument("--proto", type=int, default=0)
+    p.add_argument("--port", type=int, default=0)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "mine",
+        help="mine fault-tolerance spec under all single link failures",
+    )
+    p.add_argument("snapshot", help="snapshot directory")
+    p.add_argument("--no-widths", action="store_true",
+                   help="skip disjoint-path width computation")
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("diff", help="configuration-line diff of two snapshots")
+    p.add_argument("base")
+    p.add_argument("changed")
+    p.set_defaults(func=cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

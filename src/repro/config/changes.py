@@ -1,0 +1,637 @@
+"""Typed configuration change operations.
+
+These are the change kinds the paper's evaluation exercises (§5) plus the
+ones its motivation section discusses (§2):
+
+- :class:`ShutdownInterface` / :class:`EnableInterface` — the paper's
+  *LinkFailure* change ("failing a link by deactivating the corresponding
+  interface");
+- :class:`SetOspfCost` — the paper's *LC* change (link cost 1 -> 100);
+- :class:`SetLocalPref` — the paper's *LP* change (local preference
+  100 -> 150 for routes received at one interface, via an inbound route map);
+- ACL, static route, BGP network / neighbor, and redistribution edits — the
+  regular-maintenance and large-scale-planning changes of §2.
+
+A change is applied to a :class:`~repro.config.schema.Snapshot` in place;
+:func:`apply_changes` clones first and returns the line diff, which is the
+input format of the incremental data plane generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.addr import Prefix
+from repro.config.diff import LineDiff, diff_snapshots
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    ConfigError,
+    Redistribution,
+    RouteMap,
+    RouteMapClause,
+    Snapshot,
+    StaticRoute,
+)
+
+
+class ChangeError(ConfigError):
+    """Raised when a change cannot be applied to the given snapshot."""
+
+
+@dataclass
+class Change:
+    """Base class for configuration changes."""
+
+    def apply(self, snapshot: Snapshot) -> None:
+        raise NotImplementedError
+
+    def invert(self, snapshot: Snapshot) -> "Change":
+        """The change that would undo this one, given the *pre-change*
+        snapshot.  Used by the CI / planning examples to roll back."""
+        raise NotImplementedError(f"{type(self).__name__} is not invertible")
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+# -- link / interface changes ----------------------------------------------
+
+
+@dataclass
+class ShutdownInterface(Change):
+    """The paper's LinkFailure change: administratively disable an interface."""
+
+    device: str
+    interface: str
+
+    def apply(self, snapshot: Snapshot) -> None:
+        snapshot.device(self.device).interface(self.interface).shutdown = True
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        if snapshot.device(self.device).interface(self.interface).shutdown:
+            raise ChangeError(f"{self.device}:{self.interface} is already shut down")
+        return EnableInterface(self.device, self.interface)
+
+    def describe(self) -> str:
+        return f"LinkFailure: shutdown {self.device}:{self.interface}"
+
+
+@dataclass
+class EnableInterface(Change):
+    device: str
+    interface: str
+
+    def apply(self, snapshot: Snapshot) -> None:
+        snapshot.device(self.device).interface(self.interface).shutdown = False
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return ShutdownInterface(self.device, self.interface)
+
+    def describe(self) -> str:
+        return f"LinkRecovery: no shutdown {self.device}:{self.interface}"
+
+
+@dataclass
+class SetOspfCost(Change):
+    """The paper's LC change: set the OSPF cost of one interface."""
+
+    device: str
+    interface: str
+    cost: int
+
+    def apply(self, snapshot: Snapshot) -> None:
+        iface = snapshot.device(self.device).interface(self.interface)
+        if not iface.ospf_enabled:
+            raise ChangeError(
+                f"{self.device}:{self.interface} does not run OSPF"
+            )
+        iface.ospf_cost = self.cost
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        old = snapshot.device(self.device).interface(self.interface).ospf_cost
+        return SetOspfCost(self.device, self.interface, old)
+
+    def describe(self) -> str:
+        return f"LC: {self.device}:{self.interface} ospf cost -> {self.cost}"
+
+
+# -- BGP changes -------------------------------------------------------------
+
+
+#: Name of the route map SetLocalPref manages on a neighbor.
+def _lp_route_map_name(interface: str) -> str:
+    return f"RM_LP_{interface}"
+
+
+@dataclass
+class SetLocalPref(Change):
+    """The paper's LP change: set the local preference of routes received at
+    one interface (via an inbound route map on that BGP neighbor)."""
+
+    device: str
+    interface: str
+    local_pref: int
+    match_prefix: Optional[Prefix] = None
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None:
+            raise ChangeError(f"{self.device} does not run BGP")
+        neighbor = device.bgp.neighbors.get(self.interface)
+        if neighbor is None:
+            raise ChangeError(
+                f"{self.device} has no BGP neighbor on {self.interface}"
+            )
+        rm_name = _lp_route_map_name(self.interface)
+        rm = device.route_maps.setdefault(rm_name, RouteMap(rm_name))
+        rm.clauses = [
+            RouteMapClause(
+                seq=10,
+                action="permit",
+                match_prefix=self.match_prefix,
+                set_local_pref=self.local_pref,
+            )
+        ]
+        neighbor.route_map_in = rm_name
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        device = snapshot.device(self.device)
+        if device.bgp is None:
+            raise ChangeError(f"{self.device} does not run BGP")
+        neighbor = device.bgp.neighbors.get(self.interface)
+        if neighbor is None:
+            raise ChangeError(
+                f"{self.device} has no BGP neighbor on {self.interface}"
+            )
+        if neighbor.route_map_in is None:
+            return ClearLocalPref(self.device, self.interface)
+        rm = device.route_map(neighbor.route_map_in)
+        clause = rm.sorted_clauses()[0]
+        return SetLocalPref(
+            self.device,
+            self.interface,
+            clause.set_local_pref if clause.set_local_pref is not None else 100,
+            match_prefix=clause.match_prefix,
+        )
+
+    def describe(self) -> str:
+        scope = f" for {self.match_prefix}" if self.match_prefix else ""
+        return (
+            f"LP: {self.device}:{self.interface} local-preference -> "
+            f"{self.local_pref}{scope}"
+        )
+
+
+@dataclass
+class ClearLocalPref(Change):
+    """Remove the inbound local-preference route map from a neighbor."""
+
+    device: str
+    interface: str
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None:
+            raise ChangeError(f"{self.device} does not run BGP")
+        neighbor = device.bgp.neighbors.get(self.interface)
+        if neighbor is None:
+            raise ChangeError(
+                f"{self.device} has no BGP neighbor on {self.interface}"
+            )
+        rm_name = neighbor.route_map_in
+        neighbor.route_map_in = None
+        if rm_name is not None and rm_name == _lp_route_map_name(self.interface):
+            device.route_maps.pop(rm_name, None)
+
+    def describe(self) -> str:
+        return f"LP: {self.device}:{self.interface} local-preference cleared"
+
+
+@dataclass
+class AddBgpNetwork(Change):
+    device: str
+    prefix: Prefix
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None:
+            raise ChangeError(f"{self.device} does not run BGP")
+        if self.prefix in device.bgp.networks:
+            raise ChangeError(f"{self.device} already announces {self.prefix}")
+        device.bgp.networks.append(self.prefix)
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveBgpNetwork(self.device, self.prefix)
+
+    def describe(self) -> str:
+        return f"BGP: {self.device} announce {self.prefix}"
+
+
+@dataclass
+class RemoveBgpNetwork(Change):
+    device: str
+    prefix: Prefix
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None or self.prefix not in device.bgp.networks:
+            raise ChangeError(f"{self.device} does not announce {self.prefix}")
+        device.bgp.networks.remove(self.prefix)
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return AddBgpNetwork(self.device, self.prefix)
+
+    def describe(self) -> str:
+        return f"BGP: {self.device} withdraw {self.prefix}"
+
+
+@dataclass
+class AddBgpAggregate(Change):
+    """Configure ``aggregate-address`` on a BGP process."""
+
+    device: str
+    prefix: Prefix
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None:
+            raise ChangeError(f"{self.device} does not run BGP")
+        if self.prefix in device.bgp.aggregates:
+            raise ChangeError(f"{self.device} already aggregates {self.prefix}")
+        device.bgp.aggregates.append(self.prefix)
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveBgpAggregate(self.device, self.prefix)
+
+    def describe(self) -> str:
+        return f"BGP: {self.device} aggregate-address {self.prefix}"
+
+
+@dataclass
+class RemoveBgpAggregate(Change):
+    device: str
+    prefix: Prefix
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None or self.prefix not in device.bgp.aggregates:
+            raise ChangeError(f"{self.device} does not aggregate {self.prefix}")
+        device.bgp.aggregates.remove(self.prefix)
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return AddBgpAggregate(self.device, self.prefix)
+
+    def describe(self) -> str:
+        return f"BGP: {self.device} no aggregate-address {self.prefix}"
+
+
+@dataclass
+class AddBgpNeighbor(Change):
+    device: str
+    interface: str
+    remote_as: int
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None:
+            raise ChangeError(f"{self.device} does not run BGP")
+        if self.interface in device.bgp.neighbors:
+            raise ChangeError(
+                f"{self.device} already peers on {self.interface}"
+            )
+        device.bgp.add_neighbor(BgpNeighbor(self.interface, self.remote_as))
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveBgpNeighbor(self.device, self.interface)
+
+    def describe(self) -> str:
+        return f"BGP: {self.device} add neighbor on {self.interface} (AS {self.remote_as})"
+
+
+@dataclass
+class RemoveBgpNeighbor(Change):
+    device: str
+    interface: str
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if device.bgp is None or self.interface not in device.bgp.neighbors:
+            raise ChangeError(f"{self.device} has no neighbor on {self.interface}")
+        del device.bgp.neighbors[self.interface]
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        neighbor = snapshot.device(self.device).bgp.neighbors[self.interface]
+        return AddBgpNeighbor(self.device, self.interface, neighbor.remote_as)
+
+    def describe(self) -> str:
+        return f"BGP: {self.device} remove neighbor on {self.interface}"
+
+
+# -- static routes ------------------------------------------------------------
+
+
+@dataclass
+class AddStaticRoute(Change):
+    device: str
+    prefix: Prefix
+    next_hop_interface: str
+    admin_distance: int = 1
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        device.interface(self.next_hop_interface)  # validate
+        device.static_routes.append(
+            StaticRoute(
+                self.prefix,
+                self.next_hop_interface,
+                admin_distance=self.admin_distance,
+            )
+        )
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveStaticRoute(self.device, self.prefix, self.next_hop_interface)
+
+    def describe(self) -> str:
+        return (
+            f"Static: {self.device} route {self.prefix} via "
+            f"{self.next_hop_interface}"
+        )
+
+
+@dataclass
+class RemoveStaticRoute(Change):
+    device: str
+    prefix: Prefix
+    next_hop_interface: str
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        before = len(device.static_routes)
+        device.static_routes = [
+            r
+            for r in device.static_routes
+            if not (
+                r.prefix == self.prefix
+                and r.next_hop_interface == self.next_hop_interface
+            )
+        ]
+        if len(device.static_routes) == before:
+            raise ChangeError(
+                f"{self.device} has no static route {self.prefix} via "
+                f"{self.next_hop_interface}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"Static: {self.device} remove route {self.prefix} via "
+            f"{self.next_hop_interface}"
+        )
+
+
+@dataclass
+class AddStaticRouteIp(Change):
+    """Static route with an IP next hop (resolved via connected subnets)."""
+
+    device: str
+    prefix: Prefix
+    next_hop_ip: int
+    admin_distance: int = 1
+
+    def apply(self, snapshot: Snapshot) -> None:
+        snapshot.device(self.device).static_routes.append(
+            StaticRoute(
+                self.prefix,
+                next_hop_ip=self.next_hop_ip,
+                admin_distance=self.admin_distance,
+            )
+        )
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveStaticRouteIp(self.device, self.prefix, self.next_hop_ip)
+
+    def describe(self) -> str:
+        from repro.net.addr import format_ipv4
+
+        return (
+            f"Static: {self.device} route {self.prefix} via "
+            f"{format_ipv4(self.next_hop_ip)}"
+        )
+
+
+@dataclass
+class RemoveStaticRouteIp(Change):
+    device: str
+    prefix: Prefix
+    next_hop_ip: int
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        before = len(device.static_routes)
+        device.static_routes = [
+            r
+            for r in device.static_routes
+            if not (r.prefix == self.prefix and r.next_hop_ip == self.next_hop_ip)
+        ]
+        if len(device.static_routes) == before:
+            raise ChangeError(
+                f"{self.device} has no static route {self.prefix} via that IP"
+            )
+
+    def describe(self) -> str:
+        from repro.net.addr import format_ipv4
+
+        return (
+            f"Static: {self.device} remove route {self.prefix} via "
+            f"{format_ipv4(self.next_hop_ip)}"
+        )
+
+
+# -- ACL changes ---------------------------------------------------------------
+
+
+@dataclass
+class AddAclEntry(Change):
+    device: str
+    acl_name: str
+    entry: AclEntry
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        acl = device.acls.setdefault(self.acl_name, Acl(self.acl_name))
+        if any(e.seq == self.entry.seq for e in acl.entries):
+            raise ChangeError(
+                f"{self.device} ACL {self.acl_name} already has seq {self.entry.seq}"
+            )
+        acl.entries.append(self.entry)
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveAclEntry(self.device, self.acl_name, self.entry.seq)
+
+    def describe(self) -> str:
+        return f"ACL: {self.device} {self.acl_name} add seq {self.entry.seq}"
+
+
+@dataclass
+class RemoveAclEntry(Change):
+    device: str
+    acl_name: str
+    seq: int
+
+    def apply(self, snapshot: Snapshot) -> None:
+        acl = snapshot.device(self.device).acl(self.acl_name)
+        before = len(acl.entries)
+        acl.entries = [e for e in acl.entries if e.seq != self.seq]
+        if len(acl.entries) == before:
+            raise ChangeError(
+                f"{self.device} ACL {self.acl_name} has no seq {self.seq}"
+            )
+
+    def describe(self) -> str:
+        return f"ACL: {self.device} {self.acl_name} remove seq {self.seq}"
+
+
+@dataclass
+class BindAcl(Change):
+    device: str
+    interface: str
+    acl_name: str
+    direction: str = "in"  # "in" | "out"
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        if self.acl_name not in device.acls:
+            raise ChangeError(f"{self.device} has no ACL {self.acl_name}")
+        iface = device.interface(self.interface)
+        if self.direction == "in":
+            iface.acl_in = self.acl_name
+        elif self.direction == "out":
+            iface.acl_out = self.acl_name
+        else:
+            raise ChangeError(f"bad ACL direction {self.direction!r}")
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return UnbindAcl(self.device, self.interface, self.direction)
+
+    def describe(self) -> str:
+        return (
+            f"ACL: {self.device}:{self.interface} bind {self.acl_name} "
+            f"{self.direction}"
+        )
+
+
+@dataclass
+class UnbindAcl(Change):
+    device: str
+    interface: str
+    direction: str = "in"
+
+    def apply(self, snapshot: Snapshot) -> None:
+        iface = snapshot.device(self.device).interface(self.interface)
+        if self.direction == "in":
+            iface.acl_in = None
+        elif self.direction == "out":
+            iface.acl_out = None
+        else:
+            raise ChangeError(f"bad ACL direction {self.direction!r}")
+
+    def describe(self) -> str:
+        return f"ACL: {self.device}:{self.interface} unbind {self.direction}"
+
+
+# -- redistribution -------------------------------------------------------------
+
+
+@dataclass
+class AddRedistribution(Change):
+    device: str
+    protocol: str  # process receiving the routes: "ospf" | "bgp"
+    source: str
+    metric: int = 20
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        process = device.ospf if self.protocol == "ospf" else device.bgp
+        if process is None:
+            raise ChangeError(f"{self.device} does not run {self.protocol}")
+        if any(r.source == self.source for r in process.redistribute):
+            raise ChangeError(
+                f"{self.device} {self.protocol} already redistributes {self.source}"
+            )
+        process.redistribute.append(Redistribution(self.source, self.metric))
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        return RemoveRedistribution(self.device, self.protocol, self.source)
+
+    def describe(self) -> str:
+        return f"Redist: {self.device} {self.protocol} <- {self.source}"
+
+
+@dataclass
+class RemoveRedistribution(Change):
+    device: str
+    protocol: str
+    source: str
+
+    def apply(self, snapshot: Snapshot) -> None:
+        device = snapshot.device(self.device)
+        process = device.ospf if self.protocol == "ospf" else device.bgp
+        if process is None:
+            raise ChangeError(f"{self.device} does not run {self.protocol}")
+        before = len(process.redistribute)
+        process.redistribute = [
+            r for r in process.redistribute if r.source != self.source
+        ]
+        if len(process.redistribute) == before:
+            raise ChangeError(
+                f"{self.device} {self.protocol} does not redistribute {self.source}"
+            )
+
+    def describe(self) -> str:
+        return f"Redist: {self.device} {self.protocol} drop {self.source}"
+
+
+# -- composites and helpers -----------------------------------------------------
+
+
+@dataclass
+class CompositeChange(Change):
+    """A batch of changes applied atomically (the planning use case of §2)."""
+
+    changes: List[Change] = field(default_factory=list)
+    label: str = ""
+
+    def apply(self, snapshot: Snapshot) -> None:
+        for change in self.changes:
+            change.apply(snapshot)
+
+    def invert(self, snapshot: Snapshot) -> Change:
+        staging = snapshot.clone()
+        inverses: List[Change] = []
+        for change in self.changes:
+            inverses.append(change.invert(staging))
+            change.apply(staging)
+        inverses.reverse()
+        return CompositeChange(inverses, label=f"undo {self.label}".strip())
+
+    def describe(self) -> str:
+        title = self.label or f"batch of {len(self.changes)}"
+        return f"Composite[{title}]: " + "; ".join(
+            c.describe() for c in self.changes
+        )
+
+
+def apply_changes(
+    snapshot: Snapshot, changes: Sequence[Change]
+) -> Tuple[Snapshot, LineDiff]:
+    """Apply changes to a clone of ``snapshot``.
+
+    Returns the new snapshot and the line-level diff — the exact input format
+    of RealConfig's incremental data plane generator.
+    """
+    new_snapshot = snapshot.clone()
+    for change in changes:
+        change.apply(new_snapshot)
+    return new_snapshot, diff_snapshots(snapshot, new_snapshot)

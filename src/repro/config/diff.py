@@ -1,0 +1,81 @@
+"""Snapshot diffing at configuration-line granularity.
+
+The paper defines a configuration change as a set of inserted and deleted
+configuration lines ("Modifications can be seen as deleting an old line and
+inserting a new line").  Because :mod:`repro.config.lang` renders devices
+canonically, two snapshots can be diffed as multisets of
+``(device, stanza, line)`` triples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config.lang import device_lines
+from repro.config.schema import Snapshot
+
+
+@dataclass(frozen=True, order=True)
+class ConfigLine:
+    """One configuration line, attributed to a device and stanza."""
+
+    device: str
+    stanza: str
+    text: str
+
+    def __str__(self) -> str:
+        return f"{self.device}[{self.stanza or 'top'}]: {self.text.strip()}"
+
+
+@dataclass
+class LineDiff:
+    """The inserted and deleted lines between two snapshots."""
+
+    inserted: List[ConfigLine] = field(default_factory=list)
+    deleted: List[ConfigLine] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    def size(self) -> int:
+        """Total number of changed lines."""
+        return len(self.inserted) + len(self.deleted)
+
+    def devices_touched(self) -> List[str]:
+        names = {line.device for line in self.inserted}
+        names.update(line.device for line in self.deleted)
+        return sorted(names)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.inserted)}/-{len(self.deleted)} lines on "
+            f"{len(self.devices_touched())} device(s)"
+        )
+
+    def __str__(self) -> str:
+        parts = [f"- {line}" for line in self.deleted]
+        parts += [f"+ {line}" for line in self.inserted]
+        return "\n".join(parts) or "(no changes)"
+
+
+def snapshot_lines(snapshot: Snapshot) -> Counter:
+    """All configuration lines of a snapshot, as a multiset."""
+    lines: Counter = Counter()
+    for device in snapshot.iter_devices():
+        for stanza, text in device_lines(device):
+            lines[ConfigLine(device.hostname, stanza, text)] += 1
+    return lines
+
+
+def diff_snapshots(old: Snapshot, new: Snapshot) -> LineDiff:
+    """Compute the line-level diff from ``old`` to ``new``."""
+    old_lines = snapshot_lines(old)
+    new_lines = snapshot_lines(new)
+    diff = LineDiff()
+    for line, count in sorted((new_lines - old_lines).items()):
+        diff.inserted.extend([line] * count)
+    for line, count in sorted((old_lines - new_lines).items()):
+        diff.deleted.extend([line] * count)
+    return diff

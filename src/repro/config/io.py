@@ -1,0 +1,114 @@
+"""Snapshot persistence.
+
+A snapshot on disk is a directory:
+
+    snapshot/
+      topology.json          # nodes, interfaces (prefix/address), links
+      configs/
+        <hostname>.cfg       # canonical config text (repro.config.lang)
+
+``save_snapshot`` / ``load_snapshot`` round-trip exactly, so an operator
+can keep snapshots in version control, edit the ``.cfg`` files by hand, and
+verify the edit with ``repro verify`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.config.lang import parse_device, render_device
+from repro.config.schema import ConfigError, Snapshot
+from repro.net.addr import Prefix, format_ipv4, parse_ipv4
+from repro.net.topology import InterfaceId, Topology
+
+PathLike = Union[str, Path]
+
+TOPOLOGY_FILE = "topology.json"
+CONFIG_DIR = "configs"
+
+
+def topology_to_dict(topology: Topology) -> Dict:
+    """JSON-serializable form of a topology."""
+    nodes: Dict[str, Dict] = {}
+    for node in topology.nodes():
+        interfaces = {}
+        for iface in node.interfaces.values():
+            entry: Dict[str, str] = {}
+            if iface.prefix is not None:
+                entry["prefix"] = str(iface.prefix)
+            if iface.address is not None:
+                entry["address"] = format_ipv4(iface.address)
+            interfaces[iface.name] = entry
+        nodes[node.name] = {"interfaces": interfaces}
+    links = sorted(
+        [str(link.a), str(link.b)] for link in topology.links()
+    )
+    return {"nodes": nodes, "links": links}
+
+
+def topology_from_dict(data: Dict) -> Topology:
+    topology = Topology()
+    for name in sorted(data.get("nodes", {})):
+        node = data["nodes"][name]
+        topology.add_node(name)
+        for iface_name in sorted(node.get("interfaces", {})):
+            entry = node["interfaces"][iface_name]
+            prefix = (
+                Prefix.parse(entry["prefix"]) if "prefix" in entry else None
+            )
+            address = (
+                parse_ipv4(entry["address"]) if "address" in entry else None
+            )
+            topology.add_interface(name, iface_name, prefix=prefix, address=address)
+    for a_text, b_text in data.get("links", []):
+        a_node, _, a_if = a_text.partition(":")
+        b_node, _, b_if = b_text.partition(":")
+        topology.add_link(InterfaceId(a_node, a_if), InterfaceId(b_node, b_if))
+    return topology
+
+
+def save_snapshot(snapshot: Snapshot, directory: PathLike) -> Path:
+    """Write the snapshot to ``directory`` (created if needed)."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / TOPOLOGY_FILE).write_text(
+        json.dumps(topology_to_dict(snapshot.topology), indent=2, sort_keys=True)
+        + "\n"
+    )
+    config_dir = root / CONFIG_DIR
+    config_dir.mkdir(exist_ok=True)
+    wanted = set()
+    for device in snapshot.iter_devices():
+        filename = f"{device.hostname}.cfg"
+        wanted.add(filename)
+        (config_dir / filename).write_text(render_device(device))
+    # Remove stale config files from a previous save.
+    for stale in config_dir.glob("*.cfg"):
+        if stale.name not in wanted:
+            stale.unlink()
+    return root
+
+
+def load_snapshot(directory: PathLike) -> Snapshot:
+    """Read a snapshot directory back into memory (validated)."""
+    root = Path(directory)
+    topology_path = root / TOPOLOGY_FILE
+    if not topology_path.exists():
+        raise ConfigError(f"not a snapshot directory (missing {TOPOLOGY_FILE}): {root}")
+    topology = topology_from_dict(json.loads(topology_path.read_text()))
+    snapshot = Snapshot(topology)
+    config_dir = root / CONFIG_DIR
+    if not config_dir.is_dir():
+        raise ConfigError(f"missing {CONFIG_DIR}/ under {root}")
+    for path in sorted(config_dir.glob("*.cfg")):
+        device = parse_device(path.read_text())
+        if device.hostname != path.stem:
+            raise ConfigError(
+                f"{path.name}: hostname {device.hostname!r} does not match "
+                f"the file name"
+            )
+        snapshot.add_device(device)
+    snapshot.validate()
+    return snapshot

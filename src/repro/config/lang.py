@@ -1,0 +1,347 @@
+"""The configuration text dialect: rendering and parsing.
+
+The paper treats configuration changes as *insertions and deletions of
+configuration lines*.  To make that concrete we define a small Cisco-flavored
+text dialect with a canonical rendering, so that
+
+    parse(render(config)) == config        (structural round trip)
+
+and so two snapshots can be diffed line-by-line (``repro.config.diff``).
+
+Each line belongs to a *stanza* (an ``interface ...``, ``router ...``,
+``route-map ...``, or ``ip access-list ...`` block, or the top level), which
+is how the diff attributes a changed line to the configuration object it
+affects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.net.addr import Prefix, format_ipv4, parse_ipv4
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    BgpProcess,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfProcess,
+    Redistribution,
+    RouteMap,
+    RouteMapClause,
+    StaticRoute,
+)
+
+#: Stanza key for top-level lines.
+TOP = ""
+
+
+class ParseError(ConfigError):
+    """Raised when configuration text cannot be parsed."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line!r}")
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_device(config: DeviceConfig) -> str:
+    """Render a device configuration to canonical text."""
+    return "\n".join(text for _, text in device_lines(config)) + "\n"
+
+
+def device_lines(config: DeviceConfig) -> Iterator[Tuple[str, str]]:
+    """Yield ``(stanza_key, line_text)`` pairs in canonical order.
+
+    The stanza key identifies the enclosing block; header lines of a block
+    carry their own key.  This is the unit of diffing.
+    """
+    yield TOP, f"hostname {config.hostname}"
+
+    for name in sorted(config.interfaces):
+        iface = config.interfaces[name]
+        key = f"interface {name}"
+        yield key, key
+        if iface.address is not None and iface.prefix is not None:
+            yield key, f" ip address {format_ipv4(iface.address)}/{iface.prefix.length}"
+        elif iface.prefix is not None:
+            yield key, f" ip network {iface.prefix}"
+        if iface.shutdown:
+            yield key, " shutdown"
+        if iface.ospf_enabled:
+            yield key, " ip ospf enable"
+            if iface.ospf_cost != 1:
+                yield key, f" ip ospf cost {iface.ospf_cost}"
+        if iface.acl_in is not None:
+            yield key, f" ip access-group {iface.acl_in} in"
+        if iface.acl_out is not None:
+            yield key, f" ip access-group {iface.acl_out} out"
+
+    for acl_name in sorted(config.acls):
+        acl = config.acls[acl_name]
+        key = f"ip access-list {acl_name}"
+        yield key, key
+        for entry in acl.sorted_entries():
+            yield key, " " + _render_acl_entry(entry)
+
+    for rm_name in sorted(config.route_maps):
+        rm = config.route_maps[rm_name]
+        for clause in rm.sorted_clauses():
+            key = f"route-map {rm_name} {clause.action} {clause.seq}"
+            yield key, key
+            if clause.match_prefix is not None:
+                yield key, f" match ip prefix {clause.match_prefix}"
+            if clause.set_local_pref is not None:
+                yield key, f" set local-preference {clause.set_local_pref}"
+            if clause.set_metric is not None:
+                yield key, f" set metric {clause.set_metric}"
+
+    if config.ospf is not None:
+        key = f"router ospf {config.ospf.process_id}"
+        yield key, key
+        for redist in config.ospf.redistribute:
+            yield key, f" redistribute {redist.source} metric {redist.metric}"
+
+    if config.bgp is not None:
+        bgp = config.bgp
+        key = f"router bgp {bgp.asn}"
+        yield key, key
+        for prefix in sorted(bgp.networks):
+            yield key, f" network {prefix}"
+        for prefix in sorted(bgp.aggregates):
+            yield key, f" aggregate-address {prefix}"
+        for if_name in sorted(bgp.neighbors):
+            neighbor = bgp.neighbors[if_name]
+            yield key, f" neighbor {if_name} remote-as {neighbor.remote_as}"
+            if neighbor.route_map_in is not None:
+                yield key, f" neighbor {if_name} route-map {neighbor.route_map_in} in"
+            if neighbor.route_map_out is not None:
+                yield key, f" neighbor {if_name} route-map {neighbor.route_map_out} out"
+        for redist in bgp.redistribute:
+            yield key, f" redistribute {redist.source} metric {redist.metric}"
+
+    def _next_hop_text(route: StaticRoute) -> str:
+        if route.next_hop_interface is not None:
+            return route.next_hop_interface
+        return format_ipv4(route.next_hop_ip)
+
+    for route in sorted(
+        config.static_routes, key=lambda r: (r.prefix, _next_hop_text(r))
+    ):
+        text = f"ip route {route.prefix} {_next_hop_text(route)}"
+        if route.admin_distance != 1:
+            text += f" {route.admin_distance}"
+        yield TOP, text
+
+
+def _render_acl_entry(entry: AclEntry) -> str:
+    proto = "ip" if entry.proto is None else str(entry.proto)
+    src = "any" if entry.src is None else str(entry.src)
+    dst = "any" if entry.dst is None else str(entry.dst)
+    text = f"{entry.seq} {entry.action} {proto} {src} {dst}"
+    if entry.dst_port is not None:
+        lo, hi = entry.dst_port
+        text += f" eq {lo}" if lo == hi else f" range {lo} {hi}"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_device(text: str) -> DeviceConfig:
+    """Parse canonical configuration text back into a :class:`DeviceConfig`."""
+    config = DeviceConfig(hostname="")
+    context: Optional[_Context] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        if not raw.startswith((" ", "\t")):
+            context = _parse_top_line(config, line_no, line)
+        else:
+            if context is None:
+                raise ParseError(line_no, line, "indented line outside any stanza")
+            context.parse(config, line_no, line)
+    if not config.hostname:
+        raise ParseError(0, "", "missing hostname")
+    return config
+
+
+class _Context:
+    """Parser state for the currently open stanza."""
+
+    def parse(self, config: DeviceConfig, line_no: int, line: str) -> None:
+        raise NotImplementedError
+
+
+class _InterfaceContext(_Context):
+    def __init__(self, iface: InterfaceConfig) -> None:
+        self.iface = iface
+
+    def parse(self, config: DeviceConfig, line_no: int, line: str) -> None:
+        words = line.split()
+        if words[:2] == ["ip", "address"] and len(words) == 3:
+            addr_text, _, len_text = words[2].partition("/")
+            if not len_text.isdigit():
+                raise ParseError(line_no, line, "malformed ip address")
+            address = parse_ipv4(addr_text)
+            length = int(len_text)
+            self.iface.address = address
+            self.iface.prefix = Prefix.from_address_int(address, length)
+        elif words[:2] == ["ip", "network"] and len(words) == 3:
+            self.iface.prefix = Prefix.parse(words[2])
+        elif words == ["shutdown"]:
+            self.iface.shutdown = True
+        elif words == ["ip", "ospf", "enable"]:
+            self.iface.ospf_enabled = True
+        elif words[:3] == ["ip", "ospf", "cost"] and len(words) == 4:
+            self.iface.ospf_cost = int(words[3])
+        elif words[:2] == ["ip", "access-group"] and len(words) == 4:
+            if words[3] == "in":
+                self.iface.acl_in = words[2]
+            elif words[3] == "out":
+                self.iface.acl_out = words[2]
+            else:
+                raise ParseError(line_no, line, "access-group direction")
+        else:
+            raise ParseError(line_no, line, "unknown interface sub-command")
+
+
+class _AclContext(_Context):
+    def __init__(self, acl: Acl) -> None:
+        self.acl = acl
+
+    def parse(self, config: DeviceConfig, line_no: int, line: str) -> None:
+        words = line.split()
+        if len(words) < 5 or not words[0].isdigit():
+            raise ParseError(line_no, line, "malformed ACL entry")
+        seq = int(words[0])
+        action = words[1]
+        if action not in ("permit", "deny"):
+            raise ParseError(line_no, line, "ACL action must be permit/deny")
+        proto = None if words[2] == "ip" else int(words[2])
+        src = None if words[3] == "any" else Prefix.parse(words[3])
+        dst = None if words[4] == "any" else Prefix.parse(words[4])
+        dst_port: Optional[Tuple[int, int]] = None
+        rest = words[5:]
+        if rest[:1] == ["eq"] and len(rest) == 2:
+            dst_port = (int(rest[1]), int(rest[1]))
+        elif rest[:1] == ["range"] and len(rest) == 3:
+            dst_port = (int(rest[1]), int(rest[2]))
+        elif rest:
+            raise ParseError(line_no, line, "malformed ACL port clause")
+        self.acl.entries.append(
+            AclEntry(seq, action, proto=proto, src=src, dst=dst, dst_port=dst_port)
+        )
+
+
+class _RouteMapContext(_Context):
+    def __init__(self, clause: RouteMapClause) -> None:
+        self.clause = clause
+
+    def parse(self, config: DeviceConfig, line_no: int, line: str) -> None:
+        words = line.split()
+        if words[:3] == ["match", "ip", "prefix"] and len(words) == 4:
+            self.clause.match_prefix = Prefix.parse(words[3])
+        elif words[:2] == ["set", "local-preference"] and len(words) == 3:
+            self.clause.set_local_pref = int(words[2])
+        elif words[:2] == ["set", "metric"] and len(words) == 3:
+            self.clause.set_metric = int(words[2])
+        else:
+            raise ParseError(line_no, line, "unknown route-map sub-command")
+
+
+class _OspfContext(_Context):
+    def __init__(self, process: OspfProcess) -> None:
+        self.process = process
+
+    def parse(self, config: DeviceConfig, line_no: int, line: str) -> None:
+        words = line.split()
+        if words[:1] == ["redistribute"] and len(words) == 4 and words[2] == "metric":
+            self.process.redistribute.append(Redistribution(words[1], int(words[3])))
+        else:
+            raise ParseError(line_no, line, "unknown OSPF sub-command")
+
+
+class _BgpContext(_Context):
+    def __init__(self, process: BgpProcess) -> None:
+        self.process = process
+
+    def parse(self, config: DeviceConfig, line_no: int, line: str) -> None:
+        words = line.split()
+        if words[:1] == ["network"] and len(words) == 2:
+            self.process.networks.append(Prefix.parse(words[1]))
+        elif words[:1] == ["aggregate-address"] and len(words) == 2:
+            self.process.aggregates.append(Prefix.parse(words[1]))
+        elif words[:1] == ["neighbor"] and len(words) == 4 and words[2] == "remote-as":
+            self.process.add_neighbor(BgpNeighbor(words[1], int(words[3])))
+        elif words[:1] == ["neighbor"] and len(words) == 5 and words[2] == "route-map":
+            neighbor = self.process.neighbors.get(words[1])
+            if neighbor is None:
+                raise ParseError(line_no, line, "route-map before remote-as")
+            if words[4] == "in":
+                neighbor.route_map_in = words[3]
+            elif words[4] == "out":
+                neighbor.route_map_out = words[3]
+            else:
+                raise ParseError(line_no, line, "route-map direction")
+        elif words[:1] == ["redistribute"] and len(words) == 4 and words[2] == "metric":
+            self.process.redistribute.append(Redistribution(words[1], int(words[3])))
+        else:
+            raise ParseError(line_no, line, "unknown BGP sub-command")
+
+
+def _parse_top_line(config: DeviceConfig, line_no: int, line: str) -> Optional[_Context]:
+    words = line.split()
+    if words[:1] == ["hostname"] and len(words) == 2:
+        config.hostname = words[1]
+        return None
+    if words[:1] == ["interface"] and len(words) == 2:
+        iface = config.ensure_interface(words[1])
+        return _InterfaceContext(iface)
+    if words[:2] == ["ip", "access-list"] and len(words) == 3:
+        acl = config.acls.setdefault(words[2], Acl(words[2]))
+        return _AclContext(acl)
+    if words[:1] == ["route-map"] and len(words) == 4:
+        name, action, seq_text = words[1], words[2], words[3]
+        if action not in ("permit", "deny") or not seq_text.isdigit():
+            raise ParseError(line_no, line, "malformed route-map header")
+        rm = config.route_maps.setdefault(name, RouteMap(name))
+        clause = RouteMapClause(int(seq_text), action)
+        rm.clauses.append(clause)
+        return _RouteMapContext(clause)
+    if words[:2] == ["router", "ospf"] and len(words) == 3:
+        config.ospf = OspfProcess(process_id=int(words[2]))
+        return _OspfContext(config.ospf)
+    if words[:2] == ["router", "bgp"] and len(words) == 3:
+        config.bgp = BgpProcess(asn=int(words[2]))
+        return _BgpContext(config.bgp)
+    if words[:2] == ["ip", "route"] and len(words) in (4, 5):
+        distance = int(words[4]) if len(words) == 5 else 1
+        next_hop = words[3]
+        if next_hop.count(".") == 3:
+            config.static_routes.append(
+                StaticRoute(
+                    Prefix.parse(words[2]),
+                    next_hop_ip=parse_ipv4(next_hop),
+                    admin_distance=distance,
+                )
+            )
+        else:
+            config.static_routes.append(
+                StaticRoute(
+                    Prefix.parse(words[2]), next_hop, admin_distance=distance
+                )
+            )
+        return None
+    raise ParseError(line_no, line, "unknown top-level command")

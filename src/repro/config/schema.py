@@ -1,0 +1,334 @@
+"""Vendor-neutral configuration schema.
+
+RealConfig "models a basic set of configurations including OSPF, BGP, static
+routes, access control lists, and route redistribution" (paper §4.2).  This
+module defines that configuration model as plain dataclasses:
+
+- per-interface settings (address, shutdown, OSPF cost, ACL bindings),
+- an OSPF process (interface participation, redistribution),
+- a BGP process (AS number, originated networks, per-neighbor route maps),
+- static routes, ACLs, and route maps.
+
+A :class:`Snapshot` bundles the physical topology with one
+:class:`DeviceConfig` per node — the unit existing verifiers check from
+scratch and RealConfig checks incrementally.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.topology import Topology
+
+
+class ConfigError(ValueError):
+    """Raised for semantically invalid configurations."""
+
+
+# -- interface-level configuration ----------------------------------------
+
+
+@dataclass
+class InterfaceConfig:
+    """Configuration of one interface."""
+
+    name: str
+    prefix: Optional[Prefix] = None
+    address: Optional[int] = None
+    shutdown: bool = False
+    ospf_enabled: bool = False
+    ospf_cost: int = 1
+    acl_in: Optional[str] = None
+    acl_out: Optional[str] = None
+
+    def is_up(self) -> bool:
+        return not self.shutdown
+
+
+# -- routing processes ------------------------------------------------------
+
+
+@dataclass
+class Redistribution:
+    """Redistribute routes from ``source`` protocol into this process."""
+
+    source: str  # "static" | "connected" | "ospf" | "bgp"
+    metric: int = 20
+
+
+@dataclass
+class OspfProcess:
+    """An OSPF process; interfaces join via ``InterfaceConfig.ospf_enabled``."""
+
+    process_id: int = 1
+    redistribute: List[Redistribution] = field(default_factory=list)
+
+
+@dataclass
+class BgpNeighbor:
+    """An eBGP session established over a directly connected interface.
+
+    The paper's evaluation peers every node with all of its physical
+    neighbors (one AS per node), so sessions are keyed by local interface.
+    """
+
+    interface: str
+    remote_as: int
+    route_map_in: Optional[str] = None
+    route_map_out: Optional[str] = None
+
+
+@dataclass
+class BgpProcess:
+    asn: int
+    networks: List[Prefix] = field(default_factory=list)
+    neighbors: Dict[str, BgpNeighbor] = field(default_factory=dict)  # by interface
+    redistribute: List[Redistribution] = field(default_factory=list)
+    #: ``aggregate-address`` prefixes: originated whenever a strictly more
+    #: specific route is present in the BGP table (specifics are still
+    #: advertised, i.e. no summary-only suppression).
+    aggregates: List[Prefix] = field(default_factory=list)
+
+    def add_neighbor(self, neighbor: BgpNeighbor) -> None:
+        self.neighbors[neighbor.interface] = neighbor
+
+
+@dataclass
+class StaticRoute:
+    """``ip route <prefix> <interface|next-hop-ip> [distance]``.
+
+    Exactly one of ``next_hop_interface`` / ``next_hop_ip`` is set.  An IP
+    next hop is resolved at evaluation time against the router's connected
+    subnets (the route is inactive while no up interface covers the
+    address).
+    """
+
+    prefix: Prefix
+    next_hop_interface: Optional[str] = None
+    next_hop_ip: Optional[int] = None
+    admin_distance: int = 1
+
+    def __post_init__(self) -> None:
+        if (self.next_hop_interface is None) == (self.next_hop_ip is None):
+            raise ConfigError(
+                f"static route {self.prefix}: exactly one of interface/IP "
+                "next hop required"
+            )
+
+
+# -- route maps -------------------------------------------------------------
+
+
+@dataclass
+class RouteMapClause:
+    """One permit/deny clause of a route map.
+
+    ``match_prefix`` of ``None`` matches every route.  ``set_local_pref``
+    only has an effect on BGP routes.
+    """
+
+    seq: int
+    action: str = "permit"  # "permit" | "deny"
+    match_prefix: Optional[Prefix] = None
+    set_local_pref: Optional[int] = None
+    set_metric: Optional[int] = None
+
+    def matches(self, prefix: Prefix) -> bool:
+        return self.match_prefix is None or self.match_prefix.contains(prefix)
+
+
+@dataclass
+class RouteMap:
+    name: str
+    clauses: List[RouteMapClause] = field(default_factory=list)
+
+    def sorted_clauses(self) -> List[RouteMapClause]:
+        return sorted(self.clauses, key=lambda c: c.seq)
+
+    def clause(self, seq: int) -> RouteMapClause:
+        for c in self.clauses:
+            if c.seq == seq:
+                return c
+        raise ConfigError(f"route-map {self.name} has no clause {seq}")
+
+
+# -- ACLs --------------------------------------------------------------------
+
+
+@dataclass
+class AclEntry:
+    """One numbered entry of an access list.
+
+    ``proto`` of ``None`` means any protocol; prefixes of ``None`` mean any
+    address; ``dst_port`` of ``None`` means any port (inclusive range
+    otherwise).
+    """
+
+    seq: int
+    action: str  # "permit" | "deny"
+    proto: Optional[int] = None
+    src: Optional[Prefix] = None
+    dst: Optional[Prefix] = None
+    dst_port: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class Acl:
+    name: str
+    entries: List[AclEntry] = field(default_factory=list)
+
+    def sorted_entries(self) -> List[AclEntry]:
+        return sorted(self.entries, key=lambda e: e.seq)
+
+
+# -- device and network ------------------------------------------------------
+
+
+@dataclass
+class DeviceConfig:
+    """The full configuration of one router."""
+
+    hostname: str
+    interfaces: Dict[str, InterfaceConfig] = field(default_factory=dict)
+    ospf: Optional[OspfProcess] = None
+    bgp: Optional[BgpProcess] = None
+    static_routes: List[StaticRoute] = field(default_factory=list)
+    acls: Dict[str, Acl] = field(default_factory=dict)
+    route_maps: Dict[str, RouteMap] = field(default_factory=dict)
+
+    def copy(self) -> "DeviceConfig":
+        """A structural deep copy (hand-rolled: ~10x faster than
+        ``copy.deepcopy``, which dominates snapshot cloning on large
+        networks)."""
+        device = DeviceConfig(hostname=self.hostname)
+        device.interfaces = {
+            name: copy.copy(iface) for name, iface in self.interfaces.items()
+        }
+        if self.ospf is not None:
+            device.ospf = OspfProcess(
+                process_id=self.ospf.process_id,
+                redistribute=[copy.copy(r) for r in self.ospf.redistribute],
+            )
+        if self.bgp is not None:
+            device.bgp = BgpProcess(
+                asn=self.bgp.asn,
+                networks=list(self.bgp.networks),
+                neighbors={
+                    name: copy.copy(neighbor)
+                    for name, neighbor in self.bgp.neighbors.items()
+                },
+                redistribute=[copy.copy(r) for r in self.bgp.redistribute],
+                aggregates=list(self.bgp.aggregates),
+            )
+        device.static_routes = [copy.copy(r) for r in self.static_routes]
+        device.acls = {
+            name: Acl(acl.name, entries=[copy.copy(e) for e in acl.entries])
+            for name, acl in self.acls.items()
+        }
+        device.route_maps = {
+            name: RouteMap(rm.name, clauses=[copy.copy(c) for c in rm.clauses])
+            for name, rm in self.route_maps.items()
+        }
+        return device
+
+    def interface(self, name: str) -> InterfaceConfig:
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise ConfigError(
+                f"device {self.hostname!r} has no interface {name!r}"
+            ) from None
+
+    def ensure_interface(self, name: str) -> InterfaceConfig:
+        if name not in self.interfaces:
+            self.interfaces[name] = InterfaceConfig(name)
+        return self.interfaces[name]
+
+    def route_map(self, name: str) -> RouteMap:
+        try:
+            return self.route_maps[name]
+        except KeyError:
+            raise ConfigError(
+                f"device {self.hostname!r} has no route-map {name!r}"
+            ) from None
+
+    def acl(self, name: str) -> Acl:
+        try:
+            return self.acls[name]
+        except KeyError:
+            raise ConfigError(
+                f"device {self.hostname!r} has no access-list {name!r}"
+            ) from None
+
+    def validate(self) -> None:
+        """Check referential integrity of the device configuration."""
+        for iface in self.interfaces.values():
+            for acl_name in (iface.acl_in, iface.acl_out):
+                if acl_name is not None and acl_name not in self.acls:
+                    raise ConfigError(
+                        f"{self.hostname}:{iface.name} binds missing ACL {acl_name!r}"
+                    )
+        if self.bgp is not None:
+            for neighbor in self.bgp.neighbors.values():
+                if neighbor.interface not in self.interfaces:
+                    raise ConfigError(
+                        f"{self.hostname}: BGP neighbor on missing interface "
+                        f"{neighbor.interface!r}"
+                    )
+                for rm in (neighbor.route_map_in, neighbor.route_map_out):
+                    if rm is not None and rm not in self.route_maps:
+                        raise ConfigError(
+                            f"{self.hostname}: neighbor {neighbor.interface} binds "
+                            f"missing route-map {rm!r}"
+                        )
+        for route in self.static_routes:
+            if (
+                route.next_hop_interface is not None
+                and route.next_hop_interface not in self.interfaces
+            ):
+                raise ConfigError(
+                    f"{self.hostname}: static route {route.prefix} via missing "
+                    f"interface {route.next_hop_interface!r}"
+                )
+
+
+@dataclass
+class Snapshot:
+    """A verifiable unit: the topology plus every device's configuration."""
+
+    topology: Topology
+    devices: Dict[str, DeviceConfig] = field(default_factory=dict)
+
+    def device(self, name: str) -> DeviceConfig:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise ConfigError(f"no configuration for device {name!r}") from None
+
+    def add_device(self, config: DeviceConfig) -> None:
+        if config.hostname in self.devices:
+            raise ConfigError(f"duplicate device configuration: {config.hostname!r}")
+        self.devices[config.hostname] = config
+
+    def device_names(self) -> List[str]:
+        return sorted(self.devices)
+
+    def iter_devices(self) -> Iterator[DeviceConfig]:
+        for name in self.device_names():
+            yield self.devices[name]
+
+    def clone(self) -> "Snapshot":
+        """Deep-copy the configurations (topology is shared, it is immutable
+        for the purposes of verification — link failures are configuration
+        changes, i.e. interface shutdowns)."""
+        return Snapshot(
+            self.topology,
+            {name: device.copy() for name, device in self.devices.items()},
+        )
+
+    def validate(self) -> None:
+        for device in self.devices.values():
+            device.validate()

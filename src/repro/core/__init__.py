@@ -1,0 +1,16 @@
+"""The paper's primary contribution: the RealConfig INCV pipeline."""
+
+from repro.core.generator import (
+    IncrementalDataPlaneGenerator,
+    extract_filter_rules,
+)
+from repro.core.realconfig import RealConfig
+from repro.core.results import StageTimings, VerificationDelta
+
+__all__ = [
+    "IncrementalDataPlaneGenerator",
+    "extract_filter_rules",
+    "RealConfig",
+    "StageTimings",
+    "VerificationDelta",
+]

@@ -1,0 +1,78 @@
+"""Result types of the RealConfig pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config.diff import LineDiff
+from repro.dataplane.batch import BatchResult
+from repro.dataplane.rule import RuleUpdate
+from repro.policy.checker import CheckReport
+from repro.policy.spec import PolicyStatus
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per pipeline stage (paper Figure 1's three
+    components, plus the up-front configuration diff)."""
+
+    config_diff: float = 0.0
+    generation: float = 0.0
+    model_update: float = 0.0
+    policy_check: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.config_diff
+            + self.generation
+            + self.model_update
+            + self.policy_check
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"diff {self.config_diff * 1000:.1f} ms | "
+            f"generate {self.generation * 1000:.1f} ms | "
+            f"model {self.model_update * 1000:.1f} ms | "
+            f"check {self.policy_check * 1000:.1f} ms"
+        )
+
+
+@dataclass
+class VerificationDelta:
+    """Everything one verified configuration change produced."""
+
+    description: str
+    line_diff: Optional[LineDiff]
+    rule_updates: List[RuleUpdate]
+    batch: Optional[BatchResult]
+    report: CheckReport
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @property
+    def newly_violated(self) -> List[PolicyStatus]:
+        return self.report.newly_violated
+
+    @property
+    def newly_satisfied(self) -> List[PolicyStatus]:
+        return self.report.newly_satisfied
+
+    @property
+    def ok(self) -> bool:
+        """No policy became violated."""
+        return not self.report.newly_violated
+
+    def summary(self) -> str:
+        lines = [f"change: {self.description}"]
+        if self.line_diff is not None:
+            lines.append(f"config: {self.line_diff.summary()}")
+        inserts = sum(1 for u in self.rule_updates if u.is_insert())
+        deletes = len(self.rule_updates) - inserts
+        lines.append(f"data plane: +{inserts}/-{deletes} rules")
+        if self.batch is not None:
+            lines.append(f"model: {self.batch.num_moves} EC moves")
+        lines.append(f"check: {self.report.summary()}")
+        lines.append(f"time: {self.timings}")
+        return "\n".join(lines)

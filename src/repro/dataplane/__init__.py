@@ -1,0 +1,65 @@
+"""APKeep-style incremental data plane model."""
+
+from repro.dataplane.ec import ECManager, EcError, EcId, EcMerge, EcSplit
+from repro.dataplane.ports import (
+    ACCEPT_PORT,
+    DROP_PORT,
+    Port,
+    PortMap,
+    forward_port,
+    is_accept,
+    is_drop,
+    port_interfaces,
+)
+from repro.dataplane.rule import (
+    FilterRule,
+    ForwardingRule,
+    Rule,
+    RuleUpdate,
+    updates_from_fib,
+)
+from repro.dataplane.model import (
+    MODES,
+    EcMove,
+    FilterChange,
+    ModelError,
+    NetworkModel,
+)
+from repro.dataplane.batch import (
+    ORDERS,
+    BatchResult,
+    BatchUpdater,
+    OrderError,
+    order_updates,
+)
+
+__all__ = [
+    "ECManager",
+    "EcError",
+    "EcId",
+    "EcMerge",
+    "EcSplit",
+    "ACCEPT_PORT",
+    "DROP_PORT",
+    "Port",
+    "PortMap",
+    "forward_port",
+    "is_accept",
+    "is_drop",
+    "port_interfaces",
+    "FilterRule",
+    "ForwardingRule",
+    "Rule",
+    "RuleUpdate",
+    "updates_from_fib",
+    "MODES",
+    "EcMove",
+    "FilterChange",
+    "ModelError",
+    "NetworkModel",
+    "ORDERS",
+    "BatchResult",
+    "BatchUpdater",
+    "OrderError",
+    "order_updates",
+]

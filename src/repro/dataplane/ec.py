@@ -1,0 +1,248 @@
+"""The equivalence class manager.
+
+APKeep's core data structure: a partition of the header space into the
+*minimal* set of equivalence classes (ECs) distinguishable by the match
+conditions currently present in the network.  Invariant: every EC is either
+contained in or disjoint from every registered match box (ECs are *atoms*
+of the registered predicates).
+
+- Registering a match box splits every partially-overlapping EC in two; the
+  new child inherits the parent's containment set (plus the new box), so no
+  geometry is recomputed.
+- Unregistering a box (its last referencing rule was deleted) removes it
+  from all containment sets and *merges* ECs whose containment sets become
+  identical — such ECs match exactly the same rules everywhere, so merging
+  preserves behaviour and restores minimality.
+
+Listeners (the device port maps and the policy checker) are notified of
+splits and merges so their per-EC state stays consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Set
+
+from repro.net.headerspace import Header, HeaderBox, Predicate
+
+EcId = int
+
+
+class EcError(ValueError):
+    """Raised for inconsistent EC-manager operations."""
+
+
+@dataclass(frozen=True)
+class EcSplit:
+    """EC ``parent`` was split; ``child`` is a fresh EC carved out of it.
+    At the instant of the split both behave identically everywhere."""
+
+    parent: EcId
+    child: EcId
+
+
+@dataclass(frozen=True)
+class EcMerge:
+    """EC ``loser`` was absorbed into ``winner`` (identical behaviour)."""
+
+    winner: EcId
+    loser: EcId
+
+
+EcEvent = object  # EcSplit | EcMerge
+Listener = Callable[[EcEvent], None]
+
+
+class ECManager:
+    """Maintains the minimal EC partition plus box containment indexes."""
+
+    def __init__(self, merge_on_unregister: bool = True) -> None:
+        self.merge_on_unregister = merge_on_unregister
+        self._next_id: EcId = 1
+        self._predicates: Dict[EcId, Predicate] = {0: Predicate.everything()}
+        #: box -> reference count
+        self._refcounts: Dict[HeaderBox, int] = {}
+        #: box -> ECs contained in it
+        self._members: Dict[HeaderBox, Set[EcId]] = {}
+        #: EC -> boxes containing it (its atom signature)
+        self._containers: Dict[EcId, Set[HeaderBox]] = {0: set()}
+        #: atom signature -> ECs with that signature
+        self._by_signature: Dict[FrozenSet[HeaderBox], Set[EcId]] = {
+            frozenset(): {0}
+        }
+        self._listeners: List[Listener] = []
+        self.splits = 0
+        self.merges = 0
+
+    # -- introspection --------------------------------------------------------
+
+    def ec_ids(self) -> List[EcId]:
+        return sorted(self._predicates)
+
+    def num_ecs(self) -> int:
+        return len(self._predicates)
+
+    def exists(self, ec: EcId) -> bool:
+        """Whether the EC is still alive (splits keep ids; merges drop the
+        loser's)."""
+        return ec in self._predicates
+
+    def predicate(self, ec: EcId) -> Predicate:
+        try:
+            return self._predicates[ec]
+        except KeyError:
+            raise EcError(f"unknown EC {ec}") from None
+
+    def classify(self, header: Header) -> EcId:
+        """The EC containing a concrete header."""
+        for ec, predicate in self._predicates.items():
+            if predicate.contains(header):
+                return ec
+        raise EcError(f"header {header} not covered by any EC (broken partition)")
+
+    def ecs_in(self, box: HeaderBox) -> Set[EcId]:
+        """ECs contained in a *registered* box."""
+        if box not in self._members:
+            raise EcError(f"box not registered: {box}")
+        return set(self._members[box])
+
+    def containers_of(self, ec: EcId) -> Set[HeaderBox]:
+        return set(self._containers[ec])
+
+    def contains(self, ec: EcId, box: HeaderBox) -> bool:
+        """Whether a registered box contains the EC (index lookup)."""
+        return box in self._containers[ec]
+
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self, event: EcEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, box: HeaderBox) -> Set[EcId]:
+        """Add one reference to ``box``; returns the ECs contained in it.
+
+        First registration of a box splits every EC that partially overlaps
+        it, preserving the atom invariant.
+        """
+        count = self._refcounts.get(box, 0)
+        self._refcounts[box] = count + 1
+        if count:
+            return set(self._members[box])
+
+        members: Set[EcId] = set()
+        for ec in list(self._predicates):
+            predicate = self._predicates[ec]
+            inside = predicate.intersect_box(box)
+            if inside.is_empty():
+                continue
+            outside = predicate.subtract_box(box)
+            if outside.is_empty():
+                members.add(ec)  # fully contained
+                continue
+            child = self._split(ec, inside, outside)
+            members.add(child)
+        self._members[box] = set(members)
+        for ec in members:
+            self._set_signature(ec, self._containers[ec] | {box})
+        return set(members)
+
+    def _split(self, parent: EcId, inside: Predicate, outside: Predicate) -> EcId:
+        child = self._next_id
+        self._next_id += 1
+        self.splits += 1
+        self._predicates[parent] = outside
+        self._predicates[child] = inside
+        # The child is an atom with the parent's signature (the new box is
+        # added by the caller); register it under that signature first.
+        parent_containers = set(self._containers[parent])
+        self._containers[child] = set(parent_containers)
+        self._by_signature.setdefault(frozenset(parent_containers), set()).add(child)
+        for container in parent_containers:
+            self._members[container].add(child)
+        self._notify(EcSplit(parent, child))
+        return child
+
+    def _set_signature(self, ec: EcId, new_containers: Set[HeaderBox]) -> None:
+        old_key = frozenset(self._containers[ec])
+        new_key = frozenset(new_containers)
+        if old_key == new_key:
+            return
+        bucket = self._by_signature.get(old_key)
+        if bucket is not None:
+            bucket.discard(ec)
+            if not bucket:
+                del self._by_signature[old_key]
+        self._containers[ec] = set(new_containers)
+        self._by_signature.setdefault(new_key, set()).add(ec)
+
+    # -- unregistration -------------------------------------------------------------
+
+    def unregister(self, box: HeaderBox) -> None:
+        """Drop one reference; on the last one, forget the box and merge ECs
+        whose atom signatures become identical."""
+        count = self._refcounts.get(box)
+        if not count:
+            raise EcError(f"unregistering a box with no references: {box}")
+        if count > 1:
+            self._refcounts[box] = count - 1
+            return
+        del self._refcounts[box]
+        members = self._members.pop(box)
+        touched_keys: Set[FrozenSet[HeaderBox]] = set()
+        for ec in members:
+            self._set_signature(ec, self._containers[ec] - {box})
+            touched_keys.add(frozenset(self._containers[ec]))
+        if self.merge_on_unregister:
+            for key in touched_keys:
+                self._merge_signature_bucket(key)
+
+    def _merge_signature_bucket(self, key: FrozenSet[HeaderBox]) -> None:
+        bucket = self._by_signature.get(key)
+        if bucket is None or len(bucket) < 2:
+            return
+        ordered = sorted(bucket)
+        winner = ordered[0]
+        for loser in ordered[1:]:
+            self._absorb(winner, loser)
+
+    def _absorb(self, winner: EcId, loser: EcId) -> None:
+        self.merges += 1
+        self._predicates[winner] = self._predicates[winner].union_disjoint(
+            self._predicates[loser]
+        )
+        del self._predicates[loser]
+        loser_key = frozenset(self._containers[loser])
+        bucket = self._by_signature.get(loser_key)
+        if bucket is not None:
+            bucket.discard(loser)
+            if not bucket:
+                del self._by_signature[loser_key]
+        for container in self._containers.pop(loser):
+            self._members[container].discard(loser)
+        self._notify(EcMerge(winner, loser))
+
+    # -- invariants (used by tests) ------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the partition and atomicity invariants (O(n^2), tests only)."""
+        ecs = list(self._predicates.items())
+        total = sum(predicate.volume() for _, predicate in ecs)
+        if total != Predicate.everything().volume():
+            raise EcError(f"partition does not cover the space: volume {total}")
+        for i, (_, a) in enumerate(ecs):
+            for _, b in ecs[i + 1 :]:
+                if a.overlaps(b):
+                    raise EcError("ECs overlap")
+        for box, members in self._members.items():
+            for ec, predicate in ecs:
+                inside = predicate.is_subset_of_box(box)
+                if inside != (ec in members):
+                    raise EcError(
+                        f"containment index wrong for EC {ec} and box {box}"
+                    )
+                if not inside and predicate.overlaps_box(box):
+                    raise EcError(f"EC {ec} is not an atom of box {box}")

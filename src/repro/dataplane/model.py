@@ -1,0 +1,375 @@
+"""The incremental data plane model (APKeep's update algorithm).
+
+:class:`NetworkModel` maintains, per device, the installed forwarding rules
+(an LPM table) and ACL bindings, plus the EC <-> port maps.  Applying one
+rule update:
+
+1. register (or look up) the rule's match box with the EC manager — this
+   splits any partially-overlapping ECs, keeping the partition atomic;
+2. mutate the device's rule table;
+3. for each EC inside the match box, recompute the effective action
+   (longest matching prefix, ECMP union at that length) and *move* the EC
+   between ports when it changed.
+
+Each move is reported as an :class:`EcMove` — the unit Table 3 counts — and
+is what the incremental policy checker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.dataplane.ec import ECManager, EcId, EcMerge, EcSplit
+from repro.dataplane.ports import (
+    DROP_PORT,
+    Port,
+    PortMap,
+    forward_port,
+    port_interfaces,
+)
+from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topology import Topology
+
+
+class ModelError(ValueError):
+    """Raised for inconsistent model operations (e.g. deleting a rule that
+    was never installed)."""
+
+
+@dataclass(frozen=True)
+class EcMove:
+    """One EC changed forwarding behaviour on one device."""
+
+    device: str
+    ec: EcId
+    old_port: Port
+    new_port: Port
+
+    def __str__(self) -> str:
+        return f"{self.device}: EC{self.ec} {self.old_port} -> {self.new_port}"
+
+
+@dataclass(frozen=True)
+class FilterChange:
+    """One EC changed filtering behaviour at one interface/direction."""
+
+    device: str
+    interface: str
+    direction: str
+    ec: EcId
+    old_permitted: bool
+    new_permitted: bool
+
+
+@dataclass
+class _DeviceState:
+    #: prefix -> (match box, interface -> insertion sequence number)
+    fib: Dict[Prefix, Tuple[HeaderBox, Dict[str, int]]] = field(default_factory=dict)
+    #: inverse index: match box -> prefix (bijective: the box of a
+    #: forwarding rule is determined by its prefix)
+    by_box: Dict[HeaderBox, Prefix] = field(default_factory=dict)
+    #: (interface, direction) -> seq -> filter rule
+    acls: Dict[Tuple[str, str], Dict[int, FilterRule]] = field(default_factory=dict)
+    ports: PortMap = field(default_factory=PortMap)
+    next_seq: int = 0
+
+
+#: Forwarding semantics for equal-length prefixes:
+#: - "ecmp": the EC's port is the *union* of all max-length next hops —
+#:   semantically faithful multipath forwarding (the default; the policy
+#:   checker explores every branch);
+#: - "priority": strict rule priority, newest rule wins — APKeep's table
+#:   semantics, which reproduce the paper's Table 3 insertion-first vs
+#:   deletion-first asymmetry exactly.
+MODES = ("ecmp", "priority")
+
+
+class NetworkModel:
+    """EC-based model of the whole network's data plane."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        merge_on_unregister: bool = True,
+        mode: str = "ecmp",
+    ) -> None:
+        if mode not in MODES:
+            raise ModelError(f"unknown forwarding mode {mode!r} (one of {MODES})")
+        self.topology = topology
+        self.mode = mode
+        self.ecs = ECManager(merge_on_unregister=merge_on_unregister)
+        self._devices: Dict[str, _DeviceState] = {
+            node.name: _DeviceState() for node in topology.nodes()
+        }
+        # Link resolution cache: (node, iface) -> (peer node, peer iface).
+        # next_devices() is the hottest loop of per-EC path analysis.
+        self._peers: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for link in topology.links():
+            a, b = link.endpoints()
+            self._peers[(a.node, a.name)] = (b.node, b.name)
+            self._peers[(b.node, b.name)] = (a.node, a.name)
+        self.ecs.add_listener(self._on_ec_event)
+
+    # -- EC bookkeeping ----------------------------------------------------------
+
+    def _on_ec_event(self, event) -> None:
+        if isinstance(event, EcSplit):
+            for state in self._devices.values():
+                state.ports.copy_membership(event.parent, event.child)
+        elif isinstance(event, EcMerge):
+            for state in self._devices.values():
+                state.ports.drop_ec(event.loser)
+
+    def device(self, node: str) -> _DeviceState:
+        try:
+            return self._devices[node]
+        except KeyError:
+            raise ModelError(f"unknown device {node!r}") from None
+
+    def device_names(self) -> List[str]:
+        return sorted(self._devices)
+
+    def port_of(self, node: str, ec: EcId) -> Port:
+        return self.device(node).ports.get(ec)
+
+    def num_rules(self) -> int:
+        """Installed forwarding rules, counted per (prefix, interface)."""
+        return sum(
+            len(ifaces)
+            for state in self._devices.values()
+            for _, ifaces in state.fib.values()
+        )
+
+    def num_ecs(self) -> int:
+        return self.ecs.num_ecs()
+
+    # -- single-rule updates (APKeep's algorithm) ---------------------------------
+
+    def apply_update(self, update: RuleUpdate) -> List[EcMove]:
+        if isinstance(update.rule, ForwardingRule):
+            if update.is_insert():
+                return self.insert_forwarding(update.rule)
+            return self.delete_forwarding(update.rule)
+        if isinstance(update.rule, FilterRule):
+            if update.is_insert():
+                moves, _ = self.insert_filter(update.rule)
+            else:
+                moves, _ = self.delete_filter(update.rule)
+            return moves
+        raise ModelError(f"unknown rule type: {update.rule!r}")
+
+    def insert_forwarding(self, rule: ForwardingRule) -> List[EcMove]:
+        state = self.device(rule.node)
+        box = rule.match_box()
+        affected = self.ecs.register(box)
+        entry = state.fib.get(rule.prefix)
+        state.next_seq += 1
+        if entry is None:
+            state.fib[rule.prefix] = (box, {rule.out_interface: state.next_seq})
+            state.by_box[box] = rule.prefix
+        else:
+            if rule.out_interface in entry[1]:
+                self.ecs.unregister(box)
+                raise ModelError(f"duplicate forwarding rule: {rule}")
+            entry[1][rule.out_interface] = state.next_seq
+        return self._reclassify(rule.node, affected)
+
+    def delete_forwarding(self, rule: ForwardingRule) -> List[EcMove]:
+        state = self.device(rule.node)
+        entry = state.fib.get(rule.prefix)
+        if entry is None or rule.out_interface not in entry[1]:
+            raise ModelError(f"deleting uninstalled forwarding rule: {rule}")
+        box, interfaces = entry
+        del interfaces[rule.out_interface]
+        if not interfaces:
+            del state.fib[rule.prefix]
+            del state.by_box[box]
+        affected = self.ecs.ecs_in(box)
+        moves = self._reclassify(rule.node, affected)
+        self.ecs.unregister(box)  # may trigger merges
+        return moves
+
+    def modify_forwarding(
+        self,
+        node: str,
+        prefix: Prefix,
+        inserts: List[str],
+        deletes: List[str],
+    ) -> List[EcMove]:
+        """Apply several same-prefix rule changes atomically: the FIB entry
+        is updated for all of them, then the affected ECs are reclassified
+        once — each EC moves directly from its old port to its final port
+        (the 'grouped' batch order; the paper's optimal-scheduling future
+        work)."""
+        state = self.device(node)
+        box = HeaderBox.from_dst_prefix(prefix)
+        for _ in inserts:
+            self.ecs.register(box)
+        entry = state.fib.get(prefix)
+        if entry is None:
+            if deletes:
+                for _ in inserts:
+                    self.ecs.unregister(box)
+                raise ModelError(
+                    f"deleting uninstalled forwarding rules: {node} {prefix}"
+                )
+            if inserts:
+                entry = (box, {})
+                state.fib[prefix] = entry
+                state.by_box[box] = prefix
+        if entry is not None:
+            for iface in deletes:
+                if iface not in entry[1]:
+                    raise ModelError(
+                        f"deleting uninstalled forwarding rule: "
+                        f"{node} {prefix} -> {iface}"
+                    )
+                del entry[1][iface]
+            for iface in inserts:
+                if iface in entry[1]:
+                    raise ModelError(
+                        f"duplicate forwarding rule: {node} {prefix} -> {iface}"
+                    )
+                state.next_seq += 1
+                entry[1][iface] = state.next_seq
+            if not entry[1]:
+                del state.fib[prefix]
+                state.by_box.pop(box, None)
+        affected = self.ecs.ecs_in(box) if inserts or deletes else set()
+        moves = self._reclassify(node, affected)
+        for _ in deletes:
+            self.ecs.unregister(box)
+        return moves
+
+    def _reclassify(self, node: str, affected: Set[EcId]) -> List[EcMove]:
+        state = self.device(node)
+        moves: List[EcMove] = []
+        for ec in affected:
+            new_port = self._effective_port(state, ec)
+            old_port = state.ports.move(ec, new_port)
+            if old_port != new_port:
+                moves.append(EcMove(node, ec, old_port, new_port))
+        return moves
+
+    def _effective_port(self, state: _DeviceState, ec: EcId) -> Port:
+        """Longest-prefix-match over the device's FIB.
+
+        In "ecmp" mode equal-length matches form a multipath port; in
+        "priority" mode the most recently installed rule at the longest
+        length wins alone (APKeep's strict table priority).
+        """
+        # The EC manager's containment index narrows the candidates to the
+        # boxes containing this EC (small), instead of scanning the whole
+        # device FIB.
+        best_len = -1
+        interfaces: Dict[str, int] = {}
+        for box in self.ecs.containers_of(ec):
+            prefix = state.by_box.get(box)
+            if prefix is None or prefix.length < best_len:
+                continue
+            ifaces = state.fib[prefix][1]
+            if prefix.length > best_len:
+                best_len = prefix.length
+                interfaces = dict(ifaces)
+            else:
+                interfaces.update(ifaces)
+        if best_len < 0:
+            return DROP_PORT
+        if self.mode == "priority":
+            newest = max(interfaces.items(), key=lambda kv: kv[1])[0]
+            return forward_port([newest])
+        return forward_port(interfaces)
+
+    # -- filter (ACL) updates -------------------------------------------------------
+
+    def insert_filter(
+        self, rule: FilterRule
+    ) -> Tuple[List[EcMove], List[FilterChange]]:
+        state = self.device(rule.node)
+        table = state.acls.setdefault((rule.interface, rule.direction), {})
+        if rule.seq in table:
+            raise ModelError(f"duplicate filter rule: {rule}")
+        # Register first so the EC partition reflects the new match and the
+        # before/after decisions are keyed by stable EC ids.
+        affected = self.ecs.register(rule.match)
+        before = {ec: self._filter_decision(table, ec) for ec in affected}
+        table[rule.seq] = rule
+        return [], self._filter_diff(rule, table, before)
+
+    def delete_filter(
+        self, rule: FilterRule
+    ) -> Tuple[List[EcMove], List[FilterChange]]:
+        state = self.device(rule.node)
+        table = state.acls.get((rule.interface, rule.direction), {})
+        existing = table.get(rule.seq)
+        if existing != rule:
+            raise ModelError(f"deleting uninstalled filter rule: {rule}")
+        # The rule's own registration keeps the match box alive while we
+        # compare decisions; unregister (and possibly merge ECs) only after.
+        affected = self.ecs.ecs_in(rule.match)
+        before = {ec: self._filter_decision(table, ec) for ec in affected}
+        del table[rule.seq]
+        if not table:
+            state.acls.pop((rule.interface, rule.direction), None)
+        changes = self._filter_diff(rule, table, before)
+        self.ecs.unregister(rule.match)
+        return [], changes
+
+    def _filter_diff(
+        self,
+        rule: FilterRule,
+        table: Dict[int, FilterRule],
+        before: Dict[EcId, bool],
+    ) -> List[FilterChange]:
+        changes: List[FilterChange] = []
+        for ec, old in before.items():
+            new = self._filter_decision(table, ec)
+            if new != old:
+                changes.append(
+                    FilterChange(
+                        rule.node, rule.interface, rule.direction, ec, old, new
+                    )
+                )
+        return changes
+
+    def _filter_decision(self, table: Dict[int, FilterRule], ec: EcId) -> bool:
+        """First-match ACL semantics; a non-empty table ends in an implicit
+        deny, an empty (or unbound) table permits everything."""
+        for seq in sorted(table):
+            entry = table[seq]
+            if self.ecs.contains(ec, entry.match):
+                return entry.action == "permit"
+        return not table
+
+    # -- queries used by the policy checker ------------------------------------------
+
+    def filter_permits(
+        self, node: str, interface: str, direction: str, ec: EcId
+    ) -> bool:
+        state = self.device(node)
+        table = state.acls.get((interface, direction))
+        if not table:
+            return True
+        return self._filter_decision(table, ec)
+
+    def next_devices(self, node: str, ec: EcId) -> List[Tuple[str, str, str]]:
+        """Where an EC goes from ``node``: [(out_iface, next device, in_iface)].
+
+        Applies egress filtering on the way out and ingress filtering on the
+        way in; a filtered or unconnected interface yields no hop.
+        """
+        hops: List[Tuple[str, str, str]] = []
+        port = self.device(node).ports.get(ec)
+        for iface in port_interfaces(port):
+            if not self.filter_permits(node, iface, "out", ec):
+                continue
+            peer = self._peers.get((node, iface))
+            if peer is None:
+                continue
+            if not self.filter_permits(peer[0], peer[1], "in", ec):
+                continue
+            hops.append((iface, peer[0], peer[1]))
+        return hops

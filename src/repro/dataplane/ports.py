@@ -1,0 +1,100 @@
+"""Logical ports.
+
+APKeep "models the forwarding behaviors of ECs by maintaining a set of
+logical ports (encoding a specific forwarding action) for each device, and a
+map from each port to the set of ECs forwarded to this port" (paper §4.2).
+
+A port is a hashable action label:
+
+- ``("fwd", (iface, ...))`` — forward out the given interfaces (an ECMP
+  group is a single port, so Table 3's EC "moves" are transitions between
+  next-hop *sets*);
+- ``("accept",)`` — deliver locally (the destination device);
+- ``("drop",)`` — no matching forwarding rule (the blackhole port; also the
+  intermediate parking spot of deletion-first batch updates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.dataplane.ec import EcId
+from repro.routing.types import ACCEPT
+
+Port = Tuple
+
+DROP_PORT: Port = ("drop",)
+ACCEPT_PORT: Port = ("accept",)
+
+
+def forward_port(interfaces: Iterable[str]) -> Port:
+    """The port for an ECMP set of output interfaces."""
+    ifaces = tuple(sorted(set(interfaces)))
+    if not ifaces:
+        return DROP_PORT
+    if ACCEPT in ifaces:
+        return ACCEPT_PORT
+    return ("fwd", ifaces)
+
+
+def port_interfaces(port: Port) -> Tuple[str, ...]:
+    """Output interfaces of a port (empty for accept/drop)."""
+    if port and port[0] == "fwd":
+        return port[1]
+    return ()
+
+
+def is_drop(port: Port) -> bool:
+    return port == DROP_PORT
+
+
+def is_accept(port: Port) -> bool:
+    return port == ACCEPT_PORT
+
+
+class PortMap:
+    """Bidirectional EC <-> port map of one device."""
+
+    def __init__(self) -> None:
+        self.port_of: Dict[EcId, Port] = {}
+        self.ecs_of: Dict[Port, Set[EcId]] = {}
+
+    def get(self, ec: EcId) -> Port:
+        return self.port_of.get(ec, DROP_PORT)
+
+    def move(self, ec: EcId, port: Port) -> Port:
+        """Move an EC to ``port``; returns the previous port."""
+        old = self.port_of.get(ec, DROP_PORT)
+        if old == port:
+            return old
+        bucket = self.ecs_of.get(old)
+        if bucket is not None:
+            bucket.discard(ec)
+            if not bucket:
+                del self.ecs_of[old]
+        if port == DROP_PORT:
+            self.port_of.pop(ec, None)
+        else:
+            self.port_of[ec] = port
+            self.ecs_of.setdefault(port, set()).add(ec)
+        return old
+
+    def copy_membership(self, parent: EcId, child: EcId) -> None:
+        """An EC split: the child behaves exactly like the parent."""
+        port = self.get(parent)
+        if port != DROP_PORT:
+            self.port_of[child] = port
+            self.ecs_of.setdefault(port, set()).add(child)
+
+    def drop_ec(self, ec: EcId) -> None:
+        """An EC merge absorbed ``ec``; forget it."""
+        port = self.port_of.pop(ec, None)
+        if port is not None:
+            bucket = self.ecs_of.get(port)
+            if bucket is not None:
+                bucket.discard(ec)
+                if not bucket:
+                    del self.ecs_of[port]
+
+    def ports(self) -> Set[Port]:
+        return set(self.ecs_of)

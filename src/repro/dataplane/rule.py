@@ -1,0 +1,100 @@
+"""Data plane rule types.
+
+The incremental data plane generator outputs *rule updates* — insertions and
+deletions of forwarding and filtering rules (paper §4.2) — which the model
+updater consumes in batch.
+
+- :class:`ForwardingRule` — longest-prefix-match on the destination IP;
+  equal prefixes with different output interfaces form an ECMP group.
+- :class:`FilterRule` — one ACL entry bound to a device interface and
+  direction, with a numbered priority (lower sequence wins) and an implicit
+  deny at the end of each bound ACL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.routing.types import FibEntry
+
+
+@dataclass(frozen=True, order=True)
+class ForwardingRule:
+    """Forward packets for ``prefix`` out of ``out_interface`` on ``node``.
+
+    ``out_interface`` may be :data:`~repro.routing.types.ACCEPT` for local
+    delivery.  Priority is the prefix length (longest prefix wins).
+    """
+
+    node: str
+    prefix: Prefix
+    out_interface: str
+
+    @classmethod
+    def from_fib_entry(cls, entry: FibEntry) -> "ForwardingRule":
+        return cls(entry.node, entry.prefix, entry.out_interface)
+
+    def match_box(self) -> HeaderBox:
+        return HeaderBox.from_dst_prefix(self.prefix)
+
+    def priority(self) -> int:
+        return self.prefix.length
+
+    def __str__(self) -> str:
+        return f"fwd {self.node}: {self.prefix} -> {self.out_interface}"
+
+
+@dataclass(frozen=True, order=True)
+class FilterRule:
+    """One ACL entry on ``(node, interface, direction)``.
+
+    ``direction`` is ``"in"`` or ``"out"``; ``seq`` orders entries within
+    the binding (lower wins); ``action`` is ``"permit"`` or ``"deny"``.
+    """
+
+    node: str
+    interface: str
+    direction: str
+    seq: int
+    action: str
+    match: HeaderBox
+
+    def __str__(self) -> str:
+        return (
+            f"acl {self.node}:{self.interface}/{self.direction} "
+            f"#{self.seq} {self.action} {self.match}"
+        )
+
+
+Rule = Union[ForwardingRule, FilterRule]
+
+
+@dataclass(frozen=True)
+class RuleUpdate:
+    """An insertion (+1) or deletion (-1) of one rule."""
+
+    weight: int
+    rule: Rule
+
+    def is_insert(self) -> bool:
+        return self.weight > 0
+
+    def __str__(self) -> str:
+        sign = "+" if self.weight > 0 else "-"
+        return f"{sign} {self.rule}"
+
+
+def updates_from_fib(
+    inserted: List[FibEntry], deleted: List[FibEntry]
+) -> List[RuleUpdate]:
+    """Convert a control plane FIB delta into rule updates."""
+    updates = [
+        RuleUpdate(1, ForwardingRule.from_fib_entry(entry)) for entry in inserted
+    ]
+    updates.extend(
+        RuleUpdate(-1, ForwardingRule.from_fib_entry(entry)) for entry in deleted
+    )
+    return updates

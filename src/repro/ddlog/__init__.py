@@ -1,0 +1,52 @@
+"""Differential computation engine: weighted collections, incremental
+operators, fixpoint scheduling, and a Datalog-flavoured DSL."""
+
+from repro.ddlog.collection import Delta, History, Record
+from repro.ddlog.convergence import (
+    ConvergenceMonitor,
+    NonConvergenceError,
+    RecurringStateError,
+)
+from repro.ddlog.engine import Engine, EpochStats, GraphError
+from repro.ddlog.operators import (
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    Input,
+    Join,
+    Map,
+    Operator,
+    Probe,
+    Reduce,
+)
+from repro.ddlog.dsl import Atom, CompiledProgram, DslError, Program, Relation, Var, const
+
+__all__ = [
+    "Delta",
+    "History",
+    "Record",
+    "ConvergenceMonitor",
+    "NonConvergenceError",
+    "RecurringStateError",
+    "Engine",
+    "EpochStats",
+    "GraphError",
+    "Concat",
+    "Distinct",
+    "Filter",
+    "FlatMap",
+    "Input",
+    "Join",
+    "Map",
+    "Operator",
+    "Probe",
+    "Reduce",
+    "Atom",
+    "CompiledProgram",
+    "DslError",
+    "Program",
+    "Relation",
+    "Var",
+    "const",
+]

@@ -1,0 +1,171 @@
+"""Weighted collections and iteration-indexed histories.
+
+The engine follows Differential Dataflow's data model (McSherry et al.,
+CIDR '13), restricted to one loop nesting level:
+
+- a *record* is any hashable value (we use tuples);
+- a *delta* is a multiset of ``(record, weight)`` changes, where negative
+  weights retract previous derivations;
+- a *history* stores, per record, the weight diffs indexed by *iteration*
+  (the loop timestamp).  "The collection as of iteration i" is the cumulative
+  sum of diffs at iterations ``<= i``.
+
+Consolidating every epoch's diffs into a single iteration-indexed history is
+what makes later epochs (new configuration changes) incremental: an update
+only produces *corrections* relative to the stored trace of the previous
+fixpoint computation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Tuple
+
+Record = Any
+Weight = int
+
+
+class Delta:
+    """A multiset of weighted record changes (zero weights are elided)."""
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, items: Iterable[Tuple[Record, Weight]] = ()) -> None:
+        self._weights: Dict[Record, Weight] = {}
+        for record, weight in items:
+            self.add(record, weight)
+
+    def add(self, record: Record, weight: Weight = 1) -> None:
+        if weight == 0:
+            return
+        new_weight = self._weights.get(record, 0) + weight
+        if new_weight:
+            self._weights[record] = new_weight
+        else:
+            self._weights.pop(record, None)
+
+    def merge(self, other: "Delta") -> None:
+        for record, weight in other._weights.items():
+            self.add(record, weight)
+
+    def items(self) -> Iterator[Tuple[Record, Weight]]:
+        return iter(self._weights.items())
+
+    def records(self) -> Iterator[Record]:
+        return iter(self._weights)
+
+    def is_empty(self) -> bool:
+        return not self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, record: Record) -> bool:
+        return record in self._weights
+
+    def weight(self, record: Record) -> Weight:
+        return self._weights.get(record, 0)
+
+    def negated(self) -> "Delta":
+        out = Delta()
+        for record, weight in self._weights.items():
+            out._weights[record] = -weight
+        return out
+
+    def copy(self) -> "Delta":
+        out = Delta()
+        out._weights = dict(self._weights)
+        return out
+
+    def signature(self) -> int:
+        """An order-independent hash of the delta's contents (used by the
+        recurring-state detector)."""
+        return hash(frozenset(self._weights.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{record!r}:{weight:+d}" for record, weight in sorted(
+                self._weights.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return f"Delta({{{inner}}})"
+
+
+#: One record's history: iteration -> accumulated weight diff at that
+#: iteration.  Kept small (routing facts change at a handful of iterations).
+RecordHistory = Dict[int, Weight]
+
+
+class History:
+    """Iteration-indexed weighted collection: record -> {iteration: diff}."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: Dict[Record, RecordHistory] = {}
+
+    def add(self, record: Record, iteration: int, weight: Weight) -> None:
+        if weight == 0:
+            return
+        hist = self._data.get(record)
+        if hist is None:
+            hist = {}
+            self._data[record] = hist
+        new_weight = hist.get(iteration, 0) + weight
+        if new_weight:
+            hist[iteration] = new_weight
+        else:
+            del hist[iteration]
+            if not hist:
+                del self._data[record]
+
+    def cumulative(self, record: Record, iteration: int) -> Weight:
+        """Total weight of ``record`` as of ``iteration`` (inclusive)."""
+        hist = self._data.get(record)
+        if hist is None:
+            return 0
+        return sum(w for it, w in hist.items() if it <= iteration)
+
+    def final_weight(self, record: Record) -> Weight:
+        hist = self._data.get(record)
+        if hist is None:
+            return 0
+        return sum(hist.values())
+
+    def diffs(self, record: Record) -> Iterator[Tuple[int, Weight]]:
+        hist = self._data.get(record)
+        if hist is None:
+            return iter(())
+        return iter(hist.items())
+
+    def records(self) -> Iterator[Record]:
+        return iter(self._data)
+
+    def record_count(self) -> int:
+        return len(self._data)
+
+    def times(self) -> Iterator[int]:
+        """All iterations at which any diff exists."""
+        seen = set()
+        for hist in self._data.values():
+            seen.update(hist)
+        return iter(seen)
+
+    def final_collection(self) -> Delta:
+        """The fully-accumulated multiset (sum over all iterations)."""
+        out = Delta()
+        for record, hist in self._data.items():
+            out.add(record, sum(hist.values()))
+        return out
+
+    def as_of(self, iteration: int) -> Delta:
+        """The accumulated multiset as of ``iteration``."""
+        out = Delta()
+        for record, hist in self._data.items():
+            out.add(record, sum(w for it, w in hist.items() if it <= iteration))
+        return out
+
+    def compact(self) -> None:
+        """Drop empty per-record histories (``add`` already elides zeros)."""
+        empty = [record for record, hist in self._data.items() if not hist]
+        for record in empty:
+            del self._data[record]

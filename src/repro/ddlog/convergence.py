@@ -1,0 +1,76 @@
+"""Fixpoint convergence monitoring.
+
+The paper's §6 notes that Datalog evaluation of a control plane "may never
+terminate ... e.g., when BGP is misconfigured and cannot converge", and that
+detecting the *recurring state* — a state reached before during evaluation —
+is the way to report such bugs without waiting for a timeout.  The paper
+leaves this as future work; we implement it.
+
+Two mechanisms, both raising :class:`NonConvergenceError`:
+
+- a hard iteration cap (:attr:`ConvergenceMonitor.max_iterations`), and
+- recurring-state detection: once evaluation has run suspiciously long
+  (``suspect_after`` iterations), the signature of each iteration's pending
+  delta set is remembered; a repeated non-empty signature means the
+  evaluation is cycling through the same states (e.g. a BGP "bad gadget")
+  and will never reach a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class NonConvergenceError(RuntimeError):
+    """The dataflow evaluation did not reach a fixpoint."""
+
+    def __init__(self, message: str, iteration: int) -> None:
+        super().__init__(message)
+        self.iteration = iteration
+
+
+class RecurringStateError(NonConvergenceError):
+    """A previously seen evaluation state recurred: the control plane
+    oscillates (e.g. BGP route update racing / no stable path assignment)."""
+
+    def __init__(self, iteration: int, first_seen: int) -> None:
+        super().__init__(
+            f"recurring evaluation state at iteration {iteration} "
+            f"(first seen at iteration {first_seen}): the control plane "
+            f"does not converge",
+            iteration,
+        )
+        self.first_seen = first_seen
+
+
+class ConvergenceMonitor:
+    """Watches the fixpoint loop for non-termination.
+
+    ``observe`` is called once per iteration with an order-independent
+    signature of that iteration's pending work.
+    """
+
+    def __init__(
+        self, max_iterations: int = 100_000, suspect_after: int = 512
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self.max_iterations = max_iterations
+        self.suspect_after = suspect_after
+        self._seen: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+    def observe(self, iteration: int, signature: Optional[int]) -> None:
+        if iteration > self.max_iterations:
+            raise NonConvergenceError(
+                f"fixpoint exceeded {self.max_iterations} iterations",
+                iteration,
+            )
+        if iteration < self.suspect_after or signature is None:
+            return
+        first_seen = self._seen.get(signature)
+        if first_seen is not None:
+            raise RecurringStateError(iteration, first_seen)
+        self._seen[signature] = iteration

@@ -1,0 +1,568 @@
+"""A Datalog-flavoured frontend for the differential engine.
+
+The paper models configuration semantics in DDlog, "a dialect of Datalog"
+that "synthesizes an incremental implementation running on top of
+Differential Dataflow".  This module plays the same role for our engine: a
+:class:`Program` declares input relations, derived relations defined by
+join rules, and aggregate relations (group-by reductions, e.g. best-route
+selection); :meth:`Program.compile` lowers everything onto
+:mod:`repro.ddlog.operators`, automatically marking recursive dependencies
+(rules whose body mentions a relation in the same stratum/SCC as the head)
+as feedback edges.
+
+Example — transitive closure::
+
+    prog = Program("tc")
+    edge = prog.input("edge", ("src", "dst"))
+    path = prog.relation("path", ("src", "dst"))
+    prog.rule(path, [edge("x", "y")], head=("x", "y"))
+    prog.rule(path, [edge("x", "y"), path("y", "z")], head=("x", "z"))
+    out = prog.probe(path)
+    compiled = prog.compile()
+    compiled.insert(edge, ("a", "b"))
+    compiled.commit()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.ddlog.collection import Delta, Record
+from repro.ddlog.convergence import ConvergenceMonitor
+from repro.ddlog.engine import Engine, EpochStats
+from repro.ddlog.operators import (
+    Concat,
+    Distinct,
+    Filter,
+    Input,
+    Join,
+    Map,
+    Operator,
+    Probe,
+    Reduce,
+)
+
+
+class DslError(ValueError):
+    """Raised for malformed programs."""
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable.  Plain strings in atom argument lists are
+    shorthand for variables; use :func:`const` to pass a string constant."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class _Const:
+    value: Any
+
+
+def const(value: Any) -> _Const:
+    """Mark an atom argument as a constant (needed for string constants;
+    non-string values are treated as constants automatically)."""
+    return _Const(value)
+
+
+Term = Union[Var, _Const, Any]
+
+
+def _as_term(arg: Any) -> Union[Var, _Const]:
+    if isinstance(arg, (Var, _Const)):
+        return arg
+    if isinstance(arg, str):
+        return Var(arg)
+    return _Const(arg)
+
+
+@dataclass(frozen=True)
+class Atom:
+    relation: "Relation"
+    terms: Tuple[Union[Var, _Const], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.terms) != self.relation.arity:
+            raise DslError(
+                f"{self.relation.name} takes {self.relation.arity} arguments, "
+                f"got {len(self.terms)}"
+            )
+
+    def variables(self) -> List[Var]:
+        seen: List[Var] = []
+        for term in self.terms:
+            if isinstance(term, Var) and term not in seen:
+                seen.append(term)
+        return seen
+
+
+class Relation:
+    """A named relation of fixed arity."""
+
+    def __init__(
+        self, program: "Program", name: str, fields: Tuple[str, ...], kind: str
+    ) -> None:
+        self.program = program
+        self.name = name
+        self.fields = fields
+        self.kind = kind  # "input" | "derived" | "aggregate"
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def __call__(self, *args: Any) -> Atom:
+        return Atom(self, tuple(_as_term(a) for a in args))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.fields)})"
+
+
+@dataclass
+class _Rule:
+    head: Relation
+    body: List[Atom]
+    head_terms: Tuple[Union[Var, _Const], ...]
+    where: Optional[Callable[[Dict[str, Any]], bool]]
+    lets: List[Tuple[str, Callable[[Dict[str, Any]], Any]]]
+
+
+@dataclass
+class _Aggregation:
+    head: Relation
+    source: Relation
+    key: Callable[[Record], Any]
+    agg: Callable[[Any, Dict[Record, int]], Iterable[Record]]
+
+
+class Program:
+    """A collection of relations and rules, compilable onto an engine."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.relations: Dict[str, Relation] = {}
+        self.rules: List[_Rule] = []
+        self.aggregations: List[_Aggregation] = []
+        self.probed: List[Relation] = []
+
+    # -- declarations --------------------------------------------------------
+
+    def _declare(self, name: str, fields: Sequence[str], kind: str) -> Relation:
+        if name in self.relations:
+            raise DslError(f"duplicate relation name: {name!r}")
+        relation = Relation(self, name, tuple(fields), kind)
+        self.relations[name] = relation
+        return relation
+
+    def input(self, name: str, fields: Sequence[str]) -> Relation:
+        return self._declare(name, fields, "input")
+
+    def relation(self, name: str, fields: Sequence[str]) -> Relation:
+        return self._declare(name, fields, "derived")
+
+    def rule(
+        self,
+        head: Relation,
+        body: Sequence[Atom],
+        head_terms: Sequence[Any],
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        lets: Optional[Sequence[Tuple[str, Callable[[Dict[str, Any]], Any]]]] = None,
+    ) -> None:
+        """Add ``head(head_terms) :- body [lets] [where]``.
+
+        ``lets`` bind new variables computed from the environment (applied in
+        order, after all atoms); ``where`` filters on the full environment.
+        """
+        if head.kind != "derived":
+            raise DslError(f"cannot add rules to {head.kind} relation {head.name}")
+        if not body:
+            raise DslError("rules need at least one body atom")
+        resolved_head = tuple(_as_term(t) for t in head_terms)
+        if len(resolved_head) != head.arity:
+            raise DslError(
+                f"head of {head.name} needs {head.arity} terms, got "
+                f"{len(resolved_head)}"
+            )
+        rule = _Rule(head, list(body), resolved_head, where, list(lets or []))
+        bound: Set[str] = set()
+        for atom in rule.body:
+            bound.update(v.name for v in atom.variables())
+        bound.update(name for name, _ in rule.lets)
+        for term in resolved_head:
+            if isinstance(term, Var) and term.name not in bound:
+                raise DslError(
+                    f"head variable {term.name!r} of {head.name} is unbound"
+                )
+        self.rules.append(rule)
+
+    def aggregate(
+        self,
+        name: str,
+        fields: Sequence[str],
+        source: Relation,
+        key: Callable[[Record], Any],
+        agg: Callable[[Any, Dict[Record, int]], Iterable[Record]],
+    ) -> Relation:
+        """Declare ``name`` as a group-by reduction of ``source``.
+
+        ``key(record)`` extracts the group; ``agg(group, {record: count})``
+        returns the group's output records (e.g. the argmin set for
+        best-route selection).
+        """
+        head = self._declare(name, fields, "aggregate")
+        self.aggregations.append(_Aggregation(head, source, key, agg))
+        return head
+
+    def probe(self, relation: Relation) -> Relation:
+        """Mark a relation's output for external observation."""
+        if relation not in self.probed:
+            self.probed.append(relation)
+        return relation
+
+    # -- stratification --------------------------------------------------------
+
+    def _dependency_sccs(self) -> Dict[str, int]:
+        """Map each relation name to its SCC index (Tarjan)."""
+        deps: Dict[str, Set[str]] = {name: set() for name in self.relations}
+        for rule in self.rules:
+            for atom in rule.body:
+                deps[rule.head.name].add(atom.relation.name)
+        for aggregation in self.aggregations:
+            deps[aggregation.head.name].add(aggregation.source.name)
+
+        index_counter = [0]
+        stack: List[str] = []
+        on_stack: Set[str] = set()
+        indexes: Dict[str, int] = {}
+        lowlinks: Dict[str, int] = {}
+        scc_of: Dict[str, int] = {}
+        scc_counter = [0]
+
+        def strongconnect(node: str) -> None:
+            indexes[node] = lowlinks[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for dep in deps[node]:
+                if dep not in indexes:
+                    strongconnect(dep)
+                    lowlinks[node] = min(lowlinks[node], lowlinks[dep])
+                elif dep in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indexes[dep])
+            if lowlinks[node] == indexes[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc_of[member] = scc_counter[0]
+                    if member == node:
+                        break
+                scc_counter[0] += 1
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * len(self.relations) + 100))
+        try:
+            for name in self.relations:
+                if name not in indexes:
+                    strongconnect(name)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return scc_of
+
+    def _recursive_pairs(self) -> Set[Tuple[str, str]]:
+        """(body relation, head relation) pairs inside one SCC — these edges
+        become iteration-bumping feedback edges."""
+        scc_of = self._dependency_sccs()
+        pairs: Set[Tuple[str, str]] = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if scc_of[atom.relation.name] == scc_of[rule.head.name]:
+                    pairs.add((atom.relation.name, rule.head.name))
+        for aggregation in self.aggregations:
+            if scc_of[aggregation.source.name] == scc_of[aggregation.head.name]:
+                pairs.add((aggregation.source.name, aggregation.head.name))
+        return pairs
+
+    # -- compilation -------------------------------------------------------------
+
+    def compile(
+        self, monitor: Optional[ConvergenceMonitor] = None
+    ) -> "CompiledProgram":
+        return CompiledProgram(self, monitor=monitor)
+
+
+class CompiledProgram:
+    """A program lowered onto an :class:`~repro.ddlog.engine.Engine`."""
+
+    def __init__(
+        self, program: Program, monitor: Optional[ConvergenceMonitor] = None
+    ) -> None:
+        self.program = program
+        self.engine = Engine(monitor=monitor)
+        self._inputs: Dict[str, Input] = {}
+        self._outputs: Dict[str, Operator] = {}
+        self._probes: Dict[str, Probe] = {}
+        self._build()
+
+    # -- graph construction ---------------------------------------------------
+
+    def _build(self) -> None:
+        program = self.program
+        recursive = program._recursive_pairs()
+
+        # Relation output nodes.  Derived relations need their Concat created
+        # first so recursive rules can wire into them.
+        concats: Dict[str, Concat] = {}
+        for relation in program.relations.values():
+            if relation.kind == "input":
+                node = self.engine.add(Input(relation.name))
+                self._inputs[relation.name] = node
+                self._outputs[relation.name] = node
+            elif relation.kind == "derived":
+                ports = sum(1 for r in program.rules if r.head is relation)
+                if ports == 0:
+                    raise DslError(f"derived relation {relation.name} has no rules")
+                concat = self.engine.add(Concat(f"{relation.name}.concat", ports))
+                distinct = self.engine.add(Distinct(f"{relation.name}.distinct"))
+                self.engine.connect(concat, distinct)
+                concats[relation.name] = concat
+                self._outputs[relation.name] = distinct
+
+        for aggregation in program.aggregations:
+            reduce_op = self.engine.add(
+                Reduce(
+                    f"{aggregation.head.name}.reduce",
+                    key=aggregation.key,
+                    agg=aggregation.agg,
+                )
+            )
+            bump = (aggregation.source.name, aggregation.head.name) in recursive
+            self.engine.connect(
+                self._outputs[aggregation.source.name], reduce_op, bump=bump
+            )
+            self._outputs[aggregation.head.name] = reduce_op
+
+        rule_ports: Dict[str, int] = {name: 0 for name in concats}
+        for rule_index, rule in enumerate(program.rules):
+            out = self._compile_rule(rule_index, rule, recursive)
+            port = rule_ports[rule.head.name]
+            rule_ports[rule.head.name] = port + 1
+            self.engine.connect(out, concats[rule.head.name], port=port)
+
+        for relation in program.probed:
+            probe = self.engine.add(Probe(f"{relation.name}.probe"))
+            self.engine.connect(self._outputs[relation.name], probe)
+            self._probes[relation.name] = probe
+
+        self.engine.finalize()
+
+    def _compile_rule(
+        self, rule_index: int, rule: _Rule, recursive: Set[Tuple[str, str]]
+    ) -> Operator:
+        """Lower one rule to a left-deep join plan; returns the head stream."""
+        head_name = rule.head.name
+        label = f"{head_name}.r{rule_index}"
+
+        env_vars: List[str] = []
+        stream: Optional[Operator] = None
+
+        for atom_index, atom in enumerate(rule.body):
+            atom_stream = self._atom_stream(f"{label}.a{atom_index}", atom)
+            bump = (atom.relation.name, head_name) in recursive
+            new_vars = [
+                v.name for v in atom.variables() if v.name not in env_vars
+            ]
+            if stream is None:
+                project = self._projection(atom, new_vars)
+                mapper = self.engine.add(
+                    Map(f"{label}.a{atom_index}.env", project)
+                )
+                self.engine.connect(atom_stream, mapper, bump=bump)
+                stream = mapper
+                env_vars = new_vars
+            else:
+                shared = [
+                    v.name for v in atom.variables() if v.name in env_vars
+                ]
+                left_positions = [env_vars.index(name) for name in shared]
+                atom_shared_pos = self._var_positions(atom, shared)
+                atom_new_pos = self._var_positions(atom, new_vars)
+
+                def left_key(env: Record, pos=tuple(left_positions)) -> Any:
+                    return tuple(env[i] for i in pos)
+
+                def right_key(record: Record, pos=tuple(atom_shared_pos)) -> Any:
+                    return tuple(record[i] for i in pos)
+
+                def merge(
+                    env: Record, record: Record, pos=tuple(atom_new_pos)
+                ) -> Record:
+                    return env + tuple(record[i] for i in pos)
+
+                join = self.engine.add(
+                    Join(f"{label}.a{atom_index}.join", left_key, right_key, merge)
+                )
+                self.engine.connect(stream, join, port=0)
+                self.engine.connect(atom_stream, join, port=1, bump=bump)
+                stream = join
+                env_vars = env_vars + new_vars
+
+        assert stream is not None
+        index_of = {name: i for i, name in enumerate(env_vars)}
+
+        if rule.lets:
+            lets = list(rule.lets)
+
+            def apply_lets(env: Record, _lets=tuple(lets), _vars=tuple(env_vars)) -> Record:
+                scope = dict(zip(_vars, env))
+                extra = []
+                for name, fn in _lets:
+                    value = fn(scope)
+                    scope[name] = value
+                    extra.append(value)
+                return env + tuple(extra)
+
+            let_map = self.engine.add(Map(f"{label}.lets", apply_lets))
+            self.engine.connect(stream, let_map)
+            stream = let_map
+            for name, _ in lets:
+                if name not in index_of:
+                    index_of[name] = len(env_vars)
+                    env_vars = env_vars + [name]
+
+        if rule.where is not None:
+            where_fn = rule.where
+            names = tuple(env_vars)
+
+            def predicate(env: Record, _fn=where_fn, _names=names) -> bool:
+                return bool(_fn(dict(zip(_names, env))))
+
+            filt = self.engine.add(Filter(f"{label}.where", predicate))
+            self.engine.connect(stream, filt)
+            stream = filt
+
+        head_plan: List[Tuple[str, Any]] = []
+        for term in rule.head_terms:
+            if isinstance(term, Var):
+                head_plan.append(("var", index_of[term.name]))
+            else:
+                head_plan.append(("const", term.value))
+
+        def to_head(env: Record, _plan=tuple(head_plan)) -> Record:
+            return tuple(
+                env[payload] if kind == "var" else payload
+                for kind, payload in _plan
+            )
+
+        head_map = self.engine.add(Map(f"{label}.head", to_head))
+        self.engine.connect(stream, head_map)
+        return head_map
+
+    def _atom_stream(self, label: str, atom: Atom) -> Operator:
+        """The relation's stream, filtered on constants and repeated vars."""
+        source = self._outputs[atom.relation.name]
+        checks: List[Tuple[int, Any]] = []
+        first_pos: Dict[str, int] = {}
+        same: List[Tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, _Const):
+                checks.append((position, term.value))
+            else:
+                if term.name in first_pos:
+                    same.append((first_pos[term.name], position))
+                else:
+                    first_pos[term.name] = position
+        if not checks and not same:
+            return source
+
+        def predicate(
+            record: Record, _checks=tuple(checks), _same=tuple(same)
+        ) -> bool:
+            for position, value in _checks:
+                if record[position] != value:
+                    return False
+            for a, b in _same:
+                if record[a] != record[b]:
+                    return False
+            return True
+
+        filt = self.engine.add(Filter(f"{label}.match", predicate))
+        self.engine.connect(source, filt)
+        return filt
+
+    @staticmethod
+    def _projection(atom: Atom, var_order: List[str]) -> Callable[[Record], Record]:
+        positions = CompiledProgram._var_positions(atom, var_order)
+
+        def project(record: Record, _pos=tuple(positions)) -> Record:
+            return tuple(record[i] for i in _pos)
+
+        return project
+
+    @staticmethod
+    def _var_positions(atom: Atom, names: Iterable[str]) -> List[int]:
+        positions = []
+        for name in names:
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Var) and term.name == name:
+                    positions.append(position)
+                    break
+            else:
+                raise DslError(f"variable {name!r} not found in {atom}")
+        return positions
+
+    # -- runtime API ----------------------------------------------------------
+
+    def _input_node(self, relation: Union[Relation, str]) -> Input:
+        name = relation.name if isinstance(relation, Relation) else relation
+        try:
+            return self._inputs[name]
+        except KeyError:
+            raise DslError(f"{name!r} is not an input relation") from None
+
+    def insert(self, relation: Union[Relation, str], record: Record) -> None:
+        self.engine.insert(self._input_node(relation), record, 1)
+
+    def remove(self, relation: Union[Relation, str], record: Record) -> None:
+        self.engine.insert(self._input_node(relation), record, -1)
+
+    def apply(self, relation: Union[Relation, str], delta: Delta) -> None:
+        self.engine.apply(self._input_node(relation), delta)
+
+    def commit(self) -> EpochStats:
+        """Run one epoch: propagate buffered changes to the new fixpoint."""
+        return self.engine.run_epoch()
+
+    def collection(self, relation: Union[Relation, str]) -> Delta:
+        name = relation.name if isinstance(relation, Relation) else relation
+        try:
+            probe = self._probes[name]
+        except KeyError:
+            raise DslError(f"relation {name!r} is not probed") from None
+        return probe.collection()
+
+    def take_delta(self, relation: Union[Relation, str]) -> Delta:
+        """The probed relation's net change during the last epoch(s)."""
+        name = relation.name if isinstance(relation, Relation) else relation
+        try:
+            probe = self._probes[name]
+        except KeyError:
+            raise DslError(f"relation {name!r} is not probed") from None
+        return probe.take_epoch_delta()

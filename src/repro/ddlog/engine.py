@@ -1,0 +1,328 @@
+"""The differential computation engine.
+
+The engine owns a dataflow graph of :mod:`repro.ddlog.operators` and drives
+delta propagation:
+
+- *epochs* are external input rounds (one configuration change = one epoch);
+- within an epoch, messages carry an *iteration* timestamp; recursion is
+  expressed with *feedback edges* that bump the iteration by one;
+- messages are processed in strictly non-decreasing iteration order, and in
+  topological order of the feedback-free graph within one iteration, so each
+  operator sees all of its inputs for an iteration before acting on it.
+
+After an epoch the operators' iteration-indexed histories describe the full
+fixpoint trace of the current input; the next epoch only propagates
+*corrections* against that trace, which is what makes re-verification after
+a small configuration change cheap (the paper's key enabler, §4.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.ddlog.collection import Delta, Record
+from repro.ddlog.convergence import ConvergenceMonitor
+from repro.ddlog.operators import Input, Join, Operator, Probe, Reduce
+
+
+class GraphError(ValueError):
+    """Raised for malformed dataflow graphs."""
+
+
+@dataclass
+class EpochStats:
+    """Work performed by one epoch of delta propagation."""
+
+    epoch: int
+    iterations: int = 0
+    messages: int = 0
+    records: int = 0
+    recompute_calls: int = 0
+    elapsed_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"epoch {self.epoch}: {self.iterations} iterations, "
+            f"{self.messages} messages, {self.records} record diffs, "
+            f"{self.recompute_calls} recomputes, "
+            f"{self.elapsed_seconds * 1000:.1f} ms"
+        )
+
+
+class _PendingWork:
+    """Accumulated work for one operator at one iteration."""
+
+    __slots__ = ("port_deltas", "recompute_groups")
+
+    def __init__(self) -> None:
+        self.port_deltas: Dict[int, Delta] = {}
+        self.recompute_groups: Set[Any] = set()
+
+    def add_delta(self, port: int, delta: Delta) -> None:
+        existing = self.port_deltas.get(port)
+        if existing is None:
+            self.port_deltas[port] = delta.copy()
+        else:
+            existing.merge(delta)
+
+    def is_empty(self) -> bool:
+        return (
+            all(d.is_empty() for d in self.port_deltas.values())
+            and not self.recompute_groups
+        )
+
+
+class Engine:
+    """A dataflow graph plus the delta scheduler."""
+
+    def __init__(
+        self, monitor: Optional[ConvergenceMonitor] = None
+    ) -> None:
+        self.operators: List[Operator] = []
+        #: op_id -> list of (destination operator, destination port, bump)
+        self._successors: Dict[int, List[Tuple[Operator, int, bool]]] = {}
+        self._in_degree_edges: List[Tuple[int, int, bool]] = []
+        self._finalized = False
+        self.monitor = monitor or ConvergenceMonitor()
+        self._epoch = 0
+        self._input_buffer: Dict[int, Delta] = {}
+        #: iteration -> op_id -> pending work
+        self._pending: Dict[int, Dict[int, _PendingWork]] = {}
+        self._iteration_heap: List[int] = []
+        self.last_stats: Optional[EpochStats] = None
+
+    # -- graph construction -------------------------------------------------
+
+    def add(self, operator: Operator) -> Operator:
+        if self._finalized:
+            raise GraphError("cannot add operators after finalize()")
+        operator.op_id = len(self.operators)
+        self.operators.append(operator)
+        self._successors[operator.op_id] = []
+        if isinstance(operator, Reduce):
+            operator.schedule_recompute = self._schedule_recompute
+        return operator
+
+    def connect(
+        self, src: Operator, dst: Operator, port: int = 0, bump: bool = False
+    ) -> None:
+        """Wire ``src``'s output to ``dst``'s input ``port``.
+
+        ``bump=True`` marks a feedback edge: messages crossing it advance to
+        the next iteration (this is how recursion is expressed).
+        """
+        if self._finalized:
+            raise GraphError("cannot connect operators after finalize()")
+        for op in (src, dst):
+            if op.op_id < 0 or op.op_id >= len(self.operators):
+                raise GraphError(f"operator {op} is not registered")
+        if not 0 <= port < dst.num_ports:
+            raise GraphError(f"{dst} has no input port {port}")
+        self._successors[src.op_id].append((dst, port, bump))
+        self._in_degree_edges.append((src.op_id, dst.op_id, bump))
+
+    def finalize(self) -> None:
+        """Topologically order the feedback-free graph (must be a DAG)."""
+        if self._finalized:
+            return
+        n = len(self.operators)
+        forward: Dict[int, List[int]] = {i: [] for i in range(n)}
+        in_degree = [0] * n
+        for src, dst, bump in self._in_degree_edges:
+            if not bump:
+                forward[src].append(dst)
+                in_degree[dst] += 1
+        ready = [i for i in range(n) if in_degree[i] == 0]
+        order: List[int] = []
+        while ready:
+            op_id = ready.pop()
+            order.append(op_id)
+            for succ in forward[op_id]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != n:
+            cyclic = [self.operators[i].name for i in range(n) if in_degree[i] > 0]
+            raise GraphError(
+                "dataflow graph has a cycle without a feedback edge through: "
+                + ", ".join(sorted(cyclic))
+            )
+        for topo_index, op_id in enumerate(order):
+            self.operators[op_id].topo_index = topo_index
+        self._finalized = True
+
+    # -- input feeding -------------------------------------------------------
+
+    def insert(self, source: Input, record: Record, weight: int = 1) -> None:
+        """Buffer an input change for the next epoch."""
+        if not isinstance(source, Input):
+            raise GraphError(f"{source} is not an Input operator")
+        buffer = self._input_buffer.setdefault(source.op_id, Delta())
+        buffer.add(record, weight)
+
+    def remove(self, source: Input, record: Record) -> None:
+        self.insert(source, record, -1)
+
+    def apply(self, source: Input, delta: Delta) -> None:
+        if not isinstance(source, Input):
+            raise GraphError(f"{source} is not an Input operator")
+        buffer = self._input_buffer.setdefault(source.op_id, Delta())
+        buffer.merge(delta)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _work_at(self, iteration: int, op_id: int) -> _PendingWork:
+        per_iter = self._pending.get(iteration)
+        if per_iter is None:
+            per_iter = {}
+            self._pending[iteration] = per_iter
+            heapq.heappush(self._iteration_heap, iteration)
+        work = per_iter.get(op_id)
+        if work is None:
+            work = _PendingWork()
+            per_iter[op_id] = work
+        return work
+
+    def _schedule_recompute(
+        self, operator: Operator, iteration: int, group: Any
+    ) -> None:
+        self._work_at(iteration, operator.op_id).recompute_groups.add(group)
+
+    def _route(self, src: Operator, iteration: int, delta: Delta) -> int:
+        """Deliver an emitted delta to all successors; returns message count."""
+        messages = 0
+        for dst, port, bump in self._successors[src.op_id]:
+            when = iteration + 1 if bump else iteration
+            self._work_at(when, dst.op_id).add_delta(port, delta)
+            messages += 1
+        return messages
+
+    # -- epoch execution --------------------------------------------------------
+
+    def run_epoch(self) -> EpochStats:
+        """Propagate all buffered input deltas to a new fixpoint."""
+        if not self._finalized:
+            self.finalize()
+        self._epoch += 1
+        stats = EpochStats(epoch=self._epoch)
+        started = time.perf_counter()
+        self.monitor.reset()
+
+        for op_id, delta in self._input_buffer.items():
+            if not delta.is_empty():
+                self._work_at(0, op_id).add_delta(0, delta)
+        self._input_buffer.clear()
+
+        while self._iteration_heap:
+            iteration = heapq.heappop(self._iteration_heap)
+            per_iter = self._pending.get(iteration)
+            if not per_iter:
+                self._pending.pop(iteration, None)
+                continue
+            stats.iterations += 1
+            self.monitor.observe(iteration, self._signature(per_iter))
+            self._run_iteration(iteration, per_iter, stats)
+            if not self._pending.get(iteration):
+                self._pending.pop(iteration, None)
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        self.last_stats = stats
+        return stats
+
+    def _run_iteration(
+        self, iteration: int, per_iter: Dict[int, _PendingWork], stats: EpochStats
+    ) -> None:
+        # ``per_iter`` is the live pending map for this iteration: routing a
+        # same-iteration emission (or scheduling a same-iteration recompute)
+        # adds work to it while we sweep.  Messages within one iteration only
+        # flow forward along the feedback-free DAG, so sweeping in
+        # topological order visits every operator after all of its inputs.
+        heap: List[Tuple[int, int]] = [
+            (self.operators[op_id].topo_index, op_id) for op_id in per_iter
+        ]
+        heapq.heapify(heap)
+        queued = set(per_iter)
+
+        def enqueue(op_id: int) -> None:
+            if op_id not in queued:
+                heapq.heappush(heap, (self.operators[op_id].topo_index, op_id))
+                queued.add(op_id)
+
+        while heap:
+            _, op_id = heapq.heappop(heap)
+            queued.discard(op_id)
+            work = per_iter.pop(op_id, None)
+            if work is None or work.is_empty():
+                continue
+            operator = self.operators[op_id]
+            emissions: Dict[int, Delta] = {}
+
+            def collect(produced: Dict[int, Delta]) -> None:
+                for when, out in produced.items():
+                    existing = emissions.get(when)
+                    if existing is None:
+                        emissions[when] = out
+                    else:
+                        existing.merge(out)
+
+            for port, delta in sorted(work.port_deltas.items()):
+                if delta.is_empty():
+                    continue
+                stats.records += len(delta)
+                collect(operator.on_delta(port, iteration, delta))
+            # on_delta may have scheduled same-iteration recomputes for this
+            # operator; fold them into this visit.
+            self_work = per_iter.pop(op_id, None)
+            groups = set(work.recompute_groups)
+            if self_work is not None:
+                groups.update(self_work.recompute_groups)
+            if groups:
+                stats.recompute_calls += len(groups)
+                collect(operator.on_recompute(iteration, groups))
+
+            for when, out in emissions.items():
+                if out.is_empty():
+                    continue
+                if when < iteration:
+                    raise GraphError(
+                        f"{operator} emitted into the past ({when} < {iteration})"
+                    )
+                stats.messages += self._route(operator, when, out)
+                if when == iteration:
+                    for dst, _, bump in self._successors[op_id]:
+                        if not bump:
+                            enqueue(dst.op_id)
+
+    @staticmethod
+    def _signature(per_iter: Dict[int, _PendingWork]) -> Optional[int]:
+        parts = []
+        for op_id in sorted(per_iter):
+            work = per_iter[op_id]
+            for port in sorted(work.port_deltas):
+                delta = work.port_deltas[port]
+                if not delta.is_empty():
+                    parts.append((op_id, port, delta.signature()))
+            if work.recompute_groups:
+                parts.append((op_id, -1, hash(frozenset(work.recompute_groups))))
+        if not parts:
+            return None
+        return hash(tuple(parts))
+
+    # -- introspection ---------------------------------------------------------
+
+    def state_size(self) -> int:
+        """Total stored record diffs across all operators."""
+        return sum(op.state_size() for op in self.operators)
+
+    def probe_collections(self) -> Dict[str, Delta]:
+        return {
+            op.name: op.collection()
+            for op in self.operators
+            if isinstance(op, Probe)
+        }
+
+    def join_lookups(self) -> int:
+        return sum(op.lookups for op in self.operators if isinstance(op, Join))

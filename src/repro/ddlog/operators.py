@@ -1,0 +1,342 @@
+"""Incremental dataflow operators.
+
+Each operator consumes weighted deltas on its input ports and produces
+weighted deltas, both stamped with an *iteration* (the loop timestamp of
+differential computation).  Operators keep iteration-indexed state so that a
+later epoch (a new configuration change) can correct any point of the
+previously computed fixpoint trace:
+
+- :class:`Map` / :class:`FlatMap` / :class:`Filter` / :class:`Concat` are
+  stateless and timestamp-preserving;
+- :class:`Join` is bilinear: a delta on one side joins against the other
+  side's full history, each pairing landing at the max of the two
+  iterations;
+- :class:`Reduce` implements keyed aggregation with correction scheduling:
+  when a group's input changes at iteration ``t``, its output is recomputed
+  at ``t`` and at every later iteration where the group's input or output
+  history has diffs (the "interesting times" rule of differential dataflow);
+- :class:`Distinct` is the set-semantics reduction used to make recursive
+  rules terminate;
+- :class:`Probe` is a terminal sink exposing the accumulated collection and
+  the per-epoch output delta.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ddlog.collection import Delta, History, Record, Weight
+
+#: Output of an operator step: iteration -> delta emitted at that iteration.
+Emission = Dict[int, Delta]
+
+KeyFn = Callable[[Record], Any]
+MergeFn = Callable[[Record, Record], Record]
+AggFn = Callable[[Any, Dict[Record, int]], Iterable[Record]]
+
+
+class Operator:
+    """Base class of dataflow operators."""
+
+    def __init__(self, name: str, num_ports: int = 1) -> None:
+        self.name = name
+        self.num_ports = num_ports
+        #: filled in by the engine at registration time
+        self.op_id: int = -1
+        self.topo_index: int = -1
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        raise NotImplementedError
+
+    def on_recompute(self, iteration: int, groups: Set[Any]) -> Emission:
+        """Only meaningful for :class:`Reduce`; default is a no-op."""
+        return {}
+
+    def state_size(self) -> int:
+        """Approximate number of stored record diffs (for stats)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def _emit(emission: Emission, iteration: int, record: Record, weight: Weight) -> None:
+    delta = emission.get(iteration)
+    if delta is None:
+        delta = Delta()
+        emission[iteration] = delta
+    delta.add(record, weight)
+
+
+class Input(Operator):
+    """An externally-fed base relation.  Deltas enter at iteration 0."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.history = History()
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        out = Delta()
+        for record, weight in delta.items():
+            self.history.add(record, iteration, weight)
+            out.add(record, weight)
+        return {iteration: out} if not out.is_empty() else {}
+
+    def state_size(self) -> int:
+        return self.history.record_count()
+
+
+class Map(Operator):
+    """Apply ``fn`` to each record (1:1)."""
+
+    def __init__(self, name: str, fn: Callable[[Record], Record]) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        out = Delta()
+        for record, weight in delta.items():
+            out.add(self.fn(record), weight)
+        return {iteration: out} if not out.is_empty() else {}
+
+
+class FlatMap(Operator):
+    """Apply ``fn`` to each record; ``fn`` returns zero or more records."""
+
+    def __init__(self, name: str, fn: Callable[[Record], Iterable[Record]]) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        out = Delta()
+        for record, weight in delta.items():
+            for produced in self.fn(record):
+                out.add(produced, weight)
+        return {iteration: out} if not out.is_empty() else {}
+
+
+class Filter(Operator):
+    """Keep records satisfying ``predicate``."""
+
+    def __init__(self, name: str, predicate: Callable[[Record], bool]) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        out = Delta()
+        for record, weight in delta.items():
+            if self.predicate(record):
+                out.add(record, weight)
+        return {iteration: out} if not out.is_empty() else {}
+
+
+class Concat(Operator):
+    """Additive union of any number of input ports."""
+
+    def __init__(self, name: str, num_ports: int) -> None:
+        super().__init__(name, num_ports=num_ports)
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        return {iteration: delta.copy()} if not delta.is_empty() else {}
+
+
+#: Per-side join index: key -> record -> {iteration: weight diff}.
+_JoinIndex = Dict[Any, Dict[Record, Dict[int, int]]]
+
+
+class Join(Operator):
+    """Binary equi-join.
+
+    Port 0 is the left input, port 1 the right.  ``merge`` combines a left
+    and right record into the output record.  The operator is bilinear: a
+    delta on either side is joined against the other side's accumulated
+    history, and each pairing is emitted at the max of the two iterations.
+    """
+
+    def __init__(
+        self, name: str, left_key: KeyFn, right_key: KeyFn, merge: MergeFn
+    ) -> None:
+        super().__init__(name, num_ports=2)
+        self.keys = (left_key, right_key)
+        self.merge = merge
+        self.indexes: Tuple[_JoinIndex, _JoinIndex] = ({}, {})
+        self.lookups = 0  # stats
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        my_index = self.indexes[port]
+        other_index = self.indexes[1 - port]
+        my_key = self.keys[port]
+        emission: Emission = {}
+        for record, weight in delta.items():
+            key = my_key(record)
+            matches = other_index.get(key)
+            if matches:
+                for other_record, hist in matches.items():
+                    if port == 0:
+                        merged = self.merge(record, other_record)
+                    else:
+                        merged = self.merge(other_record, record)
+                    for other_iter, other_weight in hist.items():
+                        self.lookups += 1
+                        _emit(
+                            emission,
+                            max(iteration, other_iter),
+                            merged,
+                            weight * other_weight,
+                        )
+            # Index our own delta after joining, so concurrent deltas on the
+            # two ports pair up exactly once.
+            per_key = my_index.setdefault(key, {})
+            hist = per_key.setdefault(record, {})
+            new_weight = hist.get(iteration, 0) + weight
+            if new_weight:
+                hist[iteration] = new_weight
+            else:
+                del hist[iteration]
+                if not hist:
+                    del per_key[record]
+                    if not per_key:
+                        del my_index[key]
+        return {it: d for it, d in emission.items() if not d.is_empty()}
+
+    def state_size(self) -> int:
+        return sum(
+            len(recs) for index in self.indexes for recs in index.values()
+        )
+
+
+class Reduce(Operator):
+    """Keyed aggregation with differential correction scheduling.
+
+    ``key`` extracts the group of a record; ``agg`` maps
+    ``(group, {record: positive count})`` to the group's output records.
+    An empty input group always produces ``agg(group, {})`` — by convention
+    aggregation functions return nothing for empty groups.
+    """
+
+    def __init__(self, name: str, key: KeyFn, agg: AggFn) -> None:
+        super().__init__(name)
+        self.key = key
+        self.agg = agg
+        #: group -> record -> {iteration: weight}
+        self.inputs: Dict[Any, Dict[Record, Dict[int, int]]] = {}
+        #: group -> out record -> {iteration: weight}
+        self.outputs: Dict[Any, Dict[Record, Dict[int, int]]] = {}
+        #: engine-set callback: schedule_recompute(operator, iteration, group)
+        self.schedule_recompute: Optional[Callable[[Operator, int, Any], None]] = None
+        self.recomputes = 0  # stats
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        perturbed: Set[Any] = set()
+        for record, weight in delta.items():
+            group = self.key(record)
+            per_group = self.inputs.setdefault(group, {})
+            hist = per_group.setdefault(record, {})
+            new_weight = hist.get(iteration, 0) + weight
+            if new_weight:
+                hist[iteration] = new_weight
+            else:
+                del hist[iteration]
+                if not hist:
+                    del per_group[record]
+                    if not per_group:
+                        self.inputs.pop(group, None)
+            perturbed.add(group)
+        # A change at iteration t can invalidate this group's output at t and
+        # at any later iteration where its input or output history has diffs.
+        for group in perturbed:
+            for when in self._interesting_times(group, iteration):
+                assert self.schedule_recompute is not None
+                self.schedule_recompute(self, when, group)
+        return {}
+
+    def _interesting_times(self, group: Any, start: int) -> List[int]:
+        times = {start}
+        for hist in self.inputs.get(group, {}).values():
+            times.update(t for t in hist if t > start)
+        for hist in self.outputs.get(group, {}).values():
+            times.update(t for t in hist if t > start)
+        return sorted(times)
+
+    def on_recompute(self, iteration: int, groups: Set[Any]) -> Emission:
+        emission: Emission = {}
+        for group in groups:
+            self.recomputes += 1
+            current_input: Dict[Record, int] = {}
+            for record, hist in self.inputs.get(group, {}).items():
+                total = sum(w for it, w in hist.items() if it <= iteration)
+                if total > 0:
+                    current_input[record] = total
+            desired = Delta()
+            if current_input:
+                for out_record in self.agg(group, current_input):
+                    desired.add(out_record, 1)
+            out_group = self.outputs.setdefault(group, {})
+            # Current cumulative output as of this iteration.
+            current = Delta()
+            for out_record, hist in out_group.items():
+                current.add(
+                    out_record, sum(w for it, w in hist.items() if it <= iteration)
+                )
+            # Correction = desired - current, applied at this iteration.
+            correction = desired
+            correction.merge(current.negated())
+            for out_record, weight in correction.items():
+                hist = out_group.setdefault(out_record, {})
+                new_weight = hist.get(iteration, 0) + weight
+                if new_weight:
+                    hist[iteration] = new_weight
+                else:
+                    del hist[iteration]
+                    if not hist:
+                        del out_group[out_record]
+                _emit(emission, iteration, out_record, weight)
+            if not out_group:
+                self.outputs.pop(group, None)
+        return {it: d for it, d in emission.items() if not d.is_empty()}
+
+    def state_size(self) -> int:
+        stored = sum(len(recs) for recs in self.inputs.values())
+        stored += sum(len(recs) for recs in self.outputs.values())
+        return stored
+
+
+def _presence(group: Any, counts: Dict[Record, int]) -> Iterable[Record]:
+    """Aggregation behind :class:`Distinct`: group key is the record."""
+    if counts:
+        yield group
+
+
+class Distinct(Reduce):
+    """Set semantics: each present record has output weight exactly one."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, key=lambda record: record, agg=_presence)
+
+
+class Probe(Operator):
+    """Terminal sink: accumulates the collection and per-epoch deltas."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.history = History()
+        self.epoch_delta = Delta()
+
+    def on_delta(self, port: int, iteration: int, delta: Delta) -> Emission:
+        for record, weight in delta.items():
+            self.history.add(record, iteration, weight)
+            self.epoch_delta.add(record, weight)
+        return {}
+
+    def collection(self) -> Delta:
+        """The current fully-accumulated output collection."""
+        return self.history.final_collection()
+
+    def take_epoch_delta(self) -> Delta:
+        """The net output change since the last call (one epoch's worth)."""
+        delta = self.epoch_delta
+        self.epoch_delta = Delta()
+        return delta
+
+    def state_size(self) -> int:
+        return self.history.record_count()

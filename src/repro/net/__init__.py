@@ -1,0 +1,48 @@
+"""Network substrate: addressing, header space, and topology."""
+
+from repro.net.addr import (
+    AddressError,
+    IPv4Address,
+    Prefix,
+    format_ipv4,
+    interval_to_prefixes,
+    parse_ipv4,
+)
+from repro.net.headerspace import FIELDS, Header, HeaderBox, Predicate, header
+from repro.net.topology import Interface, InterfaceId, Link, Node, Topology, TopologyError
+from repro.net.topologies import (
+    LabeledTopology,
+    fat_tree,
+    fat_tree_expected_sizes,
+    grid,
+    line,
+    random_connected,
+    ring,
+)
+
+__all__ = [
+    "AddressError",
+    "IPv4Address",
+    "Prefix",
+    "format_ipv4",
+    "interval_to_prefixes",
+    "parse_ipv4",
+    "FIELDS",
+    "Header",
+    "HeaderBox",
+    "Predicate",
+    "header",
+    "Interface",
+    "InterfaceId",
+    "Link",
+    "Node",
+    "Topology",
+    "TopologyError",
+    "LabeledTopology",
+    "fat_tree",
+    "fat_tree_expected_sizes",
+    "grid",
+    "line",
+    "random_connected",
+    "ring",
+]

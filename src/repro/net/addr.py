@@ -1,0 +1,222 @@
+"""IPv4 addressing primitives.
+
+RealConfig models IP prefixes as bitvectors (the paper uses DDlog's bitvector
+type for exactly this purpose).  This module provides a small, dependency-free
+implementation of IPv4 addresses, prefixes, and the interval arithmetic the
+equivalence-class machinery is built on.
+
+All addresses are plain integers in ``[0, 2**32)`` under the hood; the classes
+here are thin immutable wrappers that add parsing, formatting, and the prefix
+algebra (containment, overlap, enumeration of sub-prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator, Tuple
+
+IPV4_BITS = 32
+IPV4_MAX = (1 << IPV4_BITS) - 1
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into an integer.
+
+    >>> parse_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format an integer as dotted-quad notation.
+
+    >>> format_ipv4(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= IPV4_MAX:
+        raise AddressError(f"address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv4Address:
+    """An immutable IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= IPV4_MAX:
+            raise AddressError(f"address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        return cls(parse_ipv4(text))
+
+    def __str__(self) -> str:
+        return format_ipv4(self.value)
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (network address + mask length).
+
+    The network address is canonicalised: host bits below the mask are
+    required to be zero, mirroring how router configuration languages treat
+    prefixes.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= IPV4_BITS:
+            raise AddressError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= IPV4_MAX:
+            raise AddressError(f"network out of range: {self.network}")
+        if self.network & ~self.mask():
+            raise AddressError(
+                f"host bits set in prefix {format_ipv4(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation.
+
+        >>> Prefix.parse("10.0.0.0/8")
+        Prefix.parse('10.0.0.0/8')
+        """
+        if "/" not in text:
+            raise AddressError(f"missing /length in prefix: {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"malformed prefix length in {text!r}")
+        return cls(parse_ipv4(addr_text), int(len_text))
+
+    @classmethod
+    def from_address(cls, addr: IPv4Address, length: int = IPV4_BITS) -> "Prefix":
+        mask = _mask_for(length)
+        return cls(addr.value & mask, length)
+
+    @classmethod
+    def from_address_int(cls, value: int, length: int = IPV4_BITS) -> "Prefix":
+        """The prefix of the given length containing address ``value``."""
+        return cls(value & _mask_for(length), length)
+
+    @classmethod
+    def default(cls) -> "Prefix":
+        """The default route ``0.0.0.0/0``."""
+        return cls(0, 0)
+
+    def mask(self) -> int:
+        return _mask_for(self.length)
+
+    def first(self) -> int:
+        """Lowest address covered by this prefix."""
+        return self.network
+
+    def last(self) -> int:
+        """Highest address covered by this prefix."""
+        return self.network | (~self.mask() & IPV4_MAX)
+
+    def as_interval(self) -> Tuple[int, int]:
+        """Return the closed interval ``[first, last]`` of covered addresses."""
+        return (self.first(), self.last())
+
+    def num_addresses(self) -> int:
+        return 1 << (IPV4_BITS - self.length)
+
+    def contains_address(self, addr: int) -> bool:
+        return (addr & self.mask()) == self.network
+
+    def contains(self, other: "Prefix") -> bool:
+        """True when ``other`` is fully covered by this prefix."""
+        return self.length <= other.length and self.contains_address(other.network)
+
+    def overlaps(self, other: "Prefix") -> bool:
+        return self.contains(other) or other.contains(self)
+
+    def supernet(self) -> "Prefix":
+        """The prefix one bit shorter than this one."""
+        if self.length == 0:
+            raise AddressError("the default route has no supernet")
+        length = self.length - 1
+        return Prefix(self.network & _mask_for(length), length)
+
+    def subnets(self) -> Tuple["Prefix", "Prefix"]:
+        """The two prefixes one bit longer than this one."""
+        if self.length == IPV4_BITS:
+            raise AddressError("a host prefix has no subnets")
+        length = self.length + 1
+        low = Prefix(self.network, length)
+        high = Prefix(self.network | (1 << (IPV4_BITS - length)), length)
+        return (low, high)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate every address in the prefix (use only on small prefixes)."""
+        for value in range(self.first(), self.last() + 1):
+            yield IPv4Address(value)
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix.parse({str(self)!r})"
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return (self.network, self.length) < (other.network, other.length)
+
+
+def _mask_for(length: int) -> int:
+    if length == 0:
+        return 0
+    return (IPV4_MAX << (IPV4_BITS - length)) & IPV4_MAX
+
+
+def interval_to_prefixes(lo: int, hi: int) -> Iterator[Prefix]:
+    """Decompose a closed address interval into a minimal list of prefixes.
+
+    This is the classic CIDR cover of ``[lo, hi]``; used when converting EC
+    predicates back into prefix-form forwarding rules.
+
+    >>> [str(p) for p in interval_to_prefixes(0, 7)]
+    ['0.0.0.0/29']
+    """
+    if lo > hi:
+        return
+    if not (0 <= lo <= IPV4_MAX and 0 <= hi <= IPV4_MAX):
+        raise AddressError(f"interval out of range: [{lo}, {hi}]")
+    while lo <= hi:
+        # Largest power-of-two block aligned at lo that fits within [lo, hi].
+        max_align = lo & -lo if lo else 1 << IPV4_BITS
+        span = hi - lo + 1
+        block = 1
+        while block * 2 <= span and block * 2 <= max_align:
+            block *= 2
+        length = IPV4_BITS - block.bit_length() + 1
+        yield Prefix(lo, length)
+        lo += block

@@ -1,0 +1,288 @@
+"""Header space predicates.
+
+The data plane model (``repro.dataplane``) partitions the space of packet
+headers into *equivalence classes* (ECs) the way APKeep does.  An EC is
+represented by a :class:`Predicate`: a union of disjoint :class:`HeaderBox`
+hyper-rectangles over the match fields
+
+    ``dst_ip`` x ``src_ip`` x ``proto`` x ``dst_port``
+
+Forwarding rules only constrain ``dst_ip``; ACL rules may constrain all four
+fields.  Boxes support exact intersection and subtraction, which is all the
+EC-splitting algorithm needs.  Everything here is immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.addr import IPV4_MAX, Prefix
+
+#: Match fields, in canonical order.
+FIELDS: Tuple[str, ...] = ("dst_ip", "src_ip", "proto", "dst_port")
+
+#: Inclusive upper bound of each field's domain (lower bound is always 0).
+FIELD_MAX: Dict[str, int] = {
+    "dst_ip": IPV4_MAX,
+    "src_ip": IPV4_MAX,
+    "proto": 255,
+    "dst_port": 65535,
+}
+
+#: A concrete packet header: one value per field, in FIELDS order.
+Header = Tuple[int, int, int, int]
+
+Interval = Tuple[int, int]
+
+
+class HeaderSpaceError(ValueError):
+    """Raised for malformed boxes or predicates."""
+
+
+def _full_intervals() -> Tuple[Interval, ...]:
+    return tuple((0, FIELD_MAX[f]) for f in FIELDS)
+
+
+@dataclass(frozen=True)
+class HeaderBox:
+    """A hyper-rectangle over the match fields (closed intervals)."""
+
+    intervals: Tuple[Interval, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.intervals) != len(FIELDS):
+            raise HeaderSpaceError(
+                f"expected {len(FIELDS)} intervals, got {len(self.intervals)}"
+            )
+        for field, (lo, hi) in zip(FIELDS, self.intervals):
+            if lo > hi:
+                raise HeaderSpaceError(f"empty interval for {field}: [{lo}, {hi}]")
+            if lo < 0 or hi > FIELD_MAX[field]:
+                raise HeaderSpaceError(
+                    f"interval out of domain for {field}: [{lo}, {hi}]"
+                )
+
+    @classmethod
+    def everything(cls) -> "HeaderBox":
+        """The box covering the entire header space."""
+        return cls(_full_intervals())
+
+    @classmethod
+    def build(cls, **field_ranges: Interval) -> "HeaderBox":
+        """Build a box constraining only the given fields.
+
+        >>> HeaderBox.build(proto=(6, 6)).intervals[2]
+        (6, 6)
+        """
+        intervals = list(_full_intervals())
+        for field, rng in field_ranges.items():
+            if field not in FIELDS:
+                raise HeaderSpaceError(f"unknown field: {field}")
+            intervals[FIELDS.index(field)] = rng
+        return cls(tuple(intervals))
+
+    @classmethod
+    def from_dst_prefix(cls, prefix: Prefix) -> "HeaderBox":
+        return cls.build(dst_ip=prefix.as_interval())
+
+    def interval(self, field: str) -> Interval:
+        return self.intervals[FIELDS.index(field)]
+
+    def volume(self) -> int:
+        """Number of concrete headers covered by the box."""
+        total = 1
+        for lo, hi in self.intervals:
+            total *= hi - lo + 1
+        return total
+
+    def contains(self, header: Header) -> bool:
+        return all(lo <= v <= hi for v, (lo, hi) in zip(header, self.intervals))
+
+    def is_subset(self, other: "HeaderBox") -> bool:
+        return all(
+            olo <= lo and hi <= ohi
+            for (lo, hi), (olo, ohi) in zip(self.intervals, other.intervals)
+        )
+
+    def intersect(self, other: "HeaderBox") -> Optional["HeaderBox"]:
+        """The overlap of two boxes, or ``None`` when they are disjoint."""
+        out: List[Interval] = []
+        for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals):
+            lo, hi = max(alo, blo), min(ahi, bhi)
+            if lo > hi:
+                return None
+            out.append((lo, hi))
+        return HeaderBox(tuple(out))
+
+    def subtract(self, other: "HeaderBox") -> List["HeaderBox"]:
+        """This box minus ``other``, as a list of disjoint boxes.
+
+        The classic slab decomposition: peel off the part of each dimension
+        lying outside ``other`` while pinning earlier dimensions to the
+        overlap.  Produces at most ``2 * len(FIELDS)`` boxes.
+        """
+        overlap = self.intersect(other)
+        if overlap is None:
+            return [self]
+        if self == overlap:
+            return []
+        pieces: List[HeaderBox] = []
+        pinned: List[Interval] = []
+        for axis, ((lo, hi), (olo, ohi)) in enumerate(
+            zip(self.intervals, overlap.intervals)
+        ):
+            rest = self.intervals[axis + 1 :]
+            if lo < olo:
+                pieces.append(
+                    HeaderBox(tuple(pinned) + ((lo, olo - 1),) + rest)
+                )
+            if ohi < hi:
+                pieces.append(
+                    HeaderBox(tuple(pinned) + ((ohi + 1, hi),) + rest)
+                )
+            pinned.append((olo, ohi))
+        return pieces
+
+    def sample(self) -> Header:
+        """A concrete header inside the box (the low corner)."""
+        return tuple(lo for lo, _ in self.intervals)  # type: ignore[return-value]
+
+    def __str__(self) -> str:
+        parts = []
+        for field, (lo, hi) in zip(FIELDS, self.intervals):
+            if (lo, hi) != (0, FIELD_MAX[field]):
+                parts.append(f"{field}=[{lo},{hi}]")
+        return "Box(" + ", ".join(parts or ["*"]) + ")"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A union of disjoint header boxes.
+
+    Predicates are the set algebra backing equivalence classes: they support
+    intersection, subtraction, disjoint union, and emptiness/volume queries.
+    The boxes are kept disjoint as an invariant (constructors guarantee it;
+    operations preserve it).
+    """
+
+    boxes: Tuple[HeaderBox, ...]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Predicate":
+        return cls(())
+
+    @classmethod
+    def everything(cls) -> "Predicate":
+        return cls((HeaderBox.everything(),))
+
+    @classmethod
+    def from_box(cls, box: HeaderBox) -> "Predicate":
+        return cls((box,))
+
+    @classmethod
+    def from_dst_prefix(cls, prefix: Prefix) -> "Predicate":
+        return cls((HeaderBox.from_dst_prefix(prefix),))
+
+    @classmethod
+    def from_disjoint_boxes(cls, boxes: Sequence[HeaderBox]) -> "Predicate":
+        """Wrap boxes the caller guarantees to be pairwise disjoint."""
+        return cls(tuple(boxes))
+
+    # -- set algebra -------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.boxes
+
+    def volume(self) -> int:
+        return sum(box.volume() for box in self.boxes)
+
+    def contains(self, header: Header) -> bool:
+        return any(box.contains(header) for box in self.boxes)
+
+    def intersect_box(self, box: HeaderBox) -> "Predicate":
+        out = []
+        for mine in self.boxes:
+            overlap = mine.intersect(box)
+            if overlap is not None:
+                out.append(overlap)
+        return Predicate(tuple(out))
+
+    def intersect(self, other: "Predicate") -> "Predicate":
+        out: List[HeaderBox] = []
+        for box in other.boxes:
+            out.extend(self.intersect_box(box).boxes)
+        return Predicate(tuple(out))
+
+    def subtract_box(self, box: HeaderBox) -> "Predicate":
+        out: List[HeaderBox] = []
+        for mine in self.boxes:
+            out.extend(mine.subtract(box))
+        return Predicate(tuple(out))
+
+    def subtract(self, other: "Predicate") -> "Predicate":
+        result = self
+        for box in other.boxes:
+            result = result.subtract_box(box)
+            if result.is_empty():
+                break
+        return result
+
+    def union_disjoint(self, other: "Predicate") -> "Predicate":
+        """Union of two predicates the caller knows are disjoint."""
+        return Predicate(self.boxes + other.boxes)
+
+    def union(self, other: "Predicate") -> "Predicate":
+        """General union (re-establishes disjointness)."""
+        return self.union_disjoint(other.subtract(self))
+
+    def overlaps(self, other: "Predicate") -> bool:
+        return any(
+            a.intersect(b) is not None for a in self.boxes for b in other.boxes
+        )
+
+    def overlaps_box(self, box: HeaderBox) -> bool:
+        return any(a.intersect(box) is not None for a in self.boxes)
+
+    def is_subset_of_box(self, box: HeaderBox) -> bool:
+        return all(mine.is_subset(box) for mine in self.boxes)
+
+    def semantically_equals(self, other: "Predicate") -> bool:
+        """Set equality (structural ``==`` compares box lists literally)."""
+        return self.subtract(other).is_empty() and other.subtract(self).is_empty()
+
+    def sample(self) -> Header:
+        if self.is_empty():
+            raise HeaderSpaceError("cannot sample from an empty predicate")
+        return self.boxes[0].sample()
+
+    def samples(self) -> Iterator[Header]:
+        """One concrete header per box."""
+        for box in self.boxes:
+            yield box.sample()
+
+    def dst_prefixes(self) -> List[Prefix]:
+        """CIDR cover of the destination-IP footprint (for reporting)."""
+        from repro.net.addr import interval_to_prefixes
+
+        prefixes: List[Prefix] = []
+        seen = set()
+        for box in self.boxes:
+            lo, hi = box.interval("dst_ip")
+            for prefix in interval_to_prefixes(lo, hi):
+                if prefix not in seen:
+                    seen.add(prefix)
+                    prefixes.append(prefix)
+        return prefixes
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "Pred(empty)"
+        return "Pred(" + " | ".join(str(b) for b in self.boxes) + ")"
+
+
+def header(dst_ip: int, src_ip: int = 0, proto: int = 0, dst_port: int = 0) -> Header:
+    """Convenience constructor for a concrete header tuple."""
+    return (dst_ip, src_ip, proto, dst_port)

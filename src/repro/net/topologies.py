@@ -1,0 +1,259 @@
+"""Topology generators.
+
+The paper's evaluation (§5) runs on a k=12 fat tree: 180 switches and 864
+links.  :func:`fat_tree` reproduces that construction for any even k.  The
+other generators (grid, ring, line, random) are used by tests and the example
+applications.
+
+Every generator returns a :class:`LabeledTopology`: the physical topology
+plus the metadata the configuration synthesizer needs — per-node role labels
+and the host prefixes each edge device originates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topology import InterfaceId, Topology, TopologyError
+
+#: Base of the address pool used for point-to-point link subnets (/30 each).
+LINK_POOL_BASE = parse_ipv4("10.0.0.0")
+
+#: Base of the address pool used for host (destination) prefixes (/24 each).
+HOST_POOL_BASE = parse_ipv4("172.16.0.0")
+
+
+@dataclass
+class LabeledTopology:
+    """A topology plus the labels needed to synthesize configurations."""
+
+    topology: Topology
+    #: node -> role ("core" / "agg" / "edge" / "router")
+    roles: Dict[str, str] = field(default_factory=dict)
+    #: node -> host prefixes originated (advertised) by that node
+    host_prefixes: Dict[str, List[Prefix]] = field(default_factory=dict)
+    #: human-readable description of the generator parameters
+    description: str = ""
+
+    def edge_nodes(self) -> List[str]:
+        return [n for n, r in self.roles.items() if r == "edge"]
+
+
+class _SubnetAllocator:
+    """Hands out consecutive subnets from an address pool."""
+
+    def __init__(self, base: int, length: int) -> None:
+        self._next = base
+        self._step = 1 << (32 - length)
+        self._length = length
+
+    def allocate(self) -> Prefix:
+        prefix = Prefix(self._next, self._length)
+        self._next += self._step
+        return prefix
+
+
+def _wire(
+    topo: Topology,
+    links: _SubnetAllocator,
+    a_node: str,
+    a_if: str,
+    b_node: str,
+    b_if: str,
+) -> None:
+    """Create two addressed interfaces and the link between them."""
+    subnet = links.allocate()
+    topo.add_interface(a_node, a_if, prefix=subnet, address=subnet.first() + 1)
+    topo.add_interface(b_node, b_if, prefix=subnet, address=subnet.first() + 2)
+    topo.add_link(InterfaceId(a_node, a_if), InterfaceId(b_node, b_if))
+
+
+def _attach_host_prefix(
+    labeled: LabeledTopology, hosts: _SubnetAllocator, node: str
+) -> None:
+    """Give ``node`` a host subnet on a stub interface."""
+    prefix = hosts.allocate()
+    labeled.topology.add_interface(
+        node, "host0", prefix=prefix, address=prefix.first() + 1
+    )
+    labeled.host_prefixes.setdefault(node, []).append(prefix)
+
+
+def fat_tree(k: int) -> LabeledTopology:
+    """The k-ary fat tree of the paper's evaluation.
+
+    - ``(k/2)^2`` core switches, each connected to one aggregation switch in
+      every pod;
+    - ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches,
+      fully bipartitely connected inside the pod;
+    - every edge switch originates one /24 host prefix.
+
+    ``fat_tree(12)`` gives the paper's topology: 180 nodes, 864 links.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology()
+    labeled = LabeledTopology(topo, description=f"fat-tree(k={k})")
+    links = _SubnetAllocator(LINK_POOL_BASE, 30)
+    hosts = _SubnetAllocator(HOST_POOL_BASE, 24)
+
+    cores = [f"core{i}" for i in range(half * half)]
+    for name in cores:
+        topo.add_node(name)
+        labeled.roles[name] = "core"
+    for pod in range(k):
+        for i in range(half):
+            agg = f"agg{pod}_{i}"
+            topo.add_node(agg)
+            labeled.roles[agg] = "agg"
+        for i in range(half):
+            edge = f"edge{pod}_{i}"
+            topo.add_node(edge)
+            labeled.roles[edge] = "edge"
+
+    # Core <-> aggregation: core (i*half + j) connects to agg i of every pod.
+    for i in range(half):
+        for j in range(half):
+            core = f"core{i * half + j}"
+            for pod in range(k):
+                agg = f"agg{pod}_{i}"
+                _wire(topo, links, core, f"eth{pod}", agg, f"up{j}")
+
+    # Aggregation <-> edge, full bipartite within each pod.
+    for pod in range(k):
+        for i in range(half):
+            agg = f"agg{pod}_{i}"
+            for j in range(half):
+                edge = f"edge{pod}_{j}"
+                _wire(topo, links, agg, f"down{j}", edge, f"up{i}")
+
+    for pod in range(k):
+        for j in range(half):
+            _attach_host_prefix(labeled, hosts, f"edge{pod}_{j}")
+    return labeled
+
+
+def line(n: int) -> LabeledTopology:
+    """A chain of n routers; every router originates a host prefix."""
+    if n < 1:
+        raise TopologyError(f"need at least one node, got {n}")
+    topo = Topology()
+    labeled = LabeledTopology(topo, description=f"line(n={n})")
+    links = _SubnetAllocator(LINK_POOL_BASE, 30)
+    hosts = _SubnetAllocator(HOST_POOL_BASE, 24)
+    for i in range(n):
+        topo.add_node(f"r{i}")
+        labeled.roles[f"r{i}"] = "router"
+    for i in range(n - 1):
+        _wire(topo, links, f"r{i}", "eth1", f"r{i + 1}", "eth0")
+    for i in range(n):
+        _attach_host_prefix(labeled, hosts, f"r{i}")
+    return labeled
+
+
+def ring(n: int) -> LabeledTopology:
+    """A cycle of n routers; every router originates a host prefix."""
+    if n < 3:
+        raise TopologyError(f"a ring needs at least 3 nodes, got {n}")
+    topo = Topology()
+    labeled = LabeledTopology(topo, description=f"ring(n={n})")
+    links = _SubnetAllocator(LINK_POOL_BASE, 30)
+    hosts = _SubnetAllocator(HOST_POOL_BASE, 24)
+    for i in range(n):
+        topo.add_node(f"r{i}")
+        labeled.roles[f"r{i}"] = "router"
+    for i in range(n):
+        _wire(topo, links, f"r{i}", "eth1", f"r{(i + 1) % n}", "eth0")
+    for i in range(n):
+        _attach_host_prefix(labeled, hosts, f"r{i}")
+    return labeled
+
+
+def grid(rows: int, cols: int) -> LabeledTopology:
+    """A rows x cols mesh; every router originates a host prefix."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid dimensions must be positive: {rows}x{cols}")
+    topo = Topology()
+    labeled = LabeledTopology(topo, description=f"grid({rows}x{cols})")
+    links = _SubnetAllocator(LINK_POOL_BASE, 30)
+    hosts = _SubnetAllocator(HOST_POOL_BASE, 24)
+
+    def name(r: int, c: int) -> str:
+        return f"g{r}_{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(name(r, c))
+            labeled.roles[name(r, c)] = "router"
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                _wire(topo, links, name(r, c), f"e{c + 1}", name(r, c + 1), f"w{c}")
+            if r + 1 < rows:
+                _wire(topo, links, name(r, c), f"s{r + 1}", name(r + 1, c), f"n{r}")
+    for r in range(rows):
+        for c in range(cols):
+            _attach_host_prefix(labeled, hosts, name(r, c))
+    return labeled
+
+
+def random_connected(
+    n: int, extra_links: int, seed: Optional[int] = None
+) -> LabeledTopology:
+    """A random connected graph: a random spanning tree plus extra links."""
+    if n < 1:
+        raise TopologyError(f"need at least one node, got {n}")
+    rng = random.Random(seed)
+    topo = Topology()
+    labeled = LabeledTopology(
+        topo, description=f"random(n={n}, extra={extra_links}, seed={seed})"
+    )
+    links = _SubnetAllocator(LINK_POOL_BASE, 30)
+    hosts = _SubnetAllocator(HOST_POOL_BASE, 24)
+    names = [f"r{i}" for i in range(n)]
+    for name in names:
+        topo.add_node(name)
+        labeled.roles[name] = "router"
+
+    counters: Dict[str, int] = {name: 0 for name in names}
+
+    def fresh_if(node: str) -> str:
+        counters[node] += 1
+        return f"eth{counters[node]}"
+
+    linked_pairs: set = set()
+
+    def connect(a: str, b: str) -> None:
+        linked_pairs.add(frozenset((a, b)))
+        _wire(topo, links, a, fresh_if(a), b, fresh_if(b))
+
+    order = names[:]
+    rng.shuffle(order)
+    for i in range(1, n):
+        connect(order[i], rng.choice(order[:i]))
+
+    attempts = 0
+    added = 0
+    while added < extra_links and attempts < extra_links * 20 + 100:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if frozenset((a, b)) in linked_pairs:
+            continue
+        connect(a, b)
+        added += 1
+
+    for name in names:
+        _attach_host_prefix(labeled, hosts, name)
+    return labeled
+
+
+def fat_tree_expected_sizes(k: int) -> Tuple[int, int]:
+    """(num switches, num links) of the k-ary fat tree, analytically."""
+    half = k // 2
+    nodes = half * half + k * k  # cores + (agg+edge per pod)
+    links = half * half * k + k * half * half
+    return nodes, links

@@ -1,0 +1,201 @@
+"""Network topology substrate.
+
+A :class:`Topology` is the physical layer the control plane runs over:
+nodes (routers), named interfaces, and point-to-point links between
+interfaces.  The configuration layer (``repro.config``) references nodes and
+interfaces by name; the routing layer reads link state (including per-link
+up/down status) from here.
+
+Interfaces carry an IP prefix.  For point-to-point links the two endpoint
+interfaces share a /30 (or /31) subnet, mirroring how the paper's fat-tree
+configurations are synthesized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.addr import Prefix
+
+
+class TopologyError(ValueError):
+    """Raised for inconsistent topology construction or lookups."""
+
+
+@dataclass(frozen=True)
+class InterfaceId:
+    """Globally unique interface identifier: (node name, interface name)."""
+
+    node: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.name}"
+
+
+@dataclass
+class Interface:
+    """A router interface.
+
+    ``prefix`` is the subnet configured on the interface; ``address`` is the
+    interface's own address within that subnet (an integer).  ``enabled``
+    reflects administrative status ("no shutdown").
+    """
+
+    id: InterfaceId
+    prefix: Optional[Prefix] = None
+    address: Optional[int] = None
+    enabled: bool = True
+
+    @property
+    def node(self) -> str:
+        return self.id.node
+
+    @property
+    def name(self) -> str:
+        return self.id.name
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected point-to-point link between two interfaces."""
+
+    a: InterfaceId
+    b: InterfaceId
+
+    def other(self, end: InterfaceId) -> InterfaceId:
+        if end == self.a:
+            return self.b
+        if end == self.b:
+            return self.a
+        raise TopologyError(f"{end} is not an endpoint of {self}")
+
+    def endpoints(self) -> Tuple[InterfaceId, InterfaceId]:
+        return (self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"{self.a} <-> {self.b}"
+
+
+@dataclass
+class Node:
+    """A router."""
+
+    name: str
+    interfaces: Dict[str, Interface] = field(default_factory=dict)
+
+    def interface(self, name: str) -> Interface:
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise TopologyError(f"no interface {name!r} on node {self.name!r}") from None
+
+
+class Topology:
+    """A mutable collection of nodes, interfaces, and links."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[InterfaceId, Link] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name: {name!r}")
+        node = Node(name)
+        self._nodes[name] = node
+        return node
+
+    def add_interface(
+        self,
+        node: str,
+        name: str,
+        prefix: Optional[Prefix] = None,
+        address: Optional[int] = None,
+    ) -> Interface:
+        owner = self.node(node)
+        if name in owner.interfaces:
+            raise TopologyError(f"duplicate interface {name!r} on node {node!r}")
+        iface = Interface(InterfaceId(node, name), prefix=prefix, address=address)
+        owner.interfaces[name] = iface
+        return iface
+
+    def add_link(self, a: InterfaceId, b: InterfaceId) -> Link:
+        for end in (a, b):
+            self.interface(end)  # validate existence
+            if end in self._links:
+                raise TopologyError(f"interface {end} is already linked")
+        if a == b:
+            raise TopologyError(f"self-link on {a}")
+        link = Link(a, b)
+        self._links[a] = link
+        self._links[b] = link
+        return link
+
+    # -- lookups -----------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"no node named {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def interface(self, iface_id: InterfaceId) -> Interface:
+        return self.node(iface_id.node).interface(iface_id.name)
+
+    def link_at(self, iface_id: InterfaceId) -> Optional[Link]:
+        return self._links.get(iface_id)
+
+    def neighbor_of(self, iface_id: InterfaceId) -> Optional[InterfaceId]:
+        """The interface at the other end of the link, if any."""
+        link = self._links.get(iface_id)
+        if link is None:
+            return None
+        return link.other(iface_id)
+
+    # -- iteration ---------------------------------------------------------
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def interfaces(self) -> Iterator[Interface]:
+        for node in self._nodes.values():
+            yield from node.interfaces.values()
+
+    def links(self) -> Iterator[Link]:
+        seen = set()
+        for link in self._links.values():
+            key = id(link)
+            if key not in seen:
+                seen.add(key)
+                yield link
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def num_links(self) -> int:
+        return sum(1 for _ in self.links())
+
+    # -- derived views -----------------------------------------------------
+
+    def adjacency(self) -> Dict[str, List[Tuple[str, InterfaceId, InterfaceId]]]:
+        """Node-level adjacency: node -> [(peer, local iface, peer iface)]."""
+        adj: Dict[str, List[Tuple[str, InterfaceId, InterfaceId]]] = {
+            name: [] for name in self._nodes
+        }
+        for link in self.links():
+            a, b = link.endpoints()
+            adj[a.node].append((b.node, a, b))
+            adj[b.node].append((a.node, b, a))
+        return adj
+
+    def __str__(self) -> str:
+        return f"Topology(nodes={self.num_nodes()}, links={self.num_links()})"

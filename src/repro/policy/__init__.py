@@ -1,0 +1,48 @@
+"""Incremental network policy checking."""
+
+from repro.policy.spec import (
+    BlackholeFree,
+    LoopFree,
+    Multipath,
+    Policy,
+    PolicyStatus,
+    Reachability,
+    Waypoint,
+    isolation,
+)
+from repro.policy.paths import EcAnalysis, analyze_ec
+from repro.policy.checker import CheckReport, IncrementalChecker, PolicyError
+from repro.policy.mining import MinedSpec, SpecificationMiner, single_link_failures
+from repro.policy.trace import (
+    DELIVERED,
+    DROPPED,
+    Hop,
+    Trace,
+    format_traces,
+    trace_packet,
+)
+
+__all__ = [
+    "MinedSpec",
+    "SpecificationMiner",
+    "single_link_failures",
+    "DELIVERED",
+    "DROPPED",
+    "Hop",
+    "Trace",
+    "format_traces",
+    "trace_packet",
+    "BlackholeFree",
+    "LoopFree",
+    "Multipath",
+    "Policy",
+    "PolicyStatus",
+    "Reachability",
+    "Waypoint",
+    "isolation",
+    "EcAnalysis",
+    "analyze_ec",
+    "CheckReport",
+    "IncrementalChecker",
+    "PolicyError",
+]

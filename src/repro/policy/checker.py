@@ -1,0 +1,455 @@
+"""The incremental network policy checker.
+
+Mirrors the paper's design (§4.2): the checker tracks the relationship
+between ECs, node pairs, and forwarding behaviour with two maps —
+
+1. each EC's analysis (its forwarding graph, deliveries, loops,
+   blackholes); the paper's "map from each EC to the set of paths the EC
+   traverses";
+2. ``pair_to_ecs``: a map from each endpoint pair (s, d) to the ECs
+   deliverable from s to d.
+
+After the model updater reports the affected ECs, only those ECs are
+re-analyzed; the pairs whose EC sets changed are identified from the
+analysis diff, and only the policies registered on affected ECs/pairs are
+re-evaluated.  The report lists policies that *became* violated and
+policies that *became* satisfied — the latter "helps operators test whether
+a repair plan works".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.dataplane.batch import BatchResult
+from repro.dataplane.ec import EcId, EcMerge, EcSplit
+from repro.dataplane.model import NetworkModel
+from repro.policy.paths import EcAnalysis, analyze_ec, _deliveries
+from repro.policy.spec import (
+    BlackholeFree,
+    LoopFree,
+    Multipath,
+    Policy,
+    PolicyStatus,
+    Reachability,
+    Waypoint,
+)
+
+Pair = Tuple[str, str]
+
+
+class PolicyError(ValueError):
+    """Raised for invalid checker operations."""
+
+
+def _node_disjoint_paths(
+    edges: Dict[str, Tuple[str, ...]], src: str, dst: str
+) -> int:
+    """Number of internally node-disjoint ``src -> dst`` paths in an EC's
+    forwarding graph (max flow with unit node capacities via node
+    splitting)."""
+    import networkx as nx
+
+    # Split every node v into v#in -> v#out (capacity 1, except the
+    # endpoints, which may carry several paths); forwarding edges go
+    # v#out -> w#in with capacity 1 (a physical hop carries one path).
+    graph = nx.DiGraph()
+    nodes = set(edges)
+    for nexts in edges.values():
+        nodes.update(nexts)
+    for node in nodes:
+        capacity = 10**9 if node in (src, dst) else 1
+        graph.add_edge(f"{node}#in", f"{node}#out", capacity=capacity)
+    for node, nexts in edges.items():
+        for succ in nexts:
+            graph.add_edge(f"{node}#out", f"{succ}#in", capacity=1)
+    if f"{src}#out" not in graph or f"{dst}#in" not in graph:
+        return 0
+    value, _ = nx.maximum_flow(graph, f"{src}#out", f"{dst}#in")
+    return int(value)
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one (incremental) check."""
+
+    affected_ecs: List[EcId] = field(default_factory=list)
+    affected_pairs: List[Pair] = field(default_factory=list)
+    total_pairs: int = 0
+    newly_violated: List[PolicyStatus] = field(default_factory=list)
+    newly_satisfied: List[PolicyStatus] = field(default_factory=list)
+    analysis_seconds: float = 0.0
+    policy_seconds: float = 0.0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.analysis_seconds + self.policy_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.affected_ecs)} ECs, "
+            f"{len(self.affected_pairs)}/{self.total_pairs} pairs affected; "
+            f"{len(self.newly_violated)} newly violated, "
+            f"{len(self.newly_satisfied)} newly satisfied "
+            f"({self.elapsed_seconds * 1000:.1f} ms)"
+        )
+
+
+class IncrementalChecker:
+    """Maintains per-EC analyses, the pair->EC map, and policy statuses."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        endpoints: Iterable[str],
+        policies: Iterable[Policy] = (),
+    ) -> None:
+        self.model = model
+        self.endpoints = sorted(set(endpoints))
+        self._endpoint_set = set(self.endpoints)
+        self._analyses: Dict[EcId, EcAnalysis] = {}
+        self._pair_to_ecs: Dict[Pair, Set[EcId]] = {}
+        self._policies: Dict[str, Policy] = {}
+        self._statuses: Dict[str, bool] = {}
+        #: pair -> policy names registered on it
+        self._by_pair: Dict[Pair, Set[str]] = {}
+        self._invariants: Set[str] = set()
+        model.ecs.add_listener(self._on_ec_event)
+        # Analyze the current data plane first, so policies added below are
+        # evaluated against real state.
+        self.initial_report = self.full_check()
+        for policy in policies:
+            self.add_policy(policy)
+
+    # -- policy registration ----------------------------------------------------
+
+    def add_policy(self, policy: Policy) -> PolicyStatus:
+        if policy.name in self._policies:
+            raise PolicyError(f"duplicate policy name {policy.name!r}")
+        box = policy.match_box()
+        if box is not None:
+            # Policies register on packet sets: make ECs atoms of the match.
+            self.model.ecs.register(box)
+        self._policies[policy.name] = policy
+        pair = policy.pair()
+        if pair is not None:
+            self._by_pair.setdefault(pair, set()).add(policy.name)
+        else:
+            self._invariants.add(policy.name)
+        status = self._evaluate(policy)
+        self._statuses[policy.name] = status.holds
+        return status
+
+    def remove_policy(self, name: str) -> None:
+        policy = self._policies.pop(name, None)
+        if policy is None:
+            raise PolicyError(f"no policy named {name!r}")
+        self._statuses.pop(name, None)
+        pair = policy.pair()
+        if pair is not None:
+            bucket = self._by_pair.get(pair)
+            if bucket is not None:
+                bucket.discard(name)
+                if not bucket:
+                    del self._by_pair[pair]
+        self._invariants.discard(name)
+        box = policy.match_box()
+        if box is not None:
+            self.model.ecs.unregister(box)
+
+    def policies(self) -> List[Policy]:
+        return [self._policies[name] for name in sorted(self._policies)]
+
+    def status(self, name: str) -> PolicyStatus:
+        policy = self._policies.get(name)
+        if policy is None:
+            raise PolicyError(f"no policy named {name!r}")
+        return self._evaluate(policy)
+
+    def statuses(self) -> List[PolicyStatus]:
+        return [self._evaluate(p) for p in self.policies()]
+
+    # -- EC lifecycle ---------------------------------------------------------------
+
+    def _on_ec_event(self, event) -> None:
+        if isinstance(event, EcSplit):
+            parent = self._analyses.get(event.parent)
+            if parent is not None:
+                # At split time the child behaves exactly like the parent.
+                child = EcAnalysis(
+                    ec=event.child,
+                    edges=dict(parent.edges),
+                    accepts=parent.accepts,
+                    delivered=dict(parent.delivered),
+                    loop_nodes=parent.loop_nodes,
+                    blackholes=parent.blackholes,
+                )
+                self._analyses[event.child] = child
+                for pair in self._tracked_pairs(parent):
+                    self._pair_to_ecs.setdefault(pair, set()).add(event.child)
+        elif isinstance(event, EcMerge):
+            loser = self._analyses.pop(event.loser, None)
+            if loser is not None:
+                for pair in self._tracked_pairs(loser):
+                    bucket = self._pair_to_ecs.get(pair)
+                    if bucket is not None:
+                        bucket.discard(event.loser)
+                        if not bucket:
+                            del self._pair_to_ecs[pair]
+
+    def _tracked_pairs(self, analysis: EcAnalysis) -> Set[Pair]:
+        return {
+            (src, dst)
+            for src, dst in analysis.delivered_pairs()
+            if src in self._endpoint_set and dst in self._endpoint_set
+        }
+
+    # -- checking --------------------------------------------------------------------
+
+    def total_pairs(self) -> int:
+        n = len(self.endpoints)
+        return n * (n - 1)
+
+    def full_check(self) -> CheckReport:
+        """(Re)analyze every EC; used at startup."""
+        return self._check_ecs(self.model.ecs.ec_ids())
+
+    def check_batch(self, batch: BatchResult) -> CheckReport:
+        """Re-analyze only the ECs the model updater reported as affected."""
+        return self._check_ecs(batch.affected_ec_ids(self.model))
+
+    def check_ecs(self, ecs: Iterable[EcId]) -> CheckReport:
+        return self._check_ecs(sorted(set(ecs)))
+
+    def _check_ecs(self, ecs: List[EcId]) -> CheckReport:
+        report = CheckReport(total_pairs=self.total_pairs())
+        started = time.perf_counter()
+        affected_pairs: Set[Pair] = set()
+        touched_invariants = False
+        for ec in ecs:
+            if not self.model.ecs.exists(ec):
+                continue
+            old = self._analyses.get(ec)
+            new = analyze_ec(self.model, ec)
+            self._analyses[ec] = new
+            old_pairs = self._tracked_pairs(old) if old is not None else set()
+            new_pairs = self._tracked_pairs(new)
+            for pair in old_pairs - new_pairs:
+                bucket = self._pair_to_ecs.get(pair)
+                if bucket is not None:
+                    bucket.discard(ec)
+                    if not bucket:
+                        del self._pair_to_ecs[pair]
+            for pair in new_pairs - old_pairs:
+                self._pair_to_ecs.setdefault(pair, set()).add(ec)
+            # The paper's affected pairs are the endpoints of the affected
+            # ECs' (old or new) paths — the pairs whose paths were modified,
+            # whether or not delivery flipped.
+            if old is not None:
+                affected_pairs.update(old_pairs | new_pairs)
+            else:
+                affected_pairs.update(new_pairs)
+            if old is None or old.loop_nodes != new.loop_nodes:
+                touched_invariants = True
+            if old is None or old.blackholes != new.blackholes:
+                touched_invariants = True
+            report.affected_ecs.append(ec)
+        report.analysis_seconds = time.perf_counter() - started
+        report.affected_pairs = sorted(affected_pairs)
+
+        started = time.perf_counter()
+        to_recheck: Set[str] = set()
+        for pair in affected_pairs:
+            to_recheck.update(self._by_pair.get(pair, ()))
+        # Pair policies can also flip when an EC inside their match splits
+        # or changes without altering set membership of other pairs — an EC
+        # in the affected list registered on a policy's match re-checks it.
+        for name, policy in self._policies.items():
+            box = policy.match_box()
+            if box is None:
+                continue
+            registered = self.model.ecs.ecs_in(box)
+            if registered.intersection(report.affected_ecs):
+                to_recheck.add(name)
+        if touched_invariants:
+            to_recheck.update(self._invariants)
+        for name in sorted(to_recheck):
+            policy = self._policies[name]
+            status = self._evaluate(policy)
+            previous = self._statuses.get(name)
+            self._statuses[name] = status.holds
+            if previous is None:
+                continue
+            if previous and not status.holds:
+                report.newly_violated.append(status)
+            elif not previous and status.holds:
+                report.newly_satisfied.append(status)
+        report.policy_seconds = time.perf_counter() - started
+        return report
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def delivered_ecs(self, src: str, dst: str) -> Set[EcId]:
+        """The paper's pair map: ECs deliverable from ``src`` to ``dst``."""
+        return set(self._pair_to_ecs.get((src, dst), set()))
+
+    def delivered_pair_map(self) -> Dict[Pair, FrozenSet[EcId]]:
+        return {
+            pair: frozenset(ecs) for pair, ecs in self._pair_to_ecs.items()
+        }
+
+    def analysis(self, ec: EcId) -> EcAnalysis:
+        try:
+            return self._analyses[ec]
+        except KeyError:
+            raise PolicyError(f"EC {ec} has not been analyzed") from None
+
+    def explain(self, name: str) -> List["Trace"]:
+        """Concrete evidence for a policy's current status: packet traces
+        (paper §4's debugging functionality) for a sample header of each
+        EC that decides the verdict.
+
+        - a violated reachability/multipath policy: traces of the
+          undelivered (or width-deficient) ECs from the policy's source;
+        - a violated isolation policy: traces of the leaking ECs;
+        - a violated waypoint policy: traces of the bypassing ECs;
+        - loop/blackhole violations: traces of offending ECs from a device
+          that feeds the loop or blackhole;
+        - a holding policy: traces of its registered ECs (the positive
+          evidence).
+        """
+        from repro.policy.trace import Trace, trace_packet
+
+        policy = self._policies.get(name)
+        if policy is None:
+            raise PolicyError(f"no policy named {name!r}")
+        traces: List[Trace] = []
+        box = policy.match_box()
+        if box is not None and policy.pair() is not None:
+            src = policy.pair()[0]
+            for ec in sorted(self.model.ecs.ecs_in(box)):
+                predicate = self.model.ecs.predicate(ec)
+                sample = predicate.intersect_box(box)
+                if sample.is_empty():
+                    continue
+                traces.extend(
+                    trace_packet(self.model, sample.sample(), src)
+                )
+            return traces
+        # Invariants: trace each offending EC from a device feeding it.
+        for ec, analysis in sorted(self._analyses.items()):
+            if not self.model.ecs.exists(ec):
+                continue
+            targets = set(analysis.loop_nodes) | set(analysis.blackholes)
+            if not targets:
+                continue
+            feeders = [
+                node
+                for node, nexts in analysis.edges.items()
+                if any(succ in targets for succ in nexts)
+            ] or sorted(targets)
+            traces.extend(
+                trace_packet(
+                    self.model,
+                    self.model.ecs.predicate(ec).sample(),
+                    sorted(feeders)[0],
+                )
+            )
+        return traces
+
+    def _evaluate(self, policy: Policy) -> PolicyStatus:
+        if isinstance(policy, Reachability):
+            return self._eval_reachability(policy)
+        if isinstance(policy, Waypoint):
+            return self._eval_waypoint(policy)
+        if isinstance(policy, Multipath):
+            return self._eval_multipath(policy)
+        if isinstance(policy, LoopFree):
+            return self._eval_loop_free(policy)
+        if isinstance(policy, BlackholeFree):
+            return self._eval_blackhole_free(policy)
+        raise PolicyError(f"unknown policy type: {type(policy).__name__}")
+
+    def _eval_reachability(self, policy: Reachability) -> PolicyStatus:
+        ecs = self.model.ecs.ecs_in(policy.match)
+        missing = []
+        present = []
+        for ec in sorted(ecs):
+            analysis = self._analyses.get(ec)
+            ok = analysis is not None and analysis.delivers(policy.src, policy.dst)
+            (present if ok else missing).append(ec)
+        if policy.expect_delivered:
+            holds = not missing
+            detail = "" if holds else f"ECs not delivered: {missing}"
+        else:
+            holds = not present
+            detail = "" if holds else f"ECs leaking through: {present}"
+        return PolicyStatus(policy, holds, detail)
+
+    def _eval_waypoint(self, policy: Waypoint) -> PolicyStatus:
+        ecs = self.model.ecs.ecs_in(policy.match)
+        offenders = []
+        for ec in sorted(ecs):
+            analysis = self._analyses.get(ec)
+            if analysis is None or not analysis.delivers(policy.src, policy.dst):
+                continue
+            # Delivered: does some path avoid the waypoint?  Check delivery
+            # in the graph with the waypoint removed.
+            edges = {
+                node: tuple(n for n in nexts if n != policy.waypoint)
+                for node, nexts in analysis.edges.items()
+                if node != policy.waypoint
+            }
+            accepts = set(analysis.accepts) - {policy.waypoint}
+            if policy.src == policy.waypoint:
+                continue
+            reach = _deliveries(edges, accepts)
+            if policy.dst in reach.get(policy.src, frozenset()):
+                offenders.append(ec)
+        holds = not offenders
+        detail = "" if holds else f"ECs bypassing {policy.waypoint}: {offenders}"
+        return PolicyStatus(policy, holds, detail)
+
+    def _eval_multipath(self, policy: Multipath) -> PolicyStatus:
+        ecs = self.model.ecs.ecs_in(policy.match)
+        weak = {}
+        for ec in sorted(ecs):
+            analysis = self._analyses.get(ec)
+            if analysis is None or not analysis.delivers(policy.src, policy.dst):
+                weak[ec] = 0
+                continue
+            width = _node_disjoint_paths(
+                analysis.edges, policy.src, policy.dst
+            )
+            if width < policy.min_paths:
+                weak[ec] = width
+        holds = not weak
+        detail = (
+            ""
+            if holds
+            else "ECs below the width requirement: "
+            + ", ".join(f"EC{ec}={width}" for ec, width in sorted(weak.items()))
+        )
+        return PolicyStatus(policy, holds, detail)
+
+    def _eval_loop_free(self, policy: LoopFree) -> PolicyStatus:
+        loops = {
+            ec: sorted(analysis.loop_nodes)
+            for ec, analysis in self._analyses.items()
+            if analysis.loop_nodes and self.model.ecs.exists(ec)
+        }
+        holds = not loops
+        detail = "" if holds else f"loops: {loops}"
+        return PolicyStatus(policy, holds, detail)
+
+    def _eval_blackhole_free(self, policy: BlackholeFree) -> PolicyStatus:
+        holes = {
+            ec: sorted(analysis.blackholes)
+            for ec, analysis in self._analyses.items()
+            if analysis.blackholes and self.model.ecs.exists(ec)
+        }
+        holds = not holes
+        detail = "" if holds else f"blackholes: {holes}"
+        return PolicyStatus(policy, holds, detail)

@@ -1,0 +1,146 @@
+"""Per-EC forwarding graph analysis.
+
+For one equivalence class, the data plane model induces a directed graph
+over devices (each device forwards the EC out of zero or more interfaces,
+filtered by ACLs).  :func:`analyze_ec` computes everything the policy
+checker needs from that graph:
+
+- which destination devices each source can deliver the EC to,
+- whether the graph contains a forwarding loop,
+- which devices blackhole the EC (receive it from a neighbor, then drop).
+
+The analysis is linear in the network size; the point of the incremental
+checker is to run it only for *affected* ECs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.dataplane.ec import EcId
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.ports import is_accept
+
+
+@dataclass
+class EcAnalysis:
+    """The forwarding behaviour of one EC across the network."""
+
+    ec: EcId
+    #: device -> devices it forwards the EC to (deduplicated)
+    edges: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: devices that deliver the EC locally
+    accepts: FrozenSet[str] = frozenset()
+    #: device -> set of accepting devices it can deliver the EC to
+    delivered: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: devices on a directed forwarding cycle
+    loop_nodes: FrozenSet[str] = frozenset()
+    #: devices that receive the EC from a neighbor and drop it
+    blackholes: FrozenSet[str] = frozenset()
+
+    def has_loop(self) -> bool:
+        return bool(self.loop_nodes)
+
+    def delivers(self, src: str, dst: str) -> bool:
+        return dst in self.delivered.get(src, frozenset())
+
+    def delivered_pairs(self) -> Set[Tuple[str, str]]:
+        return {
+            (src, dst)
+            for src, dsts in self.delivered.items()
+            for dst in dsts
+            if src != dst
+        }
+
+
+def analyze_ec(model: NetworkModel, ec: EcId) -> EcAnalysis:
+    """Build and analyze the EC's forwarding graph."""
+    analysis = EcAnalysis(ec)
+    edges: Dict[str, Tuple[str, ...]] = {}
+    accepts: Set[str] = set()
+    blackholes: Set[str] = set()
+
+    for node in model.device_names():
+        port = model.port_of(node, ec)
+        if is_accept(port):
+            accepts.add(node)
+        hops = model.next_devices(node, ec)
+        if hops:
+            edges[node] = tuple(sorted({next_node for _, next_node, _ in hops}))
+
+    incoming: Set[str] = set()
+    for node, nexts in edges.items():
+        incoming.update(nexts)
+    for node in incoming:
+        if not edges.get(node) and node not in accepts:
+            blackholes.add(node)
+
+    analysis.edges = edges
+    analysis.accepts = frozenset(accepts)
+    analysis.blackholes = frozenset(blackholes)
+    analysis.loop_nodes = frozenset(_cycle_nodes(edges))
+    analysis.delivered = _deliveries(edges, accepts)
+    return analysis
+
+
+def _cycle_nodes(edges: Dict[str, Tuple[str, ...]]) -> Set[str]:
+    """Devices on a directed cycle (iterative three-color DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    on_cycle: Set[str] = set()
+    for root in edges:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        path: List[str] = []
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, idx = stack[-1]
+            nexts = edges.get(node, ())
+            if idx < len(nexts):
+                stack[-1] = (node, idx + 1)
+                succ = nexts[idx]
+                succ_color = color.get(succ, WHITE)
+                if succ_color == WHITE:
+                    color[succ] = GRAY
+                    path.append(succ)
+                    stack.append((succ, 0))
+                elif succ_color == GRAY:
+                    # Back edge: everything from succ to the top of the
+                    # current path is on a cycle.
+                    start = path.index(succ)
+                    on_cycle.update(path[start:])
+            else:
+                stack.pop()
+                path.pop()
+                color[node] = BLACK
+    return on_cycle
+
+
+def _deliveries(
+    edges: Dict[str, Tuple[str, ...]], accepts: Set[str]
+) -> Dict[str, FrozenSet[str]]:
+    """For every device: the accepting devices it can reach.
+
+    One reverse BFS per accepting device — an EC typically terminates at
+    very few devices (its destination prefix's owners), so this is nearly
+    linear in the EC's graph size.
+    """
+    reverse: Dict[str, List[str]] = {}
+    for node, nexts in edges.items():
+        for succ in nexts:
+            reverse.setdefault(succ, []).append(node)
+    reach: Dict[str, Set[str]] = {}
+    for dst in accepts:
+        frontier = [dst]
+        seen = {dst}
+        while frontier:
+            node = frontier.pop()
+            reach.setdefault(node, set()).add(dst)
+            for pred in reverse.get(node, ()):
+                if pred not in seen:
+                    seen.add(pred)
+                    frontier.append(pred)
+    return {node: frozenset(dsts) for node, dsts in reach.items()}

@@ -1,0 +1,121 @@
+"""Policy specifications.
+
+The paper's checker handles "both network invariants, e.g., loop-freedom,
+blackhole-freedom, and operator intent, e.g., reachability, waypoint"
+(§4.2).  Policies are immutable values; the checker evaluates them against
+its per-EC analysis and reports *changes* in satisfaction.
+
+Intent policies carry a match box ("only HTTP traffic...") — the box is
+registered with the EC manager when the policy is added, so equivalence
+classes are atoms of policy matches too and a policy's EC set is an exact
+index lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.net.headerspace import HeaderBox
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Base class; ``name`` identifies the policy in reports."""
+
+    name: str
+
+    def match_box(self) -> Optional[HeaderBox]:
+        """The packet set the policy registers on (None for invariants)."""
+        return None
+
+    def pair(self) -> Optional[Tuple[str, str]]:
+        """The (src, dst) pair the policy registers on, if any."""
+        return None
+
+
+@dataclass(frozen=True)
+class Reachability(Policy):
+    """Traffic in ``match`` sent from ``src`` must reach (be delivered at)
+    ``dst`` — or must NOT, when ``expect_delivered`` is False (isolation)."""
+
+    src: str = ""
+    dst: str = ""
+    match: HeaderBox = field(default_factory=HeaderBox.everything)
+    expect_delivered: bool = True
+
+    def match_box(self) -> Optional[HeaderBox]:
+        return self.match
+
+    def pair(self) -> Optional[Tuple[str, str]]:
+        return (self.src, self.dst)
+
+
+def isolation(name: str, src: str, dst: str, match: HeaderBox) -> Reachability:
+    """Convenience constructor for the isolation form of reachability."""
+    return Reachability(name, src, dst, match, expect_delivered=False)
+
+
+@dataclass(frozen=True)
+class Waypoint(Policy):
+    """Traffic in ``match`` delivered from ``src`` to ``dst`` must traverse
+    ``waypoint`` on every forwarding path."""
+
+    src: str = ""
+    dst: str = ""
+    waypoint: str = ""
+    match: HeaderBox = field(default_factory=HeaderBox.everything)
+
+    def match_box(self) -> Optional[HeaderBox]:
+        return self.match
+
+    def pair(self) -> Optional[Tuple[str, str]]:
+        return (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class Multipath(Policy):
+    """Load-balance intent (the paper's §4.2 policy list): traffic in
+    ``match`` delivered from ``src`` to ``dst`` must have at least
+    ``min_paths`` node-disjoint forwarding paths (so any
+    ``min_paths - 1`` transit devices may fail without losing delivery)."""
+
+    src: str = ""
+    dst: str = ""
+    min_paths: int = 2
+    match: HeaderBox = field(default_factory=HeaderBox.everything)
+
+    def match_box(self) -> Optional[HeaderBox]:
+        return self.match
+
+    def pair(self) -> Optional[Tuple[str, str]]:
+        return (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class LoopFree(Policy):
+    """No EC's forwarding graph may contain a directed cycle."""
+
+
+@dataclass(frozen=True)
+class BlackholeFree(Policy):
+    """No EC may be forwarded to a device that then drops it.
+
+    The unavoidable default-drop of address space nobody owns does not
+    count: only packets *sent onward* by some device and dropped at the next
+    hop are blackholes.
+    """
+
+
+@dataclass(frozen=True)
+class PolicyStatus:
+    """One policy's current evaluation."""
+
+    policy: Policy
+    holds: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        state = "holds" if self.holds else "VIOLATED"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.policy.name}: {state}{suffix}"

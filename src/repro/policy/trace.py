@@ -1,0 +1,159 @@
+"""Packet tracing.
+
+The paper argues that "explicitly generating data planes allows a diverse
+set of debugging functionalities like dumping the full packet traces (what
+rules they match, which path they take, etc.)" (§4).  This module provides
+that: given a concrete packet header and an injection point,
+:func:`trace_packet` walks the data plane model hop by hop and records, at
+each device, the equivalence class, the matched forwarding behaviour (the
+logical port), any ACL verdicts, and the final disposition.
+
+ECMP is followed on every branch, producing a trace *tree* flattened into
+one :class:`Trace` per root-to-leaf path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.dataplane.ec import EcId
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.ports import Port, is_accept, is_drop, port_interfaces
+from repro.net.headerspace import Header
+from repro.net.topology import InterfaceId
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One device visit in a trace."""
+
+    device: str
+    ec: EcId
+    port: Port
+    #: interface the packet left through (None on terminal hops)
+    out_interface: Optional[str] = None
+    #: why the walk stopped or continued
+    note: str = ""
+
+    def __str__(self) -> str:
+        action = self.out_interface or self.note or str(self.port)
+        return f"{self.device}[{action}]"
+
+
+#: Final packet disposition of one trace.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+DENIED_EGRESS = "denied by egress ACL"
+DENIED_INGRESS = "denied by ingress ACL"
+LOOPED = "forwarding loop"
+DISCONNECTED = "interface not connected"
+
+
+@dataclass
+class Trace:
+    """One root-to-leaf forwarding path of a packet."""
+
+    header: Header
+    hops: List[Hop] = field(default_factory=list)
+    disposition: str = DROPPED
+
+    @property
+    def path(self) -> List[str]:
+        return [hop.device for hop in self.hops]
+
+    def delivered(self) -> bool:
+        return self.disposition == DELIVERED
+
+    def __str__(self) -> str:
+        chain = " -> ".join(str(hop) for hop in self.hops)
+        return f"{chain} :: {self.disposition}"
+
+
+def trace_packet(
+    model: NetworkModel, header: Header, source: str, max_hops: int = 64
+) -> List[Trace]:
+    """All forwarding paths of ``header`` injected at ``source``.
+
+    Every ECMP branch is explored; each returned trace ends in a terminal
+    disposition (delivered, dropped, ACL-denied, looped, or disconnected).
+    """
+    ec = model.ecs.classify(header)
+    traces: List[Trace] = []
+    _walk(model, header, ec, source, [], set(), traces, max_hops)
+    return traces
+
+
+def _walk(
+    model: NetworkModel,
+    header: Header,
+    ec: EcId,
+    device: str,
+    hops: List[Hop],
+    visited: Set[str],
+    traces: List[Trace],
+    budget: int,
+) -> None:
+    port = model.port_of(device, ec)
+
+    if device in visited:
+        trace = Trace(header, hops + [Hop(device, ec, port, note="revisited")])
+        trace.disposition = LOOPED
+        traces.append(trace)
+        return
+    if budget <= 0:
+        trace = Trace(header, hops + [Hop(device, ec, port, note="hop budget")])
+        trace.disposition = LOOPED
+        traces.append(trace)
+        return
+
+    if is_accept(port):
+        trace = Trace(header, hops + [Hop(device, ec, port, note="accept")])
+        trace.disposition = DELIVERED
+        traces.append(trace)
+        return
+    if is_drop(port):
+        trace = Trace(header, hops + [Hop(device, ec, port, note="no route")])
+        trace.disposition = DROPPED
+        traces.append(trace)
+        return
+
+    visited = visited | {device}
+    for iface in port_interfaces(port):
+        hop = Hop(device, ec, port, out_interface=iface)
+        if not model.filter_permits(device, iface, "out", ec):
+            trace = Trace(header, hops + [hop])
+            trace.disposition = DENIED_EGRESS
+            traces.append(trace)
+            continue
+        peer = model.topology.neighbor_of(InterfaceId(device, iface))
+        if peer is None:
+            trace = Trace(header, hops + [hop])
+            trace.disposition = DISCONNECTED
+            traces.append(trace)
+            continue
+        if not model.filter_permits(peer.node, peer.name, "in", ec):
+            trace = Trace(header, hops + [hop])
+            trace.disposition = DENIED_INGRESS
+            traces.append(trace)
+            continue
+        _walk(
+            model,
+            header,
+            ec,
+            peer.node,
+            hops + [hop],
+            visited,
+            traces,
+            budget - 1,
+        )
+
+
+def format_traces(traces: List[Trace]) -> str:
+    """Human-readable multi-line rendering of a trace set."""
+    if not traces:
+        return "(no traces)"
+    lines = [f"packet {traces[0].header}: {len(traces)} path(s)"]
+    for index, trace in enumerate(traces):
+        lines.append(f"  [{index}] {trace}")
+    return "\n".join(lines)

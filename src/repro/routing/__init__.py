@@ -1,0 +1,39 @@
+"""Control plane semantics on top of the differential engine."""
+
+from repro.routing.types import ACCEPT, AdminDistance, FibEntry, RibEntry
+from repro.routing.policies import (
+    DEFAULT_LOCAL_PREF,
+    PERMIT_ALL,
+    apply_policy,
+    encode_route_map,
+    permits,
+)
+from repro.routing.facts import INPUT_RELATIONS, diff_facts, extract_facts
+from repro.routing.model import (
+    Relations,
+    build_control_plane_program,
+    compile_control_plane,
+)
+from repro.routing.program import ControlPlane, FibDelta
+from repro.routing.bgp import LOCAL
+
+__all__ = [
+    "ACCEPT",
+    "AdminDistance",
+    "FibEntry",
+    "RibEntry",
+    "DEFAULT_LOCAL_PREF",
+    "PERMIT_ALL",
+    "apply_policy",
+    "encode_route_map",
+    "permits",
+    "INPUT_RELATIONS",
+    "diff_facts",
+    "extract_facts",
+    "Relations",
+    "build_control_plane_program",
+    "compile_control_plane",
+    "ControlPlane",
+    "FibDelta",
+    "LOCAL",
+]

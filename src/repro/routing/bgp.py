@@ -1,0 +1,181 @@
+"""eBGP as incremental Datalog.
+
+The model follows the stable-paths view of BGP (one AS per router, sessions
+over direct links, the paper's evaluation setup):
+
+- ``bgp_sess(u, u_if, v, v_if)`` — an established session: the link is
+  live, both ends configure each other with the correct remote AS.
+- ``bgp_cand(u, network, plen, lp, path, recv_if)`` — a usable route at
+  ``u``: locally originated (empty AS path, ``recv_if`` = ``@local``) or
+  imported from a neighbor's advertised best route, after the neighbor's
+  outbound policy and our inbound policy, with AS-path loop prevention.
+- ``bgp_best(u, network, plen, lp, path)`` — the advertised best route
+  (highest local preference, then shortest AS path, then a deterministic
+  tie-break), one per (router, prefix).
+- ``bgp_nexthop(u, network, plen, recv_if)`` — every receiving interface
+  whose route ties the best on (local pref, path length): equal-cost
+  multipath across peers, the multipath-relax behaviour large fabrics use.
+
+Local preference changes (the paper's LP change) are plain replacements of
+``bgp_policy_in`` facts; the engine re-derives exactly the affected routes.
+A configuration with no stable path assignment (a "bad gadget") makes the
+fixpoint oscillate, which the convergence monitor reports (paper §6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.ddlog.dsl import Program, const
+from repro.routing.model import Relations
+from repro.routing.policies import DEFAULT_LOCAL_PREF, apply_policy, permits
+from repro.routing.types import AdminDistance
+
+#: Pseudo-interface marking locally originated routes.
+LOCAL = "@local"
+
+
+def _strictly_contains(anet: int, aplen: int, net: int, plen: int) -> bool:
+    """Whether (anet/aplen) strictly contains (net/plen)."""
+    if plen <= aplen:
+        return False
+    from repro.net.addr import IPV4_BITS, IPV4_MAX
+
+    mask = (IPV4_MAX << (IPV4_BITS - aplen)) & IPV4_MAX if aplen else 0
+    return (net & mask) == anet
+
+
+def _preference(record: Tuple) -> Tuple:
+    """Sort key of a ``bgp_cand`` record: higher is better."""
+    lp, path = record[3], record[4]
+    return (lp, -len(path))
+
+
+def _best_route(group: Tuple, counts: Dict[Tuple, int]) -> Iterable[Tuple]:
+    """(u, network, plen) group -> the single advertised best route."""
+    best = max(_preference(record) for record in counts)
+    winners = sorted(
+        (record for record in counts if _preference(record) == best),
+        key=lambda record: (record[4], record[5]),
+    )
+    record = winners[0]
+    yield (group[0], group[1], group[2], record[3], record[4])
+
+
+def _nexthops(group: Tuple, counts: Dict[Tuple, int]) -> Iterable[Tuple]:
+    """(u, network, plen) group -> one fact per multipath interface."""
+    best = max(_preference(record) for record in counts)
+    interfaces = {
+        record[5]
+        for record in counts
+        if _preference(record) == best and record[5] != LOCAL
+    }
+    for iface in sorted(interfaces):
+        yield (group[0], group[1], group[2], iface)
+
+
+def add_bgp_rules(prog: Program, r: Relations) -> None:
+    """Sessions, route candidates, best-route selection, multipath."""
+    r.bgp_sess = prog.relation("bgp_sess", ("u", "u_if", "v", "v_if"))
+    prog.rule(
+        r.bgp_sess,
+        [
+            r.live_link("u", "uif", "v", "vif"),
+            r.bgp_neigh("u", "uif", "ras_u"),
+            r.bgp_node("v", "ras_u"),
+            r.bgp_neigh("v", "vif", "ras_v"),
+            r.bgp_node("u", "ras_v"),
+        ],
+        head_terms=("u", "uif", "v", "vif"),
+    )
+
+    r.bgp_cand = prog.relation(
+        "bgp_cand", ("u", "network", "plen", "lp", "path", "recv_if")
+    )
+    # Locally originated prefixes.
+    prog.rule(
+        r.bgp_cand,
+        [r.bgp_net("u", "net", "plen")],
+        head_terms=("u", "net", "plen", DEFAULT_LOCAL_PREF, (), const(LOCAL)),
+    )
+
+    r.bgp_best = prog.aggregate(
+        "bgp_best",
+        ("u", "network", "plen", "lp", "path"),
+        r.bgp_cand,
+        key=lambda record: (record[0], record[1], record[2]),
+        agg=_best_route,
+    )
+
+    # Import from a neighbor's best route: export policy of the sender,
+    # import policy of the receiver, AS-path loop prevention.
+    prog.rule(
+        r.bgp_cand,
+        [
+            r.bgp_sess("u", "uif", "v", "vif"),
+            r.bgp_best("v", "net", "plen", "lp", "path"),
+            r.bgp_node("v", "asv"),
+            r.bgp_node("u", "asu"),
+            r.bgp_policy_out("v", "vif", "outp"),
+            r.bgp_policy_in("u", "uif", "inp"),
+        ],
+        head_terms=("u", "net", "plen", "lp2", "path2", "uif"),
+        lets=[
+            ("path2", lambda env: (env["asv"],) + env["path"]),
+            (
+                "lp2",
+                lambda env: apply_policy(
+                    env["inp"], env["net"], env["plen"], DEFAULT_LOCAL_PREF
+                ),
+            ),
+        ],
+        where=lambda env: (
+            env["asu"] not in env["path2"]
+            and env["lp2"] is not None
+            and permits(env["outp"], env["net"], env["plen"])
+        ),
+    )
+
+    # Route aggregation: an aggregate-address is originated while some
+    # strictly more specific route is selected in the BGP table (the
+    # recursive dependency on bgp_best makes this self-maintaining under
+    # withdrawals of the last contributor).
+    prog.rule(
+        r.bgp_cand,
+        [
+            r.bgp_agg("u", "anet", "aplen"),
+            r.bgp_best("u", "net", "plen", "lp", "path"),
+        ],
+        head_terms=("u", "anet", "aplen", DEFAULT_LOCAL_PREF, (), const(LOCAL)),
+        where=lambda env: _strictly_contains(
+            env["anet"], env["aplen"], env["net"], env["plen"]
+        ),
+    )
+
+    r.bgp_nexthop = prog.aggregate(
+        "bgp_nexthop",
+        ("u", "network", "plen", "recv_if"),
+        r.bgp_cand,
+        key=lambda record: (record[0], record[1], record[2]),
+        agg=_nexthops,
+    )
+
+
+def add_bgp_routes(prog: Program, r: Relations) -> None:
+    """RIB candidates: one per multipath next hop, metric = AS-path length."""
+    prog.rule(
+        r.rib_cand,
+        [
+            r.bgp_nexthop("u", "net", "plen", "uif"),
+            r.bgp_best("u", "net", "plen", "lp", "path"),
+        ],
+        head_terms=(
+            "u",
+            "net",
+            "plen",
+            int(AdminDistance.EBGP),
+            "metric",
+            "uif",
+        ),
+        lets=[("metric", lambda env: len(env["path"]))],
+    )

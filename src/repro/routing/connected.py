@@ -1,0 +1,28 @@
+"""Connected routes.
+
+A subnet configured on an enabled interface is reachable at administrative
+distance 0; packets for it are delivered locally (the :data:`ACCEPT`
+action), which is how forwarding paths terminate at their destination
+router.
+"""
+
+from __future__ import annotations
+
+from repro.ddlog.dsl import Program, const
+from repro.routing.model import Relations
+from repro.routing.types import ACCEPT, AdminDistance
+
+
+def add_connected_routes(prog: Program, r: Relations) -> None:
+    prog.rule(
+        r.rib_cand,
+        [r.connected("n", "net", "plen", "i")],
+        head_terms=(
+            "n",
+            "net",
+            "plen",
+            int(AdminDistance.CONNECTED),
+            0,
+            const(ACCEPT),
+        ),
+    )

@@ -1,0 +1,135 @@
+"""Extraction of engine input facts from a configuration snapshot.
+
+This is the boundary between the configuration world and the Datalog world:
+a snapshot maps to a set of facts per input relation, and a configuration
+change maps to the *set difference* of the extractions — insertions and
+deletions of facts, mirroring the paper's insertions and deletions of
+configuration lines.  Extraction is linear in configuration size and cheap
+compared to control plane evaluation.
+
+ACL contents are deliberately *not* extracted here: packet filtering rules
+are explicit in the configuration, so RealConfig extracts filtering rule
+changes directly (paper §4.2); see
+:meth:`repro.core.generator.IncrementalDataPlaneGenerator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.config.schema import Snapshot
+from repro.routing.policies import encode_route_map
+
+Fact = Tuple
+FactSet = Set[Fact]
+
+#: Names of every engine input relation.
+INPUT_RELATIONS = (
+    "link",
+    "up",
+    "iface_addr",
+    "ospf_iface",
+    "ospf_redist",
+    "bgp_node",
+    "bgp_neigh",
+    "bgp_net",
+    "bgp_agg",
+    "bgp_redist",
+    "bgp_policy_in",
+    "bgp_policy_out",
+    "static_rt",
+    "static_ip",
+)
+
+
+def extract_facts(snapshot: Snapshot) -> Dict[str, FactSet]:
+    """Map a snapshot to its input facts, keyed by relation name."""
+    facts: Dict[str, FactSet] = {name: set() for name in INPUT_RELATIONS}
+
+    for link in snapshot.topology.links():
+        a, b = link.endpoints()
+        facts["link"].add((a.node, a.name, b.node, b.name))
+        facts["link"].add((b.node, b.name, a.node, a.name))
+
+    for device in snapshot.iter_devices():
+        node = device.hostname
+        for iface in device.interfaces.values():
+            if iface.is_up():
+                facts["up"].add((node, iface.name))
+            if iface.prefix is not None:
+                facts["iface_addr"].add(
+                    (node, iface.name, iface.prefix.network, iface.prefix.length)
+                )
+            if iface.ospf_enabled and device.ospf is not None:
+                facts["ospf_iface"].add((node, iface.name, iface.ospf_cost))
+
+        if device.ospf is not None:
+            for redist in device.ospf.redistribute:
+                facts["ospf_redist"].add((node, redist.source, redist.metric))
+
+        if device.bgp is not None:
+            bgp = device.bgp
+            facts["bgp_node"].add((node, bgp.asn))
+            for prefix in bgp.networks:
+                facts["bgp_net"].add((node, prefix.network, prefix.length))
+            for prefix in bgp.aggregates:
+                facts["bgp_agg"].add((node, prefix.network, prefix.length))
+            for neighbor in bgp.neighbors.values():
+                facts["bgp_neigh"].add((node, neighbor.interface, neighbor.remote_as))
+                rm_in = (
+                    device.route_maps.get(neighbor.route_map_in)
+                    if neighbor.route_map_in
+                    else None
+                )
+                rm_out = (
+                    device.route_maps.get(neighbor.route_map_out)
+                    if neighbor.route_map_out
+                    else None
+                )
+                facts["bgp_policy_in"].add(
+                    (node, neighbor.interface, encode_route_map(rm_in))
+                )
+                facts["bgp_policy_out"].add(
+                    (node, neighbor.interface, encode_route_map(rm_out))
+                )
+            for redist in bgp.redistribute:
+                facts["bgp_redist"].add((node, redist.source, redist.metric))
+
+        for route in device.static_routes:
+            if route.next_hop_interface is not None:
+                facts["static_rt"].add(
+                    (
+                        node,
+                        route.prefix.network,
+                        route.prefix.length,
+                        route.next_hop_interface,
+                        route.admin_distance,
+                    )
+                )
+            else:
+                facts["static_ip"].add(
+                    (
+                        node,
+                        route.prefix.network,
+                        route.prefix.length,
+                        route.next_hop_ip,
+                        route.admin_distance,
+                    )
+                )
+
+    return facts
+
+
+def diff_facts(
+    old: Dict[str, FactSet], new: Dict[str, FactSet]
+) -> Dict[str, Tuple[FactSet, FactSet]]:
+    """Per relation: (inserted facts, deleted facts)."""
+    out: Dict[str, Tuple[FactSet, FactSet]] = {}
+    for name in INPUT_RELATIONS:
+        old_set = old.get(name, set())
+        new_set = new.get(name, set())
+        inserted = new_set - old_set
+        deleted = old_set - new_set
+        if inserted or deleted:
+            out[name] = (inserted, deleted)
+    return out

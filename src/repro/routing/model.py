@@ -1,0 +1,142 @@
+"""The control-plane-as-Datalog model.
+
+This module assembles the full Datalog program RealConfig evaluates: input
+relations extracted from configurations, per-protocol derivation rules
+(:mod:`repro.routing.ospf`, :mod:`repro.routing.bgp`, ...), and the final
+RIB merge producing the ``fib`` relation (:mod:`repro.routing.rib`).
+
+Input relations (all facts are plain tuples):
+
+====================  =======================================================
+``link``              ``(u, u_if, v, v_if)`` physical adjacency, both
+                      directions (from the topology; static across epochs)
+``up``                ``(node, iface)`` administratively enabled interfaces
+``iface_addr``        ``(node, iface, network, plen)`` connected subnets
+``ospf_iface``        ``(node, iface, cost)`` OSPF-enabled interfaces
+``ospf_redist``       ``(node, source, metric)``
+``bgp_node``          ``(node, asn)``
+``bgp_neigh``         ``(node, iface, remote_as)``
+``bgp_net``           ``(node, network, plen)`` originated prefixes
+``bgp_redist``        ``(node, source, metric)``
+``bgp_policy_in``     ``(node, iface, policy)`` encoded inbound route map
+                      (always present for a configured neighbor; ``()`` is
+                      permit-all)
+``bgp_policy_out``    ``(node, iface, policy)``
+``static_rt``         ``(node, network, plen, out_iface, admin_distance)``
+====================  =======================================================
+
+The output relation is ``fib(node, network, plen, out_iface)`` — one fact
+per (destination, next hop), i.e. ECMP produces multiple facts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ddlog.convergence import ConvergenceMonitor
+from repro.ddlog.dsl import CompiledProgram, Program, Relation
+
+
+class Relations:
+    """Namespace of the control plane program's relations."""
+
+    # inputs
+    link: Relation
+    up: Relation
+    iface_addr: Relation
+    ospf_iface: Relation
+    ospf_redist: Relation
+    bgp_node: Relation
+    bgp_neigh: Relation
+    bgp_net: Relation
+    bgp_agg: Relation
+    bgp_redist: Relation
+    bgp_policy_in: Relation
+    bgp_policy_out: Relation
+    static_rt: Relation
+    static_ip: Relation
+    # derived, shared
+    live_link: Relation
+    connected: Relation
+    rib_cand: Relation
+    fib: Relation
+    # OSPF
+    ospf_link: Relation
+    ospf_cand: Relation
+    ospf_dist: Relation
+    ospf_nexthop: Relation
+    ospf_dest: Relation
+    ospf_ext: Relation
+    # BGP
+    bgp_sess: Relation
+    bgp_cand: Relation
+    bgp_best: Relation
+    bgp_nexthop: Relation
+
+
+def declare_inputs(prog: Program) -> Relations:
+    r = Relations()
+    r.link = prog.input("link", ("u", "u_if", "v", "v_if"))
+    r.up = prog.input("up", ("node", "iface"))
+    r.iface_addr = prog.input("iface_addr", ("node", "iface", "network", "plen"))
+    r.ospf_iface = prog.input("ospf_iface", ("node", "iface", "cost"))
+    r.ospf_redist = prog.input("ospf_redist", ("node", "source", "metric"))
+    r.bgp_node = prog.input("bgp_node", ("node", "asn"))
+    r.bgp_neigh = prog.input("bgp_neigh", ("node", "iface", "remote_as"))
+    r.bgp_net = prog.input("bgp_net", ("node", "network", "plen"))
+    r.bgp_agg = prog.input("bgp_agg", ("node", "network", "plen"))
+    r.bgp_redist = prog.input("bgp_redist", ("node", "source", "metric"))
+    r.bgp_policy_in = prog.input("bgp_policy_in", ("node", "iface", "policy"))
+    r.bgp_policy_out = prog.input("bgp_policy_out", ("node", "iface", "policy"))
+    r.static_rt = prog.input(
+        "static_rt", ("node", "network", "plen", "out_iface", "ad")
+    )
+    r.static_ip = prog.input(
+        "static_ip", ("node", "network", "plen", "next_hop", "ad")
+    )
+    return r
+
+
+def add_shared_rules(prog: Program, r: Relations) -> None:
+    """Rules every protocol builds on: live links and connected subnets."""
+    r.live_link = prog.relation("live_link", ("u", "u_if", "v", "v_if"))
+    prog.rule(
+        r.live_link,
+        [r.link("u", "uif", "v", "vif"), r.up("u", "uif"), r.up("v", "vif")],
+        head_terms=("u", "uif", "v", "vif"),
+    )
+    r.connected = prog.relation("connected", ("node", "network", "plen", "iface"))
+    prog.rule(
+        r.connected,
+        [r.iface_addr("n", "i", "net", "plen"), r.up("n", "i")],
+        head_terms=("n", "net", "plen", "i"),
+    )
+
+
+def build_control_plane_program(
+    name: str = "control-plane",
+) -> "tuple[Program, Relations]":
+    """Declare the full program (inputs + all protocol rules + RIB merge)."""
+    from repro.routing import bgp, connected, ospf, redistribution, rib, static_routes
+
+    prog = Program(name)
+    relations = declare_inputs(prog)
+    add_shared_rules(prog, relations)
+    ospf.add_ospf_rules(prog, relations)
+    bgp.add_bgp_rules(prog, relations)
+    rib.declare_rib(prog, relations)
+    connected.add_connected_routes(prog, relations)
+    static_routes.add_static_routes(prog, relations)
+    ospf.add_ospf_routes(prog, relations)
+    bgp.add_bgp_routes(prog, relations)
+    redistribution.add_redistribution_rules(prog, relations)
+    rib.add_fib_selection(prog, relations)
+    prog.probe(relations.fib)
+    return prog, relations
+
+
+def compile_control_plane(
+    monitor: Optional[ConvergenceMonitor] = None,
+) -> "tuple[CompiledProgram, Relations]":
+    prog, relations = build_control_plane_program()
+    return prog.compile(monitor=monitor), relations

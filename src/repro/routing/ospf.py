@@ -1,0 +1,127 @@
+"""OSPF as incremental Datalog.
+
+Link-state routing reduces to all-pairs shortest paths over the OSPF
+adjacency graph.  Expressed declaratively:
+
+- ``ospf_link(u, u_if, v, v_if, cost)`` — a live link whose two ends both
+  run OSPF; ``cost`` is the *sending* side's interface cost.
+- ``ospf_cand(u, v, cost, u_if)`` — a candidate distance from router ``u``
+  to router ``v`` leaving through ``u_if``: either a direct adjacency or one
+  hop through a neighbor plus the neighbor's best distance (the recursive
+  rule).
+- ``ospf_dist(u, v, cost)`` — the shortest distance (min-aggregation; this
+  is the relation the recursion closes over).
+- ``ospf_nexthop(u, v, u_if)`` — *every* interface achieving the minimum
+  (equal-cost multipath).
+- ``ospf_dest(v, network, plen, metric)`` — prefixes router ``v`` injects
+  (connected subnets of OSPF-enabled interfaces).
+
+The incremental engine gives the protocol's re-convergence for free: an LC
+change (paper §5) perturbs one ``ospf_link`` fact and only the affected
+``ospf_dist`` groups are recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.ddlog.dsl import Program
+from repro.routing.model import Relations
+from repro.routing.types import AdminDistance
+
+
+def _min_distance(group: Tuple, counts: Dict[Tuple, int]) -> Iterable[Tuple]:
+    """(u, v) group of ``ospf_cand`` records -> the single min-cost fact."""
+    best = min(record[2] for record in counts)
+    yield (group[0], group[1], best)
+
+
+def _argmin_interfaces(group: Tuple, counts: Dict[Tuple, int]) -> Iterable[Tuple]:
+    """(u, v) group of ``ospf_cand`` records -> one fact per ECMP interface."""
+    best = min(record[2] for record in counts)
+    interfaces = {record[3] for record in counts if record[2] == best}
+    for iface in sorted(interfaces):
+        yield (group[0], group[1], iface)
+
+
+def add_ospf_rules(prog: Program, r: Relations) -> None:
+    """Adjacencies, shortest distances, and ECMP next hops."""
+    r.ospf_link = prog.relation("ospf_link", ("u", "u_if", "v", "v_if", "cost"))
+    prog.rule(
+        r.ospf_link,
+        [
+            r.live_link("u", "uif", "v", "vif"),
+            r.ospf_iface("u", "uif", "c"),
+            r.ospf_iface("v", "vif", "c2"),
+        ],
+        head_terms=("u", "uif", "v", "vif", "c"),
+    )
+
+    r.ospf_cand = prog.relation("ospf_cand", ("u", "v", "cost", "u_if"))
+    # Direct adjacency.
+    prog.rule(
+        r.ospf_cand,
+        [r.ospf_link("u", "uif", "v", "vif", "c")],
+        head_terms=("u", "v", "c", "uif"),
+    )
+
+    r.ospf_dist = prog.aggregate(
+        "ospf_dist",
+        ("u", "v", "cost"),
+        r.ospf_cand,
+        key=lambda record: (record[0], record[1]),
+        agg=_min_distance,
+    )
+
+    # One hop through a neighbor plus the neighbor's best distance.
+    prog.rule(
+        r.ospf_cand,
+        [
+            r.ospf_link("u", "uif", "w", "wif", "c1"),
+            r.ospf_dist("w", "v", "c2"),
+        ],
+        head_terms=("u", "v", "cost", "uif"),
+        lets=[("cost", lambda env: env["c1"] + env["c2"])],
+        where=lambda env: env["u"] != env["v"],
+    )
+
+    r.ospf_nexthop = prog.aggregate(
+        "ospf_nexthop",
+        ("u", "v", "u_if"),
+        r.ospf_cand,
+        key=lambda record: (record[0], record[1]),
+        agg=_argmin_interfaces,
+    )
+
+    # Prefixes each router injects into OSPF (stub networks).
+    r.ospf_dest = prog.relation("ospf_dest", ("v", "network", "plen", "metric"))
+    prog.rule(
+        r.ospf_dest,
+        [
+            r.iface_addr("v", "i", "net", "plen"),
+            r.ospf_iface("v", "i", "c"),
+            r.up("v", "i"),
+        ],
+        head_terms=("v", "net", "plen", 0),
+    )
+
+
+def add_ospf_routes(prog: Program, r: Relations) -> None:
+    """RIB candidates: shortest path to the router injecting the prefix."""
+    prog.rule(
+        r.rib_cand,
+        [
+            r.ospf_nexthop("u", "v", "uif"),
+            r.ospf_dist("u", "v", "c"),
+            r.ospf_dest("v", "net", "plen", "m"),
+        ],
+        head_terms=(
+            "u",
+            "net",
+            "plen",
+            int(AdminDistance.OSPF),
+            "metric",
+            "uif",
+        ),
+        lets=[("metric", lambda env: env["c"] + env["m"])],
+    )

@@ -1,0 +1,96 @@
+"""Route-map evaluation for the BGP model.
+
+Route maps are carried through the Datalog model as hashable *clause
+tuples*, so that editing a route map is an ordinary fact replacement and the
+engine can incrementally recompute exactly the routes whose import/export
+decision changes (the paper's LP change is implemented this way).
+
+Encoding: a policy is a tuple of clauses; each clause is
+
+    (seq, action, match_network, match_plen, set_local_pref, set_metric)
+
+with ``match_network``/``match_plen`` of ``None`` matching every route.  The
+empty tuple is the *default policy*: permit everything unchanged (no route
+map bound).  A non-empty policy uses first-match semantics with an implicit
+deny at the end, mirroring vendor behaviour.
+
+Limitation: ``set_metric`` is parsed, preserved, and round-tripped by the
+configuration dialect, but the BGP model does not implement MED-based
+tie-breaking (best-path selection uses local preference then AS-path
+length, the attributes the paper's evaluation exercises), so the attribute
+does not influence route selection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.addr import Prefix
+from repro.config.schema import RouteMap
+
+#: One encoded clause; see module docstring.
+Clause = Tuple[int, str, Optional[int], Optional[int], Optional[int], Optional[int]]
+
+#: An encoded policy: () is permit-all.
+Policy = Tuple[Clause, ...]
+
+PERMIT_ALL: Policy = ()
+
+#: Default BGP local preference.
+DEFAULT_LOCAL_PREF = 100
+
+
+def encode_route_map(route_map: Optional[RouteMap]) -> Policy:
+    """Encode a configured route map (or ``None``) as a policy tuple."""
+    if route_map is None:
+        return PERMIT_ALL
+    clauses = []
+    for clause in route_map.sorted_clauses():
+        if clause.match_prefix is None:
+            match_network, match_plen = None, None
+        else:
+            match_network = clause.match_prefix.network
+            match_plen = clause.match_prefix.length
+        clauses.append(
+            (
+                clause.seq,
+                clause.action,
+                match_network,
+                match_plen,
+                clause.set_local_pref,
+                clause.set_metric,
+            )
+        )
+    return tuple(clauses)
+
+
+def _matches(clause: Clause, network: int, plen: int) -> bool:
+    match_network, match_plen = clause[2], clause[3]
+    if match_network is None or match_plen is None:
+        return True
+    prefix = Prefix(match_network, match_plen)
+    return prefix.contains(Prefix(network, plen))
+
+
+def apply_policy(
+    policy: Policy, network: int, plen: int, local_pref: int
+) -> Optional[int]:
+    """Run a route through a policy.
+
+    Returns the (possibly updated) local preference when the route is
+    permitted, or ``None`` when it is denied.
+    """
+    if policy == PERMIT_ALL:
+        return local_pref
+    for clause in policy:
+        if _matches(clause, network, plen):
+            if clause[1] == "deny":
+                return None
+            set_lp = clause[4]
+            return set_lp if set_lp is not None else local_pref
+    return None  # implicit deny
+
+
+def permits(policy: Policy, network: int, plen: int) -> bool:
+    """Whether the policy permits a route at all (export-side check)."""
+    return apply_policy(policy, network, plen, DEFAULT_LOCAL_PREF) is not None

@@ -1,0 +1,93 @@
+"""The incremental control plane: snapshot in, FIB deltas out.
+
+:class:`ControlPlane` owns a compiled control-plane Datalog program and the
+fact set of the currently loaded snapshot.  ``update_to(new_snapshot)``
+diffs fact extractions, feeds the insertions/deletions to the engine, runs
+one epoch, and exposes the resulting forwarding changes as typed
+:class:`~repro.routing.types.FibEntry` updates — the paper's "data plane
+changes" handed to the model updater.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config.schema import Snapshot
+from repro.ddlog.convergence import ConvergenceMonitor
+from repro.ddlog.engine import EpochStats
+from repro.routing.facts import FactSet, diff_facts, extract_facts
+from repro.routing.model import compile_control_plane
+from repro.routing.types import FibEntry, fib_entry_from_fact
+
+
+@dataclass
+class FibDelta:
+    """Forwarding rule changes produced by one control plane epoch."""
+
+    inserted: List[FibEntry] = field(default_factory=list)
+    deleted: List[FibEntry] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    def size(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def summary(self) -> str:
+        return f"+{len(self.inserted)}/-{len(self.deleted)} forwarding rules"
+
+
+class ControlPlane:
+    """Incremental control plane evaluation over configuration snapshots."""
+
+    def __init__(self, monitor: Optional[ConvergenceMonitor] = None) -> None:
+        self.compiled, self.relations = compile_control_plane(monitor)
+        self._facts: Dict[str, FactSet] = {}
+        self._loaded = False
+        self.last_stats: Optional[EpochStats] = None
+        self.last_fact_changes = 0
+
+    def update_to(self, snapshot: Snapshot) -> FibDelta:
+        """Move the engine to ``snapshot`` (initial load or incremental)."""
+        new_facts = extract_facts(snapshot)
+        changes = diff_facts(self._facts, new_facts)
+        fact_count = 0
+        for relation, (inserted, deleted) in changes.items():
+            for fact in inserted:
+                self.compiled.insert(relation, fact)
+            for fact in deleted:
+                self.compiled.remove(relation, fact)
+            fact_count += len(inserted) + len(deleted)
+        self._facts = new_facts
+        self.last_fact_changes = fact_count
+        self.last_stats = self.compiled.commit()
+        self._loaded = True
+        return self.take_fib_delta()
+
+    def load(self, snapshot: Snapshot) -> FibDelta:
+        """Alias of :meth:`update_to` for the initial snapshot."""
+        return self.update_to(snapshot)
+
+    def take_fib_delta(self) -> FibDelta:
+        """Drain the forwarding changes of the last epoch(s)."""
+        delta = FibDelta()
+        for fact, weight in self.compiled.take_delta("fib").items():
+            entry = fib_entry_from_fact(fact)
+            if weight > 0:
+                delta.inserted.extend([entry] * weight)
+            else:
+                delta.deleted.extend([entry] * (-weight))
+        return delta
+
+    def fib(self) -> List[FibEntry]:
+        """The complete current FIB."""
+        entries = []
+        for fact, weight in self.compiled.collection("fib").items():
+            if weight > 0:
+                entries.append(fib_entry_from_fact(fact))
+        entries.sort()
+        return entries
+
+    def state_size(self) -> int:
+        return self.compiled.engine.state_size()

@@ -1,0 +1,127 @@
+"""Route redistribution between protocols.
+
+The paper lists route redistribution among the configuration features
+RealConfig models.  Redistribution turns routes known to one process into
+originations of another:
+
+- into OSPF: redistributed prefixes become *external* destinations
+  (``ospf_ext``), advertised by the redistributing router and reached via
+  the shortest path to it, at the external administrative distance;
+- into BGP: redistributed prefixes become locally originated ``bgp_cand``
+  facts (empty AS path), which then propagate through normal BGP export.
+
+Sources supported: ``static``, ``connected``, ``bgp`` (into OSPF) and
+``static``, ``connected``, ``ospf`` (into BGP).
+"""
+
+from __future__ import annotations
+
+from repro.ddlog.dsl import Program, const
+from repro.routing.model import Relations
+from repro.routing.policies import DEFAULT_LOCAL_PREF
+from repro.routing.static_routes import _covers
+from repro.routing.types import AdminDistance
+
+from repro.routing.bgp import LOCAL
+
+
+def add_redistribution_rules(prog: Program, r: Relations) -> None:
+    _add_into_ospf(prog, r)
+    _add_into_bgp(prog, r)
+
+
+def _add_into_ospf(prog: Program, r: Relations) -> None:
+    r.ospf_ext = prog.relation("ospf_ext", ("v", "network", "plen", "metric"))
+    prog.rule(
+        r.ospf_ext,
+        [
+            r.ospf_redist("v", const("static"), "m"),
+            r.static_rt("v", "net", "plen", "oif", "ad"),
+            r.up("v", "oif"),
+        ],
+        head_terms=("v", "net", "plen", "m"),
+    )
+    prog.rule(
+        r.ospf_ext,
+        [
+            r.ospf_redist("v", const("static"), "m"),
+            r.static_ip("v", "net", "plen", "nh", "ad"),
+            r.connected("v", "cnet", "cplen", "i"),
+        ],
+        head_terms=("v", "net", "plen", "m"),
+        where=lambda env: _covers(env["cnet"], env["cplen"], env["nh"]),
+    )
+    prog.rule(
+        r.ospf_ext,
+        [
+            r.ospf_redist("v", const("connected"), "m"),
+            r.connected("v", "net", "plen", "i"),
+        ],
+        head_terms=("v", "net", "plen", "m"),
+    )
+    prog.rule(
+        r.ospf_ext,
+        [
+            r.ospf_redist("v", const("bgp"), "m"),
+            r.bgp_best("v", "net", "plen", "lp", "path"),
+        ],
+        head_terms=("v", "net", "plen", "m"),
+    )
+    # External destinations are reached via the shortest path to the
+    # advertising router, at the external administrative distance.
+    prog.rule(
+        r.rib_cand,
+        [
+            r.ospf_nexthop("u", "v", "uif"),
+            r.ospf_dist("u", "v", "c"),
+            r.ospf_ext("v", "net", "plen", "m"),
+        ],
+        head_terms=(
+            "u",
+            "net",
+            "plen",
+            int(AdminDistance.OSPF_EXTERNAL),
+            "metric",
+            "uif",
+        ),
+        lets=[("metric", lambda env: env["c"] + env["m"])],
+    )
+
+
+def _add_into_bgp(prog: Program, r: Relations) -> None:
+    prog.rule(
+        r.bgp_cand,
+        [
+            r.bgp_redist("u", const("static"), "m"),
+            r.static_rt("u", "net", "plen", "oif", "ad"),
+            r.up("u", "oif"),
+        ],
+        head_terms=("u", "net", "plen", DEFAULT_LOCAL_PREF, (), const(LOCAL)),
+    )
+    prog.rule(
+        r.bgp_cand,
+        [
+            r.bgp_redist("u", const("static"), "m"),
+            r.static_ip("u", "net", "plen", "nh", "ad"),
+            r.connected("u", "cnet", "cplen", "i"),
+        ],
+        head_terms=("u", "net", "plen", DEFAULT_LOCAL_PREF, (), const(LOCAL)),
+        where=lambda env: _covers(env["cnet"], env["cplen"], env["nh"]),
+    )
+    prog.rule(
+        r.bgp_cand,
+        [
+            r.bgp_redist("u", const("connected"), "m"),
+            r.connected("u", "net", "plen", "i"),
+        ],
+        head_terms=("u", "net", "plen", DEFAULT_LOCAL_PREF, (), const(LOCAL)),
+    )
+    prog.rule(
+        r.bgp_cand,
+        [
+            r.bgp_redist("u", const("ospf"), "m"),
+            r.ospf_dist("u", "v", "c"),
+            r.ospf_dest("v", "net", "plen", "dm"),
+        ],
+        head_terms=("u", "net", "plen", DEFAULT_LOCAL_PREF, (), const(LOCAL)),
+    )

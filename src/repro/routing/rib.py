@@ -1,0 +1,42 @@
+"""RIB merge and FIB selection.
+
+Every protocol contributes ``rib_cand(node, network, plen, ad, metric,
+out_iface)`` facts; the FIB keeps, per (node, prefix), the candidates with
+the lowest (administrative distance, metric) — all of them, to preserve
+equal-cost multipath.  The resulting ``fib(node, network, plen, out_iface)``
+relation is the program's probed output: its per-epoch delta is the batch of
+forwarding rule updates handed to the data plane model updater.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.ddlog.dsl import Program
+from repro.routing.model import Relations
+
+
+def declare_rib(prog: Program, r: Relations) -> None:
+    r.rib_cand = prog.relation(
+        "rib_cand", ("node", "network", "plen", "ad", "metric", "out_iface")
+    )
+
+
+def _select_best(group: Tuple, counts: Dict[Tuple, int]) -> Iterable[Tuple]:
+    """(node, network, plen) group -> one fact per best next hop."""
+    best = min((record[3], record[4]) for record in counts)
+    interfaces = {
+        record[5] for record in counts if (record[3], record[4]) == best
+    }
+    for iface in sorted(interfaces):
+        yield (group[0], group[1], group[2], iface)
+
+
+def add_fib_selection(prog: Program, r: Relations) -> None:
+    r.fib = prog.aggregate(
+        "fib",
+        ("node", "network", "plen", "out_iface"),
+        r.rib_cand,
+        key=lambda record: (record[0], record[1], record[2]),
+        agg=_select_best,
+    )

@@ -1,0 +1,46 @@
+"""Static routes.
+
+Two next-hop forms, as in vendor configuration:
+
+- via interface: usable while the interface is administratively up;
+- via next-hop IP: resolved against the router's connected subnets — the
+  route is active exactly when some up interface's subnet covers the
+  next-hop address, and it forwards out that interface.
+
+The administrative distance comes from configuration (default 1, preferred
+over any dynamic protocol).
+"""
+
+from __future__ import annotations
+
+from repro.net.addr import IPV4_BITS, IPV4_MAX
+from repro.ddlog.dsl import Program
+from repro.routing.model import Relations
+
+
+def _covers(network: int, plen: int, address: int) -> bool:
+    if plen == 0:
+        return True
+    mask = (IPV4_MAX << (IPV4_BITS - plen)) & IPV4_MAX
+    return (address & mask) == network
+
+
+def add_static_routes(prog: Program, r: Relations) -> None:
+    prog.rule(
+        r.rib_cand,
+        [
+            r.static_rt("n", "net", "plen", "oif", "ad"),
+            r.up("n", "oif"),
+        ],
+        head_terms=("n", "net", "plen", "ad", 0, "oif"),
+    )
+    # Recursive (IP next hop) form: resolve through connected subnets.
+    prog.rule(
+        r.rib_cand,
+        [
+            r.static_ip("n", "net", "plen", "nh", "ad"),
+            r.connected("n", "cnet", "cplen", "i"),
+        ],
+        head_terms=("n", "net", "plen", "ad", 0, "i"),
+        where=lambda env: _covers(env["cnet"], env["cplen"], env["nh"]),
+    )

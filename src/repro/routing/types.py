@@ -1,0 +1,74 @@
+"""Shared routing-layer types.
+
+These are the value types flowing between the control plane model and the
+data plane: RIB/FIB entries and administrative distances.  The Datalog
+relations use plain tuples internally; these classes are the typed public
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+from repro.net.addr import Prefix
+
+
+class AdminDistance(IntEnum):
+    """Route preference between protocols (lower wins), Cisco-style."""
+
+    CONNECTED = 0
+    STATIC = 1
+    EBGP = 20
+    OSPF = 110
+    OSPF_EXTERNAL = 115
+
+
+#: Special "interface" of FIB entries whose action is local delivery.
+ACCEPT = "@accept"
+
+
+@dataclass(frozen=True, order=True)
+class FibEntry:
+    """One forwarding entry: on ``node``, packets to ``prefix`` leave via
+    ``out_interface`` (or are delivered locally when it is :data:`ACCEPT`).
+
+    A destination with multiple equal-cost next hops has one entry per
+    next hop — the granularity at which the paper counts rule changes
+    (Table 3).
+    """
+
+    node: str
+    prefix: Prefix
+    out_interface: str
+
+    def is_accept(self) -> bool:
+        return self.out_interface == ACCEPT
+
+    def __str__(self) -> str:
+        return f"{self.node}: {self.prefix} -> {self.out_interface}"
+
+
+@dataclass(frozen=True, order=True)
+class RibEntry:
+    """One candidate route before best-route selection."""
+
+    node: str
+    prefix: Prefix
+    admin_distance: int
+    metric: int
+    out_interface: str
+    protocol: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.node}: {self.prefix} [{self.admin_distance}/{self.metric}] "
+            f"via {self.out_interface} ({self.protocol})"
+        )
+
+
+def fib_entry_from_fact(fact: Tuple) -> FibEntry:
+    """Convert a ``fib(node, network, plen, out_if)`` engine fact."""
+    node, network, plen, out_interface = fact
+    return FibEntry(node, Prefix(network, plen), out_interface)

@@ -1,0 +1,47 @@
+"""Experiment workloads: topology configs, change generators, sweeps."""
+
+from repro.workloads.fattree_configs import (
+    BASE_ASN,
+    asn_map,
+    bgp_snapshot,
+    ospf_snapshot,
+    snapshot_for,
+)
+from repro.workloads.changegen import (
+    acl_changes,
+    LC_NEW_COST,
+    LP_NEW_PREF,
+    lc_changes,
+    link_failures,
+    linked_interfaces,
+    lp_changes,
+    paper_changes,
+)
+from repro.workloads.enterprise import EnterpriseNetwork, build_enterprise, enterprise_topology
+from repro.workloads.specmining import (
+    SweepResult,
+    from_scratch_sweep,
+    incremental_sweep,
+)
+
+__all__ = [
+    "BASE_ASN",
+    "asn_map",
+    "bgp_snapshot",
+    "ospf_snapshot",
+    "snapshot_for",
+    "acl_changes",
+    "LC_NEW_COST",
+    "LP_NEW_PREF",
+    "lc_changes",
+    "link_failures",
+    "linked_interfaces",
+    "lp_changes",
+    "paper_changes",
+    "EnterpriseNetwork",
+    "build_enterprise",
+    "enterprise_topology",
+    "SweepResult",
+    "from_scratch_sweep",
+    "incremental_sweep",
+]

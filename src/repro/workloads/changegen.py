@@ -1,0 +1,170 @@
+"""Generators of the paper's configuration change workloads.
+
+§5 makes "three types of changes to the configuration of each node":
+
+- ``LinkFailure`` — deactivate the interface of one link,
+- ``LC`` — change an OSPF link cost from 1 to 100,
+- ``LP`` — change the BGP local preference of routes received at one
+  interface from 100 to 150.
+
+The generators are deterministic given a seed and skip interfaces that are
+already perturbed, so a sweep touches distinct links.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.config.changes import (
+    AddAclEntry,
+    BindAcl,
+    Change,
+    CompositeChange,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+)
+from repro.config.schema import AclEntry
+from repro.net.addr import Prefix
+from repro.net.topologies import LabeledTopology
+from repro.net.topology import InterfaceId
+
+#: The paper's parameter values.
+LC_NEW_COST = 100
+LP_NEW_PREF = 150
+
+
+def linked_interfaces(
+    labeled: LabeledTopology, roles: Optional[Tuple[str, ...]] = None
+) -> List[InterfaceId]:
+    """Every interface that terminates a physical link (both ends).
+
+    ``roles`` restricts to interfaces owned by nodes with those role labels
+    (falling back to all interfaces when nothing matches).
+    """
+    out = []
+    for iface in labeled.topology.interfaces():
+        if labeled.topology.neighbor_of(iface.id) is not None:
+            out.append(iface.id)
+    if roles is not None:
+        filtered = [i for i in out if labeled.roles.get(i.node) in roles]
+        if filtered:
+            out = filtered
+    return sorted(out, key=lambda i: (i.node, i.name))
+
+
+def link_failures(
+    labeled: LabeledTopology, count: Optional[int] = None, seed: int = 0
+) -> List[ShutdownInterface]:
+    """One LinkFailure change per sampled link (one endpoint shut down)."""
+    rng = random.Random(seed)
+    links = sorted(
+        labeled.topology.links(), key=lambda l: (str(l.a), str(l.b))
+    )
+    if count is not None:
+        links = rng.sample(links, min(count, len(links)))
+    changes = []
+    for link in links:
+        end = link.a if rng.random() < 0.5 else link.b
+        changes.append(ShutdownInterface(end.node, end.name))
+    return changes
+
+
+def lc_changes(
+    labeled: LabeledTopology,
+    count: Optional[int] = None,
+    seed: int = 0,
+    new_cost: int = LC_NEW_COST,
+) -> List[SetOspfCost]:
+    """Link-cost changes (OSPF), each on a distinct linked interface."""
+    rng = random.Random(seed)
+    interfaces = linked_interfaces(labeled)
+    if count is not None:
+        interfaces = rng.sample(interfaces, min(count, len(interfaces)))
+    return [SetOspfCost(i.node, i.name, new_cost) for i in interfaces]
+
+
+def lp_changes(
+    labeled: LabeledTopology,
+    count: Optional[int] = None,
+    seed: int = 0,
+    new_pref: int = LP_NEW_PREF,
+    roles: Optional[Tuple[str, ...]] = None,
+) -> List[SetLocalPref]:
+    """Local-preference changes (BGP), each on a distinct linked interface.
+
+    ``roles`` restricts the sampled interfaces to nodes with those labels —
+    e.g. ``("edge",)`` samples ToR uplinks on a fat tree, where an import
+    preference actually changes the chosen paths (a preference on a core's
+    only link into a pod is a no-op).
+    """
+    rng = random.Random(seed)
+    interfaces = linked_interfaces(labeled, roles=roles)
+    if count is not None:
+        interfaces = rng.sample(interfaces, min(count, len(interfaces)))
+    return [SetLocalPref(i.node, i.name, new_pref) for i in interfaces]
+
+
+def acl_changes(
+    labeled: LabeledTopology,
+    count: Optional[int] = None,
+    seed: int = 0,
+    blocked_port: int = 23,
+) -> List[CompositeChange]:
+    """Security-hardening changes (the §2 maintenance workload that is not
+    a routing change): install and bind a deny-ACL on a sampled interface.
+
+    Each change is a composite: add the deny entry and the trailing permit,
+    then bind the ACL inbound on the interface.  Targets interfaces that
+    terminate links, like the paper's change generators.
+    """
+    rng = random.Random(seed)
+    interfaces = linked_interfaces(labeled)
+    if count is not None:
+        interfaces = rng.sample(interfaces, min(count, len(interfaces)))
+    changes = []
+    for index, iface in enumerate(interfaces):
+        acl_name = f"SEC_{iface.name.upper()}_{index}"
+        prefixes = [p for ps in labeled.host_prefixes.values() for p in ps]
+        target: Optional[Prefix] = rng.choice(prefixes) if prefixes else None
+        changes.append(
+            CompositeChange(
+                [
+                    AddAclEntry(
+                        iface.node,
+                        acl_name,
+                        AclEntry(
+                            10,
+                            "deny",
+                            proto=6,
+                            dst=target,
+                            dst_port=(blocked_port, blocked_port),
+                        ),
+                    ),
+                    AddAclEntry(iface.node, acl_name, AclEntry(20, "permit")),
+                    BindAcl(iface.node, iface.name, acl_name, "in"),
+                ],
+                label=f"harden {iface}",
+            )
+        )
+    return changes
+
+
+def paper_changes(
+    labeled: LabeledTopology, protocol: str, count: int, seed: int = 0
+) -> List[Tuple[str, Change]]:
+    """A labelled mixed workload: (kind, change) pairs for the protocol's
+    change types (LinkFailure plus LC for OSPF or LP for BGP)."""
+    out: List[Tuple[str, Change]] = []
+    for change in link_failures(labeled, count=count, seed=seed):
+        out.append(("LinkFailure", change))
+    if protocol == "ospf":
+        for change in lc_changes(labeled, count=count, seed=seed + 1):
+            out.append(("LC", change))
+    elif protocol == "bgp":
+        for change in lp_changes(labeled, count=count, seed=seed + 1):
+            out.append(("LP", change))
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    return out

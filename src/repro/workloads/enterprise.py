@@ -1,0 +1,186 @@
+"""An enterprise-style mixed-protocol workload.
+
+The paper's motivation cites campus/enterprise networks ("a tale of two
+campuses") whose configurations mix protocols and policy mechanisms.  This
+synthesizer builds such a network to stress every modeled feature at once:
+
+- a 2x2 **core grid** running OSPF on all internal links;
+- **access routers** hanging off each core, OSPF toward the core, each
+  originating one user subnet;
+- a **border router** running eBGP to an external **provider** router
+  (its own AS), redistributing OSPF into BGP and BGP into OSPF;
+- a **default static route** on the border toward the provider,
+  redistributed into OSPF;
+- an **ACL** on the border's provider-facing interface blocking telnet
+  into the user subnets.
+
+Used by integration tests (engine vs baseline on something much less
+regular than a fat tree) and available for examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    BgpProcess,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfProcess,
+    Redistribution,
+    Snapshot,
+    StaticRoute,
+)
+from repro.net.addr import Prefix
+from repro.net.topologies import (
+    LabeledTopology,
+    _SubnetAllocator,
+    _attach_host_prefix,
+    _wire,
+    HOST_POOL_BASE,
+    LINK_POOL_BASE,
+)
+from repro.net.topology import Topology
+
+#: The provider announces this prefix ("the internet").
+PROVIDER_PREFIX = Prefix.parse("198.51.100.0/24")
+
+
+@dataclass
+class EnterpriseNetwork:
+    """The synthesized network plus the names tests need."""
+
+    labeled: LabeledTopology
+    snapshot: Snapshot
+    cores: List[str]
+    access: List[str]
+    border: str
+    provider: str
+
+
+def enterprise_topology(
+    access_per_core: int = 1, dual_homed: bool = False
+) -> LabeledTopology:
+    """``dual_homed`` wires every access router to a second core as well —
+    the remediation the audit example applies."""
+    topo = Topology()
+    labeled = LabeledTopology(
+        topo,
+        description=(
+            f"enterprise(access_per_core={access_per_core}, "
+            f"dual_homed={dual_homed})"
+        ),
+    )
+    links = _SubnetAllocator(LINK_POOL_BASE, 30)
+    hosts = _SubnetAllocator(HOST_POOL_BASE, 24)
+
+    cores = [f"core{i}" for i in range(4)]
+    for name in cores:
+        topo.add_node(name)
+        labeled.roles[name] = "core"
+    # 2x2 core ring.
+    _wire(topo, links, "core0", "c1", "core1", "c0")
+    _wire(topo, links, "core1", "c2", "core2", "c1")
+    _wire(topo, links, "core2", "c3", "core3", "c2")
+    _wire(topo, links, "core3", "c0", "core0", "c3")
+
+    index = 0
+    for core_index, core in enumerate(cores):
+        for slot in range(access_per_core):
+            name = f"acc{index}"
+            index += 1
+            topo.add_node(name)
+            labeled.roles[name] = "access"
+            _wire(topo, links, core, f"a{slot}", name, "up0")
+            if dual_homed:
+                backup = cores[(core_index + 1) % len(cores)]
+                _wire(topo, links, backup, f"x{index - 1}", name, "up1")
+            _attach_host_prefix(labeled, hosts, name)
+
+    topo.add_node("border")
+    labeled.roles["border"] = "border"
+    _wire(topo, links, "core0", "b0", "border", "in0")
+    topo.add_node("provider")
+    labeled.roles["provider"] = "provider"
+    _wire(topo, links, "border", "out0", "provider", "cust0")
+    # The provider's "internet" prefix.
+    topo.add_interface(
+        "provider",
+        "net0",
+        prefix=PROVIDER_PREFIX,
+        address=PROVIDER_PREFIX.first() + 1,
+    )
+    return labeled
+
+
+def build_enterprise(
+    access_per_core: int = 1, dual_homed: bool = False
+) -> EnterpriseNetwork:
+    labeled = enterprise_topology(access_per_core, dual_homed=dual_homed)
+    topo = labeled.topology
+    snapshot = Snapshot(topo)
+
+    def base_device(name: str) -> DeviceConfig:
+        device = DeviceConfig(hostname=name)
+        for iface in topo.node(name).interfaces.values():
+            device.interfaces[iface.name] = InterfaceConfig(
+                iface.name, prefix=iface.prefix, address=iface.address
+            )
+        return device
+
+    cores = sorted(n for n, r in labeled.roles.items() if r == "core")
+    access = sorted(n for n, r in labeled.roles.items() if r == "access")
+
+    # Cores and access routers: OSPF everywhere internal.
+    for name in cores + access:
+        device = base_device(name)
+        device.ospf = OspfProcess()
+        for iface in device.interfaces.values():
+            iface.ospf_enabled = True
+        snapshot.add_device(device)
+
+    # Border: OSPF on the inside, eBGP to the provider, redistribution both
+    # ways, a default static toward the provider redistributed into OSPF,
+    # and a telnet-blocking ACL inbound from the provider.
+    border = base_device("border")
+    border.ospf = OspfProcess(
+        redistribute=[Redistribution("bgp", 50), Redistribution("static", 10)]
+    )
+    border.interfaces["in0"].ospf_enabled = True
+    border.bgp = BgpProcess(
+        asn=64512, redistribute=[Redistribution("ospf", 1)]
+    )
+    border.bgp.add_neighbor(BgpNeighbor("out0", remote_as=64513))
+    provider_if = topo.node("provider").interface("cust0")
+    border.static_routes.append(
+        StaticRoute(Prefix.parse("0.0.0.0/0"), next_hop_ip=provider_if.address)
+    )
+    border.acls["NO_TELNET"] = Acl(
+        "NO_TELNET",
+        entries=[
+            AclEntry(10, "deny", proto=6, dst_port=(23, 23)),
+            AclEntry(20, "permit"),
+        ],
+    )
+    border.interfaces["out0"].acl_in = "NO_TELNET"
+    snapshot.add_device(border)
+
+    # Provider: its own AS, originates the internet prefix.
+    provider = base_device("provider")
+    provider.bgp = BgpProcess(asn=64513, networks=[PROVIDER_PREFIX])
+    provider.bgp.add_neighbor(BgpNeighbor("cust0", remote_as=64512))
+    snapshot.add_device(provider)
+
+    snapshot.validate()
+    return EnterpriseNetwork(
+        labeled=labeled,
+        snapshot=snapshot,
+        cores=cores,
+        access=access,
+        border="border",
+        provider="provider",
+    )

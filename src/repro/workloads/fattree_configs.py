@@ -1,0 +1,94 @@
+"""Configuration synthesis for experiment topologies.
+
+Reproduces the paper's evaluation setup (§5): a fat-tree topology running
+either OSPF (every interface cost 1) or BGP (each node its own AS, peering
+with every physical neighbor, originating its host prefixes).  The
+synthesizers work for any :class:`~repro.net.topologies.LabeledTopology`,
+not just fat trees, so tests and examples reuse them on lines, rings, and
+grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config.schema import (
+    BgpNeighbor,
+    BgpProcess,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfProcess,
+    Snapshot,
+)
+from repro.net.topologies import LabeledTopology
+
+#: First AS number handed out by :func:`bgp_snapshot`.
+BASE_ASN = 65000
+
+
+def _base_device(labeled: LabeledTopology, node_name: str) -> DeviceConfig:
+    """A device with every topology interface configured and enabled."""
+    device = DeviceConfig(hostname=node_name)
+    node = labeled.topology.node(node_name)
+    for iface in node.interfaces.values():
+        device.interfaces[iface.name] = InterfaceConfig(
+            name=iface.name,
+            prefix=iface.prefix,
+            address=iface.address,
+            shutdown=False,
+        )
+    return device
+
+
+def ospf_snapshot(labeled: LabeledTopology, link_cost: int = 1) -> Snapshot:
+    """Every device runs OSPF on every interface (paper's OSPF setup)."""
+    snapshot = Snapshot(labeled.topology)
+    for node_name in sorted(labeled.topology.node_names()):
+        device = _base_device(labeled, node_name)
+        device.ospf = OspfProcess(process_id=1)
+        for iface in device.interfaces.values():
+            iface.ospf_enabled = True
+            iface.ospf_cost = link_cost
+        snapshot.add_device(device)
+    snapshot.validate()
+    return snapshot
+
+
+def asn_map(labeled: LabeledTopology) -> Dict[str, int]:
+    """Deterministic node -> AS number assignment (one AS per node)."""
+    return {
+        name: BASE_ASN + index
+        for index, name in enumerate(sorted(labeled.topology.node_names()))
+    }
+
+
+def bgp_snapshot(labeled: LabeledTopology) -> Snapshot:
+    """Each node is its own AS and peers with all neighbors (paper's BGP
+    setup); host prefixes are originated with ``network`` statements."""
+    snapshot = Snapshot(labeled.topology)
+    asns = asn_map(labeled)
+    topology = labeled.topology
+    for node_name in sorted(topology.node_names()):
+        device = _base_device(labeled, node_name)
+        device.bgp = BgpProcess(asn=asns[node_name])
+        node = topology.node(node_name)
+        for iface in node.interfaces.values():
+            peer = topology.neighbor_of(iface.id)
+            if peer is not None:
+                device.bgp.add_neighbor(
+                    BgpNeighbor(iface.name, remote_as=asns[peer.node])
+                )
+        for prefix in labeled.host_prefixes.get(node_name, []):
+            device.bgp.networks.append(prefix)
+        snapshot.add_device(device)
+    snapshot.validate()
+    return snapshot
+
+
+def snapshot_for(labeled: LabeledTopology, protocol: str) -> Snapshot:
+    """Dispatch on the paper's two protocols."""
+    if protocol == "ospf":
+        return ospf_snapshot(labeled)
+    if protocol == "bgp":
+        return bgp_snapshot(labeled)
+    raise ValueError(f"unknown protocol {protocol!r} (expected 'ospf' or 'bgp')")

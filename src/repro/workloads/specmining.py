@@ -1,0 +1,103 @@
+"""The specification-mining workload (paper §2, measured in §5).
+
+Config2Spec-style specification mining enumerates network conditions —
+here, every single link failure — and generates the data plane under each to
+infer which policies always hold.  The paper's claim: because each link
+failure only affects a small portion of the data plane, incremental data
+plane generation across the sweep is ~20x faster than generating each
+condition's data plane from scratch.
+
+:func:`incremental_sweep` walks fail -> (measure) -> restore for every link
+using one incremental verifier; :func:`from_scratch_sweep` recomputes the
+FIB with the baseline simulator for every condition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.baseline import simulate
+from repro.config.changes import ShutdownInterface, apply_changes
+from repro.config.schema import Snapshot
+from repro.net.topologies import LabeledTopology
+from repro.routing.program import ControlPlane
+from repro.routing.types import FibEntry
+
+
+@dataclass
+class SweepResult:
+    """Timing and state signatures of one link-failure sweep."""
+
+    mode: str
+    conditions: int = 0
+    total_seconds: float = 0.0
+    #: condition label -> hash of the FIB under that condition
+    fib_signatures: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def per_condition_seconds(self) -> float:
+        if not self.conditions:
+            return 0.0
+        return self.total_seconds / self.conditions
+
+    def summary(self) -> str:
+        return (
+            f"{self.mode}: {self.conditions} conditions in "
+            f"{self.total_seconds:.2f} s "
+            f"({self.per_condition_seconds * 1000:.1f} ms each)"
+        )
+
+
+def _signature(entries: FrozenSet[FibEntry]) -> int:
+    return hash(entries)
+
+
+def _conditions(labeled: LabeledTopology) -> List[Tuple[str, ShutdownInterface]]:
+    out = []
+    for link in sorted(labeled.topology.links(), key=lambda l: (str(l.a), str(l.b))):
+        out.append((str(link), ShutdownInterface(link.a.node, link.a.name)))
+    return out
+
+
+def incremental_sweep(
+    labeled: LabeledTopology,
+    snapshot: Snapshot,
+    limit: Optional[int] = None,
+) -> SweepResult:
+    """Fail every link in turn on one incremental control plane."""
+    result = SweepResult(mode="incremental")
+    control_plane = ControlPlane()
+    control_plane.update_to(snapshot)  # warm start, not counted
+    conditions = _conditions(labeled)
+    if limit is not None:
+        conditions = conditions[:limit]
+    started = time.perf_counter()
+    for label, failure in conditions:
+        failed, _ = apply_changes(snapshot, [failure])
+        control_plane.update_to(failed)
+        result.fib_signatures[label] = _signature(frozenset(control_plane.fib()))
+        control_plane.update_to(snapshot)  # restore
+        result.conditions += 1
+    result.total_seconds = time.perf_counter() - started
+    return result
+
+
+def from_scratch_sweep(
+    labeled: LabeledTopology,
+    snapshot: Snapshot,
+    limit: Optional[int] = None,
+) -> SweepResult:
+    """Recompute the FIB from scratch under every link failure."""
+    result = SweepResult(mode="from-scratch")
+    conditions = _conditions(labeled)
+    if limit is not None:
+        conditions = conditions[:limit]
+    started = time.perf_counter()
+    for label, failure in conditions:
+        failed, _ = apply_changes(snapshot, [failure])
+        result.fib_signatures[label] = _signature(frozenset(simulate(failed).fib))
+        result.conditions += 1
+    result.total_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,140 @@
+"""Tests for the synchronous path-vector BGP baseline, including
+non-convergent gadgets from the stable paths problem."""
+
+import pytest
+
+from repro.baseline.path_vector import (
+    LOCAL,
+    BgpDivergenceError,
+    BgpSession,
+    PathVectorSimulation,
+    select,
+)
+from repro.routing.policies import DEFAULT_LOCAL_PREF
+
+
+def sessions_for(pairs):
+    """Bidirectional sessions from (a, b) node pairs, with interface names
+    'to_<peer>'."""
+    out = []
+    for a, b in pairs:
+        out.append(BgpSession(a, f"to_{b}", b, f"to_{a}"))
+        out.append(BgpSession(b, f"to_{a}", a, f"to_{b}"))
+    return out
+
+
+PREFIX = (0xAC100000, 24)
+
+
+class TestSelect:
+    def test_empty(self):
+        assert select(set()) == (None, [])
+
+    def test_highest_lp_wins(self):
+        best, hops = select({(100, (1,), "a"), (200, (1, 2, 3), "b")})
+        assert best[0] == 200
+        assert hops == ["b"]
+
+    def test_shortest_path_breaks_lp_tie(self):
+        best, hops = select({(100, (1, 2), "a"), (100, (1,), "b")})
+        assert best[1] == (1,)
+        assert hops == ["b"]
+
+    def test_multipath_ties(self):
+        best, hops = select({(100, (1,), "a"), (100, (2,), "b")})
+        assert hops == ["a", "b"]
+
+    def test_local_excluded_from_next_hops(self):
+        best, hops = select({(100, (), LOCAL)})
+        assert best == (100, (), LOCAL)
+        assert hops == []
+
+
+class TestConvergence:
+    def test_line_converges(self):
+        asn_of = {"a": 1, "b": 2, "c": 3}
+        sim = PathVectorSimulation(
+            asn_of,
+            sessions_for([("a", "b"), ("b", "c")]),
+            originated={"a": {PREFIX}, "b": set(), "c": set()},
+            policy_in={},
+            policy_out={},
+        )
+        sim.run()
+        assert sim.best["c"][PREFIX][1] == (2, 1)
+        assert sim.next_hops["c"][PREFIX] == ["to_b"]
+
+    def test_loop_prevention(self):
+        asn_of = {"a": 1, "b": 2, "c": 3}
+        sim = PathVectorSimulation(
+            asn_of,
+            sessions_for([("a", "b"), ("b", "c"), ("c", "a")]),
+            originated={"a": {PREFIX}, "b": set(), "c": set()},
+            policy_in={},
+            policy_out={},
+        )
+        sim.run()
+        # b's best is the direct path; the path through c is longer, and no
+        # path may contain AS 2 twice.
+        assert sim.best["b"][PREFIX][1] == (1,)
+
+    def test_bad_gadget_diverges(self):
+        """Griffin's BAD GADGET: three ASes each prefer the route through
+        their clockwise neighbor over the direct route — no stable
+        assignment, the synchronous iteration oscillates."""
+        asn_of = {"o": 10, "a": 1, "b": 2, "c": 3}
+        sessions = sessions_for(
+            [("o", "a"), ("o", "b"), ("o", "c"), ("a", "b"), ("b", "c"), ("c", "a")]
+        )
+        # Each of a/b/c prefers routes heard from its clockwise peer (path
+        # length 2) over the direct route (length 1) via import local-pref:
+        # clause: permit all with lp 200 on the session to that peer.
+        prefer = {
+            ("a", "to_b"): ((10, "permit", None, None, 200, None),),
+            ("b", "to_c"): ((10, "permit", None, None, 200, None),),
+            ("c", "to_a"): ((10, "permit", None, None, 200, None),),
+        }
+        sim = PathVectorSimulation(
+            asn_of,
+            sessions,
+            originated={"o": {PREFIX}, "a": set(), "b": set(), "c": set()},
+            policy_in=prefer,
+            policy_out={},
+            max_rounds=64,
+        )
+        with pytest.raises(BgpDivergenceError):
+            sim.run()
+
+    def test_good_gadget_converges(self):
+        """Same shape but preferences point at the origin: stable."""
+        asn_of = {"o": 10, "a": 1, "b": 2, "c": 3}
+        sessions = sessions_for(
+            [("o", "a"), ("o", "b"), ("o", "c"), ("a", "b"), ("b", "c"), ("c", "a")]
+        )
+        prefer = {
+            ("a", "to_o"): ((10, "permit", None, None, 200, None),),
+            ("b", "to_o"): ((10, "permit", None, None, 200, None),),
+            ("c", "to_o"): ((10, "permit", None, None, 200, None),),
+        }
+        sim = PathVectorSimulation(
+            asn_of,
+            sessions,
+            originated={"o": {PREFIX}, "a": set(), "b": set(), "c": set()},
+            policy_in=prefer,
+            policy_out={},
+        )
+        sim.run()
+        for node in ("a", "b", "c"):
+            assert sim.best[node][PREFIX][1] == (10,)
+
+    def test_rounds_counted(self):
+        asn_of = {"a": 1, "b": 2}
+        sim = PathVectorSimulation(
+            asn_of,
+            sessions_for([("a", "b")]),
+            originated={"a": {PREFIX}, "b": set()},
+            policy_in={},
+            policy_out={},
+        )
+        sim.run()
+        assert sim.rounds >= 2

@@ -1,0 +1,68 @@
+"""Tests for the baseline Dijkstra SPF."""
+
+from repro.baseline.spf import all_pairs_distances, dijkstra, ecmp_next_hops
+
+
+def diamond():
+    """a -> b -> d (1+1), a -> c -> d (1+1): two equal paths."""
+    return {
+        "a": [("b", "ab", 1), ("c", "ac", 1)],
+        "b": [("a", "ba", 1), ("d", "bd", 1)],
+        "c": [("a", "ca", 1), ("d", "cd", 1)],
+        "d": [("b", "db", 1), ("c", "dc", 1)],
+    }
+
+
+class TestDijkstra:
+    def test_distances(self):
+        dist = dijkstra(diamond(), "a")
+        assert dist == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_unreachable_absent(self):
+        adjacency = {"a": [("b", "ab", 1)], "b": [], "z": []}
+        dist = dijkstra(adjacency, "a")
+        assert "z" not in dist
+
+    def test_weighted_shortcut(self):
+        adjacency = {
+            "a": [("b", "ab", 10), ("c", "ac", 1)],
+            "c": [("b", "cb", 1)],
+            "b": [],
+        }
+        assert dijkstra(adjacency, "a")["b"] == 2
+
+    def test_all_pairs(self):
+        dist = all_pairs_distances(diamond())
+        assert dist["b"]["c"] == 2
+        assert dist["d"]["a"] == 2
+
+
+class TestEcmp:
+    def test_two_next_hops(self):
+        adjacency = diamond()
+        distances = all_pairs_distances(adjacency)
+        assert ecmp_next_hops(adjacency, distances, "a", "d") == ["ab", "ac"]
+
+    def test_single_next_hop(self):
+        adjacency = diamond()
+        distances = all_pairs_distances(adjacency)
+        assert ecmp_next_hops(adjacency, distances, "a", "b") == ["ab"]
+
+    def test_self_target_empty(self):
+        adjacency = diamond()
+        distances = all_pairs_distances(adjacency)
+        assert ecmp_next_hops(adjacency, distances, "a", "a") == []
+
+    def test_unreachable_target_empty(self):
+        adjacency = {"a": [("b", "ab", 1)], "b": [], "z": []}
+        distances = all_pairs_distances(adjacency)
+        assert ecmp_next_hops(adjacency, distances, "a", "z") == []
+
+    def test_non_shortest_interface_excluded(self):
+        adjacency = {
+            "a": [("b", "ab", 1), ("d", "ad", 5)],
+            "b": [("d", "bd", 1)],
+            "d": [],
+        }
+        distances = all_pairs_distances(adjacency)
+        assert ecmp_next_hops(adjacency, distances, "a", "d") == ["ab"]

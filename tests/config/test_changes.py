@@ -1,0 +1,254 @@
+"""Tests for typed configuration change operations."""
+
+import pytest
+
+from repro.config.changes import (
+    AddAclEntry,
+    AddBgpNeighbor,
+    AddBgpNetwork,
+    AddRedistribution,
+    AddStaticRoute,
+    BindAcl,
+    ChangeError,
+    ClearLocalPref,
+    CompositeChange,
+    EnableInterface,
+    RemoveAclEntry,
+    RemoveBgpNeighbor,
+    RemoveBgpNetwork,
+    RemoveRedistribution,
+    RemoveStaticRoute,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    UnbindAcl,
+    apply_changes,
+)
+from repro.config.schema import AclEntry
+from repro.net.addr import Prefix
+
+
+class TestInterfaceChanges:
+    def test_shutdown_enable(self, line3_ospf):
+        snap, _ = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        assert snap.device("r1").interface("eth1").shutdown
+        snap, _ = apply_changes(snap, [EnableInterface("r1", "eth1")])
+        assert not snap.device("r1").interface("eth1").shutdown
+
+    def test_shutdown_invert(self, line3_ospf):
+        change = ShutdownInterface("r1", "eth1")
+        inverse = change.invert(line3_ospf)
+        assert isinstance(inverse, EnableInterface)
+        snap, _ = apply_changes(line3_ospf, [change, inverse])
+        assert not snap.device("r1").interface("eth1").shutdown
+
+    def test_shutdown_invert_rejects_already_down(self, line3_ospf):
+        snap, _ = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        with pytest.raises(ChangeError):
+            ShutdownInterface("r1", "eth1").invert(snap)
+
+    def test_unknown_device(self, line3_ospf):
+        with pytest.raises(Exception):
+            apply_changes(line3_ospf, [ShutdownInterface("ghost", "eth0")])
+
+    def test_set_ospf_cost(self, line3_ospf):
+        snap, _ = apply_changes(line3_ospf, [SetOspfCost("r0", "eth1", 42)])
+        assert snap.device("r0").interface("eth1").ospf_cost == 42
+
+    def test_set_ospf_cost_rejects_non_ospf(self, ring4_bgp):
+        with pytest.raises(ChangeError):
+            apply_changes(ring4_bgp, [SetOspfCost("r0", "eth1", 42)])
+
+    def test_set_ospf_cost_invert_restores(self, line3_ospf):
+        change = SetOspfCost("r0", "eth1", 42)
+        inverse = change.invert(line3_ospf)
+        snap, _ = apply_changes(line3_ospf, [change, inverse])
+        assert snap.device("r0").interface("eth1").ospf_cost == 1
+
+
+class TestBgpChanges:
+    def test_set_local_pref_creates_route_map(self, ring4_bgp):
+        snap, _ = apply_changes(ring4_bgp, [SetLocalPref("r0", "eth0", 150)])
+        neighbor = snap.device("r0").bgp.neighbors["eth0"]
+        assert neighbor.route_map_in == "RM_LP_eth0"
+        clause = snap.device("r0").route_maps["RM_LP_eth0"].sorted_clauses()[0]
+        assert clause.set_local_pref == 150
+
+    def test_set_local_pref_scoped_match(self, ring4_bgp):
+        prefix = Prefix.parse("172.16.2.0/24")
+        snap, _ = apply_changes(
+            ring4_bgp, [SetLocalPref("r0", "eth0", 150, match_prefix=prefix)]
+        )
+        clause = snap.device("r0").route_maps["RM_LP_eth0"].sorted_clauses()[0]
+        assert clause.match_prefix == prefix
+
+    def test_set_local_pref_rejects_unknown_neighbor(self, ring4_bgp):
+        with pytest.raises(ChangeError):
+            apply_changes(ring4_bgp, [SetLocalPref("r0", "host0", 150)])
+
+    def test_set_local_pref_rejects_non_bgp(self, line3_ospf):
+        with pytest.raises(ChangeError):
+            apply_changes(line3_ospf, [SetLocalPref("r0", "eth1", 150)])
+
+    def test_clear_local_pref(self, ring4_bgp):
+        snap, _ = apply_changes(
+            ring4_bgp,
+            [SetLocalPref("r0", "eth0", 150), ClearLocalPref("r0", "eth0")],
+        )
+        assert snap.device("r0").bgp.neighbors["eth0"].route_map_in is None
+        assert "RM_LP_eth0" not in snap.device("r0").route_maps
+
+    def test_set_local_pref_invert_roundtrip(self, ring4_bgp):
+        first = SetLocalPref("r0", "eth0", 150)
+        snap1, _ = apply_changes(ring4_bgp, [first])
+        second = SetLocalPref("r0", "eth0", 200)
+        inverse = second.invert(snap1)
+        snap2, _ = apply_changes(snap1, [second, inverse])
+        clause = snap2.device("r0").route_maps["RM_LP_eth0"].sorted_clauses()[0]
+        assert clause.set_local_pref == 150
+
+    def test_network_add_remove(self, ring4_bgp):
+        prefix = Prefix.parse("192.168.0.0/24")
+        snap, _ = apply_changes(ring4_bgp, [AddBgpNetwork("r0", prefix)])
+        assert prefix in snap.device("r0").bgp.networks
+        snap, _ = apply_changes(snap, [RemoveBgpNetwork("r0", prefix)])
+        assert prefix not in snap.device("r0").bgp.networks
+
+    def test_network_add_duplicate_rejected(self, ring4_bgp):
+        prefix = snap_prefix = ring4_bgp.device("r0").bgp.networks[0]
+        with pytest.raises(ChangeError):
+            apply_changes(ring4_bgp, [AddBgpNetwork("r0", prefix)])
+
+    def test_network_remove_missing_rejected(self, ring4_bgp):
+        with pytest.raises(ChangeError):
+            apply_changes(
+                ring4_bgp, [RemoveBgpNetwork("r0", Prefix.parse("9.9.9.0/24"))]
+            )
+
+    def test_neighbor_add_remove(self, ring4_bgp):
+        snap, _ = apply_changes(ring4_bgp, [RemoveBgpNeighbor("r0", "eth0")])
+        assert "eth0" not in snap.device("r0").bgp.neighbors
+        snap, _ = apply_changes(snap, [AddBgpNeighbor("r0", "eth0", 65003)])
+        assert snap.device("r0").bgp.neighbors["eth0"].remote_as == 65003
+
+    def test_neighbor_add_duplicate_rejected(self, ring4_bgp):
+        with pytest.raises(ChangeError):
+            apply_changes(ring4_bgp, [AddBgpNeighbor("r0", "eth0", 1)])
+
+    def test_neighbor_remove_invert(self, ring4_bgp):
+        change = RemoveBgpNeighbor("r0", "eth0")
+        inverse = change.invert(ring4_bgp)
+        snap, _ = apply_changes(ring4_bgp, [change, inverse])
+        assert (
+            snap.device("r0").bgp.neighbors["eth0"].remote_as
+            == ring4_bgp.device("r0").bgp.neighbors["eth0"].remote_as
+        )
+
+
+class TestStaticAndAcl:
+    def test_static_add_remove(self, line3_ospf):
+        prefix = Prefix.parse("0.0.0.0/0")
+        snap, _ = apply_changes(line3_ospf, [AddStaticRoute("r0", prefix, "eth1")])
+        assert any(r.prefix == prefix for r in snap.device("r0").static_routes)
+        snap, _ = apply_changes(snap, [RemoveStaticRoute("r0", prefix, "eth1")])
+        assert not any(r.prefix == prefix for r in snap.device("r0").static_routes)
+
+    def test_static_add_validates_interface(self, line3_ospf):
+        with pytest.raises(Exception):
+            apply_changes(
+                line3_ospf, [AddStaticRoute("r0", Prefix.parse("0.0.0.0/0"), "ghost")]
+            )
+
+    def test_static_remove_missing_rejected(self, line3_ospf):
+        with pytest.raises(ChangeError):
+            apply_changes(
+                line3_ospf,
+                [RemoveStaticRoute("r0", Prefix.parse("0.0.0.0/0"), "eth1")],
+            )
+
+    def test_acl_entry_add_remove_and_bind(self, line3_ospf):
+        entry = AclEntry(10, "deny", proto=6)
+        snap, _ = apply_changes(
+            line3_ospf,
+            [AddAclEntry("r0", "A", entry), BindAcl("r0", "eth1", "A", "in")],
+        )
+        assert snap.device("r0").interface("eth1").acl_in == "A"
+        snap, _ = apply_changes(
+            snap, [UnbindAcl("r0", "eth1", "in"), RemoveAclEntry("r0", "A", 10)]
+        )
+        assert snap.device("r0").interface("eth1").acl_in is None
+        assert not snap.device("r0").acls["A"].entries
+
+    def test_acl_duplicate_seq_rejected(self, line3_ospf):
+        entry = AclEntry(10, "deny")
+        snap, _ = apply_changes(line3_ospf, [AddAclEntry("r0", "A", entry)])
+        with pytest.raises(ChangeError):
+            apply_changes(snap, [AddAclEntry("r0", "A", entry)])
+
+    def test_bind_missing_acl_rejected(self, line3_ospf):
+        with pytest.raises(ChangeError):
+            apply_changes(line3_ospf, [BindAcl("r0", "eth1", "GHOST")])
+
+    def test_bad_direction_rejected(self, line3_ospf):
+        snap, _ = apply_changes(
+            line3_ospf, [AddAclEntry("r0", "A", AclEntry(10, "permit"))]
+        )
+        with pytest.raises(ChangeError):
+            apply_changes(snap, [BindAcl("r0", "eth1", "A", "sideways")])
+
+
+class TestRedistribution:
+    def test_add_remove(self, line3_ospf):
+        snap, _ = apply_changes(
+            line3_ospf, [AddRedistribution("r0", "ospf", "static")]
+        )
+        assert any(
+            r.source == "static" for r in snap.device("r0").ospf.redistribute
+        )
+        snap, _ = apply_changes(
+            snap, [RemoveRedistribution("r0", "ospf", "static")]
+        )
+        assert not snap.device("r0").ospf.redistribute
+
+    def test_add_duplicate_rejected(self, line3_ospf):
+        snap, _ = apply_changes(
+            line3_ospf, [AddRedistribution("r0", "ospf", "static")]
+        )
+        with pytest.raises(ChangeError):
+            apply_changes(snap, [AddRedistribution("r0", "ospf", "static")])
+
+    def test_missing_process_rejected(self, line3_ospf):
+        with pytest.raises(ChangeError):
+            apply_changes(line3_ospf, [AddRedistribution("r0", "bgp", "static")])
+
+    def test_remove_missing_rejected(self, line3_ospf):
+        with pytest.raises(ChangeError):
+            apply_changes(
+                line3_ospf, [RemoveRedistribution("r0", "ospf", "static")]
+            )
+
+
+class TestComposite:
+    def test_apply_order(self, line3_ospf):
+        composite = CompositeChange(
+            [ShutdownInterface("r0", "eth1"), EnableInterface("r0", "eth1")],
+            label="bounce",
+        )
+        snap, _ = apply_changes(line3_ospf, [composite])
+        assert not snap.device("r0").interface("eth1").shutdown
+
+    def test_invert_reverses(self, line3_ospf):
+        composite = CompositeChange(
+            [SetOspfCost("r0", "eth1", 5), SetOspfCost("r0", "eth1", 9)]
+        )
+        inverse = composite.invert(line3_ospf)
+        snap, _ = apply_changes(line3_ospf, [composite, inverse])
+        assert snap.device("r0").interface("eth1").ospf_cost == 1
+
+    def test_describe_mentions_label(self):
+        composite = CompositeChange([], label="phase-1")
+        assert "phase-1" in composite.describe()
+
+    def test_apply_changes_does_not_mutate_original(self, line3_ospf):
+        apply_changes(line3_ospf, [ShutdownInterface("r0", "eth1")])
+        assert not line3_ospf.device("r0").interface("eth1").shutdown

@@ -1,0 +1,111 @@
+"""Deep-clone semantics of snapshots (the hand-rolled fast copy must be as
+deep as ``copy.deepcopy`` for every mutable configuration field)."""
+
+import copy
+
+import pytest
+
+from repro.config.changes import apply_changes
+from repro.config.diff import diff_snapshots
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    RouteMap,
+    RouteMapClause,
+    StaticRoute,
+)
+from repro.net.addr import Prefix
+from repro.net.topologies import ring
+from repro.workloads import bgp_snapshot, ospf_snapshot
+from repro.workloads.enterprise import build_enterprise
+
+
+@pytest.fixture
+def rich_snapshot():
+    """A snapshot exercising every nested configuration structure."""
+    snapshot = bgp_snapshot(ring(4)).clone()
+    device = snapshot.device("r0")
+    device.acls["A"] = Acl("A", entries=[AclEntry(10, "deny", proto=6)])
+    device.interfaces["eth0"].acl_in = "A"
+    device.route_maps["RM"] = RouteMap(
+        "RM", clauses=[RouteMapClause(10, "permit", set_local_pref=150)]
+    )
+    device.bgp.neighbors["eth0"].route_map_in = "RM"
+    device.bgp.aggregates.append(Prefix.parse("172.16.0.0/16"))
+    device.static_routes.append(
+        StaticRoute(Prefix.parse("0.0.0.0/0"), "eth1")
+    )
+    return snapshot
+
+
+class TestCloneDepth:
+    def test_clone_equals_deepcopy_structurally(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        reference = copy.deepcopy(rich_snapshot)
+        assert clone.devices == reference.devices
+        assert diff_snapshots(clone, rich_snapshot).is_empty()
+
+    def test_interface_mutation_isolated(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        clone.device("r0").interfaces["eth0"].shutdown = True
+        assert not rich_snapshot.device("r0").interfaces["eth0"].shutdown
+
+    def test_acl_entry_mutation_isolated(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        clone.device("r0").acls["A"].entries.append(AclEntry(20, "permit"))
+        assert len(rich_snapshot.device("r0").acls["A"].entries) == 1
+
+    def test_route_map_clause_mutation_isolated(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        clone.device("r0").route_maps["RM"].clauses[0].set_local_pref = 999
+        assert (
+            rich_snapshot.device("r0").route_maps["RM"].clauses[0].set_local_pref
+            == 150
+        )
+
+    def test_neighbor_mutation_isolated(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        clone.device("r0").bgp.neighbors["eth0"].route_map_in = None
+        assert (
+            rich_snapshot.device("r0").bgp.neighbors["eth0"].route_map_in
+            == "RM"
+        )
+
+    def test_lists_isolated(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        clone.device("r0").bgp.networks.clear()
+        clone.device("r0").bgp.aggregates.clear()
+        clone.device("r0").static_routes.clear()
+        clone.device("r0").bgp.redistribute.append(None)  # type: ignore
+        original = rich_snapshot.device("r0")
+        assert original.bgp.networks
+        assert original.bgp.aggregates
+        assert original.static_routes
+        assert not original.bgp.redistribute
+
+    def test_static_route_mutation_isolated(self, rich_snapshot):
+        clone = rich_snapshot.clone()
+        clone.device("r0").static_routes[0].admin_distance = 200
+        assert rich_snapshot.device("r0").static_routes[0].admin_distance == 1
+
+    def test_ospf_clone(self):
+        snapshot = ospf_snapshot(ring(4))
+        clone = snapshot.clone()
+        clone.device("r0").ospf.process_id = 99
+        assert snapshot.device("r0").ospf.process_id == 1
+
+    def test_enterprise_clone_round_trip(self):
+        net = build_enterprise()
+        clone = net.snapshot.clone()
+        assert clone.devices == copy.deepcopy(net.snapshot).devices
+        clone.validate()
+
+    def test_apply_changes_still_isolating(self, rich_snapshot):
+        from repro.config.changes import ShutdownInterface
+
+        changed, _ = apply_changes(
+            rich_snapshot, [ShutdownInterface("r1", "eth1")]
+        )
+        assert changed.device("r1").interfaces["eth1"].shutdown
+        assert not rich_snapshot.device("r1").interfaces["eth1"].shutdown

@@ -1,0 +1,56 @@
+"""Tests for snapshot line-diffing."""
+
+from repro.config.changes import apply_changes, SetOspfCost, ShutdownInterface
+from repro.config.diff import diff_snapshots, snapshot_lines
+from repro.workloads import ospf_snapshot
+
+
+class TestDiff:
+    def test_no_change_is_empty(self, line3_ospf):
+        diff = diff_snapshots(line3_ospf, line3_ospf.clone())
+        assert diff.is_empty()
+        assert diff.size() == 0
+        assert str(diff) == "(no changes)"
+
+    def test_shutdown_is_one_inserted_line(self, line3_ospf):
+        new, diff = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        assert len(diff.inserted) == 1
+        assert not diff.deleted
+        line = diff.inserted[0]
+        assert line.device == "r1"
+        assert line.stanza == "interface eth1"
+        assert line.text.strip() == "shutdown"
+
+    def test_cost_change_is_insert_only(self, line3_ospf):
+        # Cost 1 is the default and not rendered, so 1 -> 100 is one insert.
+        new, diff = apply_changes(line3_ospf, [SetOspfCost("r1", "eth1", 100)])
+        assert len(diff.inserted) == 1
+        assert len(diff.deleted) == 0
+
+    def test_cost_modification_is_delete_plus_insert(self, line3_ospf):
+        snap1, _ = apply_changes(line3_ospf, [SetOspfCost("r1", "eth1", 5)])
+        snap2, diff = apply_changes(snap1, [SetOspfCost("r1", "eth1", 100)])
+        assert len(diff.inserted) == 1
+        assert len(diff.deleted) == 1
+
+    def test_diff_direction(self, line3_ospf):
+        new, forward = apply_changes(line3_ospf, [ShutdownInterface("r0", "eth1")])
+        backward = diff_snapshots(new, line3_ospf)
+        assert backward.inserted == forward.deleted
+        assert backward.deleted == forward.inserted
+
+    def test_devices_touched(self, line3_ospf):
+        new, diff = apply_changes(
+            line3_ospf,
+            [ShutdownInterface("r0", "eth1"), ShutdownInterface("r2", "eth0")],
+        )
+        assert diff.devices_touched() == ["r0", "r2"]
+
+    def test_summary_counts(self, line3_ospf):
+        _, diff = apply_changes(line3_ospf, [ShutdownInterface("r0", "eth1")])
+        assert diff.summary() == "+1/-0 lines on 1 device(s)"
+
+    def test_snapshot_lines_counts_devices(self, line3_ospf):
+        lines = snapshot_lines(line3_ospf)
+        devices = {line.device for line in lines}
+        assert devices == {"r0", "r1", "r2"}

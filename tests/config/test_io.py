@@ -1,0 +1,111 @@
+"""Tests for snapshot persistence (topology.json + configs/*.cfg)."""
+
+import json
+
+import pytest
+
+from repro.config.changes import ShutdownInterface, apply_changes
+from repro.config.io import (
+    CONFIG_DIR,
+    TOPOLOGY_FILE,
+    load_snapshot,
+    save_snapshot,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.config.schema import ConfigError
+from repro.net.topologies import fat_tree, line, ring
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+def snapshots_equal(a, b) -> bool:
+    from repro.config.diff import diff_snapshots
+
+    return diff_snapshots(a, b).is_empty() and topology_to_dict(
+        a.topology
+    ) == topology_to_dict(b.topology)
+
+
+class TestTopologySerialization:
+    def test_round_trip(self):
+        topology = ring(4).topology
+        restored = topology_from_dict(topology_to_dict(topology))
+        assert topology_to_dict(restored) == topology_to_dict(topology)
+
+    def test_round_trip_fattree(self):
+        topology = fat_tree(4).topology
+        restored = topology_from_dict(topology_to_dict(topology))
+        assert restored.num_nodes() == topology.num_nodes()
+        assert restored.num_links() == topology.num_links()
+
+    def test_dict_is_json_serializable(self):
+        json.dumps(topology_to_dict(line(3).topology))
+
+
+class TestSnapshotPersistence:
+    @pytest.mark.parametrize("protocol", ["ospf", "bgp"])
+    def test_round_trip(self, tmp_path, protocol):
+        labeled = ring(4)
+        snapshot = (
+            ospf_snapshot(labeled) if protocol == "ospf" else bgp_snapshot(labeled)
+        )
+        save_snapshot(snapshot, tmp_path / "snap")
+        restored = load_snapshot(tmp_path / "snap")
+        assert snapshots_equal(snapshot, restored)
+
+    def test_layout(self, tmp_path):
+        labeled = line(2)
+        save_snapshot(ospf_snapshot(labeled), tmp_path / "snap")
+        assert (tmp_path / "snap" / TOPOLOGY_FILE).exists()
+        assert sorted(
+            p.name for p in (tmp_path / "snap" / CONFIG_DIR).glob("*.cfg")
+        ) == ["r0.cfg", "r1.cfg"]
+
+    def test_resave_removes_stale_configs(self, tmp_path):
+        labeled = line(3)
+        snapshot = ospf_snapshot(labeled)
+        save_snapshot(snapshot, tmp_path / "snap")
+        smaller = ospf_snapshot(labeled)
+        del smaller.devices["r2"]
+        save_snapshot(smaller, tmp_path / "snap")
+        names = sorted(
+            p.name for p in (tmp_path / "snap" / CONFIG_DIR).glob("*.cfg")
+        )
+        assert names == ["r0.cfg", "r1.cfg"]
+
+    def test_edited_config_loads_differently(self, tmp_path):
+        labeled = line(3)
+        snapshot = ospf_snapshot(labeled)
+        root = save_snapshot(snapshot, tmp_path / "snap")
+        cfg = root / CONFIG_DIR / "r1.cfg"
+        cfg.write_text(cfg.read_text().replace(
+            "interface eth1", "interface eth1\n shutdown"
+        ))
+        restored = load_snapshot(root)
+        assert restored.device("r1").interface("eth1").shutdown
+
+    def test_load_missing_topology(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_snapshot(tmp_path)
+
+    def test_load_missing_configs_dir(self, tmp_path):
+        save_snapshot(ospf_snapshot(line(2)), tmp_path / "snap")
+        import shutil
+
+        shutil.rmtree(tmp_path / "snap" / CONFIG_DIR)
+        with pytest.raises(ConfigError):
+            load_snapshot(tmp_path / "snap")
+
+    def test_hostname_filename_mismatch(self, tmp_path):
+        root = save_snapshot(ospf_snapshot(line(2)), tmp_path / "snap")
+        (root / CONFIG_DIR / "r0.cfg").rename(root / CONFIG_DIR / "other.cfg")
+        with pytest.raises(ConfigError):
+            load_snapshot(root)
+
+    def test_changes_survive_round_trip(self, tmp_path):
+        labeled = ring(4)
+        snapshot = ospf_snapshot(labeled)
+        changed, _ = apply_changes(snapshot, [ShutdownInterface("r1", "eth1")])
+        save_snapshot(changed, tmp_path / "snap")
+        restored = load_snapshot(tmp_path / "snap")
+        assert restored.device("r1").interface("eth1").shutdown

@@ -1,0 +1,175 @@
+"""Round-trip and error tests for the configuration dialect."""
+
+import pytest
+
+from repro.config.lang import ParseError, parse_device, render_device
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    BgpProcess,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfProcess,
+    Redistribution,
+    RouteMap,
+    RouteMapClause,
+    StaticRoute,
+)
+from repro.net.addr import Prefix, parse_ipv4
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+def full_device() -> DeviceConfig:
+    """A device exercising every configuration feature."""
+    device = DeviceConfig(hostname="r1")
+    device.interfaces["eth0"] = InterfaceConfig(
+        "eth0",
+        prefix=Prefix.parse("10.0.0.0/30"),
+        address=parse_ipv4("10.0.0.1"),
+        ospf_enabled=True,
+        ospf_cost=5,
+        acl_in="BLOCK",
+    )
+    device.interfaces["eth1"] = InterfaceConfig(
+        "eth1",
+        prefix=Prefix.parse("10.0.0.4/30"),
+        address=parse_ipv4("10.0.0.5"),
+        shutdown=True,
+        acl_out="BLOCK",
+    )
+    device.ospf = OspfProcess(
+        process_id=1, redistribute=[Redistribution("static", 20)]
+    )
+    device.bgp = BgpProcess(asn=65001, networks=[Prefix.parse("172.16.0.0/24")])
+    device.bgp.add_neighbor(
+        BgpNeighbor("eth0", 65002, route_map_in="RM_IN", route_map_out="RM_OUT")
+    )
+    device.bgp.redistribute.append(Redistribution("ospf", 30))
+    device.acls["BLOCK"] = Acl(
+        "BLOCK",
+        entries=[
+            AclEntry(10, "deny", proto=6, dst=Prefix.parse("172.16.1.0/24"),
+                     dst_port=(80, 80)),
+            AclEntry(15, "deny", proto=17, src=Prefix.parse("172.16.9.0/24"),
+                     dst_port=(1000, 2000)),
+            AclEntry(20, "permit"),
+        ],
+    )
+    device.route_maps["RM_IN"] = RouteMap(
+        "RM_IN",
+        clauses=[
+            RouteMapClause(10, "permit", match_prefix=Prefix.parse("172.16.0.0/16"),
+                           set_local_pref=150),
+            RouteMapClause(20, "deny"),
+        ],
+    )
+    device.route_maps["RM_OUT"] = RouteMap(
+        "RM_OUT", clauses=[RouteMapClause(10, "permit", set_metric=5)]
+    )
+    device.static_routes.append(StaticRoute(Prefix.parse("0.0.0.0/0"), "eth0"))
+    device.static_routes.append(
+        StaticRoute(Prefix.parse("192.168.0.0/16"), "eth1", admin_distance=200)
+    )
+    return device
+
+
+class TestRoundTrip:
+    def test_full_device(self):
+        device = full_device()
+        assert parse_device(render_device(device)) == device
+
+    def test_render_is_canonical(self):
+        device = full_device()
+        text = render_device(device)
+        assert render_device(parse_device(text)) == text
+
+    def test_minimal_device(self):
+        device = DeviceConfig(hostname="min")
+        assert parse_device(render_device(device)) == device
+
+    def test_ospf_snapshot_devices(self, line3):
+        for device in ospf_snapshot(line3).iter_devices():
+            assert parse_device(render_device(device)) == device
+
+    def test_bgp_snapshot_devices(self, ring4):
+        for device in bgp_snapshot(ring4).iter_devices():
+            assert parse_device(render_device(device)) == device
+
+    def test_blank_lines_and_comments_ignored(self):
+        device = parse_device("hostname x\n!\n\n! comment\n")
+        assert device.hostname == "x"
+
+
+class TestParseErrors:
+    def test_missing_hostname(self):
+        with pytest.raises(ParseError):
+            parse_device("interface eth0\n")
+        with pytest.raises(ParseError):
+            parse_device("")
+
+    def test_indented_line_outside_stanza(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\n ip address 1.2.3.4/24\n")
+
+    def test_unknown_top_level(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\nfrobnicate\n")
+
+    def test_unknown_interface_subcommand(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\ninterface eth0\n speed 100\n")
+
+    def test_malformed_ip_address(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\ninterface eth0\n ip address 10.0.0.1\n")
+
+    def test_malformed_acl_entry(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\nip access-list A\n 10 permit\n")
+
+    def test_acl_bad_action(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\nip access-list A\n 10 block ip any any\n")
+
+    def test_route_map_before_remote_as(self):
+        with pytest.raises(ParseError):
+            parse_device(
+                "hostname x\nrouter bgp 1\n neighbor eth0 route-map RM in\n"
+            )
+
+    def test_bad_route_map_header(self):
+        with pytest.raises(ParseError):
+            parse_device("hostname x\nroute-map RM accept 10\n")
+
+    def test_bad_access_group_direction(self):
+        with pytest.raises(ParseError):
+            parse_device(
+                "hostname x\ninterface eth0\n ip access-group A sideways\n"
+            )
+
+
+class TestSpecificForms:
+    def test_static_route_with_distance(self):
+        device = parse_device("hostname x\ninterface e0\nip route 0.0.0.0/0 e0 200\n")
+        assert device.static_routes[0].admin_distance == 200
+
+    def test_acl_port_range(self):
+        device = parse_device(
+            "hostname x\nip access-list A\n 10 deny 6 any any range 100 200\n"
+        )
+        assert device.acls["A"].entries[0].dst_port == (100, 200)
+
+    def test_ip_network_form(self):
+        device = parse_device(
+            "hostname x\ninterface e0\n ip network 10.0.0.0/24\n"
+        )
+        iface = device.interfaces["e0"]
+        assert iface.prefix == Prefix.parse("10.0.0.0/24")
+        assert iface.address is None
+
+    def test_default_ospf_cost_not_rendered(self):
+        device = DeviceConfig(hostname="x")
+        device.interfaces["e0"] = InterfaceConfig("e0", ospf_enabled=True)
+        device.ospf = OspfProcess()
+        assert "cost" not in render_device(device)

@@ -1,0 +1,202 @@
+"""Property-based round-trip: any well-formed DeviceConfig survives
+render -> parse unchanged, and rendering is canonical (idempotent)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config.lang import parse_device, render_device
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    BgpProcess,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfProcess,
+    Redistribution,
+    RouteMap,
+    RouteMapClause,
+    StaticRoute,
+)
+from repro.net.addr import Prefix
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+if_names = st.from_regex(r"(eth|up|down|host)[0-9]{1,2}", fullmatch=True)
+addresses = st.integers(0, (1 << 32) - 1)
+plens = st.integers(0, 32)
+
+
+@st.composite
+def prefixes(draw):
+    return Prefix.from_address_int(draw(addresses), draw(plens))
+
+
+@st.composite
+def interface_configs(draw, name):
+    prefix = draw(st.one_of(st.none(), prefixes()))
+    address = None
+    if prefix is not None:
+        address = prefix.first() + draw(
+            st.integers(0, max(0, prefix.num_addresses() - 1))
+        )
+    ospf_enabled = draw(st.booleans())
+    return InterfaceConfig(
+        name=name,
+        prefix=prefix,
+        address=address,
+        shutdown=draw(st.booleans()),
+        ospf_enabled=ospf_enabled,
+        # The dialect renders the cost only under "ip ospf enable" (it is
+        # meaningless otherwise), so hidden state must not be generated.
+        ospf_cost=draw(st.integers(1, 65535)) if ospf_enabled else 1,
+    )
+
+
+@st.composite
+def acl_entries(draw, seq):
+    return AclEntry(
+        seq=seq,
+        action=draw(st.sampled_from(["permit", "deny"])),
+        proto=draw(st.one_of(st.none(), st.integers(0, 255))),
+        src=draw(st.one_of(st.none(), prefixes())),
+        dst=draw(st.one_of(st.none(), prefixes())),
+        dst_port=draw(
+            st.one_of(
+                st.none(),
+                st.tuples(st.integers(0, 65535), st.integers(0, 65535)).map(
+                    lambda t: (min(t), max(t))
+                ),
+            )
+        ),
+    )
+
+
+@st.composite
+def route_map_clauses(draw, seq):
+    return RouteMapClause(
+        seq=seq,
+        action=draw(st.sampled_from(["permit", "deny"])),
+        match_prefix=draw(st.one_of(st.none(), prefixes())),
+        set_local_pref=draw(st.one_of(st.none(), st.integers(0, 1000))),
+        set_metric=draw(st.one_of(st.none(), st.integers(0, 10_000))),
+    )
+
+
+@st.composite
+def device_configs(draw):
+    device = DeviceConfig(hostname=draw(names))
+    iface_names = draw(st.sets(if_names, min_size=1, max_size=4))
+    for name in sorted(iface_names):
+        device.interfaces[name] = draw(interface_configs(name))
+    has_any_ospf = any(i.ospf_enabled for i in device.interfaces.values())
+    if has_any_ospf or draw(st.booleans()):
+        device.ospf = OspfProcess(
+            process_id=draw(st.integers(1, 100)),
+            redistribute=[
+                Redistribution(source, draw(st.integers(1, 100)))
+                for source in draw(
+                    st.sets(st.sampled_from(["static", "connected", "bgp"]),
+                            max_size=2)
+                )
+            ],
+        )
+    else:
+        # The dialect renders "ip ospf enable" only under a process; strip.
+        for iface in device.interfaces.values():
+            iface.ospf_enabled = False
+    if draw(st.booleans()):
+        bgp = BgpProcess(asn=draw(st.integers(1, 65535)))
+        for prefix in draw(st.sets(prefixes(), max_size=3)):
+            bgp.networks.append(prefix)
+        rm_names = []
+        for index in range(draw(st.integers(0, 2))):
+            rm_name = f"RM{index}"
+            clause_seqs = sorted(draw(st.sets(st.integers(1, 100),
+                                              min_size=1, max_size=3)))
+            device.route_maps[rm_name] = RouteMap(
+                rm_name,
+                clauses=[draw(route_map_clauses(seq)) for seq in clause_seqs],
+            )
+            rm_names.append(rm_name)
+        for iface in sorted(draw(st.sets(st.sampled_from(sorted(iface_names)),
+                                         max_size=2))):
+            neighbor = BgpNeighbor(iface, draw(st.integers(1, 65535)))
+            if rm_names and draw(st.booleans()):
+                neighbor.route_map_in = rm_names[0]
+            if rm_names and draw(st.booleans()):
+                neighbor.route_map_out = rm_names[-1]
+            bgp.add_neighbor(neighbor)
+        device.bgp = bgp
+    for index in range(draw(st.integers(0, 2))):
+        acl_name = f"ACL{index}"
+        seqs = sorted(draw(st.sets(st.integers(1, 1000), min_size=1, max_size=3)))
+        device.acls[acl_name] = Acl(
+            acl_name, entries=[draw(acl_entries(seq)) for seq in seqs]
+        )
+    acl_names = sorted(device.acls)
+    if acl_names:
+        for iface in device.interfaces.values():
+            if draw(st.booleans()):
+                iface.acl_in = draw(st.sampled_from(acl_names))
+            if draw(st.booleans()):
+                iface.acl_out = draw(st.sampled_from(acl_names))
+    for _ in range(draw(st.integers(0, 2))):
+        if draw(st.booleans()):
+            device.static_routes.append(
+                StaticRoute(
+                    draw(prefixes()),
+                    draw(st.sampled_from(sorted(iface_names))),
+                    admin_distance=draw(st.integers(1, 255)),
+                )
+            )
+        else:
+            device.static_routes.append(
+                StaticRoute(
+                    draw(prefixes()),
+                    next_hop_ip=draw(addresses),
+                    admin_distance=draw(st.integers(1, 255)),
+                )
+            )
+    return device
+
+
+def _normalized(device: DeviceConfig) -> DeviceConfig:
+    """Rendering canonicalizes the static-route order; normalize the input
+    the same way so structural equality is meaningful."""
+
+    def key(route: StaticRoute):
+        from repro.net.addr import format_ipv4
+
+        next_hop = (
+            route.next_hop_interface
+            if route.next_hop_interface is not None
+            else format_ipv4(route.next_hop_ip)
+        )
+        return (route.prefix, next_hop)
+
+    device.static_routes = sorted(device.static_routes, key=key)
+    if device.bgp is not None:
+        device.bgp.networks = sorted(device.bgp.networks)
+    return device
+
+
+@given(device_configs())
+@settings(max_examples=60, deadline=None)
+def test_render_parse_round_trip(device):
+    assert parse_device(render_device(device)) == _normalized(device)
+
+
+@given(device_configs())
+@settings(max_examples=30, deadline=None)
+def test_render_is_canonical(device):
+    text = render_device(device)
+    assert render_device(parse_device(text)) == text
+
+
+@given(device_configs())
+@settings(max_examples=30, deadline=None)
+def test_line_diff_of_identical_configs_is_empty(device):
+    from repro.config.lang import device_lines
+
+    first = list(device_lines(device))
+    second = list(device_lines(parse_device(render_device(device))))
+    assert first == second

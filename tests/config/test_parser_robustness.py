@@ -1,0 +1,59 @@
+"""Parser robustness: arbitrary text must either parse or raise
+``ParseError`` / ``ConfigError`` — never crash with an unrelated exception,
+and never produce a config that fails to re-render."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config.lang import ParseError, parse_device, render_device
+from repro.config.schema import ConfigError
+
+config_words = st.sampled_from(
+    [
+        "hostname", "interface", "ip", "address", "route", "router", "bgp",
+        "ospf", "neighbor", "remote-as", "route-map", "permit", "deny",
+        "access-list", "shutdown", "enable", "cost", "network", "metric",
+        "redistribute", "static", "aggregate-address", "set",
+        "local-preference", "match", "prefix", "eth0", "10.0.0.0/8",
+        "10.0.0.1/24", "1.2.3.4", "65001", "10", "in", "out", "any", "eq",
+        "range", "80", "!",
+    ]
+)
+
+
+@st.composite
+def config_like_text(draw):
+    lines = []
+    for _ in range(draw(st.integers(1, 12))):
+        indent = " " if draw(st.booleans()) else ""
+        words = draw(st.lists(config_words, min_size=1, max_size=6))
+        lines.append(indent + " ".join(words))
+    return "\n".join(lines) + "\n"
+
+
+@given(config_like_text())
+@settings(max_examples=150, deadline=None)
+def test_parse_never_crashes(text):
+    try:
+        device = parse_device(text)
+    except ConfigError:
+        return  # rejection is fine (ParseError subclasses ConfigError)
+    # Anything accepted must render and re-parse to the same structure.
+    assert parse_device(render_device(device)) == device
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_text_rejected_or_parsed(text):
+    try:
+        parse_device(text)
+    except ConfigError:
+        pass
+
+
+@given(st.binary(max_size=60).map(lambda b: b.decode("latin-1")))
+@settings(max_examples=60, deadline=None)
+def test_binaryish_text(text):
+    try:
+        parse_device(text)
+    except ConfigError:
+        pass

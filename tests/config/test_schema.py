@@ -1,0 +1,128 @@
+"""Validation tests for the configuration schema."""
+
+import pytest
+
+from repro.config.schema import (
+    Acl,
+    BgpNeighbor,
+    BgpProcess,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+    RouteMap,
+    Snapshot,
+    StaticRoute,
+)
+from repro.net.addr import Prefix
+from repro.net.topology import Topology
+
+
+def device_with_iface(name="r1", iface="eth0") -> DeviceConfig:
+    device = DeviceConfig(hostname=name)
+    device.interfaces[iface] = InterfaceConfig(iface)
+    return device
+
+
+class TestDeviceValidation:
+    def test_valid_minimal(self):
+        device_with_iface().validate()
+
+    def test_missing_acl_binding(self):
+        device = device_with_iface()
+        device.interfaces["eth0"].acl_in = "GHOST"
+        with pytest.raises(ConfigError):
+            device.validate()
+
+    def test_missing_out_acl_binding(self):
+        device = device_with_iface()
+        device.interfaces["eth0"].acl_out = "GHOST"
+        with pytest.raises(ConfigError):
+            device.validate()
+
+    def test_bgp_neighbor_on_missing_interface(self):
+        device = device_with_iface()
+        device.bgp = BgpProcess(asn=1)
+        device.bgp.add_neighbor(BgpNeighbor("ghost0", 2))
+        with pytest.raises(ConfigError):
+            device.validate()
+
+    def test_bgp_neighbor_missing_route_map(self):
+        device = device_with_iface()
+        device.bgp = BgpProcess(asn=1)
+        device.bgp.add_neighbor(BgpNeighbor("eth0", 2, route_map_in="GHOST"))
+        with pytest.raises(ConfigError):
+            device.validate()
+
+    def test_bgp_neighbor_route_map_present(self):
+        device = device_with_iface()
+        device.bgp = BgpProcess(asn=1)
+        device.route_maps["RM"] = RouteMap("RM")
+        device.bgp.add_neighbor(BgpNeighbor("eth0", 2, route_map_out="RM"))
+        device.validate()
+
+    def test_static_route_missing_interface(self):
+        device = device_with_iface()
+        device.static_routes.append(StaticRoute(Prefix.parse("0.0.0.0/0"), "ghost"))
+        with pytest.raises(ConfigError):
+            device.validate()
+
+
+class TestAccessors:
+    def test_interface_missing(self):
+        with pytest.raises(ConfigError):
+            device_with_iface().interface("nope")
+
+    def test_ensure_interface_creates(self):
+        device = DeviceConfig(hostname="x")
+        iface = device.ensure_interface("e9")
+        assert iface is device.interfaces["e9"]
+        assert device.ensure_interface("e9") is iface
+
+    def test_route_map_missing(self):
+        with pytest.raises(ConfigError):
+            device_with_iface().route_map("nope")
+
+    def test_acl_missing(self):
+        with pytest.raises(ConfigError):
+            device_with_iface().acl("nope")
+
+    def test_route_map_clause_missing(self):
+        rm = RouteMap("RM")
+        with pytest.raises(ConfigError):
+            rm.clause(10)
+
+    def test_acl_sorted_entries(self):
+        from repro.config.schema import AclEntry
+
+        acl = Acl("A", entries=[AclEntry(20, "permit"), AclEntry(10, "deny")])
+        assert [e.seq for e in acl.sorted_entries()] == [10, 20]
+
+
+class TestSnapshot:
+    def test_duplicate_device(self):
+        snapshot = Snapshot(Topology())
+        snapshot.add_device(DeviceConfig(hostname="a"))
+        with pytest.raises(ConfigError):
+            snapshot.add_device(DeviceConfig(hostname="a"))
+
+    def test_missing_device(self):
+        with pytest.raises(ConfigError):
+            Snapshot(Topology()).device("nope")
+
+    def test_clone_is_deep_for_devices(self):
+        snapshot = Snapshot(Topology())
+        snapshot.add_device(device_with_iface())
+        clone = snapshot.clone()
+        clone.device("r1").interfaces["eth0"].shutdown = True
+        assert not snapshot.device("r1").interfaces["eth0"].shutdown
+
+    def test_clone_shares_topology(self):
+        topo = Topology()
+        snapshot = Snapshot(topo)
+        assert snapshot.clone().topology is topo
+
+    def test_device_names_sorted(self):
+        snapshot = Snapshot(Topology())
+        snapshot.add_device(DeviceConfig(hostname="b"))
+        snapshot.add_device(DeviceConfig(hostname="a"))
+        assert snapshot.device_names() == ["a", "b"]

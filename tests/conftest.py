@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Expensive artifacts (compiled control planes, fat-tree snapshots) are
+session- or module-scoped; tests must not mutate them in place — use
+``snapshot.clone()`` or ``apply_changes`` (which clones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import fat_tree, grid, line, ring
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+@pytest.fixture(scope="session")
+def line3():
+    return line(3)
+
+
+@pytest.fixture(scope="session")
+def ring4():
+    return ring(4)
+
+
+@pytest.fixture(scope="session")
+def grid33():
+    return grid(3, 3)
+
+
+@pytest.fixture(scope="session")
+def fattree4():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="session")
+def line3_ospf(line3):
+    return ospf_snapshot(line3)
+
+
+@pytest.fixture(scope="session")
+def ring4_bgp(ring4):
+    return bgp_snapshot(ring4)
+
+
+@pytest.fixture(scope="session")
+def fattree4_ospf(fattree4):
+    return ospf_snapshot(fattree4)
+
+
+@pytest.fixture(scope="session")
+def fattree4_bgp(fattree4):
+    return bgp_snapshot(fattree4)

@@ -1,0 +1,150 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.config.io import CONFIG_DIR, load_snapshot, save_snapshot
+from repro.net.topologies import line
+from repro.workloads import ospf_snapshot
+
+
+@pytest.fixture
+def base_dir(tmp_path):
+    path = tmp_path / "base"
+    assert main(["generate", "--topology", "line:3", "--protocol", "ospf",
+                 "--out", str(path)]) == 0
+    return path
+
+
+def edit_config(snapshot_dir, hostname, transform):
+    cfg = snapshot_dir / CONFIG_DIR / f"{hostname}.cfg"
+    cfg.write_text(transform(cfg.read_text()))
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "spec", ["line:3", "ring:4", "grid:2x2", "random:5:2", "fat-tree:2"]
+    )
+    def test_generate_topologies(self, tmp_path, spec):
+        out = tmp_path / "snap"
+        assert main(["generate", "--topology", spec, "--out", str(out)]) == 0
+        load_snapshot(out)
+
+    def test_generate_bgp(self, tmp_path):
+        out = tmp_path / "snap"
+        assert main(["generate", "--topology", "ring:4", "--protocol", "bgp",
+                     "--out", str(out)]) == 0
+        snapshot = load_snapshot(out)
+        assert snapshot.device("r0").bgp is not None
+
+    def test_bad_topology_spec(self, tmp_path):
+        assert main(["generate", "--topology", "moebius:4",
+                     "--out", str(tmp_path / "x")]) == 2
+        assert main(["generate", "--topology", "ring:many",
+                     "--out", str(tmp_path / "y")]) == 2
+
+
+class TestShowFib(object):
+    def test_prints_entries(self, base_dir, capsys):
+        assert main(["show-fib", str(base_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "172.16.2.0/24" in out
+
+    def test_node_filter(self, base_dir, capsys):
+        assert main(["show-fib", str(base_dir), "--node", "r0"]) == 0
+        out = capsys.readouterr().out
+        assert all(line.startswith("r0:") for line in out.strip().splitlines())
+
+
+class TestDiffAndVerify:
+    def test_diff_empty(self, base_dir, tmp_path, capsys):
+        clone = tmp_path / "clone"
+        save_snapshot(load_snapshot(base_dir), clone)
+        assert main(["diff", str(base_dir), str(clone)]) == 0
+
+    def test_diff_and_verify_shutdown(self, base_dir, tmp_path, capsys):
+        changed = tmp_path / "changed"
+        save_snapshot(load_snapshot(base_dir), changed)
+        edit_config(
+            changed, "r1",
+            lambda text: text.replace("interface eth1",
+                                      "interface eth1\n shutdown"),
+        )
+        assert main(["diff", str(base_dir), str(changed)]) == 1
+        out = capsys.readouterr().out
+        assert "shutdown" in out
+
+        # Cutting the line leaves no loop and no blackhole (routes to the
+        # lost prefix are withdrawn, so nothing forwards-then-drops): the
+        # invariants-only verify passes...
+        code = main(["verify", str(base_dir), str(changed)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NEWLY VIOLATED" not in out
+
+    def test_verify_all_pairs(self, base_dir, tmp_path, capsys):
+        # ... while --all-pairs reachability catches the partition.
+        changed = tmp_path / "changed"
+        save_snapshot(load_snapshot(base_dir), changed)
+        edit_config(
+            changed, "r1",
+            lambda text: text.replace("interface eth1",
+                                      "interface eth1\n shutdown"),
+        )
+        code = main(["verify", "--all-pairs", str(base_dir), str(changed)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NEWLY VIOLATED" in out
+        assert "reach:" in out
+
+    def test_verify_clean_change(self, base_dir, tmp_path, capsys):
+        changed = tmp_path / "changed"
+        save_snapshot(load_snapshot(base_dir), changed)
+        edit_config(
+            changed, "r1",
+            lambda text: text.replace(" ip ospf enable",
+                                      " ip ospf enable\n ip ospf cost 5", 1),
+        )
+        assert main(["verify", str(base_dir), str(changed)]) == 0
+
+
+class TestMine:
+    def test_line_is_fragile(self, base_dir, capsys):
+        code = main(["mine", str(base_dir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FRAGILE" in out
+
+    def test_ring_is_fault_tolerant(self, tmp_path, capsys):
+        out_dir = tmp_path / "ring"
+        main(["generate", "--topology", "ring:4", "--out", str(out_dir)])
+        capsys.readouterr()
+        code = main(["mine", str(out_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "always:" in out
+        assert "width >= 1" in out
+
+    def test_no_widths_flag(self, tmp_path, capsys):
+        out_dir = tmp_path / "ring"
+        main(["generate", "--topology", "ring:4", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main(["mine", "--no-widths", str(out_dir)]) == 0
+        assert "width" not in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_delivered(self, base_dir, capsys):
+        code = main(["trace", str(base_dir), "--source", "r0",
+                     "--dst", "172.16.2.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivered" in out
+        assert "r0" in out and "r2" in out
+
+    def test_unroutable(self, base_dir, capsys):
+        code = main(["trace", str(base_dir), "--source", "r0",
+                     "--dst", "8.8.8.8"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "dropped" in out

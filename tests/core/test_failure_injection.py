@@ -1,0 +1,99 @@
+"""Failure injection: invalid changes, non-convergent configurations, and
+malformed snapshots must fail loudly *without corrupting* verifier state."""
+
+import pytest
+
+from repro.config.changes import (
+    ChangeError,
+    SetLocalPref,
+    ShutdownInterface,
+)
+from repro.config.schema import ConfigError
+from repro.core.realconfig import RealConfig
+from repro.ddlog.convergence import ConvergenceMonitor, NonConvergenceError
+from repro.net.topologies import ring
+from repro.policy.spec import LoopFree
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+@pytest.fixture
+def verifier():
+    labeled = ring(4)
+    return RealConfig(
+        bgp_snapshot(labeled),
+        endpoints=["r0", "r1", "r2", "r3"],
+        policies=[LoopFree("loop-free")],
+    )
+
+
+class TestInvalidChanges:
+    def test_unknown_device_raises_and_preserves_state(self, verifier):
+        before_fib = verifier.generator.current_fib_size()
+        before_snapshot = verifier.snapshot
+        with pytest.raises(ConfigError):
+            verifier.apply_change(ShutdownInterface("ghost", "eth0"))
+        assert verifier.snapshot is before_snapshot
+        assert verifier.generator.current_fib_size() == before_fib
+        # The verifier still works afterwards.
+        delta = verifier.apply_change(ShutdownInterface("r0", "eth1"))
+        assert delta.rule_updates
+
+    def test_invalid_neighbor_raises_cleanly(self, verifier):
+        with pytest.raises(ChangeError):
+            verifier.apply_change(SetLocalPref("r0", "host0", 150))
+        assert all(s.holds for s in verifier.policy_statuses())
+
+    def test_partial_batch_failure_atomic(self, verifier):
+        """A batch whose second change is invalid must not half-apply."""
+        before = verifier.snapshot
+        with pytest.raises(ChangeError):
+            verifier.apply_changes(
+                [
+                    ShutdownInterface("r0", "eth1"),
+                    SetLocalPref("r0", "host0", 150),
+                ]
+            )
+        assert verifier.snapshot is before
+        assert not verifier.snapshot.device("r0").interface("eth1").shutdown
+
+    def test_invalid_external_snapshot_rejected(self, verifier):
+        broken = verifier.snapshot.clone()
+        broken.device("r0").interface("eth0").acl_in = "GHOST"
+        with pytest.raises(ConfigError):
+            verifier.verify_snapshot(broken)
+        # State preserved.
+        assert verifier.snapshot.device("r0").interface("eth0").acl_in is None
+
+
+class TestNonConvergence:
+    def test_realconfig_surfaces_divergence(self):
+        from tests.integration.test_bgp_convergence import bad_gadget_snapshot
+
+        monitor = ConvergenceMonitor(max_iterations=3000, suspect_after=32)
+        with pytest.raises(NonConvergenceError):
+            RealConfig(bad_gadget_snapshot(), monitor=monitor)
+
+    def test_divergence_introduced_by_change(self):
+        """A convergent network made divergent by an LP change: the verify
+        call raises instead of hanging."""
+        from repro.config.schema import RouteMap, RouteMapClause
+
+        labeled = ring(3)
+        snapshot = bgp_snapshot(labeled)
+        # Keep only r0's origination (the DISAGREE pattern needs a single
+        # origin).
+        for name in ("r1", "r2"):
+            snapshot.device(name).bgp.networks.clear()
+        monitor = ConvergenceMonitor(max_iterations=3000, suspect_after=32)
+        verifier = RealConfig(
+            snapshot,
+            endpoints=["r0", "r1", "r2"],
+            monitor=monitor,
+        )
+        with pytest.raises(NonConvergenceError):
+            verifier.apply_changes(
+                [
+                    SetLocalPref("r1", "eth1", 200),
+                    SetLocalPref("r2", "eth0", 200),
+                ]
+            )

@@ -1,0 +1,125 @@
+"""Tests for the incremental data plane generator (stage 1)."""
+
+import pytest
+
+from repro.config.changes import (
+    AddAclEntry,
+    BindAcl,
+    RemoveAclEntry,
+    SetLocalPref,
+    ShutdownInterface,
+    UnbindAcl,
+    apply_changes,
+)
+from repro.config.schema import AclEntry
+from repro.core.generator import IncrementalDataPlaneGenerator, extract_filter_rules
+from repro.dataplane.rule import FilterRule, ForwardingRule
+from repro.net.addr import Prefix
+
+
+class TestFilterExtraction:
+    def test_no_acls_no_rules(self, line3_ospf):
+        assert extract_filter_rules(line3_ospf) == set()
+
+    def test_bound_acl_extracted(self, line3_ospf):
+        snap, _ = apply_changes(
+            line3_ospf,
+            [
+                AddAclEntry(
+                    "r1", "A",
+                    AclEntry(10, "deny", proto=6,
+                             dst=Prefix.parse("172.16.2.0/24"),
+                             dst_port=(80, 80)),
+                ),
+                BindAcl("r1", "eth0", "A", "in"),
+            ],
+        )
+        rules = extract_filter_rules(snap)
+        assert len(rules) == 1
+        rule = next(iter(rules))
+        assert rule.node == "r1"
+        assert rule.direction == "in"
+        assert rule.action == "deny"
+        assert rule.match.interval("proto") == (6, 6)
+        assert rule.match.interval("dst_port") == (80, 80)
+
+    def test_unbound_acl_not_extracted(self, line3_ospf):
+        snap, _ = apply_changes(
+            line3_ospf,
+            [AddAclEntry("r1", "A", AclEntry(10, "deny"))],
+        )
+        assert extract_filter_rules(snap) == set()
+
+    def test_same_acl_both_directions(self, line3_ospf):
+        snap, _ = apply_changes(
+            line3_ospf,
+            [
+                AddAclEntry("r1", "A", AclEntry(10, "permit")),
+                BindAcl("r1", "eth0", "A", "in"),
+                BindAcl("r1", "eth1", "A", "out"),
+            ],
+        )
+        rules = extract_filter_rules(snap)
+        assert {(r.interface, r.direction) for r in rules} == {
+            ("eth0", "in"),
+            ("eth1", "out"),
+        }
+
+
+class TestGenerator:
+    def test_initial_load_all_inserts(self, line3_ospf):
+        generator = IncrementalDataPlaneGenerator()
+        updates = generator.update_to(line3_ospf)
+        assert updates
+        assert all(u.is_insert() for u in updates)
+        assert all(isinstance(u.rule, ForwardingRule) for u in updates)
+
+    def test_incremental_forwarding_updates(self, line3_ospf):
+        generator = IncrementalDataPlaneGenerator()
+        generator.update_to(line3_ospf)
+        snap, _ = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        updates = generator.update_to(snap)
+        assert updates
+        assert any(not u.is_insert() for u in updates)
+
+    def test_acl_changes_bypass_engine(self, line3_ospf):
+        """Filter rule changes come straight from the config diff: the
+        engine does no work for a pure ACL change."""
+        generator = IncrementalDataPlaneGenerator()
+        generator.update_to(line3_ospf)
+        snap, _ = apply_changes(
+            line3_ospf,
+            [
+                AddAclEntry("r1", "A", AclEntry(10, "deny", proto=6)),
+                BindAcl("r1", "eth0", "A", "in"),
+            ],
+        )
+        updates = generator.update_to(snap)
+        assert all(isinstance(u.rule, FilterRule) for u in updates)
+        assert generator.last_engine_stats.records == 0
+
+    def test_acl_unbind_emits_deletions(self, line3_ospf):
+        generator = IncrementalDataPlaneGenerator()
+        snap, _ = apply_changes(
+            line3_ospf,
+            [
+                AddAclEntry("r1", "A", AclEntry(10, "deny", proto=6)),
+                BindAcl("r1", "eth0", "A", "in"),
+            ],
+        )
+        generator.update_to(snap)
+        snap2, _ = apply_changes(snap, [UnbindAcl("r1", "eth0", "in")])
+        updates = generator.update_to(snap2)
+        assert len(updates) == 1
+        assert not updates[0].is_insert()
+
+    def test_noop_change_no_updates(self, line3_ospf):
+        generator = IncrementalDataPlaneGenerator()
+        generator.update_to(line3_ospf)
+        updates = generator.update_to(line3_ospf.clone())
+        assert updates == []
+
+    def test_fib_size_reported(self, line3_ospf):
+        generator = IncrementalDataPlaneGenerator()
+        generator.update_to(line3_ospf)
+        assert generator.current_fib_size() == 15

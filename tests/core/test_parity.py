@@ -1,0 +1,153 @@
+"""Parity: after any change sequence, an incrementally maintained RealConfig
+must agree — model state and policy verdicts — with a fresh RealConfig built
+from scratch on the final snapshot."""
+
+import random
+
+import pytest
+
+from repro.config.changes import (
+    AddAclEntry,
+    BindAcl,
+    EnableInterface,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+)
+from repro.config.schema import AclEntry
+from repro.core.realconfig import RealConfig
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topologies import fat_tree, ring
+from repro.policy.spec import BlackholeFree, LoopFree, Reachability
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+def port_fingerprint(verifier):
+    """Semantic fingerprint of the data plane model: per device, the set of
+    (EC destination-footprint, port) pairs — independent of EC ids."""
+    model = verifier.model
+    fingerprint = {}
+    for node in model.device_names():
+        entries = []
+        for ec in model.ecs.ec_ids():
+            port = model.port_of(node, ec)
+            footprint = tuple(
+                sorted(str(p) for p in model.ecs.predicate(ec).dst_prefixes())
+            )
+            entries.append((footprint, port))
+        fingerprint[node] = frozenset(entries)
+    return fingerprint
+
+
+def pair_fingerprint(verifier):
+    """Pair reachability by destination footprint instead of EC id."""
+    checker = verifier.checker
+    model = verifier.model
+    out = {}
+    for pair, ecs in checker.delivered_pair_map().items():
+        footprints = frozenset(
+            tuple(sorted(str(p) for p in model.ecs.predicate(ec).dst_prefixes()))
+            for ec in ecs
+            if model.ecs.exists(ec)
+        )
+        if footprints:
+            out[pair] = footprints
+    return out
+
+
+def policies_for(labeled):
+    policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
+    edges = sorted(labeled.host_prefixes)
+    for i, src in enumerate(edges[:3]):
+        dst = edges[(i + 1) % len(edges)]
+        policies.append(
+            Reachability(
+                f"reach-{src}-{dst}",
+                src=src,
+                dst=dst,
+                match=HeaderBox.from_dst_prefix(labeled.host_prefixes[dst][0]),
+            )
+        )
+    return policies
+
+
+@pytest.mark.parametrize("protocol", ["ospf", "bgp"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_model_and_policy_parity(protocol, seed):
+    rng = random.Random(seed)
+    labeled = ring(5)
+    make = ospf_snapshot if protocol == "ospf" else bgp_snapshot
+    snapshot = make(labeled)
+    verifier = RealConfig(
+        snapshot, endpoints=sorted(labeled.host_prefixes), policies=policies_for(labeled)
+    )
+
+    interfaces = [
+        iface.id
+        for iface in labeled.topology.interfaces()
+        if labeled.topology.neighbor_of(iface.id) is not None
+    ]
+    for step in range(6):
+        target = rng.choice(interfaces)
+        roll = rng.random()
+        if roll < 0.4:
+            current = verifier.snapshot.device(target.node).interface(target.name)
+            change = (
+                EnableInterface(target.node, target.name)
+                if current.shutdown
+                else ShutdownInterface(target.node, target.name)
+            )
+        elif protocol == "ospf":
+            change = SetOspfCost(target.node, target.name, rng.choice([1, 5, 100]))
+        else:
+            change = SetLocalPref(target.node, target.name, rng.choice([100, 150]))
+        verifier.apply_change(change)
+
+        fresh = RealConfig(
+            verifier.snapshot,
+            endpoints=verifier.checker.endpoints,
+            policies=policies_for(labeled),
+        )
+        assert port_fingerprint(verifier) == port_fingerprint(fresh), (
+            f"model divergence after step {step}: {change.describe()}"
+        )
+        assert pair_fingerprint(verifier) == pair_fingerprint(fresh)
+        assert {
+            s.policy.name: s.holds for s in verifier.policy_statuses()
+        } == {s.policy.name: s.holds for s in fresh.policy_statuses()}
+
+
+def test_acl_parity():
+    labeled = ring(4)
+    snapshot = ospf_snapshot(labeled)
+    verifier = RealConfig(snapshot, endpoints=sorted(labeled.host_prefixes))
+    changes = [
+        [
+            AddAclEntry(
+                "r1", "A",
+                AclEntry(10, "deny", proto=6,
+                         dst=Prefix.parse("172.16.2.0/24")),
+            ),
+            AddAclEntry("r1", "A", AclEntry(20, "permit")),
+            BindAcl("r1", "eth1", "A", "out"),
+        ],
+        [ShutdownInterface("r2", "eth1")],
+        [BindAcl("r1", "eth0", "A", "in")],
+    ]
+    for batch in changes:
+        verifier.apply_changes(batch)
+        fresh = RealConfig(
+            verifier.snapshot, endpoints=verifier.checker.endpoints
+        )
+        assert port_fingerprint(verifier) == port_fingerprint(fresh)
+        assert pair_fingerprint(verifier) == pair_fingerprint(fresh)
+
+
+def test_fattree_parity_single_change(fattree4):
+    snapshot = bgp_snapshot(fattree4)
+    endpoints = fattree4.edge_nodes()
+    verifier = RealConfig(snapshot, endpoints=endpoints)
+    verifier.apply_change(ShutdownInterface("agg0_0", "up0"))
+    fresh = RealConfig(verifier.snapshot, endpoints=endpoints)
+    assert pair_fingerprint(verifier) == pair_fingerprint(fresh)

@@ -1,0 +1,213 @@
+"""End-to-end tests of the RealConfig verifier."""
+
+import pytest
+
+from repro.config.changes import (
+    AddAclEntry,
+    BindAcl,
+    EnableInterface,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    UnbindAcl,
+)
+from repro.config.schema import AclEntry
+from repro.core.realconfig import RealConfig
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topologies import line, ring
+from repro.policy.spec import BlackholeFree, LoopFree, Reachability, isolation
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+def reach(name, src, dst, prefix_text):
+    return Reachability(
+        name, src=src, dst=dst,
+        match=HeaderBox.from_dst_prefix(Prefix.parse(prefix_text)),
+    )
+
+
+@pytest.fixture
+def ring_verifier():
+    labeled = ring(4)
+    return RealConfig(
+        bgp_snapshot(labeled),
+        endpoints=["r0", "r1", "r2", "r3"],
+        policies=[
+            LoopFree("loop-free"),
+            reach("r0->r2", "r0", "r2", "172.16.2.0/24"),
+        ],
+    )
+
+
+class TestInitialVerification:
+    def test_initial_report(self, ring_verifier):
+        initial = ring_verifier.initial
+        assert initial.ok
+        assert initial.rule_updates
+        assert initial.timings.total > 0
+
+    def test_policies_hold_initially(self, ring_verifier):
+        assert all(s.holds for s in ring_verifier.policy_statuses())
+
+    def test_invalid_snapshot_rejected(self):
+        labeled = line(2)
+        snapshot = ospf_snapshot(labeled)
+        snapshot.device("r0").interfaces["eth1"].acl_in = "GHOST"
+        with pytest.raises(Exception):
+            RealConfig(snapshot)
+
+
+class TestChangeVerification:
+    def test_single_failure_survives(self, ring_verifier):
+        delta = ring_verifier.apply_change(ShutdownInterface("r1", "eth1"))
+        assert delta.ok
+        assert delta.rule_updates
+        assert "LinkFailure" in delta.description
+
+    def test_double_failure_violates_and_repair_restores(self, ring_verifier):
+        ring_verifier.apply_change(ShutdownInterface("r1", "eth1"))
+        delta = ring_verifier.apply_change(ShutdownInterface("r2", "eth1"))
+        assert not delta.ok
+        assert [s.policy.name for s in delta.newly_violated] == ["r0->r2"]
+        repair = ring_verifier.apply_change(EnableInterface("r1", "eth1"))
+        assert repair.ok
+        assert [s.policy.name for s in repair.newly_satisfied] == ["r0->r2"]
+
+    def test_snapshot_tracks_changes(self, ring_verifier):
+        ring_verifier.apply_change(ShutdownInterface("r1", "eth1"))
+        assert ring_verifier.snapshot.device("r1").interface("eth1").shutdown
+
+    def test_line_diff_in_delta(self, ring_verifier):
+        delta = ring_verifier.apply_change(ShutdownInterface("r1", "eth1"))
+        assert delta.line_diff is not None
+        assert delta.line_diff.size() == 1
+
+    def test_verify_snapshot_external_edit(self, ring_verifier):
+        edited = ring_verifier.snapshot.clone()
+        edited.device("r1").interface("eth1").shutdown = True
+        delta = ring_verifier.verify_snapshot(edited)
+        assert delta.ok
+        assert delta.line_diff.size() == 1
+
+    def test_no_change_is_cheap_and_empty(self, ring_verifier):
+        delta = ring_verifier.verify_snapshot(ring_verifier.snapshot.clone())
+        assert delta.ok
+        assert not delta.rule_updates
+        assert not delta.report.affected_ecs
+
+
+class TestAclVerification:
+    def test_isolation_via_acl(self):
+        labeled = line(3)
+        verifier = RealConfig(
+            ospf_snapshot(labeled),
+            endpoints=["r0", "r1", "r2"],
+            policies=[
+                reach("can-reach", "r0", "r2", "172.16.2.0/24"),
+                isolation(
+                    "no-http", "r0", "r2",
+                    HeaderBox.build(
+                        dst_ip=Prefix.parse("172.16.2.0/24").as_interval(),
+                        proto=(6, 6),
+                        dst_port=(80, 80),
+                    ),
+                ),
+            ],
+        )
+        # Initially HTTP leaks: the isolation policy is violated.
+        assert not verifier.checker.status("no-http").holds
+        # Non-HTTP traffic (SSH) must keep flowing after the block.
+        verifier.add_policy(
+            Reachability(
+                "ssh-reach", src="r0", dst="r2",
+                match=HeaderBox.build(
+                    dst_ip=Prefix.parse("172.16.2.0/24").as_interval(),
+                    proto=(6, 6),
+                    dst_port=(22, 22),
+                ),
+            )
+        )
+        delta = verifier.apply_changes(
+            [
+                AddAclEntry(
+                    "r2", "BLOCK",
+                    AclEntry(10, "deny", proto=6,
+                             dst=Prefix.parse("172.16.2.0/24"),
+                             dst_port=(80, 80)),
+                ),
+                AddAclEntry("r2", "BLOCK", AclEntry(20, "permit")),
+                BindAcl("r2", "eth0", "BLOCK", "in"),
+            ]
+        )
+        assert [s.policy.name for s in delta.newly_satisfied] == ["no-http"]
+        assert verifier.checker.status("ssh-reach").holds
+        # The broad any-traffic policy now legitimately fails: its match
+        # includes the HTTP slice the ACL blocks.
+        assert not verifier.checker.status("can-reach").holds
+
+    def test_overbroad_acl_breaks_reachability(self):
+        labeled = line(3)
+        verifier = RealConfig(
+            ospf_snapshot(labeled),
+            endpoints=["r0", "r1", "r2"],
+            policies=[reach("can-reach", "r0", "r2", "172.16.2.0/24")],
+        )
+        delta = verifier.apply_changes(
+            [
+                AddAclEntry("r2", "BLOCK", AclEntry(10, "deny")),
+                BindAcl("r2", "eth0", "BLOCK", "in"),
+            ]
+        )
+        assert [s.policy.name for s in delta.newly_violated] == ["can-reach"]
+        repair = verifier.apply_change(UnbindAcl("r2", "eth0", "in"))
+        assert [s.policy.name for s in repair.newly_satisfied] == ["can-reach"]
+
+
+class TestOspfVerifier:
+    def test_lc_change_keeps_reachability(self):
+        labeled = ring(4)
+        verifier = RealConfig(
+            ospf_snapshot(labeled),
+            endpoints=["r0", "r2"],
+            policies=[
+                reach("r0->r2", "r0", "r2", "172.16.2.0/24"),
+                BlackholeFree("no-blackhole"),
+            ],
+        )
+        delta = verifier.apply_change(SetOspfCost("r0", "eth1", 100))
+        assert delta.ok
+
+    def test_update_order_configurable(self):
+        labeled = ring(4)
+        verifier = RealConfig(
+            ospf_snapshot(labeled), update_order="deletion-first"
+        )
+        delta = verifier.apply_change(SetOspfCost("r0", "eth1", 100))
+        assert delta.batch.order == "deletion-first"
+
+    def test_model_mode_configurable(self):
+        labeled = ring(4)
+        verifier = RealConfig(ospf_snapshot(labeled), model_mode="priority")
+        assert verifier.model.mode == "priority"
+
+
+class TestPolicyManagement:
+    def test_add_policy_later(self, ring_verifier):
+        status = ring_verifier.add_policy(
+            reach("late", "r3", "r1", "172.16.1.0/24")
+        )
+        assert status.holds
+        ring_verifier.remove_policy("late")
+
+    def test_violated_policies_listing(self, ring_verifier):
+        ring_verifier.apply_change(ShutdownInterface("r1", "eth1"))
+        ring_verifier.apply_change(ShutdownInterface("r2", "eth1"))
+        assert [s.policy.name for s in ring_verifier.violated_policies()] == [
+            "r0->r2"
+        ]
+
+    def test_summary_text(self, ring_verifier):
+        delta = ring_verifier.apply_change(ShutdownInterface("r1", "eth1"))
+        text = delta.summary()
+        assert "change:" in text and "data plane:" in text and "time:" in text

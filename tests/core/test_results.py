@@ -1,0 +1,85 @@
+"""Tests for result/report value types."""
+
+from repro.config.diff import LineDiff
+from repro.core.results import StageTimings, VerificationDelta
+from repro.dataplane.batch import BatchResult
+from repro.dataplane.rule import ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.policy.checker import CheckReport
+from repro.policy.spec import PolicyStatus, Reachability
+
+
+def make_delta(violated=(), satisfied=()):
+    report = CheckReport(
+        newly_violated=[
+            PolicyStatus(Reachability(name, src="a", dst="b"), False)
+            for name in violated
+        ],
+        newly_satisfied=[
+            PolicyStatus(Reachability(name, src="a", dst="b"), True)
+            for name in satisfied
+        ],
+        total_pairs=10,
+    )
+    updates = [
+        RuleUpdate(1, ForwardingRule("r0", Prefix.parse("10.0.0.0/8"), "eth0")),
+        RuleUpdate(-1, ForwardingRule("r0", Prefix.parse("11.0.0.0/8"), "eth0")),
+    ]
+    return VerificationDelta(
+        description="test change",
+        line_diff=LineDiff(),
+        rule_updates=updates,
+        batch=BatchResult(order="insertion-first"),
+        report=report,
+        timings=StageTimings(0.001, 0.002, 0.003, 0.004),
+    )
+
+
+class TestStageTimings:
+    def test_total(self):
+        timings = StageTimings(1.0, 2.0, 3.0, 4.0)
+        assert timings.total == 10.0
+
+    def test_str_mentions_stages(self):
+        text = str(StageTimings(0.001, 0.002, 0.003, 0.004))
+        for word in ("diff", "generate", "model", "check"):
+            assert word in text
+
+    def test_defaults_zero(self):
+        assert StageTimings().total == 0.0
+
+
+class TestVerificationDelta:
+    def test_ok_semantics(self):
+        assert make_delta().ok
+        assert not make_delta(violated=["p"]).ok
+        assert make_delta(satisfied=["p"]).ok
+
+    def test_summary_counts_rules(self):
+        text = make_delta().summary()
+        assert "+1/-1 rules" in text
+        assert "test change" in text
+
+    def test_newly_lists(self):
+        delta = make_delta(violated=["v1"], satisfied=["s1", "s2"])
+        assert [s.policy.name for s in delta.newly_violated] == ["v1"]
+        assert [s.policy.name for s in delta.newly_satisfied] == ["s1", "s2"]
+
+    def test_summary_without_optional_parts(self):
+        delta = make_delta()
+        delta.line_diff = None
+        delta.batch = None
+        text = delta.summary()
+        assert "config:" not in text
+        assert "model:" not in text
+
+
+class TestCheckReport:
+    def test_elapsed_is_sum(self):
+        report = CheckReport(analysis_seconds=0.25, policy_seconds=0.75)
+        assert report.elapsed_seconds == 1.0
+
+    def test_summary_shape(self):
+        report = CheckReport(total_pairs=12)
+        text = report.summary()
+        assert "/12 pairs affected" in text

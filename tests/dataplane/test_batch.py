@@ -1,0 +1,182 @@
+"""Batch-mode tests: the paper's update-order asymmetry (Table 3)."""
+
+import pytest
+
+from repro.dataplane.batch import BatchUpdater, OrderError, order_updates
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.ports import DROP_PORT, forward_port
+from repro.dataplane.rule import ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.topologies import line
+
+
+def rule(node, prefix_text, iface):
+    return ForwardingRule(node, Prefix.parse(prefix_text), iface)
+
+
+def move_batch(prefix_count=6):
+    """A 'reroute' batch: every prefix moves from eth0 to eth1."""
+    inserts, deletes = [], []
+    for i in range(prefix_count):
+        p = f"10.{i}.0.0/16"
+        deletes.append(RuleUpdate(-1, rule("r1", p, "eth0")))
+        inserts.append(RuleUpdate(1, rule("r1", p, "eth1")))
+    return inserts, deletes
+
+
+def model_with_initial(prefix_count=6, mode="ecmp", merge=True):
+    model = NetworkModel(line(3).topology, mode=mode, merge_on_unregister=merge)
+    for i in range(prefix_count):
+        model.insert_forwarding(rule("r1", f"10.{i}.0.0/16", "eth0"))
+    return model
+
+
+class TestOrdering:
+    def test_insertion_first_order(self):
+        inserts, deletes = move_batch(2)
+        ordered = order_updates(deletes + inserts, "insertion-first")
+        assert [u.is_insert() for u in ordered] == [True, True, False, False]
+
+    def test_deletion_first_order(self):
+        inserts, deletes = move_batch(2)
+        ordered = order_updates(inserts + deletes, "deletion-first")
+        assert [u.is_insert() for u in ordered] == [False, False, True, True]
+
+    def test_grouped_order_pairs_by_prefix(self):
+        inserts, deletes = move_batch(2)
+        ordered = order_updates(deletes + inserts, "grouped")
+        # insert then delete for prefix 0, then insert/delete for prefix 1.
+        kinds = [(str(u.rule.prefix), u.is_insert()) for u in ordered]
+        assert kinds == [
+            ("10.0.0.0/16", True),
+            ("10.0.0.0/16", False),
+            ("10.1.0.0/16", True),
+            ("10.1.0.0/16", False),
+        ]
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(OrderError):
+            order_updates([], "chaotic")
+        with pytest.raises(OrderError):
+            BatchUpdater(NetworkModel(line(2).topology), "chaotic")
+
+
+class TestOrderEffectPriorityMode:
+    """The paper's Table 3 asymmetry under APKeep's strict-priority
+    semantics: insertion-first moves each EC once (new rule overwrites),
+    deletion-first moves it twice (through the drop port)."""
+
+    def test_insertion_first_single_moves(self):
+        model = model_with_initial(mode="priority")
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "insertion-first").apply(inserts + deletes)
+        assert result.num_moves == 6  # one move per prefix EC
+
+    def test_deletion_first_double_moves(self):
+        model = model_with_initial(mode="priority")
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "deletion-first").apply(inserts + deletes)
+        assert result.num_moves == 12  # via the drop port
+        drops = [m for m in result.moves if m.new_port == DROP_PORT]
+        assert len(drops) == 6
+
+    def test_grouped_matches_insertion_first(self):
+        model = model_with_initial(mode="priority")
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "grouped").apply(inserts + deletes)
+        assert result.num_moves == 6
+
+
+class TestOrderEffectEcmpMode:
+    """Under multipath-union semantics both simple orders transit an
+    intermediate port (extra-path vs drop); only grouped (per-prefix
+    atomic) ordering achieves the minimal one move per EC."""
+
+    def test_insertion_first_transient_union(self):
+        model = model_with_initial()
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "insertion-first").apply(inserts + deletes)
+        assert result.num_moves == 12
+        unions = [
+            m for m in result.moves
+            if m.new_port == forward_port(["eth0", "eth1"])
+        ]
+        assert len(unions) == 6
+
+    def test_deletion_first_transient_drop(self):
+        model = model_with_initial()
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "deletion-first").apply(inserts + deletes)
+        assert result.num_moves == 12
+        drops = [m for m in result.moves if m.new_port == DROP_PORT]
+        assert len(drops) == 6
+
+    def test_grouped_is_minimal(self):
+        model = model_with_initial()
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "grouped").apply(inserts + deletes)
+        assert result.num_moves == 6
+
+    @pytest.mark.parametrize(
+        "mode", ["ecmp", "priority"]
+    )
+    @pytest.mark.parametrize(
+        "order", ["insertion-first", "deletion-first", "grouped"]
+    )
+    def test_final_state_order_independent(self, order, mode):
+        # merge=False keeps EC ids stable through the delete+reinsert churn
+        # of deletion-first ordering, so net moves track one id.
+        model = model_with_initial(mode=mode, merge=False)
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, order).apply(inserts + deletes)
+        for key, (old, new) in result.net_moves(model).items():
+            assert old == forward_port(["eth0"])
+            assert new == forward_port(["eth1"])
+        # Every EC ends on eth1.
+        for i in range(6):
+            from repro.net.headerspace import header
+            from repro.net.addr import parse_ipv4
+
+            ec = model.ecs.classify(header(parse_ipv4(f"10.{i}.0.1")))
+            assert model.port_of("r1", ec) == forward_port(["eth1"])
+
+    def test_net_moves_collapse_transients(self):
+        model = model_with_initial(merge=False)
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "deletion-first").apply(inserts + deletes)
+        net = result.net_moves(model)
+        # 12 transitions collapse to 6 net old->new changes.
+        assert len(net) == 6
+        assert all(
+            old == forward_port(["eth0"]) and new == forward_port(["eth1"])
+            for old, new in net.values()
+        )
+
+
+class TestBatchResult:
+    def test_counts(self):
+        model = model_with_initial(2)
+        inserts, deletes = move_batch(2)
+        result = BatchUpdater(model, "insertion-first").apply(inserts + deletes)
+        assert result.num_inserts == 2
+        assert result.num_deletes == 2
+        assert result.elapsed_seconds >= 0
+
+    def test_summary_mentions_order(self):
+        model = model_with_initial(1)
+        inserts, deletes = move_batch(1)
+        result = BatchUpdater(model, "grouped").apply(inserts + deletes)
+        assert "[grouped]" in result.summary()
+
+    def test_affected_ec_ids_unique(self):
+        model = model_with_initial()
+        inserts, deletes = move_batch()
+        result = BatchUpdater(model, "deletion-first").apply(inserts + deletes)
+        affected = result.affected_ec_ids(model)
+        assert len(affected) == len(set(affected)) == 6
+
+    def test_empty_batch(self):
+        model = model_with_initial(1)
+        result = BatchUpdater(model).apply([])
+        assert result.num_moves == 0
+        assert not result.net_moves(model)

@@ -1,0 +1,195 @@
+"""Tests for the EC manager: splitting, merging, atomicity invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.ec import ECManager, EcError, EcMerge, EcSplit
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox, header
+
+
+def box(lo, hi):
+    return HeaderBox.build(dst_ip=(lo, hi))
+
+
+class TestRegister:
+    def test_initial_single_ec(self):
+        manager = ECManager()
+        assert manager.num_ecs() == 1
+        assert manager.ec_ids() == [0]
+
+    def test_register_splits(self):
+        manager = ECManager()
+        members = manager.register(box(0, 99))
+        assert manager.num_ecs() == 2
+        assert len(members) == 1
+        manager.check_invariants()
+
+    def test_register_full_space_no_split(self):
+        manager = ECManager()
+        members = manager.register(HeaderBox.everything())
+        assert manager.num_ecs() == 1
+        assert members == {0}
+
+    def test_nested_boxes(self):
+        manager = ECManager()
+        manager.register(box(0, 99))
+        manager.register(box(10, 19))
+        assert manager.num_ecs() == 3
+        manager.check_invariants()
+
+    def test_overlapping_boxes(self):
+        manager = ECManager()
+        manager.register(box(0, 50))
+        manager.register(box(30, 80))
+        # [0,29], [30,50], [51,80], rest
+        assert manager.num_ecs() == 4
+        manager.check_invariants()
+
+    def test_identical_box_reuses(self):
+        manager = ECManager()
+        first = manager.register(box(0, 99))
+        second = manager.register(box(0, 99))
+        assert first == second
+        assert manager.num_ecs() == 2
+
+    def test_classify(self):
+        manager = ECManager()
+        manager.register(box(0, 99))
+        inside = manager.classify(header(50))
+        outside = manager.classify(header(100))
+        assert inside != outside
+
+    def test_ecs_in_requires_registered(self):
+        manager = ECManager()
+        with pytest.raises(EcError):
+            manager.ecs_in(box(0, 1))
+
+    def test_contains_index(self):
+        manager = ECManager()
+        outer = box(0, 99)
+        inner = box(10, 19)
+        manager.register(outer)
+        manager.register(inner)
+        (inner_ec,) = manager.ecs_in(inner)
+        assert manager.contains(inner_ec, outer)
+        assert manager.contains(inner_ec, inner)
+
+
+class TestUnregister:
+    def test_refcount(self):
+        manager = ECManager()
+        manager.register(box(0, 99))
+        manager.register(box(0, 99))
+        manager.unregister(box(0, 99))
+        # Still one reference left: the box remains queryable.
+        assert manager.ecs_in(box(0, 99))
+        manager.unregister(box(0, 99))
+        with pytest.raises(EcError):
+            manager.ecs_in(box(0, 99))
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(EcError):
+            ECManager().unregister(box(0, 1))
+
+    def test_merge_restores_minimality(self):
+        manager = ECManager()
+        manager.register(box(0, 99))
+        assert manager.num_ecs() == 2
+        manager.unregister(box(0, 99))
+        assert manager.num_ecs() == 1
+        manager.check_invariants()
+
+    def test_merge_only_when_signatures_match(self):
+        manager = ECManager()
+        manager.register(box(0, 99))
+        manager.register(box(10, 19))
+        manager.unregister(box(0, 99))
+        # [10,19] still registered: its EC cannot merge with the rest.
+        assert manager.num_ecs() == 2
+        manager.check_invariants()
+
+    def test_merge_disabled(self):
+        manager = ECManager(merge_on_unregister=False)
+        manager.register(box(0, 99))
+        manager.unregister(box(0, 99))
+        assert manager.num_ecs() == 2
+
+    def test_volume_preserved_through_merge(self):
+        manager = ECManager()
+        total = sum(manager.predicate(ec).volume() for ec in manager.ec_ids())
+        manager.register(box(0, 99))
+        manager.register(box(50, 150))
+        manager.unregister(box(0, 99))
+        manager.unregister(box(50, 150))
+        assert (
+            sum(manager.predicate(ec).volume() for ec in manager.ec_ids())
+            == total
+        )
+
+
+class TestListeners:
+    def test_split_events(self):
+        manager = ECManager()
+        events = []
+        manager.add_listener(events.append)
+        manager.register(box(0, 99))
+        assert any(isinstance(e, EcSplit) for e in events)
+
+    def test_merge_events(self):
+        manager = ECManager()
+        events = []
+        manager.add_listener(events.append)
+        manager.register(box(0, 99))
+        manager.unregister(box(0, 99))
+        merges = [e for e in events if isinstance(e, EcMerge)]
+        assert len(merges) == 1
+        assert manager.exists(merges[0].winner)
+        assert not manager.exists(merges[0].loser)
+
+
+multi_field_boxes = st.builds(
+    lambda d, p: HeaderBox.build(dst_ip=d, proto=p),
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).map(
+        lambda t: (min(t), max(t))
+    ),
+    st.tuples(st.integers(0, 5), st.integers(0, 5)).map(lambda t: (min(t), max(t))),
+)
+
+
+class TestInvariantsProperty:
+    @given(st.lists(multi_field_boxes, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_register_sequences(self, boxes):
+        manager = ECManager()
+        for b in boxes:
+            manager.register(b)
+        manager.check_invariants()
+
+    @given(
+        st.lists(multi_field_boxes, min_size=1, max_size=5),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_register_unregister_sequences(self, boxes, data):
+        manager = ECManager()
+        registered = []
+        for b in boxes:
+            manager.register(b)
+            registered.append(b)
+        # Unregister a random subset (in random order).
+        order = data.draw(st.permutations(range(len(registered))))
+        keep = data.draw(st.integers(0, len(registered)))
+        for index in order[keep:]:
+            manager.unregister(registered[index])
+        manager.check_invariants()
+
+    @given(st.lists(multi_field_boxes, min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_full_unregister_returns_to_single_ec(self, boxes):
+        manager = ECManager()
+        for b in boxes:
+            manager.register(b)
+        for b in boxes:
+            manager.unregister(b)
+        assert manager.num_ecs() == 1

@@ -1,0 +1,143 @@
+"""ACL (filter rule) semantics in the data plane model."""
+
+import pytest
+
+from repro.dataplane.model import ModelError, NetworkModel
+from repro.dataplane.rule import FilterRule, ForwardingRule
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import HeaderBox, header
+from repro.net.topologies import line
+
+
+@pytest.fixture
+def model():
+    return NetworkModel(line(3).topology)
+
+
+def deny_http(node="r1", iface="eth0", direction="in", seq=10):
+    return FilterRule(
+        node,
+        iface,
+        direction,
+        seq,
+        "deny",
+        HeaderBox.build(proto=(6, 6), dst_port=(80, 80)),
+    )
+
+
+def permit_all(node="r1", iface="eth0", direction="in", seq=100):
+    return FilterRule(node, iface, direction, seq, "permit", HeaderBox.everything())
+
+
+HTTP = header(parse_ipv4("172.16.0.1"), 0, 6, 80)
+SSH = header(parse_ipv4("172.16.0.1"), 0, 6, 22)
+
+
+class TestFilterDecision:
+    def test_unbound_permits(self, model):
+        ec = model.ecs.classify(HTTP)
+        assert model.filter_permits("r1", "eth0", "in", ec)
+
+    def test_deny_entry(self, model):
+        model.insert_filter(deny_http())
+        model.insert_filter(permit_all())
+        assert not model.filter_permits(
+            "r1", "eth0", "in", model.ecs.classify(HTTP)
+        )
+        assert model.filter_permits("r1", "eth0", "in", model.ecs.classify(SSH))
+
+    def test_implicit_deny(self, model):
+        model.insert_filter(deny_http())
+        # No trailing permit: everything is denied.
+        assert not model.filter_permits(
+            "r1", "eth0", "in", model.ecs.classify(SSH)
+        )
+
+    def test_first_match_by_seq(self, model):
+        model.insert_filter(
+            FilterRule("r1", "eth0", "in", 20, "deny", HeaderBox.everything())
+        )
+        model.insert_filter(
+            FilterRule(
+                "r1", "eth0", "in", 10, "permit",
+                HeaderBox.build(proto=(6, 6)),
+            )
+        )
+        assert model.filter_permits("r1", "eth0", "in", model.ecs.classify(HTTP))
+        udp = header(parse_ipv4("1.2.3.4"), 0, 17, 53)
+        assert not model.filter_permits("r1", "eth0", "in", model.ecs.classify(udp))
+
+    def test_directions_independent(self, model):
+        model.insert_filter(deny_http(direction="in"))
+        ec = model.ecs.classify(HTTP)
+        assert model.filter_permits("r1", "eth0", "out", ec)
+
+    def test_delete_restores(self, model):
+        model.insert_filter(deny_http())
+        model.delete_filter(deny_http())
+        ec = model.ecs.classify(HTTP)
+        assert model.filter_permits("r1", "eth0", "in", ec)
+        assert model.ecs.num_ecs() == 1
+
+    def test_delete_unknown_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.delete_filter(deny_http())
+
+    def test_duplicate_seq_rejected(self, model):
+        model.insert_filter(deny_http())
+        with pytest.raises(ModelError):
+            model.insert_filter(deny_http())
+
+
+class TestFilterChanges:
+    def test_insert_reports_changed_ecs(self, model):
+        _, changes = model.insert_filter(deny_http())
+        assert changes
+        assert all(change.old_permitted and not change.new_permitted
+                   for change in changes)
+
+    def test_shadowed_insert_reports_nothing(self, model):
+        model.insert_filter(
+            FilterRule("r1", "eth0", "in", 5, "deny", HeaderBox.everything())
+        )
+        _, changes = model.insert_filter(deny_http(seq=10))
+        assert not changes
+
+    def test_delete_reports_reverted_ecs(self, model):
+        model.insert_filter(deny_http())
+        model.insert_filter(permit_all())
+        _, changes = model.delete_filter(deny_http())
+        assert changes
+        assert all(not change.old_permitted and change.new_permitted
+                   for change in changes)
+
+
+class TestPathInteraction:
+    def test_egress_filter_blocks_hop(self, model):
+        model.insert_forwarding(
+            ForwardingRule("r0", Prefix.parse("172.16.0.0/16"), "eth1")
+        )
+        ec = model.ecs.classify(HTTP)
+        assert model.next_devices("r0", ec)
+        model.insert_filter(deny_http(node="r0", iface="eth1", direction="out"))
+        ec = model.ecs.classify(HTTP)
+        assert not model.next_devices("r0", ec)
+
+    def test_ingress_filter_blocks_hop(self, model):
+        model.insert_forwarding(
+            ForwardingRule("r0", Prefix.parse("172.16.0.0/16"), "eth1")
+        )
+        model.insert_filter(deny_http(node="r1", iface="eth0", direction="in"))
+        model.insert_filter(permit_all(node="r1", iface="eth0", direction="in"))
+        ec = model.ecs.classify(HTTP)
+        assert not model.next_devices("r0", ec)
+        # Non-HTTP traffic still flows (the trailing permit).
+        ec_ssh = model.ecs.classify(SSH)
+        assert model.next_devices("r0", ec_ssh) == [("eth1", "r1", "eth0")]
+
+    def test_unlinked_interface_no_hop(self, model):
+        model.insert_forwarding(
+            ForwardingRule("r0", Prefix.parse("172.16.0.0/16"), "host0")
+        )
+        ec = model.ecs.classify(HTTP)
+        assert not model.next_devices("r0", ec)

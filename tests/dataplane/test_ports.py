@@ -1,0 +1,85 @@
+"""Tests for logical ports and the per-device port map."""
+
+from repro.dataplane.ports import (
+    ACCEPT_PORT,
+    DROP_PORT,
+    PortMap,
+    forward_port,
+    is_accept,
+    is_drop,
+    port_interfaces,
+)
+from repro.routing.types import ACCEPT
+
+
+class TestPortConstruction:
+    def test_forward_port_sorts_and_dedups(self):
+        assert forward_port(["b", "a", "a"]) == ("fwd", ("a", "b"))
+
+    def test_empty_is_drop(self):
+        assert forward_port([]) == DROP_PORT
+        assert is_drop(forward_port([]))
+
+    def test_accept_interface_dominates(self):
+        assert forward_port([ACCEPT, "eth0"]) == ACCEPT_PORT
+        assert is_accept(forward_port([ACCEPT]))
+
+    def test_port_interfaces(self):
+        assert port_interfaces(forward_port(["a", "b"])) == ("a", "b")
+        assert port_interfaces(DROP_PORT) == ()
+        assert port_interfaces(ACCEPT_PORT) == ()
+
+
+class TestPortMap:
+    def test_default_is_drop(self):
+        assert PortMap().get(7) == DROP_PORT
+
+    def test_move_returns_old(self):
+        pm = PortMap()
+        old = pm.move(1, forward_port(["a"]))
+        assert old == DROP_PORT
+        assert pm.get(1) == forward_port(["a"])
+
+    def test_move_same_port_noop(self):
+        pm = PortMap()
+        pm.move(1, forward_port(["a"]))
+        assert pm.move(1, forward_port(["a"])) == forward_port(["a"])
+
+    def test_move_to_drop_removes(self):
+        pm = PortMap()
+        pm.move(1, forward_port(["a"]))
+        pm.move(1, DROP_PORT)
+        assert pm.get(1) == DROP_PORT
+        assert not pm.ecs_of
+
+    def test_ecs_of_buckets(self):
+        pm = PortMap()
+        pm.move(1, forward_port(["a"]))
+        pm.move(2, forward_port(["a"]))
+        assert pm.ecs_of[forward_port(["a"])] == {1, 2}
+        pm.move(1, forward_port(["b"]))
+        assert pm.ecs_of[forward_port(["a"])] == {2}
+
+    def test_copy_membership(self):
+        pm = PortMap()
+        pm.move(1, forward_port(["a"]))
+        pm.copy_membership(1, 9)
+        assert pm.get(9) == forward_port(["a"])
+
+    def test_copy_membership_of_drop_parent(self):
+        pm = PortMap()
+        pm.copy_membership(1, 9)
+        assert pm.get(9) == DROP_PORT
+
+    def test_drop_ec(self):
+        pm = PortMap()
+        pm.move(1, forward_port(["a"]))
+        pm.drop_ec(1)
+        assert pm.get(1) == DROP_PORT
+        assert not pm.ecs_of
+
+    def test_ports_listing(self):
+        pm = PortMap()
+        pm.move(1, forward_port(["a"]))
+        pm.move(2, ACCEPT_PORT)
+        assert pm.ports() == {forward_port(["a"]), ACCEPT_PORT}

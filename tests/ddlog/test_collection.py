@@ -1,0 +1,114 @@
+"""Tests for weighted deltas and iteration-indexed histories."""
+
+from hypothesis import given, strategies as st
+
+from repro.ddlog.collection import Delta, History
+
+
+class TestDelta:
+    def test_add_and_weight(self):
+        delta = Delta()
+        delta.add("a", 2)
+        delta.add("a", -1)
+        assert delta.weight("a") == 1
+
+    def test_zero_weights_elided(self):
+        delta = Delta([("a", 1), ("a", -1)])
+        assert delta.is_empty()
+        assert "a" not in delta
+        assert len(delta) == 0
+
+    def test_add_zero_is_noop(self):
+        delta = Delta()
+        delta.add("a", 0)
+        assert delta.is_empty()
+
+    def test_merge(self):
+        left = Delta([("a", 1), ("b", -1)])
+        right = Delta([("b", 1), ("c", 2)])
+        left.merge(right)
+        assert left.weight("a") == 1
+        assert "b" not in left
+        assert left.weight("c") == 2
+
+    def test_negated(self):
+        delta = Delta([("a", 3)])
+        assert delta.negated().weight("a") == -3
+
+    def test_copy_is_independent(self):
+        delta = Delta([("a", 1)])
+        copy = delta.copy()
+        copy.add("a", 1)
+        assert delta.weight("a") == 1
+
+    def test_signature_order_independent(self):
+        a = Delta([("x", 1), ("y", 2)])
+        b = Delta([("y", 2), ("x", 1)])
+        assert a.signature() == b.signature()
+
+    def test_signature_differs_on_weight(self):
+        assert Delta([("x", 1)]).signature() != Delta([("x", 2)]).signature()
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-3, 3))))
+    def test_weights_sum(self, items):
+        delta = Delta(items)
+        for key in {k for k, _ in items}:
+            expected = sum(w for k, w in items if k == key)
+            assert delta.weight(key) == expected
+
+
+class TestHistory:
+    def test_cumulative(self):
+        history = History()
+        history.add("a", 0, 1)
+        history.add("a", 3, -1)
+        assert history.cumulative("a", 0) == 1
+        assert history.cumulative("a", 2) == 1
+        assert history.cumulative("a", 3) == 0
+        assert history.final_weight("a") == 0
+
+    def test_zero_diffs_removed(self):
+        history = History()
+        history.add("a", 1, 1)
+        history.add("a", 1, -1)
+        assert list(history.records()) == []
+        assert history.record_count() == 0
+
+    def test_final_collection(self):
+        history = History()
+        history.add("a", 0, 1)
+        history.add("b", 2, 1)
+        history.add("b", 4, -1)
+        final = history.final_collection()
+        assert final.weight("a") == 1
+        assert "b" not in final
+
+    def test_as_of(self):
+        history = History()
+        history.add("a", 0, 1)
+        history.add("b", 2, 1)
+        snapshot = history.as_of(1)
+        assert snapshot.weight("a") == 1
+        assert "b" not in snapshot
+
+    def test_times(self):
+        history = History()
+        history.add("a", 0, 1)
+        history.add("b", 5, 1)
+        assert sorted(history.times()) == [0, 5]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 4), st.integers(-2, 2))
+        )
+    )
+    def test_cumulative_matches_naive(self, entries):
+        history = History()
+        for record, iteration, weight in entries:
+            history.add(record, iteration, weight)
+        for record in {r for r, _, _ in entries}:
+            for upto in range(5):
+                expected = sum(
+                    w for r, i, w in entries if r == record and i <= upto
+                )
+                assert history.cumulative(record, upto) == expected

@@ -1,0 +1,83 @@
+"""Tests for the convergence monitor and recurring-state detection."""
+
+import pytest
+
+from repro.ddlog.convergence import (
+    ConvergenceMonitor,
+    NonConvergenceError,
+    RecurringStateError,
+)
+from repro.ddlog.dsl import Program
+
+
+class TestMonitorUnit:
+    def test_cap_enforced(self):
+        monitor = ConvergenceMonitor(max_iterations=10)
+        with pytest.raises(NonConvergenceError):
+            monitor.observe(11, None)
+
+    def test_under_cap_ok(self):
+        monitor = ConvergenceMonitor(max_iterations=10)
+        monitor.observe(10, None)
+
+    def test_recurring_state_detected(self):
+        monitor = ConvergenceMonitor(max_iterations=1000, suspect_after=5)
+        monitor.observe(6, 12345)
+        with pytest.raises(RecurringStateError) as info:
+            monitor.observe(8, 12345)
+        assert info.value.first_seen == 6
+        assert info.value.iteration == 8
+
+    def test_not_suspicious_early(self):
+        monitor = ConvergenceMonitor(suspect_after=100)
+        monitor.observe(5, 777)
+        monitor.observe(6, 777)  # repeats are fine before suspect_after
+
+    def test_none_signature_never_recurs(self):
+        monitor = ConvergenceMonitor(suspect_after=0)
+        monitor.observe(1, None)
+        monitor.observe(2, None)
+
+    def test_reset_forgets(self):
+        monitor = ConvergenceMonitor(suspect_after=0)
+        monitor.observe(1, 42)
+        monitor.reset()
+        monitor.observe(2, 42)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(max_iterations=0)
+
+
+class TestEngineIntegration:
+    def test_cap_stops_runaway(self):
+        # grow(n) :- grow(m), n = m + 1 — diverges by construction.
+        prog = Program("runaway")
+        start = prog.input("start", ("n",))
+        grow = prog.relation("grow", ("n",))
+        prog.rule(grow, [start("n")], head_terms=("n",))
+        prog.rule(
+            grow,
+            [grow("m")],
+            head_terms=("n",),
+            lets=[("n", lambda env: env["m"] + 1)],
+        )
+        prog.probe(grow)
+        monitor = ConvergenceMonitor(max_iterations=50)
+        cp = prog.compile(monitor=monitor)
+        cp.insert(start, (0,))
+        with pytest.raises(NonConvergenceError):
+            cp.commit()
+
+    def test_convergent_program_not_flagged(self):
+        prog = Program("ok")
+        edge = prog.input("edge", ("src", "dst"))
+        path = prog.relation("path", ("src", "dst"))
+        prog.rule(path, [edge("x", "y")], head_terms=("x", "y"))
+        prog.rule(path, [edge("x", "y"), path("y", "z")], head_terms=("x", "z"))
+        prog.probe(path)
+        monitor = ConvergenceMonitor(max_iterations=1000, suspect_after=2)
+        cp = prog.compile(monitor=monitor)
+        for i in range(10):
+            cp.insert(edge, (i, i + 1))
+        cp.commit()  # must not raise

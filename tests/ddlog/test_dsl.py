@@ -1,0 +1,301 @@
+"""Tests for the Datalog-flavoured DSL."""
+
+import pytest
+
+from repro.ddlog.dsl import DslError, Program, Var, const
+
+
+def tc_program():
+    prog = Program("tc")
+    edge = prog.input("edge", ("src", "dst"))
+    path = prog.relation("path", ("src", "dst"))
+    prog.rule(path, [edge("x", "y")], head_terms=("x", "y"))
+    prog.rule(path, [edge("x", "y"), path("y", "z")], head_terms=("x", "z"))
+    prog.probe(path)
+    return prog, edge, path
+
+
+def positive(collection):
+    return {record for record, weight in collection.items() if weight > 0}
+
+
+class TestDeclarations:
+    def test_duplicate_relation_rejected(self):
+        prog = Program()
+        prog.input("r", ("a",))
+        with pytest.raises(DslError):
+            prog.relation("r", ("a",))
+
+    def test_arity_checked_in_atoms(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        with pytest.raises(DslError):
+            edge("x")
+
+    def test_rules_only_on_derived(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        with pytest.raises(DslError):
+            prog.rule(edge, [edge("x", "y")], head_terms=("x", "y"))
+
+    def test_head_arity_checked(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        p = prog.relation("p", ("src", "dst"))
+        with pytest.raises(DslError):
+            prog.rule(p, [edge("x", "y")], head_terms=("x",))
+
+    def test_unbound_head_variable_rejected(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        p = prog.relation("p", ("src", "dst"))
+        with pytest.raises(DslError):
+            prog.rule(p, [edge("x", "y")], head_terms=("x", "zzz"))
+
+    def test_empty_body_rejected(self):
+        prog = Program()
+        p = prog.relation("p", ("a",))
+        with pytest.raises(DslError):
+            prog.rule(p, [], head_terms=("x",))
+
+    def test_derived_without_rules_rejected_at_compile(self):
+        prog = Program()
+        prog.relation("lonely", ("a",))
+        with pytest.raises(DslError):
+            prog.compile()
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        prog, edge, path = tc_program()
+        cp = prog.compile()
+        for e in [("a", "b"), ("b", "c")]:
+            cp.insert(edge, e)
+        cp.commit()
+        assert positive(cp.collection(path)) == {
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "c"),
+        }
+
+    def test_incremental_insert(self):
+        prog, edge, path = tc_program()
+        cp = prog.compile()
+        cp.insert(edge, ("a", "b"))
+        cp.commit()
+        cp.insert(edge, ("b", "c"))
+        cp.commit()
+        assert ("a", "c") in positive(cp.collection(path))
+
+    def test_incremental_delete(self):
+        prog, edge, path = tc_program()
+        cp = prog.compile()
+        for e in [("a", "b"), ("b", "c"), ("a", "c")]:
+            cp.insert(edge, e)
+        cp.commit()
+        cp.remove(edge, ("b", "c"))
+        cp.commit()
+        got = positive(cp.collection(path))
+        assert got == {("a", "b"), ("a", "c")}
+
+    def test_take_delta(self):
+        prog, edge, path = tc_program()
+        cp = prog.compile()
+        cp.insert(edge, ("a", "b"))
+        cp.commit()
+        cp.take_delta(path)
+        cp.insert(edge, ("b", "c"))
+        cp.commit()
+        delta = cp.take_delta(path)
+        assert delta.weight(("b", "c")) == 1
+        assert delta.weight(("a", "c")) == 1
+        assert ("a", "b") not in delta
+
+    def test_constants_in_atoms(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        from_a = prog.relation("from_a", ("dst",))
+        prog.rule(from_a, [edge(const("a"), "y")], head_terms=("y",))
+        prog.probe(from_a)
+        cp = prog.compile()
+        cp.insert(edge, ("a", "b"))
+        cp.insert(edge, ("c", "d"))
+        cp.commit()
+        assert positive(cp.collection(from_a)) == {("b",)}
+
+    def test_non_string_constants_automatic(self):
+        prog = Program()
+        num = prog.input("num", ("value",))
+        ones = prog.relation("ones", ("value",))
+        prog.rule(ones, [num(1)], head_terms=(1,))
+        prog.probe(ones)
+        cp = prog.compile()
+        cp.insert(num, (1,))
+        cp.insert(num, (2,))
+        cp.commit()
+        assert positive(cp.collection(ones)) == {(1,)}
+
+    def test_repeated_variable_in_atom(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        selfloop = prog.relation("selfloop", ("node",))
+        prog.rule(selfloop, [edge("x", "x")], head_terms=("x",))
+        prog.probe(selfloop)
+        cp = prog.compile()
+        cp.insert(edge, ("a", "a"))
+        cp.insert(edge, ("a", "b"))
+        cp.commit()
+        assert positive(cp.collection(selfloop)) == {("a",)}
+
+    def test_where_filter(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        nonself = prog.relation("nonself", ("src", "dst"))
+        prog.rule(
+            nonself,
+            [edge("x", "y")],
+            head_terms=("x", "y"),
+            where=lambda env: env["x"] != env["y"],
+        )
+        prog.probe(nonself)
+        cp = prog.compile()
+        cp.insert(edge, ("a", "a"))
+        cp.insert(edge, ("a", "b"))
+        cp.commit()
+        assert positive(cp.collection(nonself)) == {("a", "b")}
+
+    def test_lets_compute_values(self):
+        prog = Program()
+        pair = prog.input("pair", ("a", "b"))
+        total = prog.relation("total", ("a", "b", "sum"))
+        prog.rule(
+            total,
+            [pair("a", "b")],
+            head_terms=("a", "b", "s"),
+            lets=[("s", lambda env: env["a"] + env["b"])],
+        )
+        prog.probe(total)
+        cp = prog.compile()
+        cp.insert(pair, (2, 3))
+        cp.commit()
+        assert positive(cp.collection(total)) == {(2, 3, 5)}
+
+    def test_lets_chain(self):
+        prog = Program()
+        num = prog.input("num", ("n",))
+        out = prog.relation("out", ("n", "m"))
+        prog.rule(
+            out,
+            [num("n")],
+            head_terms=("n", "m"),
+            lets=[
+                ("d", lambda env: env["n"] * 2),
+                ("m", lambda env: env["d"] + 1),
+            ],
+        )
+        prog.probe(out)
+        cp = prog.compile()
+        cp.insert(num, (5,))
+        cp.commit()
+        assert positive(cp.collection(out)) == {(5, 11)}
+
+    def test_cartesian_join(self):
+        prog = Program()
+        a = prog.input("a", ("x",))
+        b = prog.input("b", ("y",))
+        prod = prog.relation("prod", ("x", "y"))
+        prog.rule(prod, [a("x"), b("y")], head_terms=("x", "y"))
+        prog.probe(prod)
+        cp = prog.compile()
+        cp.insert(a, (1,))
+        cp.insert(a, (2,))
+        cp.insert(b, ("u",))
+        cp.commit()
+        assert positive(cp.collection(prod)) == {(1, "u"), (2, "u")}
+
+    def test_set_semantics_multiple_derivations(self):
+        """A fact derived two ways has weight exactly one."""
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        reach = prog.relation("reach", ("dst",))
+        prog.rule(reach, [edge(const("a"), "y")], head_terms=("y",))
+        prog.rule(reach, [edge(const("b"), "y")], head_terms=("y",))
+        prog.probe(reach)
+        cp = prog.compile()
+        cp.insert(edge, ("a", "t"))
+        cp.insert(edge, ("b", "t"))
+        cp.commit()
+        assert cp.collection(reach).weight(("t",)) == 1
+        # Removing one derivation keeps the fact.
+        cp.remove(edge, ("a", "t"))
+        cp.commit()
+        assert cp.collection(reach).weight(("t",)) == 1
+        cp.remove(edge, ("b", "t"))
+        cp.commit()
+        assert ("t",) not in cp.collection(reach)
+
+
+class TestAggregates:
+    def build(self):
+        prog = Program()
+        item = prog.input("item", ("group", "value"))
+
+        def min_agg(group, counts):
+            yield (group, min(r[1] for r in counts))
+
+        low = prog.aggregate(
+            "low", ("group", "value"), item, key=lambda r: r[0], agg=min_agg
+        )
+        prog.probe(low)
+        return prog, item, low
+
+    def test_min(self):
+        prog, item, low = self.build()
+        cp = prog.compile()
+        cp.insert(item, ("g", 5))
+        cp.insert(item, ("g", 3))
+        cp.commit()
+        assert positive(cp.collection(low)) == {("g", 3)}
+
+    def test_min_updates_on_delete(self):
+        prog, item, low = self.build()
+        cp = prog.compile()
+        cp.insert(item, ("g", 5))
+        cp.insert(item, ("g", 3))
+        cp.commit()
+        cp.remove(item, ("g", 3))
+        cp.commit()
+        assert positive(cp.collection(low)) == {("g", 5)}
+
+    def test_group_disappears(self):
+        prog, item, low = self.build()
+        cp = prog.compile()
+        cp.insert(item, ("g", 5))
+        cp.commit()
+        cp.remove(item, ("g", 5))
+        cp.commit()
+        assert positive(cp.collection(low)) == set()
+
+
+class TestRuntimeErrors:
+    def test_insert_on_derived_rejected(self):
+        prog, edge, path = tc_program()
+        cp = prog.compile()
+        with pytest.raises(DslError):
+            cp.insert(path, ("a", "b"))
+
+    def test_unprobed_collection_rejected(self):
+        prog = Program()
+        edge = prog.input("edge", ("src", "dst"))
+        p = prog.relation("p", ("src", "dst"))
+        prog.rule(p, [edge("x", "y")], head_terms=("x", "y"))
+        cp = prog.compile()
+        with pytest.raises(DslError):
+            cp.collection(p)
+
+    def test_relation_lookup_by_name(self):
+        prog, edge, path = tc_program()
+        cp = prog.compile()
+        cp.insert("edge", ("a", "b"))
+        cp.commit()
+        assert positive(cp.collection("path")) == {("a", "b")}

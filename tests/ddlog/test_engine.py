@@ -1,0 +1,143 @@
+"""Tests for the dataflow engine: graph validation and scheduling."""
+
+import pytest
+
+from repro.ddlog.collection import Delta
+from repro.ddlog.engine import Engine, GraphError
+from repro.ddlog.operators import Concat, Distinct, Input, Map, Probe
+
+
+def build_chain():
+    engine = Engine()
+    source = engine.add(Input("in"))
+    double = engine.add(Map("double", lambda r: r * 2))
+    probe = engine.add(Probe("out"))
+    engine.connect(source, double)
+    engine.connect(double, probe)
+    return engine, source, probe
+
+
+class TestGraphConstruction:
+    def test_simple_chain(self):
+        engine, source, probe = build_chain()
+        engine.insert(source, 21)
+        engine.run_epoch()
+        assert probe.collection().weight(42) == 1
+
+    def test_unregistered_operator_rejected(self):
+        engine = Engine()
+        a = engine.add(Input("a"))
+        stray = Map("stray", lambda r: r)
+        with pytest.raises(GraphError):
+            engine.connect(a, stray)
+
+    def test_bad_port_rejected(self):
+        engine = Engine()
+        a = engine.add(Input("a"))
+        b = engine.add(Map("b", lambda r: r))
+        with pytest.raises(GraphError):
+            engine.connect(a, b, port=1)
+
+    def test_cycle_without_feedback_rejected(self):
+        engine = Engine()
+        a = engine.add(Map("a", lambda r: r))
+        b = engine.add(Map("b", lambda r: r))
+        engine.connect(a, b)
+        engine.connect(b, a)
+        with pytest.raises(GraphError):
+            engine.finalize()
+
+    def test_cycle_with_feedback_allowed(self):
+        engine = Engine()
+        a = engine.add(Distinct("a"))
+        b = engine.add(Map("b", lambda r: r))
+        engine.connect(a, b)
+        engine.connect(b, a, bump=True)
+        engine.finalize()
+
+    def test_no_mutation_after_finalize(self):
+        engine, _, _ = build_chain()
+        engine.finalize()
+        with pytest.raises(GraphError):
+            engine.add(Input("late"))
+
+    def test_insert_requires_input_operator(self):
+        engine = Engine()
+        mapper = engine.add(Map("m", lambda r: r))
+        with pytest.raises(GraphError):
+            engine.insert(mapper, 1)
+
+
+class TestEpochs:
+    def test_multiple_epochs_accumulate(self):
+        engine, source, probe = build_chain()
+        engine.insert(source, 1)
+        engine.run_epoch()
+        engine.insert(source, 2)
+        engine.run_epoch()
+        assert probe.collection().weight(2) == 1
+        assert probe.collection().weight(4) == 1
+
+    def test_retraction_epoch(self):
+        engine, source, probe = build_chain()
+        engine.insert(source, 1)
+        engine.run_epoch()
+        engine.remove(source, 1)
+        engine.run_epoch()
+        assert probe.collection().is_empty()
+
+    def test_cancelling_buffered_inputs_is_noop_epoch(self):
+        engine, source, probe = build_chain()
+        engine.insert(source, 1)
+        engine.remove(source, 1)
+        stats = engine.run_epoch()
+        assert stats.records == 0
+        assert probe.collection().is_empty()
+
+    def test_apply_delta(self):
+        engine, source, probe = build_chain()
+        engine.apply(source, Delta([(1, 1), (2, 1)]))
+        engine.run_epoch()
+        assert len(probe.collection()) == 2
+
+    def test_stats_populated(self):
+        engine, source, _ = build_chain()
+        engine.insert(source, 1)
+        stats = engine.run_epoch()
+        assert stats.epoch == 1
+        assert stats.messages > 0
+        assert stats.elapsed_seconds >= 0
+        assert "epoch 1" in str(stats)
+
+    def test_empty_epoch(self):
+        engine, _, probe = build_chain()
+        stats = engine.run_epoch()
+        assert stats.messages == 0
+
+
+class TestMultiInput:
+    def test_concat_merges_sources(self):
+        engine = Engine()
+        a = engine.add(Input("a"))
+        b = engine.add(Input("b"))
+        union = engine.add(Concat("u", 2))
+        probe = engine.add(Probe("p"))
+        engine.connect(a, union, port=0)
+        engine.connect(b, union, port=1)
+        engine.connect(union, probe)
+        engine.insert(a, "x")
+        engine.insert(b, "x")
+        engine.run_epoch()
+        assert probe.collection().weight("x") == 2
+
+    def test_probe_collections_by_name(self):
+        engine, source, probe = build_chain()
+        engine.insert(source, 1)
+        engine.run_epoch()
+        assert engine.probe_collections()["out"].weight(2) == 1
+
+    def test_state_size_counts_stored_diffs(self):
+        engine, source, _ = build_chain()
+        engine.insert(source, 1)
+        engine.run_epoch()
+        assert engine.state_size() >= 2  # input history + probe history

@@ -1,0 +1,88 @@
+"""Engine introspection and statistics."""
+
+import pytest
+
+from repro.ddlog.dsl import Program
+from repro.ddlog.engine import Engine, EpochStats
+from repro.ddlog.operators import Input, Join, Map, Probe
+
+
+def tc():
+    prog = Program("tc")
+    edge = prog.input("edge", ("src", "dst"))
+    path = prog.relation("path", ("src", "dst"))
+    prog.rule(path, [edge("x", "y")], head_terms=("x", "y"))
+    prog.rule(path, [edge("x", "y"), path("y", "z")], head_terms=("x", "z"))
+    prog.probe(path)
+    return prog, edge, path
+
+
+class TestEpochStats:
+    def test_fields_accumulate(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        for i in range(4):
+            cp.insert(edge, (i, i + 1))
+        stats = cp.commit()
+        assert stats.epoch == 1
+        assert stats.iterations >= 3
+        assert stats.records > 0
+        assert stats.recompute_calls > 0
+
+    def test_incremental_epoch_cheaper(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        for i in range(15):
+            cp.insert(edge, (i, i + 1))
+        full = cp.commit()
+        cp.insert(edge, (100, 101))
+        inc = cp.commit()
+        assert inc.records < full.records / 4
+
+    def test_last_stats_exposed(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        cp.insert(edge, (0, 1))
+        stats = cp.commit()
+        assert cp.engine.last_stats is stats
+
+
+class TestEngineQueries:
+    def test_join_lookups_counted(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        for i in range(5):
+            cp.insert(edge, (i, i + 1))
+        cp.commit()
+        assert cp.engine.join_lookups() > 0
+
+    def test_state_size_grows_with_data(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        cp.insert(edge, (0, 1))
+        cp.commit()
+        small = cp.engine.state_size()
+        for i in range(1, 10):
+            cp.insert(edge, (i, i + 1))
+        cp.commit()
+        assert cp.engine.state_size() > small
+
+    def test_state_size_shrinks_on_retraction(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        for i in range(10):
+            cp.insert(edge, (i, i + 1))
+        cp.commit()
+        loaded = cp.engine.state_size()
+        for i in range(10):
+            cp.remove(edge, (i, i + 1))
+        cp.commit()
+        assert cp.engine.state_size() < loaded
+
+    def test_probe_collections_named(self):
+        prog, edge, _ = tc()
+        cp = prog.compile()
+        cp.insert(edge, (0, 1))
+        cp.commit()
+        collections = cp.engine.probe_collections()
+        assert set(collections) == {"path.probe"}

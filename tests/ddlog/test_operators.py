@@ -1,0 +1,208 @@
+"""Unit tests for individual dataflow operators."""
+
+from repro.ddlog.collection import Delta
+from repro.ddlog.operators import (
+    Concat,
+    Distinct,
+    Filter,
+    FlatMap,
+    Input,
+    Join,
+    Map,
+    Probe,
+    Reduce,
+)
+
+
+def emit(op, port, iteration, items):
+    return op.on_delta(port, iteration, Delta(items))
+
+
+class TestStateless:
+    def test_map(self):
+        op = Map("m", lambda r: r * 2)
+        out = emit(op, 0, 0, [(3, 1), (4, -2)])
+        assert out[0].weight(6) == 1
+        assert out[0].weight(8) == -2
+
+    def test_map_empty_emits_nothing(self):
+        op = Map("m", lambda r: r)
+        assert op.on_delta(0, 0, Delta()) == {}
+
+    def test_flatmap(self):
+        op = FlatMap("f", lambda r: [r, r + 10])
+        out = emit(op, 0, 2, [(1, 1)])
+        assert out[2].weight(1) == 1
+        assert out[2].weight(11) == 1
+
+    def test_flatmap_can_drop(self):
+        op = FlatMap("f", lambda r: [])
+        assert emit(op, 0, 0, [(1, 1)]) == {}
+
+    def test_filter(self):
+        op = Filter("f", lambda r: r % 2 == 0)
+        out = emit(op, 0, 0, [(1, 1), (2, 1)])
+        assert 1 not in out[0]
+        assert out[0].weight(2) == 1
+
+    def test_concat_passthrough(self):
+        op = Concat("c", 3)
+        out = emit(op, 2, 1, [("x", -1)])
+        assert out[1].weight("x") == -1
+
+    def test_input_accumulates(self):
+        op = Input("i")
+        emit(op, 0, 0, [("a", 1)])
+        emit(op, 0, 0, [("a", 1)])
+        assert op.history.final_weight("a") == 2
+        assert op.state_size() == 1
+
+
+class TestJoin:
+    def make(self):
+        return Join(
+            "j",
+            left_key=lambda r: r[0],
+            right_key=lambda r: r[0],
+            merge=lambda l, rr: (l[0], l[1], rr[1]),
+        )
+
+    def test_matching_pairs(self):
+        op = self.make()
+        assert emit(op, 0, 0, [(("k", "l1"), 1)]) == {}
+        out = emit(op, 1, 0, [(("k", "r1"), 1)])
+        assert out[0].weight(("k", "l1", "r1")) == 1
+
+    def test_weights_multiply(self):
+        op = self.make()
+        emit(op, 0, 0, [(("k", "l"), 2)])
+        out = emit(op, 1, 0, [(("k", "r"), 3)])
+        assert out[0].weight(("k", "l", "r")) == 6
+
+    def test_retraction_propagates(self):
+        op = self.make()
+        emit(op, 0, 0, [(("k", "l"), 1)])
+        emit(op, 1, 0, [(("k", "r"), 1)])
+        out = emit(op, 0, 1, [(("k", "l"), -1)])
+        assert out[1].weight(("k", "l", "r")) == -1
+
+    def test_iteration_is_max_of_sides(self):
+        op = self.make()
+        emit(op, 0, 5, [(("k", "l"), 1)])
+        out = emit(op, 1, 2, [(("k", "r"), 1)])
+        assert list(out) == [5]
+
+    def test_no_cross_key_matches(self):
+        op = self.make()
+        emit(op, 0, 0, [(("k1", "l"), 1)])
+        assert emit(op, 1, 0, [(("k2", "r"), 1)]) == {}
+
+    def test_index_cleanup(self):
+        op = self.make()
+        emit(op, 0, 0, [(("k", "l"), 1)])
+        emit(op, 0, 0, [(("k", "l"), -1)])
+        assert op.state_size() == 0
+
+
+class CaptureScheduler:
+    """Collects Reduce recompute requests like the engine would."""
+
+    def __init__(self, op):
+        self.requests = []
+        op.schedule_recompute = self.schedule
+
+    def schedule(self, op, iteration, group):
+        self.requests.append((iteration, group))
+
+
+def min_agg(group, counts):
+    yield (group, min(r[1] for r in counts))
+
+
+class TestReduce:
+    def make(self):
+        op = Reduce("r", key=lambda r: r[0], agg=min_agg)
+        return op, CaptureScheduler(op)
+
+    def test_delta_schedules_recompute(self):
+        op, sched = self.make()
+        emit(op, 0, 0, [(("g", 5), 1)])
+        assert (0, "g") in sched.requests
+
+    def test_recompute_emits_output(self):
+        op, _ = self.make()
+        emit(op, 0, 0, [(("g", 5), 1), (("g", 3), 1)])
+        out = op.on_recompute(0, {"g"})
+        assert out[0].weight(("g", 3)) == 1
+
+    def test_recompute_corrects_previous_output(self):
+        op, _ = self.make()
+        emit(op, 0, 0, [(("g", 5), 1)])
+        op.on_recompute(0, {"g"})
+        emit(op, 0, 0, [(("g", 3), 1)])
+        out = op.on_recompute(0, {"g"})
+        assert out[0].weight(("g", 5)) == -1
+        assert out[0].weight(("g", 3)) == 1
+
+    def test_empty_group_retracts(self):
+        op, _ = self.make()
+        emit(op, 0, 0, [(("g", 5), 1)])
+        op.on_recompute(0, {"g"})
+        emit(op, 0, 0, [(("g", 5), -1)])
+        out = op.on_recompute(0, {"g"})
+        assert out[0].weight(("g", 5)) == -1
+
+    def test_later_interesting_times_scheduled(self):
+        op, sched = self.make()
+        emit(op, 0, 3, [(("g", 5), 1)])
+        op.on_recompute(3, {"g"})
+        sched.requests.clear()
+        # A change at iteration 1 must also revisit iteration 3.
+        emit(op, 0, 1, [(("g", 2), 1)])
+        assert (1, "g") in sched.requests
+        assert (3, "g") in sched.requests
+
+    def test_idempotent_recompute(self):
+        op, _ = self.make()
+        emit(op, 0, 0, [(("g", 5), 1)])
+        op.on_recompute(0, {"g"})
+        assert op.on_recompute(0, {"g"}) == {}
+
+
+class TestDistinct:
+    def test_presence_semantics(self):
+        op = Distinct("d")
+        CaptureScheduler(op)
+        emit(op, 0, 0, [("a", 3)])
+        out = op.on_recompute(0, {"a"})
+        assert out[0].weight("a") == 1
+
+    def test_disappearance(self):
+        op = Distinct("d")
+        CaptureScheduler(op)
+        emit(op, 0, 0, [("a", 2)])
+        op.on_recompute(0, {"a"})
+        emit(op, 0, 0, [("a", -2)])
+        out = op.on_recompute(0, {"a"})
+        assert out[0].weight("a") == -1
+
+    def test_partial_retraction_keeps_record(self):
+        op = Distinct("d")
+        CaptureScheduler(op)
+        emit(op, 0, 0, [("a", 2)])
+        op.on_recompute(0, {"a"})
+        emit(op, 0, 0, [("a", -1)])
+        assert op.on_recompute(0, {"a"}) == {}
+
+
+class TestProbe:
+    def test_collect_and_drain(self):
+        op = Probe("p")
+        emit(op, 0, 0, [("a", 1)])
+        emit(op, 0, 1, [("b", 1)])
+        assert op.collection().weight("a") == 1
+        delta = op.take_epoch_delta()
+        assert delta.weight("a") == 1 and delta.weight("b") == 1
+        assert op.take_epoch_delta().is_empty()
+        # Collection persists across drains.
+        assert op.collection().weight("b") == 1

@@ -1,0 +1,79 @@
+"""Probe and delta-draining semantics of compiled programs."""
+
+import pytest
+
+from repro.ddlog.dsl import DslError, Program
+
+
+def build():
+    prog = Program("p")
+    base = prog.input("base", ("value",))
+    doubled = prog.relation("doubled", ("value",))
+    prog.rule(
+        doubled,
+        [base("x")],
+        head_terms=("y",),
+        lets=[("y", lambda env: env["x"] * 2)],
+    )
+    prog.probe(doubled)
+    prog.probe(base)
+    return prog, base, doubled
+
+
+class TestProbes:
+    def test_input_relations_probeable(self):
+        prog, base, doubled = build()
+        cp = prog.compile()
+        cp.insert(base, (3,))
+        cp.commit()
+        assert cp.collection(base).weight((3,)) == 1
+        assert cp.collection(doubled).weight((6,)) == 1
+
+    def test_take_delta_drains_once(self):
+        prog, base, doubled = build()
+        cp = prog.compile()
+        cp.insert(base, (1,))
+        cp.commit()
+        first = cp.take_delta(doubled)
+        assert first.weight((2,)) == 1
+        assert cp.take_delta(doubled).is_empty()
+
+    def test_take_delta_accumulates_across_epochs_until_drained(self):
+        prog, base, doubled = build()
+        cp = prog.compile()
+        cp.insert(base, (1,))
+        cp.commit()
+        cp.insert(base, (2,))
+        cp.commit()
+        delta = cp.take_delta(doubled)
+        assert delta.weight((2,)) == 1 and delta.weight((4,)) == 1
+
+    def test_insert_then_remove_nets_out(self):
+        prog, base, doubled = build()
+        cp = prog.compile()
+        cp.insert(base, (1,))
+        cp.commit()
+        cp.take_delta(doubled)
+        cp.insert(base, (5,))
+        cp.commit()
+        cp.remove(base, (5,))
+        cp.commit()
+        assert cp.take_delta(doubled).is_empty()
+
+    def test_probe_idempotent_registration(self):
+        prog, base, doubled = build()
+        prog.probe(doubled)  # duplicate probe request is a no-op
+        cp = prog.compile()
+        cp.insert(base, (1,))
+        cp.commit()
+        assert cp.collection(doubled).weight((2,)) == 1
+
+    def test_duplicate_record_weights(self):
+        """Distinct relations collapse multiplicities; inputs keep them."""
+        prog, base, doubled = build()
+        cp = prog.compile()
+        cp.insert(base, (1,))
+        cp.insert(base, (1,))
+        cp.commit()
+        assert cp.collection(base).weight((1,)) == 2
+        assert cp.collection(doubled).weight((2,)) == 1

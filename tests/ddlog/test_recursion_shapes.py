@@ -1,0 +1,178 @@
+"""Recursion shapes beyond plain transitive closure: mutual recursion,
+aggregates feeding recursion, and stratified downstream consumers."""
+
+import pytest
+
+from repro.ddlog.dsl import DslError, Program, const
+
+
+def positive(collection):
+    return {record for record, weight in collection.items() if weight > 0}
+
+
+class TestMutualRecursion:
+    def build(self):
+        """even/odd distance parity over a graph: mutually recursive."""
+        prog = Program("parity")
+        edge = prog.input("edge", ("src", "dst"))
+        start = prog.input("start", ("node",))
+        even = prog.relation("even", ("node",))
+        odd = prog.relation("odd", ("node",))
+        prog.rule(even, [start("x")], head_terms=("x",))
+        prog.rule(odd, [even("x"), edge("x", "y")], head_terms=("y",))
+        prog.rule(even, [odd("x"), edge("x", "y")], head_terms=("y",))
+        prog.probe(even)
+        prog.probe(odd)
+        return prog, edge, start, even, odd
+
+    def test_chain_parity(self):
+        prog, edge, start, even, odd = self.build()
+        cp = prog.compile()
+        cp.insert(start, ("n0",))
+        for i in range(5):
+            cp.insert(edge, (f"n{i}", f"n{i+1}"))
+        cp.commit()
+        assert positive(cp.collection(even)) == {("n0",), ("n2",), ("n4",)}
+        assert positive(cp.collection(odd)) == {("n1",), ("n3",), ("n5",)}
+
+    def test_cycle_gives_both_parities(self):
+        prog, edge, start, even, odd = self.build()
+        cp = prog.compile()
+        cp.insert(start, ("a",))
+        for src, dst in [("a", "b"), ("b", "c"), ("c", "a")]:
+            cp.insert(edge, (src, dst))
+        cp.commit()
+        # Odd cycle: every node reachable at both parities.
+        assert positive(cp.collection(even)) == {("a",), ("b",), ("c",)}
+        assert positive(cp.collection(odd)) == {("a",), ("b",), ("c",)}
+
+    def test_incremental_deletion(self):
+        prog, edge, start, even, odd = self.build()
+        cp = prog.compile()
+        cp.insert(start, ("n0",))
+        for i in range(4):
+            cp.insert(edge, (f"n{i}", f"n{i+1}"))
+        cp.commit()
+        cp.remove(edge, ("n1", "n2"))
+        cp.commit()
+        assert positive(cp.collection(even)) == {("n0",)}
+        assert positive(cp.collection(odd)) == {("n1",)}
+
+
+class TestAggregateFeedingRecursion:
+    def test_downstream_consumer_of_recursive_aggregate(self):
+        """A non-recursive consumer joined onto a recursive aggregate's
+        output keeps exact multiplicity across epochs."""
+        prog = Program("sp-consumer")
+        edge = prog.input("edge", ("src", "dst", "cost"))
+        cand = prog.relation("cand", ("src", "dst", "cost"))
+        prog.rule(cand, [edge("x", "y", "c")], head_terms=("x", "y", "c"))
+
+        def min_agg(group, counts):
+            yield (group[0], group[1], min(r[2] for r in counts))
+
+        dist = prog.aggregate(
+            "dist", ("src", "dst", "cost"), cand,
+            key=lambda r: (r[0], r[1]), agg=min_agg,
+        )
+        prog.rule(
+            cand,
+            [edge("x", "y", "c1"), dist("y", "z", "c2")],
+            head_terms=("x", "z", "c"),
+            lets=[("c", lambda env: env["c1"] + env["c2"])],
+            where=lambda env: env["x"] != env["z"],
+        )
+        watch = prog.input("watch", ("src", "dst"))
+        alarm = prog.relation("alarm", ("src", "dst", "cost"))
+        prog.rule(
+            alarm,
+            [watch("s", "d"), dist("s", "d", "c")],
+            head_terms=("s", "d", "c"),
+            where=lambda env: env["c"] > 2,
+        )
+        prog.probe(alarm)
+        cp = prog.compile()
+        cp.insert(watch, ("a", "c"))
+        for e in [("a", "b", 1), ("b", "c", 1)]:
+            cp.insert(edge, e)
+        cp.commit()
+        assert positive(cp.collection(alarm)) == set()  # cost 2, no alarm
+        cp.remove(edge, ("b", "c", 1))
+        cp.insert(edge, ("b", "c", 5))
+        cp.commit()
+        assert positive(cp.collection(alarm)) == {("a", "c", 6)}
+        cp.remove(edge, ("a", "b", 1))
+        cp.commit()
+        assert positive(cp.collection(alarm)) == set()  # unreachable
+
+    def test_two_aggregates_same_source(self):
+        """min and argmin over the same candidate relation (the OSPF
+        pattern) stay mutually consistent under churn."""
+        prog = Program("two-aggs")
+        item = prog.input("item", ("group", "value", "tag"))
+
+        def min_agg(group, counts):
+            yield (group, min(r[1] for r in counts))
+
+        def argmin_agg(group, counts):
+            best = min(r[1] for r in counts)
+            for r in sorted(counts):
+                if r[1] == best:
+                    yield (group, r[2])
+
+        low = prog.aggregate("low", ("group", "value"), item,
+                             key=lambda r: r[0], agg=min_agg)
+        which = prog.aggregate("which", ("group", "tag"), item,
+                               key=lambda r: r[0], agg=argmin_agg)
+        prog.probe(low)
+        prog.probe(which)
+        cp = prog.compile()
+        cp.insert(item, ("g", 5, "a"))
+        cp.insert(item, ("g", 3, "b"))
+        cp.insert(item, ("g", 3, "c"))
+        cp.commit()
+        assert positive(cp.collection(low)) == {("g", 3)}
+        assert positive(cp.collection(which)) == {("g", "b"), ("g", "c")}
+        cp.remove(item, ("g", 3, "b"))
+        cp.remove(item, ("g", 3, "c"))
+        cp.commit()
+        assert positive(cp.collection(low)) == {("g", 5)}
+        assert positive(cp.collection(which)) == {("g", "a")}
+
+
+class TestDslEdgeCases:
+    def test_rule_with_only_constants(self):
+        prog = Program()
+        flag = prog.input("flag", ("value",))
+        on = prog.relation("on", ("marker",))
+        prog.rule(on, [flag(const("enabled"))], head_terms=(const("yes"),))
+        prog.probe(on)
+        cp = prog.compile()
+        cp.insert(flag, ("enabled",))
+        cp.commit()
+        assert positive(cp.collection(on)) == {("yes",)}
+        cp.remove(flag, ("enabled",))
+        cp.commit()
+        assert positive(cp.collection(on)) == set()
+
+    def test_same_relation_twice_in_body(self):
+        """Self-join: sibling(x, y) :- parent(p, x), parent(p, y), x != y."""
+        prog = Program()
+        parent = prog.input("parent", ("parent", "child"))
+        sibling = prog.relation("sibling", ("a", "b"))
+        prog.rule(
+            sibling,
+            [parent("p", "x"), parent("p", "y")],
+            head_terms=("x", "y"),
+            where=lambda env: env["x"] != env["y"],
+        )
+        prog.probe(sibling)
+        cp = prog.compile()
+        cp.insert(parent, ("mom", "ann"))
+        cp.insert(parent, ("mom", "bob"))
+        cp.insert(parent, ("dad", "bob"))
+        cp.commit()
+        assert positive(cp.collection(sibling)) == {("ann", "bob"), ("bob", "ann")}
+        cp.remove(parent, ("mom", "ann"))
+        cp.commit()
+        assert positive(cp.collection(sibling)) == set()

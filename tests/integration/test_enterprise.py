@@ -1,0 +1,169 @@
+"""Integration stress: the mixed-protocol enterprise network exercises
+OSPF + eBGP + two-way redistribution + IP-next-hop statics + ACLs at once,
+validated against the independent baseline and through the full pipeline."""
+
+import pytest
+
+from repro.baseline import simulate
+from repro.config.changes import (
+    EnableInterface,
+    RemoveRedistribution,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.core.realconfig import RealConfig
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import HeaderBox, header
+from repro.policy.spec import LoopFree, Reachability, isolation
+from repro.policy.trace import trace_packet
+from repro.routing.program import ControlPlane
+from repro.workloads.enterprise import PROVIDER_PREFIX, build_enterprise
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_enterprise(access_per_core=1)
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+class TestConvergedState:
+    def test_engine_matches_baseline(self, net):
+        control_plane = ControlPlane()
+        control_plane.update_to(net.snapshot)
+        assert set(control_plane.fib()) == simulate(net.snapshot).fib
+
+    def test_access_learns_default_route(self, net):
+        """The border's static default, redistributed into OSPF, reaches
+        the access layer."""
+        control_plane = ControlPlane()
+        control_plane.update_to(net.snapshot)
+        fib = fib_map(control_plane)
+        assert ("acc0", "0.0.0.0/0") in fib
+
+    def test_provider_learns_user_subnets(self, net):
+        """OSPF -> BGP redistribution exports the user subnets upstream."""
+        control_plane = ControlPlane()
+        control_plane.update_to(net.snapshot)
+        fib = fib_map(control_plane)
+        assert fib[("provider", "172.16.0.0/24")] == ["cust0"]
+
+    def test_access_learns_internet_prefix(self, net):
+        """BGP -> OSPF redistribution imports the provider prefix inside."""
+        control_plane = ControlPlane()
+        control_plane.update_to(net.snapshot)
+        fib = fib_map(control_plane)
+        assert ("acc0", str(PROVIDER_PREFIX)) in fib
+
+    def test_removing_redistribution_cuts_the_leak(self, net):
+        snap, _ = apply_changes(
+            net.snapshot, [RemoveRedistribution("border", "bgp", "ospf")]
+        )
+        control_plane = ControlPlane()
+        control_plane.update_to(snap)
+        fib = fib_map(control_plane)
+        assert ("provider", "172.16.0.0/24") not in fib
+        assert set(control_plane.fib()) == simulate(snap).fib
+
+
+class TestPipeline:
+    def build_verifier(self, net):
+        user_prefix = net.labeled.host_prefixes["acc0"][0]
+        return RealConfig(
+            net.snapshot,
+            endpoints=net.access + [net.provider],
+            policies=[
+                LoopFree("loop-free"),
+                Reachability(
+                    "inet->acc0",
+                    src=net.provider,
+                    dst="acc0",
+                    match=HeaderBox.build(
+                        dst_ip=user_prefix.as_interval(),
+                        proto=(6, 6),
+                        dst_port=(443, 443),
+                    ),
+                ),
+                isolation(
+                    "no-telnet-from-inet",
+                    net.provider,
+                    "acc0",
+                    HeaderBox.build(
+                        dst_ip=user_prefix.as_interval(),
+                        proto=(6, 6),
+                        dst_port=(23, 23),
+                    ),
+                ),
+            ],
+        )
+
+    def test_policies_hold(self, net):
+        verifier = self.build_verifier(net)
+        assert all(s.holds for s in verifier.policy_statuses())
+
+    def test_core_failure_survives(self, net):
+        verifier = self.build_verifier(net)
+        delta = verifier.apply_change(ShutdownInterface("core0", "c1"))
+        assert delta.ok
+        delta = verifier.apply_change(EnableInterface("core0", "c1"))
+        assert delta.ok
+
+    def test_uplink_failure_breaks_inet_reachability(self, net):
+        verifier = self.build_verifier(net)
+        delta = verifier.apply_change(ShutdownInterface("border", "out0"))
+        assert not delta.ok
+        violated = {s.policy.name for s in delta.newly_violated}
+        assert "inet->acc0" in violated
+
+    def test_telnet_trace_stops_at_border(self, net):
+        verifier = self.build_verifier(net)
+        user_prefix = net.labeled.host_prefixes["acc0"][0]
+        telnet = header(user_prefix.first() + 5, 0, 6, 23)
+        traces = trace_packet(verifier.model, telnet, net.provider)
+        assert traces
+        assert all(not t.delivered() for t in traces)
+        https = header(user_prefix.first() + 5, 0, 6, 443)
+        traces = trace_packet(verifier.model, https, net.provider)
+        assert any(t.delivered() for t in traces)
+
+    def test_parity_after_changes(self, net):
+        verifier = self.build_verifier(net)
+        verifier.apply_change(ShutdownInterface("core1", "c2"))
+        control_plane = ControlPlane()
+        control_plane.update_to(verifier.snapshot)
+        assert set(control_plane.fib()) == simulate(verifier.snapshot).fib
+
+
+class TestScaledVariant:
+    def test_two_access_per_core(self):
+        net = build_enterprise(access_per_core=2)
+        control_plane = ControlPlane()
+        control_plane.update_to(net.snapshot)
+        assert set(control_plane.fib()) == simulate(net.snapshot).fib
+        assert len(net.access) == 8
+
+    def test_dual_homed_equivalence(self):
+        net = build_enterprise(access_per_core=1, dual_homed=True)
+        control_plane = ControlPlane()
+        control_plane.update_to(net.snapshot)
+        assert set(control_plane.fib()) == simulate(net.snapshot).fib
+
+    def test_dual_homing_makes_internal_pairs_fault_tolerant(self):
+        from repro.policy.mining import SpecificationMiner
+
+        net = build_enterprise(access_per_core=1, dual_homed=True)
+        spec = SpecificationMiner(
+            net.labeled, net.snapshot, endpoints=net.access
+        ).mine(with_widths=False)
+        # All access<->access pairs survive any single link failure.
+        assert len(spec.always_reachable) == len(net.access) * (
+            len(net.access) - 1
+        )
+        assert not spec.fragile

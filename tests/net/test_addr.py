@@ -1,0 +1,183 @@
+"""Tests for IPv4 addressing primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import (
+    IPV4_MAX,
+    AddressError,
+    IPv4Address,
+    Prefix,
+    format_ipv4,
+    interval_to_prefixes,
+    parse_ipv4,
+)
+
+addresses = st.integers(min_value=0, max_value=IPV4_MAX)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestParseFormat:
+    def test_parse_dotted_quad(self):
+        assert parse_ipv4("10.0.0.1") == (10 << 24) | 1
+
+    def test_parse_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parse_max(self):
+        assert parse_ipv4("255.255.255.255") == IPV4_MAX
+
+    def test_format_roundtrip_examples(self):
+        for text in ("0.0.0.0", "10.1.2.3", "172.16.254.1", "255.255.255.255"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    @given(addresses)
+    def test_format_parse_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad", ["10.0.0", "10.0.0.0.0", "256.0.0.1", "a.b.c.d", "", "10.0.0.-1"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(IPV4_MAX + 1)
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+
+
+class TestIPv4Address:
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    def test_str(self):
+        assert str(IPv4Address.parse("192.168.1.1")) == "192.168.1.1"
+
+    def test_int_conversion(self):
+        assert int(IPv4Address(42)) == 42
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.network == 10 << 24
+        assert p.length == 8
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/8")
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            Prefix.parse(bad)
+
+    def test_default_route(self):
+        assert Prefix.default() == Prefix.parse("0.0.0.0/0")
+        assert Prefix.default().num_addresses() == 1 << 32
+
+    def test_interval(self):
+        p = Prefix.parse("10.0.0.0/30")
+        assert p.as_interval() == (p.network, p.network + 3)
+
+    def test_contains_address(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert p.contains_address(parse_ipv4("10.0.0.255"))
+        assert not p.contains_address(parse_ipv4("10.0.1.0"))
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.1.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_supernet_subnets(self):
+        p = Prefix.parse("10.0.0.0/9")
+        assert p.supernet() == Prefix.parse("10.0.0.0/8")
+        low, high = Prefix.parse("10.0.0.0/8").subnets()
+        assert low == Prefix.parse("10.0.0.0/9")
+        assert high == Prefix.parse("10.128.0.0/9")
+
+    def test_supernet_of_default_fails(self):
+        with pytest.raises(AddressError):
+            Prefix.default().supernet()
+
+    def test_subnets_of_host_fails(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("1.2.3.4/32").subnets()
+
+    def test_hosts_enumeration(self):
+        hosts = list(Prefix.parse("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == [
+            "10.0.0.0",
+            "10.0.0.1",
+            "10.0.0.2",
+            "10.0.0.3",
+        ]
+
+    def test_from_address_int_masks_host_bits(self):
+        p = Prefix.from_address_int(parse_ipv4("10.0.0.7"), 30)
+        assert p == Prefix.parse("10.0.0.4/30")
+
+    @given(addresses, lengths)
+    def test_from_address_always_canonical(self, value, length):
+        p = Prefix.from_address_int(value, length)
+        assert p.contains_address(value)
+        assert p.num_addresses() == 1 << (32 - length)
+
+    @given(addresses, lengths)
+    def test_interval_matches_num_addresses(self, value, length):
+        p = Prefix.from_address_int(value, length)
+        lo, hi = p.as_interval()
+        assert hi - lo + 1 == p.num_addresses()
+
+    def test_ordering_is_by_network_then_length(self):
+        assert Prefix.parse("10.0.0.0/8") < Prefix.parse("10.0.0.0/16")
+        assert Prefix.parse("10.0.0.0/16") < Prefix.parse("11.0.0.0/8")
+
+
+class TestIntervalToPrefixes:
+    def test_exact_block(self):
+        assert list(interval_to_prefixes(0, 7)) == [Prefix.parse("0.0.0.0/29")]
+
+    def test_unaligned_interval(self):
+        prefixes = list(interval_to_prefixes(1, 6))
+        covered = sorted(
+            addr for p in prefixes for addr in range(p.first(), p.last() + 1)
+        )
+        assert covered == list(range(1, 7))
+
+    def test_empty_interval(self):
+        assert list(interval_to_prefixes(5, 4)) == []
+
+    def test_full_space(self):
+        assert list(interval_to_prefixes(0, IPV4_MAX)) == [Prefix.default()]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            list(interval_to_prefixes(0, IPV4_MAX + 1))
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_cover_is_exact_and_disjoint(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        prefixes = list(interval_to_prefixes(lo, hi))
+        covered = []
+        for p in prefixes:
+            covered.extend(range(p.first(), p.last() + 1))
+        assert sorted(covered) == list(range(lo, hi + 1))
+        assert len(covered) == len(set(covered))  # disjoint

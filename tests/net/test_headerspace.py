@@ -1,0 +1,191 @@
+"""Tests for header-space boxes and predicates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import Prefix
+from repro.net.headerspace import (
+    FIELD_MAX,
+    FIELDS,
+    HeaderBox,
+    HeaderSpaceError,
+    Predicate,
+    header,
+)
+
+
+def small_interval(bound):
+    """Intervals within a small sub-domain to make overlaps likely."""
+    return st.tuples(st.integers(0, bound), st.integers(0, bound)).map(
+        lambda t: (min(t), max(t))
+    )
+
+
+boxes = st.builds(
+    lambda d, s, p, dp: HeaderBox.build(
+        dst_ip=d, src_ip=s, proto=p, dst_port=dp
+    ),
+    small_interval(50),
+    small_interval(50),
+    small_interval(10),
+    small_interval(10),
+)
+
+
+class TestHeaderBox:
+    def test_everything_volume(self):
+        expected = 1
+        for field in FIELDS:
+            expected *= FIELD_MAX[field] + 1
+        assert HeaderBox.everything().volume() == expected
+
+    def test_build_constrains_named_field_only(self):
+        box = HeaderBox.build(proto=(6, 6))
+        assert box.interval("proto") == (6, 6)
+        assert box.interval("dst_ip") == (0, FIELD_MAX["dst_ip"])
+
+    def test_build_rejects_unknown_field(self):
+        with pytest.raises(HeaderSpaceError):
+            HeaderBox.build(ttl=(0, 1))
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(HeaderSpaceError):
+            HeaderBox.build(proto=(7, 6))
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(HeaderSpaceError):
+            HeaderBox.build(proto=(0, 300))
+
+    def test_from_dst_prefix(self):
+        box = HeaderBox.from_dst_prefix(Prefix.parse("10.0.0.0/30"))
+        lo, hi = box.interval("dst_ip")
+        assert hi - lo == 3
+
+    def test_contains(self):
+        box = HeaderBox.build(dst_ip=(10, 20), proto=(6, 6))
+        assert box.contains(header(15, 0, 6, 0))
+        assert not box.contains(header(15, 0, 7, 0))
+        assert not box.contains(header(21, 0, 6, 0))
+
+    def test_intersect_overlapping(self):
+        a = HeaderBox.build(dst_ip=(0, 10))
+        b = HeaderBox.build(dst_ip=(5, 20))
+        overlap = a.intersect(b)
+        assert overlap is not None
+        assert overlap.interval("dst_ip") == (5, 10)
+
+    def test_intersect_disjoint(self):
+        a = HeaderBox.build(dst_ip=(0, 10))
+        b = HeaderBox.build(dst_ip=(11, 20))
+        assert a.intersect(b) is None
+
+    def test_subtract_disjoint_returns_self(self):
+        a = HeaderBox.build(dst_ip=(0, 10))
+        b = HeaderBox.build(dst_ip=(11, 20))
+        assert a.subtract(b) == [a]
+
+    def test_subtract_self_is_empty(self):
+        a = HeaderBox.build(dst_ip=(0, 10))
+        assert a.subtract(a) == []
+
+    def test_subtract_pieces_are_disjoint_from_subtrahend(self):
+        a = HeaderBox.build(dst_ip=(0, 10), proto=(0, 10))
+        b = HeaderBox.build(dst_ip=(3, 5), proto=(2, 8))
+        for piece in a.subtract(b):
+            assert piece.intersect(b) is None
+
+    @given(boxes, boxes)
+    def test_subtract_volume_conservation(self, a, b):
+        overlap = a.intersect(b)
+        overlap_volume = overlap.volume() if overlap is not None else 0
+        pieces = a.subtract(b)
+        assert sum(p.volume() for p in pieces) + overlap_volume == a.volume()
+
+    @given(boxes, boxes)
+    def test_subtract_pieces_pairwise_disjoint(self, a, b):
+        pieces = a.subtract(b)
+        for i, p in enumerate(pieces):
+            for q in pieces[i + 1 :]:
+                assert p.intersect(q) is None
+
+    def test_is_subset(self):
+        inner = HeaderBox.build(dst_ip=(2, 3))
+        outer = HeaderBox.build(dst_ip=(0, 10))
+        assert inner.is_subset(outer)
+        assert not outer.is_subset(inner)
+
+    def test_sample_is_inside(self):
+        box = HeaderBox.build(dst_ip=(7, 9), proto=(6, 6))
+        assert box.contains(box.sample())
+
+    def test_str_mentions_constrained_fields_only(self):
+        assert "proto" in str(HeaderBox.build(proto=(6, 6)))
+        assert str(HeaderBox.everything()) == "Box(*)"
+
+
+class TestPredicate:
+    def test_empty(self):
+        assert Predicate.empty().is_empty()
+        assert Predicate.empty().volume() == 0
+
+    def test_everything_covers_any_header(self):
+        assert Predicate.everything().contains(header(123, 45, 6, 80))
+
+    def test_subtract_then_volume(self):
+        p = Predicate.from_dst_prefix(Prefix.parse("10.0.0.0/8"))
+        q = p.subtract(Predicate.from_dst_prefix(Prefix.parse("10.1.0.0/16")))
+        assert q.volume() == p.volume() - Predicate.from_dst_prefix(
+            Prefix.parse("10.1.0.0/16")
+        ).volume()
+
+    def test_intersect(self):
+        a = Predicate.from_box(HeaderBox.build(dst_ip=(0, 10)))
+        b = Predicate.from_box(HeaderBox.build(dst_ip=(5, 20)))
+        assert a.intersect(b).volume() == b.intersect(a).volume()
+
+    def test_union_disjointness(self):
+        a = Predicate.from_box(HeaderBox.build(dst_ip=(0, 10)))
+        b = Predicate.from_box(HeaderBox.build(dst_ip=(5, 20)))
+        union = a.union(b)
+        assert union.volume() == Predicate.from_box(
+            HeaderBox.build(dst_ip=(0, 20))
+        ).volume()
+
+    def test_semantic_equality(self):
+        box = HeaderBox.build(dst_ip=(0, 10))
+        left = Predicate.from_box(HeaderBox.build(dst_ip=(0, 5)))
+        right = Predicate.from_box(HeaderBox.build(dst_ip=(6, 10)))
+        assert left.union_disjoint(right).semantically_equals(
+            Predicate.from_box(box)
+        )
+
+    def test_overlaps(self):
+        a = Predicate.from_box(HeaderBox.build(dst_ip=(0, 10)))
+        b = Predicate.from_box(HeaderBox.build(dst_ip=(10, 20)))
+        c = Predicate.from_box(HeaderBox.build(dst_ip=(11, 20)))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_sample_raises_on_empty(self):
+        with pytest.raises(HeaderSpaceError):
+            Predicate.empty().sample()
+
+    def test_samples_one_per_box(self):
+        a = HeaderBox.build(dst_ip=(0, 1))
+        b = HeaderBox.build(dst_ip=(5, 6))
+        pred = Predicate.from_disjoint_boxes([a, b])
+        assert len(list(pred.samples())) == 2
+
+    def test_dst_prefixes_cover(self):
+        pred = Predicate.from_dst_prefix(Prefix.parse("10.0.0.0/30"))
+        assert pred.dst_prefixes() == [Prefix.parse("10.0.0.0/30")]
+
+    @given(boxes, boxes, boxes)
+    def test_subtract_intersect_partition(self, a, b, c):
+        """(A - B) and (A ∩ B) partition A; adding C keeps volumes sane."""
+        pa = Predicate.from_box(a)
+        pb = Predicate.from_box(b)
+        minus = pa.subtract(pb)
+        inter = pa.intersect(pb)
+        assert minus.volume() + inter.volume() == pa.volume()
+        assert not minus.overlaps(pb)

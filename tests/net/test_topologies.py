@@ -1,0 +1,133 @@
+"""Tests for topology generators."""
+
+import pytest
+
+from repro.net.topologies import (
+    LabeledTopology,
+    fat_tree,
+    fat_tree_expected_sizes,
+    grid,
+    line,
+    random_connected,
+    ring,
+)
+from repro.net.topology import TopologyError
+
+
+def _is_connected(labeled: LabeledTopology) -> bool:
+    topo = labeled.topology
+    names = topo.node_names()
+    if not names:
+        return True
+    adj = topo.adjacency()
+    seen = {names[0]}
+    frontier = [names[0]]
+    while frontier:
+        node = frontier.pop()
+        for peer, _, _ in adj[node]:
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    return len(seen) == len(names)
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_sizes_match_formula(self, k):
+        labeled = fat_tree(k)
+        nodes, links = fat_tree_expected_sizes(k)
+        assert labeled.topology.num_nodes() == nodes
+        assert labeled.topology.num_links() == links
+
+    def test_paper_scale(self):
+        """k=12 is the paper's topology: 180 nodes, 864 links."""
+        assert fat_tree_expected_sizes(12) == (180, 864)
+
+    def test_roles(self):
+        labeled = fat_tree(4)
+        roles = list(labeled.roles.values())
+        assert roles.count("core") == 4
+        assert roles.count("agg") == 8
+        assert roles.count("edge") == 8
+
+    def test_every_edge_has_host_prefix(self):
+        labeled = fat_tree(4)
+        for node in labeled.edge_nodes():
+            assert labeled.host_prefixes[node]
+
+    def test_host_prefixes_distinct(self):
+        labeled = fat_tree(6)
+        prefixes = [p for ps in labeled.host_prefixes.values() for p in ps]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_connected(self):
+        assert _is_connected(fat_tree(4))
+
+    @pytest.mark.parametrize("k", [0, 1, 3, 5])
+    def test_rejects_bad_arity(self, k):
+        with pytest.raises(TopologyError):
+            fat_tree(k)
+
+    def test_link_subnets_distinct(self):
+        labeled = fat_tree(4)
+        prefixes = [
+            i.prefix for i in labeled.topology.interfaces() if i.prefix is not None
+        ]
+        # Each /30 is shared by exactly its two endpoints; host /24s unique.
+        from collections import Counter
+
+        counts = Counter(prefixes)
+        assert all(c <= 2 for c in counts.values())
+
+
+class TestOtherGenerators:
+    def test_line(self):
+        labeled = line(5)
+        assert labeled.topology.num_nodes() == 5
+        assert labeled.topology.num_links() == 4
+        assert _is_connected(labeled)
+
+    def test_line_single_node(self):
+        assert line(1).topology.num_links() == 0
+
+    def test_line_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            line(0)
+
+    def test_ring(self):
+        labeled = ring(6)
+        assert labeled.topology.num_nodes() == 6
+        assert labeled.topology.num_links() == 6
+        assert _is_connected(labeled)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_grid(self):
+        labeled = grid(3, 4)
+        assert labeled.topology.num_nodes() == 12
+        assert labeled.topology.num_links() == 3 * 3 + 2 * 4
+        assert _is_connected(labeled)
+
+    def test_grid_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            grid(0, 3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_connected(self, seed):
+        labeled = random_connected(10, extra_links=5, seed=seed)
+        assert labeled.topology.num_nodes() == 10
+        assert labeled.topology.num_links() >= 9
+        assert _is_connected(labeled)
+
+    def test_random_deterministic_per_seed(self):
+        a = random_connected(8, 3, seed=42)
+        b = random_connected(8, 3, seed=42)
+        links_a = sorted((str(l.a), str(l.b)) for l in a.topology.links())
+        links_b = sorted((str(l.a), str(l.b)) for l in b.topology.links())
+        assert links_a == links_b
+
+    def test_all_generators_give_host_prefixes(self):
+        for labeled in (line(3), ring(3), grid(2, 2), random_connected(4, 1, 0)):
+            assert labeled.host_prefixes

@@ -1,0 +1,90 @@
+"""Tests for the topology substrate."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.net.topology import InterfaceId, Topology, TopologyError
+
+
+@pytest.fixture
+def two_nodes():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_interface("a", "eth0", prefix=Prefix.parse("10.0.0.0/30"))
+    topo.add_interface("b", "eth0", prefix=Prefix.parse("10.0.0.0/30"))
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(TopologyError):
+            topo.add_node("a")
+
+    def test_duplicate_interface_rejected(self, two_nodes):
+        with pytest.raises(TopologyError):
+            two_nodes.add_interface("a", "eth0")
+
+    def test_interface_on_missing_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_interface("ghost", "eth0")
+
+    def test_link(self, two_nodes):
+        link = two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("b", "eth0"))
+        assert link.other(InterfaceId("a", "eth0")) == InterfaceId("b", "eth0")
+
+    def test_self_link_rejected(self, two_nodes):
+        with pytest.raises(TopologyError):
+            two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("a", "eth0"))
+
+    def test_double_link_rejected(self, two_nodes):
+        two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("b", "eth0"))
+        two_nodes.add_interface("a", "eth1")
+        with pytest.raises(TopologyError):
+            two_nodes.add_link(InterfaceId("a", "eth1"), InterfaceId("b", "eth0"))
+
+    def test_link_requires_existing_interfaces(self, two_nodes):
+        with pytest.raises(TopologyError):
+            two_nodes.add_link(InterfaceId("a", "ghost"), InterfaceId("b", "eth0"))
+
+
+class TestLookups:
+    def test_missing_node(self):
+        with pytest.raises(TopologyError):
+            Topology().node("nope")
+
+    def test_missing_interface(self, two_nodes):
+        with pytest.raises(TopologyError):
+            two_nodes.interface(InterfaceId("a", "nope"))
+
+    def test_neighbor_of(self, two_nodes):
+        two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("b", "eth0"))
+        assert two_nodes.neighbor_of(InterfaceId("a", "eth0")) == InterfaceId(
+            "b", "eth0"
+        )
+
+    def test_neighbor_of_unlinked_is_none(self, two_nodes):
+        assert two_nodes.neighbor_of(InterfaceId("a", "eth0")) is None
+
+    def test_link_other_rejects_foreign_interface(self, two_nodes):
+        link = two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("b", "eth0"))
+        with pytest.raises(TopologyError):
+            link.other(InterfaceId("c", "eth9"))
+
+
+class TestIteration:
+    def test_links_iterated_once(self, two_nodes):
+        two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("b", "eth0"))
+        assert two_nodes.num_links() == 1
+
+    def test_counts(self, two_nodes):
+        assert two_nodes.num_nodes() == 2
+        assert len(list(two_nodes.interfaces())) == 2
+
+    def test_adjacency_bidirectional(self, two_nodes):
+        two_nodes.add_link(InterfaceId("a", "eth0"), InterfaceId("b", "eth0"))
+        adj = two_nodes.adjacency()
+        assert adj["a"][0][0] == "b"
+        assert adj["b"][0][0] == "a"

@@ -1,0 +1,273 @@
+"""Tests for the incremental policy checker: maps, incrementality oracle,
+and policy status transitions."""
+
+import pytest
+
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import HeaderBox, header
+from repro.net.topologies import line, ring
+from repro.policy.checker import IncrementalChecker, PolicyError
+from repro.policy.spec import (
+    BlackholeFree,
+    LoopFree,
+    Reachability,
+    Waypoint,
+    isolation,
+)
+from repro.routing.types import ACCEPT
+
+DST = Prefix.parse("172.16.2.0/24")
+DST_BOX = HeaderBox.from_dst_prefix(DST)
+
+
+def chain_updates():
+    return [
+        RuleUpdate(1, ForwardingRule("r0", DST, "eth1")),
+        RuleUpdate(1, ForwardingRule("r1", DST, "eth1")),
+        RuleUpdate(1, ForwardingRule("r2", DST, ACCEPT)),
+    ]
+
+
+def build(policies=(), topo=None):
+    model = NetworkModel((topo or line(3)).topology)
+    checker = IncrementalChecker(model, ["r0", "r1", "r2"], policies)
+    updater = BatchUpdater(model)
+    return model, checker, updater
+
+
+class TestPairMap:
+    def test_delivered_ecs(self):
+        model, checker, updater = build()
+        batch = updater.apply(chain_updates())
+        checker.check_batch(batch)
+        assert checker.delivered_ecs("r0", "r2")
+        assert not checker.delivered_ecs("r2", "r0")
+
+    def test_pair_map_updates_on_withdraw(self):
+        model, checker, updater = build()
+        checker.check_batch(updater.apply(chain_updates()))
+        batch = updater.apply(
+            [RuleUpdate(-1, ForwardingRule("r1", DST, "eth1"))]
+        )
+        report = checker.check_batch(batch)
+        assert not checker.delivered_ecs("r0", "r2")
+        assert ("r0", "r2") in report.affected_pairs
+
+    def test_total_pairs(self):
+        _, checker, _ = build()
+        assert checker.total_pairs() == 6  # 3 endpoints, ordered
+
+    def test_endpoints_limit_tracking(self):
+        model = NetworkModel(line(3).topology)
+        checker = IncrementalChecker(model, ["r0", "r2"])  # r1 not endpoint
+        updater = BatchUpdater(model)
+        report = checker.check_batch(updater.apply(chain_updates()))
+        assert ("r1", "r2") not in report.affected_pairs
+        assert ("r0", "r2") in report.affected_pairs
+
+
+class TestIncrementalOracle:
+    """Incremental checking must equal a full re-analysis."""
+
+    def test_pair_map_matches_full_recheck(self):
+        import random
+
+        rng = random.Random(3)
+        model, checker, updater = build(topo=ring(4))
+        live = []
+        prefixes = [Prefix.parse(f"172.16.{i}.0/24") for i in range(4)]
+        for step in range(40):
+            node = f"r{rng.randrange(4)}"
+            prefix = rng.choice(prefixes)
+            iface = rng.choice(["eth0", "eth1", ACCEPT])
+            rule = ForwardingRule(node, prefix, iface)
+            if rule in live:
+                batch = updater.apply([RuleUpdate(-1, rule)])
+                live.remove(rule)
+            else:
+                batch = updater.apply([RuleUpdate(1, rule)])
+                live.append(rule)
+            checker.check_batch(batch)
+            # Oracle: a fresh checker over the same model.
+            fresh = IncrementalChecker(model, checker.endpoints)
+            assert (
+                checker.delivered_pair_map() == fresh.delivered_pair_map()
+            ), f"divergence at step {step}"
+
+
+class TestReachabilityPolicies:
+    def test_holds_then_violated_then_restored(self):
+        policy = Reachability("p", src="r0", dst="r2", match=DST_BOX)
+        model, checker, updater = build()
+        checker.check_batch(updater.apply(chain_updates()))
+        checker.add_policy(policy)
+        assert checker.status("p").holds
+
+        batch = updater.apply([RuleUpdate(-1, ForwardingRule("r1", DST, "eth1"))])
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_violated] == ["p"]
+
+        batch = updater.apply([RuleUpdate(1, ForwardingRule("r1", DST, "eth1"))])
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_satisfied] == ["p"]
+
+    def test_isolation_policy(self):
+        policy = isolation("iso", "r0", "r2", DST_BOX)
+        model, checker, updater = build()
+        checker.add_policy(policy)
+        assert checker.status("iso").holds
+        report = checker.check_batch(updater.apply(chain_updates()))
+        assert [s.policy.name for s in report.newly_violated] == ["iso"]
+        assert "leaking" in report.newly_violated[0].detail
+
+    def test_policy_match_registers_ec(self):
+        model, checker, _ = build()
+        before = model.ecs.num_ecs()
+        checker.add_policy(Reachability("p", src="r0", dst="r2", match=DST_BOX))
+        assert model.ecs.num_ecs() == before + 1
+        checker.remove_policy("p")
+        assert model.ecs.num_ecs() == before
+
+    def test_duplicate_name_rejected(self):
+        model, checker, _ = build()
+        checker.add_policy(Reachability("p", src="r0", dst="r2", match=DST_BOX))
+        with pytest.raises(PolicyError):
+            checker.add_policy(Reachability("p", src="r0", dst="r1"))
+
+    def test_remove_unknown_rejected(self):
+        _, checker, _ = build()
+        with pytest.raises(PolicyError):
+            checker.remove_policy("ghost")
+
+
+class TestInvariantPolicies:
+    def test_loop_free_violated(self):
+        model, checker, updater = build(policies=[LoopFree("lf")])
+        batch = updater.apply(
+            [
+                RuleUpdate(1, ForwardingRule("r0", DST, "eth1")),
+                RuleUpdate(1, ForwardingRule("r1", DST, "eth0")),
+            ]
+        )
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_violated] == ["lf"]
+
+    def test_blackhole_free_violated_and_repaired(self):
+        model, checker, updater = build(policies=[BlackholeFree("bf")])
+        batch = updater.apply([RuleUpdate(1, ForwardingRule("r0", DST, "eth1"))])
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_violated] == ["bf"]
+        batch = updater.apply(
+            [
+                RuleUpdate(1, ForwardingRule("r1", DST, "eth1")),
+                RuleUpdate(1, ForwardingRule("r2", DST, ACCEPT)),
+            ]
+        )
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_satisfied] == ["bf"]
+
+
+class TestWaypointPolicies:
+    def test_waypoint_holds_on_chain(self):
+        policy = Waypoint("wp", src="r0", dst="r2", waypoint="r1", match=DST_BOX)
+        model, checker, updater = build()
+        checker.check_batch(updater.apply(chain_updates()))
+        checker.add_policy(policy)
+        assert checker.status("wp").holds
+
+    def test_waypoint_violated_by_bypass(self):
+        topo = ring(4)
+        model = NetworkModel(topo.topology)
+        checker = IncrementalChecker(model, ["r0", "r1", "r2", "r3"])
+        updater = BatchUpdater(model)
+        # Two disjoint paths r0->r2: via r1 and via r3.
+        updates = [
+            RuleUpdate(1, ForwardingRule("r0", DST, "eth1")),  # to r1
+            RuleUpdate(1, ForwardingRule("r0", DST, "eth0")),  # to r3
+            RuleUpdate(1, ForwardingRule("r1", DST, "eth1")),
+            RuleUpdate(1, ForwardingRule("r3", DST, "eth0")),
+            RuleUpdate(1, ForwardingRule("r2", DST, ACCEPT)),
+        ]
+        checker.check_batch(updater.apply(updates))
+        checker.add_policy(
+            Waypoint("wp", src="r0", dst="r2", waypoint="r1", match=DST_BOX)
+        )
+        status = checker.status("wp")
+        assert not status.holds
+        assert "bypassing r1" in status.detail
+
+    def test_waypoint_restored_after_fix(self):
+        topo = ring(4)
+        model = NetworkModel(topo.topology)
+        checker = IncrementalChecker(model, ["r0", "r1", "r2", "r3"])
+        updater = BatchUpdater(model)
+        updates = [
+            RuleUpdate(1, ForwardingRule("r0", DST, "eth1")),
+            RuleUpdate(1, ForwardingRule("r0", DST, "eth0")),
+            RuleUpdate(1, ForwardingRule("r1", DST, "eth1")),
+            RuleUpdate(1, ForwardingRule("r3", DST, "eth0")),
+            RuleUpdate(1, ForwardingRule("r2", DST, ACCEPT)),
+        ]
+        checker.check_batch(updater.apply(updates))
+        checker.add_policy(
+            Waypoint("wp", src="r0", dst="r2", waypoint="r1", match=DST_BOX)
+        )
+        # Remove the bypass branch.
+        batch = updater.apply([RuleUpdate(-1, ForwardingRule("r0", DST, "eth0"))])
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_satisfied] == ["wp"]
+
+
+class TestFilterInteraction:
+    def test_acl_violation_detected(self):
+        policy = Reachability("p", src="r0", dst="r2", match=DST_BOX)
+        model, checker, updater = build()
+        checker.check_batch(updater.apply(chain_updates()))
+        checker.add_policy(policy)
+        deny = FilterRule("r1", "eth0", "in", 10, "deny", DST_BOX)
+        report = checker.check_batch(updater.apply([RuleUpdate(1, deny)]))
+        assert [s.policy.name for s in report.newly_violated] == ["p"]
+
+    def test_scoped_acl_keeps_other_traffic(self):
+        http_box = HeaderBox.build(
+            dst_ip=DST.as_interval(), proto=(6, 6), dst_port=(80, 80)
+        )
+        any_policy = Reachability("all", src="r0", dst="r2", match=DST_BOX)
+        http_policy = Reachability("http", src="r0", dst="r2", match=http_box)
+        model, checker, updater = build()
+        checker.check_batch(updater.apply(chain_updates()))
+        checker.add_policy(any_policy)
+        checker.add_policy(http_policy)
+        deny = FilterRule("r1", "eth0", "in", 10, "deny", http_box)
+        permit = FilterRule("r1", "eth0", "in", 20, "permit", HeaderBox.everything())
+        report = checker.check_batch(
+            updater.apply([RuleUpdate(1, deny), RuleUpdate(1, permit)])
+        )
+        violated = {s.policy.name for s in report.newly_violated}
+        assert violated == {"all", "http"}
+        # Non-HTTP portion of DST still delivered: a policy scoped to SSH
+        # traffic would still hold.
+        ssh_box = HeaderBox.build(
+            dst_ip=DST.as_interval(), proto=(6, 6), dst_port=(22, 22)
+        )
+        checker.add_policy(Reachability("ssh", src="r0", dst="r2", match=ssh_box))
+        assert checker.status("ssh").holds
+
+
+class TestReports:
+    def test_summary_format(self):
+        model, checker, updater = build()
+        report = checker.check_batch(updater.apply(chain_updates()))
+        text = report.summary()
+        assert "pairs affected" in text
+        assert "newly violated" in text
+
+    def test_statuses_listing(self):
+        model, checker, _ = build(
+            policies=[LoopFree("lf"), BlackholeFree("bf")]
+        )
+        names = [s.policy.name for s in checker.statuses()]
+        assert names == ["bf", "lf"]

@@ -1,0 +1,133 @@
+"""Checker edge cases: policy lifecycle vs EC splits/merges, vacuous
+policies, and status stability across no-op batches."""
+
+import pytest
+
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topologies import line
+from repro.policy.checker import IncrementalChecker
+from repro.policy.spec import Reachability, isolation
+from repro.routing.types import ACCEPT
+
+WIDE = Prefix.parse("172.16.0.0/16")
+NARROW = Prefix.parse("172.16.2.0/24")
+
+
+def build():
+    model = NetworkModel(line(3).topology)
+    updater = BatchUpdater(model)
+    checker = IncrementalChecker(model, ["r0", "r1", "r2"])
+    return model, updater, checker
+
+
+def chain(prefix):
+    return [
+        RuleUpdate(1, ForwardingRule("r0", prefix, "eth1")),
+        RuleUpdate(1, ForwardingRule("r1", prefix, "eth1")),
+        RuleUpdate(1, ForwardingRule("r2", prefix, ACCEPT)),
+    ]
+
+
+class TestPolicyBoxSplitting:
+    def test_policy_added_after_rules_splits_ecs(self):
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        before = model.ecs.num_ecs()
+        status = checker.add_policy(
+            Reachability("narrow", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        # The narrow policy carves its EC out of the wide one and inherits
+        # the parent's (delivered) analysis immediately.
+        assert model.ecs.num_ecs() == before + 1
+        assert status.holds
+
+    def test_two_policies_sharing_an_ec(self):
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        checker.add_policy(
+            Reachability("a", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        checker.add_policy(
+            isolation("b", "r2", "r0", HeaderBox.from_dst_prefix(NARROW))
+        )
+        assert checker.status("a").holds
+        assert checker.status("b").holds  # nothing flows r2 -> r0
+
+    def test_policy_removal_merges_ec_back(self):
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        checker.add_policy(
+            Reachability("narrow", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        split_count = model.ecs.num_ecs()
+        checker.remove_policy("narrow")
+        assert model.ecs.num_ecs() == split_count - 1
+        # The pair map survives the merge consistently.
+        fresh = IncrementalChecker(model, checker.endpoints)
+        assert checker.delivered_pair_map() == fresh.delivered_pair_map()
+
+    def test_policy_flip_detected_after_its_ec_split(self):
+        """A policy whose match splits an EC must still see later changes
+        to the child EC."""
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        checker.add_policy(
+            Reachability("narrow", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        # Install a more specific blackhole for the narrow prefix at r1.
+        batch = updater.apply(
+            [RuleUpdate(1, ForwardingRule("r1", NARROW, "host0"))]
+        )
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_violated] == ["narrow"]
+
+
+class TestVacuousAndStable:
+    def test_policy_on_unknown_nodes_is_vacuous(self):
+        model, updater, checker = build()
+        status = checker.add_policy(
+            Reachability("ghost", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        assert not status.holds  # nothing delivered yet
+
+    def test_empty_batch_changes_nothing(self):
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        checker.add_policy(
+            Reachability("p", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        report = checker.check_batch(updater.apply([]))
+        assert not report.affected_ecs
+        assert not report.newly_violated and not report.newly_satisfied
+
+    def test_repeated_full_check_is_stable(self):
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        first = checker.delivered_pair_map()
+        checker.full_check()
+        checker.full_check()
+        assert checker.delivered_pair_map() == first
+
+    def test_statuses_unchanged_by_unrelated_traffic(self):
+        model, updater, checker = build()
+        checker.check_batch(updater.apply(chain(WIDE)))
+        checker.add_policy(
+            Reachability("p", src="r0", dst="r2",
+                         match=HeaderBox.from_dst_prefix(NARROW))
+        )
+        other = Prefix.parse("192.168.0.0/24")
+        report = checker.check_batch(
+            updater.apply([RuleUpdate(1, ForwardingRule("r0", other, "eth1"))])
+        )
+        assert not report.newly_violated and not report.newly_satisfied
+        assert checker.status("p").holds

@@ -1,0 +1,100 @@
+"""Tests for policy explanation (evidence traces)."""
+
+import pytest
+
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topologies import line
+from repro.policy.checker import IncrementalChecker, PolicyError
+from repro.policy.spec import BlackholeFree, LoopFree, Reachability, isolation
+from repro.policy.trace import DELIVERED, DROPPED, LOOPED
+from repro.routing.types import ACCEPT
+
+DST = Prefix.parse("172.16.2.0/24")
+DST_BOX = HeaderBox.from_dst_prefix(DST)
+
+
+def build(rules):
+    model = NetworkModel(line(3).topology)
+    updater = BatchUpdater(model)
+    updater.apply([RuleUpdate(1, r) for r in rules])
+    checker = IncrementalChecker(model, ["r0", "r1", "r2"])
+    return model, updater, checker
+
+
+CHAIN = [
+    ForwardingRule("r0", DST, "eth1"),
+    ForwardingRule("r1", DST, "eth1"),
+    ForwardingRule("r2", DST, ACCEPT),
+]
+
+
+class TestExplainReachability:
+    def test_holding_policy_has_delivered_evidence(self):
+        _, _, checker = build(CHAIN)
+        checker.add_policy(Reachability("p", src="r0", dst="r2", match=DST_BOX))
+        traces = checker.explain("p")
+        assert traces
+        assert all(t.disposition == DELIVERED for t in traces)
+        assert traces[0].path == ["r0", "r1", "r2"]
+
+    def test_violated_policy_shows_where_packets_die(self):
+        _, _, checker = build(CHAIN[:1] + CHAIN[2:])  # r1 has no route
+        checker.add_policy(Reachability("p", src="r0", dst="r2", match=DST_BOX))
+        assert not checker.status("p").holds
+        traces = checker.explain("p")
+        assert any(t.disposition == DROPPED and t.path == ["r0", "r1"]
+                   for t in traces)
+
+    def test_isolation_violation_shows_the_leak(self):
+        _, _, checker = build(CHAIN)
+        checker.add_policy(isolation("iso", "r0", "r2", DST_BOX))
+        traces = checker.explain("iso")
+        assert any(t.disposition == DELIVERED for t in traces)
+
+    def test_sample_stays_inside_policy_match(self):
+        """Evidence headers come from the policy's match box, not from the
+        whole EC footprint."""
+        _, _, checker = build(CHAIN)
+        http = HeaderBox.build(
+            dst_ip=DST.as_interval(), proto=(6, 6), dst_port=(80, 80)
+        )
+        checker.add_policy(Reachability("http", src="r0", dst="r2", match=http))
+        for trace in checker.explain("http"):
+            assert http.contains(trace.header)
+
+    def test_unknown_policy_rejected(self):
+        _, _, checker = build(CHAIN)
+        with pytest.raises(PolicyError):
+            checker.explain("ghost")
+
+
+class TestExplainInvariants:
+    def test_loop_evidence(self):
+        _, _, checker = build(
+            [
+                ForwardingRule("r0", DST, "eth1"),
+                ForwardingRule("r1", DST, "eth0"),
+            ]
+        )
+        checker.add_policy(LoopFree("lf"))
+        assert not checker.status("lf").holds
+        traces = checker.explain("lf")
+        assert any(t.disposition == LOOPED for t in traces)
+
+    def test_blackhole_evidence(self):
+        _, _, checker = build([ForwardingRule("r0", DST, "eth1")])
+        checker.add_policy(BlackholeFree("bf"))
+        assert not checker.status("bf").holds
+        traces = checker.explain("bf")
+        assert any(
+            t.disposition == DROPPED and t.path[-1] == "r1" for t in traces
+        )
+
+    def test_clean_network_has_no_invariant_evidence(self):
+        _, _, checker = build(CHAIN)
+        checker.add_policy(LoopFree("lf"))
+        assert checker.explain("lf") == []

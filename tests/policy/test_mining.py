@@ -1,0 +1,114 @@
+"""Tests for specification mining."""
+
+import pytest
+
+from repro.config.changes import ShutdownInterface
+from repro.net.topologies import fat_tree, line, ring
+from repro.policy.mining import SpecificationMiner, single_link_failures
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+class TestConditionSpace:
+    def test_one_condition_per_link(self):
+        labeled = ring(4)
+        conditions = single_link_failures(labeled)
+        assert len(conditions) == labeled.topology.num_links()
+        assert all(isinstance(c, ShutdownInterface) for c in conditions)
+
+
+class TestRingMining:
+    """A ring survives any single link failure: everything stays
+    reachable, but the width drops from 2 to 1."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        labeled = ring(4)
+        miner = SpecificationMiner(labeled, ospf_snapshot(labeled))
+        return miner.mine()
+
+    def test_all_pairs_fault_tolerant(self, spec):
+        assert len(spec.always_reachable) == 4 * 3
+        assert not spec.fragile
+
+    def test_width_under_failures_is_one(self, spec):
+        assert set(spec.min_width.values()) == {1}
+
+    def test_conditions_counted(self, spec):
+        assert spec.conditions == 4
+
+    def test_summary(self, spec):
+        assert "always-reachable" in spec.summary()
+
+
+class TestLineMining:
+    """A line is fragile: any interior link failure splits it."""
+
+    def test_everything_fragile_except_nothing(self):
+        labeled = line(3)
+        miner = SpecificationMiner(labeled, ospf_snapshot(labeled))
+        spec = miner.mine()
+        assert not spec.always_reachable
+        assert len(spec.fragile) == 3 * 2
+        assert spec.min_width[("r0", "r2")] == 0
+
+    def test_subset_of_conditions(self):
+        labeled = line(3)
+        miner = SpecificationMiner(labeled, ospf_snapshot(labeled))
+        # Only fail the r0-r1 link: r1<->r2 remains fault tolerant.
+        conditions = [ShutdownInterface("r0", "eth1")]
+        spec = miner.mine(conditions)
+        assert ("r1", "r2") in spec.always_reachable
+        assert ("r0", "r2") in spec.fragile
+
+    def test_without_widths(self):
+        labeled = line(3)
+        miner = SpecificationMiner(labeled, ospf_snapshot(labeled))
+        spec = miner.mine(with_widths=False)
+        assert spec.min_width == {}
+
+
+class TestFatTreeMining:
+    def test_fault_tolerance_of_the_fabric(self):
+        labeled = fat_tree(4)
+        miner = SpecificationMiner(
+            labeled, bgp_snapshot(labeled), endpoints=labeled.edge_nodes()
+        )
+        # A manageable condition subset: the first 8 links.
+        spec = miner.mine(single_link_failures(labeled)[:8], with_widths=False)
+        edges = labeled.edge_nodes()
+        assert len(spec.always_reachable) == len(edges) * (len(edges) - 1)
+        assert not spec.fragile
+
+    def test_matches_from_scratch_mining(self):
+        """The warm miner's verdicts equal naive per-condition analysis."""
+        from repro.config.changes import apply_changes
+        from repro.dataplane.batch import BatchUpdater
+        from repro.dataplane.model import NetworkModel
+        from repro.dataplane.rule import updates_from_fib
+        from repro.policy.checker import IncrementalChecker
+        from repro.routing.program import ControlPlane
+
+        labeled = ring(5)
+        snapshot = ospf_snapshot(labeled)
+        conditions = single_link_failures(labeled)[:4]
+        miner = SpecificationMiner(labeled, snapshot)
+        spec = miner.mine(conditions, with_widths=False)
+
+        def pairs_for(snap):
+            control_plane = ControlPlane()
+            fib = control_plane.update_to(snap)
+            model = NetworkModel(labeled.topology)
+            updater = BatchUpdater(model)
+            updater.apply(updates_from_fib(fib.inserted, fib.deleted))
+            checker = IncrementalChecker(model, miner.endpoints)
+            return frozenset(
+                pair
+                for pair, ecs in checker.delivered_pair_map().items()
+                if ecs
+            )
+
+        always = pairs_for(snapshot)
+        for condition in conditions:
+            failed, _ = apply_changes(snapshot, [condition])
+            always &= pairs_for(failed)
+        assert spec.always_reachable == always

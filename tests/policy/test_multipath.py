@@ -1,0 +1,117 @@
+"""Tests for the Multipath (load-balance / fault-width) policy."""
+
+import pytest
+
+from repro.config.changes import EnableInterface, ShutdownInterface
+from repro.core.realconfig import RealConfig
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import ForwardingRule, RuleUpdate
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.net.topologies import fat_tree, ring
+from repro.policy.checker import IncrementalChecker, _node_disjoint_paths
+from repro.policy.spec import Multipath
+from repro.routing.types import ACCEPT
+from repro.workloads import bgp_snapshot
+
+DST = Prefix.parse("172.16.2.0/24")
+DST_BOX = HeaderBox.from_dst_prefix(DST)
+
+
+class TestDisjointPaths:
+    def test_two_disjoint_on_ring(self):
+        edges = {"r0": ("r1", "r3"), "r1": ("r2",), "r3": ("r2",)}
+        assert _node_disjoint_paths(edges, "r0", "r2") == 2
+
+    def test_shared_transit_counts_once(self):
+        edges = {"a": ("m",), "b": ("m",), "m": ("d",)}
+        assert _node_disjoint_paths(edges, "a", "d") == 1
+
+    def test_unreachable_is_zero(self):
+        assert _node_disjoint_paths({"a": ("b",)}, "a", "z") == 0
+
+    def test_direct_edge(self):
+        assert _node_disjoint_paths({"a": ("b",)}, "a", "b") == 1
+
+    def test_diamond_with_bottleneck(self):
+        # a -> {x, y} -> m -> d: two branches but one bottleneck m.
+        edges = {"a": ("x", "y"), "x": ("m",), "y": ("m",), "m": ("d",)}
+        assert _node_disjoint_paths(edges, "a", "d") == 1
+
+
+class TestPolicyOnModel:
+    def build(self):
+        model = NetworkModel(ring(4).topology)
+        updater = BatchUpdater(model)
+        updater.apply(
+            [
+                RuleUpdate(1, ForwardingRule("r0", DST, "eth0")),
+                RuleUpdate(1, ForwardingRule("r0", DST, "eth1")),
+                RuleUpdate(1, ForwardingRule("r1", DST, "eth1")),
+                RuleUpdate(1, ForwardingRule("r3", DST, "eth0")),
+                RuleUpdate(1, ForwardingRule("r2", DST, ACCEPT)),
+            ]
+        )
+        checker = IncrementalChecker(model, ["r0", "r1", "r2", "r3"])
+        return model, updater, checker
+
+    def test_holds_with_two_branches(self):
+        _, _, checker = self.build()
+        status = checker.add_policy(
+            Multipath("lb", src="r0", dst="r2", min_paths=2, match=DST_BOX)
+        )
+        assert status.holds
+
+    def test_violated_when_branch_removed(self):
+        model, updater, checker = self.build()
+        checker.add_policy(
+            Multipath("lb", src="r0", dst="r2", min_paths=2, match=DST_BOX)
+        )
+        batch = updater.apply(
+            [RuleUpdate(-1, ForwardingRule("r0", DST, "eth0"))]
+        )
+        report = checker.check_batch(batch)
+        assert [s.policy.name for s in report.newly_violated] == ["lb"]
+        assert "EC" in report.newly_violated[0].detail
+
+    def test_undelivered_counts_as_zero(self):
+        model, updater, checker = self.build()
+        status = checker.add_policy(
+            Multipath("lb", src="r2", dst="r0", min_paths=1, match=DST_BOX)
+        )
+        assert not status.holds
+
+    def test_min_one_equals_reachability_width(self):
+        _, _, checker = self.build()
+        status = checker.add_policy(
+            Multipath("lb1", src="r1", dst="r2", min_paths=1, match=DST_BOX)
+        )
+        assert status.holds
+
+
+class TestEndToEnd:
+    def test_fattree_uplink_redundancy(self):
+        labeled = fat_tree(4)
+        snapshot = bgp_snapshot(labeled)
+        dst_prefix = labeled.host_prefixes["edge2_0"][0]
+        verifier = RealConfig(
+            snapshot,
+            endpoints=labeled.edge_nodes(),
+            policies=[
+                Multipath(
+                    "dual-homed",
+                    src="edge0_0",
+                    dst="edge2_0",
+                    min_paths=2,
+                    match=HeaderBox.from_dst_prefix(dst_prefix),
+                )
+            ],
+        )
+        assert verifier.checker.status("dual-homed").holds
+        # Kill one of edge0_0's two uplinks: width drops to 1.
+        delta = verifier.apply_change(ShutdownInterface("edge0_0", "up0"))
+        assert [s.policy.name for s in delta.newly_violated] == ["dual-homed"]
+        # Restore: satisfied again.
+        delta = verifier.apply_change(EnableInterface("edge0_0", "up0"))
+        assert [s.policy.name for s in delta.newly_satisfied] == ["dual-homed"]

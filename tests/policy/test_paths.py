@@ -1,0 +1,118 @@
+"""Tests for per-EC forwarding graph analysis."""
+
+import pytest
+
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import ForwardingRule
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import header
+from repro.net.topologies import line, ring
+from repro.policy.paths import analyze_ec
+from repro.routing.types import ACCEPT
+
+DST = Prefix.parse("172.16.2.0/24")
+
+
+def line_model(hops=("eth1", "eth1"), accept_at="r2"):
+    """r0 -> r1 -> r2 with the EC accepted at r2 (by default)."""
+    model = NetworkModel(line(3).topology)
+    model.insert_forwarding(ForwardingRule("r0", DST, hops[0]))
+    model.insert_forwarding(ForwardingRule("r1", DST, hops[1]))
+    if accept_at:
+        model.insert_forwarding(ForwardingRule(accept_at, DST, ACCEPT))
+    return model
+
+
+def ec_of(model):
+    return model.ecs.classify(header(DST.first() + 1))
+
+
+class TestDeliveries:
+    def test_chain_delivery(self):
+        model = line_model()
+        analysis = analyze_ec(model, ec_of(model))
+        assert analysis.delivers("r0", "r2")
+        assert analysis.delivers("r1", "r2")
+        assert not analysis.delivers("r2", "r0")
+        assert analysis.accepts == {"r2"}
+
+    def test_delivered_pairs_exclude_self(self):
+        model = line_model()
+        analysis = analyze_ec(model, ec_of(model))
+        assert ("r2", "r2") not in analysis.delivered_pairs()
+        assert ("r0", "r2") in analysis.delivered_pairs()
+
+    def test_no_rules_no_deliveries(self):
+        model = NetworkModel(line(3).topology)
+        analysis = analyze_ec(model, 0)
+        assert not analysis.delivered_pairs()
+        assert not analysis.has_loop()
+        assert not analysis.blackholes
+
+    def test_multiple_accepts(self):
+        model = line_model()
+        model.insert_forwarding(ForwardingRule("r0", DST, ACCEPT))
+        analysis = analyze_ec(model, ec_of(model))
+        # r0 accepts locally: LPM equal length -> accept wins at r0.
+        assert "r0" in analysis.accepts
+
+
+class TestBlackholes:
+    def test_drop_after_forward_is_blackhole(self):
+        model = line_model(accept_at=None)  # r2 has no rule: drops
+        analysis = analyze_ec(model, ec_of(model))
+        assert analysis.blackholes == {"r2"}
+        assert not analysis.delivered_pairs()
+
+    def test_drop_without_incoming_not_blackhole(self):
+        model = NetworkModel(line(3).topology)
+        model.insert_forwarding(ForwardingRule("r2", DST, ACCEPT))
+        analysis = analyze_ec(model, ec_of(model))
+        # r0/r1 drop but nobody forwards to them.
+        assert not analysis.blackholes
+
+
+class TestLoops:
+    def test_two_node_loop(self):
+        model = NetworkModel(line(3).topology)
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r1", DST, "eth0"))
+        analysis = analyze_ec(model, ec_of(model))
+        assert analysis.loop_nodes == {"r0", "r1"}
+
+    def test_ring_loop(self):
+        model = NetworkModel(ring(4).topology)
+        for i in range(4):
+            model.insert_forwarding(ForwardingRule(f"r{i}", DST, "eth1"))
+        analysis = analyze_ec(model, ec_of(model))
+        assert analysis.loop_nodes == {"r0", "r1", "r2", "r3"}
+
+    def test_no_loop_on_chain(self):
+        model = line_model()
+        assert not analyze_ec(model, ec_of(model)).has_loop()
+
+    def test_loop_plus_delivery_branch(self):
+        """ECMP where one branch loops and the other delivers."""
+        model = NetworkModel(ring(4).topology)
+        # r0 forwards both ways; eth1 way delivers at r1, eth0 way loops
+        # r3 <-> r0?  Build: r3 -> r0 (eth0 direction reversal).
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth0"))
+        model.insert_forwarding(ForwardingRule("r1", DST, ACCEPT))
+        model.insert_forwarding(ForwardingRule("r3", DST, "eth1"))  # back to r0
+        analysis = analyze_ec(model, ec_of(model))
+        assert analysis.delivers("r0", "r1")
+        assert {"r0", "r3"} <= analysis.loop_nodes
+
+
+class TestEdges:
+    def test_edges_deduplicate_parallel_interfaces(self):
+        model = line_model()
+        analysis = analyze_ec(model, ec_of(model))
+        assert analysis.edges["r0"] == ("r1",)
+
+    def test_stub_interface_produces_no_edge(self):
+        model = NetworkModel(line(2).topology)
+        model.insert_forwarding(ForwardingRule("r0", DST, "host0"))
+        analysis = analyze_ec(model, ec_of(model))
+        assert "r0" not in analysis.edges

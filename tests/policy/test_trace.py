@@ -1,0 +1,150 @@
+"""Tests for packet tracing (the paper's §4 debugging functionality)."""
+
+import pytest
+
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import FilterRule, ForwardingRule
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.headerspace import HeaderBox, header
+from repro.net.topologies import line, ring
+from repro.policy.trace import (
+    DELIVERED,
+    DENIED_EGRESS,
+    DENIED_INGRESS,
+    DISCONNECTED,
+    DROPPED,
+    LOOPED,
+    format_traces,
+    trace_packet,
+)
+from repro.routing.types import ACCEPT
+
+DST = Prefix.parse("172.16.2.0/24")
+PACKET = header(parse_ipv4("172.16.2.9"), 0, 6, 80)
+
+
+def chain_model():
+    model = NetworkModel(line(3).topology)
+    model.insert_forwarding(ForwardingRule("r0", DST, "eth1"))
+    model.insert_forwarding(ForwardingRule("r1", DST, "eth1"))
+    model.insert_forwarding(ForwardingRule("r2", DST, ACCEPT))
+    return model
+
+
+class TestBasicTraces:
+    def test_delivery(self):
+        traces = trace_packet(chain_model(), PACKET, "r0")
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace.delivered()
+        assert trace.path == ["r0", "r1", "r2"]
+        assert trace.hops[0].out_interface == "eth1"
+        assert trace.hops[-1].note == "accept"
+
+    def test_drop_without_route(self):
+        model = NetworkModel(line(3).topology)
+        traces = trace_packet(model, PACKET, "r0")
+        assert traces[0].disposition == DROPPED
+        assert traces[0].path == ["r0"]
+
+    def test_blackhole_mid_path(self):
+        model = chain_model()
+        model.delete_forwarding(ForwardingRule("r1", DST, "eth1"))
+        traces = trace_packet(model, PACKET, "r0")
+        assert traces[0].disposition == DROPPED
+        assert traces[0].path == ["r0", "r1"]
+
+    def test_trace_from_destination(self):
+        traces = trace_packet(chain_model(), PACKET, "r2")
+        assert traces[0].delivered()
+        assert traces[0].path == ["r2"]
+
+    def test_disconnected_interface(self):
+        model = NetworkModel(line(2).topology)
+        model.insert_forwarding(ForwardingRule("r0", DST, "host0"))
+        traces = trace_packet(model, PACKET, "r0")
+        assert traces[0].disposition == DISCONNECTED
+
+
+class TestAclTraces:
+    def test_egress_denied(self):
+        model = chain_model()
+        model.insert_filter(
+            FilterRule("r0", "eth1", "out", 10, "deny", HeaderBox.everything())
+        )
+        traces = trace_packet(model, PACKET, "r0")
+        assert traces[0].disposition == DENIED_EGRESS
+        assert traces[0].path == ["r0"]
+
+    def test_ingress_denied(self):
+        model = chain_model()
+        model.insert_filter(
+            FilterRule(
+                "r1", "eth0", "in", 10, "deny",
+                HeaderBox.build(proto=(6, 6), dst_port=(80, 80)),
+            )
+        )
+        model.insert_filter(
+            FilterRule("r1", "eth0", "in", 20, "permit", HeaderBox.everything())
+        )
+        traces = trace_packet(model, PACKET, "r0")
+        assert traces[0].disposition == DENIED_INGRESS
+        # A non-HTTP packet sails through.
+        ssh = header(parse_ipv4("172.16.2.9"), 0, 6, 22)
+        traces = trace_packet(model, ssh, "r0")
+        assert traces[0].delivered()
+
+
+class TestEcmpAndLoops:
+    def test_ecmp_produces_multiple_traces(self):
+        model = NetworkModel(ring(4).topology)
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth0"))
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r1", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r3", DST, "eth0"))
+        model.insert_forwarding(ForwardingRule("r2", DST, ACCEPT))
+        traces = trace_packet(model, PACKET, "r0")
+        assert len(traces) == 2
+        assert all(t.delivered() for t in traces)
+        assert {tuple(t.path) for t in traces} == {
+            ("r0", "r1", "r2"),
+            ("r0", "r3", "r2"),
+        }
+
+    def test_loop_detected(self):
+        model = NetworkModel(line(3).topology)
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r1", DST, "eth0"))
+        traces = trace_packet(model, PACKET, "r0")
+        assert traces[0].disposition == LOOPED
+        assert traces[0].path == ["r0", "r1", "r0"]
+
+    def test_partial_loop_with_delivery_branch(self):
+        model = NetworkModel(ring(4).topology)
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth0"))
+        model.insert_forwarding(ForwardingRule("r0", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r1", DST, "eth1"))
+        model.insert_forwarding(ForwardingRule("r2", DST, ACCEPT))
+        model.insert_forwarding(ForwardingRule("r3", DST, "eth1"))  # back to r0
+        traces = trace_packet(model, PACKET, "r0")
+        dispositions = sorted(t.disposition for t in traces)
+        assert dispositions == [DELIVERED, LOOPED]
+
+
+class TestEndToEnd:
+    def test_trace_through_realconfig_model(self):
+        from repro.core.realconfig import RealConfig
+        from repro.workloads import ospf_snapshot
+
+        labeled = line(3)
+        verifier = RealConfig(ospf_snapshot(labeled))
+        traces = trace_packet(verifier.model, PACKET, "r0")
+        assert traces[0].delivered()
+        assert traces[0].path == ["r0", "r1", "r2"]
+
+    def test_format(self):
+        traces = trace_packet(chain_model(), PACKET, "r0")
+        text = format_traces(traces)
+        assert "1 path(s)" in text
+        assert "delivered" in text
+        assert format_traces([]) == "(no traces)"

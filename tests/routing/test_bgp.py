@@ -1,0 +1,209 @@
+"""BGP semantics via the incremental control plane."""
+
+import pytest
+
+from repro.config.changes import (
+    AddBgpNetwork,
+    RemoveBgpNeighbor,
+    SetLocalPref,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.config.schema import RouteMap, RouteMapClause
+from repro.net.addr import Prefix
+from repro.net.topologies import line, ring
+from repro.routing.program import ControlPlane
+from repro.routing.types import ACCEPT
+from repro.workloads import bgp_snapshot
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+@pytest.fixture(scope="module")
+def ring5():
+    return ring(5)
+
+
+@pytest.fixture(scope="module")
+def ring5_cp(ring5):
+    cp = ControlPlane()
+    cp.update_to(bgp_snapshot(ring5))
+    return cp
+
+
+class TestPropagation:
+    def test_all_prefixes_everywhere(self, ring5, ring5_cp):
+        fib = fib_map(ring5_cp)
+        for node in ring5.topology.node_names():
+            for owner, prefixes in ring5.host_prefixes.items():
+                for prefix in prefixes:
+                    assert (node, str(prefix)) in fib
+
+    def test_shortest_as_path_preferred(self, ring5_cp):
+        fib = fib_map(ring5_cp)
+        # Ring of 5: r0's route to r1 (1 hop via eth1) not via the long way.
+        assert fib[("r0", "172.16.1.0/24")] == ["eth1"]
+        assert fib[("r0", "172.16.4.0/24")] == ["eth0"]
+
+    def test_odd_ring_has_no_ecmp_for_adjacent(self, ring5_cp):
+        fib = fib_map(ring5_cp)
+        # 5-ring: 2 hops one way vs 3 the other -> single path.
+        assert len(fib[("r0", "172.16.2.0/24")]) == 1
+
+    def test_even_ring_multipath(self):
+        labeled = ring(4)
+        cp = ControlPlane()
+        cp.update_to(bgp_snapshot(labeled))
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.2.0/24")] == ["eth0", "eth1"]
+
+    def test_own_prefix_accepted_locally(self, ring5_cp):
+        fib = fib_map(ring5_cp)
+        assert fib[("r0", "172.16.0.0/24")] == [ACCEPT]
+
+
+class TestLocalPref:
+    def test_lp_overrides_path_length(self, ring5):
+        snap = bgp_snapshot(ring5)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        # r0 prefers everything learned on eth0 (from r4).  r2's prefix
+        # flips to the long way; r1's prefix cannot — r4's own best route
+        # to it runs through r0, so loop prevention stops r4 from offering
+        # it back to r0.
+        snap2, _ = apply_changes(snap, [SetLocalPref("r0", "eth0", 150)])
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.2.0/24")] == ["eth0"]
+        assert fib[("r0", "172.16.1.0/24")] == ["eth1"]
+
+    def test_lp_scoped_to_prefix(self, ring5):
+        snap = bgp_snapshot(ring5)
+        target = Prefix.parse("172.16.2.0/24")
+        cp = ControlPlane()
+        cp.update_to(snap)
+        snap2, _ = apply_changes(
+            snap, [SetLocalPref("r0", "eth0", 150, match_prefix=target)]
+        )
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        # Scoped: only 172.16.2.0/24 is boosted onto eth0.  The route
+        # map's implicit deny drops every other prefix learned on eth0,
+        # so r3's prefix (previously best via eth0) reroutes to eth1.
+        assert fib[("r0", "172.16.2.0/24")] == ["eth0"]
+        assert fib[("r0", "172.16.3.0/24")] == ["eth1"]
+        assert fib[("r0", "172.16.1.0/24")] == ["eth1"]
+
+    def test_lp_is_local_to_the_router(self, ring5):
+        snap = bgp_snapshot(ring5)
+        snap2, _ = apply_changes(snap, [SetLocalPref("r0", "eth0", 150)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        # r2 is unaffected by r0's import preference.
+        assert fib[("r2", "172.16.1.0/24")] == ["eth0"]
+
+
+class TestPolicyFiltering:
+    def test_inbound_deny_drops_routes(self, ring5):
+        snap = bgp_snapshot(ring5).clone()
+        device = snap.device("r0")
+        device.route_maps["DENY"] = RouteMap(
+            "DENY", clauses=[RouteMapClause(10, "deny")]
+        )
+        device.bgp.neighbors["eth0"].route_map_in = "DENY"
+        device.bgp.neighbors["eth1"].route_map_in = "DENY"
+        cp = ControlPlane()
+        cp.update_to(snap)
+        fib = fib_map(cp)
+        # r0 learns nothing; its own prefix still accepted.
+        assert fib[("r0", "172.16.0.0/24")] == [ACCEPT]
+        assert ("r0", "172.16.2.0/24") not in fib
+
+    def test_outbound_deny_stops_export(self, ring5):
+        snap = bgp_snapshot(ring5).clone()
+        device = snap.device("r1")
+        device.route_maps["NOEXPORT"] = RouteMap(
+            "NOEXPORT",
+            clauses=[
+                RouteMapClause(
+                    10, "deny", match_prefix=Prefix.parse("172.16.1.0/24")
+                ),
+                RouteMapClause(20, "permit"),
+            ],
+        )
+        for neighbor in device.bgp.neighbors.values():
+            neighbor.route_map_out = "NOEXPORT"
+        cp = ControlPlane()
+        cp.update_to(snap)
+        fib = fib_map(cp)
+        # r1's own prefix is never exported -> unreachable elsewhere.
+        assert ("r0", "172.16.1.0/24") not in fib
+        assert ("r2", "172.16.1.0/24") not in fib
+        # Transit routes still flow through r1.
+        assert ("r0", "172.16.2.0/24") in fib
+
+
+class TestSessionsAndOrigination:
+    def test_remote_as_mismatch_no_session(self, ring5):
+        snap = bgp_snapshot(ring5).clone()
+        snap.device("r0").bgp.neighbors["eth1"].remote_as = 64999  # wrong
+        cp = ControlPlane()
+        cp.update_to(snap)
+        fib = fib_map(cp)
+        # r0 <-> r1 session dead; r0 reaches r1's prefix the long way.
+        assert fib[("r0", "172.16.1.0/24")] == ["eth0"]
+
+    def test_neighbor_removal(self, ring5):
+        snap = bgp_snapshot(ring5)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        snap2, _ = apply_changes(snap, [RemoveBgpNeighbor("r0", "eth1")])
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.1.0/24")] == ["eth0"]
+
+    def test_network_statement_origination(self, ring5):
+        snap = bgp_snapshot(ring5)
+        extra = Prefix.parse("192.168.7.0/24")
+        snap2, _ = apply_changes(snap, [AddBgpNetwork("r3", extra)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        # Announced everywhere; not accepted at r3 (not connected there).
+        assert ("r0", str(extra)) in fib
+        assert ("r3", str(extra)) not in fib
+
+    def test_loop_prevention(self):
+        """In a triangle, no route's AS path may revisit an AS: routes are
+        stable and minimal (this would diverge without loop prevention)."""
+        labeled = ring(3)
+        cp = ControlPlane()
+        cp.update_to(bgp_snapshot(labeled))
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.1.0/24")] == ["eth1"]
+        assert fib[("r0", "172.16.2.0/24")] == ["eth0"]
+
+    def test_link_failure_reroutes(self, ring5):
+        snap = bgp_snapshot(ring5)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        snap2, _ = apply_changes(snap, [ShutdownInterface("r0", "eth1")])
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.1.0/24")] == ["eth0"]
+
+    def test_line_endpoints(self):
+        labeled = line(4)
+        cp = ControlPlane()
+        cp.update_to(bgp_snapshot(labeled))
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.3.0/24")] == ["eth1"]
+        assert fib[("r3", "172.16.0.0/24")] == ["eth0"]

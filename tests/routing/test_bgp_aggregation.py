@@ -1,0 +1,154 @@
+"""BGP route aggregation (aggregate-address) across the stack."""
+
+import pytest
+
+from repro.baseline import simulate
+from repro.config.changes import (
+    AddBgpAggregate,
+    ChangeError,
+    RemoveBgpAggregate,
+    RemoveBgpNetwork,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.config.lang import parse_device, render_device
+from repro.net.addr import Prefix
+from repro.net.headerspace import header
+from repro.net.topologies import line, ring
+from repro.routing.program import ControlPlane
+from repro.workloads import bgp_snapshot
+
+#: The host prefixes 172.16.0.0/24 .. 172.16.3.0/24 of ring(4)/line(4) all
+#: fall inside this aggregate.
+AGG = Prefix.parse("172.16.0.0/16")
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+class TestDialect:
+    def test_round_trip(self):
+        text = (
+            "hostname x\ninterface e0\nrouter bgp 1\n"
+            " aggregate-address 172.16.0.0/16\n"
+        )
+        device = parse_device(text)
+        assert device.bgp.aggregates == [AGG]
+        assert parse_device(render_device(device)) == device
+
+
+class TestOrigination:
+    def test_aggregate_advertised_when_contributor_exists(self):
+        labeled = line(3)
+        snap = bgp_snapshot(labeled)
+        # r2 aggregates the whole 172.16/16 (it originates 172.16.2.0/24).
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r2", AGG)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", str(AGG))] == ["eth1"]
+        assert set(cp.fib()) == simulate(snap2).fib
+
+    def test_aggregate_withdrawn_with_last_contributor(self):
+        labeled = line(3)
+        snap = bgp_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r2", AGG)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r0", str(AGG)) in fib_map(cp)
+        # Remove r2's only in-range origination: contributors via peers
+        # (172.16.0/24, 172.16.1/24 learned from r1) still count, so fail
+        # the link too.
+        snap3, _ = apply_changes(
+            snap2,
+            [
+                RemoveBgpNetwork("r2", labeled.host_prefixes["r2"][0]),
+                ShutdownInterface("r2", "eth0"),
+            ],
+        )
+        cp.update_to(snap3)
+        assert ("r0", str(AGG)) not in fib_map(cp)
+        assert set(cp.fib()) == simulate(snap3).fib
+
+    def test_aggregate_itself_is_not_a_contributor(self):
+        """With no more-specific route at all, the aggregate never
+        self-supports."""
+        labeled = line(2)
+        snap = bgp_snapshot(labeled)
+        for name in ("r0", "r1"):
+            snap.device(name).bgp.networks.clear()
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r0", AGG)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r1", str(AGG)) not in fib_map(cp)
+        assert set(cp.fib()) == simulate(snap2).fib
+
+    def test_specifics_still_advertised(self):
+        labeled = line(3)
+        snap = bgp_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r2", AGG)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert ("r0", "172.16.2.0/24") in fib  # the more specific survives
+
+    def test_lpm_prefers_specific_over_aggregate(self):
+        """Traffic to a covered /24 follows the specific route; traffic to
+        an uncovered part of the aggregate follows the aggregate toward
+        the aggregating router."""
+        labeled = ring(4)
+        snap = bgp_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r2", AGG)])
+        from repro.core.realconfig import RealConfig
+        from repro.policy.trace import trace_packet
+
+        verifier = RealConfig(snap2, endpoints=["r0", "r1", "r2", "r3"])
+        covered = header(Prefix.parse("172.16.1.0/24").first() + 1)
+        traces = trace_packet(verifier.model, covered, "r0")
+        assert all(t.path[-1] == "r1" for t in traces)
+        uncovered = header(Prefix.parse("172.16.99.0/24").first() + 1)
+        traces = trace_packet(verifier.model, uncovered, "r0")
+        # Follows the aggregate to r2, which blackholes it (no specific).
+        assert all(t.path[-1] == "r2" and not t.delivered() for t in traces)
+
+
+class TestChanges:
+    def test_duplicate_rejected(self):
+        labeled = line(2)
+        snap = bgp_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r0", AGG)])
+        with pytest.raises(ChangeError):
+            apply_changes(snap2, [AddBgpAggregate("r0", AGG)])
+
+    def test_remove_missing_rejected(self):
+        labeled = line(2)
+        snap = bgp_snapshot(labeled)
+        with pytest.raises(ChangeError):
+            apply_changes(snap, [RemoveBgpAggregate("r0", AGG)])
+
+    def test_invert_round_trip(self):
+        labeled = line(2)
+        snap = bgp_snapshot(labeled)
+        change = AddBgpAggregate("r0", AGG)
+        inverse = change.invert(snap)
+        snap2, diff = apply_changes(snap, [change, inverse])
+        assert not snap2.device("r0").bgp.aggregates
+        assert diff.is_empty()
+
+    def test_incremental_equals_scratch(self):
+        labeled = ring(4)
+        snap = bgp_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        snap2, _ = apply_changes(snap, [AddBgpAggregate("r1", AGG)])
+        cp.update_to(snap2)
+        assert set(cp.fib()) == simulate(snap2).fib
+        snap3, _ = apply_changes(snap2, [RemoveBgpAggregate("r1", AGG)])
+        cp.update_to(snap3)
+        assert set(cp.fib()) == simulate(snap3).fib

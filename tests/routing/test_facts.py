@@ -1,0 +1,74 @@
+"""Tests for fact extraction and diffing."""
+
+from repro.config.changes import (
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.routing.facts import INPUT_RELATIONS, diff_facts, extract_facts
+
+
+class TestExtraction:
+    def test_all_relations_present(self, line3_ospf):
+        facts = extract_facts(line3_ospf)
+        assert set(facts) == set(INPUT_RELATIONS)
+
+    def test_links_bidirectional(self, line3_ospf):
+        facts = extract_facts(line3_ospf)
+        assert ("r0", "eth1", "r1", "eth0") in facts["link"]
+        assert ("r1", "eth0", "r0", "eth1") in facts["link"]
+
+    def test_up_excludes_shutdown(self, line3_ospf):
+        snap, _ = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        facts = extract_facts(snap)
+        assert ("r1", "eth1") not in facts["up"]
+        assert ("r1", "eth0") in facts["up"]
+
+    def test_ospf_iface_carries_cost(self, line3_ospf):
+        snap, _ = apply_changes(line3_ospf, [SetOspfCost("r0", "eth1", 42)])
+        facts = extract_facts(snap)
+        assert ("r0", "eth1", 42) in facts["ospf_iface"]
+
+    def test_bgp_policies_always_emitted(self, ring4_bgp):
+        facts = extract_facts(ring4_bgp)
+        neighbors = facts["bgp_neigh"]
+        in_policies = {(n, i) for n, i, _ in facts["bgp_policy_in"]}
+        assert {(n, i) for n, i, _ in neighbors} == in_policies
+
+    def test_default_policy_is_empty_tuple(self, ring4_bgp):
+        facts = extract_facts(ring4_bgp)
+        assert all(policy == () for _, _, policy in facts["bgp_policy_in"])
+
+    def test_lp_change_replaces_policy_fact(self, ring4_bgp):
+        snap, _ = apply_changes(ring4_bgp, [SetLocalPref("r0", "eth0", 150)])
+        old = extract_facts(ring4_bgp)
+        new = extract_facts(snap)
+        changes = diff_facts(old, new)
+        assert set(changes) == {"bgp_policy_in"}
+        inserted, deleted = changes["bgp_policy_in"]
+        assert len(inserted) == 1 and len(deleted) == 1
+
+    def test_ospf_snapshot_has_no_bgp_facts(self, line3_ospf):
+        facts = extract_facts(line3_ospf)
+        assert not facts["bgp_node"]
+        assert not facts["bgp_neigh"]
+
+
+class TestDiff:
+    def test_identity_diff_empty(self, line3_ospf):
+        facts = extract_facts(line3_ospf)
+        assert diff_facts(facts, facts) == {}
+
+    def test_shutdown_diff_is_one_up_fact(self, line3_ospf):
+        snap, _ = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        changes = diff_facts(extract_facts(line3_ospf), extract_facts(snap))
+        assert set(changes) == {"up"}
+        inserted, deleted = changes["up"]
+        assert not inserted
+        assert deleted == {("r1", "eth1")}
+
+    def test_diff_from_empty_is_full_load(self, line3_ospf):
+        changes = diff_facts({}, extract_facts(line3_ospf))
+        inserted, deleted = changes["up"]
+        assert not deleted and inserted

@@ -1,0 +1,159 @@
+"""OSPF semantics via the incremental control plane."""
+
+import pytest
+
+from repro.config.changes import (
+    SetOspfCost,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.net.addr import Prefix
+from repro.net.topologies import grid, line, ring
+from repro.routing.program import ControlPlane
+from repro.routing.types import ACCEPT
+from repro.workloads import ospf_snapshot
+
+
+def fib_map(cp):
+    """(node, prefix) -> sorted out interfaces."""
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+@pytest.fixture(scope="module")
+def line5_cp():
+    labeled = line(5)
+    cp = ControlPlane()
+    cp.update_to(ospf_snapshot(labeled))
+    return labeled, cp
+
+
+class TestBasics:
+    def test_connected_prefixes_accept(self, line5_cp):
+        _, cp = line5_cp
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.0.0/24")] == [ACCEPT]
+        assert fib[("r4", "172.16.4.0/24")] == [ACCEPT]
+
+    def test_remote_host_prefix_routed_towards_owner(self, line5_cp):
+        _, cp = line5_cp
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.4.0/24")] == ["eth1"]
+        assert fib[("r4", "172.16.0.0/24")] == ["eth0"]
+        assert fib[("r2", "172.16.0.0/24")] == ["eth0"]
+        assert fib[("r2", "172.16.4.0/24")] == ["eth1"]
+
+    def test_link_subnets_routed(self, line5_cp):
+        _, cp = line5_cp
+        fib = fib_map(cp)
+        # r0 reaches the r3-r4 link subnet via eth1.
+        assert fib[("r0", "10.0.0.12/30")] == ["eth1"]
+
+    def test_every_node_reaches_every_host_prefix(self, line5_cp):
+        labeled, cp = line5_cp
+        fib = fib_map(cp)
+        for node in labeled.topology.node_names():
+            for owner, prefixes in labeled.host_prefixes.items():
+                for prefix in prefixes:
+                    assert (node, str(prefix)) in fib
+
+
+class TestEcmp:
+    def test_ring_even_gives_two_paths(self):
+        labeled = ring(4)
+        cp = ControlPlane()
+        cp.update_to(ospf_snapshot(labeled))
+        fib = fib_map(cp)
+        # r0 -> r2's prefix: two equal-cost paths around the ring.
+        assert fib[("r0", "172.16.2.0/24")] == ["eth0", "eth1"]
+        # r0 -> r1's prefix: single shortest path.
+        assert fib[("r0", "172.16.1.0/24")] == ["eth1"]
+
+    def test_grid_corner_to_corner_ecmp(self):
+        labeled = grid(2, 2)
+        cp = ControlPlane()
+        cp.update_to(ospf_snapshot(labeled))
+        fib = fib_map(cp)
+        prefix = str(labeled.host_prefixes["g1_1"][0])
+        assert len(fib[("g0_0", prefix)]) == 2
+
+
+class TestCostChanges:
+    def test_lc_change_moves_traffic(self):
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        # Penalize r0's eth1 (toward r1): r2's prefix now only via eth0.
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 100)])
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.2.0/24")] == ["eth0"]
+        assert fib[("r0", "172.16.1.0/24")] == ["eth0"]
+
+    def test_cost_is_directional(self):
+        """OSPF uses the sending interface's cost: penalizing r0->r1 must
+        not affect r1->r0 forwarding."""
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 100)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r1", "172.16.0.0/24")] == ["eth0"]
+
+    def test_restore_cost_restores_fib(self):
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        before = fib_map(cp)
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 100)])
+        cp.update_to(snap2)
+        cp.update_to(snap)
+        assert fib_map(cp) == before
+
+
+class TestLinkFailure:
+    def test_failure_reroutes(self):
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        snap2, _ = apply_changes(snap, [ShutdownInterface("r0", "eth1")])
+        delta = cp.update_to(snap2)
+        assert not delta.is_empty()
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.1.0/24")] == ["eth0"]
+
+    def test_partition_blackholes(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        snap2, _ = apply_changes(snap, [ShutdownInterface("r1", "eth1")])
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert ("r0", "172.16.2.0/24") not in fib
+        assert ("r2", "172.16.0.0/24") not in fib
+
+    def test_one_end_down_kills_both_directions(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [ShutdownInterface("r2", "eth0")])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert ("r2", "172.16.0.0/24") not in fib
+        assert ("r0", "172.16.2.0/24") not in fib
+
+    def test_single_node_has_only_connected(self):
+        labeled = line(1)
+        cp = ControlPlane()
+        cp.update_to(ospf_snapshot(labeled))
+        fib = fib_map(cp)
+        assert fib == {("r0", "172.16.0.0/24"): [ACCEPT]}

@@ -1,0 +1,121 @@
+"""OSPF semantic edge cases: asymmetric costs, partial enablement, stub
+interfaces, and adjacency requirements."""
+
+import pytest
+
+from repro.baseline import simulate
+from repro.config.changes import SetOspfCost, apply_changes
+from repro.net.topologies import line, ring
+from repro.routing.program import ControlPlane
+from repro.workloads import ospf_snapshot
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+class TestAsymmetricCosts:
+    def test_forward_and_reverse_paths_differ(self):
+        """Penalizing one direction of one link makes routing asymmetric:
+        r0 -> r2 avoids it while r2 -> r0 still uses it."""
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        # r0's eth1 sends toward r1; penalize only that direction.
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 10)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.1.0/24")] == ["eth0"]  # long way, cost 3
+        assert fib[("r1", "172.16.0.0/24")] == ["eth0"]  # direct, cost 1
+        assert set(cp.fib()) == simulate(snap2).fib
+
+    def test_ecmp_broken_by_one_direction(self):
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        assert fib_map(cp)[("r0", "172.16.2.0/24")] == ["eth0", "eth1"]
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 2)])
+        cp.update_to(snap2)
+        assert fib_map(cp)[("r0", "172.16.2.0/24")] == ["eth0"]
+
+    def test_equalizing_costs_restores_ecmp(self):
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 2)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        snap3, _ = apply_changes(snap2, [SetOspfCost("r0", "eth0", 2)])
+        cp.update_to(snap3)
+        assert fib_map(cp)[("r0", "172.16.2.0/24")] == ["eth0", "eth1"]
+        assert set(cp.fib()) == simulate(snap3).fib
+
+
+class TestPartialEnablement:
+    def test_ospf_disabled_interface_forms_no_adjacency(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        # Disable OSPF on r1's eth1 (toward r2): the r1-r2 adjacency dies
+        # even though the interface stays administratively up.
+        snap.device("r1").interfaces["eth1"].ospf_enabled = False
+        cp = ControlPlane()
+        cp.update_to(snap)
+        fib = fib_map(cp)
+        assert ("r0", "172.16.2.0/24") not in fib
+        # The link subnet is no longer advertised by r1 either.
+        assert set(cp.fib()) == simulate(snap).fib
+
+    def test_stub_interface_prefix_still_advertised(self):
+        """host0 has no neighbor; its prefix is injected as long as OSPF is
+        enabled on it."""
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        assert ("r0", "172.16.2.0/24") in fib_map(cp)
+
+    def test_disabling_stub_interface_withdraws_prefix(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap.device("r2").interfaces["host0"].ospf_enabled = False
+        cp = ControlPlane()
+        cp.update_to(snap)
+        fib = fib_map(cp)
+        assert ("r0", "172.16.2.0/24") not in fib
+        # Still connected locally at r2.
+        assert ("r2", "172.16.2.0/24") in fib
+        assert set(cp.fib()) == simulate(snap).fib
+
+    def test_cost_on_stub_interface_is_inert_for_transit(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        before = fib_map(cp)
+        snap2, _ = apply_changes(snap, [SetOspfCost("r2", "host0", 100)])
+        cp.update_to(snap2)
+        assert fib_map(cp) == before
+
+
+class TestMetricAccumulation:
+    def test_costs_accumulate_along_path(self):
+        """With per-hop costs 2+3, the alternative 4-hop unit-cost path
+        wins only when it is cheaper."""
+        labeled = ring(5)
+        snap = ospf_snapshot(labeled)
+        # r0 -> r1 direct (eth1) cost becomes 5; the way around is 4 hops
+        # of cost 1 = 4 < 5.
+        snap2, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 5)])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert fib_map(cp)[("r0", "172.16.1.0/24")] == ["eth0"]
+        # Cost 4 direct would tie the 4-hop path: ECMP both ways.
+        snap3, _ = apply_changes(snap, [SetOspfCost("r0", "eth1", 4)])
+        cp.update_to(snap3)
+        assert fib_map(cp)[("r0", "172.16.1.0/24")] == ["eth0", "eth1"]
+        assert set(cp.fib()) == simulate(snap3).fib

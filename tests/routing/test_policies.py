@@ -1,0 +1,112 @@
+"""Tests for route-map encoding and evaluation."""
+
+from repro.config.schema import RouteMap, RouteMapClause
+from repro.net.addr import Prefix, parse_ipv4
+from repro.routing.policies import (
+    DEFAULT_LOCAL_PREF,
+    PERMIT_ALL,
+    apply_policy,
+    encode_route_map,
+    permits,
+)
+
+
+def key(prefix_text):
+    p = Prefix.parse(prefix_text)
+    return p.network, p.length
+
+
+class TestEncoding:
+    def test_none_is_permit_all(self):
+        assert encode_route_map(None) == PERMIT_ALL
+
+    def test_clause_order_by_seq(self):
+        rm = RouteMap(
+            "RM",
+            clauses=[RouteMapClause(20, "deny"), RouteMapClause(10, "permit")],
+        )
+        encoded = encode_route_map(rm)
+        assert [c[0] for c in encoded] == [10, 20]
+
+    def test_encoding_is_hashable(self):
+        rm = RouteMap(
+            "RM",
+            clauses=[
+                RouteMapClause(
+                    10, "permit", match_prefix=Prefix.parse("10.0.0.0/8"),
+                    set_local_pref=150,
+                )
+            ],
+        )
+        hash(encode_route_map(rm))
+
+
+class TestApplication:
+    def test_permit_all_passes_unchanged(self):
+        net, plen = key("10.0.0.0/24")
+        assert apply_policy(PERMIT_ALL, net, plen, 77) == 77
+
+    def test_set_local_pref(self):
+        rm = RouteMap("RM", clauses=[RouteMapClause(10, "permit", set_local_pref=150)])
+        policy = encode_route_map(rm)
+        net, plen = key("10.0.0.0/24")
+        assert apply_policy(policy, net, plen, DEFAULT_LOCAL_PREF) == 150
+
+    def test_match_scoping(self):
+        rm = RouteMap(
+            "RM",
+            clauses=[
+                RouteMapClause(
+                    10, "permit",
+                    match_prefix=Prefix.parse("10.0.0.0/8"),
+                    set_local_pref=150,
+                ),
+                RouteMapClause(20, "permit"),
+            ],
+        )
+        policy = encode_route_map(rm)
+        inside = key("10.1.0.0/16")
+        outside = key("11.0.0.0/16")
+        assert apply_policy(policy, *inside, 100) == 150
+        assert apply_policy(policy, *outside, 100) == 100
+
+    def test_first_match_wins(self):
+        rm = RouteMap(
+            "RM",
+            clauses=[
+                RouteMapClause(10, "deny", match_prefix=Prefix.parse("10.0.0.0/8")),
+                RouteMapClause(20, "permit", set_local_pref=200),
+            ],
+        )
+        policy = encode_route_map(rm)
+        assert apply_policy(policy, *key("10.0.0.0/24"), 100) is None
+        assert apply_policy(policy, *key("11.0.0.0/24"), 100) == 200
+
+    def test_implicit_deny(self):
+        rm = RouteMap(
+            "RM",
+            clauses=[
+                RouteMapClause(10, "permit", match_prefix=Prefix.parse("10.0.0.0/8"))
+            ],
+        )
+        policy = encode_route_map(rm)
+        assert apply_policy(policy, *key("11.0.0.0/24"), 100) is None
+
+    def test_match_requires_containment(self):
+        """A clause matching 10.0.0.0/24 must not match the wider /8."""
+        rm = RouteMap(
+            "RM",
+            clauses=[
+                RouteMapClause(
+                    10, "permit", match_prefix=Prefix.parse("10.0.0.0/24")
+                )
+            ],
+        )
+        policy = encode_route_map(rm)
+        assert apply_policy(policy, *key("10.0.0.0/8"), 100) is None
+        assert apply_policy(policy, *key("10.0.0.0/25"), 100) == 100
+
+    def test_permits(self):
+        rm = RouteMap("RM", clauses=[RouteMapClause(10, "deny")])
+        assert not permits(encode_route_map(rm), *key("10.0.0.0/8"))
+        assert permits(PERMIT_ALL, *key("10.0.0.0/8"))

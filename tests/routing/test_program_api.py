@@ -1,0 +1,64 @@
+"""Public API surface of the ControlPlane wrapper."""
+
+import pytest
+
+from repro.config.changes import ShutdownInterface, apply_changes
+from repro.net.topologies import line
+from repro.routing.program import ControlPlane, FibDelta
+from repro.routing.types import FibEntry
+from repro.net.addr import Prefix
+from repro.workloads import ospf_snapshot
+
+
+class TestFibDelta:
+    def test_empty(self):
+        delta = FibDelta()
+        assert delta.is_empty()
+        assert delta.size() == 0
+        assert delta.summary() == "+0/-0 forwarding rules"
+
+    def test_counts(self):
+        entry = FibEntry("r0", Prefix.parse("10.0.0.0/8"), "eth0")
+        delta = FibDelta(inserted=[entry], deleted=[entry, entry])
+        assert not delta.is_empty()
+        assert delta.size() == 3
+        assert delta.summary() == "+1/-2 forwarding rules"
+
+
+class TestControlPlaneApi:
+    def test_load_alias(self, line3_ospf):
+        control_plane = ControlPlane()
+        delta = control_plane.load(line3_ospf)
+        assert delta.inserted and not delta.deleted
+
+    def test_fib_sorted_and_positive(self, line3_ospf):
+        control_plane = ControlPlane()
+        control_plane.load(line3_ospf)
+        fib = control_plane.fib()
+        assert fib == sorted(fib)
+
+    def test_take_fib_delta_drains(self, line3_ospf):
+        control_plane = ControlPlane()
+        control_plane.load(line3_ospf)
+        assert control_plane.take_fib_delta().is_empty()
+
+    def test_last_fact_changes_counts(self, line3_ospf):
+        control_plane = ControlPlane()
+        control_plane.load(line3_ospf)
+        initial_facts = control_plane.last_fact_changes
+        assert initial_facts > 0
+        changed, _ = apply_changes(line3_ospf, [ShutdownInterface("r1", "eth1")])
+        control_plane.update_to(changed)
+        assert control_plane.last_fact_changes == 1  # one 'up' fact removed
+
+    def test_state_size_positive_after_load(self, line3_ospf):
+        control_plane = ControlPlane()
+        control_plane.load(line3_ospf)
+        assert control_plane.state_size() > 0
+
+    def test_noop_update(self, line3_ospf):
+        control_plane = ControlPlane()
+        control_plane.load(line3_ospf)
+        delta = control_plane.update_to(line3_ospf.clone())
+        assert delta.is_empty()
+        assert control_plane.last_fact_changes == 0

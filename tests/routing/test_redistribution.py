@@ -1,0 +1,145 @@
+"""Route redistribution semantics."""
+
+import pytest
+
+from repro.config.changes import (
+    AddRedistribution,
+    AddStaticRoute,
+    apply_changes,
+)
+from repro.config.schema import (
+    BgpNeighbor,
+    BgpProcess,
+    OspfProcess,
+    Snapshot,
+)
+from repro.net.addr import Prefix
+from repro.net.topologies import line
+from repro.routing.program import ControlPlane
+from repro.workloads import bgp_snapshot, ospf_snapshot
+from repro.workloads.fattree_configs import asn_map, _base_device
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+class TestStaticIntoOspf:
+    def test_external_propagates(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        external = Prefix.parse("203.0.113.0/24")
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRoute("r2", external, "host0"),
+                AddRedistribution("r2", "ospf", "static"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", str(external))] == ["eth1"]
+        assert fib[("r1", str(external))] == ["eth1"]
+        # The redistributing router itself uses the static route.
+        assert fib[("r2", str(external))] == ["host0"]
+
+    def test_without_redistribution_not_propagated(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        external = Prefix.parse("203.0.113.0/24")
+        snap2, _ = apply_changes(snap, [AddStaticRoute("r2", external, "host0")])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r0", str(external)) not in fib_map(cp)
+
+
+class TestStaticIntoBgp:
+    def test_external_propagates(self):
+        labeled = line(3)
+        snap = bgp_snapshot(labeled)
+        external = Prefix.parse("203.0.113.0/24")
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRoute("r2", external, "host0"),
+                AddRedistribution("r2", "bgp", "static"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", str(external))] == ["eth1"]
+
+
+class TestConnectedIntoBgp:
+    def test_link_subnets_become_reachable(self):
+        labeled = line(3)
+        snap = bgp_snapshot(labeled)
+        cp = ControlPlane()
+        cp.update_to(snap)
+        # Without redistribution, r0 does not know the r1-r2 link subnet.
+        assert ("r0", "10.0.0.4/30") not in fib_map(cp)
+        snap2, _ = apply_changes(
+            snap, [AddRedistribution("r1", "bgp", "connected")]
+        )
+        cp.update_to(snap2)
+        assert fib_map(cp)[("r0", "10.0.0.4/30")] == ["eth1"]
+
+
+def mixed_protocol_snapshot():
+    """r0 -- r1 run OSPF; r1 -- r2 run BGP; r1 redistributes both ways."""
+    labeled = line(3)
+    snap = Snapshot(labeled.topology)
+    asns = asn_map(labeled)
+    for name in ("r0", "r1", "r2"):
+        device = _base_device(labeled, name)
+        snap.add_device(device)
+    # OSPF side: r0 fully, r1's eth0 + host0.
+    for name, ifaces in (("r0", ["eth1", "host0"]), ("r1", ["eth0", "host0"])):
+        device = snap.device(name)
+        device.ospf = OspfProcess()
+        for iface in ifaces:
+            device.interfaces[iface].ospf_enabled = True
+    # BGP side: r1's eth1 <-> r2's eth0.
+    r1, r2 = snap.device("r1"), snap.device("r2")
+    r1.bgp = BgpProcess(asn=asns["r1"])
+    r1.bgp.add_neighbor(BgpNeighbor("eth1", asns["r2"]))
+    r2.bgp = BgpProcess(asn=asns["r2"])
+    r2.bgp.add_neighbor(BgpNeighbor("eth0", asns["r1"]))
+    r2.bgp.networks.append(labeled.host_prefixes["r2"][0])
+    snap.validate()
+    return labeled, snap
+
+
+class TestCrossProtocol:
+    def test_bgp_into_ospf(self):
+        labeled, snap = mixed_protocol_snapshot()
+        snap2, _ = apply_changes(snap, [AddRedistribution("r1", "ospf", "bgp")])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        # r0 (OSPF-only) learns r2's prefix through r1's redistribution.
+        assert fib[("r0", "172.16.2.0/24")] == ["eth1"]
+
+    def test_ospf_into_bgp(self):
+        labeled, snap = mixed_protocol_snapshot()
+        snap2, _ = apply_changes(snap, [AddRedistribution("r1", "bgp", "ospf")])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        # r2 (BGP-only) learns r0's prefix through r1's redistribution.
+        assert fib[("r2", "172.16.0.0/24")] == ["eth0"]
+
+    def test_no_redistribution_no_leak(self):
+        labeled, snap = mixed_protocol_snapshot()
+        cp = ControlPlane()
+        cp.update_to(snap)
+        fib = fib_map(cp)
+        assert ("r0", "172.16.2.0/24") not in fib
+        assert ("r2", "172.16.0.0/24") not in fib

@@ -1,0 +1,123 @@
+"""Static route and connected-route semantics, and admin distance."""
+
+import pytest
+
+from repro.config.changes import (
+    AddStaticRoute,
+    RemoveStaticRoute,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.net.addr import Prefix
+from repro.net.topologies import line
+from repro.routing.program import ControlPlane
+from repro.routing.types import ACCEPT
+from repro.workloads import ospf_snapshot
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+class TestStatic:
+    def test_default_route(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap, [AddStaticRoute("r0", Prefix.parse("0.0.0.0/0"), "eth1")]
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "0.0.0.0/0")] == ["eth1"]
+
+    def test_static_beats_ospf(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        # r0 statically points r2's prefix at its stub host0 interface.
+        snap2, _ = apply_changes(
+            snap, [AddStaticRoute("r0", Prefix.parse("172.16.2.0/24"), "host0")]
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.2.0/24")] == ["host0"]
+
+    def test_high_distance_static_loses_to_ospf(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRoute(
+                    "r0", Prefix.parse("172.16.2.0/24"), "host0",
+                    admin_distance=200,
+                )
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.2.0/24")] == ["eth1"]
+
+    def test_static_on_down_interface_inactive(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRoute("r0", Prefix.parse("9.9.9.0/24"), "host0"),
+                ShutdownInterface("r0", "host0"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r0", "9.9.9.0/24") not in fib_map(cp)
+
+    def test_static_removal(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        prefix = Prefix.parse("9.9.9.0/24")
+        snap2, _ = apply_changes(snap, [AddStaticRoute("r0", prefix, "eth1")])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r0", "9.9.9.0/24") in fib_map(cp)
+        snap3, _ = apply_changes(snap2, [RemoveStaticRoute("r0", prefix, "eth1")])
+        cp.update_to(snap3)
+        assert ("r0", "9.9.9.0/24") not in fib_map(cp)
+
+
+class TestConnected:
+    def test_connected_beats_everything(self):
+        labeled = line(2)
+        snap = ospf_snapshot(labeled)
+        # Static route for r0's own connected prefix: connected (AD 0) wins.
+        snap2, _ = apply_changes(
+            snap, [AddStaticRoute("r0", Prefix.parse("172.16.0.0/24"), "eth1")]
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert fib[("r0", "172.16.0.0/24")] == [ACCEPT]
+
+    def test_shutdown_interface_removes_connected(self):
+        labeled = line(2)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(snap, [ShutdownInterface("r0", "host0")])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        fib = fib_map(cp)
+        assert ("r0", "172.16.0.0/24") not in fib
+
+    def test_both_link_ends_have_connected_subnet(self):
+        labeled = line(2)
+        cp = ControlPlane()
+        cp.update_to(ospf_snapshot(labeled))
+        fib = fib_map(cp)
+        assert fib[("r0", "10.0.0.0/30")] == [ACCEPT]
+        assert fib[("r1", "10.0.0.0/30")] == [ACCEPT]

@@ -1,0 +1,163 @@
+"""Static routes with IP next hops (recursive resolution via connected
+subnets), across the config dialect, engine, baseline, and changes."""
+
+import pytest
+
+from repro.baseline import simulate
+from repro.config.changes import (
+    AddRedistribution,
+    AddStaticRouteIp,
+    RemoveStaticRouteIp,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.config.lang import parse_device, render_device
+from repro.config.schema import ConfigError, StaticRoute
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topologies import line, ring
+from repro.routing.program import ControlPlane
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+EXTERNAL = Prefix.parse("203.0.113.0/24")
+
+
+def fib_map(cp):
+    out = {}
+    for entry in cp.fib():
+        out.setdefault((entry.node, str(entry.prefix)), []).append(
+            entry.out_interface
+        )
+    return {k: sorted(v) for k, v in out.items()}
+
+
+class TestSchema:
+    def test_exactly_one_next_hop_required(self):
+        with pytest.raises(ConfigError):
+            StaticRoute(EXTERNAL)
+        with pytest.raises(ConfigError):
+            StaticRoute(EXTERNAL, "eth0", next_hop_ip=1)
+
+    def test_lang_round_trip(self):
+        text = "hostname x\ninterface e0\nip route 203.0.113.0/24 10.0.0.2 5\n"
+        device = parse_device(text)
+        route = device.static_routes[0]
+        assert route.next_hop_ip == parse_ipv4("10.0.0.2")
+        assert route.admin_distance == 5
+        assert parse_device(render_device(device)) == device
+
+
+class TestResolution:
+    def test_resolves_to_covering_interface(self):
+        # r0's eth1 is 10.0.0.1/30; point at the peer 10.0.0.2.
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap, [AddStaticRouteIp("r0", EXTERNAL, parse_ipv4("10.0.0.2"))]
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert fib_map(cp)[("r0", str(EXTERNAL))] == ["eth1"]
+
+    def test_unresolvable_next_hop_inactive(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap, [AddStaticRouteIp("r0", EXTERNAL, parse_ipv4("8.8.8.8"))]
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r0", str(EXTERNAL)) not in fib_map(cp)
+
+    def test_shutdown_deactivates_route(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRouteIp("r0", EXTERNAL, parse_ipv4("10.0.0.2")),
+                ShutdownInterface("r0", "eth1"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert ("r0", str(EXTERNAL)) not in fib_map(cp)
+
+    def test_incremental_activation(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRouteIp("r0", EXTERNAL, parse_ipv4("10.0.0.2")),
+                ShutdownInterface("r0", "eth1"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        from repro.config.changes import EnableInterface
+
+        snap3, _ = apply_changes(snap2, [EnableInterface("r0", "eth1")])
+        cp.update_to(snap3)
+        assert fib_map(cp)[("r0", str(EXTERNAL))] == ["eth1"]
+
+    def test_removal(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        change = AddStaticRouteIp("r0", EXTERNAL, parse_ipv4("10.0.0.2"))
+        snap2, _ = apply_changes(snap, [change])
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        snap3, _ = apply_changes(snap2, [change.invert(snap2)])
+        cp.update_to(snap3)
+        assert ("r0", str(EXTERNAL)) not in fib_map(cp)
+
+    def test_remove_missing_rejected(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        with pytest.raises(ConfigError):
+            apply_changes(
+                snap, [RemoveStaticRouteIp("r0", EXTERNAL, parse_ipv4("1.1.1.1"))]
+            )
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("next_hop", ["10.0.0.2", "8.8.8.8"])
+    def test_engine_matches_baseline(self, next_hop):
+        labeled = ring(4)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap, [AddStaticRouteIp("r0", EXTERNAL, parse_ipv4(next_hop))]
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert set(cp.fib()) == simulate(snap2).fib
+
+    def test_redistribution_of_ip_static_into_ospf(self):
+        labeled = line(3)
+        snap = ospf_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRouteIp("r2", EXTERNAL, parse_ipv4("10.0.0.5")),
+                AddRedistribution("r2", "ospf", "static"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert fib_map(cp)[("r0", str(EXTERNAL))] == ["eth1"]
+        assert set(cp.fib()) == simulate(snap2).fib
+
+    def test_redistribution_of_ip_static_into_bgp(self):
+        labeled = line(3)
+        snap = bgp_snapshot(labeled)
+        snap2, _ = apply_changes(
+            snap,
+            [
+                AddStaticRouteIp("r2", EXTERNAL, parse_ipv4("10.0.0.5")),
+                AddRedistribution("r2", "bgp", "static"),
+            ],
+        )
+        cp = ControlPlane()
+        cp.update_to(snap2)
+        assert fib_map(cp)[("r0", str(EXTERNAL))] == ["eth1"]
+        assert set(cp.fib()) == simulate(snap2).fib

@@ -1,0 +1,167 @@
+"""Tests for workload generators: configs, change generators, sweeps."""
+
+import pytest
+
+from repro.config.changes import SetLocalPref, SetOspfCost, ShutdownInterface
+from repro.net.topologies import fat_tree, line
+from repro.workloads import (
+    acl_changes,
+    asn_map,
+    bgp_snapshot,
+    lc_changes,
+    link_failures,
+    linked_interfaces,
+    lp_changes,
+    ospf_snapshot,
+    paper_changes,
+    snapshot_for,
+)
+from repro.workloads.specmining import from_scratch_sweep, incremental_sweep
+
+
+class TestConfigSynthesis:
+    def test_ospf_every_interface_enabled(self, fattree4):
+        snapshot = ospf_snapshot(fattree4)
+        for device in snapshot.iter_devices():
+            assert device.ospf is not None
+            assert all(i.ospf_enabled for i in device.interfaces.values())
+
+    def test_ospf_custom_cost(self, fattree4):
+        snapshot = ospf_snapshot(fattree4, link_cost=7)
+        device = snapshot.device("core0")
+        assert all(i.ospf_cost == 7 for i in device.interfaces.values())
+
+    def test_bgp_one_as_per_node(self, fattree4):
+        snapshot = bgp_snapshot(fattree4)
+        asns = {d.bgp.asn for d in snapshot.iter_devices()}
+        assert len(asns) == fattree4.topology.num_nodes()
+
+    def test_bgp_peers_on_every_link(self, fattree4):
+        snapshot = bgp_snapshot(fattree4)
+        total_neighbors = sum(
+            len(d.bgp.neighbors) for d in snapshot.iter_devices()
+        )
+        assert total_neighbors == 2 * fattree4.topology.num_links()
+
+    def test_bgp_remote_as_matches_peer(self, fattree4):
+        snapshot = bgp_snapshot(fattree4)
+        asns = asn_map(fattree4)
+        topo = fattree4.topology
+        for device in snapshot.iter_devices():
+            for neighbor in device.bgp.neighbors.values():
+                peer = topo.neighbor_of(
+                    topo.node(device.hostname).interface(neighbor.interface).id
+                )
+                assert neighbor.remote_as == asns[peer.node]
+
+    def test_edge_nodes_originate_prefixes(self, fattree4):
+        snapshot = bgp_snapshot(fattree4)
+        for edge in fattree4.edge_nodes():
+            assert snapshot.device(edge).bgp.networks
+
+    def test_snapshot_for_dispatch(self, fattree4):
+        assert snapshot_for(fattree4, "ospf").device("core0").ospf is not None
+        assert snapshot_for(fattree4, "bgp").device("core0").bgp is not None
+        with pytest.raises(ValueError):
+            snapshot_for(fattree4, "rip")
+
+    def test_snapshots_validate(self, fattree4):
+        snapshot_for(fattree4, "ospf").validate()
+        snapshot_for(fattree4, "bgp").validate()
+
+
+class TestChangeGenerators:
+    def test_linked_interfaces_excludes_stubs(self, fattree4):
+        interfaces = linked_interfaces(fattree4)
+        assert all(i.name != "host0" for i in interfaces)
+        assert len(interfaces) == 2 * fattree4.topology.num_links()
+
+    def test_link_failures_deterministic(self, fattree4):
+        assert link_failures(fattree4, count=5, seed=1) == link_failures(
+            fattree4, count=5, seed=1
+        )
+
+    def test_link_failures_distinct_links(self, fattree4):
+        failures = link_failures(fattree4, count=10, seed=2)
+        assert len({(f.device, f.interface) for f in failures}) == 10
+
+    def test_lc_changes_value(self, fattree4):
+        changes = lc_changes(fattree4, count=3, seed=0)
+        assert all(isinstance(c, SetOspfCost) and c.cost == 100 for c in changes)
+
+    def test_lp_changes_value(self, fattree4):
+        changes = lp_changes(fattree4, count=3, seed=0)
+        assert all(
+            isinstance(c, SetLocalPref) and c.local_pref == 150 for c in changes
+        )
+
+    def test_paper_changes_kinds(self, fattree4):
+        ospf = paper_changes(fattree4, "ospf", count=2)
+        assert {kind for kind, _ in ospf} == {"LinkFailure", "LC"}
+        bgp = paper_changes(fattree4, "bgp", count=2)
+        assert {kind for kind, _ in bgp} == {"LinkFailure", "LP"}
+        with pytest.raises(ValueError):
+            paper_changes(fattree4, "rip", count=1)
+
+    def test_changes_apply_cleanly(self, fattree4):
+        from repro.config.changes import apply_changes
+
+        snapshot = ospf_snapshot(fattree4)
+        for kind, change in paper_changes(fattree4, "ospf", count=3):
+            apply_changes(snapshot, [change])
+
+    def test_acl_changes_apply_and_bind(self, fattree4):
+        from repro.config.changes import apply_changes
+
+        snapshot = ospf_snapshot(fattree4)
+        changes = acl_changes(fattree4, count=3, seed=5)
+        assert len(changes) == 3
+        for composite in changes:
+            snapshot, diff = apply_changes(snapshot, [composite])
+            assert not diff.is_empty()
+        bound = [
+            iface
+            for device in snapshot.iter_devices()
+            for iface in device.interfaces.values()
+            if iface.acl_in is not None
+        ]
+        assert len(bound) == 3
+
+    def test_acl_changes_verified_end_to_end(self, fattree4):
+        from repro.core.realconfig import RealConfig
+        from repro.policy.spec import LoopFree
+
+        snapshot = ospf_snapshot(fattree4)
+        verifier = RealConfig(
+            snapshot,
+            endpoints=fattree4.edge_nodes(),
+            policies=[LoopFree("loop-free")],
+        )
+        for composite in acl_changes(fattree4, count=2, seed=6):
+            delta = verifier.apply_change(composite)
+            # The deny ACL produces filter-rule updates, not engine work.
+            assert any(
+                not hasattr(u.rule, "prefix") for u in delta.rule_updates
+            )
+
+
+class TestSpecMiningSweep:
+    def test_sweeps_agree_on_fib_signatures(self):
+        labeled = line(4)
+        snapshot = ospf_snapshot(labeled)
+        incremental = incremental_sweep(labeled, snapshot, limit=3)
+        scratch = from_scratch_sweep(labeled, snapshot, limit=3)
+        assert incremental.conditions == scratch.conditions == 3
+        assert incremental.fib_signatures == scratch.fib_signatures
+
+    def test_sweep_covers_every_link(self):
+        labeled = line(4)
+        snapshot = ospf_snapshot(labeled)
+        result = incremental_sweep(labeled, snapshot)
+        assert result.conditions == labeled.topology.num_links()
+
+    def test_summary_format(self):
+        labeled = line(3)
+        result = incremental_sweep(labeled, ospf_snapshot(labeled), limit=1)
+        assert "incremental" in result.summary()
+        assert result.per_condition_seconds > 0
