@@ -12,10 +12,8 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import record_row
-from repro.config.changes import apply_changes
 from repro.core.realconfig import RealConfig
 from repro.net.headerspace import HeaderBox
 from repro.policy.spec import BlackholeFree, LoopFree, Reachability

@@ -1,0 +1,119 @@
+"""Incremental lint — full-snapshot lint vs diff-scoped re-linting.
+
+The lint layer mirrors the paper's incremental thesis at the static-analysis
+stage: a one-line change should cost work proportional to the *change*, not
+the *network*.  For each change type we report how many passes and
+pass-units (device x pass, or snapshot pass) a full lint runs versus the
+diff-scoped incremental run, alongside wall-clock timings.
+
+Shape to reproduce: incremental re-runs strictly fewer passes and units than
+the full lint for every single-change workload, and the speedup grows with
+network size (full lint is O(devices), incremental is O(touched devices)).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import NUM_CHANGES, SCALE_K, record_row, time_call
+from repro.config.changes import apply_changes
+from repro.lint import LintRunner, all_passes
+from repro.workloads import (
+    bgp_snapshot,
+    build_enterprise,
+    lc_changes,
+    link_failures,
+    lp_changes,
+    ospf_snapshot,
+)
+
+
+def _bench(table, label, snapshot, changes):
+    runner = LintRunner()
+    previous = runner.run(snapshot)
+    full_times, incr_times = [], []
+    full_units = previous.units_run
+    incr_passes, incr_units = [], []
+    for change in changes[:NUM_CHANGES]:
+        changed, diff = apply_changes(snapshot, [change])
+        full_times.append(time_call(lambda: runner.run(changed)))
+        result = {}
+        incr_times.append(
+            time_call(
+                lambda: result.setdefault(
+                    "r", runner.run_incremental(changed, diff, previous)
+                )
+            )
+        )
+        incremental = result["r"]
+        assert len(incremental.passes_run) < len(all_passes())
+        assert incremental.units_run < full_units
+        incr_passes.append(len(incremental.passes_run))
+        incr_units.append(incremental.units_run)
+    full_ms = statistics.mean(full_times) * 1000
+    incr_ms = statistics.mean(incr_times) * 1000
+    speedup = full_ms / incr_ms if incr_ms else float("inf")
+    record_row(
+        table,
+        f"{label:<14} | full: {len(all_passes())} passes/"
+        f"{full_units:>3} units/{full_ms:7.2f}ms | "
+        f"incr: {statistics.mean(incr_passes):.1f} passes/"
+        f"{statistics.mean(incr_units):4.1f} units/{incr_ms:7.2f}ms | "
+        f"{speedup:5.1f}x",
+    )
+
+
+def test_lint_incremental_fattree_ospf(fattree, benchmark):
+    snapshot = ospf_snapshot(fattree)
+    changes = lc_changes(fattree, count=NUM_CHANGES)
+    _bench(
+        f"lint: full vs incremental (fat-tree k={SCALE_K})",
+        "OSPF LC",
+        snapshot,
+        changes,
+    )
+    changed, diff = apply_changes(snapshot, [changes[0]])
+    previous = LintRunner().run(snapshot)
+    benchmark(lambda: LintRunner().run_incremental(changed, diff, previous))
+
+
+def test_lint_incremental_fattree_bgp(fattree, benchmark):
+    snapshot = bgp_snapshot(fattree)
+    changes = lp_changes(fattree, count=NUM_CHANGES)
+    _bench(
+        f"lint: full vs incremental (fat-tree k={SCALE_K})",
+        "BGP LP",
+        snapshot,
+        changes,
+    )
+    changed, diff = apply_changes(snapshot, [changes[0]])
+    previous = LintRunner().run(snapshot)
+    benchmark(lambda: LintRunner().run_incremental(changed, diff, previous))
+
+
+def test_lint_incremental_fattree_linkfailure(fattree, benchmark):
+    snapshot = ospf_snapshot(fattree)
+    changes = link_failures(fattree, count=NUM_CHANGES)
+    _bench(
+        f"lint: full vs incremental (fat-tree k={SCALE_K})",
+        "LinkFailure",
+        snapshot,
+        changes,
+    )
+    changed, diff = apply_changes(snapshot, [changes[0]])
+    previous = LintRunner().run(snapshot)
+    benchmark(lambda: LintRunner().run_incremental(changed, diff, previous))
+
+
+def test_lint_incremental_enterprise(benchmark):
+    network = build_enterprise()
+    changes = link_failures(network.labeled, count=NUM_CHANGES)
+    _bench(
+        "lint: full vs incremental (enterprise)",
+        "LinkFailure",
+        network.snapshot,
+        changes,
+    )
+    changed, diff = apply_changes(network.snapshot, [changes[0]])
+    previous = LintRunner().run(network.snapshot)
+    benchmark(lambda: LintRunner().run_incremental(changed, diff, previous))

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import SWEEP_LIMIT, record_row
 from repro.config.changes import apply_changes

@@ -32,7 +32,7 @@ from repro.dataplane.model import NetworkModel
 from repro.dataplane.rule import updates_from_fib
 from repro.policy.checker import IncrementalChecker
 from repro.routing.program import ControlPlane
-from repro.workloads import bgp_snapshot, lc_changes, link_failures, lp_changes
+from repro.workloads import bgp_snapshot, link_failures, lp_changes
 from repro.workloads import ospf_snapshot
 
 

@@ -22,7 +22,6 @@ Run:  python examples/upgrade_planning.py
 """
 
 from repro import (
-    CompositeChange,
     Reachability,
     RealConfig,
     isolation,

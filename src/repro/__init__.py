@@ -40,7 +40,8 @@ from repro.config import (
     parse_device,
     render_device,
 )
-from repro.core import RealConfig, VerificationDelta
+from repro.core import LintGateError, RealConfig, VerificationDelta
+from repro.lint import LintRunner, Severity, lint_snapshot
 from repro.net import Prefix, Topology, fat_tree, grid, line, random_connected, ring
 from repro.policy import (
     BlackholeFree,
@@ -64,8 +65,12 @@ __all__ = [
     "apply_changes",
     "parse_device",
     "render_device",
+    "LintGateError",
+    "LintRunner",
     "RealConfig",
+    "Severity",
     "VerificationDelta",
+    "lint_snapshot",
     "Prefix",
     "Topology",
     "fat_tree",

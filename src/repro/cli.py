@@ -11,13 +11,25 @@ Subcommands (also available as ``python -m repro``):
 - ``mine``      mine the fault-tolerance specification (which pairs stay
   reachable under every single link failure, and how many disjoint paths
   survive);
-- ``diff``      show the configuration-line diff between two snapshots.
+- ``diff``      show the configuration-line diff between two snapshots;
+- ``lint``      run semantic static analysis over a snapshot (full, or
+  scoped to the diff against a base snapshot), with text / JSON / SARIF
+  output.
+
+Exit-code contract (CI gates rely on it):
+
+- ``0`` — clean: empty diff, no lint finding at/above the failure
+  threshold, verification/trace/mine succeeded;
+- ``1`` — finding: non-empty diff, lint diagnostics at/above ``--fail-on``,
+  a newly violated policy, an undelivered packet, or a fragile pair;
+- ``2`` — usage or input error (bad arguments, unparseable snapshot).
 
 Example session::
 
     python -m repro generate --topology fat-tree:4 --protocol bgp --out base
     cp -r base changed && $EDITOR changed/configs/agg0_0.cfg
     python -m repro diff base changed
+    python -m repro lint changed --base base --format text
     python -m repro verify base changed
     python -m repro trace changed --source edge0_0 --dst 172.16.7.5
 """
@@ -30,7 +42,10 @@ from typing import List, Optional
 
 from repro.config.diff import diff_snapshots
 from repro.config.io import load_snapshot, save_snapshot
-from repro.core.realconfig import RealConfig
+from repro.config.schema import ConfigError
+from repro.core.realconfig import LintGateError, RealConfig
+from repro.lint import LintRunner, Severity, Suppression
+from repro.lint.output import FORMATTERS
 from repro.net.addr import parse_ipv4
 from repro.net.headerspace import HeaderBox, header
 from repro.net.topologies import fat_tree, grid, line, random_connected, ring
@@ -130,13 +145,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
     policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
     if args.all_pairs:
         policies.extend(_reachability_policies(base))
-    verifier = RealConfig(base, policies=policies)
+    verifier = RealConfig(base, policies=policies, lint_mode=args.lint)
     print(f"base snapshot verified: {verifier.initial.report.summary()}")
     broken_at_base = verifier.violated_policies()
     for status in broken_at_base:
         print(f"  already violated at base: {status}")
-    delta = verifier.verify_snapshot(changed)
+    try:
+        delta = verifier.verify_snapshot(changed)
+    except LintGateError as error:
+        print(f"REFUSED by lint gate: {error}", file=sys.stderr)
+        return 1
     print(delta.summary())
+    if delta.lint is not None:
+        for diag in delta.lint.diagnostics:
+            print(f"  lint: {diag}")
     for status in delta.newly_violated:
         print(f"  NEWLY VIOLATED: {status}")
     for status in delta.newly_satisfied:
@@ -202,6 +224,35 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.is_empty() else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        suppressions = [Suppression.parse(text) for text in args.suppress]
+    except ValueError as error:
+        raise CliError(str(error)) from error
+    # Load without referential validation: dangling references are exactly
+    # what the undefined-references pass reports as diagnostics.
+    snapshot = load_snapshot(args.snapshot, validate=False)
+    runner = LintRunner(suppressions=suppressions)
+    if args.base is not None:
+        base = load_snapshot(args.base, validate=False)
+        previous = runner.run(base)
+        diff = diff_snapshots(base, snapshot)
+        result = runner.run_incremental(snapshot, diff, previous)
+        print(
+            f"-- incremental: {len(result.passes_run)}/"
+            f"{len(runner.passes)} passes re-run over "
+            f"{diff.summary()}",
+            file=sys.stderr,
+        )
+    else:
+        result = runner.run(snapshot)
+    print(FORMATTERS[args.format](result, snapshot))
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    return 0 if result.ok(fail_on=threshold) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,12 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node", help="restrict to one device")
     p.set_defaults(func=cmd_show_fib)
 
-    p = sub.add_parser("verify", help="verify base -> changed incrementally")
+    p = sub.add_parser(
+        "verify",
+        help="verify base -> changed incrementally",
+        description="Verify the change incrementally. Exits 0 when no "
+        "policy became violated, 1 on a new violation or when the "
+        "--lint enforce gate refuses the change, 2 on input errors.",
+    )
     p.add_argument("base", help="base snapshot directory")
     p.add_argument("changed", help="changed snapshot directory")
     p.add_argument("--all-pairs", action="store_true",
                    help="also check all-pairs reachability between "
                         "prefix-originating devices")
+    p.add_argument("--lint", choices=["off", "warn", "enforce"], default="off",
+                   help="pre-flight static analysis gate: 'warn' annotates "
+                        "the report with diagnostics, 'enforce' refuses "
+                        "changes that introduce lint errors (default: off)")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("trace", help="trace a packet through the data plane")
@@ -247,10 +308,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip disjoint-path width computation")
     p.set_defaults(func=cmd_mine)
 
-    p = sub.add_parser("diff", help="configuration-line diff of two snapshots")
+    p = sub.add_parser(
+        "diff",
+        help="configuration-line diff of two snapshots",
+        description="Print the line-level diff. Exits 0 when the snapshots "
+        "are identical and 1 when the diff is non-empty, so the command "
+        "doubles as a CI gate ('fail the build when configs drifted').",
+    )
     p.add_argument("base")
     p.add_argument("changed")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "lint",
+        help="semantic static analysis of a snapshot",
+        description="Run the repro.lint passes over the snapshot. With "
+        "--base, lints incrementally: only passes whose stanza scope "
+        "intersects the diff re-run (the rest reuse the base result). "
+        "Exits 0 when clean, 1 when any diagnostic reaches --fail-on, "
+        "2 on input errors — usable directly as a CI gate.",
+    )
+    p.add_argument("snapshot", help="snapshot directory to lint")
+    p.add_argument("--base",
+                   help="base snapshot directory: lint incrementally, "
+                        "scoped to the diff base -> snapshot")
+    p.add_argument("--format", choices=sorted(FORMATTERS), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--fail-on", choices=["error", "warning", "info", "never"],
+                   default="error",
+                   help="lowest severity that causes exit code 1 "
+                        "(default: error)")
+    p.add_argument("--suppress", action="append", default=[],
+                   metavar="CODE[:device[:stanza]]",
+                   help="mute diagnostics matching the glob patterns "
+                        "(repeatable)")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 
@@ -260,6 +352,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -18,7 +18,7 @@ import json
 from pathlib import Path
 from typing import Dict, Union
 
-from repro.config.lang import parse_device, render_device
+from repro.config.lang import ParseError, parse_device, render_device
 from repro.config.schema import ConfigError, Snapshot
 from repro.net.addr import Prefix, format_ipv4, parse_ipv4
 from repro.net.topology import InterfaceId, Topology
@@ -91,8 +91,13 @@ def save_snapshot(snapshot: Snapshot, directory: PathLike) -> Path:
     return root
 
 
-def load_snapshot(directory: PathLike) -> Snapshot:
-    """Read a snapshot directory back into memory (validated)."""
+def load_snapshot(directory: PathLike, validate: bool = True) -> Snapshot:
+    """Read a snapshot directory back into memory.
+
+    Referential integrity is checked by default; pass ``validate=False`` to
+    load a snapshot with dangling references intact — the lint CLI does so
+    to report them as diagnostics instead of aborting the load.
+    """
     root = Path(directory)
     topology_path = root / TOPOLOGY_FILE
     if not topology_path.exists():
@@ -103,12 +108,16 @@ def load_snapshot(directory: PathLike) -> Snapshot:
     if not config_dir.is_dir():
         raise ConfigError(f"missing {CONFIG_DIR}/ under {root}")
     for path in sorted(config_dir.glob("*.cfg")):
-        device = parse_device(path.read_text())
+        try:
+            device = parse_device(path.read_text())
+        except ParseError as error:
+            raise error.with_filename(path.name) from None
         if device.hostname != path.stem:
             raise ConfigError(
                 f"{path.name}: hostname {device.hostname!r} does not match "
                 f"the file name"
             )
         snapshot.add_device(device)
-    snapshot.validate()
+    if validate:
+        snapshot.validate()
     return snapshot

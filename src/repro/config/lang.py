@@ -39,13 +39,26 @@ TOP = ""
 
 
 class ParseError(ConfigError):
-    """Raised when configuration text cannot be parsed."""
+    """Raised when configuration text cannot be parsed.
 
-    def __init__(self, line_no: int, line: str, reason: str) -> None:
-        super().__init__(f"line {line_no}: {reason}: {line!r}")
+    ``filename`` names the source file when the text came from disk (set by
+    :func:`repro.config.io.load_snapshot`), so multi-device loads report
+    *which* device file failed, not just the line number.
+    """
+
+    def __init__(
+        self, line_no: int, line: str, reason: str, filename: Optional[str] = None
+    ) -> None:
+        prefix = f"{filename}: " if filename else ""
+        super().__init__(f"{prefix}line {line_no}: {reason}: {line!r}")
         self.line_no = line_no
         self.line = line
         self.reason = reason
+        self.filename = filename
+
+    def with_filename(self, filename: str) -> "ParseError":
+        """A copy of this error attributed to ``filename``."""
+        return ParseError(self.line_no, self.line, self.reason, filename=filename)
 
 
 # ---------------------------------------------------------------------------

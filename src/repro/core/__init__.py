@@ -4,12 +4,13 @@ from repro.core.generator import (
     IncrementalDataPlaneGenerator,
     extract_filter_rules,
 )
-from repro.core.realconfig import RealConfig
+from repro.core.realconfig import LintGateError, RealConfig
 from repro.core.results import StageTimings, VerificationDelta
 
 __all__ = [
     "IncrementalDataPlaneGenerator",
     "extract_filter_rules",
+    "LintGateError",
     "RealConfig",
     "StageTimings",
     "VerificationDelta",

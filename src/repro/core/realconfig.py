@@ -27,14 +27,32 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.config.changes import Change, apply_changes
 from repro.config.diff import LineDiff, diff_snapshots
-from repro.config.schema import Snapshot
+from repro.config.schema import ConfigError, Snapshot
 from repro.core.generator import IncrementalDataPlaneGenerator
 from repro.core.results import StageTimings, VerificationDelta
 from repro.dataplane.batch import BatchUpdater
 from repro.dataplane.model import NetworkModel
 from repro.ddlog.convergence import ConvergenceMonitor
+from repro.lint.diagnostics import Suppression
+from repro.lint.framework import LintResult, LintRunner
 from repro.policy.checker import IncrementalChecker
 from repro.policy.spec import Policy, PolicyStatus
+
+
+class LintGateError(ConfigError):
+    """Raised by the pre-flight lint gate (``lint_mode="enforce"``) when a
+    change batch introduces error-severity diagnostics.  The verifier's
+    state is left at the pre-change snapshot."""
+
+    def __init__(self, result: LintResult) -> None:
+        errors = result.errors()
+        summary = "; ".join(str(diag) for diag in errors[:5])
+        if len(errors) > 5:
+            summary += f"; ... ({len(errors) - 5} more)"
+        super().__init__(
+            f"change rejected by lint gate ({len(errors)} error(s)): {summary}"
+        )
+        self.result = result
 
 
 class RealConfig:
@@ -49,9 +67,23 @@ class RealConfig:
         monitor: Optional[ConvergenceMonitor] = None,
         merge_ecs: bool = True,
         model_mode: str = "ecmp",
+        lint_mode: str = "off",
+        lint_suppressions: Iterable[Suppression] = (),
     ) -> None:
+        if lint_mode not in ("off", "warn", "enforce"):
+            raise ValueError(f"unknown lint_mode {lint_mode!r}")
         snapshot.validate()
         self.snapshot = snapshot.clone()
+        # Pre-flight static analysis (the lint gate): "warn" annotates every
+        # VerificationDelta with the incremental lint result, "enforce"
+        # additionally refuses change batches that introduce error-severity
+        # diagnostics before any pipeline state is touched.
+        self.lint_mode = lint_mode
+        self._lint_runner: Optional[LintRunner] = None
+        self._lint_result: Optional[LintResult] = None
+        if lint_mode != "off":
+            self._lint_runner = LintRunner(suppressions=lint_suppressions)
+            self._lint_result = self._lint_runner.run(self.snapshot)
         self.generator = IncrementalDataPlaneGenerator(monitor=monitor)
         self.model = NetworkModel(
             snapshot.topology, merge_on_unregister=merge_ecs, mode=model_mode
@@ -80,6 +112,7 @@ class RealConfig:
             batch=batch,
             report=self.checker.initial_report,
             timings=timings,
+            lint=self._lint_result,
         )
 
     # -- verification entry points ------------------------------------------------
@@ -114,6 +147,8 @@ class RealConfig:
     ) -> VerificationDelta:
         timings = StageTimings()
 
+        lint_result = self._lint_gate(new_snapshot, line_diff)
+
         started = time.perf_counter()
         updates = self.generator.update_to(new_snapshot)
         timings.generation = time.perf_counter() - started
@@ -134,7 +169,27 @@ class RealConfig:
             batch=batch,
             report=report,
             timings=timings,
+            lint=lint_result,
         )
+
+    def _lint_gate(
+        self, new_snapshot: Snapshot, line_diff: LineDiff
+    ) -> Optional[LintResult]:
+        """Incrementally lint the change; raise before any pipeline state
+        mutates when the gate is enforcing and the change adds errors."""
+        if self._lint_runner is None or self._lint_result is None:
+            return None
+        result = self._lint_runner.run_incremental(
+            new_snapshot, line_diff, self._lint_result
+        )
+        if self.lint_mode == "enforce":
+            # Refuse only *new* errors, so a change that fixes (or merely
+            # does not worsen) an already-broken network still verifies.
+            before = {str(diag) for diag in self._lint_result.errors()}
+            if any(str(diag) not in before for diag in result.errors()):
+                raise LintGateError(result)
+        self._lint_result = result
+        return result
 
     # -- conveniences ------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ from typing import List, Optional
 from repro.config.diff import LineDiff
 from repro.dataplane.batch import BatchResult
 from repro.dataplane.rule import RuleUpdate
+from repro.lint.framework import LintResult
 from repro.policy.checker import CheckReport
 from repro.policy.spec import PolicyStatus
 
@@ -50,6 +51,9 @@ class VerificationDelta:
     batch: Optional[BatchResult]
     report: CheckReport
     timings: StageTimings = field(default_factory=StageTimings)
+    #: Static-analysis result of the pre-flight lint gate (``None`` when the
+    #: verifier runs with ``lint_mode="off"``).
+    lint: Optional[LintResult] = None
 
     @property
     def newly_violated(self) -> List[PolicyStatus]:
@@ -73,6 +77,8 @@ class VerificationDelta:
         lines.append(f"data plane: +{inserts}/-{deletes} rules")
         if self.batch is not None:
             lines.append(f"model: {self.batch.num_moves} EC moves")
+        if self.lint is not None:
+            lines.append(self.lint.summary())
         lines.append(f"check: {self.report.summary()}")
         lines.append(f"time: {self.timings}")
         return "\n".join(lines)

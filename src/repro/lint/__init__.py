@@ -1,0 +1,74 @@
+"""repro.lint — incremental semantic static analysis of configurations.
+
+Behavioural verification (the RealConfig pipeline) answers "does the changed
+network still forward correctly"; this package answers the earlier, cheaper
+question "is the changed configuration *text* self-consistent".  It is a
+pass-based analyzer over the parsed :class:`~repro.config.schema.Snapshot`
+IR with:
+
+- a pass framework (:mod:`repro.lint.framework`): registry, severity-graded
+  diagnostics with device/stanza/line anchors, glob suppressions;
+- eight built-in semantic passes (:mod:`repro.lint.passes`), from dangling
+  references to OSPF adjacency asymmetries and redistribution cycles;
+- an **incremental mode** mirroring the paper's pipeline: given a
+  :class:`~repro.config.diff.LineDiff`, only the passes whose declared
+  stanza scope intersects the touched stanzas re-run, per touched device,
+  and untouched results are carried over;
+- text / JSON / SARIF output (:mod:`repro.lint.output`).
+
+Typical use::
+
+    from repro.lint import LintRunner, Severity
+
+    runner = LintRunner()
+    result = runner.run(snapshot)                    # full
+    result = runner.run_incremental(new, diff, result)  # diff-scoped
+    assert result.ok(fail_on=Severity.ERROR)
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    Suppression,
+    count_by_severity,
+    max_severity,
+    resolve_lines,
+)
+from repro.lint.framework import (
+    STANZA_KINDS,
+    LintPass,
+    LintResult,
+    LintRunner,
+    all_passes,
+    lint_snapshot,
+    pass_names,
+    register_pass,
+    stanza_kind,
+    touched_kinds,
+)
+from repro.lint.output import format_json, format_sarif, format_text
+from repro.lint import passes as _passes  # populate the registry
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Suppression",
+    "count_by_severity",
+    "max_severity",
+    "resolve_lines",
+    "STANZA_KINDS",
+    "LintPass",
+    "LintResult",
+    "LintRunner",
+    "all_passes",
+    "lint_snapshot",
+    "pass_names",
+    "register_pass",
+    "stanza_kind",
+    "touched_kinds",
+    "format_json",
+    "format_sarif",
+    "format_text",
+]
+
+del _passes

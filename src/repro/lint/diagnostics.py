@@ -1,0 +1,200 @@
+"""Diagnostics: what a lint pass reports.
+
+A :class:`Diagnostic` is one finding, anchored to a device and (usually) a
+stanza of its canonical rendering (:mod:`repro.config.lang`), graded by
+:class:`Severity`, and attributed to the pass that produced it via a stable
+rule ``code`` (e.g. ``REF001``).  Anchors are resolved to 1-based line
+numbers of the rendered ``configs/<device>.cfg`` file on demand
+(:func:`resolve_lines`), which is what the SARIF output points editors at.
+
+:class:`Suppression` implements the standard triage escape hatch: shell-glob
+patterns over ``(code, device, stanza)``, matched with :mod:`fnmatch`.
+Suppressed findings are dropped from the result but counted, so a clean run
+still reveals how much is being hidden.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from fnmatch import fnmatchcase
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config.lang import device_lines
+from repro.config.schema import Snapshot
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is meaningful (``ERROR > WARNING``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF ``level`` string for this severity."""
+        return {
+            Severity.ERROR: "error",
+            Severity.WARNING: "warning",
+            Severity.INFO: "note",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``stanza`` uses the stanza keys of :func:`repro.config.lang.device_lines`
+    (empty string for top-level lines); ``line_text`` optionally pins the
+    finding to one rendered line inside that stanza; ``line`` is filled in by
+    :func:`resolve_lines`.
+    """
+
+    code: str
+    severity: Severity
+    device: str
+    message: str
+    stanza: str = ""
+    line_text: Optional[str] = None
+    line: Optional[int] = None
+    pass_name: str = ""
+
+    def anchor(self) -> str:
+        """Human-readable location, e.g. ``r0[interface eth0]``."""
+        where = self.stanza or "top"
+        if self.line is not None:
+            where += f":{self.line}"
+        return f"{self.device}[{where}]"
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.code} {self.anchor()}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "device": self.device,
+            "stanza": self.stanza,
+            "message": self.message,
+            "pass": self.pass_name,
+        }
+        if self.line is not None:
+            out["line"] = self.line
+        return out
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """Mute diagnostics matching shell-glob patterns.
+
+    Patterns match case-sensitively via :func:`fnmatch.fnmatchcase`; the
+    default patterns mute a rule code everywhere.  The CLI spelling is
+    ``CODE[:device[:stanza]]``.
+    """
+
+    code: str
+    device: str = "*"
+    stanza: str = "*"
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        return (
+            fnmatchcase(diagnostic.code, self.code)
+            and fnmatchcase(diagnostic.device, self.device)
+            and fnmatchcase(diagnostic.stanza or "top", self.stanza)
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "Suppression":
+        parts = text.split(":")
+        if not 1 <= len(parts) <= 3 or not parts[0]:
+            raise ValueError(
+                f"bad suppression {text!r} (expected CODE[:device[:stanza]])"
+            )
+        return cls(*parts)
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], suppressions: Iterable[Suppression]
+) -> Tuple[List[Diagnostic], int]:
+    """Filter out suppressed diagnostics; returns (kept, suppressed count)."""
+    rules = list(suppressions)
+    kept: List[Diagnostic] = []
+    muted = 0
+    for diag in diagnostics:
+        if any(rule.matches(diag) for rule in rules):
+            muted += 1
+        else:
+            kept.append(diag)
+    return kept, muted
+
+
+def resolve_lines(
+    diagnostics: Iterable[Diagnostic], snapshot: Snapshot
+) -> List[Diagnostic]:
+    """Fill in 1-based line numbers against the canonical rendering.
+
+    A diagnostic is anchored at its ``line_text`` within its stanza when
+    given (and found), else at the stanza's header line; top-level findings
+    without a line text anchor at line 1 (the ``hostname`` line).
+    """
+    index: Dict[str, Dict[Tuple[str, Optional[str]], int]] = {}
+    resolved = []
+    for diag in diagnostics:
+        if diag.device not in index:
+            index[diag.device] = _line_index(snapshot, diag.device)
+        lines = index[diag.device]
+        line = lines.get((diag.stanza, diag.line_text))
+        if line is None:
+            line = lines.get((diag.stanza, None), 1)
+        resolved.append(replace(diag, line=line))
+    return resolved
+
+
+def _line_index(
+    snapshot: Snapshot, device: str
+) -> Dict[Tuple[str, Optional[str]], int]:
+    """Map (stanza, stripped line text) and (stanza, None) to line numbers."""
+    lines: Dict[Tuple[str, Optional[str]], int] = {}
+    if device not in snapshot.devices:
+        return lines
+    for number, (stanza, text) in enumerate(
+        device_lines(snapshot.devices[device]), start=1
+    ):
+        lines.setdefault((stanza, None), number)
+        lines.setdefault((stanza, text.strip()), number)
+    return lines
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or ``None`` when empty."""
+    severities = [diag.severity for diag in diagnostics]
+    return max(severities) if severities else None
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[Severity, int]:
+    counts: Dict[Severity, int] = {}
+    for diag in diagnostics:
+        counts[diag.severity] = counts.get(diag.severity, 0) + 1
+    return counts
+
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Suppression",
+    "apply_suppressions",
+    "resolve_lines",
+    "max_severity",
+    "count_by_severity",
+]

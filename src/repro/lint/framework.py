@@ -1,0 +1,313 @@
+"""The lint pass framework: pass registry, runner, and incremental scoping.
+
+A :class:`LintPass` analyzes either one device at a time (``device_scoped``)
+or the whole snapshot (cross-device passes like OSPF adjacency checking).
+Every pass declares a **scope**: the set of stanza *kinds* it reads
+(``interface``, ``acl``, ``route-map``, ``router-ospf``, ``router-bgp``,
+``top``).  The scope powers the incremental mode, which mirrors the paper's
+pipeline: given a :class:`~repro.config.diff.LineDiff` the runner maps each
+changed line to its stanza kind, then
+
+- re-runs a device-scoped pass only on the touched devices whose touched
+  kinds intersect the pass's scope (carrying forward the previous result's
+  diagnostics for untouched devices), and
+- re-runs a snapshot-scoped pass only if *any* touched kind intersects its
+  scope.
+
+``LintResult.passes_run`` records which passes actually executed, so tests
+and benchmarks can assert that a small diff re-runs strictly fewer passes
+than a full lint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.config.diff import LineDiff
+from repro.config.schema import DeviceConfig, Snapshot
+from repro.lint.diagnostics import (
+    Diagnostic,
+    Severity,
+    Suppression,
+    apply_suppressions,
+    count_by_severity,
+    max_severity,
+)
+
+#: The stanza kinds a pass can subscribe to.  ``top`` covers top-level lines
+#: (hostname and ``ip route``); the rest follow the stanza headers of
+#: :func:`repro.config.lang.device_lines`.
+STANZA_KINDS = (
+    "top",
+    "interface",
+    "acl",
+    "route-map",
+    "router-ospf",
+    "router-bgp",
+)
+
+
+def stanza_kind(stanza: str) -> str:
+    """Classify a diff stanza key into one of :data:`STANZA_KINDS`."""
+    if stanza.startswith("interface "):
+        return "interface"
+    if stanza.startswith("ip access-list "):
+        return "acl"
+    if stanza.startswith("route-map "):
+        return "route-map"
+    if stanza.startswith("router ospf"):
+        return "router-ospf"
+    if stanza.startswith("router bgp"):
+        return "router-bgp"
+    return "top"
+
+
+class LintPass:
+    """Base class for lint passes.
+
+    Subclasses set the class attributes and override :meth:`check_device`
+    (when ``device_scoped``) or :meth:`check_snapshot` (otherwise).  Passes
+    must be stateless: the runner may invoke them on any subset of devices
+    in any order.
+    """
+
+    #: Unique pass name (registry key).
+    name: str = ""
+    #: Stable rule-code prefix, e.g. ``REF`` — individual findings use
+    #: codes like ``REF001``.
+    code: str = ""
+    #: One-line description (also the SARIF rule description).
+    description: str = ""
+    #: Stanza kinds this pass reads (see :data:`STANZA_KINDS`).
+    scope: frozenset = frozenset()
+    #: Device-scoped passes see one device at a time and are incrementally
+    #: re-run per device; snapshot-scoped passes see the whole snapshot.
+    device_scoped: bool = True
+
+    def check_device(
+        self, snapshot: Snapshot, device: DeviceConfig
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def _diag(
+        self,
+        code_suffix: str,
+        severity: Severity,
+        device: str,
+        message: str,
+        stanza: str = "",
+        line_text: Optional[str] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=f"{self.code}{code_suffix}",
+            severity=severity,
+            device=device,
+            message=message,
+            stanza=stanza,
+            line_text=line_text,
+            pass_name=self.name,
+        )
+
+
+#: name -> pass class, in registration order.
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_pass(cls: type) -> type:
+    """Class decorator adding a :class:`LintPass` to the default registry."""
+    if not issubclass(cls, LintPass):
+        raise TypeError(f"{cls!r} is not a LintPass")
+    if not cls.name or not cls.code:
+        raise ValueError(f"{cls.__name__} must define name and code")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate lint pass name {cls.name!r}")
+    bad = set(cls.scope) - set(STANZA_KINDS)
+    if bad:
+        raise ValueError(f"{cls.__name__}: unknown scope kinds {sorted(bad)}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_passes() -> List[LintPass]:
+    """Fresh instances of every registered pass, in registration order."""
+    import repro.lint.passes  # noqa: F401  (populates the registry)
+
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def pass_names() -> List[str]:
+    import repro.lint.passes  # noqa: F401
+
+    return list(_REGISTRY)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (full or incremental)."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Names of passes that actually executed in this run.
+    passes_run: List[str] = field(default_factory=list)
+    #: Number of (pass, device) executions plus snapshot-pass executions —
+    #: the unit of work incremental lint saves.
+    units_run: int = 0
+    suppressed: int = 0
+    elapsed: float = 0.0
+    #: Per-pass diagnostics keyed by (pass name, device or None), carried
+    #: between incremental runs.
+    _by_unit: Dict[Tuple[str, Optional[str]], List[Diagnostic]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def max_severity(self) -> Optional[Severity]:
+        return max_severity(self.diagnostics)
+
+    def ok(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """True when no diagnostic reaches ``fail_on``."""
+        worst = self.max_severity()
+        return worst is None or worst < fail_on
+
+    def summary(self) -> str:
+        counts = count_by_severity(self.diagnostics)
+        parts = [
+            f"{counts[severity]} {severity}(s)"
+            for severity in sorted(counts, reverse=True)
+        ]
+        body = ", ".join(parts) if parts else "clean"
+        extra = f", {self.suppressed} suppressed" if self.suppressed else ""
+        return (
+            f"lint: {body} ({len(self.passes_run)} pass(es), "
+            f"{self.units_run} unit(s) run{extra})"
+        )
+
+
+class LintRunner:
+    """Runs a set of passes over snapshots, full or diff-scoped."""
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[LintPass]] = None,
+        suppressions: Iterable[Suppression] = (),
+    ) -> None:
+        self.passes = list(passes) if passes is not None else all_passes()
+        self.suppressions = list(suppressions)
+
+    # -- full runs ---------------------------------------------------------
+
+    def run(self, snapshot: Snapshot) -> LintResult:
+        """Lint the whole snapshot with every pass."""
+        started = time.perf_counter()
+        result = LintResult()
+        for lint_pass in self.passes:
+            if lint_pass.device_scoped:
+                for device in snapshot.iter_devices():
+                    self._run_unit(result, lint_pass, snapshot, device.hostname)
+            else:
+                self._run_unit(result, lint_pass, snapshot, None)
+            result.passes_run.append(lint_pass.name)
+        self._finish(result, started)
+        return result
+
+    # -- incremental runs --------------------------------------------------
+
+    def run_incremental(
+        self, snapshot: Snapshot, diff: LineDiff, previous: LintResult
+    ) -> LintResult:
+        """Re-lint only what ``diff`` can affect, reusing ``previous``.
+
+        ``snapshot`` is the post-change snapshot; ``previous`` must be the
+        result of linting the pre-change snapshot with the same passes.
+        """
+        started = time.perf_counter()
+        touched = touched_kinds(diff)
+        touched_all: Set[str] = set()
+        for kinds in touched.values():
+            touched_all |= kinds
+
+        result = LintResult()
+        live_devices = set(snapshot.devices)
+        for lint_pass in self.passes:
+            ran = False
+            if lint_pass.device_scoped:
+                for device_name in sorted(live_devices):
+                    kinds = touched.get(device_name)
+                    if kinds is not None and kinds & lint_pass.scope:
+                        self._run_unit(result, lint_pass, snapshot, device_name)
+                        ran = True
+                    else:
+                        self._carry(result, previous, lint_pass.name, device_name)
+            else:
+                if touched_all & lint_pass.scope:
+                    self._run_unit(result, lint_pass, snapshot, None)
+                    ran = True
+                else:
+                    self._carry(result, previous, lint_pass.name, None)
+            if ran:
+                result.passes_run.append(lint_pass.name)
+        self._finish(result, started)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_unit(
+        self,
+        result: LintResult,
+        lint_pass: LintPass,
+        snapshot: Snapshot,
+        device_name: Optional[str],
+    ) -> None:
+        if device_name is None:
+            found = list(lint_pass.check_snapshot(snapshot))
+        else:
+            found = list(
+                lint_pass.check_device(snapshot, snapshot.devices[device_name])
+            )
+        kept, muted = apply_suppressions(found, self.suppressions)
+        result._by_unit[(lint_pass.name, device_name)] = kept
+        result.suppressed += muted
+        result.units_run += 1
+
+    @staticmethod
+    def _carry(
+        result: LintResult,
+        previous: LintResult,
+        pass_name: str,
+        device_name: Optional[str],
+    ) -> None:
+        cached = previous._by_unit.get((pass_name, device_name))
+        if cached:
+            result._by_unit[(pass_name, device_name)] = list(cached)
+
+    @staticmethod
+    def _finish(result: LintResult, started: float) -> None:
+        for key in sorted(
+            result._by_unit, key=lambda k: (k[1] is None, k[1] or "", k[0])
+        ):
+            result.diagnostics.extend(result._by_unit[key])
+        result.elapsed = time.perf_counter() - started
+
+
+def touched_kinds(diff: LineDiff) -> Dict[str, Set[str]]:
+    """Map each touched device to the stanza kinds its changed lines hit."""
+    touched: Dict[str, Set[str]] = {}
+    for line in list(diff.inserted) + list(diff.deleted):
+        touched.setdefault(line.device, set()).add(stanza_kind(line.stanza))
+    return touched
+
+
+def lint_snapshot(
+    snapshot: Snapshot, suppressions: Iterable[Suppression] = ()
+) -> LintResult:
+    """Convenience: full lint with the default pass registry."""
+    return LintRunner(suppressions=suppressions).run(snapshot)

@@ -1,0 +1,125 @@
+"""Lint result formatters: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output is the subset GitHub code scanning and editors consume:
+one run, one rule per pass finding code, and one result per diagnostic with
+a physical location pointing into the snapshot's ``configs/<device>.cfg``
+file (line numbers refer to the canonical rendering, which is exactly what
+``save_snapshot`` writes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.config.io import CONFIG_DIR
+from repro.config.schema import Snapshot
+from repro.lint.diagnostics import Diagnostic, resolve_lines
+from repro.lint.framework import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+
+
+def _located(result: LintResult, snapshot: Optional[Snapshot]) -> List[Diagnostic]:
+    if snapshot is None:
+        return list(result.diagnostics)
+    return resolve_lines(result.diagnostics, snapshot)
+
+
+def format_text(
+    result: LintResult, snapshot: Optional[Snapshot] = None
+) -> str:
+    """One line per finding plus a trailing summary."""
+    diags = _located(result, snapshot)
+    lines = [str(diag) for diag in diags]
+    lines.append(result.summary())
+    return "\n".join(lines)
+
+
+def format_json(
+    result: LintResult, snapshot: Optional[Snapshot] = None
+) -> str:
+    diags = _located(result, snapshot)
+    payload = {
+        "tool": TOOL_NAME,
+        "summary": result.summary(),
+        "passes_run": list(result.passes_run),
+        "units_run": result.units_run,
+        "suppressed": result.suppressed,
+        "elapsed_seconds": result.elapsed,
+        "diagnostics": [diag.to_dict() for diag in diags],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_sarif(
+    result: LintResult, snapshot: Optional[Snapshot] = None
+) -> str:
+    diags = _located(result, snapshot)
+    rules: Dict[str, Dict] = {}
+    results = []
+    for diag in diags:
+        rules.setdefault(
+            diag.code,
+            {
+                "id": diag.code,
+                "name": diag.pass_name or diag.code,
+                "shortDescription": {"text": diag.pass_name or diag.code},
+                "defaultConfiguration": {"level": diag.severity.sarif_level},
+            },
+        )
+        region: Dict[str, int] = {}
+        if diag.line is not None:
+            region["startLine"] = diag.line
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f"{CONFIG_DIR}/{diag.device}.cfg",
+                    "uriBaseId": "SNAPSHOT",
+                },
+                **({"region": region} if region else {}),
+            },
+            "logicalLocations": [
+                {
+                    "name": diag.stanza or "top",
+                    "fullyQualifiedName": diag.anchor(),
+                    "kind": "declaration",
+                }
+            ],
+        }
+        results.append(
+            {
+                "ruleId": diag.code,
+                "level": diag.severity.sarif_level,
+                "message": {"text": diag.message},
+                "locations": [location],
+            }
+        )
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": [rules[code] for code in sorted(rules)],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "sarif": format_sarif,
+}

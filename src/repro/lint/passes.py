@@ -1,0 +1,577 @@
+"""The built-in semantic lint passes.
+
+Eight pass classes covering the config-text error classes that behavioural
+verification (the RealConfig pipeline) either assumes away or reports only
+indirectly as policy violations:
+
+==========================  ======  =====================================
+pass                        codes   finds
+==========================  ======  =====================================
+undefined-references        REF0xx  dangling ACL / route-map / interface
+                                    references
+shadowed-acl-entries        ACL0xx  ACL entries unreachable behind an
+                                    earlier, broader entry
+unreachable-route-map       RMP0xx  route-map clauses behind a broader
+                                    earlier match
+duplicate-identity          DUP0xx  duplicate BGP AS identity, duplicate
+                                    addresses / prefixes on links
+ospf-adjacency              OSP0xx  subnet / cost / enablement asymmetry
+                                    across a physical link
+redistribution-cycles       RED0xx  mutual redistribution loops between
+                                    protocol domains
+static-route-nexthops       STA0xx  static routes whose next hop cannot
+                                    resolve
+shutdown-interface-config   SHD0xx  routing / filtering config bound to
+                                    administratively down interfaces
+==========================  ======  =====================================
+
+Severity grading: a finding is an ERROR when it changes or breaks forwarding
+behaviour outright (dangling reference, masked opposite-action filter rule,
+unresolvable next hop, duplicate link address), a WARNING when it is very
+likely unintended but functional (shadowed same-action entries, asymmetric
+costs, mutual redistribution at multiple points), and INFO for hygiene.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.config.schema import AclEntry, DeviceConfig, Snapshot, StaticRoute
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.framework import LintPass, register_pass
+from repro.net.addr import format_ipv4
+
+
+def _static_route_line(route: StaticRoute) -> str:
+    """The canonical rendering of a static route (for line anchoring)."""
+    if route.next_hop_interface is not None:
+        via = route.next_hop_interface
+    else:
+        via = format_ipv4(route.next_hop_ip)
+    text = f"ip route {route.prefix} {via}"
+    if route.admin_distance != 1:
+        text += f" {route.admin_distance}"
+    return text
+
+
+@register_pass
+class UndefinedReferences(LintPass):
+    """Names referenced but never defined on the device."""
+
+    name = "undefined-references"
+    code = "REF"
+    description = (
+        "ACLs, route maps, and interfaces must be defined before being "
+        "referenced"
+    )
+    scope = frozenset({"interface", "router-bgp", "top", "acl", "route-map"})
+    device_scoped = True
+
+    def check_device(
+        self, snapshot: Snapshot, device: DeviceConfig
+    ) -> Iterator[Diagnostic]:
+        for iface in device.interfaces.values():
+            stanza = f"interface {iface.name}"
+            for direction, acl_name in (
+                ("in", iface.acl_in),
+                ("out", iface.acl_out),
+            ):
+                if acl_name is not None and acl_name not in device.acls:
+                    yield self._diag(
+                        "001",
+                        Severity.ERROR,
+                        device.hostname,
+                        f"interface {iface.name} binds undefined ACL "
+                        f"{acl_name!r} {direction}",
+                        stanza=stanza,
+                        line_text=f"ip access-group {acl_name} {direction}",
+                    )
+        if device.bgp is not None:
+            stanza = f"router bgp {device.bgp.asn}"
+            for neighbor in device.bgp.neighbors.values():
+                if neighbor.interface not in device.interfaces:
+                    yield self._diag(
+                        "002",
+                        Severity.ERROR,
+                        device.hostname,
+                        f"BGP neighbor configured on undefined interface "
+                        f"{neighbor.interface!r}",
+                        stanza=stanza,
+                        line_text=(
+                            f"neighbor {neighbor.interface} remote-as "
+                            f"{neighbor.remote_as}"
+                        ),
+                    )
+                for direction, rm_name in (
+                    ("in", neighbor.route_map_in),
+                    ("out", neighbor.route_map_out),
+                ):
+                    if rm_name is not None and rm_name not in device.route_maps:
+                        yield self._diag(
+                            "003",
+                            Severity.ERROR,
+                            device.hostname,
+                            f"neighbor {neighbor.interface} binds undefined "
+                            f"route-map {rm_name!r} {direction}",
+                            stanza=stanza,
+                            line_text=(
+                                f"neighbor {neighbor.interface} route-map "
+                                f"{rm_name} {direction}"
+                            ),
+                        )
+        for route in device.static_routes:
+            if (
+                route.next_hop_interface is not None
+                and route.next_hop_interface not in device.interfaces
+            ):
+                yield self._diag(
+                    "004",
+                    Severity.ERROR,
+                    device.hostname,
+                    f"static route {route.prefix} via undefined interface "
+                    f"{route.next_hop_interface!r}",
+                    line_text=_static_route_line(route),
+                )
+
+
+def _entry_covers(earlier: AclEntry, later: AclEntry) -> bool:
+    """True when every packet matching ``later`` also matches ``earlier``."""
+    if earlier.proto is not None and earlier.proto != later.proto:
+        return False
+    for mine, theirs in ((earlier.src, later.src), (earlier.dst, later.dst)):
+        if mine is not None and (theirs is None or not mine.contains(theirs)):
+            return False
+    if earlier.dst_port is not None:
+        if later.dst_port is None:
+            return False
+        lo, hi = earlier.dst_port
+        if not (lo <= later.dst_port[0] and later.dst_port[1] <= hi):
+            return False
+    return True
+
+
+@register_pass
+class ShadowedAclEntries(LintPass):
+    """ACL entries that can never match because an earlier entry covers them."""
+
+    name = "shadowed-acl-entries"
+    code = "ACL"
+    description = "every ACL entry should be reachable by some packet"
+    scope = frozenset({"acl"})
+    device_scoped = True
+
+    def check_device(
+        self, snapshot: Snapshot, device: DeviceConfig
+    ) -> Iterator[Diagnostic]:
+        for acl in device.acls.values():
+            entries = acl.sorted_entries()
+            for index, entry in enumerate(entries):
+                for earlier in entries[:index]:
+                    if not _entry_covers(earlier, entry):
+                        continue
+                    masked = earlier.action != entry.action
+                    yield self._diag(
+                        "002" if masked else "001",
+                        Severity.ERROR if masked else Severity.WARNING,
+                        device.hostname,
+                        f"ACL {acl.name} entry {entry.seq} ({entry.action}) is "
+                        f"shadowed by entry {earlier.seq} ({earlier.action})"
+                        + (" with the opposite action" if masked else ""),
+                        stanza=f"ip access-list {acl.name}",
+                    )
+                    break  # report the first shadowing entry only
+
+
+@register_pass
+class UnreachableRouteMapClauses(LintPass):
+    """Route-map clauses behind a broader (or catch-all) earlier match."""
+
+    name = "unreachable-route-map"
+    code = "RMP"
+    description = "every route-map clause should be reachable by some route"
+    scope = frozenset({"route-map"})
+    device_scoped = True
+
+    def check_device(
+        self, snapshot: Snapshot, device: DeviceConfig
+    ) -> Iterator[Diagnostic]:
+        for rm in device.route_maps.values():
+            clauses = rm.sorted_clauses()
+            for index, clause in enumerate(clauses):
+                for earlier in clauses[:index]:
+                    if earlier.match_prefix is not None and (
+                        clause.match_prefix is None
+                        or not earlier.match_prefix.contains(clause.match_prefix)
+                    ):
+                        continue
+                    masked = earlier.action != clause.action
+                    yield self._diag(
+                        "002" if masked else "001",
+                        Severity.ERROR if masked else Severity.WARNING,
+                        device.hostname,
+                        f"route-map {rm.name} clause {clause.seq} "
+                        f"({clause.action}) is unreachable: clause "
+                        f"{earlier.seq} ({earlier.action}) already matches "
+                        + (
+                            "every route"
+                            if earlier.match_prefix is None
+                            else str(earlier.match_prefix)
+                        ),
+                        stanza=(
+                            f"route-map {rm.name} {clause.action} {clause.seq}"
+                        ),
+                    )
+                    break
+
+
+@register_pass
+class DuplicateIdentity(LintPass):
+    """Identity clashes: shared BGP AS numbers and duplicate link addresses."""
+
+    name = "duplicate-identity"
+    code = "DUP"
+    description = (
+        "BGP identities and interface addresses must be unique where "
+        "protocols require it"
+    )
+    scope = frozenset({"router-bgp", "interface"})
+    device_scoped = False
+
+    def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
+        # (a) eBGP sessions between devices sharing an AS number never
+        # exchange routes the way the one-AS-per-node model intends.
+        by_asn: Dict[int, List[str]] = {}
+        for device in snapshot.iter_devices():
+            if device.bgp is not None:
+                by_asn.setdefault(device.bgp.asn, []).append(device.hostname)
+        for asn, owners in sorted(by_asn.items()):
+            if len(owners) < 2:
+                continue
+            for owner in owners:
+                yield self._diag(
+                    "001",
+                    Severity.WARNING,
+                    owner,
+                    f"BGP AS {asn} is also used by "
+                    f"{', '.join(o for o in owners if o != owner)}",
+                    stanza=f"router bgp {asn}",
+                )
+        # (b) per link: both ends configured with the same interface address.
+        for link in snapshot.topology.links():
+            ends = []
+            for end in link.endpoints():
+                device = snapshot.devices.get(end.node)
+                iface = device.interfaces.get(end.name) if device else None
+                ends.append((end, iface))
+            (a_id, a_iface), (b_id, b_iface) = ends
+            if a_iface is None or b_iface is None:
+                continue
+            if (
+                a_iface.address is not None
+                and a_iface.address == b_iface.address
+            ):
+                for end_id, iface in ends:
+                    yield self._diag(
+                        "002",
+                        Severity.ERROR,
+                        end_id.node,
+                        f"address duplicated on both ends of link "
+                        f"{a_id} <-> {b_id}",
+                        stanza=f"interface {iface.name}",
+                    )
+        # (c) per device: the same subnet configured on two interfaces.
+        for device in snapshot.iter_devices():
+            seen: Dict[object, str] = {}
+            for name in sorted(device.interfaces):
+                iface = device.interfaces[name]
+                if iface.prefix is None:
+                    continue
+                first = seen.setdefault(iface.prefix, name)
+                if first != name:
+                    yield self._diag(
+                        "003",
+                        Severity.WARNING,
+                        device.hostname,
+                        f"prefix {iface.prefix} configured on both "
+                        f"{first} and {name}",
+                        stanza=f"interface {name}",
+                    )
+
+
+@register_pass
+class OspfAdjacencyMismatch(LintPass):
+    """Per-link OSPF asymmetries that silently break or skew adjacencies."""
+
+    name = "ospf-adjacency"
+    code = "OSP"
+    description = (
+        "both ends of an OSPF link should agree on subnet, enablement, "
+        "and (usually) cost"
+    )
+    scope = frozenset({"interface"})
+    device_scoped = False
+
+    def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
+        for link in snapshot.topology.links():
+            a_id, b_id = link.endpoints()
+            a = self._config_iface(snapshot, a_id.node, a_id.name)
+            b = self._config_iface(snapshot, b_id.node, b_id.name)
+            if a is None or b is None:
+                continue
+            if a.shutdown or b.shutdown:
+                continue  # an intentionally down link is not a mismatch
+            if a.ospf_enabled != b.ospf_enabled:
+                enabled_end, silent_end = (
+                    (a_id, b_id) if a.ospf_enabled else (b_id, a_id)
+                )
+                yield self._diag(
+                    "001",
+                    Severity.WARNING,
+                    enabled_end.node,
+                    f"OSPF enabled on {enabled_end} but not on peer "
+                    f"{silent_end}: adjacency will never form",
+                    stanza=f"interface {enabled_end.name}",
+                )
+                continue
+            if not a.ospf_enabled:
+                continue
+            if (
+                a.prefix is not None
+                and b.prefix is not None
+                and a.prefix != b.prefix
+            ):
+                yield self._diag(
+                    "002",
+                    Severity.ERROR,
+                    a_id.node,
+                    f"OSPF subnet mismatch on link {a_id} <-> {b_id}: "
+                    f"{a.prefix} vs {b.prefix}",
+                    stanza=f"interface {a_id.name}",
+                )
+            if a.ospf_cost != b.ospf_cost:
+                yield self._diag(
+                    "003",
+                    Severity.WARNING,
+                    a_id.node,
+                    f"asymmetric OSPF cost on link {a_id} <-> {b_id}: "
+                    f"{a.ospf_cost} vs {b.ospf_cost}",
+                    stanza=f"interface {a_id.name}",
+                )
+
+    @staticmethod
+    def _config_iface(snapshot: Snapshot, node: str, name: str):
+        device = snapshot.devices.get(node)
+        if device is None:
+            return None
+        return device.interfaces.get(name)
+
+
+@register_pass
+class RedistributionCycles(LintPass):
+    """Route feedback loops created by mutual protocol redistribution."""
+
+    name = "redistribution-cycles"
+    code = "RED"
+    description = (
+        "mutual redistribution between protocol domains can loop routes "
+        "and inflate metrics"
+    )
+    scope = frozenset({"router-ospf", "router-bgp"})
+    device_scoped = False
+
+    def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
+        # Directed edges between routing protocol domains, attributed to the
+        # devices that create them.  Only ospf<->bgp can cycle in this model
+        # ("static"/"connected" are source-only domains).
+        edges: Dict[Tuple[str, str], List[str]] = {}
+        for device in snapshot.iter_devices():
+            for target, process in (("ospf", device.ospf), ("bgp", device.bgp)):
+                if process is None:
+                    continue
+                for redist in process.redistribute:
+                    edges.setdefault((redist.source, target), []).append(
+                        device.hostname
+                    )
+        forward = edges.get(("ospf", "bgp"))
+        backward = edges.get(("bgp", "ospf"))
+        if not forward or not backward:
+            return
+        single = set(forward) & set(backward)
+        multi = (set(forward) | set(backward)) - single
+        for device_name in sorted(single):
+            # Mutual redistribution confined to one border device is the
+            # textbook pattern; still worth surfacing.
+            yield self._diag(
+                "002",
+                Severity.INFO,
+                device_name,
+                "device redistributes ospf->bgp and bgp->ospf; ensure "
+                "metrics/filters prevent route feedback",
+                stanza=self._stanza(snapshot, device_name),
+            )
+        if len(set(forward) | set(backward)) > 1:
+            participants = sorted(set(forward) | set(backward))
+            for device_name in sorted(multi) or participants:
+                yield self._diag(
+                    "001",
+                    Severity.WARNING,
+                    device_name,
+                    "redistribution cycle ospf->bgp->ospf spans multiple "
+                    f"devices ({', '.join(participants)}): routes can "
+                    "circulate between domains",
+                    stanza=self._stanza(snapshot, device_name),
+                )
+
+    @staticmethod
+    def _stanza(snapshot: Snapshot, device_name: str) -> str:
+        device = snapshot.devices[device_name]
+        if device.ospf is not None:
+            return f"router ospf {device.ospf.process_id}"
+        if device.bgp is not None:
+            return f"router bgp {device.bgp.asn}"
+        return ""
+
+
+@register_pass
+class StaticRouteNextHops(LintPass):
+    """Static routes whose next hop can never resolve."""
+
+    name = "static-route-nexthops"
+    code = "STA"
+    description = (
+        "an IP next hop must fall inside a connected subnet of an "
+        "operational interface"
+    )
+    scope = frozenset({"top", "interface"})
+    device_scoped = True
+
+    def check_device(
+        self, snapshot: Snapshot, device: DeviceConfig
+    ) -> Iterator[Diagnostic]:
+        up_prefixes = [
+            iface.prefix
+            for iface in device.interfaces.values()
+            if iface.prefix is not None and iface.is_up()
+        ]
+        own_addresses = {
+            iface.address
+            for iface in device.interfaces.values()
+            if iface.address is not None
+        }
+        for route in device.static_routes:
+            if route.next_hop_ip is None:
+                continue
+            if route.next_hop_ip in own_addresses:
+                yield self._diag(
+                    "002",
+                    Severity.WARNING,
+                    device.hostname,
+                    f"static route {route.prefix} points at the device's own "
+                    "address",
+                    line_text=_static_route_line(route),
+                )
+            elif not any(
+                prefix.contains_address(route.next_hop_ip)
+                for prefix in up_prefixes
+            ):
+                yield self._diag(
+                    "001",
+                    Severity.ERROR,
+                    device.hostname,
+                    f"static route {route.prefix} next hop "
+                    f"{format_ipv4(route.next_hop_ip)} is outside every "
+                    "connected subnet of an up interface",
+                    line_text=_static_route_line(route),
+                )
+
+
+@register_pass
+class ShutdownInterfaceConfig(LintPass):
+    """Routing and filtering config attached to administratively down
+    interfaces — usually a leftover from maintenance."""
+
+    name = "shutdown-interface-config"
+    code = "SHD"
+    description = (
+        "configuration bound to a shutdown interface has no effect until "
+        "the interface is re-enabled"
+    )
+    scope = frozenset({"interface", "router-bgp", "top"})
+    device_scoped = True
+
+    def check_device(
+        self, snapshot: Snapshot, device: DeviceConfig
+    ) -> Iterator[Diagnostic]:
+        down: Set[str] = {
+            name
+            for name, iface in device.interfaces.items()
+            if iface.shutdown
+        }
+        if not down:
+            return
+        for name in sorted(down):
+            iface = device.interfaces[name]
+            stanza = f"interface {name}"
+            if iface.ospf_enabled:
+                yield self._diag(
+                    "001",
+                    Severity.WARNING,
+                    device.hostname,
+                    f"interface {name} runs OSPF but is shut down",
+                    stanza=stanza,
+                    line_text="ip ospf enable",
+                )
+            if iface.acl_in is not None or iface.acl_out is not None:
+                yield self._diag(
+                    "002",
+                    Severity.INFO,
+                    device.hostname,
+                    f"interface {name} binds ACLs but is shut down",
+                    stanza=stanza,
+                )
+        if device.bgp is not None:
+            for neighbor in device.bgp.neighbors.values():
+                if neighbor.interface in down:
+                    yield self._diag(
+                        "003",
+                        Severity.WARNING,
+                        device.hostname,
+                        f"BGP neighbor on {neighbor.interface} cannot "
+                        "establish: interface is shut down",
+                        stanza=f"router bgp {device.bgp.asn}",
+                        line_text=(
+                            f"neighbor {neighbor.interface} remote-as "
+                            f"{neighbor.remote_as}"
+                        ),
+                    )
+        for route in device.static_routes:
+            if route.next_hop_interface in down:
+                yield self._diag(
+                    "004",
+                    Severity.WARNING,
+                    device.hostname,
+                    f"static route {route.prefix} exits via shut down "
+                    f"interface {route.next_hop_interface}",
+                    line_text=_static_route_line(route),
+                )
+
+
+#: Mapping of rule code prefixes to pass metadata, for SARIF rule listings.
+def rule_catalog() -> List[Tuple[str, str, str]]:
+    """(code prefix, pass name, description) for every registered pass."""
+    from repro.lint.framework import all_passes
+
+    return [(p.code, p.name, p.description) for p in all_passes()]
+
+
+__all__ = [
+    "UndefinedReferences",
+    "ShadowedAclEntries",
+    "UnreachableRouteMapClauses",
+    "DuplicateIdentity",
+    "OspfAdjacencyMismatch",
+    "RedistributionCycles",
+    "StaticRouteNextHops",
+    "ShutdownInterfaceConfig",
+    "rule_catalog",
+]

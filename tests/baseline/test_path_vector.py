@@ -10,7 +10,6 @@ from repro.baseline.path_vector import (
     PathVectorSimulation,
     select,
 )
-from repro.routing.policies import DEFAULT_LOCAL_PREF
 
 
 def sessions_for(pairs):

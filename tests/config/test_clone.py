@@ -10,7 +10,6 @@ from repro.config.diff import diff_snapshots
 from repro.config.schema import (
     Acl,
     AclEntry,
-    BgpNeighbor,
     RouteMap,
     RouteMapClause,
     StaticRoute,

@@ -2,7 +2,6 @@
 
 from repro.config.changes import apply_changes, SetOspfCost, ShutdownInterface
 from repro.config.diff import diff_snapshots, snapshot_lines
-from repro.workloads import ospf_snapshot
 
 
 class TestDiff:

@@ -4,7 +4,7 @@ and never produce a config that fails to re-render."""
 
 from hypothesis import given, settings, strategies as st
 
-from repro.config.lang import ParseError, parse_device, render_device
+from repro.config.lang import parse_device, render_device
 from repro.config.schema import ConfigError
 
 config_words = st.sampled_from(

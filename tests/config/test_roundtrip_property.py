@@ -1,0 +1,96 @@
+"""Property-style round-trip test: ``parse(render(config)) == config``.
+
+Instead of synthesizing configs token-by-token (which would mostly produce
+inputs the renderer can never emit), we sample the *workload generators* —
+topology family x protocol x a randomized prefix of the paper's change
+workload — and assert the canonical rendering of every resulting device
+parses back to an identical ``DeviceConfig``.  With hypothesis available the
+sampling is driven by strategies; otherwise a seeded fallback grid runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config.changes import apply_changes
+from repro.config.lang import parse_device, render_device
+from repro.config.schema import Snapshot
+from repro.net.topologies import fat_tree, ring
+from repro.workloads import (
+    acl_changes,
+    bgp_snapshot,
+    build_enterprise,
+    ospf_snapshot,
+    paper_changes,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def base_snapshot(family: str, protocol: str) -> Snapshot:
+    labeled = fat_tree(4) if family == "fat_tree" else ring(6)
+    build = ospf_snapshot if protocol == "ospf" else bgp_snapshot
+    return build(labeled)
+
+
+def perturbed_snapshot(
+    family: str, protocol: str, seed: int, take: int
+) -> Snapshot:
+    labeled = fat_tree(4) if family == "fat_tree" else ring(6)
+    snapshot = base_snapshot(family, protocol)
+    pool = [c for _, c in paper_changes(labeled, protocol, 4, seed=seed)]
+    pool.extend(acl_changes(labeled, count=3, seed=seed + 7))
+    random.Random(seed).shuffle(pool)
+    for change in pool[:take]:
+        snapshot, _ = apply_changes(snapshot, [change])
+    return snapshot
+
+
+def assert_roundtrip(snapshot: Snapshot) -> None:
+    for name, device in snapshot.devices.items():
+        rendered = render_device(device)
+        reparsed = parse_device(rendered)
+        assert reparsed == device, f"round trip diverged for {name}"
+        # the canonical rendering must itself be a fixed point
+        assert render_device(reparsed) == rendered
+
+
+@pytest.mark.parametrize("family", ["ring", "fat_tree"])
+@pytest.mark.parametrize("protocol", ["ospf", "bgp"])
+def test_roundtrip_base_snapshots(family, protocol):
+    assert_roundtrip(base_snapshot(family, protocol))
+
+
+def test_roundtrip_enterprise():
+    assert_roundtrip(build_enterprise().snapshot)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        family=st.sampled_from(["ring", "fat_tree"]),
+        protocol=st.sampled_from(["ospf", "bgp"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        take=st.integers(min_value=0, max_value=8),
+    )
+    def test_roundtrip_randomized_workloads(family, protocol, seed, take):
+        assert_roundtrip(perturbed_snapshot(family, protocol, seed, take))
+
+else:  # pragma: no cover - seeded fallback grid
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_randomized_workloads(seed):
+        family = ["ring", "fat_tree"][seed % 2]
+        protocol = ["ospf", "bgp"][(seed // 2) % 2]
+        assert_roundtrip(
+            perturbed_snapshot(family, protocol, seed, take=seed + 2)
+        )

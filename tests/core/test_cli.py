@@ -5,7 +5,6 @@ import pytest
 from repro.cli import main
 from repro.config.io import CONFIG_DIR, load_snapshot, save_snapshot
 from repro.net.topologies import line
-from repro.workloads import ospf_snapshot
 
 
 @pytest.fixture

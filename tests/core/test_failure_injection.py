@@ -13,7 +13,7 @@ from repro.core.realconfig import RealConfig
 from repro.ddlog.convergence import ConvergenceMonitor, NonConvergenceError
 from repro.net.topologies import ring
 from repro.policy.spec import LoopFree
-from repro.workloads import bgp_snapshot, ospf_snapshot
+from repro.workloads import bgp_snapshot
 
 
 @pytest.fixture
@@ -76,7 +76,6 @@ class TestNonConvergence:
     def test_divergence_introduced_by_change(self):
         """A convergent network made divergent by an LP change: the verify
         call raises instead of hanging."""
-        from repro.config.schema import RouteMap, RouteMapClause
 
         labeled = ring(3)
         snapshot = bgp_snapshot(labeled)

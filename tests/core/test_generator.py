@@ -1,12 +1,9 @@
 """Tests for the incremental data plane generator (stage 1)."""
 
-import pytest
 
 from repro.config.changes import (
     AddAclEntry,
     BindAcl,
-    RemoveAclEntry,
-    SetLocalPref,
     ShutdownInterface,
     UnbindAcl,
     apply_changes,

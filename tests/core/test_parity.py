@@ -18,7 +18,7 @@ from repro.config.schema import AclEntry
 from repro.core.realconfig import RealConfig
 from repro.net.addr import Prefix
 from repro.net.headerspace import HeaderBox
-from repro.net.topologies import fat_tree, ring
+from repro.net.topologies import ring
 from repro.policy.spec import BlackholeFree, LoopFree, Reachability
 from repro.workloads import bgp_snapshot, ospf_snapshot
 

@@ -6,7 +6,6 @@ from repro.config.changes import (
     AddAclEntry,
     BindAcl,
     EnableInterface,
-    SetLocalPref,
     SetOspfCost,
     ShutdownInterface,
     UnbindAcl,

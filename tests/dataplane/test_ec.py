@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dataplane.ec import ECManager, EcError, EcMerge, EcSplit
-from repro.net.addr import Prefix
 from repro.net.headerspace import HeaderBox, header
 
 

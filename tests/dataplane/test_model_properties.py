@@ -1,11 +1,10 @@
 """Property-based consistency of the data plane model in both forwarding
 semantics, against per-header brute force."""
 
-import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dataplane.model import ModelError, NetworkModel
+from repro.dataplane.model import NetworkModel
 from repro.dataplane.ports import DROP_PORT, forward_port
 from repro.dataplane.rule import ForwardingRule
 from repro.net.addr import Prefix

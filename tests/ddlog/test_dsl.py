@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ddlog.dsl import DslError, Program, Var, const
+from repro.ddlog.dsl import DslError, Program, const
 
 
 def tc_program():

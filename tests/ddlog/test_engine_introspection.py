@@ -1,10 +1,7 @@
 """Engine introspection and statistics."""
 
-import pytest
 
 from repro.ddlog.dsl import Program
-from repro.ddlog.engine import Engine, EpochStats
-from repro.ddlog.operators import Input, Join, Map, Probe
 
 
 def tc():

@@ -8,7 +8,6 @@ evaluation of the final input (including disconnections, which defeat naive
 incremental Datalog via count-to-infinity).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.ddlog.dsl import Program

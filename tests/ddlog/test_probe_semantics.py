@@ -1,8 +1,7 @@
 """Probe and delta-draining semantics of compiled programs."""
 
-import pytest
 
-from repro.ddlog.dsl import DslError, Program
+from repro.ddlog.dsl import Program
 
 
 def build():

@@ -1,9 +1,8 @@
 """Recursion shapes beyond plain transitive closure: mutual recursion,
 aggregates feeding recursion, and stratified downstream consumers."""
 
-import pytest
 
-from repro.ddlog.dsl import DslError, Program, const
+from repro.ddlog.dsl import Program, const
 
 
 def positive(collection):

@@ -12,7 +12,7 @@ from repro.config.schema import (
     Snapshot,
 )
 from repro.ddlog.convergence import ConvergenceMonitor, NonConvergenceError
-from repro.net.topologies import LabeledTopology, ring
+from repro.net.topologies import ring
 from repro.routing.program import ControlPlane
 from repro.workloads.fattree_configs import _base_device, asn_map
 

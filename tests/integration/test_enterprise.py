@@ -12,7 +12,6 @@ from repro.config.changes import (
     apply_changes,
 )
 from repro.core.realconfig import RealConfig
-from repro.net.addr import Prefix, parse_ipv4
 from repro.net.headerspace import HeaderBox, header
 from repro.policy.spec import LoopFree, Reachability, isolation
 from repro.policy.trace import trace_packet

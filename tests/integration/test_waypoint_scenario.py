@@ -3,7 +3,7 @@ the border (firewall) device — the Waypoint policy through the pipeline."""
 
 import pytest
 
-from repro.config.changes import AddStaticRoute, ShutdownInterface
+from repro.config.changes import ShutdownInterface
 from repro.core.realconfig import RealConfig
 from repro.net.headerspace import HeaderBox
 from repro.policy.spec import Waypoint

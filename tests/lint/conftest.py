@@ -1,0 +1,44 @@
+"""Fixture builders for lint tests: tiny hand-rolled snapshots with exactly
+one defect (positive fixture) or none (negative fixture) per pass."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config.schema import DeviceConfig, InterfaceConfig, Snapshot
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topology import InterfaceId, Topology
+
+
+def two_router_snapshot(
+    left_prefix: str = "10.0.0.0/30",
+    right_prefix: Optional[str] = None,
+) -> Tuple[Snapshot, DeviceConfig, DeviceConfig]:
+    """Two routers r1/r2 joined by one link on eth0.
+
+    ``right_prefix`` defaults to the same subnet as the left end (the
+    correct configuration); pass a different prefix to build mismatches.
+    """
+    lp = Prefix.parse(left_prefix)
+    rp = Prefix.parse(right_prefix) if right_prefix is not None else lp
+    topo = Topology()
+    for name in ("r1", "r2"):
+        topo.add_node(name)
+    topo.add_interface("r1", "eth0", prefix=lp, address=lp.first() + 1)
+    topo.add_interface("r2", "eth0", prefix=rp, address=rp.first() + 2)
+    topo.add_link(InterfaceId("r1", "eth0"), InterfaceId("r2", "eth0"))
+
+    r1 = DeviceConfig(hostname="r1")
+    r1.interfaces["eth0"] = InterfaceConfig(
+        "eth0", prefix=lp, address=lp.first() + 1
+    )
+    r2 = DeviceConfig(hostname="r2")
+    r2.interfaces["eth0"] = InterfaceConfig(
+        "eth0", prefix=rp, address=rp.first() + 2
+    )
+    snapshot = Snapshot(topo, {"r1": r1, "r2": r2})
+    return snapshot, r1, r2
+
+
+def addr(text: str) -> int:
+    return parse_ipv4(text)

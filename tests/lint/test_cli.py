@@ -1,0 +1,132 @@
+"""CLI integration: the exit-code contract of ``repro lint`` and
+``repro diff``, output formats, incremental mode, and suppression flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config.io import load_snapshot, save_snapshot
+from repro.config.changes import AddStaticRouteIp, apply_changes
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topologies import ring
+from repro.workloads import ospf_snapshot
+
+
+@pytest.fixture()
+def base_dir(tmp_path):
+    snapshot = ospf_snapshot(ring(4))
+    directory = tmp_path / "base"
+    save_snapshot(snapshot, directory)
+    return directory
+
+
+@pytest.fixture()
+def broken_dir(tmp_path, base_dir):
+    snapshot = load_snapshot(base_dir)
+    changed, _ = apply_changes(
+        snapshot,
+        [
+            AddStaticRouteIp(
+                "r0",
+                Prefix.parse("203.0.113.0/24"),
+                parse_ipv4("172.31.0.9"),
+            )
+        ],
+    )
+    directory = tmp_path / "broken"
+    save_snapshot(changed, directory)
+    return directory
+
+
+class TestLintExitCodes:
+    def test_clean_snapshot_exits_zero(self, base_dir, capsys):
+        assert main(["lint", str(base_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_exits_one(self, broken_dir, capsys):
+        assert main(["lint", str(broken_dir)]) == 1
+        assert "STA001" in capsys.readouterr().out
+
+    def test_fail_on_never_exits_zero(self, broken_dir):
+        assert main(["lint", str(broken_dir), "--fail-on", "never"]) == 0
+
+    def test_suppression_flag(self, broken_dir):
+        assert main(["lint", str(broken_dir), "--suppress", "STA*"]) == 0
+
+    def test_bad_suppression_exits_two(self, broken_dir):
+        assert main(["lint", str(broken_dir), "--suppress", ""]) == 2
+
+    def test_missing_snapshot_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+
+class TestLintFormats:
+    def test_json(self, broken_dir, capsys):
+        assert main(["lint", str(broken_dir), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any(
+            d["code"] == "STA001" for d in payload["diagnostics"]
+        )
+
+    def test_sarif(self, broken_dir, capsys):
+        assert main(["lint", str(broken_dir), "--format", "sarif"]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["results"]
+
+
+class TestLintIncremental:
+    def test_base_scopes_to_diff(self, base_dir, broken_dir, capsys):
+        code = main(
+            ["lint", str(broken_dir), "--base", str(base_dir)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "STA001" in captured.out
+        assert "incremental" in captured.err
+        # strictly fewer than the 8 registered passes re-ran
+        ran, total = captured.err.split("incremental: ")[1].split(" ")[0].split("/")
+        assert int(ran) < int(total)
+
+
+class TestDiffExitCodes:
+    def test_identical_exits_zero(self, base_dir):
+        assert main(["diff", str(base_dir), str(base_dir)]) == 0
+
+    def test_nonempty_diff_exits_one(self, base_dir, broken_dir):
+        assert main(["diff", str(base_dir), str(broken_dir)]) == 1
+
+    def test_unparseable_snapshot_exits_two(self, base_dir, tmp_path, capsys):
+        bad = tmp_path / "bad"
+        import shutil
+
+        shutil.copytree(base_dir, bad)
+        config = bad / "configs" / "r0.cfg"
+        config.write_text(config.read_text() + "frobnicate everything\n")
+        assert main(["diff", str(base_dir), str(bad)]) == 2
+        # the satellite fix: the offending *file* is named in the error
+        assert "r0.cfg" in capsys.readouterr().err
+
+
+class TestVerifyLintGate:
+    def test_enforce_refuses(self, base_dir, broken_dir, capsys):
+        code = main(
+            ["verify", str(base_dir), str(broken_dir), "--lint", "enforce"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REFUSED by lint gate" in captured.err
+
+    def test_warn_annotates(self, base_dir, broken_dir, capsys):
+        code = main(
+            ["verify", str(base_dir), str(broken_dir), "--lint", "warn"]
+        )
+        captured = capsys.readouterr()
+        assert "lint:" in captured.out
+        assert "STA001" in captured.out
+        # the static route is a blackhole the policy checker may or may not
+        # flag; the lint annotation itself must not change the exit contract
+        assert code in (0, 1)

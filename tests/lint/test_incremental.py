@@ -1,0 +1,203 @@
+"""Incremental lint: diff-scoped re-running must be equivalent to a full
+run while executing strictly fewer passes/units on small diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.changes import (
+    AddAclEntry,
+    AddStaticRouteIp,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.config.diff import diff_snapshots
+from repro.config.schema import AclEntry
+from repro.lint import (
+    LintRunner,
+    Suppression,
+    stanza_kind,
+    touched_kinds,
+)
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topologies import fat_tree, ring
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+
+def diag_keys(result):
+    return sorted(str(d) for d in result.diagnostics)
+
+
+class TestStanzaKinds:
+    @pytest.mark.parametrize(
+        "stanza,kind",
+        [
+            ("", "top"),
+            ("interface eth0", "interface"),
+            ("ip access-list SEC_1", "acl"),
+            ("route-map RM permit 10", "route-map"),
+            ("router ospf 1", "router-ospf"),
+            ("router bgp 65001", "router-bgp"),
+        ],
+    )
+    def test_kinds(self, stanza, kind):
+        assert stanza_kind(stanza) == kind
+
+    def test_touched_kinds_of_a_cost_change(self):
+        labeled = ring(4)
+        base = ospf_snapshot(labeled)
+        changed, diff = apply_changes(base, [SetOspfCost("r0", "eth0", 50)])
+        assert touched_kinds(diff) == {"r0": {"interface"}}
+
+
+class TestIncrementalEquivalence:
+    """run_incremental(...) must reproduce run(...) on the new snapshot."""
+
+    @pytest.mark.parametrize(
+        "protocol,change",
+        [
+            ("ospf", SetOspfCost("r0", "eth0", 50)),
+            ("ospf", ShutdownInterface("r1", "eth0")),
+            (
+                "ospf",
+                AddStaticRouteIp(
+                    "r2",
+                    Prefix.parse("203.0.113.0/24"),
+                    parse_ipv4("10.99.0.1"),
+                ),
+            ),
+            ("bgp", SetLocalPref("r0", "eth0", 150)),
+            (
+                "bgp",
+                AddAclEntry(
+                    "r3", "NEW", AclEntry(10, "deny", proto=6)
+                ),
+            ),
+        ],
+    )
+    def test_one_change(self, protocol, change):
+        labeled = ring(4)
+        base = (
+            ospf_snapshot(labeled)
+            if protocol == "ospf"
+            else bgp_snapshot(labeled)
+        )
+        runner = LintRunner()
+        previous = runner.run(base)
+        changed, diff = apply_changes(base, [change])
+        incremental = runner.run_incremental(changed, diff, previous)
+        full = runner.run(changed)
+        assert diag_keys(incremental) == diag_keys(full)
+
+    def test_chained_changes(self):
+        labeled = fat_tree(4)
+        base = ospf_snapshot(labeled)
+        runner = LintRunner()
+        state = runner.run(base)
+        snapshot = base
+        for change in (
+            SetOspfCost("agg0_0", "up0", 100),
+            ShutdownInterface("core0", "eth0"),
+        ):
+            snapshot, diff = apply_changes(snapshot, [change])
+            state = runner.run_incremental(snapshot, diff, state)
+            assert diag_keys(state) == diag_keys(runner.run(snapshot))
+
+
+class TestIncrementalScoping:
+    def test_one_line_diff_runs_strictly_fewer_passes(self):
+        """The acceptance criterion: a 1-line diff re-runs strictly fewer
+        passes than a full-snapshot lint."""
+        labeled = fat_tree(4)
+        base = ospf_snapshot(labeled)
+        runner = LintRunner()
+        previous = runner.run(base)
+        changed, diff = apply_changes(
+            base, [SetOspfCost("agg0_0", "up0", 100)]
+        )
+        assert diff.size() == 1
+        incremental = runner.run_incremental(changed, diff, previous)
+        assert len(incremental.passes_run) < len(previous.passes_run)
+        assert incremental.units_run < previous.units_run
+
+    def test_acl_only_diff_skips_routing_passes(self):
+        labeled = ring(4)
+        base = bgp_snapshot(labeled)
+        runner = LintRunner()
+        previous = runner.run(base)
+        changed, diff = apply_changes(
+            base,
+            [AddAclEntry("r0", "SEC", AclEntry(10, "permit"))],
+        )
+        incremental = runner.run_incremental(changed, diff, previous)
+        assert set(incremental.passes_run) == {
+            "undefined-references",
+            "shadowed-acl-entries",
+        }
+
+    def test_empty_diff_runs_nothing(self):
+        labeled = ring(4)
+        base = ospf_snapshot(labeled)
+        runner = LintRunner()
+        previous = runner.run(base)
+        incremental = runner.run_incremental(
+            base, diff_snapshots(base, base), previous
+        )
+        assert incremental.passes_run == []
+        assert incremental.units_run == 0
+        assert diag_keys(incremental) == diag_keys(previous)
+
+    def test_untouched_device_diagnostics_carry_over(self):
+        """A pre-existing defect on an untouched device must survive an
+        incremental run that never revisits that device."""
+        labeled = ring(4)
+        base = ospf_snapshot(labeled)
+        base = base.clone()
+        # Plant a defect on r3: static route with unresolvable next hop.
+        from repro.config.schema import StaticRoute
+
+        base.devices["r3"].static_routes.append(
+            StaticRoute(
+                Prefix.parse("203.0.113.0/24"),
+                next_hop_ip=parse_ipv4("172.31.0.9"),
+            )
+        )
+        runner = LintRunner()
+        previous = runner.run(base)
+        assert any(d.code == "STA001" for d in previous.diagnostics)
+        # Touch only r0's ACL config: static-route pass never re-runs.
+        changed, diff = apply_changes(
+            base, [AddAclEntry("r0", "SEC", AclEntry(10, "permit"))]
+        )
+        incremental = runner.run_incremental(changed, diff, previous)
+        assert "static-route-nexthops" not in incremental.passes_run
+        assert any(
+            d.code == "STA001" and d.device == "r3"
+            for d in incremental.diagnostics
+        )
+
+
+class TestSuppressions:
+    def test_suppression_applies_to_incremental_runs(self):
+        labeled = ring(4)
+        base = ospf_snapshot(labeled)
+        runner = LintRunner(suppressions=[Suppression("OSP*")])
+        previous = runner.run(base)
+        changed, diff = apply_changes(base, [SetOspfCost("r0", "eth0", 50)])
+        incremental = runner.run_incremental(changed, diff, previous)
+        assert not [d for d in incremental.diagnostics if d.code == "OSP003"]
+        assert incremental.suppressed >= 1
+
+    def test_device_scoped_suppression(self):
+        labeled = ring(4)
+        base = ospf_snapshot(labeled)
+        changed, _ = apply_changes(base, [SetOspfCost("r0", "eth0", 50)])
+        unsuppressed = LintRunner().run(changed)
+        hits = [d for d in unsuppressed.diagnostics if d.code == "OSP003"]
+        assert hits
+        suppressed = LintRunner(
+            suppressions=[Suppression("OSP003", hits[0].device)]
+        ).run(changed)
+        assert not any(d.code == "OSP003" for d in suppressed.diagnostics)

@@ -1,0 +1,81 @@
+"""Output formatters: text, JSON, and SARIF 2.1.0 structure + line anchors."""
+
+from __future__ import annotations
+
+import json
+
+from repro.config.lang import device_lines
+from repro.config.schema import Acl, AclEntry
+from repro.lint import LintRunner
+from repro.lint.output import format_json, format_sarif, format_text
+
+from tests.lint.conftest import two_router_snapshot
+
+
+def defective_snapshot():
+    snapshot, r1, _ = two_router_snapshot()
+    r1.interfaces["eth0"].acl_in = "NOPE"  # REF001 (error)
+    r1.acls["A"] = Acl(
+        "A", [AclEntry(10, "permit"), AclEntry(20, "deny")]
+    )  # ACL002 (error, masked opposite action)
+    return snapshot
+
+
+class TestText:
+    def test_contains_codes_and_summary(self):
+        snapshot = defective_snapshot()
+        text = format_text(LintRunner().run(snapshot), snapshot)
+        assert "REF001" in text
+        assert "ACL002" in text
+        assert "lint:" in text.splitlines()[-1]
+
+
+class TestJson:
+    def test_valid_and_complete(self):
+        snapshot = defective_snapshot()
+        result = LintRunner().run(snapshot)
+        payload = json.loads(format_json(result, snapshot))
+        assert payload["tool"] == "repro-lint"
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"REF001", "ACL002"} <= codes
+        assert payload["passes_run"] == result.passes_run
+        for diag in payload["diagnostics"]:
+            assert {"code", "severity", "device", "stanza", "message"} <= set(
+                diag
+            )
+            assert diag["line"] >= 1
+
+
+class TestSarif:
+    def test_structure(self):
+        snapshot = defective_snapshot()
+        sarif = json.loads(format_sarif(LintRunner().run(snapshot), snapshot))
+        assert sarif["version"] == "2.1.0"
+        assert "$schema" in sarif
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"REF001", "ACL002"} <= rule_ids
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("error", "warning", "note")
+            (location,) = result["locations"]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"].endswith(".cfg")
+            assert physical["region"]["startLine"] >= 1
+
+    def test_line_anchor_points_at_the_offending_line(self):
+        snapshot = defective_snapshot()
+        sarif = json.loads(format_sarif(LintRunner().run(snapshot), snapshot))
+        rendered = [
+            text for _, text in device_lines(snapshot.devices["r1"])
+        ]
+        ref = next(
+            r
+            for r in sarif["runs"][0]["results"]
+            if r["ruleId"] == "REF001"
+        )
+        line_no = ref["locations"][0]["physicalLocation"]["region"]["startLine"]
+        assert rendered[line_no - 1].strip() == "ip access-group NOPE in"

@@ -1,0 +1,344 @@
+"""Unit tests for every lint pass: one positive (defect present, diagnostic
+emitted) and one negative (clean config, silent) fixture each."""
+
+from __future__ import annotations
+
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    BgpProcess,
+    OspfProcess,
+    Redistribution,
+    RouteMap,
+    RouteMapClause,
+    StaticRoute,
+)
+from repro.lint import LintRunner, Severity, all_passes
+from repro.net.addr import Prefix
+
+from tests.lint.conftest import addr, two_router_snapshot
+
+
+def run_codes(snapshot):
+    result = LintRunner().run(snapshot)
+    return {diag.code for diag in result.diagnostics}, result
+
+
+def by_pass(name):
+    for lint_pass in all_passes():
+        if lint_pass.name == name:
+            return lint_pass
+    raise AssertionError(f"no pass named {name}")
+
+
+class TestRegistry:
+    def test_eight_passes_registered(self):
+        assert len(all_passes()) == 8
+
+    def test_unique_codes_and_names(self):
+        passes = all_passes()
+        assert len({p.name for p in passes}) == len(passes)
+        assert len({p.code for p in passes}) == len(passes)
+
+
+class TestUndefinedReferences:
+    def test_dangling_acl_binding(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.interfaces["eth0"].acl_in = "NOPE"
+        codes, _ = run_codes(snapshot)
+        assert "REF001" in codes
+
+    def test_dangling_route_map_and_interface(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.bgp = BgpProcess(asn=65001)
+        r1.bgp.add_neighbor(
+            BgpNeighbor("eth9", 65002, route_map_in="MISSING")
+        )
+        codes, _ = run_codes(snapshot)
+        assert "REF002" in codes  # undefined interface
+        assert "REF003" in codes  # undefined route map
+
+    def test_dangling_static_route_interface(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.static_routes.append(
+            StaticRoute(Prefix.parse("203.0.113.0/24"), "eth7")
+        )
+        codes, _ = run_codes(snapshot)
+        assert "REF004" in codes
+
+    def test_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.acls["OK"] = Acl("OK", [AclEntry(10, "permit")])
+        r1.interfaces["eth0"].acl_in = "OK"
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("REF")}
+
+
+class TestShadowedAclEntries:
+    def test_shadowed_same_action_warns(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.acls["A"] = Acl(
+            "A",
+            [
+                AclEntry(10, "permit", src=Prefix.parse("10.0.0.0/8")),
+                AclEntry(20, "permit", src=Prefix.parse("10.1.0.0/16")),
+            ],
+        )
+        _, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code == "ACL001"]
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.WARNING
+
+    def test_masked_opposite_action_errors(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.acls["A"] = Acl(
+            "A",
+            [
+                AclEntry(10, "permit"),  # matches everything
+                AclEntry(20, "deny", dst_port=(23, 23), proto=6),
+            ],
+        )
+        _, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code == "ACL002"]
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.ERROR
+
+    def test_disjoint_entries_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.acls["A"] = Acl(
+            "A",
+            [
+                AclEntry(10, "deny", src=Prefix.parse("10.0.0.0/8")),
+                AclEntry(20, "permit", src=Prefix.parse("192.168.0.0/16")),
+                AclEntry(30, "permit"),  # catch-all last is fine
+            ],
+        )
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("ACL")}
+
+    def test_port_range_not_covered_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.acls["A"] = Acl(
+            "A",
+            [
+                AclEntry(10, "deny", proto=6, dst_port=(80, 80)),
+                AclEntry(20, "deny", proto=6, dst_port=(80, 443)),
+            ],
+        )
+        codes, _ = run_codes(snapshot)
+        # the wider range is NOT covered by the narrower earlier entry
+        assert not {c for c in codes if c.startswith("ACL")}
+
+
+class TestUnreachableRouteMapClauses:
+    def test_catch_all_shadows_later_clause(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.route_maps["RM"] = RouteMap(
+            "RM",
+            [
+                RouteMapClause(10, "permit"),  # matches every route
+                RouteMapClause(20, "deny",
+                               match_prefix=Prefix.parse("10.0.0.0/8")),
+            ],
+        )
+        _, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code.startswith("RMP")]
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.ERROR  # opposite action masked
+
+    def test_ordered_specific_to_general_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.route_maps["RM"] = RouteMap(
+            "RM",
+            [
+                RouteMapClause(10, "deny",
+                               match_prefix=Prefix.parse("10.1.0.0/16")),
+                RouteMapClause(20, "permit",
+                               match_prefix=Prefix.parse("10.0.0.0/8")),
+            ],
+        )
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("RMP")}
+
+
+class TestDuplicateIdentity:
+    def test_shared_asn_warns_both_devices(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        r1.bgp = BgpProcess(asn=65000)
+        r2.bgp = BgpProcess(asn=65000)
+        _, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code == "DUP001"]
+        assert {d.device for d in diags} == {"r1", "r2"}
+
+    def test_duplicate_link_address_errors(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        r2.interfaces["eth0"].address = r1.interfaces["eth0"].address
+        codes, _ = run_codes(snapshot)
+        assert "DUP002" in codes
+
+    def test_same_prefix_on_two_interfaces_of_one_device(self):
+        snapshot, r1, _ = two_router_snapshot()
+        from repro.config.schema import InterfaceConfig
+
+        r1.interfaces["eth1"] = InterfaceConfig(
+            "eth1", prefix=r1.interfaces["eth0"].prefix, address=addr("10.0.0.3")
+        )
+        codes, _ = run_codes(snapshot)
+        assert "DUP003" in codes
+
+    def test_distinct_identities_clean(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        r1.bgp = BgpProcess(asn=65001)
+        r2.bgp = BgpProcess(asn=65002)
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("DUP")}
+
+
+class TestOspfAdjacency:
+    def _enable_ospf(self, *devices):
+        for device in devices:
+            device.ospf = OspfProcess()
+            for iface in device.interfaces.values():
+                iface.ospf_enabled = True
+
+    def test_half_enabled_adjacency_warns(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        self._enable_ospf(r1)
+        r2.ospf = OspfProcess()
+        codes, _ = run_codes(snapshot)
+        assert "OSP001" in codes
+
+    def test_subnet_mismatch_errors(self):
+        snapshot, r1, r2 = two_router_snapshot(right_prefix="10.0.9.0/30")
+        self._enable_ospf(r1, r2)
+        codes, _ = run_codes(snapshot)
+        assert "OSP002" in codes
+
+    def test_cost_asymmetry_warns(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        self._enable_ospf(r1, r2)
+        r1.interfaces["eth0"].ospf_cost = 10
+        codes, _ = run_codes(snapshot)
+        assert "OSP003" in codes
+
+    def test_shutdown_link_not_reported(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        self._enable_ospf(r1)
+        r2.ospf = OspfProcess()
+        r1.interfaces["eth0"].shutdown = True
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("OSP")}
+
+    def test_symmetric_adjacency_clean(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        self._enable_ospf(r1, r2)
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("OSP")}
+
+
+class TestRedistributionCycles:
+    def _border(self, device, asn):
+        device.ospf = OspfProcess()
+        device.bgp = BgpProcess(asn=asn)
+
+    def test_single_device_mutual_is_info(self):
+        snapshot, r1, _ = two_router_snapshot()
+        self._border(r1, 65001)
+        r1.ospf.redistribute.append(Redistribution("bgp"))
+        r1.bgp.redistribute.append(Redistribution("ospf"))
+        _, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code == "RED002"]
+        assert len(diags) == 1
+        assert diags[0].severity == Severity.INFO
+
+    def test_multi_device_cycle_warns(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        self._border(r1, 65001)
+        self._border(r2, 65002)
+        r1.bgp.redistribute.append(Redistribution("ospf"))
+        r2.ospf.redistribute.append(Redistribution("bgp"))
+        _, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code == "RED001"]
+        assert diags and all(d.severity == Severity.WARNING for d in diags)
+
+    def test_one_way_redistribution_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        self._border(r1, 65001)
+        r1.bgp.redistribute.append(Redistribution("ospf"))
+        r1.ospf.redistribute.append(Redistribution("static"))
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("RED")}
+
+
+class TestStaticRouteNextHops:
+    def test_unresolvable_ip_next_hop_errors(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.static_routes.append(
+            StaticRoute(
+                Prefix.parse("203.0.113.0/24"),
+                next_hop_ip=addr("172.31.0.1"),
+            )
+        )
+        codes, _ = run_codes(snapshot)
+        assert "STA001" in codes
+
+    def test_next_hop_behind_shutdown_interface_errors(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.interfaces["eth0"].shutdown = True
+        r1.static_routes.append(
+            StaticRoute(
+                Prefix.parse("203.0.113.0/24"), next_hop_ip=addr("10.0.0.2")
+            )
+        )
+        codes, _ = run_codes(snapshot)
+        assert "STA001" in codes
+
+    def test_self_next_hop_warns(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.static_routes.append(
+            StaticRoute(
+                Prefix.parse("203.0.113.0/24"), next_hop_ip=addr("10.0.0.1")
+            )
+        )
+        codes, _ = run_codes(snapshot)
+        assert "STA002" in codes
+
+    def test_resolvable_next_hop_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.static_routes.append(
+            StaticRoute(
+                Prefix.parse("203.0.113.0/24"), next_hop_ip=addr("10.0.0.2")
+            )
+        )
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("STA")}
+
+
+class TestShutdownInterfaceConfig:
+    def test_ospf_on_shutdown_interface(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.ospf = OspfProcess()
+        r1.interfaces["eth0"].ospf_enabled = True
+        r1.interfaces["eth0"].shutdown = True
+        codes, _ = run_codes(snapshot)
+        assert "SHD001" in codes
+
+    def test_bgp_neighbor_and_static_via_shutdown(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.bgp = BgpProcess(asn=65001)
+        r1.bgp.add_neighbor(BgpNeighbor("eth0", 65002))
+        r1.static_routes.append(
+            StaticRoute(Prefix.parse("203.0.113.0/24"), "eth0")
+        )
+        r1.interfaces["eth0"].shutdown = True
+        codes, _ = run_codes(snapshot)
+        assert "SHD003" in codes
+        assert "SHD004" in codes
+
+    def test_up_interface_clean(self):
+        snapshot, r1, _ = two_router_snapshot()
+        r1.ospf = OspfProcess()
+        r1.interfaces["eth0"].ospf_enabled = True
+        codes, _ = run_codes(snapshot)
+        assert not {c for c in codes if c.startswith("SHD")}

@@ -6,8 +6,8 @@ import pytest
 from repro.dataplane.batch import BatchUpdater
 from repro.dataplane.model import NetworkModel
 from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
-from repro.net.addr import Prefix, parse_ipv4
-from repro.net.headerspace import HeaderBox, header
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
 from repro.net.topologies import line, ring
 from repro.policy.checker import IncrementalChecker, PolicyError
 from repro.policy.spec import (

@@ -1,7 +1,6 @@
 """Checker edge cases: policy lifecycle vs EC splits/merges, vacuous
 policies, and status stability across no-op batches."""
 
-import pytest
 
 from repro.dataplane.batch import BatchUpdater
 from repro.dataplane.model import NetworkModel

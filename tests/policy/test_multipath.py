@@ -1,6 +1,5 @@
 """Tests for the Multipath (load-balance / fault-width) policy."""
 
-import pytest
 
 from repro.config.changes import EnableInterface, ShutdownInterface
 from repro.core.realconfig import RealConfig

@@ -1,10 +1,9 @@
 """Tests for per-EC forwarding graph analysis."""
 
-import pytest
 
 from repro.dataplane.model import NetworkModel
 from repro.dataplane.rule import ForwardingRule
-from repro.net.addr import Prefix, parse_ipv4
+from repro.net.addr import Prefix
 from repro.net.headerspace import header
 from repro.net.topologies import line, ring
 from repro.policy.paths import analyze_ec

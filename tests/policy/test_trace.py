@@ -1,6 +1,5 @@
 """Tests for packet tracing (the paper's §4 debugging functionality)."""
 
-import pytest
 
 from repro.dataplane.model import NetworkModel
 from repro.dataplane.rule import FilterRule, ForwardingRule

@@ -7,7 +7,6 @@ from repro.config.changes import (
     ShutdownInterface,
     apply_changes,
 )
-from repro.net.addr import Prefix
 from repro.net.topologies import grid, line, ring
 from repro.routing.program import ControlPlane
 from repro.routing.types import ACCEPT

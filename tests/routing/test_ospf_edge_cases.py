@@ -1,7 +1,6 @@
 """OSPF semantic edge cases: asymmetric costs, partial enablement, stub
 interfaces, and adjacency requirements."""
 
-import pytest
 
 from repro.baseline import simulate
 from repro.config.changes import SetOspfCost, apply_changes

@@ -1,7 +1,7 @@
 """Tests for route-map encoding and evaluation."""
 
 from repro.config.schema import RouteMap, RouteMapClause
-from repro.net.addr import Prefix, parse_ipv4
+from repro.net.addr import Prefix
 from repro.routing.policies import (
     DEFAULT_LOCAL_PREF,
     PERMIT_ALL,

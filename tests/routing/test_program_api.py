@@ -1,13 +1,10 @@
 """Public API surface of the ControlPlane wrapper."""
 
-import pytest
 
 from repro.config.changes import ShutdownInterface, apply_changes
-from repro.net.topologies import line
 from repro.routing.program import ControlPlane, FibDelta
 from repro.routing.types import FibEntry
 from repro.net.addr import Prefix
-from repro.workloads import ospf_snapshot
 
 
 class TestFibDelta:

@@ -1,6 +1,5 @@
 """Route redistribution semantics."""
 
-import pytest
 
 from repro.config.changes import (
     AddRedistribution,

@@ -1,6 +1,5 @@
 """Static route and connected-route semantics, and admin distance."""
 
-import pytest
 
 from repro.config.changes import (
     AddStaticRoute,

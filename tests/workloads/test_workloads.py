@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.config.changes import SetLocalPref, SetOspfCost, ShutdownInterface
-from repro.net.topologies import fat_tree, line
+from repro.config.changes import SetLocalPref, SetOspfCost
+from repro.net.topologies import line
 from repro.workloads import (
     acl_changes,
     asn_map,
