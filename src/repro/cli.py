@@ -14,7 +14,16 @@ Subcommands (also available as ``python -m repro``):
 - ``diff``      show the configuration-line diff between two snapshots;
 - ``lint``      run semantic static analysis over a snapshot (full, or
   scoped to the diff against a base snapshot), with text / JSON / SARIF
-  output.
+  output;
+- ``profile``   replay a generated change workload through the verifier
+  and print the per-stage latency breakdown with incremental-work ratios.
+
+Global observability flags (before the subcommand):
+
+- ``--trace FILE``    record spans and write Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``);
+- ``--metrics FILE``  record counters/histograms and write the Prometheus
+  text exposition.
 
 Exit-code contract (CI gates rely on it):
 
@@ -51,6 +60,15 @@ from repro.net.headerspace import HeaderBox, header
 from repro.net.topologies import fat_tree, grid, line, random_connected, ring
 from repro.policy.spec import BlackholeFree, LoopFree, Reachability
 from repro.policy.trace import format_traces, trace_packet
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    prometheus_text,
+    set_metrics,
+    set_tracer,
+    summary_tree,
+)
 from repro.workloads import snapshot_for
 
 
@@ -253,11 +271,185 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if result.ok(fail_on=threshold) else 1
 
 
+def _profile_changes(args: argparse.Namespace, snapshot):
+    from repro.net.topologies import LabeledTopology
+    from repro.workloads import lc_changes, link_failures, lp_changes
+
+    labeled = LabeledTopology(snapshot.topology)
+    generators = {
+        "link-failure": link_failures,
+        "lc": lc_changes,
+        "lp": lp_changes,
+    }
+    changes = generators[args.workload](labeled, seed=args.seed)
+    if not changes:
+        raise CliError(
+            f"workload {args.workload!r} produced no changes for this snapshot"
+        )
+    return changes[: args.count]
+
+
+def _stat_row(label: str, samples: List[float]) -> str:
+    import statistics
+
+    ms = [s * 1000 for s in samples]
+    return (
+        f"  {label:<14s} {statistics.mean(ms):9.2f} "
+        f"{statistics.median(ms):9.2f} {min(ms):9.2f} {max(ms):9.2f}"
+    )
+
+
+def _ratio(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "n/a"
+    return f"{part / whole:.3f}"
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Replay a generated change workload and print where time and
+    incremental work went — the CLI face of the paper's Tables 2-3."""
+    import statistics
+
+    snapshot = load_snapshot(args.snapshot)
+    policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
+    if args.all_pairs:
+        policies.extend(_reachability_policies(snapshot))
+    verifier = RealConfig(snapshot, policies=policies, lint_mode=args.lint)
+    changes = _profile_changes(args, snapshot)
+    initial = verifier.initial
+
+    stages = {
+        "config diff": [],
+        "lint gate": [],
+        "generation": [],
+        "model update": [],
+        "policy check": [],
+        "total": [],
+    }
+    work = {
+        "ddlog records": [],
+        "ddlog messages": [],
+        "ddlog recomputes": [],
+        "ecs affected": [],
+        "ec moves": [],
+        "ports touched": [],
+        "policies rechecked": [],
+        "lint units reused": [],
+        "lint units run": [],
+    }
+    verified = 0
+    for _ in range(args.repeat):
+        for change in changes:
+            inverse = change.invert(verifier.snapshot)
+            delta = verifier.apply_change(change)
+            verified += 1
+            timings = delta.timings
+            stages["config diff"].append(timings.config_diff)
+            stages["lint gate"].append(timings.lint)
+            stages["generation"].append(timings.generation)
+            stages["model update"].append(timings.model_update)
+            stages["policy check"].append(timings.policy_check)
+            stages["total"].append(timings.total)
+            if delta.engine is not None:
+                work["ddlog records"].append(delta.engine.records)
+                work["ddlog messages"].append(delta.engine.messages)
+                work["ddlog recomputes"].append(delta.engine.recompute_calls)
+            if delta.batch is not None:
+                work["ecs affected"].append(
+                    len(delta.batch.affected_ec_ids(verifier.model))
+                )
+                work["ec moves"].append(delta.batch.num_moves)
+                work["ports touched"].append(delta.batch.ports_touched)
+            work["policies rechecked"].append(delta.report.policies_rechecked)
+            if delta.lint is not None:
+                work["lint units reused"].append(delta.lint.units_reused)
+                work["lint units run"].append(delta.lint.units_run)
+            verifier.apply_change(inverse)  # roll back (also verified)
+
+    num_devices = sum(1 for _ in snapshot.iter_devices())
+    print(
+        f"profiled {len(changes)} {args.workload} change(s) x "
+        f"{args.repeat} repeat(s) = {verified} verification(s) "
+        f"on {args.snapshot} ({num_devices} devices, "
+        f"{verifier.model.num_ecs()} ECs, "
+        f"{len(verifier.checker.policies())} policies, lint={args.lint})"
+    )
+    print(
+        f"initial convergence: {initial.timings.total * 1000:.1f} ms, "
+        f"{len(initial.rule_updates)} rule updates"
+        + (
+            f", {initial.engine.records} ddlog records"
+            if initial.engine is not None
+            else ""
+        )
+    )
+    print()
+    print(f"  {'stage':<14s} {'mean ms':>9s} {'median':>9s} "
+          f"{'min':>9s} {'max':>9s}")
+    for label, samples in stages.items():
+        print(_stat_row(label, samples))
+    print()
+    print("incremental work (mean per change / snapshot total = ratio)")
+
+    def mean_of(key: str) -> Optional[float]:
+        return statistics.mean(work[key]) if work[key] else None
+
+    records = mean_of("ddlog records")
+    if records is not None and initial.engine is not None:
+        print(
+            f"  ddlog records      {records:10.1f} / "
+            f"{initial.engine.records} initial-epoch = "
+            f"{_ratio(records, initial.engine.records)}"
+        )
+        print(
+            f"  ddlog messages     {mean_of('ddlog messages'):10.1f}   "
+            f"(recomputes {mean_of('ddlog recomputes'):.1f})"
+        )
+    ecs = mean_of("ecs affected")
+    if ecs is not None:
+        total_ecs = verifier.model.num_ecs()
+        print(
+            f"  ECs affected       {ecs:10.1f} / {total_ecs} total = "
+            f"{_ratio(ecs, total_ecs)}"
+        )
+        print(
+            f"  EC moves           {mean_of('ec moves'):10.1f}   "
+            f"(ports touched {mean_of('ports touched'):.1f})"
+        )
+    rechecked = mean_of("policies rechecked")
+    if rechecked is not None:
+        registered = len(verifier.checker.policies())
+        print(
+            f"  policies rechecked {rechecked:10.1f} / {registered} "
+            f"registered = {_ratio(rechecked, registered)}"
+        )
+    reused = mean_of("lint units reused")
+    if reused is not None:
+        units = reused + (mean_of("lint units run") or 0.0)
+        print(
+            f"  lint units reused  {reused:10.1f} / {units:.1f} total = "
+            f"{_ratio(reused, units)}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RealConfig: incremental network configuration verification",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record spans across the run and write Chrome trace-event "
+             "JSON to FILE (open in Perfetto or chrome://tracing)")
+    parser.add_argument(
+        "--trace-summary", action="store_true",
+        help="print the recorded span tree (durations + work attributes) "
+             "to stderr when the command finishes")
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="record work counters across the run and write the "
+             "Prometheus text exposition to FILE")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="synthesize a snapshot directory")
@@ -343,12 +535,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mute diagnostics matching the glob patterns "
                         "(repeatable)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "profile",
+        help="replay a change workload and print the per-stage profile",
+        description="Build the verifier on the snapshot, generate a "
+        "deterministic change workload, verify each change (plus its "
+        "inverse, restoring the snapshot) --repeat times, and print the "
+        "per-stage latency breakdown with incremental-work ratios "
+        "(ddlog records vs the initial epoch, affected vs total ECs, "
+        "rechecked vs registered policies, reused vs run lint units). "
+        "Combine with the global --trace/--metrics flags to export the "
+        "same run as a Perfetto trace or Prometheus exposition.",
+    )
+    p.add_argument("snapshot", help="snapshot directory to profile against")
+    p.add_argument("--workload", choices=["link-failure", "lc", "lp"],
+                   default="link-failure",
+                   help="change type to replay (default: link-failure)")
+    p.add_argument("--count", type=int, default=5,
+                   help="changes sampled from the workload (default: 5)")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="times the workload is replayed (default: 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload sampling seed (default: 0)")
+    p.add_argument("--all-pairs", action="store_true",
+                   help="register all-pairs reachability policies too")
+    p.add_argument("--lint", choices=["off", "warn", "enforce"],
+                   default="warn",
+                   help="lint gate mode during the replay (default: warn, "
+                        "so lint reuse counters are reported)")
+    p.set_defaults(func=cmd_profile)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracer = registry = None
+    previous_tracer = previous_metrics = None
+    if args.trace is not None or args.trace_summary:
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
+    if args.metrics is not None:
+        registry = MetricsRegistry()
+        previous_metrics = set_metrics(registry)
     try:
         return args.func(args)
     except CliError as error:
@@ -357,6 +587,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        # Export even when the command failed: a trace of a refused or
+        # crashed verification is exactly what one wants to look at.
+        if tracer is not None:
+            set_tracer(previous_tracer)
+            if args.trace is not None:
+                with open(args.trace, "w") as handle:
+                    handle.write(chrome_trace(tracer))
+                print(
+                    f"-- wrote {len(tracer.finished)} span(s) to "
+                    f"{args.trace} (Chrome trace-event JSON)",
+                    file=sys.stderr,
+                )
+            if args.trace_summary:
+                print(summary_tree(tracer), file=sys.stderr)
+        if registry is not None:
+            set_metrics(previous_metrics)
+            with open(args.metrics, "w") as handle:
+                handle.write(prometheus_text(registry))
+            print(
+                f"-- wrote metrics exposition to {args.metrics}",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from repro.lint.diagnostics import Suppression
 from repro.lint.framework import LintResult, LintRunner
 from repro.policy.checker import IncrementalChecker
 from repro.policy.spec import Policy, PolicyStatus
+from repro.telemetry import get_metrics, names, span
 
 
 class LintGateError(ConfigError):
@@ -81,39 +82,52 @@ class RealConfig:
         self.lint_mode = lint_mode
         self._lint_runner: Optional[LintRunner] = None
         self._lint_result: Optional[LintResult] = None
-        if lint_mode != "off":
-            self._lint_runner = LintRunner(suppressions=lint_suppressions)
-            self._lint_result = self._lint_runner.run(self.snapshot)
-        self.generator = IncrementalDataPlaneGenerator(monitor=monitor)
-        self.model = NetworkModel(
-            snapshot.topology, merge_on_unregister=merge_ecs, mode=model_mode
-        )
-        self.updater = BatchUpdater(self.model, order=update_order)
-
         timings = StageTimings()
-        started = time.perf_counter()
-        updates = self.generator.update_to(self.snapshot)
-        timings.generation = time.perf_counter() - started
+        with span(names.SPAN_VERIFY, kind="initial") as root:
+            with span(names.SPAN_LINT_GATE, mode=lint_mode):
+                if lint_mode != "off":
+                    started = time.perf_counter()
+                    self._lint_runner = LintRunner(
+                        suppressions=lint_suppressions
+                    )
+                    self._lint_result = self._lint_runner.run(self.snapshot)
+                    timings.lint = time.perf_counter() - started
+            self.generator = IncrementalDataPlaneGenerator(monitor=monitor)
+            self.model = NetworkModel(
+                snapshot.topology, merge_on_unregister=merge_ecs, mode=model_mode
+            )
+            self.updater = BatchUpdater(self.model, order=update_order)
 
-        started = time.perf_counter()
-        batch = self.updater.apply(updates)
-        timings.model_update = time.perf_counter() - started
+            with span(names.SPAN_GENERATION):
+                started = time.perf_counter()
+                updates = self.generator.update_to(self.snapshot)
+                timings.generation = time.perf_counter() - started
 
-        if endpoints is None:
-            endpoints = [device.hostname for device in snapshot.iter_devices()]
-        started = time.perf_counter()
-        self.checker = IncrementalChecker(self.model, endpoints, policies)
-        timings.policy_check = time.perf_counter() - started
+            started = time.perf_counter()
+            batch = self.updater.apply(updates)
+            timings.model_update = time.perf_counter() - started
 
-        self.initial = VerificationDelta(
-            description="initial snapshot",
-            line_diff=None,
-            rule_updates=updates,
-            batch=batch,
-            report=self.checker.initial_report,
-            timings=timings,
-            lint=self._lint_result,
-        )
+            if endpoints is None:
+                endpoints = [
+                    device.hostname for device in snapshot.iter_devices()
+                ]
+            started = time.perf_counter()
+            self.checker = IncrementalChecker(self.model, endpoints, policies)
+            timings.policy_check = time.perf_counter() - started
+
+            self.initial = VerificationDelta(
+                description="initial snapshot",
+                line_diff=None,
+                rule_updates=updates,
+                batch=batch,
+                report=self.checker.initial_report,
+                timings=timings,
+                lint=self._lint_result,
+                engine=self.generator.last_engine_stats,
+            )
+            root.set("rule_updates", len(updates))
+            root.set("ok", self.initial.ok)
+        self._record_metrics(self.initial)
 
     # -- verification entry points ------------------------------------------------
 
@@ -122,24 +136,38 @@ class RealConfig:
 
     def apply_changes(self, changes: Sequence[Change]) -> VerificationDelta:
         """Apply typed changes to the current snapshot and verify them."""
-        started = time.perf_counter()
-        new_snapshot, line_diff = apply_changes(self.snapshot, changes)
-        diff_seconds = time.perf_counter() - started
-        description = "; ".join(change.describe() for change in changes)
-        delta = self._verify(new_snapshot, line_diff, description)
-        delta.timings.config_diff = diff_seconds
+        with span(
+            names.SPAN_VERIFY, kind="change", changes=len(changes)
+        ) as root:
+            with span(names.SPAN_CONFIG_DIFF):
+                started = time.perf_counter()
+                new_snapshot, line_diff = apply_changes(self.snapshot, changes)
+                diff_seconds = time.perf_counter() - started
+            description = "; ".join(change.describe() for change in changes)
+            delta = self._verify(new_snapshot, line_diff, description)
+            delta.timings.config_diff = diff_seconds
+            root.set("rule_updates", len(delta.rule_updates))
+            root.set("ok", delta.ok)
+        self._record_metrics(delta)
         return delta
 
     def verify_snapshot(self, new_snapshot: Snapshot) -> VerificationDelta:
         """Verify an externally edited snapshot (e.g. parsed config text)."""
-        started = time.perf_counter()
-        new_snapshot.validate()
-        line_diff = diff_snapshots(self.snapshot, new_snapshot)
-        diff_seconds = time.perf_counter() - started
-        delta = self._verify(
-            new_snapshot.clone(), line_diff, f"snapshot ({line_diff.summary()})"
-        )
-        delta.timings.config_diff = diff_seconds
+        with span(names.SPAN_VERIFY, kind="snapshot") as root:
+            with span(names.SPAN_CONFIG_DIFF):
+                started = time.perf_counter()
+                new_snapshot.validate()
+                line_diff = diff_snapshots(self.snapshot, new_snapshot)
+                diff_seconds = time.perf_counter() - started
+            delta = self._verify(
+                new_snapshot.clone(),
+                line_diff,
+                f"snapshot ({line_diff.summary()})",
+            )
+            delta.timings.config_diff = diff_seconds
+            root.set("rule_updates", len(delta.rule_updates))
+            root.set("ok", delta.ok)
+        self._record_metrics(delta)
         return delta
 
     def _verify(
@@ -147,11 +175,17 @@ class RealConfig:
     ) -> VerificationDelta:
         timings = StageTimings()
 
-        lint_result = self._lint_gate(new_snapshot, line_diff)
+        with span(names.SPAN_LINT_GATE, mode=self.lint_mode):
+            lint_result = None
+            if self._lint_runner is not None:
+                started = time.perf_counter()
+                lint_result = self._lint_gate(new_snapshot, line_diff)
+                timings.lint = time.perf_counter() - started
 
-        started = time.perf_counter()
-        updates = self.generator.update_to(new_snapshot)
-        timings.generation = time.perf_counter() - started
+        with span(names.SPAN_GENERATION):
+            started = time.perf_counter()
+            updates = self.generator.update_to(new_snapshot)
+            timings.generation = time.perf_counter() - started
 
         started = time.perf_counter()
         batch = self.updater.apply(updates)
@@ -170,7 +204,24 @@ class RealConfig:
             report=report,
             timings=timings,
             lint=lint_result,
+            engine=self.generator.last_engine_stats,
         )
+
+    def _record_metrics(self, delta: VerificationDelta) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter(names.VERIFICATIONS).inc()
+        timings = delta.timings
+        for stage, seconds in (
+            ("config_diff", timings.config_diff),
+            ("lint", timings.lint),
+            ("generation", timings.generation),
+            ("model_update", timings.model_update),
+            ("policy_check", timings.policy_check),
+            ("total", timings.total),
+        ):
+            metrics.histogram(names.STAGE_SECONDS, stage=stage).observe(seconds)
 
     def _lint_gate(
         self, new_snapshot: Snapshot, line_diff: LineDiff

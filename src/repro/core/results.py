@@ -8,6 +8,7 @@ from typing import List, Optional
 from repro.config.diff import LineDiff
 from repro.dataplane.batch import BatchResult
 from repro.dataplane.rule import RuleUpdate
+from repro.ddlog.engine import EpochStats
 from repro.lint.framework import LintResult
 from repro.policy.checker import CheckReport
 from repro.policy.spec import PolicyStatus
@@ -16,29 +17,41 @@ from repro.policy.spec import PolicyStatus
 @dataclass
 class StageTimings:
     """Wall-clock seconds per pipeline stage (paper Figure 1's three
-    components, plus the up-front configuration diff)."""
+    components, plus the up-front configuration diff and the pre-flight
+    lint gate)."""
 
     config_diff: float = 0.0
     generation: float = 0.0
     model_update: float = 0.0
     policy_check: float = 0.0
+    #: Pre-flight lint gate (0.0 when the gate is off).  Kept last so
+    #: positional construction of the original four stages still works.
+    lint: float = 0.0
 
     @property
     def total(self) -> float:
+        """Sum of every stage, so callers never hand-sum the fields."""
         return (
             self.config_diff
+            + self.lint
             + self.generation
             + self.model_update
             + self.policy_check
         )
 
     def __str__(self) -> str:
-        return (
-            f"diff {self.config_diff * 1000:.1f} ms | "
-            f"generate {self.generation * 1000:.1f} ms | "
-            f"model {self.model_update * 1000:.1f} ms | "
-            f"check {self.policy_check * 1000:.1f} ms"
+        parts = [f"diff {self.config_diff * 1000:.1f} ms"]
+        if self.lint:
+            parts.append(f"lint {self.lint * 1000:.1f} ms")
+        parts.extend(
+            [
+                f"generate {self.generation * 1000:.1f} ms",
+                f"model {self.model_update * 1000:.1f} ms",
+                f"check {self.policy_check * 1000:.1f} ms",
+                f"total {self.total * 1000:.1f} ms",
+            ]
         )
+        return " | ".join(parts)
 
 
 @dataclass
@@ -54,6 +67,9 @@ class VerificationDelta:
     #: Static-analysis result of the pre-flight lint gate (``None`` when the
     #: verifier runs with ``lint_mode="off"``).
     lint: Optional[LintResult] = None
+    #: Work counters of the differential engine epoch that generated this
+    #: delta's rule updates (``None`` when no epoch ran).
+    engine: Optional[EpochStats] = None
 
     @property
     def newly_violated(self) -> List[PolicyStatus]:

@@ -26,6 +26,7 @@ from repro.dataplane.ec import EcId
 from repro.dataplane.model import EcMove, FilterChange, NetworkModel
 from repro.dataplane.ports import Port
 from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
+from repro.telemetry import get_metrics, names, span
 
 #: The paper's two orders plus our scheduling ablation.
 ORDERS = ("insertion-first", "deletion-first", "grouped")
@@ -45,12 +46,24 @@ class BatchResult:
     moves: List[EcMove] = field(default_factory=list)
     filter_changes: List[FilterChange] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: EC lifecycle churn during this batch (from the ECManager's counters).
+    ec_splits: int = 0
+    ec_merges: int = 0
 
     @property
     def num_moves(self) -> int:
         """Total EC port transitions, including transient ones — the paper's
         '#ECs' column (insertion-first ~n, deletion-first ~2n)."""
         return len(self.moves)
+
+    @property
+    def ports_touched(self) -> int:
+        """Distinct (device, port) endpoints a move departed or arrived at."""
+        endpoints = set()
+        for move in self.moves:
+            endpoints.add((move.device, move.old_port))
+            endpoints.add((move.device, move.new_port))
+        return len(endpoints)
 
     def net_moves(self, model: NetworkModel) -> Dict[Tuple[str, EcId], Tuple[Port, Port]]:
         """Per (device, EC): (port before batch, port after batch), only
@@ -123,14 +136,41 @@ class BatchUpdater:
 
     def apply(self, updates: List[RuleUpdate]) -> BatchResult:
         result = BatchResult(order=self.order)
-        started = time.perf_counter()
-        if self.order == "grouped":
-            self._apply_grouped(list(updates), result)
-        else:
-            for update in order_updates(list(updates), self.order):
-                self._apply_one(update, result)
-        result.elapsed_seconds = time.perf_counter() - started
+        with span(names.SPAN_MODEL_UPDATE, order=self.order) as sp:
+            started = time.perf_counter()
+            splits_before = self.model.ecs.splits
+            merges_before = self.model.ecs.merges
+            if self.order == "grouped":
+                self._apply_grouped(list(updates), result)
+            else:
+                for update in order_updates(list(updates), self.order):
+                    self._apply_one(update, result)
+            result.ec_splits = self.model.ecs.splits - splits_before
+            result.ec_merges = self.model.ecs.merges - merges_before
+            result.elapsed_seconds = time.perf_counter() - started
+            sp.set("rules_inserted", result.num_inserts)
+            sp.set("rules_deleted", result.num_deletes)
+            sp.set("ec_moves", result.num_moves)
+            sp.set("ec_splits", result.ec_splits)
+            sp.set("ec_merges", result.ec_merges)
+            sp.set("ports_touched", result.ports_touched)
+        self._record_metrics(result)
         return result
+
+    def _record_metrics(self, result: BatchResult) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter(names.MODEL_RULES_INSERTED).inc(result.num_inserts)
+        metrics.counter(names.MODEL_RULES_DELETED).inc(result.num_deletes)
+        metrics.counter(names.MODEL_EC_MOVES).inc(result.num_moves)
+        metrics.counter(names.MODEL_EC_SPLITS).inc(result.ec_splits)
+        metrics.counter(names.MODEL_EC_MERGES).inc(result.ec_merges)
+        metrics.counter(names.MODEL_ECS_AFFECTED).inc(
+            len(result.affected_ec_ids(self.model))
+        )
+        metrics.counter(names.MODEL_PORTS_TOUCHED).inc(result.ports_touched)
+        metrics.gauge(names.MODEL_ECS).set(self.model.num_ecs())
 
     def _apply_one(self, update: RuleUpdate, result: BatchResult) -> None:
         if update.is_insert():

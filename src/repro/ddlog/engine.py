@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.ddlog.collection import Delta, Record
 from repro.ddlog.convergence import ConvergenceMonitor
 from repro.ddlog.operators import Input, Join, Operator, Probe, Reduce
+from repro.telemetry import get_metrics, names, span
 
 
 class GraphError(ValueError):
@@ -208,29 +209,46 @@ class Engine:
             self.finalize()
         self._epoch += 1
         stats = EpochStats(epoch=self._epoch)
-        started = time.perf_counter()
-        self.monitor.reset()
+        with span(names.SPAN_DDLOG_EPOCH, epoch=self._epoch) as sp:
+            started = time.perf_counter()
+            self.monitor.reset()
 
-        for op_id, delta in self._input_buffer.items():
-            if not delta.is_empty():
-                self._work_at(0, op_id).add_delta(0, delta)
-        self._input_buffer.clear()
+            for op_id, delta in self._input_buffer.items():
+                if not delta.is_empty():
+                    self._work_at(0, op_id).add_delta(0, delta)
+            self._input_buffer.clear()
 
-        while self._iteration_heap:
-            iteration = heapq.heappop(self._iteration_heap)
-            per_iter = self._pending.get(iteration)
-            if not per_iter:
-                self._pending.pop(iteration, None)
-                continue
-            stats.iterations += 1
-            self.monitor.observe(iteration, self._signature(per_iter))
-            self._run_iteration(iteration, per_iter, stats)
-            if not self._pending.get(iteration):
-                self._pending.pop(iteration, None)
+            while self._iteration_heap:
+                iteration = heapq.heappop(self._iteration_heap)
+                per_iter = self._pending.get(iteration)
+                if not per_iter:
+                    self._pending.pop(iteration, None)
+                    continue
+                stats.iterations += 1
+                self.monitor.observe(iteration, self._signature(per_iter))
+                self._run_iteration(iteration, per_iter, stats)
+                if not self._pending.get(iteration):
+                    self._pending.pop(iteration, None)
 
-        stats.elapsed_seconds = time.perf_counter() - started
+            stats.elapsed_seconds = time.perf_counter() - started
+            sp.set("iterations", stats.iterations)
+            sp.set("messages", stats.messages)
+            sp.set("records", stats.records)
+            sp.set("recompute_calls", stats.recompute_calls)
+        self._record_metrics(stats)
         self.last_stats = stats
         return stats
+
+    def _record_metrics(self, stats: EpochStats) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter(names.DDLOG_EPOCHS).inc()
+        metrics.counter(names.DDLOG_ITERATIONS).inc(stats.iterations)
+        metrics.counter(names.DDLOG_MESSAGES).inc(stats.messages)
+        metrics.counter(names.DDLOG_RECORDS).inc(stats.records)
+        metrics.counter(names.DDLOG_RECOMPUTES).inc(stats.recompute_calls)
+        metrics.gauge(names.DDLOG_STATE_RECORDS).set(self.state_size())
 
     def _run_iteration(
         self, iteration: int, per_iter: Dict[int, _PendingWork], stats: EpochStats

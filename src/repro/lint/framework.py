@@ -35,6 +35,7 @@ from repro.lint.diagnostics import (
     count_by_severity,
     max_severity,
 )
+from repro.telemetry import get_metrics, names, span
 
 #: The stanza kinds a pass can subscribe to.  ``top`` covers top-level lines
 #: (hostname and ``ip route``); the rest follow the stanza headers of
@@ -156,6 +157,9 @@ class LintResult:
     #: Number of (pass, device) executions plus snapshot-pass executions —
     #: the unit of work incremental lint saves.
     units_run: int = 0
+    #: Units whose previous result was carried forward instead of re-run
+    #: (always 0 for full runs).
+    units_reused: int = 0
     suppressed: int = 0
     elapsed: float = 0.0
     #: Per-pass diagnostics keyed by (pass name, device or None), carried
@@ -209,14 +213,20 @@ class LintRunner:
         """Lint the whole snapshot with every pass."""
         started = time.perf_counter()
         result = LintResult()
-        for lint_pass in self.passes:
-            if lint_pass.device_scoped:
-                for device in snapshot.iter_devices():
-                    self._run_unit(result, lint_pass, snapshot, device.hostname)
-            else:
-                self._run_unit(result, lint_pass, snapshot, None)
-            result.passes_run.append(lint_pass.name)
-        self._finish(result, started)
+        with span(names.SPAN_LINT_RUN) as sp:
+            for lint_pass in self.passes:
+                if lint_pass.device_scoped:
+                    for device in snapshot.iter_devices():
+                        self._run_unit(
+                            result, lint_pass, snapshot, device.hostname
+                        )
+                else:
+                    self._run_unit(result, lint_pass, snapshot, None)
+                result.passes_run.append(lint_pass.name)
+            self._finish(result, started)
+            sp.set("units_run", result.units_run)
+            sp.set("diagnostics", len(result.diagnostics))
+        self._record_metrics(result)
         return result
 
     # -- incremental runs --------------------------------------------------
@@ -237,25 +247,34 @@ class LintRunner:
 
         result = LintResult()
         live_devices = set(snapshot.devices)
-        for lint_pass in self.passes:
-            ran = False
-            if lint_pass.device_scoped:
-                for device_name in sorted(live_devices):
-                    kinds = touched.get(device_name)
-                    if kinds is not None and kinds & lint_pass.scope:
-                        self._run_unit(result, lint_pass, snapshot, device_name)
+        with span(names.SPAN_LINT_INCREMENTAL) as sp:
+            for lint_pass in self.passes:
+                ran = False
+                if lint_pass.device_scoped:
+                    for device_name in sorted(live_devices):
+                        kinds = touched.get(device_name)
+                        if kinds is not None and kinds & lint_pass.scope:
+                            self._run_unit(
+                                result, lint_pass, snapshot, device_name
+                            )
+                            ran = True
+                        else:
+                            self._carry(
+                                result, previous, lint_pass.name, device_name
+                            )
+                else:
+                    if touched_all & lint_pass.scope:
+                        self._run_unit(result, lint_pass, snapshot, None)
                         ran = True
                     else:
-                        self._carry(result, previous, lint_pass.name, device_name)
-            else:
-                if touched_all & lint_pass.scope:
-                    self._run_unit(result, lint_pass, snapshot, None)
-                    ran = True
-                else:
-                    self._carry(result, previous, lint_pass.name, None)
-            if ran:
-                result.passes_run.append(lint_pass.name)
-        self._finish(result, started)
+                        self._carry(result, previous, lint_pass.name, None)
+                if ran:
+                    result.passes_run.append(lint_pass.name)
+            self._finish(result, started)
+            sp.set("units_run", result.units_run)
+            sp.set("units_reused", result.units_reused)
+            sp.set("diagnostics", len(result.diagnostics))
+        self._record_metrics(result)
         return result
 
     # -- internals ---------------------------------------------------------
@@ -285,9 +304,19 @@ class LintRunner:
         pass_name: str,
         device_name: Optional[str],
     ) -> None:
+        result.units_reused += 1
         cached = previous._by_unit.get((pass_name, device_name))
         if cached:
             result._by_unit[(pass_name, device_name)] = list(cached)
+
+    @staticmethod
+    def _record_metrics(result: LintResult) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter(names.LINT_UNITS_RUN).inc(result.units_run)
+        metrics.counter(names.LINT_UNITS_REUSED).inc(result.units_reused)
+        metrics.counter(names.LINT_DIAGNOSTICS).inc(len(result.diagnostics))
 
     @staticmethod
     def _finish(result: LintResult, started: float) -> None:

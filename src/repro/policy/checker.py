@@ -36,6 +36,7 @@ from repro.policy.spec import (
     Reachability,
     Waypoint,
 )
+from repro.telemetry import get_metrics, names, span
 
 Pair = Tuple[str, str]
 
@@ -82,6 +83,10 @@ class CheckReport:
     newly_satisfied: List[PolicyStatus] = field(default_factory=list)
     analysis_seconds: float = 0.0
     policy_seconds: float = 0.0
+    #: How many registered policies were re-evaluated by this check — the
+    #: incremental-work counter the profile report divides by the number of
+    #: registered policies.
+    policies_rechecked: int = 0
 
     @property
     def elapsed_seconds(self) -> float:
@@ -224,6 +229,24 @@ class IncrementalChecker:
         return self._check_ecs(sorted(set(ecs)))
 
     def _check_ecs(self, ecs: List[EcId]) -> CheckReport:
+        with span(names.SPAN_POLICY_CHECK, ecs=len(ecs)) as sp:
+            report = self._check_ecs_inner(ecs, sp)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(names.POLICY_ECS_ANALYZED).inc(
+                len(report.affected_ecs)
+            )
+            metrics.counter(names.POLICY_PAIRS_AFFECTED).inc(
+                len(report.affected_pairs)
+            )
+            metrics.counter(names.POLICY_RECHECKED).inc(report.policies_rechecked)
+            metrics.counter(names.POLICY_FLIPPED).inc(
+                len(report.newly_violated) + len(report.newly_satisfied)
+            )
+            metrics.gauge(names.POLICY_REGISTERED).set(len(self._policies))
+        return report
+
+    def _check_ecs_inner(self, ecs: List[EcId], sp) -> CheckReport:
         report = CheckReport(total_pairs=self.total_pairs())
         started = time.perf_counter()
         affected_pairs: Set[Pair] = set()
@@ -286,7 +309,16 @@ class IncrementalChecker:
                 report.newly_violated.append(status)
             elif not previous and status.holds:
                 report.newly_satisfied.append(status)
+        report.policies_rechecked = len(to_recheck)
         report.policy_seconds = time.perf_counter() - started
+        sp.set("ecs_analyzed", len(report.affected_ecs))
+        sp.set("pairs_affected", len(report.affected_pairs))
+        sp.set("policies_rechecked", report.policies_rechecked)
+        sp.set("policies_registered", len(self._policies))
+        sp.set(
+            "flipped",
+            len(report.newly_violated) + len(report.newly_satisfied),
+        )
         return report
 
     # -- evaluation --------------------------------------------------------------------

@@ -1,0 +1,176 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, summary tree.
+
+All three are pure functions of a :class:`~repro.telemetry.tracer.Tracer`
+or :class:`~repro.telemetry.metrics.MetricsRegistry` — they read recorded
+state and never mutate it, so exporting twice yields identical output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.names import HELP
+from repro.telemetry.tracer import Span, Tracer
+
+# -- Chrome trace-event JSON -------------------------------------------------
+
+
+def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event *complete* events (``ph: "X"``).
+
+    Timestamps are microseconds relative to the tracer's origin, which is
+    what Perfetto and ``chrome://tracing`` expect; span attributes become
+    the event's ``args``.  Nesting is reconstructed by the viewer from
+    containment, so parent ids ride along in ``args`` only as a debugging
+    aid.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in sorted(tracer.finished, key=lambda s: (s.start, s.span_id)):
+        if span.end is None:
+            continue
+        args = {k: _jsonable(v) for k, v in span.attributes.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.start - tracer.origin) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> str:
+    """The JSON object format (``{"traceEvents": [...]}``), which Perfetto
+    accepts directly."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(payload, indent=1)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The Prometheus text exposition format (version 0.0.4).
+
+    Instruments are emitted name-sorted; histograms expand to the
+    conventional ``_bucket``/``_sum``/``_count`` series with cumulative
+    ``le`` buckets and a final ``+Inf``.
+    """
+    lines: List[str] = []
+    emitted_header = set()
+
+    def header(name: str, kind: str) -> None:
+        if name in emitted_header:
+            return
+        emitted_header.add(name)
+        help_text = registry.help.get(name) or HELP.get(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.counters():
+        header(counter.name, "counter")
+        lines.append(
+            f"{counter.name}{_format_labels(counter.labels)} "
+            f"{_format_value(counter.value)}"
+        )
+    for gauge in registry.gauges():
+        header(gauge.name, "gauge")
+        lines.append(
+            f"{gauge.name}{_format_labels(gauge.labels)} "
+            f"{_format_value(gauge.value)}"
+        )
+    for histogram in registry.histograms():
+        header(histogram.name, "histogram")
+        cumulative = histogram.cumulative()
+        for boundary, count in zip(histogram.boundaries, cumulative):
+            le = f'le="{_format_value(boundary)}"'
+            lines.append(
+                f"{histogram.name}_bucket"
+                f"{_format_labels(histogram.labels, le)} {count}"
+            )
+        inf = 'le="+Inf"'
+        lines.append(
+            f"{histogram.name}_bucket"
+            f"{_format_labels(histogram.labels, inf)} {histogram.count}"
+        )
+        lines.append(
+            f"{histogram.name}_sum{_format_labels(histogram.labels)} "
+            f"{repr(float(histogram.total))}"
+        )
+        lines.append(
+            f"{histogram.name}_count{_format_labels(histogram.labels)} "
+            f"{histogram.count}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- human-readable summary tree ---------------------------------------------
+
+
+def summary_tree(tracer: Tracer, attributes: bool = True) -> str:
+    """Indented per-span breakdown with durations and work attributes::
+
+        realconfig.verify                         12.3 ms
+          realconfig.config_diff                   0.4 ms
+          realconfig.generation                    6.0 ms  [facts=12]
+            ddlog.epoch                            5.7 ms  [records=240 ...]
+    """
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        label = "  " * depth + span.name
+        line = f"{label:<44s} {span.duration * 1000:9.2f} ms"
+        if attributes and span.attributes:
+            parts = " ".join(
+                f"{k}={_jsonable(v)}" for k, v in sorted(span.attributes.items())
+            )
+            line += f"  [{parts}]"
+        lines.append(line)
+        for child in tracer.children_of(span):
+            visit(child, depth + 1)
+
+    for root in tracer.roots():
+        visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""The metric name catalogue.
+
+One constant per metric, with units in the name suffix following
+Prometheus conventions (``_total`` for counters, ``_seconds`` for time
+histograms).  Instrumented modules import these constants instead of
+spelling strings, and the exporters pull the help text from
+:data:`HELP` — keeping the catalogue, the docs, and the exposition in
+sync.  Span names used across the pipeline are collected here too
+(:data:`SPAN_VERIFY` etc.) so tests and exporters don't hard-code them.
+"""
+
+from __future__ import annotations
+
+# -- span taxonomy -----------------------------------------------------------
+# realconfig.verify                    one verification (root)
+#   realconfig.config_diff             change -> snapshot + line diff
+#   realconfig.lint_gate               pre-flight static analysis
+#   realconfig.generation              stage 1: config -> rule updates
+#     ddlog.epoch                      one differential epoch
+#   realconfig.model_update            stage 2: rules -> EC moves
+#   realconfig.policy_check            stage 3: moves -> policy flips
+#     lint.run / lint.incremental      (under lint_gate)
+
+SPAN_VERIFY = "realconfig.verify"
+SPAN_CONFIG_DIFF = "realconfig.config_diff"
+SPAN_LINT_GATE = "realconfig.lint_gate"
+SPAN_GENERATION = "realconfig.generation"
+SPAN_MODEL_UPDATE = "realconfig.model_update"
+SPAN_POLICY_CHECK = "realconfig.policy_check"
+SPAN_DDLOG_EPOCH = "ddlog.epoch"
+SPAN_LINT_RUN = "lint.run"
+SPAN_LINT_INCREMENTAL = "lint.incremental"
+
+#: The five stage children every root verification span carries.
+STAGE_SPANS = (
+    SPAN_CONFIG_DIFF,
+    SPAN_LINT_GATE,
+    SPAN_GENERATION,
+    SPAN_MODEL_UPDATE,
+    SPAN_POLICY_CHECK,
+)
+
+# -- pipeline ----------------------------------------------------------------
+VERIFICATIONS = "repro_verifications_total"
+STAGE_SECONDS = "repro_stage_seconds"  # histogram, label: stage
+
+# -- ddlog engine ------------------------------------------------------------
+DDLOG_EPOCHS = "repro_ddlog_epochs_total"
+DDLOG_ITERATIONS = "repro_ddlog_iterations_total"
+DDLOG_MESSAGES = "repro_ddlog_messages_total"
+DDLOG_RECORDS = "repro_ddlog_records_total"
+DDLOG_RECOMPUTES = "repro_ddlog_recompute_calls_total"
+DDLOG_STATE_RECORDS = "repro_ddlog_state_records"  # gauge
+
+# -- model update (BatchUpdater) ---------------------------------------------
+MODEL_RULES_INSERTED = "repro_model_rules_inserted_total"
+MODEL_RULES_DELETED = "repro_model_rules_deleted_total"
+MODEL_EC_MOVES = "repro_model_ec_moves_total"
+MODEL_EC_SPLITS = "repro_model_ec_splits_total"
+MODEL_EC_MERGES = "repro_model_ec_merges_total"
+MODEL_ECS_AFFECTED = "repro_model_ecs_affected_total"
+MODEL_PORTS_TOUCHED = "repro_model_ports_touched_total"
+MODEL_ECS = "repro_model_ecs"  # gauge
+
+# -- policy checker ----------------------------------------------------------
+POLICY_REGISTERED = "repro_policy_registered"  # gauge
+POLICY_RECHECKED = "repro_policy_rechecked_total"
+POLICY_FLIPPED = "repro_policy_flipped_total"
+POLICY_ECS_ANALYZED = "repro_policy_ecs_analyzed_total"
+POLICY_PAIRS_AFFECTED = "repro_policy_pairs_affected_total"
+
+# -- lint --------------------------------------------------------------------
+LINT_UNITS_RUN = "repro_lint_units_run_total"
+LINT_UNITS_REUSED = "repro_lint_units_reused_total"
+LINT_DIAGNOSTICS = "repro_lint_diagnostics_total"
+
+#: name -> help text (the Prometheus ``# HELP`` line and the docs table).
+HELP = {
+    VERIFICATIONS: "Verifications run (initial load and per change batch)",
+    STAGE_SECONDS: "Per-stage verification latency in seconds (label: stage)",
+    DDLOG_EPOCHS: "Differential-dataflow epochs executed",
+    DDLOG_ITERATIONS: "Fixpoint iterations swept across all epochs",
+    DDLOG_MESSAGES: "Delta messages routed between operators",
+    DDLOG_RECORDS: "Record diffs processed by operators",
+    DDLOG_RECOMPUTES: "Reduce-group recompute calls",
+    DDLOG_STATE_RECORDS: "Record diffs stored across operator histories",
+    MODEL_RULES_INSERTED: "Forwarding/filter rules inserted into the model",
+    MODEL_RULES_DELETED: "Forwarding/filter rules deleted from the model",
+    MODEL_EC_MOVES: "EC port transitions, including transient ones",
+    MODEL_EC_SPLITS: "Equivalence-class splits during model updates",
+    MODEL_EC_MERGES: "Equivalence-class merges during model updates",
+    MODEL_ECS_AFFECTED: "Distinct ECs with a net port change per batch",
+    MODEL_PORTS_TOUCHED: "Distinct (device, port) endpoints involved in moves",
+    MODEL_ECS: "Live equivalence classes in the model",
+    POLICY_REGISTERED: "Policies currently registered on the checker",
+    POLICY_RECHECKED: "Policy re-evaluations triggered by affected ECs/pairs",
+    POLICY_FLIPPED: "Policies whose verdict flipped (either direction)",
+    POLICY_ECS_ANALYZED: "Per-EC path analyses performed",
+    POLICY_PAIRS_AFFECTED: "Endpoint pairs whose delivered-EC set was touched",
+    LINT_UNITS_RUN: "Lint (pass, device) units executed",
+    LINT_UNITS_REUSED: "Lint units reused from the previous result",
+    LINT_DIAGNOSTICS: "Lint diagnostics emitted (post-suppression)",
+}

@@ -1,0 +1,241 @@
+"""Span-based tracing for the incremental pipeline.
+
+A :class:`Tracer` records a tree of named, timed spans.  Instrumented code
+never holds a tracer reference — it calls the module-level :func:`span`
+context manager, which dispatches to the process-global tracer.  The
+default global tracer is a :class:`NullTracer` whose ``span()`` returns a
+cached, stateless no-op context manager, so instrumentation adds only a
+global lookup and a method call when tracing is off.
+
+Clocks are monotonic (:func:`time.perf_counter`); spans never read the
+wall clock, so traces are safe to diff across runs.
+
+Typical instrumentation::
+
+    from repro.telemetry import span
+
+    with span("model.batch", order=self.order) as sp:
+        ...
+        sp.set("ec_moves", result.num_moves)
+
+Enabling collection (e.g. from the CLI)::
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    ...
+    chrome_trace(tracer)   # exporters read tracer.finished
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One named, timed interval with attributes and child spans."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start",
+        "end",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        start: float,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) an attribute."""
+        self.attributes[key] = value
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Increment a numeric attribute (missing counts as 0)."""
+        self.attributes[key] = self.attributes.get(key, 0) + amount
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration * 1000:.3f}ms)"
+        )
+
+
+class _SpanContext:
+    """Context manager opening one span on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._begin(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._end(self._span)
+        return None
+
+
+class _NullSpan:
+    """Absorbs every span operation; shared singleton, stateless."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def add(self, key: str, amount: int = 1) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """No-op context manager; shared singleton, reentrant."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The do-nothing default tracer: no allocation, no recording."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def reset(self) -> None:
+        pass
+
+
+class Tracer:
+    """Collects a tree of finished spans.
+
+    Nesting is tracked with an explicit stack: a span opened while another
+    is open becomes its child.  The stack discipline matches ``with``
+    blocks, which is the only way spans are opened.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: perf_counter() origin, so exported timestamps start near zero.
+        self.origin = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        return _SpanContext(self, name, attributes)
+
+    def _begin(self, name: str, attributes: Dict[str, Any]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        opened = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            start=time.perf_counter(),
+            attributes=attributes,
+        )
+        self._next_id += 1
+        self._stack.append(opened)
+        return opened
+
+    def _end(self, closing: Span) -> None:
+        closing.end = time.perf_counter()
+        # Tolerate a mismatched close (shouldn't happen with `with` blocks):
+        # pop back to the closing span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is closing:
+                break
+        self.finished.append(closing)
+
+    def reset(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self.origin = time.perf_counter()
+
+    # -- introspection -------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Finished top-level spans, in completion order."""
+        return [s for s in self.finished if s.parent_id is None]
+
+    def children_of(self, parent: Span) -> List[Span]:
+        """Finished direct children of ``parent``, ordered by start time."""
+        kids = [s for s in self.finished if s.parent_id == parent.span_id]
+        kids.sort(key=lambda s: s.start)
+        return kids
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.finished if s.name == name]
+
+
+#: The process-global tracer instrumented code dispatches to.
+_GLOBAL_TRACER: "NullTracer | Tracer" = NullTracer()
+
+
+def get_tracer() -> "NullTracer | Tracer":
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: "NullTracer | Tracer") -> "NullTracer | Tracer":
+    """Install ``tracer`` as the process-global tracer; returns the
+    previous one so callers can restore it."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the current global tracer (no-op by default)."""
+    return _GLOBAL_TRACER.span(name, **attributes)
+
+
+def tracing_enabled() -> bool:
+    return _GLOBAL_TRACER.enabled

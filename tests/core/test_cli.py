@@ -147,3 +147,74 @@ class TestTrace:
         out = capsys.readouterr().out
         assert code == 1
         assert "dropped" in out
+
+
+class TestProfile:
+    def test_profile_prints_stages_and_work_counters(self, tmp_path, capsys):
+        snap = tmp_path / "ft"
+        main(["generate", "--topology", "fat-tree:4", "--out", str(snap)])
+        capsys.readouterr()
+        code = main(["profile", str(snap), "--count", "2", "--repeat", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for stage in ("config diff", "lint gate", "generation",
+                      "model update", "policy check", "total"):
+            assert stage in out
+        for counter in ("ddlog records", "ECs affected",
+                        "policies rechecked", "lint units reused"):
+            assert counter in out
+
+    def test_profile_with_trace_and_metrics_exports(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "ft"
+        main(["generate", "--topology", "fat-tree:4", "--out", str(snap)])
+        trace_file = tmp_path / "out.json"
+        metrics_file = tmp_path / "metrics.txt"
+        capsys.readouterr()
+        code = main(["--trace", str(trace_file),
+                     "--metrics", str(metrics_file),
+                     "profile", str(snap), "--count", "1", "--repeat", "1"])
+        assert code == 0
+        payload = json.loads(trace_file.read_text())
+        events = payload["traceEvents"]
+        roots = [e for e in events if e["name"] == "realconfig.verify"]
+        assert roots
+        # At least one root verification carries all five stage children.
+        from repro.telemetry import names
+
+        root_ids = {r["args"]["span_id"]: set() for r in roots}
+        for event in events:
+            parent = event["args"].get("parent_id")
+            if parent in root_ids:
+                root_ids[parent].add(event["name"])
+        assert any(
+            set(names.STAGE_SPANS) <= children
+            for children in root_ids.values()
+        )
+        exposition = metrics_file.read_text()
+        assert "repro_verifications_total" in exposition
+        assert "repro_stage_seconds_bucket" in exposition
+
+    def test_profile_bad_snapshot_is_usage_error(self, tmp_path):
+        assert main(["profile", str(tmp_path / "missing")]) == 2
+
+    def test_verify_reports_total_time(self, base_dir, tmp_path, capsys):
+        changed = tmp_path / "changed"
+        import shutil
+
+        shutil.copytree(base_dir, changed)
+        edit_config(
+            changed, "r1", lambda text: text.replace("cost 1", "cost 40")
+        )
+        capsys.readouterr()
+        main(["verify", str(base_dir), str(changed)])
+        assert "total" in capsys.readouterr().out
+
+    def test_trace_summary_flag_prints_tree(self, base_dir, capsys):
+        code = main(["--trace-summary", "trace", str(base_dir),
+                     "--source", "r0", "--dst", "172.16.2.5"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "realconfig.verify" in err
+        assert "realconfig.generation" in err

@@ -1,0 +1,131 @@
+"""Integration: the pipeline emits the documented span/metric taxonomy."""
+
+import pytest
+
+from repro.config.changes import ShutdownInterface
+from repro.core.realconfig import RealConfig
+from repro.policy.spec import BlackholeFree, LoopFree
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    names,
+    set_metrics,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def telemetry():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(registry)
+    yield tracer, registry
+    set_tracer(previous_tracer)
+    set_metrics(previous_metrics)
+
+
+
+
+def test_change_verification_has_root_span_with_all_stage_children(
+    telemetry, fattree4_ospf
+):
+    tracer, _ = telemetry
+    verifier = RealConfig(
+        fattree4_ospf,
+        policies=[LoopFree("lf"), BlackholeFree("bf")],
+        lint_mode="warn",
+    )
+    tracer.reset()
+    verifier.apply_change(ShutdownInterface("agg0_0", "down0"))
+    (root,) = [s for s in tracer.roots() if s.name == names.SPAN_VERIFY]
+    child_names = [c.name for c in tracer.children_of(root)]
+    assert child_names == list(names.STAGE_SPANS)
+    assert root.attributes["kind"] == "change"
+    assert root.attributes["rule_updates"] > 0
+
+
+def test_stage_children_carry_work_attributes(telemetry, fattree4_ospf):
+    tracer, _ = telemetry
+    verifier = RealConfig(fattree4_ospf, lint_mode="warn")
+    tracer.reset()
+    verifier.apply_change(ShutdownInterface("agg0_0", "down0"))
+    (epoch,) = tracer.find(names.SPAN_DDLOG_EPOCH)
+    assert epoch.attributes["records"] > 0
+    (model,) = tracer.find(names.SPAN_MODEL_UPDATE)
+    assert model.attributes["ec_moves"] > 0
+    assert model.attributes["ports_touched"] > 0
+    (check,) = tracer.find(names.SPAN_POLICY_CHECK)
+    assert check.attributes["ecs_analyzed"] > 0
+    (lint,) = tracer.find(names.SPAN_LINT_INCREMENTAL)
+    assert lint.attributes["units_reused"] > lint.attributes["units_run"]
+
+
+def test_initial_verification_traced_too(telemetry, fattree4_ospf):
+    tracer, _ = telemetry
+    RealConfig(fattree4_ospf)
+    (root,) = [s for s in tracer.roots() if s.name == names.SPAN_VERIFY]
+    assert root.attributes["kind"] == "initial"
+    child_names = {c.name for c in tracer.children_of(root)}
+    assert names.SPAN_GENERATION in child_names
+    assert names.SPAN_MODEL_UPDATE in child_names
+    assert names.SPAN_POLICY_CHECK in child_names
+
+
+def test_metrics_counters_accumulate_across_verifications(telemetry, fattree4_ospf):
+    _, registry = telemetry
+    verifier = RealConfig(fattree4_ospf, lint_mode="warn")
+    after_init = registry.value(names.DDLOG_RECORDS)
+    assert after_init > 0
+    verifier.apply_change(ShutdownInterface("agg0_0", "down0"))
+    assert registry.value(names.VERIFICATIONS) == 2
+    assert registry.value(names.DDLOG_RECORDS) > after_init
+    assert registry.value(names.MODEL_EC_MOVES) > 0
+    assert registry.value(names.POLICY_ECS_ANALYZED) > 0
+    assert registry.value(names.LINT_UNITS_REUSED) > 0
+    histogram = registry.histogram(names.STAGE_SECONDS, stage="total")
+    assert histogram.count == 2
+
+
+def test_untraced_run_records_nothing_and_still_verifies(fattree4_ospf):
+    # No tracer/metrics installed: the global defaults are no-ops.
+    verifier = RealConfig(fattree4_ospf)
+    delta = verifier.apply_change(ShutdownInterface("agg0_0", "down0"))
+    assert delta.ok
+    probe = Tracer()
+    previous = set_tracer(probe)
+    try:
+        assert probe.finished == []
+    finally:
+        set_tracer(previous)
+
+
+def test_lint_stage_is_timed(fattree4_ospf):
+    snapshot = fattree4_ospf
+    gated = RealConfig(snapshot, lint_mode="warn")
+    assert gated.initial.timings.lint > 0.0
+    delta = gated.apply_change(ShutdownInterface("agg0_0", "down0"))
+    assert delta.timings.lint > 0.0
+    assert delta.timings.total >= delta.timings.lint
+    assert "lint" in str(delta.timings)
+
+    ungated = RealConfig(snapshot, lint_mode="off")
+    assert ungated.initial.timings.lint == 0.0
+    off_delta = ungated.apply_change(ShutdownInterface("agg0_0", "down0"))
+    assert off_delta.timings.lint == 0.0
+    assert "lint" not in str(off_delta.timings)
+
+
+def test_timings_str_reports_total(fattree4_ospf):
+    verifier = RealConfig(fattree4_ospf)
+    delta = verifier.apply_change(ShutdownInterface("agg0_0", "down0"))
+    assert "total" in str(delta.timings)
+    assert "total" in delta.summary()
+
+
+def test_delta_carries_engine_stats(fattree4_ospf):
+    verifier = RealConfig(fattree4_ospf)
+    assert verifier.initial.engine is not None
+    delta = verifier.apply_change(ShutdownInterface("agg0_0", "down0"))
+    assert delta.engine is not None
+    assert delta.engine.epoch == verifier.initial.engine.epoch + 1

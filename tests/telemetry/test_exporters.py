@@ -1,0 +1,158 @@
+"""Tests for the exporters: Chrome trace JSON, Prometheus text, summary."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import (
+    chrome_trace,
+    chrome_trace_events,
+    prometheus_text,
+    summary_tree,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer, set_tracer, span
+
+
+@pytest.fixture
+def tracer():
+    active = Tracer()
+    previous = set_tracer(active)
+    yield active
+    set_tracer(previous)
+
+
+def record_sample(tracer):
+    with span("realconfig.verify", kind="change") as sp:
+        sp.set("ok", True)
+        with span("realconfig.generation"):
+            with span("ddlog.epoch", epoch=2, records=42):
+                pass
+        with span("realconfig.policy_check"):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json_loads(self, tracer):
+        record_sample(tracer)
+        payload = json.loads(chrome_trace(tracer))
+        assert isinstance(payload["traceEvents"], list)
+        assert len(payload["traceEvents"]) == 4
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_events_have_trace_viewer_schema(self, tracer):
+        record_sample(tracer)
+        for event in chrome_trace_events(tracer):
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert isinstance(event["args"], dict)
+
+    def test_events_sorted_by_start_and_contained(self, tracer):
+        record_sample(tracer)
+        events = chrome_trace_events(tracer)
+        names = [e["name"] for e in events]
+        assert names == [
+            "realconfig.verify",
+            "realconfig.generation",
+            "ddlog.epoch",
+            "realconfig.policy_check",
+        ]
+        root, generation, epoch, _ = events
+        # Containment (what the viewer nests by): child inside parent.
+        assert root["ts"] <= epoch["ts"]
+        assert epoch["ts"] + epoch["dur"] <= root["ts"] + root["dur"] + 1e-6
+        assert epoch["args"]["records"] == 42
+        assert epoch["args"]["parent_id"] == generation["args"]["span_id"]
+
+    def test_attributes_are_json_safe(self, tracer):
+        with span("s", obj=object(), flag=True, none=None):
+            pass
+        payload = json.loads(chrome_trace(tracer))
+        args = payload["traceEvents"][0]["args"]
+        assert isinstance(args["obj"], str)
+        assert args["flag"] is True
+        assert args["none"] is None
+
+    def test_unfinished_spans_are_skipped(self, tracer):
+        context = tracer.span("open")
+        context.__enter__()
+        assert chrome_trace_events(tracer) == []
+
+
+def parse_exposition(text):
+    """Minimal parser of the Prometheus text format: samples + types."""
+    samples = {}
+    types = {}
+    for line in text.strip().splitlines():
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split()
+            types[name] = kind
+        elif not line.startswith("#"):
+            name_and_labels, value = line.rsplit(" ", 1)
+            samples[name_and_labels] = float(value)
+    return samples, types
+
+
+class TestPrometheus:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total").inc(3)
+        registry.gauge("repro_live").set(1.5)
+        samples, types = parse_exposition(prometheus_text(registry))
+        assert samples["repro_things_total"] == 3
+        assert samples["repro_live"] == 1.5
+        assert types["repro_things_total"] == "counter"
+        assert types["repro_live"] == "gauge"
+
+    def test_labels_rendered(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", stage="diff").inc(2)
+        samples, _ = parse_exposition(prometheus_text(registry))
+        assert samples['x_total{stage="diff"}'] == 2
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_lat_seconds", buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 2.0):
+            histogram.observe(value)
+        samples, types = parse_exposition(prometheus_text(registry))
+        assert types["repro_lat_seconds"] == "histogram"
+        assert samples['repro_lat_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_lat_seconds_bucket{le="1"}'] == 2
+        assert samples['repro_lat_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["repro_lat_seconds_count"] == 3
+        assert samples["repro_lat_seconds_sum"] == pytest.approx(2.55)
+
+    def test_known_names_get_help_lines(self):
+        from repro.telemetry import names
+
+        registry = MetricsRegistry()
+        registry.counter(names.DDLOG_RECORDS).inc()
+        text = prometheus_text(registry)
+        assert f"# HELP {names.DDLOG_RECORDS} " in text
+
+    def test_deterministic_output(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc(2)
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+
+class TestSummaryTree:
+    def test_indentation_follows_nesting(self, tracer):
+        record_sample(tracer)
+        lines = summary_tree(tracer).splitlines()
+        assert lines[0].startswith("realconfig.verify")
+        assert lines[1].startswith("  realconfig.generation")
+        assert lines[2].startswith("    ddlog.epoch")
+        assert lines[3].startswith("  realconfig.policy_check")
+        assert all("ms" in line for line in lines)
+
+    def test_attributes_shown_and_suppressible(self, tracer):
+        record_sample(tracer)
+        assert "records=42" in summary_tree(tracer)
+        assert "records=42" not in summary_tree(tracer, attributes=False)

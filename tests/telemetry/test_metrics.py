@@ -1,0 +1,109 @@
+"""Tests for the metrics registry: instruments, buckets, no-op mode."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("repro_test_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_same_instrument(self, registry):
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_labels_partition_instruments(self, registry):
+        a = registry.counter("x_total", stage="diff")
+        b = registry.counter("x_total", stage="check")
+        a.inc()
+        assert b.value == 0
+        assert registry.value("x_total", stage="diff") == 1
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("a_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_live")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_value_lookup_unknown_is_none(self, registry):
+        assert registry.value("never_touched") is None
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self, registry):
+        # Prometheus `le` semantics: an observation equal to a boundary
+        # belongs to that boundary's bucket.
+        histogram = registry.histogram("h", buckets=[1.0, 2.0, 5.0])
+        for value in (0.5, 1.0, 1.5, 2.0, 5.0, 7.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 2, 1]  # <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=5: {5.0}
+        assert histogram.cumulative() == [2, 4, 5]
+        assert histogram.count == 6  # 7.0 only in +Inf
+        assert histogram.total == pytest.approx(17.0)
+
+    def test_rejects_unsorted_duplicate_or_empty_buckets(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            registry.histogram("c", buckets=[])
+
+    def test_redeclare_with_different_buckets_rejected(self, registry):
+        registry.histogram("h", buckets=[1.0])
+        registry.histogram("h", buckets=[1.0])  # same is fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=[1.0, 2.0])
+
+
+class TestNoOpMode:
+    def test_default_global_registry_is_null(self):
+        assert isinstance(get_metrics(), NullMetrics)
+
+    def test_null_instruments_absorb_everything(self):
+        null = NullMetrics()
+        null.counter("a").inc()
+        null.gauge("b").set(3)
+        null.histogram("c").observe(1.0)
+        assert not null.enabled
+
+    def test_set_metrics_returns_previous(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            assert get_metrics() is registry
+        finally:
+            set_metrics(previous)
+        assert isinstance(get_metrics(), NullMetrics)
+
+
+class TestIntrospection:
+    def test_sorted_listings(self, registry):
+        registry.counter("b_total").inc()
+        registry.counter("a_total").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        assert [c.name for c in registry.counters()] == ["a_total", "b_total"]
+        assert [g.name for g in registry.gauges()] == ["g"]
+        assert [h.name for h in registry.histograms()] == ["h"]

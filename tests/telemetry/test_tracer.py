@@ -1,0 +1,164 @@
+"""Tests for the span tracer: nesting, parenting, no-op mode, globals."""
+
+import pytest
+
+from repro.telemetry.tracer import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def tracer():
+    active = Tracer()
+    previous = set_tracer(active)
+    yield active
+    set_tracer(previous)
+
+
+class TestNesting:
+    def test_root_span_has_no_parent(self, tracer):
+        with span("root"):
+            pass
+        (root,) = tracer.finished
+        assert root.name == "root"
+        assert root.parent_id is None
+        assert root.depth == 0
+
+    def test_child_parented_to_enclosing_span(self, tracer):
+        with span("outer") as outer_span:
+            with span("inner"):
+                pass
+        inner, outer = tracer.finished  # children finish first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer_span.span_id
+        assert inner.depth == 1
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self, tracer):
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        (root,) = tracer.roots()
+        assert [c.name for c in tracer.children_of(root)] == ["a", "b"]
+
+    def test_deep_nesting_depths(self, tracer):
+        with span("l0"):
+            with span("l1"):
+                with span("l2"):
+                    pass
+        by_name = {s.name: s for s in tracer.finished}
+        assert by_name["l0"].depth == 0
+        assert by_name["l1"].depth == 1
+        assert by_name["l2"].depth == 2
+        assert by_name["l2"].parent_id == by_name["l1"].span_id
+
+    def test_sequential_roots_are_independent(self, tracer):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["first", "second"]
+        assert all(s.parent_id is None for s in tracer.finished)
+
+    def test_durations_are_monotonic_and_nested(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = tracer.finished
+        assert inner.duration >= 0.0
+        assert outer.duration >= inner.duration
+        assert outer.start <= inner.start
+        assert outer.end >= inner.end
+
+
+class TestAttributes:
+    def test_kwargs_become_attributes(self, tracer):
+        with span("s", kind="initial", n=3):
+            pass
+        (finished,) = tracer.finished
+        assert finished.attributes == {"kind": "initial", "n": 3}
+
+    def test_set_and_add(self, tracer):
+        with span("s") as sp:
+            sp.set("records", 10)
+            sp.add("messages", 2)
+            sp.add("messages", 3)
+        (finished,) = tracer.finished
+        assert finished.attributes["records"] == 10
+        assert finished.attributes["messages"] == 5
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("boom")
+        (finished,) = tracer.finished
+        assert finished.attributes["error"] == "ValueError"
+        assert finished.end is not None
+
+
+class TestNoOpMode:
+    def test_default_global_tracer_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert not tracing_enabled()
+
+    def test_null_span_absorbs_everything_and_records_nothing(self):
+        assert isinstance(get_tracer(), NullTracer)
+        with span("ignored", attr=1) as sp:
+            sp.set("x", 1)
+            sp.add("y")
+        # Install a real tracer afterwards: nothing leaked into it.
+        probe = Tracer()
+        previous = set_tracer(probe)
+        try:
+            assert probe.finished == []
+        finally:
+            set_tracer(previous)
+
+    def test_null_context_is_reentrant(self):
+        with span("a"):
+            with span("b"):
+                pass  # same shared singleton, must not blow up
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled
+        assert not NullTracer().enabled
+
+
+class TestLifecycle:
+    def test_set_tracer_returns_previous(self):
+        first = Tracer()
+        previous = set_tracer(first)
+        try:
+            assert get_tracer() is first
+            second = Tracer()
+            assert set_tracer(second) is first
+            assert get_tracer() is second
+        finally:
+            set_tracer(previous)
+
+    def test_reset_clears_state(self, tracer):
+        with span("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished == []
+        with span("t"):
+            pass
+        assert tracer.finished[0].span_id == 1
+
+    def test_find(self, tracer):
+        with span("x"):
+            pass
+        with span("x"):
+            pass
+        with span("y"):
+            pass
+        assert len(tracer.find("x")) == 2
+        assert len(tracer.find("y")) == 1
+        assert tracer.find("z") == []
