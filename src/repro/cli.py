@@ -16,7 +16,14 @@ Subcommands (also available as ``python -m repro``):
   scoped to the diff against a base snapshot), with text / JSON / SARIF
   output;
 - ``profile``   replay a generated change workload through the verifier
-  and print the per-stage latency breakdown with incremental-work ratios.
+  and print the per-stage latency breakdown with incremental-work ratios;
+- ``checkpoint`` verify a snapshot and serialize the verifier's full state
+  to a file; ``verify --resume-from FILE`` later resumes from it without
+  re-converging the control plane;
+- ``audit``     recompute the FIB / EC model / policy verdicts from
+  scratch and diff them against a verifier's incremental state (built
+  from a snapshot directory or restored from a checkpoint file); with
+  ``--recover``, rebuild on drift and re-audit.
 
 Global observability flags (before the subcommand):
 
@@ -163,8 +170,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
     policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
     if args.all_pairs:
         policies.extend(_reachability_policies(base))
-    verifier = RealConfig(base, policies=policies, lint_mode=args.lint)
-    print(f"base snapshot verified: {verifier.initial.report.summary()}")
+    if args.resume_from is not None:
+        verifier = RealConfig.restore(args.resume_from)
+        print(
+            f"resumed verifier from {args.resume_from}: "
+            f"{verifier.initial.report.summary()}"
+        )
+    else:
+        verifier = RealConfig(base, policies=policies, lint_mode=args.lint)
+        print(f"base snapshot verified: {verifier.initial.report.summary()}")
     broken_at_base = verifier.violated_policies()
     for status in broken_at_base:
         print(f"  already violated at base: {status}")
@@ -173,6 +187,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
     except LintGateError as error:
         print(f"REFUSED by lint gate: {error}", file=sys.stderr)
         return 1
+    except ConfigError as error:
+        # e.g. the changed snapshot alters the topology: refused up front,
+        # the verifier's state is untouched.
+        print(f"error: cannot verify changed snapshot: {error}", file=sys.stderr)
+        return 2
     print(delta.summary())
     if delta.lint is not None:
         for diag in delta.lint.diagnostics:
@@ -182,6 +201,64 @@ def cmd_verify(args: argparse.Namespace) -> int:
     for status in delta.newly_satisfied:
         print(f"  newly satisfied: {status}")
     return 0 if delta.ok else 1
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    import os
+
+    snapshot = load_snapshot(args.snapshot)
+    policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
+    if args.all_pairs:
+        policies.extend(_reachability_policies(snapshot))
+    verifier = RealConfig(snapshot, policies=policies, lint_mode=args.lint)
+    print(f"snapshot verified: {verifier.initial.report.summary()}")
+    verifier.checkpoint(args.out)
+    print(f"wrote checkpoint to {args.out} ({os.path.getsize(args.out)} bytes)")
+    return 0
+
+
+def _load_verifier_state(state: str) -> RealConfig:
+    """A verifier from either a checkpoint file or a snapshot directory."""
+    import os
+
+    if os.path.isdir(state):
+        snapshot = load_snapshot(state)
+        verifier = RealConfig(
+            snapshot,
+            policies=[LoopFree("loop-free"), BlackholeFree("blackhole-free")],
+        )
+        print(f"built verifier from snapshot {state}")
+        return verifier
+    verifier = RealConfig.restore(state)
+    print(f"restored verifier from checkpoint {state}")
+    return verifier
+
+
+def _print_drift(report) -> None:
+    print(report.summary())
+    for entry in report.fib_missing[:10]:
+        print(f"  FIB missing: {entry}")
+    for entry in report.fib_extra[:10]:
+        print(f"  FIB extra:   {entry}")
+    for drift in report.port_drift[:10]:
+        print(f"  port drift:  {drift}")
+    for drift in report.policy_drift[:10]:
+        print(f"  policy drift: {drift}")
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.resilience.audit import audit, recover
+
+    verifier = _load_verifier_state(args.state)
+    if args.recover:
+        report, post = recover(verifier)
+        _print_drift(report)
+        if post is not None:
+            print(f"recovered by rebuild: {post.summary()}")
+        return 0 if report.ok else 1
+    report = audit(verifier)
+    _print_drift(report)
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -480,7 +557,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pre-flight static analysis gate: 'warn' annotates "
                         "the report with diagnostics, 'enforce' refuses "
                         "changes that introduce lint errors (default: off)")
+    p.add_argument("--resume-from", metavar="FILE", default=None,
+                   help="resume the verifier from a checkpoint file "
+                        "(written by 'repro checkpoint') instead of "
+                        "re-verifying the base snapshot from scratch")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="verify a snapshot and serialize the verifier state",
+        description="Build the verifier on the snapshot and write its "
+        "full state (engine histories, EC partition, policy verdicts) to "
+        "a checkpoint file. 'repro verify --resume-from FILE' and "
+        "'repro audit FILE' load it back without re-convergence.",
+    )
+    p.add_argument("snapshot", help="snapshot directory")
+    p.add_argument("out", help="checkpoint file to write")
+    p.add_argument("--all-pairs", action="store_true",
+                   help="also register all-pairs reachability policies")
+    p.add_argument("--lint", choices=["off", "warn", "enforce"], default="off",
+                   help="lint gate mode baked into the checkpoint "
+                        "(default: off)")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "audit",
+        help="diff incremental verifier state against a from-scratch run",
+        description="Recompute the FIB with the from-scratch baseline "
+        "simulator (and, in ecmp mode, a freshly built EC model and "
+        "policy checker) and diff the results against the verifier's "
+        "incremental state. STATE is a snapshot directory (build fresh) "
+        "or a checkpoint file (restore). Exits 0 when no drift is found, "
+        "1 on drift (even when --recover repaired it), 2 on input errors.",
+    )
+    p.add_argument("state", help="snapshot directory or checkpoint file")
+    p.add_argument("--recover", action="store_true",
+                   help="on drift, rebuild the verifier from its current "
+                        "snapshot and audit again")
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("trace", help="trace a packet through the data plane")
     p.add_argument("snapshot", help="snapshot directory")

@@ -179,12 +179,19 @@ def parse_device(text: str) -> DeviceConfig:
         line = raw.strip()
         if not line or line.startswith("!"):
             continue
-        if not raw.startswith((" ", "\t")):
-            context = _parse_top_line(config, line_no, line)
-        else:
-            if context is None:
-                raise ParseError(line_no, line, "indented line outside any stanza")
-            context.parse(config, line_no, line)
+        try:
+            if not raw.startswith((" ", "\t")):
+                context = _parse_top_line(config, line_no, line)
+            else:
+                if context is None:
+                    raise ParseError(line_no, line, "indented line outside any stanza")
+                context.parse(config, line_no, line)
+        except ConfigError:
+            raise
+        except ValueError as exc:
+            # int()/Prefix.parse()/parse_ipv4() on a malformed field value;
+            # surface it as a parse rejection, not an internal crash.
+            raise ParseError(line_no, line, f"malformed value ({exc})") from exc
     if not config.hostname:
         raise ParseError(0, "", "missing hostname")
     return config

@@ -89,3 +89,17 @@ class IncrementalDataPlaneGenerator:
 
     def current_fib_size(self) -> int:
         return len(self.control_plane.fib())
+
+    # -- state capture / restore ---------------------------------------------
+
+    def capture_state(self) -> dict:
+        return {
+            "control_plane": self.control_plane.capture_state(),
+            "filter_rules": set(self._filter_rules),
+            "loaded": self._loaded,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.control_plane.restore_state(state["control_plane"])
+        self._filter_rules = set(state["filter_rules"])
+        self._loaded = state["loaded"]

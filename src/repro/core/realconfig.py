@@ -23,7 +23,7 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.config.changes import Change, apply_changes
 from repro.config.diff import LineDiff, diff_snapshots
@@ -37,6 +37,7 @@ from repro.lint.diagnostics import Suppression
 from repro.lint.framework import LintResult, LintRunner
 from repro.policy.checker import IncrementalChecker
 from repro.policy.spec import Policy, PolicyStatus
+from repro.resilience.faults import fault_point
 from repro.telemetry import get_metrics, names, span
 
 
@@ -70,11 +71,26 @@ class RealConfig:
         model_mode: str = "ecmp",
         lint_mode: str = "off",
         lint_suppressions: Iterable[Suppression] = (),
+        transactional: bool = True,
+        audit_every: int = 0,
     ) -> None:
         if lint_mode not in ("off", "warn", "enforce"):
             raise ValueError(f"unknown lint_mode {lint_mode!r}")
+        if audit_every < 0:
+            raise ValueError("audit_every must be >= 0")
+        lint_suppressions = list(lint_suppressions)
         snapshot.validate()
         self.snapshot = snapshot.clone()
+        # Transactional verification: on any mid-pipeline failure, roll all
+        # component state back to the pre-change snapshot (degradation
+        # ladder: rollback -> rebuild from the current snapshot).
+        self.transactional = transactional
+        # Self-check mode: audit the incremental state against a
+        # from-scratch recomputation every N verifications (0 = off).
+        self.audit_every = audit_every
+        self._verifications_since_audit = 0
+        self.last_audit: Optional[Any] = None
+        self._monitor = monitor
         # Pre-flight static analysis (the lint gate): "warn" annotates every
         # VerificationDelta with the incremental lint result, "enforce"
         # additionally refuses change batches that introduce error-severity
@@ -115,6 +131,18 @@ class RealConfig:
             self.checker = IncrementalChecker(self.model, endpoints, policies)
             timings.policy_check = time.perf_counter() - started
 
+            # Everything needed to rebuild (or checkpoint) this verifier.
+            self._options: Dict[str, Any] = {
+                "endpoints": list(self.checker.endpoints),
+                "update_order": update_order,
+                "merge_ecs": merge_ecs,
+                "model_mode": model_mode,
+                "lint_mode": lint_mode,
+                "lint_suppressions": lint_suppressions,
+                "transactional": transactional,
+                "audit_every": audit_every,
+            }
+
             self.initial = VerificationDelta(
                 description="initial snapshot",
                 line_diff=None,
@@ -144,11 +172,14 @@ class RealConfig:
                 new_snapshot, line_diff = apply_changes(self.snapshot, changes)
                 diff_seconds = time.perf_counter() - started
             description = "; ".join(change.describe() for change in changes)
-            delta = self._verify(new_snapshot, line_diff, description)
+            delta = self._transact(
+                lambda: self._verify(new_snapshot, line_diff, description)
+            )
             delta.timings.config_diff = diff_seconds
             root.set("rule_updates", len(delta.rule_updates))
             root.set("ok", delta.ok)
         self._record_metrics(delta)
+        self._maybe_audit()
         return delta
 
     def verify_snapshot(self, new_snapshot: Snapshot) -> VerificationDelta:
@@ -157,18 +188,43 @@ class RealConfig:
             with span(names.SPAN_CONFIG_DIFF):
                 started = time.perf_counter()
                 new_snapshot.validate()
+                self._check_topology(new_snapshot)
                 line_diff = diff_snapshots(self.snapshot, new_snapshot)
                 diff_seconds = time.perf_counter() - started
-            delta = self._verify(
-                new_snapshot.clone(),
-                line_diff,
-                f"snapshot ({line_diff.summary()})",
+            delta = self._transact(
+                lambda: self._verify(
+                    new_snapshot.clone(),
+                    line_diff,
+                    f"snapshot ({line_diff.summary()})",
+                )
             )
             delta.timings.config_diff = diff_seconds
             root.set("rule_updates", len(delta.rule_updates))
             root.set("ok", delta.ok)
         self._record_metrics(delta)
+        self._maybe_audit()
         return delta
+
+    def _check_topology(self, new_snapshot: Snapshot) -> None:
+        """Reject snapshots whose topology differs from the verifier's —
+        the incremental model is built over a fixed topology, and letting a
+        topology change into the pipeline used to crash it mid-verify with
+        an opaque ModelError, leaving the engine half-advanced."""
+        old, new = self.snapshot.topology, new_snapshot.topology
+        if set(old.node_names()) != set(new.node_names()):
+            raise ConfigError(
+                "snapshot changes the topology (node set differs); "
+                "RealConfig verifies configuration changes over a fixed "
+                "topology — build a new verifier for the new network"
+            )
+        old_links = {frozenset(link.endpoints()) for link in old.links()}
+        new_links = {frozenset(link.endpoints()) for link in new.links()}
+        if old_links != new_links:
+            raise ConfigError(
+                "snapshot changes the topology (link set differs); "
+                "RealConfig verifies configuration changes over a fixed "
+                "topology — build a new verifier for the new network"
+            )
 
     def _verify(
         self, new_snapshot: Snapshot, line_diff: LineDiff, description: str
@@ -181,21 +237,26 @@ class RealConfig:
                 started = time.perf_counter()
                 lint_result = self._lint_gate(new_snapshot, line_diff)
                 timings.lint = time.perf_counter() - started
+        fault_point("lint_gate", lint_result)
 
         with span(names.SPAN_GENERATION):
             started = time.perf_counter()
             updates = self.generator.update_to(new_snapshot)
             timings.generation = time.perf_counter() - started
+        fault_point("generation", updates)
 
         started = time.perf_counter()
         batch = self.updater.apply(updates)
         timings.model_update = time.perf_counter() - started
+        fault_point("model_update", batch)
 
         started = time.perf_counter()
         report = self.checker.check_batch(batch)
         timings.policy_check = time.perf_counter() - started
+        fault_point("policy_check", report)
 
         self.snapshot = new_snapshot
+        fault_point("commit")
         return VerificationDelta(
             description=description,
             line_diff=line_diff,
@@ -206,6 +267,156 @@ class RealConfig:
             lint=lint_result,
             engine=self.generator.last_engine_stats,
         )
+
+    # -- the commit protocol -------------------------------------------------------
+
+    def _transact(
+        self, worker: Callable[[], VerificationDelta]
+    ) -> VerificationDelta:
+        """Run one verification as a transaction: capture every component's
+        state up front, commit by dropping the capture on success, and roll
+        everything back on any failure before re-raising it.  If the
+        rollback itself fails (state too damaged to restore), degrade by
+        rebuilding the whole verifier from the current snapshot."""
+        if not self.transactional:
+            return worker()
+        captured = self._capture_state()
+        metrics = get_metrics()
+        try:
+            delta = worker()
+        except BaseException:
+            if metrics.enabled:
+                metrics.counter(names.TXN_ROLLBACKS).inc()
+            with span(names.SPAN_TXN_ROLLBACK):
+                try:
+                    self._restore_state(captured)
+                except BaseException:
+                    self.rebuild()
+            raise
+        if metrics.enabled:
+            metrics.counter(names.TXN_COMMITS).inc()
+        return delta
+
+    def _capture_state(self) -> Dict[str, Any]:
+        """Pre-change state of every pipeline component.  Snapshot and lint
+        result are captured by reference: verification paths never mutate
+        them (``apply_changes``/``verify_snapshot`` clone, ``_lint_gate``
+        replaces)."""
+        return {
+            "snapshot": self.snapshot,
+            "lint_result": self._lint_result,
+            "generator": self.generator.capture_state(),
+            "model": self.model.capture_state(),
+            "checker": self.checker.capture_state(),
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        self.snapshot = state["snapshot"]
+        self._lint_result = state["lint_result"]
+        self.generator.restore_state(state["generator"])
+        self.model.restore_state(state["model"])
+        self.checker.restore_state(state["checker"])
+
+    def rebuild(self) -> VerificationDelta:
+        """Rebuild every component from scratch off the current snapshot —
+        the last rung of the degradation ladder (also drift recovery).
+        Replaces ``self.initial`` with the fresh from-scratch delta."""
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(names.REBUILDS).inc()
+        options = self._options
+        policies = self.checker.policies()
+        with span(names.SPAN_REBUILD):
+            self.__init__(  # type: ignore[misc]
+                self.snapshot,
+                endpoints=options["endpoints"],
+                policies=policies,
+                update_order=options["update_order"],
+                monitor=self._monitor,
+                merge_ecs=options["merge_ecs"],
+                model_mode=options["model_mode"],
+                lint_mode=options["lint_mode"],
+                lint_suppressions=options["lint_suppressions"],
+                transactional=options["transactional"],
+                audit_every=options["audit_every"],
+            )
+        return self.initial
+
+    def _maybe_audit(self) -> None:
+        """``audit_every=N`` self-check mode: after every N-th successful
+        verification, audit the incremental state against a from-scratch
+        recomputation; on drift, degrade gracefully by rebuilding."""
+        if self.audit_every <= 0:
+            return
+        self._verifications_since_audit += 1
+        if self._verifications_since_audit < self.audit_every:
+            return
+        self._verifications_since_audit = 0
+        from repro.resilience.audit import audit
+
+        report = audit(self)
+        if not report.ok:
+            self.rebuild()
+        # After rebuild (which re-runs __init__ and clears the field), so
+        # the caller can still see what the audit found.
+        self.last_audit = report
+
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def checkpoint(self, path) -> None:
+        """Serialize the verifier's full state to ``path`` (see
+        :mod:`repro.resilience.checkpoint` for the format)."""
+        from repro.resilience.checkpoint import write_checkpoint
+
+        write_checkpoint(self, path)
+
+    @classmethod
+    def restore(
+        cls, path, monitor: Optional[ConvergenceMonitor] = None
+    ) -> "RealConfig":
+        """Rebuild a verifier from a checkpoint file without re-converging
+        the control plane or re-checking any policy."""
+        from repro.resilience.checkpoint import read_checkpoint
+
+        return read_checkpoint(path, monitor=monitor)
+
+    @classmethod
+    def _from_checkpoint(
+        cls, payload: Dict[str, Any], monitor: Optional[ConvergenceMonitor]
+    ) -> "RealConfig":
+        options = payload["options"]
+        self = object.__new__(cls)
+        self.snapshot = payload["snapshot"]
+        self.lint_mode = options["lint_mode"]
+        self.transactional = options["transactional"]
+        self.audit_every = options["audit_every"]
+        self._verifications_since_audit = 0
+        self.last_audit = None
+        self._monitor = monitor
+        self._options = dict(options)
+        self._lint_runner = (
+            LintRunner(suppressions=options["lint_suppressions"])
+            if self.lint_mode != "off"
+            else None
+        )
+        self._lint_result = payload["lint_result"]
+        with span(names.SPAN_RESTORE):
+            self.generator = IncrementalDataPlaneGenerator(monitor=monitor)
+            self.generator.restore_state(payload["generator"])
+            self.model = NetworkModel(
+                self.snapshot.topology,
+                merge_on_unregister=options["merge_ecs"],
+                mode=options["model_mode"],
+            )
+            self.model.restore_state(payload["model"])
+            self.updater = BatchUpdater(
+                self.model, order=options["update_order"]
+            )
+            self.checker = IncrementalChecker.from_state(
+                self.model, payload["checker"]
+            )
+        self.initial = payload["initial"]
+        return self
 
     def _record_metrics(self, delta: VerificationDelta) -> None:
         metrics = get_metrics()

@@ -26,6 +26,7 @@ from repro.dataplane.ec import EcId
 from repro.dataplane.model import EcMove, FilterChange, NetworkModel
 from repro.dataplane.ports import Port
 from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
+from repro.resilience.faults import fault_point
 from repro.telemetry import get_metrics, names, span
 
 #: The paper's two orders plus our scheduling ablation.
@@ -173,6 +174,7 @@ class BatchUpdater:
         metrics.gauge(names.MODEL_ECS).set(self.model.num_ecs())
 
     def _apply_one(self, update: RuleUpdate, result: BatchResult) -> None:
+        fault_point("batch.apply", update)
         if update.is_insert():
             result.num_inserts += 1
         else:

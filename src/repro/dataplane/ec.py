@@ -225,6 +225,43 @@ class ECManager:
             self._members[container].discard(loser)
         self._notify(EcMerge(winner, loser))
 
+    # -- state capture / restore ------------------------------------------------
+
+    def capture_state(self) -> Dict:
+        """Picklable snapshot of the partition (predicates are immutable,
+        the index sets are copied).  Listeners are wiring, not state —
+        they survive a restore untouched, and no events fire during one."""
+        return {
+            "next_id": self._next_id,
+            "predicates": dict(self._predicates),
+            "refcounts": dict(self._refcounts),
+            "members": {box: set(ecs) for box, ecs in self._members.items()},
+            "containers": {
+                ec: set(boxes) for ec, boxes in self._containers.items()
+            },
+            "by_signature": {
+                key: set(ecs) for key, ecs in self._by_signature.items()
+            },
+            "splits": self.splits,
+            "merges": self.merges,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._next_id = state["next_id"]
+        self._predicates = dict(state["predicates"])
+        self._refcounts = dict(state["refcounts"])
+        self._members = {
+            box: set(ecs) for box, ecs in state["members"].items()
+        }
+        self._containers = {
+            ec: set(boxes) for ec, boxes in state["containers"].items()
+        }
+        self._by_signature = {
+            key: set(ecs) for key, ecs in state["by_signature"].items()
+        }
+        self.splits = state["splits"]
+        self.merges = state["merges"]
+
     # -- invariants (used by tests) ------------------------------------------------
 
     def check_invariants(self) -> None:

@@ -146,6 +146,52 @@ class NetworkModel:
     def num_ecs(self) -> int:
         return self.ecs.num_ecs()
 
+    # -- state capture / restore ----------------------------------------------------
+
+    def capture_state(self) -> Dict:
+        """Picklable snapshot of the model: EC partition plus per-device
+        tables.  Every dict/set level that the update algorithms mutate in
+        place is copied; rules, boxes, and ports are immutable values."""
+        return {
+            "ecs": self.ecs.capture_state(),
+            "devices": {
+                name: {
+                    "fib": {
+                        prefix: (box, dict(ifaces))
+                        for prefix, (box, ifaces) in state.fib.items()
+                    },
+                    "by_box": dict(state.by_box),
+                    "acls": {
+                        key: dict(table)
+                        for key, table in state.acls.items()
+                    },
+                    "ports": state.ports.capture_state(),
+                    "next_seq": state.next_seq,
+                }
+                for name, state in self._devices.items()
+            },
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        if set(state["devices"]) != set(self._devices):
+            raise ModelError(
+                "captured state covers a different device set "
+                "(the topology is fixed for a model's lifetime)"
+            )
+        self.ecs.restore_state(state["ecs"])
+        for name, payload in state["devices"].items():
+            device = self._devices[name]
+            device.fib = {
+                prefix: (box, dict(ifaces))
+                for prefix, (box, ifaces) in payload["fib"].items()
+            }
+            device.by_box = dict(payload["by_box"])
+            device.acls = {
+                key: dict(table) for key, table in payload["acls"].items()
+            }
+            device.ports.restore_state(payload["ports"])
+            device.next_seq = payload["next_seq"]
+
     # -- single-rule updates (APKeep's algorithm) ---------------------------------
 
     def apply_update(self, update: RuleUpdate) -> List[EcMove]:

@@ -98,3 +98,15 @@ class PortMap:
 
     def ports(self) -> Set[Port]:
         return set(self.ecs_of)
+
+    def capture_state(self) -> Dict:
+        return {
+            "port_of": dict(self.port_of),
+            "ecs_of": {port: set(ecs) for port, ecs in self.ecs_of.items()},
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.port_of = dict(state["port_of"])
+        self.ecs_of = {
+            port: set(ecs) for port, ecs in state["ecs_of"].items()
+        }

@@ -76,6 +76,16 @@ class Delta:
         out._weights = dict(self._weights)
         return out
 
+    def as_dict(self) -> Dict[Record, Weight]:
+        """Plain-dict view of the weights (for state capture/serialization)."""
+        return dict(self._weights)
+
+    @classmethod
+    def from_dict(cls, weights: Dict[Record, Weight]) -> "Delta":
+        out = cls()
+        out._weights = dict(weights)
+        return out
+
     def signature(self) -> int:
         """An order-independent hash of the delta's contents (used by the
         recurring-state detector)."""
@@ -169,3 +179,11 @@ class History:
         empty = [record for record, hist in self._data.items() if not hist]
         for record in empty:
             del self._data[record]
+
+    def snapshot_data(self) -> Dict[Record, RecordHistory]:
+        """Deep-enough copy of the history (per-record dicts are mutated in
+        place by ``add``; records themselves are immutable tuples)."""
+        return {record: dict(hist) for record, hist in self._data.items()}
+
+    def restore_data(self, data: Dict[Record, RecordHistory]) -> None:
+        self._data = {record: dict(hist) for record, hist in data.items()}

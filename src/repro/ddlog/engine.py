@@ -329,6 +329,48 @@ class Engine:
             return None
         return hash(tuple(parts))
 
+    # -- state capture / restore ------------------------------------------------
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Plain-data snapshot of the engine's mutable state: the epoch
+        counter plus every operator's history.  Functions baked into the
+        operators (closures from the DSL) are graph structure, not state,
+        so the payload is picklable and restorable onto an identically
+        compiled graph."""
+        return {
+            "epoch": self._epoch,
+            "operators": [
+                {"name": op.name, "state": op.snapshot_state()}
+                for op in self.operators
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`capture_state` payload.
+
+        Also clears the scheduler structures (pending work, iteration heap,
+        input buffer) — an epoch aborted mid-flight (e.g. by a convergence
+        failure) leaves them dirty, and a rollback must not replay them.
+        """
+        ops = state["operators"]
+        if len(ops) != len(self.operators):
+            raise GraphError(
+                f"state has {len(ops)} operators, graph has "
+                f"{len(self.operators)}: not the same program"
+            )
+        for operator, entry in zip(self.operators, ops):
+            if operator.name != entry["name"]:
+                raise GraphError(
+                    f"operator mismatch: graph has {operator.name!r}, "
+                    f"state has {entry['name']!r}"
+                )
+        self._input_buffer.clear()
+        self._pending.clear()
+        self._iteration_heap.clear()
+        self._epoch = state["epoch"]
+        for operator, entry in zip(self.operators, ops):
+            operator.restore_state(entry["state"])
+
     # -- introspection ---------------------------------------------------------
 
     def state_size(self) -> int:

@@ -56,6 +56,19 @@ class Operator:
         """Approximate number of stored record diffs (for stats)."""
         return 0
 
+    def snapshot_state(self) -> Any:
+        """Plain-data copy of the operator's mutable state (``None`` for
+        stateless operators).  Functions (map/key/agg closures) are part of
+        the graph, not the state, so the result is picklable and can be
+        restored onto a freshly recompiled graph."""
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        if state is not None:
+            raise ValueError(
+                f"{self!r} is stateless but got a state payload"
+            )
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
 
@@ -84,6 +97,12 @@ class Input(Operator):
 
     def state_size(self) -> int:
         return self.history.record_count()
+
+    def snapshot_state(self) -> Any:
+        return {"history": self.history.snapshot_data()}
+
+    def restore_state(self, state: Any) -> None:
+        self.history.restore_data(state["history"])
 
 
 class Map(Operator):
@@ -142,6 +161,14 @@ class Concat(Operator):
 
 #: Per-side join index: key -> record -> {iteration: weight diff}.
 _JoinIndex = Dict[Any, Dict[Record, Dict[int, int]]]
+
+
+def _copy_index(index: _JoinIndex) -> _JoinIndex:
+    """Copy every level that is mutated in place (records are immutable)."""
+    return {
+        key: {record: dict(hist) for record, hist in recs.items()}
+        for key, recs in index.items()
+    }
 
 
 class Join(Operator):
@@ -203,6 +230,20 @@ class Join(Operator):
         return sum(
             len(recs) for index in self.indexes for recs in index.values()
         )
+
+    def snapshot_state(self) -> Any:
+        return {
+            "indexes": (
+                _copy_index(self.indexes[0]),
+                _copy_index(self.indexes[1]),
+            ),
+            "lookups": self.lookups,
+        }
+
+    def restore_state(self, state: Any) -> None:
+        left, right = state["indexes"]
+        self.indexes = (_copy_index(left), _copy_index(right))
+        self.lookups = state["lookups"]
 
 
 class Reduce(Operator):
@@ -300,6 +341,18 @@ class Reduce(Operator):
         stored += sum(len(recs) for recs in self.outputs.values())
         return stored
 
+    def snapshot_state(self) -> Any:
+        return {
+            "inputs": _copy_index(self.inputs),
+            "outputs": _copy_index(self.outputs),
+            "recomputes": self.recomputes,
+        }
+
+    def restore_state(self, state: Any) -> None:
+        self.inputs = _copy_index(state["inputs"])
+        self.outputs = _copy_index(state["outputs"])
+        self.recomputes = state["recomputes"]
+
 
 def _presence(group: Any, counts: Dict[Record, int]) -> Iterable[Record]:
     """Aggregation behind :class:`Distinct`: group key is the record."""
@@ -340,3 +393,13 @@ class Probe(Operator):
 
     def state_size(self) -> int:
         return self.history.record_count()
+
+    def snapshot_state(self) -> Any:
+        return {
+            "history": self.history.snapshot_data(),
+            "epoch_delta": self.epoch_delta.as_dict(),
+        }
+
+    def restore_state(self, state: Any) -> None:
+        self.history.restore_data(state["history"])
+        self.epoch_delta = Delta.from_dict(state["epoch_delta"])

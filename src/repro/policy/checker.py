@@ -128,6 +128,56 @@ class IncrementalChecker:
         for policy in policies:
             self.add_policy(policy)
 
+    # -- state capture / restore --------------------------------------------------
+
+    def capture_state(self) -> Dict:
+        """Picklable snapshot of the checker.  ``EcAnalysis`` values are
+        replaced wholesale on re-analysis (never mutated), so referencing
+        them is safe; the pair/name index sets are copied."""
+        return {
+            "endpoints": list(self.endpoints),
+            "analyses": dict(self._analyses),
+            "pair_to_ecs": {
+                pair: set(ecs) for pair, ecs in self._pair_to_ecs.items()
+            },
+            "policies": dict(self._policies),
+            "statuses": dict(self._statuses),
+            "by_pair": {
+                pair: set(names) for pair, names in self._by_pair.items()
+            },
+            "invariants": set(self._invariants),
+            "initial_report": self.initial_report,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.endpoints = list(state["endpoints"])
+        self._endpoint_set = set(self.endpoints)
+        self._analyses = dict(state["analyses"])
+        self._pair_to_ecs = {
+            pair: set(ecs) for pair, ecs in state["pair_to_ecs"].items()
+        }
+        self._policies = dict(state["policies"])
+        self._statuses = dict(state["statuses"])
+        self._by_pair = {
+            pair: set(names) for pair, names in state["by_pair"].items()
+        }
+        self._invariants = set(state["invariants"])
+        self.initial_report = state["initial_report"]
+
+    @classmethod
+    def from_state(
+        cls, model: NetworkModel, state: Dict
+    ) -> "IncrementalChecker":
+        """Rebuild a checker onto ``model`` from a captured state without
+        running ``full_check`` or re-registering policies — both the EC
+        partition (with policy match boxes refcounted) and the analyses
+        come from the state, as on checkpoint restore."""
+        checker = object.__new__(cls)
+        checker.model = model
+        checker.restore_state(state)
+        model.ecs.add_listener(checker._on_ec_event)
+        return checker
+
     # -- policy registration ----------------------------------------------------
 
     def add_policy(self, policy: Policy) -> PolicyStatus:

@@ -1,0 +1,63 @@
+"""repro.resilience — transactional verification, checkpoints, and drift audit.
+
+Layers (ROADMAP "robustness" tentpole):
+
+- :mod:`repro.resilience.faults` — the test-only fault-injection hooks the
+  pipeline calls at stage boundaries (imported eagerly: stdlib-only, no
+  cycles);
+- :mod:`repro.resilience.checkpoint` — serialize / restore a full verifier
+  (loaded lazily: it imports :mod:`repro.core.realconfig`);
+- :mod:`repro.resilience.audit` — recompute the FIB and EC model from
+  scratch and diff them against the incremental state (lazy for the same
+  reason).
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    fault_point,
+    get_fault_plan,
+    inject,
+    set_fault_plan,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
+    "get_fault_plan",
+    "inject",
+    "set_fault_plan",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
+    "DriftReport",
+    "PolicyDrift",
+    "PortDrift",
+    "audit",
+    "recover",
+]
+
+_LAZY = {
+    "CheckpointError": "repro.resilience.checkpoint",
+    "read_checkpoint": "repro.resilience.checkpoint",
+    "write_checkpoint": "repro.resilience.checkpoint",
+    "DriftReport": "repro.resilience.audit",
+    "PolicyDrift": "repro.resilience.audit",
+    "PortDrift": "repro.resilience.audit",
+    "audit": "repro.resilience.audit",
+    "recover": "repro.resilience.audit",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,228 @@
+"""Drift audit: incremental state vs. a from-scratch recomputation.
+
+The incremental pipeline is fast because it never recomputes; the price is
+that a bug (or an injected fault that slipped past the transaction) can
+leave its state silently diverged from what the configuration actually
+implies.  The auditor recomputes ground truth with independent algorithms
+and diffs:
+
+- **FIB** — :func:`repro.baseline.simulate` (the from-scratch iterative
+  simulator, sharing no code with the differential engine) vs. the
+  engine's current FIB;
+- **EC model and policies** — a fresh :class:`NetworkModel` /
+  :class:`IncrementalChecker` built in one shot from the baseline FIB and
+  the snapshot's filter rules, compared port-by-port by sampling concrete
+  headers from both partitions and classifying them in the other model.
+
+Port/policy comparison runs only in ``ecmp`` mode: in ``priority`` mode
+the port an EC lands on depends on rule insertion order, so a freshly
+built model can differ legitimately from an incrementally maintained one.
+The FIB layer is always compared.
+
+:func:`recover` degrades gracefully: on drift it rebuilds the verifier
+from the current snapshot (:meth:`RealConfig.rebuild`) and re-audits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.baseline.simulator import simulate
+from repro.core.generator import extract_filter_rules
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.ec import EcError
+from repro.dataplane.model import NetworkModel
+from repro.dataplane.ports import Port
+from repro.dataplane.rule import RuleUpdate, updates_from_fib
+from repro.net.headerspace import Header
+from repro.policy.checker import IncrementalChecker
+from repro.routing.types import FibEntry
+from repro.telemetry import get_metrics, names, span
+
+#: Placeholder "port" reported when a header cannot be classified at all
+#: (the live partition no longer covers the header space).
+UNCLASSIFIABLE: Port = ("unclassifiable",)
+
+
+@dataclass(frozen=True)
+class PortDrift:
+    """On ``device``, packets matching ``header`` should take ``expected``
+    but the incremental model has them on ``actual``."""
+
+    device: str
+    header: Header
+    expected: Port
+    actual: Port
+
+    def __str__(self) -> str:
+        return (
+            f"{self.device}: header {self.header} expected port "
+            f"{self.expected}, model has {self.actual}"
+        )
+
+
+@dataclass(frozen=True)
+class PolicyDrift:
+    """Policy ``name`` verdict disagrees with the from-scratch checker."""
+
+    name: str
+    expected_holds: bool
+    actual_holds: bool
+
+    def __str__(self) -> str:
+        return (
+            f"policy {self.name!r}: from-scratch says "
+            f"holds={self.expected_holds}, incremental says "
+            f"holds={self.actual_holds}"
+        )
+
+
+@dataclass
+class DriftReport:
+    """What the audit found."""
+
+    fib_missing: List[FibEntry] = field(default_factory=list)
+    fib_extra: List[FibEntry] = field(default_factory=list)
+    port_drift: List[PortDrift] = field(default_factory=list)
+    policy_drift: List[PolicyDrift] = field(default_factory=list)
+    #: Whether the port/policy layers were compared (ecmp mode only).
+    checked_model: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.fib_missing
+            or self.fib_extra
+            or self.port_drift
+            or self.policy_drift
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            layers = "fib+model+policies" if self.checked_model else "fib"
+            return (
+                f"audit clean ({layers}, "
+                f"{self.elapsed_seconds * 1000:.1f} ms)"
+            )
+        return (
+            f"DRIFT: {len(self.fib_missing)} FIB entries missing, "
+            f"{len(self.fib_extra)} extra, {len(self.port_drift)} port "
+            f"mismatches, {len(self.policy_drift)} policy mismatches "
+            f"({self.elapsed_seconds * 1000:.1f} ms)"
+        )
+
+
+def audit(verifier) -> DriftReport:
+    """Recompute everything from scratch off ``verifier.snapshot`` and
+    diff it against the verifier's incremental state."""
+    report = DriftReport()
+    started = time.perf_counter()
+    with span(names.SPAN_AUDIT) as sp:
+        baseline_fib: Set[FibEntry] = set(simulate(verifier.snapshot).fib)
+        live_fib: Set[FibEntry] = set(verifier.generator.control_plane.fib())
+        report.fib_missing = sorted(baseline_fib - live_fib)
+        report.fib_extra = sorted(live_fib - baseline_fib)
+
+        options = verifier._options
+        if options["model_mode"] == "ecmp":
+            report.checked_model = True
+            fresh_model = NetworkModel(
+                verifier.snapshot.topology,
+                merge_on_unregister=options["merge_ecs"],
+                mode=options["model_mode"],
+            )
+            updates = updates_from_fib(sorted(baseline_fib), [])
+            updates.extend(
+                RuleUpdate(1, rule)
+                for rule in sorted(extract_filter_rules(verifier.snapshot))
+            )
+            BatchUpdater(fresh_model, order=options["update_order"]).apply(
+                updates
+            )
+            fresh_checker = IncrementalChecker(
+                fresh_model,
+                verifier.checker.endpoints,
+                verifier.checker.policies(),
+            )
+            report.port_drift = _compare_ports(verifier.model, fresh_model)
+            report.policy_drift = _compare_policies(
+                verifier.checker, fresh_checker
+            )
+
+        report.elapsed_seconds = time.perf_counter() - started
+        sp.set("ok", report.ok)
+        sp.set("checked_model", report.checked_model)
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter(names.AUDITS).inc()
+        if not report.ok:
+            metrics.counter(names.AUDIT_DRIFT).inc()
+    return report
+
+
+def _compare_ports(
+    live: NetworkModel, fresh: NetworkModel
+) -> List[PortDrift]:
+    """Sample one header per EC of *each* partition and require both models
+    to forward it identically on every device.  Sampling both directions
+    catches ECs the live model lost as well as ones it invented."""
+    drift: List[PortDrift] = []
+    seen: Set[Tuple] = set()
+
+    def check(device: str, header: Header, expected: Port, actual: Port) -> None:
+        if expected == actual:
+            return
+        key = (device, repr(header), expected, actual)
+        if key in seen:
+            return
+        seen.add(key)
+        drift.append(PortDrift(device, header, expected, actual))
+
+    live_samples = [
+        live.ecs.predicate(ec).sample() for ec in live.ecs.ec_ids()
+    ]
+    fresh_samples = [
+        fresh.ecs.predicate(ec).sample() for ec in fresh.ecs.ec_ids()
+    ]
+    for name in live.device_names():
+        live_ports = live.device(name).ports
+        fresh_ports = fresh.device(name).ports
+        for header in live_samples + fresh_samples:
+            expected = fresh_ports.get(fresh.ecs.classify(header))
+            try:
+                actual = live_ports.get(live.ecs.classify(header))
+            except EcError:
+                actual = UNCLASSIFIABLE
+            check(name, header, expected, actual)
+    return drift
+
+
+def _compare_policies(
+    live: IncrementalChecker, fresh: IncrementalChecker
+) -> List[PolicyDrift]:
+    expected = {
+        status.policy.name: status.holds for status in fresh.statuses()
+    }
+    actual = {status.policy.name: status.holds for status in live.statuses()}
+    drift: List[PolicyDrift] = []
+    for policy_name in sorted(set(expected) | set(actual)):
+        want = expected.get(policy_name)
+        have = actual.get(policy_name)
+        if want != have:
+            drift.append(
+                PolicyDrift(policy_name, bool(want), bool(have))
+            )
+    return drift
+
+
+def recover(verifier) -> Tuple[DriftReport, Optional[DriftReport]]:
+    """Audit; on drift, rebuild the verifier from its current snapshot and
+    audit again.  Returns ``(first_report, post_recovery_report_or_None)``."""
+    report = audit(verifier)
+    if report.ok:
+        return report, None
+    verifier.rebuild()
+    return report, audit(verifier)

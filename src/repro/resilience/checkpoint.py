@@ -1,0 +1,87 @@
+"""Verifier checkpoints.
+
+A checkpoint is a single pickle of plain data: the current snapshot, the
+construction options, and the captured state of every pipeline component
+(differential engine operator histories, EC partition, port maps, policy
+analyses).  Nothing executable is serialized — the compiled dataflow graph
+holds closures, so on restore the graph is recompiled deterministically
+from the rule program and each operator's history is restored by position,
+with name/count sanity checks (see :meth:`repro.ddlog.engine.Engine.restore_state`).
+
+A restored verifier resumes incremental verification immediately: no
+control plane re-convergence, no policy re-check.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.config.schema import ConfigError
+from repro.ddlog.convergence import ConvergenceMonitor
+from repro.telemetry import get_metrics, names, span
+
+FORMAT = "repro-checkpoint"
+VERSION = 1
+
+
+class CheckpointError(ConfigError):
+    """Raised for unreadable, corrupt, or incompatible checkpoint files."""
+
+
+def write_checkpoint(verifier, path: Union[str, Path]) -> None:
+    """Serialize ``verifier`` (a :class:`~repro.core.realconfig.RealConfig`)
+    to ``path``."""
+    with span(names.SPAN_CHECKPOINT, path=str(path)) as sp:
+        payload: Dict[str, Any] = {
+            "format": FORMAT,
+            "version": VERSION,
+            "snapshot": verifier.snapshot,
+            "options": dict(verifier._options),
+            "generator": verifier.generator.capture_state(),
+            "model": verifier.model.capture_state(),
+            "checker": verifier.checker.capture_state(),
+            "lint_result": verifier._lint_result,
+            "initial": verifier.initial,
+        }
+        try:
+            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            Path(path).write_bytes(data)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot write checkpoint {path}: {error}"
+            ) from error
+        sp.set("bytes", len(data))
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.gauge(names.CHECKPOINT_BYTES).set(len(data))
+
+
+def read_checkpoint(
+    path: Union[str, Path], monitor: Optional[ConvergenceMonitor] = None
+):
+    """Rebuild a :class:`~repro.core.realconfig.RealConfig` from a
+    checkpoint file."""
+    from repro.core.realconfig import RealConfig
+
+    try:
+        data = Path(path).read_bytes()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    try:
+        payload = pickle.loads(data)
+    except Exception as error:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: {error}"
+        ) from error
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise CheckpointError(f"{path} is not a {FORMAT} file")
+    if payload.get("version") != VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {payload.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    return RealConfig._from_checkpoint(payload, monitor)

@@ -91,3 +91,27 @@ class ControlPlane:
 
     def state_size(self) -> int:
         return self.compiled.engine.state_size()
+
+    # -- state capture / restore ---------------------------------------------
+
+    def capture_state(self) -> Dict:
+        """Picklable snapshot of the control plane's incremental state.
+        The compiled program itself is deterministic (rebuilt identically
+        by ``compile_control_plane``), so only fact sets and the engine's
+        operator histories need to travel."""
+        return {
+            "facts": {rel: set(facts) for rel, facts in self._facts.items()},
+            "loaded": self._loaded,
+            "last_fact_changes": self.last_fact_changes,
+            "last_stats": self.last_stats,
+            "engine": self.compiled.engine.capture_state(),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._facts = {
+            rel: set(facts) for rel, facts in state["facts"].items()
+        }
+        self._loaded = state["loaded"]
+        self.last_fact_changes = state["last_fact_changes"]
+        self.last_stats = state["last_stats"]
+        self.compiled.engine.restore_state(state["engine"])

@@ -31,6 +31,16 @@ SPAN_DDLOG_EPOCH = "ddlog.epoch"
 SPAN_LINT_RUN = "lint.run"
 SPAN_LINT_INCREMENTAL = "lint.incremental"
 
+# Resilience spans.  SPAN_TXN_ROLLBACK appears under the verify root only
+# on the *failure* path (the success path keeps the exact STAGE_SPANS
+# children the telemetry contract pins); audit/checkpoint/restore run
+# outside any verification.
+SPAN_TXN_ROLLBACK = "resilience.rollback"
+SPAN_REBUILD = "resilience.rebuild"
+SPAN_AUDIT = "resilience.audit"
+SPAN_CHECKPOINT = "resilience.checkpoint"
+SPAN_RESTORE = "resilience.restore"
+
 #: The five stage children every root verification span carries.
 STAGE_SPANS = (
     SPAN_CONFIG_DIFF,
@@ -74,6 +84,14 @@ LINT_UNITS_RUN = "repro_lint_units_run_total"
 LINT_UNITS_REUSED = "repro_lint_units_reused_total"
 LINT_DIAGNOSTICS = "repro_lint_diagnostics_total"
 
+# -- resilience --------------------------------------------------------------
+TXN_COMMITS = "repro_txn_commits_total"
+TXN_ROLLBACKS = "repro_txn_rollbacks_total"
+REBUILDS = "repro_rebuilds_total"
+AUDITS = "repro_audits_total"
+AUDIT_DRIFT = "repro_audit_drift_total"
+CHECKPOINT_BYTES = "repro_checkpoint_bytes"  # gauge
+
 #: name -> help text (the Prometheus ``# HELP`` line and the docs table).
 HELP = {
     VERIFICATIONS: "Verifications run (initial load and per change batch)",
@@ -100,4 +118,10 @@ HELP = {
     LINT_UNITS_RUN: "Lint (pass, device) units executed",
     LINT_UNITS_REUSED: "Lint units reused from the previous result",
     LINT_DIAGNOSTICS: "Lint diagnostics emitted (post-suppression)",
+    TXN_COMMITS: "Verification transactions committed",
+    TXN_ROLLBACKS: "Verification transactions rolled back after a failure",
+    REBUILDS: "Full verifier rebuilds (rollback fallback or drift recovery)",
+    AUDITS: "Drift audits run against a from-scratch recomputation",
+    AUDIT_DRIFT: "Drift audits that found a divergence",
+    CHECKPOINT_BYTES: "Size of the last checkpoint written, in bytes",
 }

@@ -1,0 +1,28 @@
+"""Fixtures for the resilience suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import ring
+from repro.workloads import bgp_snapshot, link_failures
+
+from tests.resilience.helpers import make_policies
+
+
+@pytest.fixture(scope="module")
+def ring_snapshot():
+    return bgp_snapshot(ring(4))
+
+
+@pytest.fixture(scope="module")
+def ring_changes(ring_snapshot):
+    changes = link_failures(ring_snapshot, seed=3)
+    assert changes
+    return changes
+
+
+@pytest.fixture
+def verifier(ring_snapshot):
+    return RealConfig(ring_snapshot, policies=make_policies())

@@ -1,0 +1,46 @@
+"""Shared helpers for the resilience suite."""
+
+from __future__ import annotations
+
+from repro.core.realconfig import RealConfig
+from repro.net.addr import Prefix
+from repro.net.headerspace import HeaderBox
+from repro.policy.spec import LoopFree, Reachability
+
+
+def make_policies():
+    return [
+        LoopFree("loop-free"),
+        Reachability(
+            "r0->r2",
+            src="r0",
+            dst="r2",
+            match=HeaderBox.from_dst_prefix(Prefix.parse("172.16.2.0/24")),
+        ),
+    ]
+
+
+def fingerprint(verifier: RealConfig):
+    """Everything a verification can change, as one comparable value:
+    engine epoch + stored records, the full FIB, the EC partition size,
+    and every policy verdict."""
+    control_plane = verifier.generator.control_plane
+    return (
+        control_plane.compiled.engine._epoch,
+        control_plane.state_size(),
+        tuple(control_plane.fib()),
+        verifier.model.num_ecs(),
+        tuple(
+            sorted(
+                (status.policy.name, status.holds)
+                for status in verifier.checker.statuses()
+            )
+        ),
+    )
+
+
+def verdicts(verifier: RealConfig):
+    return {
+        status.policy.name: status.holds
+        for status in verifier.checker.statuses()
+    }

@@ -1,0 +1,155 @@
+"""Drift audit and recovery."""
+
+import pytest
+
+from repro.core.realconfig import RealConfig
+from repro.resilience.audit import audit, recover
+
+from tests.resilience.helpers import fingerprint, make_policies, verdicts
+
+BOGUS_PORT = ("fwd", ("no-such-iface",))
+
+
+def corrupt_port_map(verifier, device="r2"):
+    """Silently move one EC to a port no real rule ever produces —
+    exactly the damage a lost EC-move event would cause."""
+    ports = verifier.model.device(device).ports
+    ec = sorted(verifier.model.ecs.ec_ids())[0]
+    ports.move(ec, BOGUS_PORT)
+
+
+def corrupt_fib(verifier):
+    """Drop one record from the engine's FIB probe history."""
+    probe = verifier.generator.control_plane.compiled._probes["fib"]
+    record = sorted(probe.history._data, key=repr)[0]
+    del probe.history._data[record]
+
+
+class TestHealthyAudit:
+    def test_fresh_verifier_is_clean(self, verifier):
+        report = audit(verifier)
+        assert report.ok
+        assert report.checked_model
+        assert report.summary().startswith("audit clean")
+
+    def test_clean_after_changes(self, ring_snapshot, ring_changes):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        for change in ring_changes[:2]:
+            verifier.apply_changes([change])
+        report = audit(verifier)
+        assert report.ok, report.summary()
+
+    def test_priority_mode_audits_fib_only(self, ring_snapshot):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), model_mode="priority"
+        )
+        report = audit(verifier)
+        assert report.ok
+        assert not report.checked_model
+
+
+class TestDriftDetection:
+    def test_port_corruption_detected(self, verifier):
+        corrupt_port_map(verifier)
+        report = audit(verifier)
+        assert not report.ok
+        assert report.port_drift
+        assert not report.fib_missing and not report.fib_extra
+        assert "DRIFT" in report.summary()
+
+    def test_fib_corruption_detected(self, verifier):
+        corrupt_fib(verifier)
+        report = audit(verifier)
+        assert not report.ok
+        assert report.fib_missing
+
+    def test_drift_details_name_the_device(self, verifier):
+        corrupt_port_map(verifier, device="r1")
+        report = audit(verifier)
+        assert any(drift.device == "r1" for drift in report.port_drift)
+        assert any(
+            drift.actual == BOGUS_PORT for drift in report.port_drift
+        )
+
+
+class TestRecovery:
+    def test_recover_on_clean_verifier_is_a_noop(self, verifier):
+        before = fingerprint(verifier)
+        first, second = recover(verifier)
+        assert first.ok
+        assert second is None
+        assert fingerprint(verifier) == before
+
+    def test_recover_rebuilds_and_passes_audit(
+        self, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        corrupt_port_map(verifier)
+        first, second = recover(verifier)
+        assert not first.ok
+        assert second is not None and second.ok
+        # The recovered verifier verifies changes correctly again.
+        verifier.apply_changes([ring_changes[0]])
+        assert audit(verifier).ok
+
+    def test_recover_preserves_policies(self, verifier):
+        names_before = sorted(p.name for p in verifier.checker.policies())
+        corrupt_port_map(verifier)
+        recover(verifier)
+        assert (
+            sorted(p.name for p in verifier.checker.policies())
+            == names_before
+        )
+
+
+class TestSelfCheckMode:
+    def test_audit_every_detects_and_rebuilds(self, ring_snapshot):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), audit_every=1
+        )
+        corrupt_port_map(verifier)
+        # A no-op verification; its post-verify self-check must catch the
+        # pre-existing corruption and rebuild.
+        verifier.verify_snapshot(ring_snapshot)
+        assert verifier.last_audit is not None
+        assert not verifier.last_audit.ok
+        assert audit(verifier).ok
+
+    def test_audit_every_counts_verifications(
+        self, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), audit_every=2
+        )
+        verifier.apply_changes([ring_changes[0]])
+        assert verifier.last_audit is None  # 1 of 2
+        verifier.apply_changes([ring_changes[1]])
+        assert verifier.last_audit is not None  # 2 of 2: audited
+        assert verifier.last_audit.ok
+
+    def test_healthy_self_check_does_not_rebuild(
+        self, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), audit_every=1
+        )
+        model_before = verifier.model
+        delta = verifier.apply_changes([ring_changes[0]])
+        assert verifier.last_audit is not None and verifier.last_audit.ok
+        # a rebuild would have replaced every component; a clean
+        # self-check must leave them in place
+        assert verifier.model is model_before
+        assert delta.rule_updates
+
+
+class TestAuditAfterRestore:
+    def test_restored_checkpoint_audits_clean(
+        self, tmp_path, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        verifier.apply_changes([ring_changes[0]])
+        path = tmp_path / "v.ckpt"
+        verifier.checkpoint(path)
+        restored = RealConfig.restore(path)
+        assert audit(restored).ok
+        assert verdicts(restored) == verdicts(verifier)

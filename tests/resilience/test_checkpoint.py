@@ -1,0 +1,118 @@
+"""Checkpoint / restore round trips."""
+
+import pickle
+
+import pytest
+
+from repro.core.realconfig import RealConfig
+from repro.resilience.checkpoint import (
+    FORMAT,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+from tests.resilience.helpers import fingerprint, make_policies, verdicts
+
+
+def delta_signature(delta, verifier):
+    """A comparable digest of one VerificationDelta."""
+    return (
+        sorted(repr(update) for update in delta.rule_updates),
+        sorted(delta.batch.affected_ec_ids(verifier.model)),
+        sorted(repr(status) for status in delta.newly_violated),
+        sorted(repr(status) for status in delta.newly_satisfied),
+        delta.ok,
+    )
+
+
+class TestRoundTrip:
+    def test_restored_state_is_identical(
+        self, tmp_path, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        verifier.apply_changes([ring_changes[0]])
+        path = tmp_path / "verifier.ckpt"
+        verifier.checkpoint(path)
+        restored = RealConfig.restore(path)
+        assert fingerprint(restored) == fingerprint(verifier)
+        assert restored.snapshot.device("r0") == verifier.snapshot.device("r0")
+        assert restored._options == verifier._options
+
+    def test_restored_verifier_resumes_without_reconvergence(
+        self, tmp_path, ring_snapshot, ring_changes
+    ):
+        """The restored verifier picks up incrementally: the next change
+        produces byte-identical VerificationDeltas on both sides, and the
+        engine epoch counter continues instead of restarting."""
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        verifier.apply_changes([ring_changes[0]])
+        epoch = verifier.generator.control_plane.compiled.engine._epoch
+        path = tmp_path / "verifier.ckpt"
+        verifier.checkpoint(path)
+        restored = RealConfig.restore(path)
+        assert (
+            restored.generator.control_plane.compiled.engine._epoch == epoch
+        )
+        original_delta = verifier.apply_changes([ring_changes[1]])
+        restored_delta = restored.apply_changes([ring_changes[1]])
+        assert delta_signature(restored_delta, restored) == delta_signature(
+            original_delta, verifier
+        )
+        assert verdicts(restored) == verdicts(verifier)
+
+    def test_lint_state_round_trips(self, tmp_path, ring_snapshot):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), lint_mode="warn"
+        )
+        assert verifier._lint_result is not None
+        path = tmp_path / "verifier.ckpt"
+        verifier.checkpoint(path)
+        restored = RealConfig.restore(path)
+        assert restored.lint_mode == "warn"
+        assert restored._lint_runner is not None
+        assert restored._lint_result is not None
+        assert [str(d) for d in restored._lint_result.diagnostics] == [
+            str(d) for d in verifier._lint_result.diagnostics
+        ]
+
+    def test_initial_delta_travels(self, tmp_path, ring_snapshot):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        verifier.checkpoint(path)
+        restored = RealConfig.restore(path)
+        assert restored.initial.ok == verifier.initial.ok
+        assert len(restored.initial.rule_updates) == len(
+            verifier.initial.rule_updates
+        )
+
+    def test_module_level_api(self, tmp_path, ring_snapshot):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        write_checkpoint(verifier, path)
+        restored = read_checkpoint(path)
+        assert fingerprint(restored) == fingerprint(verifier)
+
+
+class TestBadFiles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"this is not a pickle at all")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.ckpt"
+        path.write_bytes(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(pickle.dumps({"format": FORMAT, "version": 999}))
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)

@@ -1,0 +1,121 @@
+"""CLI surface of the resilience layer: ``repro checkpoint``,
+``repro verify --resume-from``, ``repro audit``, and the exit-2 contract
+for topology-changing snapshots."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def base_dir(tmp_path):
+    path = tmp_path / "base"
+    assert main(["generate", "--topology", "ring:4", "--protocol", "bgp",
+                 "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def changed_dir(base_dir, tmp_path):
+    import shutil
+
+    path = tmp_path / "changed"
+    shutil.copytree(base_dir, path)
+    cfg = path / "configs" / "r0.cfg"
+    text = cfg.read_text()
+    assert "interface eth1" in text
+    cfg.write_text(
+        text.replace("interface eth1\n", "interface eth1\n shutdown\n", 1)
+    )
+    return path
+
+
+class TestCheckpointCommand:
+    def test_writes_a_loadable_checkpoint(self, base_dir, tmp_path, capsys):
+        out = tmp_path / "base.ckpt"
+        assert main(["checkpoint", str(base_dir), str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote checkpoint" in captured.out
+        assert out.exists() and out.stat().st_size > 0
+
+    def test_missing_snapshot_exits_two(self, tmp_path):
+        assert main(["checkpoint", str(tmp_path / "ghost"),
+                     str(tmp_path / "out.ckpt")]) == 2
+
+
+class TestResumeFrom:
+    def test_resume_matches_cold_start(
+        self, base_dir, changed_dir, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "base.ckpt"
+        assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
+        capsys.readouterr()
+        cold = main(["verify", str(base_dir), str(changed_dir)])
+        cold_out = capsys.readouterr().out
+        resumed = main(["verify", str(base_dir), str(changed_dir),
+                        "--resume-from", str(ckpt)])
+        resumed_out = capsys.readouterr().out
+        assert resumed == cold
+        assert "resumed verifier from" in resumed_out
+        # identical verification outcome line (modulo wall-clock timing)
+        def check_lines(text):
+            return [
+                line.split(" (")[0]
+                for line in text.splitlines()
+                if line.startswith("check:")
+            ]
+
+        assert check_lines(cold_out) == check_lines(resumed_out)
+
+    def test_corrupt_checkpoint_exits_two(
+        self, base_dir, changed_dir, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"junk")
+        assert main(["verify", str(base_dir), str(changed_dir),
+                     "--resume-from", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_snapshot_directory_audits_clean(self, base_dir, capsys):
+        assert main(["audit", str(base_dir)]) == 0
+        assert "audit clean" in capsys.readouterr().out
+
+    def test_checkpoint_file_audits_clean(self, base_dir, tmp_path, capsys):
+        ckpt = tmp_path / "base.ckpt"
+        assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
+        assert main(["audit", str(ckpt)]) == 0
+        assert "restored verifier from checkpoint" in capsys.readouterr().out
+
+    def test_recover_flag_on_clean_state(self, base_dir, capsys):
+        assert main(["audit", str(base_dir), "--recover"]) == 0
+
+    def test_corrupt_checkpoint_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"junk")
+        assert main(["audit", str(bad)]) == 2
+
+
+class TestTopologyChangeExitCode:
+    def test_changed_link_set_exits_two_with_message(
+        self, base_dir, tmp_path, capsys
+    ):
+        """The pinned satellite bug: a changed snapshot whose topology
+        differs used to crash with a bare ModelError traceback after the
+        base had verified; it must exit 2 with a clear message."""
+        import shutil
+
+        rewired = tmp_path / "rewired"
+        shutil.copytree(base_dir, rewired)
+        topo_file = rewired / "topology.json"
+        topology = json.loads(topo_file.read_text())
+        topology["links"] = topology["links"][:-1]
+        topo_file.write_text(json.dumps(topology, indent=2))
+        code = main(["verify", str(base_dir), str(rewired)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot verify changed snapshot" in captured.err
+        assert "topology" in captured.err

@@ -1,0 +1,90 @@
+"""Unit tests of the fault-injection harness itself."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    fault_point,
+    get_fault_plan,
+    inject,
+    set_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("stage", action="explode")
+
+    def test_corrupt_requires_mutate(self):
+        with pytest.raises(ValueError):
+            FaultSpec("stage", action="corrupt")
+
+    def test_calls_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultSpec("stage", call=0)
+
+
+class TestFaultPlan:
+    def test_noop_without_active_plan(self):
+        assert get_fault_plan() is None
+        fault_point("anything")  # must not raise
+
+    def test_raises_on_matching_call(self):
+        plan = FaultPlan(FaultSpec("model_update", call=2))
+        with inject(plan):
+            fault_point("model_update")  # call 1: no fire
+            with pytest.raises(FaultInjected):
+                fault_point("model_update")  # call 2: fire
+        assert plan.fired == [("model_update", 2, "raise")]
+        assert plan.calls["model_update"] == 2
+
+    def test_custom_exception(self):
+        plan = FaultPlan(
+            FaultSpec("stage", exception=MemoryError("simulated OOM"))
+        )
+        with inject(plan):
+            with pytest.raises(MemoryError):
+                fault_point("stage")
+
+    def test_other_stages_unaffected(self):
+        with inject(FaultPlan(FaultSpec("stage-a"))):
+            fault_point("stage-b")
+            fault_point("stage-c")
+
+    def test_corrupt_mutates_payload_and_continues(self):
+        payload = {"value": 1}
+        plan = FaultPlan(
+            FaultSpec(
+                "stage",
+                action="corrupt",
+                mutate=lambda p: p.update(value=999),
+            )
+        )
+        with inject(plan):
+            fault_point("stage", payload)
+        assert payload["value"] == 999
+        assert plan.fired == [("stage", 1, "corrupt")]
+
+    def test_delay_fires_and_continues(self):
+        plan = FaultPlan(
+            FaultSpec("stage", action="delay", delay_seconds=0.0)
+        )
+        with inject(plan):
+            fault_point("stage")
+        assert plan.fired == [("stage", 1, "delay")]
+
+    def test_inject_restores_no_plan_even_on_error(self):
+        with pytest.raises(FaultInjected):
+            with inject(FaultPlan(FaultSpec("stage"))):
+                fault_point("stage")
+        assert get_fault_plan() is None
+
+    def test_set_and_clear(self):
+        plan = FaultPlan()
+        set_fault_plan(plan)
+        assert get_fault_plan() is plan
+        set_fault_plan(None)
+        assert get_fault_plan() is None

@@ -1,0 +1,183 @@
+"""Transactional verification: any mid-pipeline failure must leave the
+verifier byte-for-byte at its pre-change state, and the *next* verification
+must agree with a verifier built from scratch — the exact invariant the
+pre-transaction code violated (a failure in ``BatchUpdater.apply`` left the
+engine advanced but the model half-updated)."""
+
+import pytest
+
+from repro.config.changes import AddStaticRouteIp, apply_changes
+from repro.config.schema import ConfigError
+from repro.core.realconfig import LintGateError, RealConfig
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topologies import line, ring
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec, inject
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+from tests.resilience.helpers import fingerprint, make_policies, verdicts
+
+#: Every stage boundary of the pipeline where a fault can strike.
+STAGES = [
+    "lint_gate",
+    "generation",
+    "model_update",
+    "policy_check",
+    "batch.apply",
+    "commit",
+]
+
+
+def fresh_equivalent(base_snapshot, changes):
+    changed, _ = apply_changes(base_snapshot, changes)
+    return RealConfig(changed, policies=make_policies(), lint_mode="warn")
+
+
+class TestRollbackAtEveryStage:
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_fault_leaves_state_identical(
+        self, ring_snapshot, ring_changes, stage
+    ):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), lint_mode="warn"
+        )
+        before = fingerprint(verifier)
+        with inject(FaultPlan(FaultSpec(stage))) as plan:
+            with pytest.raises(FaultInjected):
+                verifier.apply_changes([ring_changes[0]])
+        assert plan.fired, f"fault at {stage!r} never fired"
+        assert fingerprint(verifier) == before
+
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_next_verification_agrees_with_from_scratch(
+        self, ring_snapshot, ring_changes, stage
+    ):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), lint_mode="warn"
+        )
+        with inject(FaultPlan(FaultSpec(stage))):
+            with pytest.raises(FaultInjected):
+                verifier.apply_changes([ring_changes[0]])
+        # Retry for real: the rolled-back verifier must produce the same
+        # network state as one that never saw the failure.
+        verifier.apply_changes([ring_changes[0]])
+        fresh = fresh_equivalent(ring_snapshot, [ring_changes[0]])
+        assert set(verifier.generator.control_plane.fib()) == set(
+            fresh.generator.control_plane.fib()
+        )
+        assert verdicts(verifier) == verdicts(fresh)
+
+
+class TestStateDesyncRegression:
+    def test_mid_batch_failure_then_retry_matches_from_scratch(
+        self, ring_snapshot, ring_changes
+    ):
+        """The pinned bug: a failure on the third rule update of a batch
+        used to leave the engine committed but the model half-updated, so
+        every later verification silently diverged."""
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        before = fingerprint(verifier)
+        with inject(FaultPlan(FaultSpec("batch.apply", call=3))) as plan:
+            with pytest.raises(FaultInjected):
+                verifier.apply_changes([ring_changes[0]])
+        assert plan.fired, "batch had fewer than 3 rule updates"
+        assert fingerprint(verifier) == before
+        verifier.apply_changes([ring_changes[0]])
+        fresh = fresh_equivalent(ring_snapshot, [ring_changes[0]])
+        assert set(verifier.generator.control_plane.fib()) == set(
+            fresh.generator.control_plane.fib()
+        )
+        assert verdicts(verifier) == verdicts(fresh)
+
+    def test_without_transactions_the_desync_is_real(
+        self, ring_snapshot, ring_changes
+    ):
+        """Negative control: with ``transactional=False`` the same fault
+        does leave the verifier diverged — proving the test above pins an
+        actual failure mode, not a tautology."""
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), transactional=False
+        )
+        before = fingerprint(verifier)
+        with inject(FaultPlan(FaultSpec("batch.apply", call=3))):
+            with pytest.raises(FaultInjected):
+                verifier.apply_changes([ring_changes[0]])
+        assert fingerprint(verifier) != before
+
+
+class TestLintGateInvariants:
+    def test_enforced_rejection_leaves_state_untouched(self, ring_snapshot):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), lint_mode="enforce"
+        )
+        snapshot_before = verifier.snapshot
+        lint_before = verifier._lint_result
+        before = fingerprint(verifier)
+        # Valid config, but the next hop resolves to nothing: STA001 at
+        # error severity, so the enforcing gate must refuse it.
+        bad_change = AddStaticRouteIp(
+            "r0", Prefix.parse("203.0.113.0/24"), parse_ipv4("8.8.8.8")
+        )
+        with pytest.raises(LintGateError):
+            verifier.apply_changes([bad_change])
+        assert verifier.snapshot is snapshot_before
+        assert verifier._lint_result is lint_before
+        assert fingerprint(verifier) == before
+
+    def test_verifier_still_works_after_rejection(
+        self, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(
+            ring_snapshot, policies=make_policies(), lint_mode="enforce"
+        )
+        bad_change = AddStaticRouteIp(
+            "r0", Prefix.parse("203.0.113.0/24"), parse_ipv4("8.8.8.8")
+        )
+        with pytest.raises(LintGateError):
+            verifier.apply_changes([bad_change])
+        delta = verifier.apply_changes([ring_changes[0]])
+        fresh = fresh_equivalent(ring_snapshot, [ring_changes[0]])
+        assert verdicts(verifier) == verdicts(fresh)
+        assert delta.rule_updates
+
+
+class TestTopologyGuard:
+    def test_extra_node_rejected_before_any_mutation(self, ring_snapshot):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        before = fingerprint(verifier)
+        bigger = bgp_snapshot(ring(5))
+        with pytest.raises(ConfigError):
+            verifier.verify_snapshot(bigger)
+        assert fingerprint(verifier) == before
+
+    def test_different_links_rejected_before_any_mutation(
+        self, ring_snapshot
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        before = fingerprint(verifier)
+        # line(4) has the same node names r0..r3 but a different link set.
+        rewired = ospf_snapshot(line(4))
+        with pytest.raises(ConfigError):
+            verifier.verify_snapshot(rewired)
+        assert fingerprint(verifier) == before
+
+
+class TestOptions:
+    def test_negative_audit_every_rejected(self, ring_snapshot):
+        with pytest.raises(ValueError):
+            RealConfig(ring_snapshot, audit_every=-1)
+
+    def test_non_convergence_still_propagates(self, ring_snapshot):
+        """The transaction re-raises whatever aborted it (it must not
+        swallow engine errors after rolling back)."""
+        plan = FaultPlan(
+            FaultSpec("generation", exception=RuntimeError("did not converge"))
+        )
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        before = fingerprint(verifier)
+        from repro.workloads import link_failures
+
+        change = link_failures(ring_snapshot, seed=3)[0]
+        with inject(plan):
+            with pytest.raises(RuntimeError, match="did not converge"):
+                verifier.apply_changes([change])
+        assert fingerprint(verifier) == before
