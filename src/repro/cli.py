@@ -23,7 +23,15 @@ Subcommands (also available as ``python -m repro``):
 - ``audit``     recompute the FIB / EC model / policy verdicts from
   scratch and diff them against a verifier's incremental state (built
   from a snapshot directory or restored from a checkpoint file); with
-  ``--recover``, rebuild on drift and re-audit.
+  ``--recover``, rebuild on drift and re-audit;
+- ``serve``     long-lived change-stream daemon: verify a stream of
+  change batches with per-batch deadlines, retry + backoff, poison-batch
+  quarantine, a circuit breaker that degrades to full-rebuild mode, a
+  health-file heartbeat, and graceful checkpointing shutdown;
+- ``watch``     the polling alias of ``serve`` — pick up new batch files
+  dropped into a directory;
+- ``emit-stream`` generate a JSONL change-batch stream (the producer
+  side of ``serve``).
 
 Global observability flags (before the subcommand):
 
@@ -201,6 +209,101 @@ def cmd_verify(args: argparse.Namespace) -> int:
     for status in delta.newly_satisfied:
         print(f"  newly satisfied: {status}")
     return 0 if delta.ok else 1
+
+
+def _serve_verifier(args: argparse.Namespace):
+    """The (verifier, resume_cursor) pair for a serve/watch run."""
+    from repro.serve import resume_cursor_from
+
+    policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
+    if args.all_pairs:
+        snapshot = load_snapshot(args.snapshot)
+        policies.extend(_reachability_policies(snapshot))
+    if args.resume_from is not None:
+        verifier = RealConfig.restore(args.resume_from)
+        cursor = resume_cursor_from(args.resume_from)
+        print(
+            f"resumed verifier from {args.resume_from} "
+            f"at stream cursor {cursor}"
+        )
+        return verifier, cursor
+    snapshot = load_snapshot(args.snapshot)
+    verifier = RealConfig(snapshot, policies=policies, lint_mode=args.lint)
+    print(f"base snapshot verified: {verifier.initial.report.summary()}")
+    return verifier, 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Long-lived serving loop over a change stream (and ``repro watch``,
+    which polls a directory for new batch files instead of reading a
+    finite stream)."""
+    from repro.serve import (
+        DeadLetterBox,
+        ServeDaemon,
+        ServeOptions,
+        read_stream,
+        watch_stream,
+    )
+
+    verifier, cursor = _serve_verifier(args)
+    watching = args.command == "watch"
+    options = ServeOptions(
+        deadline_seconds=args.deadline,
+        max_retries=args.max_retries,
+        backoff_base=args.backoff_base,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        queue_capacity=args.queue_capacity,
+        poll_interval=args.poll_interval,
+        audit_every=args.audit_every,
+        checkpoint_every=args.checkpoint_every,
+        health_file=args.health_file,
+        checkpoint_file=args.checkpoint,
+    )
+    if watching:
+        source = watch_stream(
+            args.stream,
+            idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        )
+    else:
+        source = read_stream(args.stream)
+    daemon = ServeDaemon(
+        verifier,
+        source,
+        DeadLetterBox(args.dead_letter),
+        options,
+        resume_cursor=cursor,
+    )
+    stats = daemon.run(handle_signals=True)
+    print(f"serve finished: {stats.summary()}")
+    if stats.quarantined:
+        print(
+            f"  {stats.quarantined} poison batch(es) in {args.dead_letter} "
+            f"— inspect error.txt/meta.json, fix the cause, then replay "
+            f"with: repro serve {args.snapshot} --stream {args.dead_letter}",
+            file=sys.stderr,
+        )
+    if args.checkpoint is not None:
+        print(f"  final checkpoint: {args.checkpoint} (cursor {daemon.cursor})")
+    return 0 if stats.clean else 1
+
+
+def cmd_emit_stream(args: argparse.Namespace) -> int:
+    """Producer side of ``repro serve``: generate a change-batch stream."""
+    from repro.net.topologies import LabeledTopology
+    from repro.workloads import emit_stream
+
+    snapshot = load_snapshot(args.snapshot)
+    labeled = LabeledTopology(snapshot.topology)
+    count = emit_stream(
+        labeled,
+        args.out,
+        protocol=args.protocol,
+        count=args.count,
+        seed=args.seed,
+    )
+    print(f"wrote {count} change batch(es) to {args.out}")
+    return 0
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -562,6 +665,105 @@ def build_parser() -> argparse.ArgumentParser:
                         "(written by 'repro checkpoint') instead of "
                         "re-verifying the base snapshot from scratch")
     p.set_defaults(func=cmd_verify)
+
+    def add_serve_parser(name: str, help_text: str, description: str):
+        p = sub.add_parser(name, help=help_text, description=description)
+        p.add_argument("snapshot", help="base snapshot directory")
+        p.add_argument("--stream", required=True,
+                       help="JSONL stream file or batch directory"
+                       if name == "serve"
+                       else "directory to poll for new batch files")
+        p.add_argument("--dead-letter", default="deadletter", metavar="DIR",
+                       help="quarantine directory for poison batches "
+                            "(default: ./deadletter)")
+        p.add_argument("--deadline", type=float, default=0.0, metavar="SECONDS",
+                       help="wall-clock budget per verification attempt, "
+                            "enforced at stage boundaries (default: off)")
+        p.add_argument("--max-retries", type=int, default=2,
+                       help="retries per batch for transient failures "
+                            "(default: 2)")
+        p.add_argument("--backoff-base", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="base of the exponential retry backoff "
+                            "(default: 0.05)")
+        p.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
+                       help="consecutive incremental failures that open the "
+                            "circuit breaker and degrade to full-rebuild "
+                            "mode; 0 disables the breaker (default: 3)")
+        p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds in rebuild mode before probing "
+                            "incremental mode again (default: 5)")
+        p.add_argument("--queue-size", dest="queue_capacity", type=int,
+                       default=16, metavar="N",
+                       help="bounded prefetch queue capacity — the "
+                            "backpressure limit (default: 16)")
+        p.add_argument("--poll-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="sleep between polls when the stream is idle "
+                            "(default: 0.5)")
+        p.add_argument("--idle-timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="watch mode: exit after this long with no new "
+                            "batch file (default: 0 = poll forever)")
+        p.add_argument("--audit-every", type=int, default=0, metavar="N",
+                       help="watchdog: audit incremental state against a "
+                            "from-scratch recomputation every N batches "
+                            "(default: 0 = off)")
+        p.add_argument("--health-file", default=None, metavar="FILE",
+                       help="write a JSON liveness/readiness heartbeat "
+                            "here after every batch")
+        p.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="write a checkpoint (with the stream cursor) "
+                            "here on shutdown")
+        p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="also checkpoint every N batches (default: 0 = "
+                            "only on shutdown)")
+        p.add_argument("--resume-from", default=None, metavar="FILE",
+                       help="restore the verifier and stream cursor from a "
+                            "serve checkpoint and continue the stream")
+        p.add_argument("--all-pairs", action="store_true",
+                       help="also register all-pairs reachability policies")
+        p.add_argument("--lint", choices=["off", "warn", "enforce"],
+                       default="off", help="lint gate mode (default: off)")
+        p.set_defaults(func=cmd_serve)
+        return p
+
+    add_serve_parser(
+        "serve",
+        "serve a change-batch stream fault-tolerantly",
+        "Keep a verifier alive across a stream of change batches with "
+        "per-batch deadlines, retry with exponential backoff, poison-batch "
+        "quarantine to a dead-letter directory, a circuit breaker that "
+        "degrades to full-rebuild mode, and graceful shutdown that "
+        "checkpoints the stream cursor. Exits 0 when every batch "
+        "committed cleanly, 1 when any batch was quarantined or a policy "
+        "became violated, 2 on input errors.",
+    )
+    add_serve_parser(
+        "watch",
+        "poll a directory for change batches and serve them",
+        "The polling alias of 'serve': watch --stream DIR picks up new "
+        "*.json batch files in sorted-name order as producers drop them, "
+        "with the same deadline/retry/quarantine/breaker machinery. "
+        "Stop with SIGINT/SIGTERM (graceful, checkpointing) or "
+        "--idle-timeout.",
+    )
+
+    p = sub.add_parser(
+        "emit-stream",
+        help="generate a change-batch stream file for 'repro serve'",
+        description="Generate a deterministic flap workload (fail/recover "
+        "link pairs, cost/preference toggles) as a JSONL change-batch "
+        "stream — the producer side of 'repro serve'.",
+    )
+    p.add_argument("snapshot", help="snapshot directory to generate against")
+    p.add_argument("--out", required=True, help="JSONL stream file to write")
+    p.add_argument("--protocol", choices=["ospf", "bgp"], default="ospf")
+    p.add_argument("--count", type=int, default=20,
+                   help="number of batches (default: 20)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_emit_stream)
 
     p = sub.add_parser(
         "checkpoint",

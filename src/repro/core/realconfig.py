@@ -81,6 +81,11 @@ class RealConfig:
         lint_suppressions = list(lint_suppressions)
         snapshot.validate()
         self.snapshot = snapshot.clone()
+        # Cooperative abort hook: when set, called at every stage boundary
+        # of a verification.  Raising from it (e.g. a deadline check from
+        # repro.serve) aborts the verification; the transactional wrapper
+        # then rolls the pipeline back to the pre-change state.
+        self.abort_check: Optional[Callable[[], None]] = None
         # Transactional verification: on any mid-pipeline failure, roll all
         # component state back to the pre-change snapshot (degradation
         # ladder: rollback -> rebuild from the current snapshot).
@@ -226,10 +231,16 @@ class RealConfig:
                 "topology — build a new verifier for the new network"
             )
 
+    def _abort_point(self) -> None:
+        """Stage-boundary hook for cooperative cancellation (deadlines)."""
+        if self.abort_check is not None:
+            self.abort_check()
+
     def _verify(
         self, new_snapshot: Snapshot, line_diff: LineDiff, description: str
     ) -> VerificationDelta:
         timings = StageTimings()
+        self._abort_point()
 
         with span(names.SPAN_LINT_GATE, mode=self.lint_mode):
             lint_result = None
@@ -238,22 +249,26 @@ class RealConfig:
                 lint_result = self._lint_gate(new_snapshot, line_diff)
                 timings.lint = time.perf_counter() - started
         fault_point("lint_gate", lint_result)
+        self._abort_point()
 
         with span(names.SPAN_GENERATION):
             started = time.perf_counter()
             updates = self.generator.update_to(new_snapshot)
             timings.generation = time.perf_counter() - started
         fault_point("generation", updates)
+        self._abort_point()
 
         started = time.perf_counter()
         batch = self.updater.apply(updates)
         timings.model_update = time.perf_counter() - started
         fault_point("model_update", batch)
+        self._abort_point()
 
         started = time.perf_counter()
         report = self.checker.check_batch(batch)
         timings.policy_check = time.perf_counter() - started
         fault_point("policy_check", report)
+        self._abort_point()
 
         self.snapshot = new_snapshot
         fault_point("commit")
@@ -363,12 +378,14 @@ class RealConfig:
 
     # -- checkpoint / restore ------------------------------------------------------
 
-    def checkpoint(self, path) -> None:
+    def checkpoint(self, path, extras: Optional[Dict[str, Any]] = None) -> None:
         """Serialize the verifier's full state to ``path`` (see
-        :mod:`repro.resilience.checkpoint` for the format)."""
+        :mod:`repro.resilience.checkpoint` for the format).  ``extras`` is
+        stored alongside the verifier state for the caller's own cursor
+        data (e.g. the serving daemon's stream position)."""
         from repro.resilience.checkpoint import write_checkpoint
 
-        write_checkpoint(self, path)
+        write_checkpoint(self, path, extras=extras)
 
     @classmethod
     def restore(
@@ -387,6 +404,7 @@ class RealConfig:
         options = payload["options"]
         self = object.__new__(cls)
         self.snapshot = payload["snapshot"]
+        self.abort_check = None
         self.lint_mode = options["lint_mode"]
         self.transactional = options["transactional"]
         self.audit_every = options["audit_every"]

@@ -14,12 +14,15 @@ control plane re-convergence, no policy re-check.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.config.schema import ConfigError
 from repro.ddlog.convergence import ConvergenceMonitor
+from repro.resilience.faults import fault_point
 from repro.telemetry import get_metrics, names, span
 
 FORMAT = "repro-checkpoint"
@@ -30,9 +33,25 @@ class CheckpointError(ConfigError):
     """Raised for unreadable, corrupt, or incompatible checkpoint files."""
 
 
-def write_checkpoint(verifier, path: Union[str, Path]) -> None:
+def write_checkpoint(
+    verifier,
+    path: Union[str, Path],
+    extras: Optional[Dict[str, Any]] = None,
+) -> None:
     """Serialize ``verifier`` (a :class:`~repro.core.realconfig.RealConfig`)
-    to ``path``."""
+    to ``path``.
+
+    The write is crash-safe: the pickle lands in a temporary file in the
+    same directory and is renamed over ``path`` with :func:`os.replace`, so
+    a crash mid-write (power loss, OOM kill, injected fault) can never
+    leave a truncated checkpoint — ``path`` either still holds the previous
+    checkpoint or already holds the complete new one.
+
+    ``extras`` is an optional dict of plain data stored alongside the
+    verifier state (e.g. the serving daemon's stream cursor); readers that
+    do not know about it ignore it, :func:`read_checkpoint_extras` returns
+    it without restoring the verifier.
+    """
     with span(names.SPAN_CHECKPOINT, path=str(path)) as sp:
         payload: Dict[str, Any] = {
             "format": FORMAT,
@@ -44,27 +63,42 @@ def write_checkpoint(verifier, path: Union[str, Path]) -> None:
             "checker": verifier.checker.capture_state(),
             "lint_result": verifier._lint_result,
             "initial": verifier.initial,
+            "extras": dict(extras) if extras else {},
         }
+        path = Path(path)
+        tmp_name = None
         try:
             data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            Path(path).write_bytes(data)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Fault hook between the temp write and the rename: a fault
+            # firing here models a crash mid-checkpoint, and the atomicity
+            # test asserts the previous checkpoint survives it intact.
+            fault_point("checkpoint_write", tmp_name)
+            os.replace(tmp_name, path)
+            tmp_name = None
         except OSError as error:
             raise CheckpointError(
                 f"cannot write checkpoint {path}: {error}"
             ) from error
+        finally:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         sp.set("bytes", len(data))
     metrics = get_metrics()
     if metrics.enabled:
         metrics.gauge(names.CHECKPOINT_BYTES).set(len(data))
 
 
-def read_checkpoint(
-    path: Union[str, Path], monitor: Optional[ConvergenceMonitor] = None
-):
-    """Rebuild a :class:`~repro.core.realconfig.RealConfig` from a
-    checkpoint file."""
-    from repro.core.realconfig import RealConfig
-
+def _load_payload(path: Union[str, Path]) -> Dict[str, Any]:
     try:
         data = Path(path).read_bytes()
     except OSError as error:
@@ -84,4 +118,36 @@ def read_checkpoint(
             f"unsupported checkpoint version {payload.get('version')!r} "
             f"(this build reads version {VERSION})"
         )
-    return RealConfig._from_checkpoint(payload, monitor)
+    return payload
+
+
+def read_checkpoint(
+    path: Union[str, Path], monitor: Optional[ConvergenceMonitor] = None
+):
+    """Rebuild a :class:`~repro.core.realconfig.RealConfig` from a
+    checkpoint file."""
+    from repro.core.realconfig import RealConfig
+
+    payload = _load_payload(path)
+    try:
+        return RealConfig._from_checkpoint(payload, monitor)
+    except CheckpointError:
+        raise
+    except Exception as error:
+        # A well-formed envelope whose inner state cannot be restored
+        # (truncated histories, schema drift) is still a corrupt
+        # checkpoint, not a crash — the CLI's exit-2 contract depends on
+        # seeing CheckpointError here rather than a bare traceback.
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: cannot restore verifier state: "
+            f"{error}"
+        ) from error
+
+
+def read_checkpoint_extras(path: Union[str, Path]) -> Dict[str, Any]:
+    """Return the ``extras`` dict stored in a checkpoint (empty for
+    checkpoints written without one) without restoring the verifier."""
+    extras = _load_payload(path).get("extras") or {}
+    if not isinstance(extras, dict):
+        raise CheckpointError(f"corrupt checkpoint {path}: bad extras block")
+    return extras

@@ -35,6 +35,12 @@ class FaultSpec:
     - ``action="corrupt"`` calls ``mutate(payload)`` to damage the stage's
       in-flight payload, then lets the stage proceed;
     - ``action="delay"`` sleeps ``delay_seconds`` then proceeds.
+
+    ``repeat`` widens the spec to a run of consecutive calls: it fires on
+    calls ``call .. call + repeat - 1`` (``repeat=0`` means every call from
+    ``call`` onward).  The serving tests use this to make one batch fail
+    across its entire retry budget — a *poison* batch rather than a
+    transient hiccup.
     """
 
     stage: str
@@ -43,6 +49,7 @@ class FaultSpec:
     mutate: Optional[Callable[[Any], None]] = None
     delay_seconds: float = 0.0
     exception: Optional[BaseException] = None
+    repeat: int = 1
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -53,6 +60,13 @@ class FaultSpec:
             raise ValueError("a 'corrupt' fault needs a mutate callable")
         if self.call < 1:
             raise ValueError("call numbers are 1-based")
+        if self.repeat < 0:
+            raise ValueError("repeat must be >= 0 (0 = fire forever)")
+
+    def matches(self, count: int) -> bool:
+        if count < self.call:
+            return False
+        return self.repeat == 0 or count < self.call + self.repeat
 
 
 @dataclass
@@ -73,7 +87,7 @@ class FaultPlan:
         count = self.calls.get(stage, 0) + 1
         self.calls[stage] = count
         for spec in self.specs:
-            if spec.stage != stage or spec.call != count:
+            if spec.stage != stage or not spec.matches(count):
                 continue
             self.fired.append((stage, count, spec.action))
             if spec.action == "delay":

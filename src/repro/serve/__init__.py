@@ -1,0 +1,63 @@
+"""repro.serve — the fault-tolerant change-stream serving layer.
+
+See :mod:`repro.serve.daemon` for the serving loop,
+:mod:`repro.serve.stream` for the batch stream format,
+:mod:`repro.serve.policy` for deadlines/retries,
+:mod:`repro.serve.breaker` for the incremental/rebuild circuit breaker,
+and :mod:`repro.serve.deadletter` for the poison-batch quarantine.
+"""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.daemon import (
+    ServeDaemon,
+    ServeOptions,
+    ServeStats,
+    resume_cursor_from,
+)
+from repro.serve.deadletter import DeadLetterBox
+from repro.serve.policy import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    classify_failure,
+)
+from repro.serve.stream import (
+    ChangeBatch,
+    StreamError,
+    decode_batch,
+    decode_change,
+    encode_batch,
+    encode_change,
+    fib_fingerprint,
+    read_stream,
+    watch_stream,
+    write_batch_file,
+    write_stream,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "ServeDaemon",
+    "ServeOptions",
+    "ServeStats",
+    "resume_cursor_from",
+    "DeadLetterBox",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "classify_failure",
+    "ChangeBatch",
+    "StreamError",
+    "decode_batch",
+    "decode_change",
+    "encode_batch",
+    "encode_change",
+    "fib_fingerprint",
+    "read_stream",
+    "watch_stream",
+    "write_batch_file",
+    "write_stream",
+]

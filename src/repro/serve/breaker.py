@@ -1,0 +1,103 @@
+"""The incremental/full-rebuild circuit breaker.
+
+Incremental verification is the fast path, but a systematic problem (a
+drifting engine, a fault storm, a pathological change pattern) can make it
+fail batch after batch.  Plankton-style from-scratch checking is the
+robust fallback: rebuild the verifier per batch and keep serving, slower
+but correct.  The breaker is the standard three-state machine deciding
+which mode each batch uses:
+
+- **closed** — serve incrementally; ``failure_threshold`` *consecutive*
+  incremental failures open it;
+- **open** — serve in full-rebuild mode; after ``cooldown_seconds`` the
+  next batch probes incremental mode (half-open);
+- **half-open** — one probe in flight: success closes the breaker,
+  failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding (telemetry names.SERVE_BREAKER_STATE).
+STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Tracks consecutive incremental failures and gates the serving mode."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.opens = 0
+
+    # -- mode selection ------------------------------------------------------
+
+    def allows_incremental(self) -> bool:
+        """Decide the mode for the next batch.  Transitions open ->
+        half-open when the cooldown has elapsed (the probe)."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self.opened_at >= self.cooldown_seconds:
+                self.state = HALF_OPEN
+                return True
+            return False
+        # Half-open: a probe is already the next batch.
+        return True
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self) -> None:
+        """An incremental batch committed: close from any state."""
+        self.consecutive_failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        """An incremental batch failed (after its retry budget)."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._open()
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self.state = OPEN
+        self.opened_at = self._clock()
+        self.opens += 1
+
+    def gauge_value(self) -> int:
+        return STATE_GAUGE[self.state]
+
+    def describe(self) -> str:
+        if self.state == OPEN:
+            remaining = max(
+                0.0, self.cooldown_seconds - (self._clock() - self.opened_at)
+            )
+            return f"open (probe in {remaining:.1f}s)"
+        if self.state == HALF_OPEN:
+            return "half-open (probing)"
+        return f"closed ({self.consecutive_failures} consecutive failure(s))"

@@ -1,0 +1,534 @@
+"""The change-stream serving loop.
+
+``ServeDaemon`` keeps a :class:`~repro.core.realconfig.RealConfig` alive
+across an arbitrarily long stream of change batches:
+
+- a **bounded prefetch queue** applies backpressure to the stream source
+  (never more than ``queue_capacity`` batches in memory);
+- each batch runs under a wall-clock **deadline** (cooperative abort at
+  the verifier's stage boundaries) and a **retry policy** (exponential
+  backoff + jitter for transient failures);
+- a batch that exhausts its budget is **quarantined** to the dead-letter
+  directory — payload, exception, pre-batch state fingerprint — and the
+  stream continues;
+- a **circuit breaker** counts consecutive incremental failures and
+  degrades to full-rebuild mode (from-scratch verification per batch),
+  probing incremental mode again after a cooldown;
+- a **watchdog** audits the incremental state against a from-scratch
+  recomputation every N batches, and a ``--health-file`` JSON heartbeat
+  reports liveness/readiness;
+- **graceful shutdown** (SIGINT/SIGTERM or :meth:`request_stop`) finishes
+  the in-flight batch, then writes a checkpoint whose ``extras`` carry the
+  stream cursor, so a later daemon resumes with no batch lost or applied
+  twice.
+
+Every verification is transactional (PR 3), which is what makes retries
+and quarantine safe: a failed attempt always leaves the verifier at the
+pre-batch state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Iterable, Iterator, List, Optional, Union
+
+from repro.config.changes import apply_changes
+from repro.core.realconfig import RealConfig
+from repro.resilience.checkpoint import read_checkpoint_extras, write_checkpoint
+from repro.serve.breaker import OPEN, CircuitBreaker
+from repro.serve.deadletter import DeadLetterBox
+from repro.serve.policy import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    classify_failure,
+)
+from repro.serve.stream import ChangeBatch, StreamError, fib_fingerprint
+from repro.telemetry import get_metrics, names, span
+
+
+@dataclass
+class ServeOptions:
+    """Knobs of the serving loop (all come straight from the CLI)."""
+
+    deadline_seconds: float = 0.0  # 0 = no deadline
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    retry_seed: int = 0
+    breaker_threshold: int = 3  # 0 = breaker disabled
+    breaker_cooldown: float = 5.0
+    queue_capacity: int = 16
+    poll_interval: float = 0.5  # sleep when a watch source is idle
+    audit_every: int = 0  # watchdog self-check cadence (batches)
+    checkpoint_every: int = 0  # periodic checkpoint cadence (batches)
+    health_file: Optional[Union[str, Path]] = None
+    checkpoint_file: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+@dataclass
+class ServeStats:
+    """What happened over one daemon run."""
+
+    batches_seen: int = 0
+    batches_ok: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    deadline_exceeded: int = 0
+    rebuild_batches: int = 0
+    breaker_opens: int = 0
+    audits: int = 0
+    audit_rebuilds: int = 0
+    new_violations: int = 0
+    max_queue_depth: int = 0
+    skipped_on_resume: int = 0
+    stopped_early: bool = False
+    quarantined_ids: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.quarantined == 0 and self.new_violations == 0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.batches_ok}/{self.batches_seen} batches ok",
+            f"{self.retries} retries",
+            f"{self.quarantined} quarantined",
+        ]
+        if self.rebuild_batches:
+            parts.append(f"{self.rebuild_batches} in rebuild mode")
+        if self.breaker_opens:
+            parts.append(f"breaker opened {self.breaker_opens}x")
+        if self.deadline_exceeded:
+            parts.append(f"{self.deadline_exceeded} deadline aborts")
+        if self.new_violations:
+            parts.append(f"{self.new_violations} new policy violations")
+        if self.skipped_on_resume:
+            parts.append(f"resumed past {self.skipped_on_resume}")
+        if self.stopped_early:
+            parts.append("stopped early")
+        return ", ".join(parts)
+
+
+class ServeDaemon:
+    """Drive a verifier over a stream of change batches, fault-tolerantly.
+
+    ``source`` yields :class:`ChangeBatch` objects; it may also yield
+    ``None`` to signal "nothing available right now" (the watch source
+    does), in which case the daemon sleeps ``poll_interval`` and polls
+    again.  ``clock``/``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        verifier: RealConfig,
+        source: Iterable[Optional[ChangeBatch]],
+        dead_letter: DeadLetterBox,
+        options: Optional[ServeOptions] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        resume_cursor: int = 0,
+        on_batch_done: Optional[
+            Callable[["ServeDaemon", ChangeBatch, bool], None]
+        ] = None,
+    ) -> None:
+        self.verifier = verifier
+        self.options = options or ServeOptions()
+        self.dead_letter = dead_letter
+        self.stats = ServeStats()
+        self._source: Iterator[Optional[ChangeBatch]] = iter(source)
+        self._queue: Deque[ChangeBatch] = deque()
+        self._exhausted = False
+        self._idle = False
+        self._clock = clock
+        self._sleep = sleep
+        self._stop_requested = False
+        self._installed_handlers: List = []
+        self._on_batch_done = on_batch_done
+        self.retry_policy = RetryPolicy(
+            max_retries=self.options.max_retries,
+            backoff_base=self.options.backoff_base,
+            backoff_cap=self.options.backoff_cap,
+            jitter=self.options.jitter,
+            seed=self.options.retry_seed,
+        )
+        self.breaker: Optional[CircuitBreaker] = None
+        if self.options.breaker_threshold > 0:
+            self.breaker = CircuitBreaker(
+                failure_threshold=self.options.breaker_threshold,
+                cooldown_seconds=self.options.breaker_cooldown,
+                clock=clock,
+            )
+        #: Stream entries fully disposed of (committed or quarantined) —
+        #: the resume cursor persisted in checkpoint extras.
+        self.cursor = resume_cursor
+        self._to_skip = resume_cursor
+        self._batches_since_audit = 0
+        self._batches_since_checkpoint = 0
+
+    # -- control -------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Finish the in-flight batch, checkpoint, and exit the loop."""
+        self._stop_requested = True
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_requested
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGINT/SIGTERM to :meth:`request_stop` (graceful drain)."""
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous = signal.signal(
+                signum, lambda _signum, _frame: self.request_stop()
+            )
+            self._installed_handlers.append((signum, previous))
+
+    def _restore_signal_handlers(self) -> None:
+        while self._installed_handlers:
+            signum, previous = self._installed_handlers.pop()
+            signal.signal(signum, previous)
+
+    # -- the queue ------------------------------------------------------------
+
+    def _refill(self) -> None:
+        """Pull from the source up to capacity — the backpressure bound:
+        the daemon never materializes more than ``queue_capacity`` batches
+        ahead of the verifier."""
+        self._idle = False
+        while (
+            not self._exhausted
+            and len(self._queue) < self.options.queue_capacity
+        ):
+            try:
+                batch = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                break
+            if batch is None:  # watch source: nothing available right now
+                self._idle = True
+                break
+            if self._to_skip > 0:
+                self._to_skip -= 1
+                self.stats.skipped_on_resume += 1
+                continue
+            self._queue.append(batch)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(names.SERVE_QUEUE_DEPTH).set(len(self._queue))
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, len(self._queue)
+        )
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(self, handle_signals: bool = False) -> ServeStats:
+        if handle_signals:
+            self.install_signal_handlers()
+        self._write_health("serving")
+        self._set_gauge(names.SERVE_HEALTHY, 1)
+        try:
+            while not self._stop_requested:
+                if not self._queue:
+                    self._refill()
+                if not self._queue:
+                    if self._exhausted:
+                        break
+                    # Watch source with nothing to do: heartbeat and wait.
+                    self._write_health("serving")
+                    self._sleep(self.options.poll_interval)
+                    continue
+                batch = self._queue.popleft()
+                ok = self._process_batch(batch)
+                self.cursor += 1
+                self._after_batch(batch, ok)
+        finally:
+            self._finalize(handle_signals)
+        return self.stats
+
+    def _after_batch(self, batch: ChangeBatch, ok: bool) -> None:
+        self._batches_since_checkpoint += 1
+        if (
+            self.options.checkpoint_every > 0
+            and self.options.checkpoint_file is not None
+            and self._batches_since_checkpoint >= self.options.checkpoint_every
+        ):
+            self._batches_since_checkpoint = 0
+            self.write_checkpoint()
+        self._watchdog()
+        self._write_health("serving", last_batch=batch.batch_id)
+        if self._on_batch_done is not None:
+            self._on_batch_done(self, batch, ok)
+
+    def _finalize(self, handle_signals: bool) -> None:
+        if self.options.checkpoint_file is not None:
+            self.write_checkpoint()
+        self.stats.stopped_early = self._stop_requested
+        self._write_health("stopped")
+        self._set_gauge(names.SERVE_HEALTHY, 0)
+        if handle_signals:
+            self._restore_signal_handlers()
+
+    # -- one batch -------------------------------------------------------------
+
+    def _process_batch(self, batch: ChangeBatch) -> bool:
+        self.stats.batches_seen += 1
+        self._count(names.SERVE_BATCHES)
+        with span(names.SPAN_SERVE_BATCH, batch=batch.batch_id) as sp:
+            if batch.decode_error is not None:
+                self._quarantine(
+                    batch,
+                    StreamError(batch.decode_error),
+                    attempts=0,
+                    failure_class="permanent",
+                )
+                sp.set("outcome", "malformed")
+                return False
+            incremental = (
+                self.breaker.allows_incremental() if self.breaker else True
+            )
+            self._set_gauge(
+                names.SERVE_BREAKER_STATE,
+                self.breaker.gauge_value() if self.breaker else 0,
+            )
+            if not incremental:
+                ok = self._serve_rebuild(batch)
+                sp.set("outcome", "rebuild" if ok else "quarantined")
+                return ok
+            ok = self._serve_incremental(batch)
+            sp.set("outcome", "ok" if ok else "failed-incremental")
+            return ok
+
+    def _serve_incremental(self, batch: ChangeBatch) -> bool:
+        attempt = 0
+        while True:
+            attempt += 1
+            error: Optional[Exception] = None
+            with span(
+                names.SPAN_SERVE_ATTEMPT,
+                batch=batch.batch_id,
+                attempt=attempt,
+            ):
+                try:
+                    delta = self._attempt(batch)
+                except Exception as caught:  # noqa: BLE001 - rolled back
+                    error = caught
+            if error is None:
+                if self.breaker:
+                    self.breaker.record_success()
+                self.stats.batches_ok += 1
+                self._count(names.SERVE_BATCHES_OK)
+                self.stats.new_violations += len(delta.newly_violated)
+                return True
+            if isinstance(error, DeadlineExceeded):
+                self.stats.deadline_exceeded += 1
+                self._count(names.SERVE_DEADLINE_EXCEEDED)
+            if self.retry_policy.should_retry(attempt, error):
+                self.stats.retries += 1
+                self._count(names.SERVE_RETRIES)
+                self._sleep(self.retry_policy.backoff_seconds(attempt))
+                continue
+            # Retry budget spent (or the failure is permanent).
+            if self.breaker:
+                opens_before = self.breaker.opens
+                self.breaker.record_failure()
+                self._set_gauge(
+                    names.SERVE_BREAKER_STATE, self.breaker.gauge_value()
+                )
+                if self.breaker.opens > opens_before:
+                    self.stats.breaker_opens += 1
+                    self._count(names.SERVE_BREAKER_OPENS)
+                if self.breaker.state == OPEN:
+                    # The incremental path just proved systematically bad:
+                    # give this batch the robust from-scratch path before
+                    # writing it off as poison.
+                    return self._serve_rebuild(batch, prior_attempts=attempt)
+            self._quarantine(
+                batch, error, attempt, classify_failure(error)
+            )
+            return False
+
+    def _attempt(self, batch: ChangeBatch):
+        """One incremental verification under the deadline."""
+        deadline = None
+        if self.options.deadline_seconds > 0:
+            deadline = Deadline(
+                self.options.deadline_seconds, clock=self._clock
+            ).start()
+            self.verifier.abort_check = deadline.check
+        try:
+            return self.verifier.apply_changes(batch.changes)
+        finally:
+            self.verifier.abort_check = None
+
+    def _serve_rebuild(self, batch: ChangeBatch, prior_attempts: int = 0) -> bool:
+        """Degraded mode: apply the batch to the snapshot and re-verify the
+        result from scratch (Plankton-style), bypassing the incremental
+        pipeline entirely.  No deadline — the from-scratch path is the
+        fallback of last resort and must be allowed to finish."""
+        self.stats.rebuild_batches += 1
+        self._count(names.SERVE_REBUILD_BATCHES)
+        options = self.verifier._options
+        try:
+            with span(names.SPAN_REBUILD, batch=batch.batch_id):
+                new_snapshot, _ = apply_changes(
+                    self.verifier.snapshot, batch.changes
+                )
+                before = {
+                    status.policy.name: status.holds
+                    for status in self.verifier.checker.statuses()
+                }
+                fresh = RealConfig(
+                    new_snapshot,
+                    endpoints=options["endpoints"],
+                    policies=self.verifier.checker.policies(),
+                    update_order=options["update_order"],
+                    merge_ecs=options["merge_ecs"],
+                    model_mode=options["model_mode"],
+                    lint_mode=options["lint_mode"],
+                    lint_suppressions=options["lint_suppressions"],
+                    transactional=options["transactional"],
+                    audit_every=options["audit_every"],
+                )
+        except Exception as error:  # noqa: BLE001 - old verifier untouched
+            self._quarantine(
+                batch,
+                error,
+                prior_attempts + 1,
+                classify_failure(error),
+            )
+            return False
+        self.verifier = fresh
+        self.stats.batches_ok += 1
+        self._count(names.SERVE_BATCHES_OK)
+        after = {
+            status.policy.name: status.holds
+            for status in fresh.checker.statuses()
+        }
+        self.stats.new_violations += sum(
+            1
+            for policy_name, holds in after.items()
+            if not holds and before.get(policy_name, True)
+        )
+        return True
+
+    def _quarantine(
+        self,
+        batch: ChangeBatch,
+        error: BaseException,
+        attempts: int,
+        failure_class: str,
+    ) -> None:
+        # The transaction rolled back, so the verifier is at the pre-batch
+        # state — exactly what the fingerprint must describe.
+        self.dead_letter.quarantine(
+            batch,
+            error,
+            attempts=attempts,
+            failure_class=failure_class,
+            fingerprint=fib_fingerprint(self.verifier),
+        )
+        self.stats.quarantined += 1
+        self.stats.quarantined_ids.append(batch.batch_id)
+        self._count(names.SERVE_QUARANTINED)
+
+    # -- watchdog / health / checkpoint ---------------------------------------
+
+    def _watchdog(self) -> None:
+        if self.options.audit_every <= 0:
+            return
+        self._batches_since_audit += 1
+        if self._batches_since_audit < self.options.audit_every:
+            return
+        self._batches_since_audit = 0
+        from repro.resilience.audit import audit
+
+        report = audit(self.verifier)
+        self.stats.audits += 1
+        if not report.ok:
+            self.verifier.rebuild()
+            self.stats.audit_rebuilds += 1
+
+    def write_checkpoint(self) -> None:
+        assert self.options.checkpoint_file is not None
+        write_checkpoint(
+            self.verifier,
+            self.options.checkpoint_file,
+            extras={
+                "serve": {
+                    "cursor": self.cursor,
+                    "quarantined_ids": list(self.stats.quarantined_ids),
+                }
+            },
+        )
+
+    def _write_health(
+        self, status: str, last_batch: Optional[str] = None
+    ) -> None:
+        if self.options.health_file is None:
+            return
+        payload = {
+            "status": status,
+            "pid": os.getpid(),
+            "updated_unix": time.time(),
+            "cursor": self.cursor,
+            "mode": (
+                "rebuild"
+                if self.breaker and self.breaker.state == OPEN
+                else "incremental"
+            ),
+            "breaker": (
+                {
+                    "state": self.breaker.state,
+                    "consecutive_failures": self.breaker.consecutive_failures,
+                    "opens": self.breaker.opens,
+                }
+                if self.breaker
+                else None
+            ),
+            "queue_depth": len(self._queue),
+            "batches_seen": self.stats.batches_seen,
+            "batches_ok": self.stats.batches_ok,
+            "retries": self.stats.retries,
+            "quarantined": self.stats.quarantined,
+            "new_violations": self.stats.new_violations,
+        }
+        if last_batch is not None:
+            payload["last_batch"] = last_batch
+        path = Path(self.options.health_file)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2))
+        os.replace(tmp, path)
+
+    # -- telemetry shims -------------------------------------------------------
+
+    @staticmethod
+    def _count(metric_name: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(metric_name).inc()
+
+    @staticmethod
+    def _set_gauge(metric_name: str, value: float) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(metric_name).set(value)
+
+
+def resume_cursor_from(checkpoint_path: Union[str, Path]) -> int:
+    """The stream cursor stored by a daemon's shutdown checkpoint (0 for
+    checkpoints written outside a serve run)."""
+    extras = read_checkpoint_extras(checkpoint_path)
+    serve_extras = extras.get("serve") or {}
+    return int(serve_extras.get("cursor", 0))

@@ -1,0 +1,110 @@
+"""Poison-batch quarantine: the dead-letter directory.
+
+A batch that exhausts its retry budget (or is malformed or permanently
+rejected) must not stall the stream behind it.  The daemon writes it here
+and moves on.  Each quarantined batch gets its own subdirectory::
+
+    deadletter/
+      000007/
+        batch.json   the raw batch payload (replayable as a stream file)
+        error.txt    the exception type, message, and traceback
+        meta.json    attempts made, failure class, pre-batch FIB
+                     fingerprint, quarantine timestamp
+
+``batch.json`` is the same tagged-JSON format the stream uses, so the
+runbook for draining the directory is just: fix the root cause, then
+``repro serve SNAPSHOT --stream DEADLETTER_DIR`` (or :func:`replay`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.serve.stream import ChangeBatch, decode_batch
+from repro.telemetry import span
+from repro.telemetry import names as telemetry_names
+
+
+class DeadLetterBox:
+    """Filesystem-backed quarantine for poison batches."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def quarantine(
+        self,
+        batch: ChangeBatch,
+        error: BaseException,
+        attempts: int,
+        failure_class: str,
+        fingerprint: Optional[str] = None,
+    ) -> Path:
+        """Write one poison batch; returns its quarantine directory."""
+        with span(
+            telemetry_names.SPAN_SERVE_QUARANTINE, batch=batch.batch_id
+        ):
+            entry = self.directory / batch.batch_id
+            entry.mkdir(parents=True, exist_ok=True)
+            payload = batch.payload
+            if payload is None:
+                from repro.serve.stream import encode_batch
+
+                payload = encode_batch(batch.batch_id, batch.changes)
+            (entry / "batch.json").write_text(
+                json.dumps(payload, sort_keys=True, indent=2)
+            )
+            (entry / "error.txt").write_text(
+                "".join(
+                    traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                )
+            )
+            (entry / "meta.json").write_text(
+                json.dumps(
+                    {
+                        "batch_id": batch.batch_id,
+                        "attempts": attempts,
+                        "failure_class": failure_class,
+                        "error_type": type(error).__name__,
+                        "error": str(error),
+                        "pre_batch_fingerprint": fingerprint,
+                        "quarantined_unix": time.time(),
+                    },
+                    sort_keys=True,
+                    indent=2,
+                )
+            )
+        return entry
+
+    def batch_ids(self) -> List[str]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.directory.iterdir()
+            if entry.is_dir() and (entry / "batch.json").exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self.batch_ids())
+
+    def load(self, batch_id: str) -> ChangeBatch:
+        path = self.directory / batch_id / "batch.json"
+        payload = json.loads(path.read_text())
+        return decode_batch(payload, batch_id)
+
+    def meta(self, batch_id: str) -> dict:
+        path = self.directory / batch_id / "meta.json"
+        return json.loads(path.read_text())
+
+    def replay(self) -> Iterator[ChangeBatch]:
+        """The quarantined batches as a stream, in quarantine order —
+        feed this back into a daemon (or apply directly) after the root
+        cause is fixed."""
+        for batch_id in self.batch_ids():
+            yield self.load(batch_id)

@@ -1,0 +1,124 @@
+"""Per-batch failure policy: deadlines, retry classification, backoff.
+
+The daemon wraps every verification attempt in a :class:`Deadline` (a
+wall-clock budget checked cooperatively at the verifier's stage
+boundaries via ``RealConfig.abort_check``) and, on failure, consults
+:func:`classify_failure` and a :class:`RetryPolicy` to decide between
+retrying with exponential backoff + jitter and quarantining the batch.
+
+Jitter is deterministic given the policy's seed, so tests can assert the
+exact sleep sequence; the cap keeps the worst-case stall bounded.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.config.schema import ConfigError
+from repro.resilience.faults import FaultInjected
+
+
+class DeadlineExceeded(RuntimeError):
+    """A verification attempt ran past its wall-clock budget.  Raised from
+    the verifier's cooperative abort hook, so the transactional wrapper
+    rolls the pipeline back before the daemon sees it."""
+
+
+@dataclass
+class Deadline:
+    """A wall-clock budget around one verification attempt."""
+
+    budget_seconds: float
+    clock: Callable[[], float] = time.monotonic
+    started: Optional[float] = None
+
+    def start(self) -> "Deadline":
+        self.started = self.clock()
+        return self
+
+    def remaining(self) -> float:
+        if self.started is None:
+            return self.budget_seconds
+        return self.budget_seconds - (self.clock() - self.started)
+
+    def check(self) -> None:
+        """The verifier-facing hook: raise when the budget is spent."""
+        if self.budget_seconds > 0 and self.remaining() <= 0:
+            raise DeadlineExceeded(
+                f"verification exceeded its {self.budget_seconds:.3f}s deadline"
+            )
+
+
+#: Failure classes.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+def classify_failure(error: BaseException) -> str:
+    """Decide whether retrying the same batch could possibly succeed.
+
+    - Injected faults and deadline aborts are **transient**: the fault plan
+      advances per call and a later attempt may be fast or fault-free.
+    - :class:`ConfigError` (malformed batch, lint-gate refusal, topology
+      change) is **permanent**: the verifier rolled back, so the identical
+      input fails the identical way — straight to quarantine.
+    - Everything else (engine invariant violations, OS errors) defaults to
+      transient: a retry costs little and the rollback made it safe.
+    """
+    if isinstance(error, (FaultInjected, DeadlineExceeded)):
+        return TRANSIENT
+    if isinstance(error, ConfigError):
+        return PERMANENT
+    return TRANSIENT
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with full jitter and a per-batch attempt budget.
+
+    Attempt ``n`` (1-based) that fails sleeps
+    ``min(cap, base * 2**(n-1)) * uniform(1 - jitter, 1)`` before attempt
+    ``n + 1``, up to ``max_retries`` retries (``max_retries + 1`` attempts
+    total).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Sleep before the retry following failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        raw = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        if self.jitter == 0:
+            return raw
+        return raw * self._rng.uniform(1 - self.jitter, 1.0)
+
+    def should_retry(self, attempt: int, error: BaseException) -> bool:
+        """Whether failed attempt ``attempt`` (1-based) earns another try."""
+        if classify_failure(error) == PERMANENT:
+            return False
+        return attempt < self.max_attempts
+
+    def sleep_plan(self, attempts: int) -> List[float]:
+        """The backoff sequence for ``attempts`` consecutive failures —
+        used by tests and the benchmark to bound total stall time."""
+        return [self.backoff_seconds(n) for n in range(1, attempts + 1)]

@@ -1,0 +1,325 @@
+"""Change-batch streams: the wire format of the serving daemon.
+
+A *stream* is an ordered sequence of change batches.  On disk it is either
+
+- a **JSONL file** — one batch per line, ``{"id": ..., "changes": [...]}``;
+- a **directory** of ``*.json`` batch files, consumed in sorted filename
+  order (the format ``repro watch`` polls: producers drop a file per
+  batch, the daemon picks them up).
+
+Each change is encoded as a tagged JSON object (``{"kind": "SetOspfCost",
+"device": ..., ...}``).  The codec is derived from the dataclass fields of
+every :class:`~repro.config.changes.Change` subclass, so new change types
+serialize without touching this module; the only special values are
+prefixes (``{"$prefix": "10.0.0.0/8"}``), ACL entries
+(``{"$acl_entry": {...}}``), and nested changes (composites).
+
+Decode failures do not raise out of the stream iterator: the malformed
+batch is yielded with ``decode_error`` set, and the daemon quarantines it
+like any other poison batch — one corrupt line must not kill the stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Type, Union
+
+from repro.config.changes import Change
+from repro.config.schema import AclEntry, ConfigError
+from repro.net.addr import Prefix, format_ipv4
+
+
+class StreamError(ConfigError):
+    """Raised for unreadable stream files or malformed batch payloads."""
+
+
+@dataclasses.dataclass
+class ChangeBatch:
+    """One unit of work pulled off a stream.
+
+    ``payload`` is the raw jsonable form (what the dead-letter directory
+    stores and what replay re-decodes); ``decode_error`` is set instead of
+    ``changes`` when the payload could not be decoded.
+    """
+
+    batch_id: str
+    changes: List[Change] = dataclasses.field(default_factory=list)
+    payload: Optional[Dict[str, Any]] = None
+    decode_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.decode_error is None
+
+    def describe(self) -> str:
+        if self.decode_error is not None:
+            return f"batch {self.batch_id}: malformed ({self.decode_error})"
+        return f"batch {self.batch_id}: {len(self.changes)} change(s)"
+
+
+# -- the change codec ---------------------------------------------------------
+
+
+def _change_registry() -> Dict[str, Type[Change]]:
+    registry: Dict[str, Type[Change]] = {}
+    pending = list(Change.__subclasses__())
+    while pending:
+        cls = pending.pop()
+        registry[cls.__name__] = cls
+        pending.extend(cls.__subclasses__())
+    return registry
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Change):
+        return encode_change(value)
+    if isinstance(value, Prefix):
+        return {"$prefix": f"{format_ipv4(value.network)}/{value.length}"}
+    if isinstance(value, AclEntry):
+        fields = {
+            f.name: _encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"$acl_entry": fields}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise StreamError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$prefix" in value:
+            return Prefix.parse(value["$prefix"])
+        if "$acl_entry" in value:
+            fields = {
+                k: _decode_value(v) for k, v in value["$acl_entry"].items()
+            }
+            if fields.get("dst_port") is not None:
+                fields["dst_port"] = tuple(fields["dst_port"])
+            return AclEntry(**fields)
+        if "kind" in value:
+            return decode_change(value)
+        raise StreamError(f"unrecognized tagged value: {sorted(value)}")
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def encode_change(change: Change) -> Dict[str, Any]:
+    """The tagged-JSON form of one change."""
+    out: Dict[str, Any] = {"kind": type(change).__name__}
+    for f in dataclasses.fields(change):
+        out[f.name] = _encode_value(getattr(change, f.name))
+    return out
+
+
+def decode_change(payload: Dict[str, Any]) -> Change:
+    """Rebuild a change from its tagged-JSON form."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise StreamError("change payload is not a tagged object")
+    kind = payload["kind"]
+    cls = _change_registry().get(kind)
+    if cls is None:
+        raise StreamError(f"unknown change kind {kind!r}")
+    kwargs = {}
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    for key, value in payload.items():
+        if key == "kind":
+            continue
+        if key not in field_names:
+            raise StreamError(f"{kind} has no field {key!r}")
+        kwargs[key] = _decode_value(value)
+    try:
+        return cls(**kwargs)
+    except (TypeError, ConfigError) as error:
+        raise StreamError(f"cannot build {kind}: {error}") from error
+
+
+def encode_batch(batch_id: str, changes: Iterable[Change]) -> Dict[str, Any]:
+    return {
+        "id": str(batch_id),
+        "changes": [encode_change(change) for change in changes],
+    }
+
+
+def decode_batch(payload: Any, default_id: str) -> ChangeBatch:
+    """Decode one raw batch payload; malformed input becomes a batch with
+    ``decode_error`` set rather than an exception."""
+    if not isinstance(payload, dict):
+        return ChangeBatch(
+            batch_id=default_id,
+            payload={"raw": payload},
+            decode_error="batch payload is not an object",
+        )
+    batch_id = str(payload.get("id", default_id))
+    raw_changes = payload.get("changes")
+    if not isinstance(raw_changes, list):
+        return ChangeBatch(
+            batch_id=batch_id,
+            payload=payload,
+            decode_error="batch has no 'changes' list",
+        )
+    try:
+        decoded = [decode_change(entry) for entry in raw_changes]
+    except StreamError as error:
+        return ChangeBatch(
+            batch_id=batch_id, payload=payload, decode_error=str(error)
+        )
+    return ChangeBatch(batch_id=batch_id, changes=decoded, payload=payload)
+
+
+# -- stream files -------------------------------------------------------------
+
+
+def write_stream(
+    batches: Iterable[Iterable[Change]],
+    path: Union[str, Path],
+    start_id: int = 0,
+) -> int:
+    """Write batches to a JSONL stream file; returns the batch count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for index, batch in enumerate(batches, start=start_id):
+            payload = encode_batch(f"{index:06d}", batch)
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def write_batch_file(
+    batch_id: str, changes: Iterable[Change], directory: Union[str, Path]
+) -> Path:
+    """Drop one batch file into a watch directory (sorted-name order)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"batch-{batch_id}.json"
+    path.write_text(json.dumps(encode_batch(batch_id, changes), sort_keys=True))
+    return path
+
+
+def _iter_jsonl(path: Path) -> Iterator[ChangeBatch]:
+    try:
+        handle = path.open("r")
+    except OSError as error:
+        raise StreamError(f"cannot read stream {path}: {error}") from error
+    with handle:
+        for number, line in enumerate(handle):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            default_id = f"{number:06d}"
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                yield ChangeBatch(
+                    batch_id=default_id,
+                    payload={"raw": line},
+                    decode_error=f"bad JSON: {error}",
+                )
+                continue
+            yield decode_batch(payload, default_id)
+
+
+def _read_batch_file(path: Path) -> ChangeBatch:
+    default_id = path.stem
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return ChangeBatch(
+            batch_id=default_id,
+            payload={"raw": str(path)},
+            decode_error=f"bad batch file: {error}",
+        )
+    return decode_batch(payload, default_id)
+
+
+def _iter_directory(path: Path) -> Iterator[ChangeBatch]:
+    files = sorted(
+        entry
+        for entry in path.iterdir()
+        if entry.is_file() and entry.suffix in (".json", ".jsonl")
+    )
+    for entry in files:
+        if entry.suffix == ".jsonl":
+            yield from _iter_jsonl(entry)
+        else:
+            yield _read_batch_file(entry)
+
+
+def read_stream(path: Union[str, Path]) -> Iterator[ChangeBatch]:
+    """Iterate the batches of a stream: a JSONL file or a batch directory."""
+    path = Path(path)
+    if path.is_dir():
+        return _iter_directory(path)
+    if not path.exists():
+        raise StreamError(f"stream {path} does not exist")
+    return _iter_jsonl(path)
+
+
+def watch_stream(
+    directory: Union[str, Path],
+    idle_timeout: Optional[float] = None,
+    should_stop=None,
+    clock=None,
+) -> Iterator[Optional[ChangeBatch]]:
+    """Poll ``directory`` for new batch files and yield them in sorted-name
+    order as they appear (the ``repro watch`` source).
+
+    The generator never sleeps itself: a poll that finds nothing yields
+    ``None``, and the consumer (the daemon) decides how long to wait before
+    the next ``next()``.  It stops when ``should_stop()`` returns true or
+    when no new file has appeared for ``idle_timeout`` seconds (``None`` =
+    poll forever).
+    """
+    import time as _time
+
+    directory = Path(directory)
+    clock = clock or _time.monotonic
+    seen = set()
+    last_progress = clock()
+    while True:
+        if should_stop is not None and should_stop():
+            return
+        fresh = sorted(
+            entry
+            for entry in directory.iterdir()
+            if entry.is_file()
+            and entry.suffix == ".json"
+            and entry.name not in seen
+        ) if directory.is_dir() else []
+        for entry in fresh:
+            seen.add(entry.name)
+            last_progress = clock()
+            yield _read_batch_file(entry)
+        if fresh:
+            continue
+        if idle_timeout is not None and clock() - last_progress >= idle_timeout:
+            return
+        yield None
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def fib_fingerprint(verifier) -> str:
+    """A stable hash of everything a batch can change: the converged FIB
+    plus every policy verdict.  Quarantine records store the pre-batch
+    fingerprint; the replay property test compares post-stream fingerprints
+    against a direct application of the same batches."""
+    digest = hashlib.sha256()
+    for entry in sorted(str(e) for e in verifier.generator.control_plane.fib()):
+        digest.update(entry.encode())
+        digest.update(b"\n")
+    for status in sorted(
+        (status.policy.name, status.holds)
+        for status in verifier.checker.statuses()
+    ):
+        digest.update(repr(status).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -41,6 +41,13 @@ SPAN_AUDIT = "resilience.audit"
 SPAN_CHECKPOINT = "resilience.checkpoint"
 SPAN_RESTORE = "resilience.restore"
 
+# Serving spans.  serve.batch is the root of one stream batch; each retry
+# attempt opens a serve.attempt child whose own child is the usual
+# realconfig.verify tree (or resilience.rebuild in degraded mode).
+SPAN_SERVE_BATCH = "serve.batch"
+SPAN_SERVE_ATTEMPT = "serve.attempt"
+SPAN_SERVE_QUARANTINE = "serve.quarantine"
+
 #: The five stage children every root verification span carries.
 STAGE_SPANS = (
     SPAN_CONFIG_DIFF,
@@ -92,6 +99,18 @@ AUDITS = "repro_audits_total"
 AUDIT_DRIFT = "repro_audit_drift_total"
 CHECKPOINT_BYTES = "repro_checkpoint_bytes"  # gauge
 
+# -- serving -----------------------------------------------------------------
+SERVE_BATCHES = "repro_serve_batches_total"
+SERVE_BATCHES_OK = "repro_serve_batches_ok_total"
+SERVE_RETRIES = "repro_serve_retries_total"
+SERVE_QUARANTINED = "repro_serve_quarantined_total"
+SERVE_DEADLINE_EXCEEDED = "repro_serve_deadline_exceeded_total"
+SERVE_BREAKER_OPENS = "repro_serve_breaker_opens_total"
+SERVE_REBUILD_BATCHES = "repro_serve_rebuild_batches_total"
+SERVE_QUEUE_DEPTH = "repro_serve_queue_depth"  # gauge
+SERVE_BREAKER_STATE = "repro_serve_breaker_state"  # gauge: 0/1/2
+SERVE_HEALTHY = "repro_serve_healthy"  # gauge: 1 serving, 0 stopped
+
 #: name -> help text (the Prometheus ``# HELP`` line and the docs table).
 HELP = {
     VERIFICATIONS: "Verifications run (initial load and per change batch)",
@@ -124,4 +143,14 @@ HELP = {
     AUDITS: "Drift audits run against a from-scratch recomputation",
     AUDIT_DRIFT: "Drift audits that found a divergence",
     CHECKPOINT_BYTES: "Size of the last checkpoint written, in bytes",
+    SERVE_BATCHES: "Change batches pulled off the stream by the daemon",
+    SERVE_BATCHES_OK: "Change batches verified and committed",
+    SERVE_RETRIES: "Batch verification attempts retried after a failure",
+    SERVE_QUARANTINED: "Batches written to the dead-letter directory",
+    SERVE_DEADLINE_EXCEEDED: "Verification attempts aborted by the deadline",
+    SERVE_BREAKER_OPENS: "Circuit-breaker transitions into the open state",
+    SERVE_REBUILD_BATCHES: "Batches served in degraded full-rebuild mode",
+    SERVE_QUEUE_DEPTH: "Batches buffered in the daemon's bounded queue",
+    SERVE_BREAKER_STATE: "Breaker state (0 closed, 1 half-open, 2 open)",
+    SERVE_HEALTHY: "Daemon liveness (1 while serving, 0 after shutdown)",
 }

@@ -9,6 +9,7 @@ from repro.workloads.fattree_configs import (
 )
 from repro.workloads.changegen import (
     acl_changes,
+    emit_stream,
     LC_NEW_COST,
     LP_NEW_PREF,
     lc_changes,
@@ -16,6 +17,7 @@ from repro.workloads.changegen import (
     linked_interfaces,
     lp_changes,
     paper_changes,
+    stream_batches,
 )
 from repro.workloads.enterprise import EnterpriseNetwork, build_enterprise, enterprise_topology
 from repro.workloads.specmining import (
@@ -38,6 +40,8 @@ __all__ = [
     "linked_interfaces",
     "lp_changes",
     "paper_changes",
+    "emit_stream",
+    "stream_batches",
     "EnterpriseNetwork",
     "build_enterprise",
     "enterprise_topology",

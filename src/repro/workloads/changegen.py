@@ -21,6 +21,7 @@ from repro.config.changes import (
     BindAcl,
     Change,
     CompositeChange,
+    EnableInterface,
     SetLocalPref,
     SetOspfCost,
     ShutdownInterface,
@@ -149,6 +150,73 @@ def acl_changes(
             )
         )
     return changes
+
+
+def stream_batches(
+    labeled: LabeledTopology,
+    protocol: str = "ospf",
+    count: int = 20,
+    seed: int = 0,
+) -> List[List[Change]]:
+    """Change batches for a serving stream (``repro serve``).
+
+    Unlike the one-shot sweeps above, a stream must stay *applicable* for
+    arbitrarily many batches, so every perturbation is emitted as a
+    flap pair — fail then recover, raise the cost then restore it — and
+    the generator cycles through distinct links.  Deterministic given the
+    seed.
+    """
+    rng = random.Random(seed)
+    failures = link_failures(labeled, seed=seed)
+    if protocol == "ospf":
+        tweaks: List[Tuple[Change, Change]] = [
+            (
+                SetOspfCost(c.device, c.interface, c.cost),
+                SetOspfCost(c.device, c.interface, 1),
+            )
+            for c in lc_changes(labeled, seed=seed + 1)
+        ]
+    elif protocol == "bgp":
+        from repro.config.changes import ClearLocalPref
+
+        tweaks = [
+            (c, ClearLocalPref(c.device, c.interface))
+            for c in lp_changes(labeled, seed=seed + 1)
+        ]
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+
+    pairs: List[Tuple[Change, Change]] = [
+        (f, EnableInterface(f.device, f.interface)) for f in failures
+    ]
+    pairs.extend(tweaks)
+    rng.shuffle(pairs)
+    batches: List[List[Change]] = []
+    index = 0
+    while len(batches) < count:
+        do, undo = pairs[index % len(pairs)]
+        batches.append([do])
+        if len(batches) < count:
+            batches.append([undo])
+        index += 1
+    return batches
+
+
+def emit_stream(
+    labeled: LabeledTopology,
+    path,
+    protocol: str = "ospf",
+    count: int = 20,
+    seed: int = 0,
+) -> int:
+    """Write a :func:`stream_batches` workload as a JSONL stream file —
+    the producer side of ``repro serve``.  Returns the batch count."""
+    from repro.serve.stream import write_stream
+
+    return write_stream(
+        stream_batches(labeled, protocol=protocol, count=count, seed=seed),
+        path,
+    )
 
 
 def paper_changes(

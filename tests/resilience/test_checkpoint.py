@@ -1,4 +1,4 @@
-"""Checkpoint / restore round trips."""
+"""Checkpoint / restore round trips and crash-safe writes."""
 
 import pickle
 
@@ -9,8 +9,10 @@ from repro.resilience.checkpoint import (
     FORMAT,
     CheckpointError,
     read_checkpoint,
+    read_checkpoint_extras,
     write_checkpoint,
 )
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec, inject
 
 from tests.resilience.helpers import fingerprint, make_policies, verdicts
 
@@ -94,6 +96,58 @@ class TestRoundTrip:
         assert fingerprint(restored) == fingerprint(verifier)
 
 
+class TestCrashSafeWrite:
+    def test_crash_mid_write_preserves_previous_checkpoint(
+        self, tmp_path, ring_snapshot, ring_changes
+    ):
+        """Kill the write between the temp file and the rename: the old
+        checkpoint must survive byte-identical, and no temp file leaks."""
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        verifier.checkpoint(path)
+        before = path.read_bytes()
+
+        verifier.apply_changes([ring_changes[0]])
+        plan = FaultPlan(FaultSpec("checkpoint_write"))
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                verifier.checkpoint(path)
+        assert plan.fired
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+        restored = read_checkpoint(path)  # still a valid checkpoint
+        assert restored.model.num_ecs() > 0
+
+    def test_successful_write_replaces_atomically(
+        self, tmp_path, ring_snapshot, ring_changes
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        verifier.checkpoint(path)
+        verifier.apply_changes([ring_changes[0]])
+        verifier.checkpoint(path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert fingerprint(read_checkpoint(path)) == fingerprint(verifier)
+
+
+class TestExtras:
+    def test_extras_round_trip_without_restore(self, tmp_path, ring_snapshot):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        write_checkpoint(
+            verifier, path, extras={"serve": {"cursor": 17}}
+        )
+        assert read_checkpoint_extras(path) == {"serve": {"cursor": 17}}
+        # and the verifier itself still restores
+        assert read_checkpoint(path).model.num_ecs() == verifier.model.num_ecs()
+
+    def test_extras_default_to_empty(self, tmp_path, ring_snapshot):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        write_checkpoint(verifier, path)
+        assert read_checkpoint_extras(path) == {}
+
+
 class TestBadFiles:
     def test_missing_file(self, tmp_path):
         with pytest.raises(CheckpointError):
@@ -115,4 +169,13 @@ class TestBadFiles:
         path = tmp_path / "future.ckpt"
         path.write_bytes(pickle.dumps({"format": FORMAT, "version": 999}))
         with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)
+
+    def test_valid_envelope_with_garbage_state(self, tmp_path):
+        """A correct format/version header around unrestorable innards must
+        still surface as CheckpointError, not a bare KeyError traceback —
+        the CLI's exit-2 contract reads the exception type."""
+        path = tmp_path / "hollow.ckpt"
+        path.write_bytes(pickle.dumps({"format": FORMAT, "version": 1}))
+        with pytest.raises(CheckpointError, match="cannot restore"):
             read_checkpoint(path)

@@ -76,7 +76,38 @@ class TestResumeFrom:
         bad.write_bytes(b"junk")
         assert main(["verify", str(base_dir), str(changed_dir),
                      "--resume-from", str(bad)]) == 2
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "corrupt checkpoint" in err
+
+    def test_missing_checkpoint_exits_two_with_message(
+        self, base_dir, changed_dir, tmp_path, capsys
+    ):
+        """The error contract for --resume-from pointing nowhere: exit 2
+        and the CheckpointError message on stderr, never a traceback."""
+        assert main(["verify", str(base_dir), str(changed_dir),
+                     "--resume-from", str(tmp_path / "missing.ckpt")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "cannot read checkpoint" in err
+        assert "Traceback" not in err
+
+    def test_hollow_checkpoint_exits_two(
+        self, base_dir, changed_dir, tmp_path, capsys
+    ):
+        """A well-formed envelope whose inner state cannot be restored used
+        to leak the restore exception as a traceback; it must exit 2."""
+        import pickle
+
+        from repro.resilience.checkpoint import FORMAT
+
+        hollow = tmp_path / "hollow.ckpt"
+        hollow.write_bytes(pickle.dumps({"format": FORMAT, "version": 1}))
+        assert main(["verify", str(base_dir), str(changed_dir),
+                     "--resume-from", str(hollow)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot restore verifier state" in err
+        assert "Traceback" not in err
 
 
 class TestAuditCommand:

@@ -1,0 +1,78 @@
+"""Fixtures for the serving suite.
+
+Everything runs on a small OSPF ring: link flaps reroute cleanly (no
+lasting policy violations), so test outcomes isolate the serving
+machinery rather than the network's behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import ring
+from repro.serve import DeadLetterBox, ServeDaemon, ServeOptions, read_stream
+from repro.serve.stream import write_stream
+from repro.workloads import ospf_snapshot, stream_batches
+
+
+@pytest.fixture(scope="module")
+def labeled_ring():
+    return ring(6)
+
+
+@pytest.fixture(scope="module")
+def ring_snapshot(labeled_ring):
+    return ospf_snapshot(labeled_ring)
+
+
+@pytest.fixture
+def make_daemon(labeled_ring, ring_snapshot, tmp_path):
+    """Factory: build a daemon over a freshly written flap stream.
+
+    Returns ``(daemon, batches)``; keyword args override ServeOptions
+    fields, plus ``count``/``seed`` for the stream and ``clock``/``sleep``/
+    ``on_batch_done`` for the loop.  Backoff sleeps are no-ops by default
+    so tests never stall.
+    """
+
+    def build(
+        count=10,
+        seed=3,
+        clock=None,
+        sleep=None,
+        on_batch_done=None,
+        resume_cursor=0,
+        verifier=None,
+        **option_overrides,
+    ):
+        batches = stream_batches(labeled_ring, count=count, seed=seed)
+        stream_path = tmp_path / "stream.jsonl"
+        write_stream(batches, stream_path)
+        option_overrides.setdefault("breaker_threshold", 0)
+        option_overrides.setdefault("backoff_base", 0.0)
+        options = ServeOptions(**option_overrides)
+        daemon = ServeDaemon(
+            verifier or RealConfig(ring_snapshot),
+            read_stream(stream_path),
+            DeadLetterBox(tmp_path / "deadletter"),
+            options,
+            clock=clock or (lambda: 0.0),
+            sleep=sleep or (lambda seconds: None),
+            resume_cursor=resume_cursor,
+            on_batch_done=on_batch_done,
+        )
+        return daemon, batches
+
+    return build
+
+
+def apply_direct(snapshot, batches, skip_ids=()):
+    """Ground truth: the batches applied straight through a fresh
+    verifier, skipping the given batch ids (``{index:06d}`` naming)."""
+    verifier = RealConfig(snapshot)
+    for index, batch in enumerate(batches):
+        if f"{index:06d}" in set(skip_ids):
+            continue
+        verifier.apply_changes(batch)
+    return verifier

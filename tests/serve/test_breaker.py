@@ -1,0 +1,123 @@
+"""The incremental/full-rebuild circuit breaker state machine."""
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    STATE_GAUGE,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        failure_threshold=3, cooldown_seconds=10.0, clock=clock
+    )
+
+
+class TestTransitions:
+    def test_starts_closed(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allows_incremental()
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+        assert not breaker.allows_incremental()
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak restarted, never hit 3
+
+    def test_cooldown_gates_the_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 9.9
+        assert not breaker.allows_incremental()
+        assert breaker.state == OPEN
+        clock.now = 10.0
+        assert breaker.allows_incremental()  # the probe
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allows_incremental()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(
+        self, breaker, clock
+    ):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allows_incremental()
+        breaker.record_failure()  # the probe fails
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        clock.now = 19.9  # new cooldown counts from the re-open
+        assert not breaker.allows_incremental()
+        clock.now = 20.0
+        assert breaker.allows_incremental()
+
+    def test_half_open_allows_the_probe_batch(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allows_incremental()
+        # Asking again while the probe is in flight stays permissive.
+        assert breaker.allows_incremental()
+        assert breaker.state == HALF_OPEN
+
+
+class TestSurface:
+    def test_gauge_values(self, breaker, clock):
+        assert breaker.gauge_value() == STATE_GAUGE[CLOSED] == 0
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.gauge_value() == STATE_GAUGE[OPEN] == 2
+        clock.now = 10.0
+        breaker.allows_incremental()
+        assert breaker.gauge_value() == STATE_GAUGE[HALF_OPEN] == 1
+
+    def test_describe_mentions_state(self, breaker, clock):
+        assert "closed" in breaker.describe()
+        for _ in range(3):
+            breaker.record_failure()
+        assert "open" in breaker.describe()
+        clock.now = 10.0
+        breaker.allows_incremental()
+        assert "probing" in breaker.describe()
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1, clock=clock)

@@ -1,0 +1,127 @@
+"""The CLI surface of the serving layer: ``repro emit-stream``,
+``repro serve``, ``repro watch``, and the serve resume contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def snap_dir(tmp_path):
+    path = tmp_path / "snap"
+    assert main(["generate", "--topology", "ring:4", "--protocol", "ospf",
+                 "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def stream_file(snap_dir, tmp_path, capsys):
+    path = tmp_path / "stream.jsonl"
+    assert main(["emit-stream", str(snap_dir), "--out", str(path),
+                 "--count", "6", "--seed", "1"]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestEmitStream:
+    def test_writes_requested_batches(self, snap_dir, tmp_path, capsys):
+        out = tmp_path / "s.jsonl"
+        assert main(["emit-stream", str(snap_dir), "--out", str(out),
+                     "--count", "5"]) == 0
+        assert "wrote 5 change batch(es)" in capsys.readouterr().out
+        lines = [l for l in out.read_text().splitlines() if l.strip()]
+        assert len(lines) == 5
+        assert all("changes" in json.loads(l) for l in lines)
+
+    def test_missing_snapshot_exits_two(self, tmp_path, capsys):
+        assert main(["emit-stream", str(tmp_path / "ghost"),
+                     "--out", str(tmp_path / "s.jsonl")]) == 2
+
+
+class TestServe:
+    def test_clean_stream_exits_zero(
+        self, snap_dir, stream_file, tmp_path, capsys
+    ):
+        health = tmp_path / "health.json"
+        ckpt = tmp_path / "serve.ckpt"
+        code = main(["serve", str(snap_dir), "--stream", str(stream_file),
+                     "--dead-letter", str(tmp_path / "dl"),
+                     "--backoff-base", "0",
+                     "--health-file", str(health),
+                     "--checkpoint", str(ckpt)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "6/6 batches ok" in captured.out
+        assert f"final checkpoint: {ckpt} (cursor 6)" in captured.out
+        assert json.loads(health.read_text())["status"] == "stopped"
+        assert ckpt.exists()
+
+    def test_poison_batch_exits_one_with_runbook_hint(
+        self, snap_dir, stream_file, tmp_path, capsys
+    ):
+        lines = stream_file.read_text().splitlines()
+        lines.insert(3, '{"id": "poison", "changes": [{"kind": "Nope"}]}')
+        stream_file.write_text("\n".join(lines) + "\n")
+        dead_letter = tmp_path / "dl"
+        code = main(["serve", str(snap_dir), "--stream", str(stream_file),
+                     "--dead-letter", str(dead_letter),
+                     "--backoff-base", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 quarantined" in captured.out
+        assert "poison batch(es)" in captured.err
+        assert "replay" in captured.err
+        meta = json.loads(
+            (dead_letter / "poison" / "meta.json").read_text()
+        )
+        assert meta["failure_class"] == "permanent"
+
+    def test_missing_stream_exits_two(self, snap_dir, tmp_path, capsys):
+        assert main(["serve", str(snap_dir),
+                     "--stream", str(tmp_path / "ghost.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_from_serve_checkpoint_skips_done_batches(
+        self, snap_dir, stream_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "serve.ckpt"
+        assert main(["serve", str(snap_dir), "--stream", str(stream_file),
+                     "--backoff-base", "0",
+                     "--dead-letter", str(tmp_path / "dl"),
+                     "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        code = main(["serve", str(snap_dir), "--stream", str(stream_file),
+                     "--backoff-base", "0",
+                     "--dead-letter", str(tmp_path / "dl"),
+                     "--checkpoint", str(ckpt),
+                     "--resume-from", str(ckpt)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "resumed verifier from" in captured.out
+        assert "at stream cursor 6" in captured.out
+        assert "0/0 batches ok" in captured.out  # nothing left to do
+        assert "resumed past 6" in captured.out
+
+
+class TestWatch:
+    def test_watch_drains_a_directory_then_idles_out(
+        self, snap_dir, tmp_path, capsys
+    ):
+        from repro.serve import read_stream, write_batch_file
+
+        stream = tmp_path / "stream.jsonl"
+        assert main(["emit-stream", str(snap_dir), "--out", str(stream),
+                     "--count", "3"]) == 0
+        watch_dir = tmp_path / "incoming"
+        for batch in read_stream(stream):
+            write_batch_file(batch.batch_id, batch.changes, watch_dir)
+        code = main(["watch", str(snap_dir), "--stream", str(watch_dir),
+                     "--dead-letter", str(tmp_path / "dl"),
+                     "--backoff-base", "0",
+                     "--poll-interval", "0.01",
+                     "--idle-timeout", "0.05"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "3/3 batches ok" in captured.out

@@ -1,0 +1,115 @@
+"""The dead-letter directory: quarantine records and replay."""
+
+import json
+
+import pytest
+
+from repro.config.changes import SetOspfCost, ShutdownInterface
+from repro.serve.deadletter import DeadLetterBox
+from repro.serve.stream import ChangeBatch, encode_batch
+
+
+@pytest.fixture
+def box(tmp_path):
+    return DeadLetterBox(tmp_path / "deadletter")
+
+
+def make_batch(batch_id="000007", changes=None):
+    changes = changes or [ShutdownInterface("r0", "eth0")]
+    return ChangeBatch(
+        batch_id=batch_id,
+        changes=changes,
+        payload=encode_batch(batch_id, changes),
+    )
+
+
+class TestQuarantine:
+    def test_writes_payload_error_and_meta(self, box):
+        batch = make_batch()
+        try:
+            raise RuntimeError("engine exploded")
+        except RuntimeError as error:
+            entry = box.quarantine(
+                batch,
+                error,
+                attempts=3,
+                failure_class="transient",
+                fingerprint="abc123",
+            )
+        assert entry == box.directory / "000007"
+        payload = json.loads((entry / "batch.json").read_text())
+        assert payload == batch.payload
+        error_text = (entry / "error.txt").read_text()
+        assert "RuntimeError" in error_text
+        assert "engine exploded" in error_text
+        assert "Traceback" in error_text  # full traceback for the operator
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["batch_id"] == "000007"
+        assert meta["attempts"] == 3
+        assert meta["failure_class"] == "transient"
+        assert meta["error_type"] == "RuntimeError"
+        assert meta["pre_batch_fingerprint"] == "abc123"
+        assert meta["quarantined_unix"] > 0
+
+    def test_batch_without_payload_gets_reencoded(self, box):
+        batch = ChangeBatch(
+            batch_id="raw", changes=[SetOspfCost("r1", "eth0", 9)]
+        )
+        box.quarantine(
+            batch, ValueError("x"), attempts=1, failure_class="permanent"
+        )
+        replayed = box.load("raw")
+        assert replayed.ok
+        assert replayed.changes == batch.changes
+
+    def test_empty_box(self, box):
+        assert len(box) == 0
+        assert box.batch_ids() == []
+        assert list(box.replay()) == []
+
+    def test_missing_directory_is_empty_not_an_error(self, tmp_path):
+        assert len(DeadLetterBox(tmp_path / "never-created")) == 0
+
+
+class TestReplay:
+    def test_replay_yields_decodable_batches_in_order(self, box):
+        first = make_batch("000002", [ShutdownInterface("r0", "eth0")])
+        second = make_batch("000005", [SetOspfCost("r1", "eth1", 3)])
+        for batch in (second, first):  # quarantine out of order
+            box.quarantine(
+                batch, ValueError("x"), attempts=1, failure_class="transient"
+            )
+        assert box.batch_ids() == ["000002", "000005"]
+        replayed = list(box.replay())
+        assert [b.batch_id for b in replayed] == ["000002", "000005"]
+        assert [b.changes for b in replayed] == [
+            first.changes,
+            second.changes,
+        ]
+        assert all(b.ok for b in replayed)
+
+    def test_malformed_payload_replays_as_poison(self, box):
+        batch = ChangeBatch(
+            batch_id="bad",
+            payload={"id": "bad", "changes": [{"kind": "Nope"}]},
+            decode_error="unknown change kind 'Nope'",
+        )
+        box.quarantine(
+            batch,
+            ValueError("malformed"),
+            attempts=0,
+            failure_class="permanent",
+        )
+        (replayed,) = list(box.replay())
+        assert not replayed.ok
+        assert "unknown change kind" in replayed.decode_error
+
+    def test_meta_round_trip(self, box):
+        box.quarantine(
+            make_batch(),
+            ValueError("x"),
+            attempts=2,
+            failure_class="transient",
+            fingerprint="f" * 64,
+        )
+        assert box.meta("000007")["pre_batch_fingerprint"] == "f" * 64

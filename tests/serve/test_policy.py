@@ -1,0 +1,104 @@
+"""Deadlines, failure classification, and retry backoff."""
+
+import pytest
+
+from repro.config.schema import ConfigError
+from repro.resilience.faults import FaultInjected
+from repro.serve.policy import (
+    PERMANENT,
+    TRANSIENT,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    classify_failure,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_check_passes_within_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock).start()
+        clock.now = 0.99
+        deadline.check()  # no raise
+        assert deadline.remaining() == pytest.approx(0.01)
+
+    def test_check_raises_when_spent(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock).start()
+        clock.now = 1.0
+        with pytest.raises(DeadlineExceeded, match="1.000s deadline"):
+            deadline.check()
+
+    def test_zero_budget_means_no_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock).start()
+        clock.now = 1e9
+        deadline.check()  # disabled: never raises
+
+    def test_unstarted_deadline_reports_full_budget(self):
+        assert Deadline(2.5).remaining() == 2.5
+
+
+class TestClassifyFailure:
+    def test_injected_fault_is_transient(self):
+        assert classify_failure(FaultInjected("boom")) == TRANSIENT
+
+    def test_deadline_abort_is_transient(self):
+        assert classify_failure(DeadlineExceeded("late")) == TRANSIENT
+
+    def test_config_error_is_permanent(self):
+        assert classify_failure(ConfigError("bad change")) == PERMANENT
+
+    def test_unknown_errors_default_to_transient(self):
+        assert classify_failure(RuntimeError("engine hiccup")) == TRANSIENT
+
+
+class TestRetryPolicy:
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        error = FaultInjected("x")
+        assert policy.max_attempts == 3
+        assert policy.should_retry(1, error)
+        assert policy.should_retry(2, error)
+        assert not policy.should_retry(3, error)
+
+    def test_permanent_failures_never_retry(self):
+        policy = RetryPolicy(max_retries=5)
+        assert not policy.should_retry(1, ConfigError("malformed"))
+
+    def test_backoff_is_exponential_without_jitter(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=10.0, jitter=0.0)
+        assert policy.sleep_plan(4) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_backoff_respects_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=2.5, jitter=0.0)
+        assert policy.backoff_seconds(10) == 2.5
+
+    def test_jitter_stays_in_band_and_is_seeded(self):
+        a = RetryPolicy(backoff_base=0.1, jitter=0.5, seed=7)
+        b = RetryPolicy(backoff_base=0.1, jitter=0.5, seed=7)
+        plan_a, plan_b = a.sleep_plan(6), b.sleep_plan(6)
+        assert plan_a == plan_b  # deterministic given the seed
+        for attempt, sleep in enumerate(plan_a, start=1):
+            raw = min(2.0, 0.1 * 2 ** (attempt - 1))
+            assert raw * 0.5 <= sleep <= raw
+
+    def test_zero_retries_quarantines_first_failure(self):
+        policy = RetryPolicy(max_retries=0)
+        assert not policy.should_retry(1, FaultInjected("x"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_seconds(0)

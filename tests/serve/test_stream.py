@@ -1,0 +1,190 @@
+"""The change-batch stream format: codec, JSONL/directory readers, and
+the polling watch source."""
+
+import json
+
+import pytest
+
+from repro.config.changes import (
+    AddAclEntry,
+    BindAcl,
+    CompositeChange,
+    EnableInterface,
+    SetLocalPref,
+    SetOspfCost,
+    ShutdownInterface,
+)
+from repro.config.schema import AclEntry
+from repro.net.addr import Prefix
+from repro.serve.stream import (
+    StreamError,
+    decode_batch,
+    decode_change,
+    encode_batch,
+    encode_change,
+    read_stream,
+    watch_stream,
+    write_batch_file,
+    write_stream,
+)
+
+CHANGES = [
+    ShutdownInterface("r0", "eth0"),
+    EnableInterface("r1", "eth1"),
+    SetOspfCost("r2", "eth0", 42),
+    SetLocalPref("r3", "eth1", 250),
+    AddAclEntry(
+        "r0",
+        "edge-in",
+        AclEntry(
+            seq=10,
+            action="deny",
+            proto=6,
+            src=Prefix.parse("10.1.0.0/16"),
+            dst=Prefix.parse("10.2.0.0/16"),
+            dst_port=(80, 443),
+        ),
+    ),
+    BindAcl("r0", "eth0", "edge-in", direction="in"),
+    CompositeChange(
+        [ShutdownInterface("r4", "eth0"), SetOspfCost("r5", "eth1", 7)],
+        label="maintenance",
+    ),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "change", CHANGES, ids=[type(c).__name__ for c in CHANGES]
+    )
+    def test_round_trip(self, change):
+        encoded = encode_change(change)
+        json.dumps(encoded)  # must be jsonable as-is
+        assert decode_change(encoded) == change
+
+    def test_round_trip_survives_json_text(self):
+        text = json.dumps([encode_change(c) for c in CHANGES])
+        assert [decode_change(p) for p in json.loads(text)] == CHANGES
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StreamError, match="unknown change kind"):
+            decode_change({"kind": "TeleportRouter", "device": "r0"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(StreamError, match="no field"):
+            decode_change(
+                {"kind": "ShutdownInterface", "device": "r0", "wat": 1}
+            )
+
+    def test_untagged_payload_rejected(self):
+        with pytest.raises(StreamError, match="tagged object"):
+            decode_change({"device": "r0"})
+
+
+class TestDecodeBatch:
+    def test_good_batch(self):
+        payload = encode_batch("000003", CHANGES[:2])
+        batch = decode_batch(payload, "fallback")
+        assert batch.ok
+        assert batch.batch_id == "000003"
+        assert batch.changes == CHANGES[:2]
+        assert batch.payload == payload
+
+    def test_malformed_batch_never_raises(self):
+        batch = decode_batch(["not", "an", "object"], "000009")
+        assert not batch.ok
+        assert batch.batch_id == "000009"
+        assert "not an object" in batch.decode_error
+
+    def test_bad_change_becomes_decode_error(self):
+        payload = {"id": "x", "changes": [{"kind": "Nope"}]}
+        batch = decode_batch(payload, "x")
+        assert not batch.ok
+        assert "unknown change kind" in batch.decode_error
+        assert batch.payload == payload  # still replayable as-is
+
+
+class TestStreamFiles:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        assert write_stream([CHANGES[:2], CHANGES[2:4]], path) == 2
+        batches = list(read_stream(path))
+        assert [b.batch_id for b in batches] == ["000000", "000001"]
+        assert batches[0].changes == CHANGES[:2]
+        assert batches[1].changes == CHANGES[2:4]
+
+    def test_blank_and_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_stream([CHANGES[:1]], path)
+        path.write_text("# a comment\n\n" + path.read_text())
+        batches = list(read_stream(path))
+        assert len(batches) == 1 and batches[0].ok
+
+    def test_bad_json_line_yields_poison_not_crash(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_stream([CHANGES[:1], CHANGES[1:2]], path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{this is not json")
+        path.write_text("\n".join(lines) + "\n")
+        batches = list(read_stream(path))
+        assert len(batches) == 3
+        assert [b.ok for b in batches] == [True, False, True]
+        assert "bad JSON" in batches[1].decode_error
+
+    def test_directory_stream_sorted_order(self, tmp_path):
+        directory = tmp_path / "batches"
+        write_batch_file("b", CHANGES[1:2], directory)
+        write_batch_file("a", CHANGES[:1], directory)
+        batches = list(read_stream(directory))
+        assert [b.batch_id for b in batches] == ["a", "b"]
+
+    def test_missing_stream_raises(self, tmp_path):
+        with pytest.raises(StreamError, match="does not exist"):
+            read_stream(tmp_path / "ghost.jsonl")
+
+
+class TestWatchStream:
+    def test_yields_none_when_idle_and_stops_on_timeout(self, tmp_path):
+        ticks = iter(range(100))
+        events = list(
+            watch_stream(
+                tmp_path, idle_timeout=3, clock=lambda: next(ticks)
+            )
+        )
+        assert events  # polled at least once before giving up
+        assert all(event is None for event in events)
+
+    def test_picks_up_files_dropped_between_polls(self, tmp_path):
+        polls = {"count": 0}
+
+        def clock():
+            polls["count"] += 1
+            if polls["count"] == 3:  # producer appears mid-watch
+                write_batch_file("late", CHANGES[:1], tmp_path)
+            return polls["count"]
+
+        write_batch_file("early", CHANGES[1:2], tmp_path)
+        seen = [
+            event.batch_id
+            for event in watch_stream(tmp_path, idle_timeout=5, clock=clock)
+            if event is not None
+        ]
+        assert seen == ["early", "late"]
+
+    def test_should_stop_wins_immediately(self, tmp_path):
+        write_batch_file("x", CHANGES[:1], tmp_path)
+        assert (
+            list(watch_stream(tmp_path, should_stop=lambda: True)) == []
+        )
+
+    def test_never_yields_a_file_twice(self, tmp_path):
+        write_batch_file("once", CHANGES[:1], tmp_path)
+        ticks = iter(range(100))
+        events = [
+            event
+            for event in watch_stream(
+                tmp_path, idle_timeout=4, clock=lambda: next(ticks)
+            )
+            if event is not None
+        ]
+        assert [e.batch_id for e in events] == ["once"]

@@ -1,0 +1,101 @@
+"""Property: serving a stream through the daemon is equivalent to
+applying the batches directly.
+
+For any generated batch sequence — including one with a poison batch
+that exhausts its retry budget and lands in the dead-letter directory —
+replaying the stream through :class:`ServeDaemon` and then draining the
+dead-letter box yields the same final FIB fingerprint as applying every
+batch straight through a fresh verifier.  This is the serving layer's
+whole correctness contract: fault tolerance must never change *what* is
+verified, only *when*.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import ring
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.serve import DeadLetterBox, ServeDaemon, ServeOptions, fib_fingerprint
+from repro.serve.stream import decode_batch, encode_batch
+from repro.workloads import ospf_snapshot, stream_batches
+
+LABELED = ring(4)
+SNAPSHOT = ospf_snapshot(LABELED)
+
+
+@st.composite
+def scenarios(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=50))
+    max_retries = draw(st.integers(min_value=0, max_value=2))
+    poison = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=count - 1))
+    )
+    return count, seed, max_retries, poison
+
+
+def as_stream(batches):
+    """The same encode/decode trip the JSONL file performs."""
+    for index, changes in enumerate(batches):
+        payload = encode_batch(f"{index:06d}", changes)
+        yield decode_batch(payload, f"{index:06d}")
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenarios())
+def test_daemon_replay_matches_direct_application(tmp_path_factory, scenario):
+    count, seed, max_retries, poison = scenario
+    batches = stream_batches(LABELED, count=count, seed=seed)
+    box = DeadLetterBox(
+        tmp_path_factory.mktemp("deadletter") / "dl"
+    )
+    daemon = ServeDaemon(
+        RealConfig(SNAPSHOT),
+        as_stream(batches),
+        box,
+        ServeOptions(
+            max_retries=max_retries,
+            backoff_base=0.0,
+            breaker_threshold=0,  # exact fault-call accounting
+        ),
+        sleep=lambda seconds: None,
+    )
+    plan = FaultPlan()
+    if poison is not None:
+        # Batch `poison` faults on every attempt of its retry budget.
+        plan = FaultPlan(
+            FaultSpec(
+                "generation", call=poison + 1, repeat=max_retries + 1
+            )
+        )
+    with inject(plan):
+        stats = daemon.run()
+
+    if poison is None:
+        assert stats.quarantined == 0
+    else:
+        assert stats.quarantined == 1
+        assert stats.quarantined_ids == [f"{poison:06d}"]
+        assert box.meta(f"{poison:06d}")["attempts"] == max_retries + 1
+    assert stats.batches_ok == count - stats.quarantined
+
+    # The daemon's state equals a direct application of the survivors.
+    direct = RealConfig(SNAPSHOT)
+    for index, changes in enumerate(batches):
+        if index != poison:
+            direct.apply_changes(changes)
+    assert fib_fingerprint(daemon.verifier) == fib_fingerprint(direct)
+
+    # Drain the dead-letter box now that the fault plan is inactive: the
+    # replayed payload must decode back to the original changes, and both
+    # sides stay in lockstep after applying it.
+    for replayed in box.replay():
+        assert replayed.ok
+        assert replayed.changes == batches[poison]
+        daemon.verifier.apply_changes(replayed.changes)
+        direct.apply_changes(replayed.changes)
+    assert fib_fingerprint(daemon.verifier) == fib_fingerprint(direct)
