@@ -1,0 +1,120 @@
+"""Parallel scaling — end-to-end verification time vs worker count.
+
+Sweeps ``RealConfig(workers=N)`` for N in {1, 2, 4, 8} over a warm
+link-flap workload on the scale-curve topology and records the speedup
+against the serial pipeline in ``BENCH_parallel.json`` (committed at the
+repo root, and the series behind EXPERIMENTS.md's scaling table).
+
+Read the numbers honestly: the serial arm is the shipped transactional
+pipeline, which deep-copies the full pipeline state before every
+verification and re-classifies after every rule update.  The parallel
+arm's win is therefore architectural as much as it is parallel — the
+deferred-commit protocol needs no eager capture and the staged batch
+reclassifies each affected (device, EC) once.  On a single-core host
+(like this container) that is *all* of the win, and N=2 typically beats
+N=4 because every replica replays phase A; on a multi-core host the
+sharded phase B and policy re-check scale on top of it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from benchmarks.conftest import SCALE_K, record_row
+from repro.config.changes import EnableInterface
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import fat_tree
+from repro.policy.spec import BlackholeFree, LoopFree
+from repro.workloads import link_failures, ospf_snapshot
+
+WORKER_COUNTS = (1, 2, 4, 8)
+FLAPS = 3
+REPEATS = 3
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+#: The acceptance bar, calibrated to the full-scale topology (SCALE_K=6).
+#: CI smoke runs at REPRO_FATTREE_K=4, where per-verification work is too
+#: small for the bar to be meaningful, and relaxes it via this env var.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _flap_workload(verifier, flaps):
+    """One pass over the workload; returns per-verification seconds."""
+    samples = []
+    for change in flaps:
+        for step in (change, EnableInterface(change.device, change.interface)):
+            started = time.perf_counter()
+            delta = verifier.apply_change(step)
+            samples.append(time.perf_counter() - started)
+            assert delta.ok
+    return samples
+
+
+def test_parallel_scaling():
+    labeled = fat_tree(SCALE_K)
+    snapshot = ospf_snapshot(labeled)
+    flaps = link_failures(labeled, seed=17)[:FLAPS]
+    results = {}
+    for workers in WORKER_COUNTS:
+        verifier = RealConfig(
+            snapshot,
+            policies=[LoopFree("loop-free"), BlackholeFree("blackhole-free")],
+            workers=workers,
+        )
+        try:
+            _flap_workload(verifier, flaps)  # warm the pool and the caches
+            samples = []
+            for _ in range(REPEATS):
+                samples.extend(_flap_workload(verifier, flaps))
+        finally:
+            verifier.close()
+        results[workers] = {
+            "mean_seconds": statistics.mean(samples),
+            "median_seconds": statistics.median(samples),
+            "max_seconds": max(samples),
+            "verifications": len(samples),
+        }
+
+    # Speedups come from medians: on a loaded (or single-core) host an
+    # occasional scheduler stall lands in one gather and wrecks the mean
+    # of 18 samples, while the steady-state per-verification cost is what
+    # a serving deployment actually sees.  Both statistics are recorded.
+    serial = results[1]["median_seconds"]
+    for workers in WORKER_COUNTS:
+        entry = results[workers]
+        entry["speedup"] = serial / entry["median_seconds"]
+        record_row(
+            "Parallel scaling: warm verification time vs workers",
+            f"workers={workers:2d} | mean {entry['mean_seconds'] * 1000:7.1f} ms"
+            f" | median {entry['median_seconds'] * 1000:7.1f} ms"
+            f" | speedup {entry['speedup']:5.2f}x",
+        )
+
+    payload = {
+        "benchmark": "parallel-scaling",
+        "topology": f"fat-tree:{SCALE_K}",
+        "nodes": labeled.topology.num_nodes(),
+        "protocol": "ospf",
+        "workload": f"{FLAPS} link flap pairs x {REPEATS} repeats, warm",
+        "workers": {str(w): results[w] for w in WORKER_COUNTS},
+        "speedup_at_4_workers": results[4]["speedup"],
+        "speedup_statistic": "median",
+        "note": (
+            "single-core hosts: the win comes from the deferred-commit "
+            "protocol (no eager state capture) and net-effect batching, "
+            "not from true core parallelism; see benchmarks docstring"
+        ),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    record_row(
+        "Parallel scaling: warm verification time vs workers",
+        f"wrote {OUTPUT.name} (speedup at 4 workers: "
+        f"{payload['speedup_at_4_workers']:.2f}x)",
+    )
+
+    # The acceptance bar: the parallel path must at least double
+    # end-to-end throughput at 4 workers.
+    assert payload["speedup_at_4_workers"] >= MIN_SPEEDUP

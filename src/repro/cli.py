@@ -172,6 +172,21 @@ def _reachability_policies(snapshot) -> List[Reachability]:
     return policies
 
 
+def _pool_kwargs(args: argparse.Namespace) -> dict:
+    """RealConfig kwargs for the global --workers/--parallel-backend flags."""
+    return {
+        "workers": args.workers or 1,
+        "parallel_backend": args.parallel_backend or "auto",
+    }
+
+
+def _restore_verifier(args: argparse.Namespace, path: str) -> RealConfig:
+    """Restore a checkpoint, applying any pool-flag overrides."""
+    return RealConfig.restore(
+        path, workers=args.workers, parallel_backend=args.parallel_backend
+    )
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     base = load_snapshot(args.base)
     changed = load_snapshot(args.changed)
@@ -179,13 +194,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.all_pairs:
         policies.extend(_reachability_policies(base))
     if args.resume_from is not None:
-        verifier = RealConfig.restore(args.resume_from)
+        verifier = _restore_verifier(args, args.resume_from)
         print(
             f"resumed verifier from {args.resume_from}: "
             f"{verifier.initial.report.summary()}"
         )
     else:
-        verifier = RealConfig(base, policies=policies, lint_mode=args.lint)
+        verifier = RealConfig(
+            base, policies=policies, lint_mode=args.lint, **_pool_kwargs(args)
+        )
         print(f"base snapshot verified: {verifier.initial.report.summary()}")
     broken_at_base = verifier.violated_policies()
     for status in broken_at_base:
@@ -194,12 +211,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
         delta = verifier.verify_snapshot(changed)
     except LintGateError as error:
         print(f"REFUSED by lint gate: {error}", file=sys.stderr)
+        verifier.close()
         return 1
     except ConfigError as error:
         # e.g. the changed snapshot alters the topology: refused up front,
         # the verifier's state is untouched.
         print(f"error: cannot verify changed snapshot: {error}", file=sys.stderr)
+        verifier.close()
         return 2
+    verifier.close()
     print(delta.summary())
     if delta.lint is not None:
         for diag in delta.lint.diagnostics:
@@ -220,7 +240,7 @@ def _serve_verifier(args: argparse.Namespace):
         snapshot = load_snapshot(args.snapshot)
         policies.extend(_reachability_policies(snapshot))
     if args.resume_from is not None:
-        verifier = RealConfig.restore(args.resume_from)
+        verifier = _restore_verifier(args, args.resume_from)
         cursor = resume_cursor_from(args.resume_from)
         print(
             f"resumed verifier from {args.resume_from} "
@@ -228,7 +248,9 @@ def _serve_verifier(args: argparse.Namespace):
         )
         return verifier, cursor
     snapshot = load_snapshot(args.snapshot)
-    verifier = RealConfig(snapshot, policies=policies, lint_mode=args.lint)
+    verifier = RealConfig(
+        snapshot, policies=policies, lint_mode=args.lint, **_pool_kwargs(args)
+    )
     print(f"base snapshot verified: {verifier.initial.report.summary()}")
     return verifier, 0
 
@@ -313,14 +335,17 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
     if args.all_pairs:
         policies.extend(_reachability_policies(snapshot))
-    verifier = RealConfig(snapshot, policies=policies, lint_mode=args.lint)
+    verifier = RealConfig(
+        snapshot, policies=policies, lint_mode=args.lint, **_pool_kwargs(args)
+    )
     print(f"snapshot verified: {verifier.initial.report.summary()}")
     verifier.checkpoint(args.out)
+    verifier.close()
     print(f"wrote checkpoint to {args.out} ({os.path.getsize(args.out)} bytes)")
     return 0
 
 
-def _load_verifier_state(state: str) -> RealConfig:
+def _load_verifier_state(state: str, args: argparse.Namespace) -> RealConfig:
     """A verifier from either a checkpoint file or a snapshot directory."""
     import os
 
@@ -329,10 +354,11 @@ def _load_verifier_state(state: str) -> RealConfig:
         verifier = RealConfig(
             snapshot,
             policies=[LoopFree("loop-free"), BlackholeFree("blackhole-free")],
+            **_pool_kwargs(args),
         )
         print(f"built verifier from snapshot {state}")
         return verifier
-    verifier = RealConfig.restore(state)
+    verifier = _restore_verifier(args, state)
     print(f"restored verifier from checkpoint {state}")
     return verifier
 
@@ -352,16 +378,19 @@ def _print_drift(report) -> None:
 def cmd_audit(args: argparse.Namespace) -> int:
     from repro.resilience.audit import audit, recover
 
-    verifier = _load_verifier_state(args.state)
-    if args.recover:
-        report, post = recover(verifier)
+    verifier = _load_verifier_state(args.state, args)
+    try:
+        if args.recover:
+            report, post = recover(verifier)
+            _print_drift(report)
+            if post is not None:
+                print(f"recovered by rebuild: {post.summary()}")
+            return 0 if report.ok else 1
+        report = audit(verifier)
         _print_drift(report)
-        if post is not None:
-            print(f"recovered by rebuild: {post.summary()}")
         return 0 if report.ok else 1
-    report = audit(verifier)
-    _print_drift(report)
-    return 0 if report.ok else 1
+    finally:
+        verifier.close()
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -494,7 +523,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
     if args.all_pairs:
         policies.extend(_reachability_policies(snapshot))
-    verifier = RealConfig(snapshot, policies=policies, lint_mode=args.lint)
+    verifier = RealConfig(
+        snapshot, policies=policies, lint_mode=args.lint, **_pool_kwargs(args)
+    )
     changes = _profile_changes(args, snapshot)
     initial = verifier.initial
 
@@ -610,6 +641,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"  lint units reused  {reused:10.1f} / {units:.1f} total = "
             f"{_ratio(reused, units)}"
         )
+    verifier.close()
     return 0
 
 
@@ -630,6 +662,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", default=None,
         help="record work counters across the run and write the "
              "Prometheus text exposition to FILE")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="verify with a pool of N worker processes (sharded model "
+             "update + parallel policy re-check); default 1 = serial. "
+             "With --resume-from, overrides the checkpointed setting")
+    parser.add_argument(
+        "--parallel-backend", choices=["auto", "fork", "inline"],
+        default=None,
+        help="worker pool backend for --workers > 1 (default auto: "
+             "forked processes where available, inline otherwise)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="synthesize a snapshot directory")

@@ -30,11 +30,13 @@ from repro.config.diff import LineDiff, diff_snapshots
 from repro.config.schema import ConfigError, Snapshot
 from repro.core.generator import IncrementalDataPlaneGenerator
 from repro.core.results import StageTimings, VerificationDelta
-from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.batch import BatchUpdater, record_batch_metrics
 from repro.dataplane.model import NetworkModel
+from repro.dataplane.rule import RuleUpdate
 from repro.ddlog.convergence import ConvergenceMonitor
 from repro.lint.diagnostics import Suppression
 from repro.lint.framework import LintResult, LintRunner
+from repro.parallel.executor import ParallelExecutor
 from repro.policy.checker import IncrementalChecker
 from repro.policy.spec import Policy, PolicyStatus
 from repro.resilience.faults import fault_point
@@ -73,11 +75,22 @@ class RealConfig:
         lint_suppressions: Iterable[Suppression] = (),
         transactional: bool = True,
         audit_every: int = 0,
+        workers: int = 1,
+        parallel_backend: str = "auto",
     ) -> None:
         if lint_mode not in ("off", "warn", "enforce"):
             raise ValueError(f"unknown lint_mode {lint_mode!r}")
         if audit_every < 0:
             raise ValueError("audit_every must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        # rebuild() re-enters __init__ on a live instance: release the old
+        # pool before the model it was seeded from is thrown away.
+        existing = getattr(self, "_executor", None)
+        if existing is not None:
+            existing.shutdown()
+        self._executor: Optional[ParallelExecutor] = None
+        self._mutation_started = False
         lint_suppressions = list(lint_suppressions)
         snapshot.validate()
         self.snapshot = snapshot.clone()
@@ -146,6 +159,8 @@ class RealConfig:
                 "lint_suppressions": lint_suppressions,
                 "transactional": transactional,
                 "audit_every": audit_every,
+                "workers": workers,
+                "parallel_backend": parallel_backend,
             }
 
             self.initial = VerificationDelta(
@@ -161,6 +176,14 @@ class RealConfig:
             root.set("rule_updates", len(updates))
             root.set("ok", self.initial.ok)
         self._record_metrics(self.initial)
+        if workers > 1:
+            # Built (and forked) last, so the seeded replicas carry the
+            # full partition including the checker's policy match boxes,
+            # and no caller threads exist yet when the pool forks.
+            self._executor = ParallelExecutor(
+                self.model, workers, backend=parallel_backend
+            )
+            self._executor.start()
 
     # -- verification entry points ------------------------------------------------
 
@@ -251,6 +274,10 @@ class RealConfig:
         fault_point("lint_gate", lint_result)
         self._abort_point()
 
+        # From here on main-process pipeline state advances (the engine's
+        # operator histories move to the new snapshot); the deferred-commit
+        # transaction uses this flag to pick its recovery rung.
+        self._mutation_started = True
         with span(names.SPAN_GENERATION):
             started = time.perf_counter()
             updates = self.generator.update_to(new_snapshot)
@@ -258,17 +285,20 @@ class RealConfig:
         fault_point("generation", updates)
         self._abort_point()
 
-        started = time.perf_counter()
-        batch = self.updater.apply(updates)
-        timings.model_update = time.perf_counter() - started
-        fault_point("model_update", batch)
-        self._abort_point()
+        if self._executor is not None:
+            batch, report = self._verify_parallel(updates, timings)
+        else:
+            started = time.perf_counter()
+            batch = self.updater.apply(updates)
+            timings.model_update = time.perf_counter() - started
+            fault_point("model_update", batch)
+            self._abort_point()
 
-        started = time.perf_counter()
-        report = self.checker.check_batch(batch)
-        timings.policy_check = time.perf_counter() - started
-        fault_point("policy_check", report)
-        self._abort_point()
+            started = time.perf_counter()
+            report = self.checker.check_batch(batch)
+            timings.policy_check = time.perf_counter() - started
+            fault_point("policy_check", report)
+            self._abort_point()
 
         self.snapshot = new_snapshot
         fault_point("commit")
@@ -283,6 +313,44 @@ class RealConfig:
             engine=self.generator.last_engine_stats,
         )
 
+    def _verify_parallel(
+        self, updates: Sequence[RuleUpdate], timings: StageTimings
+    ) -> Any:
+        """Stages 2+3 with ``workers=N``: two fan-out rounds against the
+        pool, then the deferred main-process commit.  Timings keep the
+        serial attribution — model_update gets round one plus the commit,
+        policy_check gets round two plus the incremental check."""
+        executor = self._executor
+        assert executor is not None
+        order = self.updater.order
+        t0 = time.perf_counter()
+        with span(
+            names.SPAN_MODEL_UPDATE, order=order, workers=executor.workers
+        ) as sp:
+            round_one = executor.run_batch(
+                updates, order, abort_check=self.abort_check
+            )
+            t1 = time.perf_counter()
+            analyses = executor.run_analyses(
+                round_one, abort_check=self.abort_check
+            )
+            t2 = time.perf_counter()
+            batch = executor.commit_batch(updates, order, round_one)
+            record_batch_metrics(self.model, batch)
+            sp.set("moves", len(batch.moves))
+            sp.set("affected_ecs", len(round_one.affected_ecs))
+        t3 = time.perf_counter()
+        timings.model_update = (t1 - t0) + (t3 - t2)
+        fault_point("model_update", batch)
+        self._abort_point()
+
+        started = time.perf_counter()
+        report = self.checker.check_ecs_with(round_one.affected_ecs, analyses)
+        timings.policy_check = (t2 - t1) + (time.perf_counter() - started)
+        fault_point("policy_check", report)
+        self._abort_point()
+        return batch, report
+
     # -- the commit protocol -------------------------------------------------------
 
     def _transact(
@@ -293,6 +361,8 @@ class RealConfig:
         everything back on any failure before re-raising it.  If the
         rollback itself fails (state too damaged to restore), degrade by
         rebuilding the whole verifier from the current snapshot."""
+        if self._executor is not None:
+            return self._transact_deferred(worker)
         if not self.transactional:
             return worker()
         captured = self._capture_state()
@@ -309,6 +379,38 @@ class RealConfig:
                     self.rebuild()
             raise
         if metrics.enabled:
+            metrics.counter(names.TXN_COMMITS).inc()
+        return delta
+
+    def _transact_deferred(
+        self, worker: Callable[[], VerificationDelta]
+    ) -> VerificationDelta:
+        """The parallel commit protocol: rounds one and two run on worker
+        replicas, so nothing is captured up front — the main process first
+        mutates at the deferred commit.  A failure before the mutation
+        flag flips needs no rollback at all; past it, the only safe rung
+        left is the rebuild (which also reseeds the pool).  Skipping the
+        eager capture is why ``workers=N`` wins even on one core: the
+        serial transactional path deep-copies the whole pipeline state
+        before every verification."""
+        metrics = get_metrics()
+        self._mutation_started = False
+        try:
+            delta = worker()
+        except BaseException:
+            if self._mutation_started:
+                # The replicas replayed this batch speculatively and the
+                # main model never committed it (or is about to be thrown
+                # away) — force a reseed before the next round.
+                if self._executor is not None:
+                    self._executor.invalidate()
+                if self.transactional:
+                    if metrics.enabled:
+                        metrics.counter(names.TXN_ROLLBACKS).inc()
+                    with span(names.SPAN_TXN_ROLLBACK, mode="rebuild"):
+                        self.rebuild()
+            raise
+        if self.transactional and metrics.enabled:
             metrics.counter(names.TXN_COMMITS).inc()
         return delta
 
@@ -354,6 +456,8 @@ class RealConfig:
                 lint_suppressions=options["lint_suppressions"],
                 transactional=options["transactional"],
                 audit_every=options["audit_every"],
+                workers=options.get("workers", 1),
+                parallel_backend=options.get("parallel_backend", "auto"),
             )
         return self.initial
 
@@ -389,13 +493,27 @@ class RealConfig:
 
     @classmethod
     def restore(
-        cls, path, monitor: Optional[ConvergenceMonitor] = None
+        cls,
+        path,
+        monitor: Optional[ConvergenceMonitor] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
     ) -> "RealConfig":
         """Rebuild a verifier from a checkpoint file without re-converging
-        the control plane or re-checking any policy."""
+        the control plane or re-checking any policy.  ``workers`` /
+        ``parallel_backend`` override the checkpointed pool settings (the
+        checkpoint itself never stores live pool state — only the option)."""
         from repro.resilience.checkpoint import read_checkpoint
 
-        return read_checkpoint(path, monitor=monitor)
+        verifier = read_checkpoint(path, monitor=monitor)
+        if workers is not None or parallel_backend is not None:
+            verifier.set_workers(
+                verifier._options.get("workers", 1)
+                if workers is None
+                else workers,
+                parallel_backend,
+            )
+        return verifier
 
     @classmethod
     def _from_checkpoint(
@@ -434,6 +552,16 @@ class RealConfig:
                 self.model, payload["checker"]
             )
         self.initial = payload["initial"]
+        self._mutation_started = False
+        self._executor = None
+        workers = options.get("workers", 1)
+        if workers > 1:
+            self._executor = ParallelExecutor(
+                self.model,
+                workers,
+                backend=options.get("parallel_backend", "auto"),
+            )
+            self._executor.start()
         return self
 
     def _record_metrics(self, delta: VerificationDelta) -> None:
@@ -471,13 +599,57 @@ class RealConfig:
         self._lint_result = result
         return result
 
+    # -- parallel pool lifecycle ---------------------------------------------------
+
+    def set_workers(
+        self, workers: int, parallel_backend: Optional[str] = None
+    ) -> None:
+        """Re-target the verifier at a different pool size at runtime
+        (``--workers`` over a restored checkpoint).  ``workers=1`` drops
+        back to the serial path."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        backend = parallel_backend or self._options.get(
+            "parallel_backend", "auto"
+        )
+        self._options["workers"] = workers
+        self._options["parallel_backend"] = backend
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if workers > 1:
+            self._executor = ParallelExecutor(
+                self.model, workers, backend=backend
+            )
+            self._executor.start()
+
+    def close(self) -> None:
+        """Release the worker pool (a no-op for serial verifiers).  Safe
+        to call repeatedly; the verifier stays usable — a later parallel
+        verification respawns and reseeds the pool."""
+        if self._executor is not None:
+            self._executor.shutdown()
+
+    def __enter__(self) -> "RealConfig":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
     # -- conveniences ------------------------------------------------------------------
 
     def add_policy(self, policy: Policy) -> PolicyStatus:
-        return self.checker.add_policy(policy)
+        status = self.checker.add_policy(policy)
+        if self._executor is not None:
+            # Policy match boxes reshape the EC partition outside any
+            # batch round — the replicas can only catch up by reseeding.
+            self._executor.invalidate()
+        return status
 
     def remove_policy(self, name: str) -> None:
         self.checker.remove_policy(name)
+        if self._executor is not None:
+            self._executor.invalidate()
 
     def policy_statuses(self) -> List[PolicyStatus]:
         return self.checker.statuses()

@@ -126,6 +126,25 @@ def order_updates(updates: List[RuleUpdate], order: str) -> List[RuleUpdate]:
     raise OrderError(f"unknown update order {order!r} (expected one of {ORDERS})")
 
 
+def record_batch_metrics(model: NetworkModel, result: BatchResult) -> None:
+    """Record one batch's model-update metrics.  Shared by the serial
+    :class:`BatchUpdater` and the parallel executor, which builds its
+    :class:`BatchResult` from merged shard output."""
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    metrics.counter(names.MODEL_RULES_INSERTED).inc(result.num_inserts)
+    metrics.counter(names.MODEL_RULES_DELETED).inc(result.num_deletes)
+    metrics.counter(names.MODEL_EC_MOVES).inc(result.num_moves)
+    metrics.counter(names.MODEL_EC_SPLITS).inc(result.ec_splits)
+    metrics.counter(names.MODEL_EC_MERGES).inc(result.ec_merges)
+    metrics.counter(names.MODEL_ECS_AFFECTED).inc(
+        len(result.affected_ec_ids(model))
+    )
+    metrics.counter(names.MODEL_PORTS_TOUCHED).inc(result.ports_touched)
+    metrics.gauge(names.MODEL_ECS).set(model.num_ecs())
+
+
 class BatchUpdater:
     """Applies rule-update batches to a :class:`NetworkModel`."""
 
@@ -155,23 +174,8 @@ class BatchUpdater:
             sp.set("ec_splits", result.ec_splits)
             sp.set("ec_merges", result.ec_merges)
             sp.set("ports_touched", result.ports_touched)
-        self._record_metrics(result)
+        record_batch_metrics(self.model, result)
         return result
-
-    def _record_metrics(self, result: BatchResult) -> None:
-        metrics = get_metrics()
-        if not metrics.enabled:
-            return
-        metrics.counter(names.MODEL_RULES_INSERTED).inc(result.num_inserts)
-        metrics.counter(names.MODEL_RULES_DELETED).inc(result.num_deletes)
-        metrics.counter(names.MODEL_EC_MOVES).inc(result.num_moves)
-        metrics.counter(names.MODEL_EC_SPLITS).inc(result.ec_splits)
-        metrics.counter(names.MODEL_EC_MERGES).inc(result.ec_merges)
-        metrics.counter(names.MODEL_ECS_AFFECTED).inc(
-            len(result.affected_ec_ids(self.model))
-        )
-        metrics.counter(names.MODEL_PORTS_TOUCHED).inc(result.ports_touched)
-        metrics.gauge(names.MODEL_ECS).set(self.model.num_ecs())
 
     def _apply_one(self, update: RuleUpdate, result: BatchResult) -> None:
         fault_point("batch.apply", update)

@@ -116,6 +116,12 @@ class ECManager:
     def add_listener(self, listener: Listener) -> None:
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: Listener) -> None:
+        """Detach a listener added with :meth:`add_listener` (used by the
+        staged batch replay, whose split-propagation listener lives only
+        for the duration of one batch)."""
+        self._listeners.remove(listener)
+
     def _notify(self, event: EcEvent) -> None:
         for listener in self._listeners:
             listener(event)

@@ -18,7 +18,7 @@ is what the incremental policy checker consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.dataplane.ec import ECManager, EcId, EcMerge, EcSplit
 from repro.dataplane.ports import (
@@ -208,6 +208,16 @@ class NetworkModel:
         raise ModelError(f"unknown rule type: {update.rule!r}")
 
     def insert_forwarding(self, rule: ForwardingRule) -> List[EcMove]:
+        affected = self.stage_insert_forwarding(rule)
+        return self._reclassify(rule.node, affected)
+
+    def stage_insert_forwarding(self, rule: ForwardingRule) -> Set[EcId]:
+        """Phase A of :meth:`insert_forwarding`: register the match box and
+        edit the FIB table, returning the affected ECs *without*
+        reclassifying them.  The EC-manager operation sequence (and every
+        error path) is identical to the unstaged method; the staged batch
+        replay (:mod:`repro.parallel.plan`) defers port recomputation to a
+        single phase-B pass over the final tables."""
         state = self.device(rule.node)
         box = rule.match_box()
         affected = self.ecs.register(box)
@@ -221,9 +231,21 @@ class NetworkModel:
                 self.ecs.unregister(box)
                 raise ModelError(f"duplicate forwarding rule: {rule}")
             entry[1][rule.out_interface] = state.next_seq
-        return self._reclassify(rule.node, affected)
+        return affected
 
     def delete_forwarding(self, rule: ForwardingRule) -> List[EcMove]:
+        box, affected = self.stage_delete_forwarding(rule)
+        moves = self._reclassify(rule.node, affected)
+        self.ecs.unregister(box)  # may trigger merges
+        return moves
+
+    def stage_delete_forwarding(
+        self, rule: ForwardingRule
+    ) -> Tuple[HeaderBox, Set[EcId]]:
+        """Phase A of :meth:`delete_forwarding`: edit the FIB table and
+        return ``(match box, affected ECs)``.  The caller must
+        ``ecs.unregister`` the box after consuming the affected set — the
+        box keeps the partition stable while ports are recomputed."""
         state = self.device(rule.node)
         entry = state.fib.get(rule.prefix)
         if entry is None or rule.out_interface not in entry[1]:
@@ -233,10 +255,7 @@ class NetworkModel:
         if not interfaces:
             del state.fib[rule.prefix]
             del state.by_box[box]
-        affected = self.ecs.ecs_in(box)
-        moves = self._reclassify(rule.node, affected)
-        self.ecs.unregister(box)  # may trigger merges
-        return moves
+        return box, self.ecs.ecs_in(box)
 
     def modify_forwarding(
         self,
@@ -250,6 +269,24 @@ class NetworkModel:
         once — each EC moves directly from its old port to its final port
         (the 'grouped' batch order; the paper's optimal-scheduling future
         work)."""
+        box, affected, pending = self.stage_modify_forwarding(
+            node, prefix, inserts, deletes
+        )
+        moves = self._reclassify(node, affected)
+        for _ in range(pending):
+            self.ecs.unregister(box)
+        return moves
+
+    def stage_modify_forwarding(
+        self,
+        node: str,
+        prefix: Prefix,
+        inserts: List[str],
+        deletes: List[str],
+    ) -> Tuple[HeaderBox, Set[EcId], int]:
+        """Phase A of :meth:`modify_forwarding`: returns ``(match box,
+        affected ECs, pending unregisters)``.  The caller must unregister
+        the box ``pending`` times after consuming the affected set."""
         state = self.device(node)
         box = HeaderBox.from_dst_prefix(prefix)
         for _ in inserts:
@@ -285,10 +322,7 @@ class NetworkModel:
                 del state.fib[prefix]
                 state.by_box.pop(box, None)
         affected = self.ecs.ecs_in(box) if inserts or deletes else set()
-        moves = self._reclassify(node, affected)
-        for _ in deletes:
-            self.ecs.unregister(box)
-        return moves
+        return box, affected, len(deletes)
 
     def _reclassify(self, node: str, affected: Set[EcId]) -> List[EcMove]:
         state = self.device(node)
@@ -299,6 +333,31 @@ class NetworkModel:
             if old_port != new_port:
                 moves.append(EcMove(node, ec, old_port, new_port))
         return moves
+
+    def reclassify_net(self, node: str, affected: Iterable[EcId]) -> List[EcMove]:
+        """Phase B of a staged batch: recompute the effective port of every
+        affected EC that is still alive, against the *final* tables, in
+        sorted order.  Emits only net moves (old port != final port); an
+        EC's effective port is a function of the final FIB and containment
+        index alone, so the result is independent of the order the batch's
+        updates were staged in."""
+        state = self.device(node)
+        moves: List[EcMove] = []
+        for ec in sorted(set(affected)):
+            if not self.ecs.exists(ec):
+                continue
+            new_port = self._effective_port(state, ec)
+            old_port = state.ports.move(ec, new_port)
+            if old_port != new_port:
+                moves.append(EcMove(node, ec, old_port, new_port))
+        return moves
+
+    def apply_moves(self, moves: Iterable[EcMove]) -> None:
+        """Install externally computed net moves (e.g. another shard's
+        phase-B output) into this model's port maps.  Idempotent: moves
+        already applied locally are no-ops."""
+        for move in moves:
+            self.device(move.device).ports.move(move.ec, move.new_port)
 
     def _effective_port(self, state: _DeviceState, ec: EcId) -> Port:
         """Longest-prefix-match over the device's FIB.

@@ -1,0 +1,25 @@
+"""repro.parallel: sharded worker-pool execution for the hot path.
+
+See :mod:`repro.parallel.plan` for the two-phase batch semantics and
+:mod:`repro.parallel.executor` for the round protocol and the deferred
+commit.  Wire-up lives in :class:`repro.core.realconfig.RealConfig`
+(``workers=N``) and the global ``--workers`` CLI flag; ``workers=1``
+never touches this package.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelExecutor,
+    PoolDriftError,
+    RoundOne,
+    resolve_backend,
+)
+from repro.parallel.plan import (
+    BatchPlan,
+    forwarding_devices,
+    partition_checksum,
+    stage_batch,
+)
+from repro.parallel.pool import ForkPool, InlinePool, PoolError, fork_available
+from repro.parallel.shard import assign_shards
+from repro.parallel.worker import Replica, StaleReplicaError

@@ -1,0 +1,320 @@
+"""The parallel executor: epoch-stamped rounds against the worker pool.
+
+One verification with ``workers=N`` runs three steps:
+
+1. **Round one** (:meth:`ParallelExecutor.run_batch`): every worker
+   replays phase A of the batch on its replica (keeping all replicas'
+   partitions in lockstep), then computes phase-B net moves for its
+   device shard only.  Shard checksums are compared before any result is
+   trusted; the merged move list is sorted by (device, EC) so it is
+   independent of arrival order and shard assignment.
+2. **Round two** (:meth:`ParallelExecutor.run_analyses`): workers apply
+   the merged moves (syncing the other shards' ports into their
+   replicas) and analyze their EC shard of the affected set.
+3. **Commit** (:meth:`ParallelExecutor.commit_batch`): only now does the
+   main process mutate — it replays the same phase A, cross-checks its
+   checksum against the pool's, and installs the merged moves.
+
+The deferred commit is what makes the transaction story cheap: a failure
+or abort in rounds one/two tears down the in-flight pool (workers are
+killed mid-shard) while the main process state is untouched; only a
+failure after commit begins needs the rebuild fallback.  It is also why
+``workers=N`` beats serial even on one core — the serial transactional
+path eagerly deep-copies the whole pipeline state every verification,
+while this path captures nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dataplane.batch import BatchResult
+from repro.dataplane.ec import EcId
+from repro.dataplane.model import EcMove, FilterChange, NetworkModel
+from repro.dataplane.rule import RuleUpdate
+from repro.parallel.plan import forwarding_devices, stage_batch
+from repro.parallel.pool import ForkPool, InlinePool, PoolError, fork_available
+from repro.parallel.shard import assign_shards
+from repro.parallel.worker import MSG_ANALYZE, MSG_PLAN, MSG_SEED
+from repro.policy.paths import EcAnalysis
+from repro.telemetry import get_metrics, names, span
+
+BACKENDS = ("auto", "fork", "inline")
+
+
+class PoolDriftError(PoolError):
+    """Replica state diverged from the main process (checksum mismatch) —
+    the round's results cannot be trusted."""
+
+
+@dataclass
+class RoundOne:
+    """Merged output of the model-update round."""
+
+    moves: List[EcMove] = field(default_factory=list)
+    checksum: int = 0
+    num_inserts: int = 0
+    num_deletes: int = 0
+    filter_changes: List[FilterChange] = field(default_factory=list)
+    ec_splits: int = 0
+    ec_merges: int = 0
+    #: ECs the policy round must re-analyze: movers plus surviving
+    #: filter-change ECs (all alive at end of replay, by construction).
+    affected_ecs: List[EcId] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+def resolve_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown parallel backend {backend!r} (one of {BACKENDS})")
+    if backend == "auto":
+        return "fork" if fork_available() else "inline"
+    return backend
+
+
+class ParallelExecutor:
+    """Owns the pool and drives the per-verification rounds."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        workers: int,
+        backend: str = "auto",
+        shard_seed: int = 0,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("ParallelExecutor needs workers >= 2")
+        self.model = model
+        self.workers = workers
+        self.backend = resolve_backend(backend)
+        #: Permutes shard assignment; the merged result is invariant to it
+        #: (the equivalence tests drive this, production leaves it 0).
+        self.shard_seed = shard_seed
+        self._pool = None
+        self._dirty = True
+        self._epoch = 0
+
+    # -- pool lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn and seed the pool eagerly.  Called from RealConfig's
+        constructor so forking happens before any caller threads exist
+        (the serve daemon starts its prefetch thread after building the
+        verifier)."""
+        self._ensure_pool()
+
+    def invalidate(self) -> None:
+        """Mark the replicas stale (the main model changed outside a
+        batch round — policy registration, restore, recovery).  The next
+        round reseeds before trusting them."""
+        self._dirty = True
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+        self._dirty = True
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(names.PARALLEL_POOL_UP).set(0)
+
+    def _teardown(self) -> None:
+        """Kill in-flight shard computation and force a reseed."""
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(names.PARALLEL_TEARDOWNS).inc()
+            metrics.gauge(names.PARALLEL_POOL_UP).set(0)
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        self._dirty = True
+
+    def _make_pool(self):
+        if self.backend == "fork":
+            return ForkPool(self.workers)
+        return InlinePool(self.workers)
+
+    def _ensure_pool(self) -> None:
+        metrics = get_metrics()
+        if self._pool is not None and not self._pool.alive:
+            self._teardown()
+        if self._pool is None:
+            self._pool = self._make_pool()
+            self._pool.start()
+            self._dirty = True
+        if self._dirty:
+            with span(
+                names.SPAN_PARALLEL_SEED,
+                workers=self.workers,
+                backend=self.backend,
+            ):
+                payload = {
+                    "topology": self.model.topology,
+                    "merge_ecs": self.model.ecs.merge_on_unregister,
+                    "mode": self.model.mode,
+                    "state": self.model.capture_state(),
+                }
+                self._pool.broadcast((MSG_SEED, self._epoch, payload))
+                replies = self._gather()
+            expected = {reply["checksum"] for reply in replies}
+            if len(expected) != 1:
+                raise PoolDriftError(
+                    f"freshly seeded replicas disagree: {sorted(expected)}"
+                )
+            self._dirty = False
+            if metrics.enabled:
+                metrics.counter(names.PARALLEL_RESEEDS).inc()
+                metrics.gauge(names.PARALLEL_WORKERS).set(self.workers)
+                metrics.gauge(names.PARALLEL_POOL_UP).set(1)
+
+    def _gather(
+        self, abort_check: Optional[Callable[[], None]] = None
+    ) -> List[Dict]:
+        """Gather one round; any failure (worker error, death, timeout,
+        abort) tears the pool down before propagating — in-flight shards
+        must never outlive the round that launched them."""
+        try:
+            return self._pool.gather(self._epoch, abort_check=abort_check)
+        except BaseException:
+            self._teardown()
+            raise
+
+    # -- round one: sharded model update -----------------------------------------
+
+    def run_batch(
+        self,
+        updates: Sequence[RuleUpdate],
+        order: str,
+        abort_check: Optional[Callable[[], None]] = None,
+    ) -> RoundOne:
+        started = time.perf_counter()
+        metrics = get_metrics()
+        self._ensure_pool()
+        self._epoch += 1
+        devices = forwarding_devices(updates)
+        shards = assign_shards(devices, self.workers, seed=self.shard_seed)
+        update_list = list(updates)
+        with span(
+            names.SPAN_PARALLEL_SHARD,
+            phase="model",
+            workers=self.workers,
+            devices=len(devices),
+        ) as sp:
+            for idx in range(self.workers):
+                self._pool.send(
+                    idx,
+                    (
+                        MSG_PLAN,
+                        self._epoch,
+                        update_list,
+                        order,
+                        shards[idx],
+                        idx == 0,  # one worker reports the batch extras
+                    ),
+                )
+            replies = self._gather(abort_check)
+            checksums = {reply["checksum"] for reply in replies}
+            if len(checksums) != 1:
+                self._teardown()
+                raise PoolDriftError(
+                    f"shard replay diverged across workers: {sorted(checksums)}"
+                )
+            merged: List[EcMove] = []
+            for reply in replies:
+                merged.extend(reply["moves"])
+            # Canonical order: independent of shard assignment and reply
+            # arrival, so downstream consumers see the serial net effect.
+            merged.sort(key=lambda m: (m.device, m.ec))
+            extras = replies[0]["extras"]
+            affected = sorted(
+                {move.ec for move in merged} | set(extras["alive_filter_ecs"])
+            )
+            result = RoundOne(
+                moves=merged,
+                checksum=checksums.pop(),
+                num_inserts=extras["num_inserts"],
+                num_deletes=extras["num_deletes"],
+                filter_changes=extras["filter_changes"],
+                ec_splits=extras["ec_splits"],
+                ec_merges=extras["ec_merges"],
+                affected_ecs=affected,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            sp.set("moves", len(merged))
+            sp.set("affected_ecs", len(affected))
+        if metrics.enabled:
+            metrics.counter(names.PARALLEL_EPOCHS).inc()
+            metrics.counter(names.PARALLEL_SHARD_MOVES).inc(len(merged))
+        return result
+
+    # -- round two: parallel policy re-check --------------------------------------
+
+    def run_analyses(
+        self,
+        round_one: RoundOne,
+        abort_check: Optional[Callable[[], None]] = None,
+    ) -> Dict[EcId, EcAnalysis]:
+        metrics = get_metrics()
+        shards = assign_shards(
+            round_one.affected_ecs, self.workers, seed=self.shard_seed
+        )
+        with span(
+            names.SPAN_PARALLEL_SHARD,
+            phase="policy",
+            workers=self.workers,
+            ecs=len(round_one.affected_ecs),
+        ):
+            for idx in range(self.workers):
+                self._pool.send(
+                    idx, (MSG_ANALYZE, self._epoch, round_one.moves, shards[idx])
+                )
+            replies = self._gather(abort_check)
+        analyses: Dict[EcId, EcAnalysis] = {}
+        for reply in replies:
+            analyses.update(reply["analyses"])
+        if metrics.enabled:
+            metrics.counter(names.PARALLEL_REMOTE_ANALYSES).inc(len(analyses))
+        return analyses
+
+    # -- commit: deferred main-process mutation ------------------------------------
+
+    def commit_batch(
+        self,
+        updates: Sequence[RuleUpdate],
+        order: str,
+        round_one: RoundOne,
+    ) -> BatchResult:
+        """First mutation of the main model: replay phase A (the EC events
+        propagate to the checker's listener exactly as in serial
+        application), cross-check the partition against the pool, and
+        install the merged net moves."""
+        started = time.perf_counter()
+        with span(
+            names.SPAN_PARALLEL_MERGE,
+            moves=len(round_one.moves),
+            workers=self.workers,
+        ):
+            plan = stage_batch(self.model, updates, order)
+            if plan.checksum != round_one.checksum:
+                # Nondeterminism between replica and main replay: neither
+                # side can be trusted now.  The transaction wrapper
+                # rebuilds the verifier; the pool reseeds from it.
+                self._teardown()
+                raise PoolDriftError(
+                    "main-process replay diverged from the worker pool "
+                    f"({plan.checksum} != {round_one.checksum})"
+                )
+            self.model.apply_moves(round_one.moves)
+        return BatchResult(
+            order=order,
+            num_inserts=plan.num_inserts,
+            num_deletes=plan.num_deletes,
+            moves=list(round_one.moves),
+            filter_changes=plan.filter_changes,
+            elapsed_seconds=round_one.elapsed_seconds
+            + (time.perf_counter() - started),
+            ec_splits=plan.ec_splits,
+            ec_merges=plan.ec_merges,
+        )

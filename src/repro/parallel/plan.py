@@ -1,0 +1,192 @@
+"""Two-phase ("net effect") staged application of a rule-update batch.
+
+Serial batch application interleaves EC bookkeeping with per-update port
+reclassification: every update registers/unregisters its match box and
+then recomputes the port of each EC the box touches, so an EC crossed by
+n updates is reclassified n times (Table 3's transient moves).  The
+parallel execution layer splits that into two phases:
+
+- **Phase A** (:func:`stage_batch`) replays the batch's *exact* serial
+  EC-manager operation sequence — register/unregister plus FIB/ACL table
+  edits — while skipping reclassification entirely, and records which
+  ECs were affected on which device (propagated through splits: a child
+  born of an affected parent is affected too, and merge losers drop out).
+- **Phase B** (:meth:`NetworkModel.reclassify_net`) computes each
+  affected (device, EC)'s final effective port once, against the final
+  tables.
+
+Why the result is bit-identical to serial application:
+
+- The EC manager's state depends only on the register/unregister
+  sequence — reclassification never touches it — so phase A yields the
+  same partition, the same EC ids, and the same split/merge counters as
+  the serial batch.
+- An EC's effective port on a device is a pure function of the device's
+  final FIB and the EC's final containment set; any rule change that can
+  alter an EC's longest-prefix match registers (or already contains) a
+  box containing that EC, so the recorded affected set covers every EC
+  whose port can differ.  Phase B therefore lands every affected EC on
+  exactly the port serial application leaves it on, and unaffected ECs
+  were never moved by either strategy.
+
+Filter (ACL) updates are order-sensitive in their *reported* before/after
+decisions, so phase A applies them with full serial semantics (the
+decision diff is computed per update, mid-sequence, exactly as
+:class:`~repro.dataplane.batch.BatchUpdater` does).
+
+Device independence makes phase B shardable: reclassifying device d reads
+d's tables, the containment index, and d's port map only — so disjoint
+device shards commute, which is what the worker pool exploits.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.dataplane.batch import ORDERS, OrderError, order_updates
+from repro.dataplane.ec import EcId, EcMerge, EcSplit
+from repro.dataplane.model import FilterChange, NetworkModel
+from repro.dataplane.rule import FilterRule, ForwardingRule, RuleUpdate
+
+
+@dataclass
+class BatchPlan:
+    """What phase A of one staged batch did to a model."""
+
+    order: str
+    num_inserts: int = 0
+    num_deletes: int = 0
+    #: device -> ECs whose port may have changed there (split-propagated,
+    #: merge losers removed; may still contain dead ids — phase B filters).
+    affected: Dict[str, Set[EcId]] = field(default_factory=dict)
+    filter_changes: List[FilterChange] = field(default_factory=list)
+    ec_splits: int = 0
+    ec_merges: int = 0
+    #: Partition checksum after replay — compared across replicas and the
+    #: main process to detect drift before any result is trusted.
+    checksum: int = 0
+
+    def alive_filter_ecs(self, model: NetworkModel) -> List[EcId]:
+        """Filter-change ECs that survived the whole batch (the policy
+        stage re-checks these alongside the moved ECs)."""
+        return sorted(
+            {c.ec for c in self.filter_changes if model.ecs.exists(c.ec)}
+        )
+
+
+def forwarding_devices(updates: Sequence[RuleUpdate]) -> List[str]:
+    """Devices whose forwarding tables a batch edits — the only devices
+    phase B must visit, known *before* any replay (splits only copy
+    ports on other devices; they never change them)."""
+    return sorted(
+        {u.rule.node for u in updates if isinstance(u.rule, ForwardingRule)}
+    )
+
+
+def partition_checksum(model: NetworkModel) -> int:
+    """Cheap fingerprint of the EC partition's identity: the live EC ids
+    plus the cumulative split/merge counters.  Identical op sequences give
+    identical checksums; it is intentionally insensitive to port state
+    (ports are synchronized separately, by construction)."""
+    ids = tuple(model.ecs.ec_ids())
+    return zlib.crc32(
+        repr((ids, model.ecs.splits, model.ecs.merges)).encode("ascii")
+    )
+
+
+def stage_batch(
+    model: NetworkModel, updates: Sequence[RuleUpdate], order: str
+) -> BatchPlan:
+    """Phase A: replay ``updates`` in the given order against ``model``
+    without reclassifying ports.  Used identically by every pool worker
+    (on its replica) and by the main process at commit time."""
+    if order not in ORDERS:
+        raise OrderError(f"unknown update order {order!r}")
+    plan = BatchPlan(order=order)
+    splits_before = model.ecs.splits
+    merges_before = model.ecs.merges
+
+    def propagate(event) -> None:
+        # Affectedness follows the partition: a child EC inherits its
+        # parent's pending reclassifications (serial application would
+        # have moved the parent *before* the split, and the child would
+        # have inherited the already-updated port); merge losers no
+        # longer exist to reclassify.
+        if isinstance(event, EcSplit):
+            for bucket in plan.affected.values():
+                if event.parent in bucket:
+                    bucket.add(event.child)
+        elif isinstance(event, EcMerge):
+            for bucket in plan.affected.values():
+                bucket.discard(event.loser)
+
+    model.ecs.add_listener(propagate)
+    try:
+        if order == "grouped":
+            _stage_grouped(model, list(updates), plan)
+        else:
+            for update in order_updates(list(updates), order):
+                _stage_one(model, update, plan)
+    finally:
+        model.ecs.remove_listener(propagate)
+    plan.ec_splits = model.ecs.splits - splits_before
+    plan.ec_merges = model.ecs.merges - merges_before
+    plan.checksum = partition_checksum(model)
+    return plan
+
+
+def _stage_one(model: NetworkModel, update: RuleUpdate, plan: BatchPlan) -> None:
+    rule = update.rule
+    if isinstance(rule, ForwardingRule):
+        bucket = plan.affected.setdefault(rule.node, set())
+        if update.is_insert():
+            plan.num_inserts += 1
+            bucket.update(model.stage_insert_forwarding(rule))
+        else:
+            plan.num_deletes += 1
+            box, affected = model.stage_delete_forwarding(rule)
+            bucket.update(affected)
+            model.ecs.unregister(box)  # may trigger merges
+        return
+    assert isinstance(rule, FilterRule)
+    # Filter decisions are diffed mid-sequence (serial semantics): the
+    # before/after comparison needs the boxes registered *at this point*
+    # of the replay, not the final partition.
+    if update.is_insert():
+        plan.num_inserts += 1
+        _, changes = model.insert_filter(rule)
+    else:
+        plan.num_deletes += 1
+        _, changes = model.delete_filter(rule)
+    plan.filter_changes.extend(changes)
+
+
+def _stage_grouped(
+    model: NetworkModel, updates: List[RuleUpdate], plan: BatchPlan
+) -> None:
+    groups: Dict[Tuple, Tuple[List[str], List[str]]] = {}
+    filters: List[RuleUpdate] = []
+    for update in updates:
+        if isinstance(update.rule, ForwardingRule):
+            key = (update.rule.node, update.rule.prefix)
+            groups.setdefault(key, ([], []))
+            if update.is_insert():
+                groups[key][0].append(update.rule.out_interface)
+                plan.num_inserts += 1
+            else:
+                groups[key][1].append(update.rule.out_interface)
+                plan.num_deletes += 1
+        else:
+            filters.append(update)
+    for (node, prefix) in sorted(groups, key=lambda k: (k[0], k[1])):
+        inserts, deletes = groups[(node, prefix)]
+        box, affected, pending = model.stage_modify_forwarding(
+            node, prefix, inserts, deletes
+        )
+        plan.affected.setdefault(node, set()).update(affected)
+        for _ in range(pending):
+            model.ecs.unregister(box)
+    for update in order_updates(filters, "grouped"):
+        _stage_one(model, update, plan)

@@ -1,0 +1,210 @@
+"""Worker pools: forked processes or an in-process inline stand-in.
+
+:class:`ForkPool` spawns K daemon processes over per-worker queue pairs.
+Per-worker inboxes (instead of one shared task queue) are load-bearing:
+every replica must see *every* epoch to stay in lockstep, so rounds are
+broadcast — a shared queue would let one worker consume another's replay.
+Gathers poll with a short timeout so the caller's ``abort_check`` (the
+serve daemon's deadline) fires between ticks, and a dead worker process
+is detected instead of hanging forever.
+
+:class:`InlinePool` implements the identical protocol synchronously with
+in-process :class:`~repro.parallel.worker.Replica` instances — no fork,
+no pickling.  It is the backend for platforms without ``fork`` and for
+the Hypothesis equivalence property (hundreds of examples, where process
+spawn would dominate), and exercises the same replay/shard/merge logic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.worker import (
+    MSG_STOP,
+    REPLY_OK,
+    Replica,
+    worker_main,
+)
+
+#: Default time budget for one gather (one round across all workers).
+GATHER_TIMEOUT_SECONDS = 120.0
+#: Poll interval between abort checks while waiting on a worker.
+POLL_SECONDS = 0.05
+
+
+class PoolError(RuntimeError):
+    """Raised when the pool itself fails (dead worker, timeout, stale
+    reply) — as opposed to a worker *forwarding* a model/verification
+    error, which is re-raised as its original type."""
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ForkPool:
+    """K forked worker processes over per-worker queue pairs."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._ctx = multiprocessing.get_context(
+            "fork" if fork_available() else "spawn"
+        )
+        self._procs: List[Any] = []
+        self._inboxes: List[Any] = []
+        self._outboxes: List[Any] = []
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._procs) and all(p.is_alive() for p in self._procs)
+
+    def start(self) -> None:
+        if self._procs:
+            raise PoolError("pool already started")
+        for _ in range(self.size):
+            inbox = self._ctx.Queue()
+            outbox = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=worker_main, args=(inbox, outbox), daemon=True
+            )
+            proc.start()
+            self._procs.append(proc)
+            self._inboxes.append(inbox)
+            self._outboxes.append(outbox)
+
+    def send(self, idx: int, message: Tuple) -> None:
+        self._inboxes[idx].put(message)
+
+    def broadcast(self, message: Tuple) -> None:
+        for inbox in self._inboxes:
+            inbox.put(message)
+
+    def gather(
+        self,
+        epoch: int,
+        abort_check: Optional[Callable[[], None]] = None,
+        timeout: float = GATHER_TIMEOUT_SECONDS,
+    ) -> List[Dict[str, Any]]:
+        """Collect one reply per worker, in worker order.  Worker errors
+        re-raise as their original exception type; protocol trouble (death,
+        timeout, stale epoch) raises :class:`PoolError`.  ``abort_check``
+        runs every poll tick and may raise to cancel the round."""
+        replies: List[Dict[str, Any]] = []
+        deadline = time.monotonic() + timeout
+        for idx in range(self.size):
+            while True:
+                if abort_check is not None:
+                    abort_check()
+                try:
+                    reply = self._outboxes[idx].get(timeout=POLL_SECONDS)
+                    break
+                except queue_module.Empty:
+                    if not self._procs[idx].is_alive():
+                        raise PoolError(f"pool worker {idx} died") from None
+                    if time.monotonic() > deadline:
+                        raise PoolError(
+                            f"pool worker {idx} timed out after {timeout:.0f}s"
+                        ) from None
+            tag, reply_epoch, payload = reply[0], reply[1], reply[2]
+            if reply_epoch != epoch:
+                raise PoolError(
+                    f"pool worker {idx} answered epoch {reply_epoch}, "
+                    f"expected {epoch}"
+                )
+            if tag != REPLY_OK:
+                error: BaseException = payload
+                setattr(error, "worker_traceback", reply[3])
+                raise error
+            replies.append(payload)
+        return replies
+
+    def stop(self) -> None:
+        """Graceful shutdown; falls back to terminate for stragglers."""
+        for inbox in self._inboxes:
+            try:
+                inbox.put((MSG_STOP,))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+        self.terminate()
+
+    def terminate(self) -> None:
+        """Kill every worker (tears down in-flight shard computation)."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in self._inboxes + self._outboxes:
+            # Cancel feeder threads so interpreter shutdown never blocks
+            # on a queue whose reader is gone.
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._inboxes = []
+        self._outboxes = []
+
+
+class InlinePool:
+    """The pool protocol executed synchronously in-process."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._replicas: List[Replica] = []
+        self._pending: List[Optional[Tuple]] = []
+
+    @property
+    def started(self) -> bool:
+        return bool(self._replicas)
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._replicas)
+
+    def start(self) -> None:
+        self._replicas = [Replica() for _ in range(self.size)]
+        self._pending = [None] * self.size
+
+    def send(self, idx: int, message: Tuple) -> None:
+        self._pending[idx] = message
+
+    def broadcast(self, message: Tuple) -> None:
+        for idx in range(self.size):
+            self._pending[idx] = message
+
+    def gather(
+        self,
+        epoch: int,
+        abort_check: Optional[Callable[[], None]] = None,
+        timeout: float = GATHER_TIMEOUT_SECONDS,
+    ) -> List[Dict[str, Any]]:
+        replies: List[Dict[str, Any]] = []
+        for idx in range(self.size):
+            if abort_check is not None:
+                abort_check()
+            message = self._pending[idx]
+            self._pending[idx] = None
+            if message is None:
+                raise PoolError(f"inline worker {idx} has no pending message")
+            replies.append(self._replicas[idx].handle(message))
+        return replies
+
+    def stop(self) -> None:
+        self._replicas = []
+        self._pending = []
+
+    terminate = stop

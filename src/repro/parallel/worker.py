@@ -1,0 +1,145 @@
+"""The worker side of the pool protocol.
+
+Every worker holds a :class:`Replica` — a full :class:`NetworkModel` copy
+seeded from the main process and kept in lockstep by replaying *every*
+epoch's staged batch (phase A is cheap; it is the per-update
+reclassification that dominates serial batches).  Messages are
+epoch-stamped tuples; a replica that observes a gap refuses to answer
+(:class:`StaleReplicaError`) rather than return results computed against
+drifted state, and the executor responds by reseeding.
+
+The same :class:`Replica` class backs both the forked worker processes
+(:func:`worker_main`) and the in-process inline backend, so property
+tests exercise the identical replay/shard/merge code paths without
+process overhead.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dataplane.model import EcMove, NetworkModel
+from repro.parallel.plan import partition_checksum, stage_batch
+from repro.policy.paths import analyze_ec
+
+# Message kinds (main -> worker).  Every message after the kind starts
+# with the epoch it belongs to.
+MSG_SEED = "seed"
+MSG_PLAN = "plan"
+MSG_ANALYZE = "analyze"
+MSG_STOP = "stop"
+
+# Reply kinds (worker -> main).
+REPLY_OK = "ok"
+REPLY_ERROR = "error"
+
+
+class StaleReplicaError(RuntimeError):
+    """The replica's epoch does not line up with the message's — its state
+    can no longer be trusted and the pool must reseed."""
+
+
+class Replica:
+    """Worker-side model replica plus the message handlers."""
+
+    def __init__(self) -> None:
+        self.model: Optional[NetworkModel] = None
+        self.epoch = -1
+
+    def handle(self, message: Tuple) -> Dict[str, Any]:
+        kind = message[0]
+        if kind == MSG_SEED:
+            return self._handle_seed(message)
+        if kind == MSG_PLAN:
+            return self._handle_plan(message)
+        if kind == MSG_ANALYZE:
+            return self._handle_analyze(message)
+        raise ValueError(f"unknown pool message kind {kind!r}")
+
+    def _handle_seed(self, message: Tuple) -> Dict[str, Any]:
+        _, epoch, payload = message
+        model = NetworkModel(
+            payload["topology"],
+            merge_on_unregister=payload["merge_ecs"],
+            mode=payload["mode"],
+        )
+        model.restore_state(payload["state"])
+        self.model = model
+        self.epoch = epoch
+        return {"checksum": partition_checksum(model)}
+
+    def _handle_plan(self, message: Tuple) -> Dict[str, Any]:
+        _, epoch, updates, order, devices, want_extras = message
+        if self.model is None:
+            raise StaleReplicaError("replica was never seeded")
+        if epoch != self.epoch + 1:
+            raise StaleReplicaError(
+                f"replica at epoch {self.epoch} received plan for {epoch}"
+            )
+        self.epoch = epoch
+        plan = stage_batch(self.model, updates, order)
+        moves: List[EcMove] = []
+        for node in devices:
+            moves.extend(
+                self.model.reclassify_net(node, plan.affected.get(node, ()))
+            )
+        reply: Dict[str, Any] = {"moves": moves, "checksum": plan.checksum}
+        if want_extras:
+            reply["extras"] = {
+                "num_inserts": plan.num_inserts,
+                "num_deletes": plan.num_deletes,
+                "filter_changes": plan.filter_changes,
+                "ec_splits": plan.ec_splits,
+                "ec_merges": plan.ec_merges,
+                "alive_filter_ecs": plan.alive_filter_ecs(self.model),
+            }
+        return reply
+
+    def _handle_analyze(self, message: Tuple) -> Dict[str, Any]:
+        _, epoch, moves, ecs = message
+        if self.model is None:
+            raise StaleReplicaError("replica was never seeded")
+        if epoch != self.epoch:
+            raise StaleReplicaError(
+                f"replica at epoch {self.epoch} received analyze for {epoch}"
+            )
+        # Sync the other shards' net moves first (idempotent for our own),
+        # so every replica's port maps equal the post-commit main model.
+        self.model.apply_moves(moves)
+        analyses = {
+            ec: analyze_ec(self.model, ec)
+            for ec in ecs
+            if self.model.ecs.exists(ec)
+        }
+        return {"analyses": analyses}
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """Exceptions cross the result queue by pickle; anything that does not
+    survive the round trip is downgraded to a RuntimeError carrying its
+    repr (the traceback string travels alongside either way)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def worker_main(inbox, outbox) -> None:
+    """Entry point of one pool process: serve messages until MSG_STOP."""
+    replica = Replica()
+    while True:
+        message = inbox.get()
+        if message[0] == MSG_STOP:
+            break
+        epoch = message[1]
+        try:
+            payload = replica.handle(message)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the main process
+            outbox.put(
+                (REPLY_ERROR, epoch, _picklable(exc), traceback.format_exc())
+            )
+        else:
+            outbox.put((REPLY_OK, epoch, payload))

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.dataplane.batch import BatchResult
 from repro.dataplane.ec import EcId, EcMerge, EcSplit
@@ -278,9 +278,25 @@ class IncrementalChecker:
     def check_ecs(self, ecs: Iterable[EcId]) -> CheckReport:
         return self._check_ecs(sorted(set(ecs)))
 
-    def _check_ecs(self, ecs: List[EcId]) -> CheckReport:
+    def check_ecs_with(
+        self,
+        ecs: Iterable[EcId],
+        analyses: Dict[EcId, EcAnalysis],
+    ) -> CheckReport:
+        """Like :meth:`check_ecs`, but consume pre-computed per-EC analyses
+        (the parallel worker pool's round-two output) instead of analyzing
+        locally.  ECs missing from the mapping fall back to a local
+        :func:`analyze_ec`, so an over-approximated affected set stays
+        correct."""
+        return self._check_ecs(sorted(set(ecs)), analyses)
+
+    def _check_ecs(
+        self,
+        ecs: List[EcId],
+        analyses: Optional[Dict[EcId, EcAnalysis]] = None,
+    ) -> CheckReport:
         with span(names.SPAN_POLICY_CHECK, ecs=len(ecs)) as sp:
-            report = self._check_ecs_inner(ecs, sp)
+            report = self._check_ecs_inner(ecs, sp, analyses)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter(names.POLICY_ECS_ANALYZED).inc(
@@ -296,7 +312,12 @@ class IncrementalChecker:
             metrics.gauge(names.POLICY_REGISTERED).set(len(self._policies))
         return report
 
-    def _check_ecs_inner(self, ecs: List[EcId], sp) -> CheckReport:
+    def _check_ecs_inner(
+        self,
+        ecs: List[EcId],
+        sp,
+        analyses: Optional[Dict[EcId, EcAnalysis]] = None,
+    ) -> CheckReport:
         report = CheckReport(total_pairs=self.total_pairs())
         started = time.perf_counter()
         affected_pairs: Set[Pair] = set()
@@ -305,7 +326,9 @@ class IncrementalChecker:
             if not self.model.ecs.exists(ec):
                 continue
             old = self._analyses.get(ec)
-            new = analyze_ec(self.model, ec)
+            new = analyses.get(ec) if analyses is not None else None
+            if new is None:
+                new = analyze_ec(self.model, ec)
             self._analyses[ec] = new
             old_pairs = self._tracked_pairs(old) if old is not None else set()
             new_pairs = self._tracked_pairs(new)

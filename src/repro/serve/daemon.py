@@ -274,6 +274,7 @@ class ServeDaemon:
     def _finalize(self, handle_signals: bool) -> None:
         if self.options.checkpoint_file is not None:
             self.write_checkpoint()
+        self.verifier.close()  # release the worker pool, if any
         self.stats.stopped_early = self._stop_requested
         self._write_health("stopped")
         self._set_gauge(names.SERVE_HEALTHY, 0)
@@ -400,6 +401,8 @@ class ServeDaemon:
                     lint_suppressions=options["lint_suppressions"],
                     transactional=options["transactional"],
                     audit_every=options["audit_every"],
+                    workers=options.get("workers", 1),
+                    parallel_backend=options.get("parallel_backend", "auto"),
                 )
         except Exception as error:  # noqa: BLE001 - old verifier untouched
             self._quarantine(
@@ -409,6 +412,7 @@ class ServeDaemon:
                 classify_failure(error),
             )
             return False
+        self.verifier.close()  # release the replaced verifier's worker pool
         self.verifier = fresh
         self.stats.batches_ok += 1
         self._count(names.SERVE_BATCHES_OK)

@@ -48,6 +48,16 @@ SPAN_SERVE_BATCH = "serve.batch"
 SPAN_SERVE_ATTEMPT = "serve.attempt"
 SPAN_SERVE_QUARANTINE = "serve.quarantine"
 
+# Parallel-execution spans (workers > 1).  parallel.shard covers one
+# fan-out/gather round against the worker pool (phase="model" for the
+# staged batch replay, phase="policy" for per-EC analysis); parallel.merge
+# covers the deferred commit on the main process (staged replay + merged
+# move application).  The verify root keeps all five STAGE_SPANS children
+# either way — parallel runs add these as extra children, never replace.
+SPAN_PARALLEL_SHARD = "parallel.shard"
+SPAN_PARALLEL_MERGE = "parallel.merge"
+SPAN_PARALLEL_SEED = "parallel.seed"
+
 #: The five stage children every root verification span carries.
 STAGE_SPANS = (
     SPAN_CONFIG_DIFF,
@@ -99,6 +109,15 @@ AUDITS = "repro_audits_total"
 AUDIT_DRIFT = "repro_audit_drift_total"
 CHECKPOINT_BYTES = "repro_checkpoint_bytes"  # gauge
 
+# -- parallel execution ------------------------------------------------------
+PARALLEL_WORKERS = "repro_parallel_workers"  # gauge
+PARALLEL_POOL_UP = "repro_parallel_pool_up"  # gauge: 1 pool live, 0 down
+PARALLEL_EPOCHS = "repro_parallel_epochs_total"
+PARALLEL_RESEEDS = "repro_parallel_reseeds_total"
+PARALLEL_TEARDOWNS = "repro_parallel_teardowns_total"
+PARALLEL_SHARD_MOVES = "repro_parallel_shard_moves_total"
+PARALLEL_REMOTE_ANALYSES = "repro_parallel_remote_analyses_total"
+
 # -- serving -----------------------------------------------------------------
 SERVE_BATCHES = "repro_serve_batches_total"
 SERVE_BATCHES_OK = "repro_serve_batches_ok_total"
@@ -143,6 +162,13 @@ HELP = {
     AUDITS: "Drift audits run against a from-scratch recomputation",
     AUDIT_DRIFT: "Drift audits that found a divergence",
     CHECKPOINT_BYTES: "Size of the last checkpoint written, in bytes",
+    PARALLEL_WORKERS: "Configured worker processes for the parallel hot path",
+    PARALLEL_POOL_UP: "Worker-pool liveness (1 spawned and seeded, 0 down)",
+    PARALLEL_EPOCHS: "Epoch-stamped batch rounds broadcast to the pool",
+    PARALLEL_RESEEDS: "Full replica reseeds (pool start, drift, or invalidation)",
+    PARALLEL_TEARDOWNS: "Worker-pool teardowns (failure, abort, or drift)",
+    PARALLEL_SHARD_MOVES: "Net EC moves computed by pool workers",
+    PARALLEL_REMOTE_ANALYSES: "Per-EC path analyses computed by pool workers",
     SERVE_BATCHES: "Change batches pulled off the stream by the daemon",
     SERVE_BATCHES_OK: "Change batches verified and committed",
     SERVE_RETRIES: "Batch verification attempts retried after a failure",

@@ -1,0 +1,20 @@
+"""Oracle-suite fixtures: the differential harness as a fixture, so other
+test packages can request ``assert_equivalent`` without importing the
+harness module directly."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.oracle import harness
+
+
+@pytest.fixture
+def assert_equivalent():
+    """The three-arm differential check (serial / workers=4 / baseline)."""
+    return harness.assert_equivalent
+
+
+@pytest.fixture
+def make_workload():
+    return harness.Workload

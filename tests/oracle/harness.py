@@ -1,0 +1,253 @@
+"""The differential oracle harness.
+
+A *workload* is a replayable JSON file: a topology spec, a protocol, the
+batch order and model mode, and a list of change batches (the serve
+stream codec's tagged-JSON form).  :func:`assert_equivalent` replays one
+workload through three arms and cross-checks them:
+
+a. **serial** — the incremental pipeline exactly as shipped;
+b. **parallel** — the same pipeline with ``workers=N`` (sharded model
+   update + parallel policy re-check + deferred commit);
+c. **baseline** — a from-scratch recomputation (the resilience layer's
+   :func:`~repro.resilience.audit.audit`, which simulates the FIBs
+   Batfish-style, plus a freshly built verifier for policy verdicts).
+
+Serial vs parallel is held to *bit-identical* state — same EC ids, same
+containment signatures, same port maps, same verdicts — which is
+stronger than the up-to-relabeling equivalence the baseline arm can
+check.  Hypothesis counterexamples are dumped through
+:func:`dump_workload` into the corpus directory, where the corpus test
+picks them up as regression workloads on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.changes import Change
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import (
+    LabeledTopology,
+    fat_tree,
+    grid,
+    line,
+    random_connected,
+    ring,
+)
+from repro.policy.spec import BlackholeFree, LoopFree, Policy
+from repro.resilience.audit import audit
+from repro.serve.stream import decode_change, encode_change
+from repro.workloads import snapshot_for
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def build_topology(spec: str) -> LabeledTopology:
+    """Parse 'fat-tree:4' / 'ring:8' / 'line:6' / 'grid:3x3' / 'random:n:extra'."""
+    kind, _, rest = spec.partition(":")
+    if kind == "fat-tree":
+        return fat_tree(int(rest))
+    if kind == "ring":
+        return ring(int(rest))
+    if kind == "line":
+        return line(int(rest))
+    if kind == "grid":
+        rows, _, cols = rest.partition("x")
+        return grid(int(rows), int(cols))
+    if kind == "random":
+        n, _, extra = rest.partition(":")
+        return random_connected(int(n), int(extra or 0), seed=0)
+    raise ValueError(f"unknown topology spec {spec!r}")
+
+
+@dataclass
+class Workload:
+    """One replayable oracle workload."""
+
+    name: str
+    topology: str
+    protocol: str = "ospf"
+    order: str = "insertion-first"
+    mode: str = "ecmp"
+    batches: List[List[Change]] = field(default_factory=list)
+
+    def labeled(self) -> LabeledTopology:
+        return build_topology(self.topology)
+
+    def snapshot(self):
+        return snapshot_for(self.labeled(), self.protocol)
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "topology": self.topology,
+            "protocol": self.protocol,
+            "order": self.order,
+            "mode": self.mode,
+            "batches": [
+                [encode_change(change) for change in batch]
+                for batch in self.batches
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "Workload":
+        return cls(
+            name=payload["name"],
+            topology=payload["topology"],
+            protocol=payload.get("protocol", "ospf"),
+            order=payload.get("order", "insertion-first"),
+            mode=payload.get("mode", "ecmp"),
+            batches=[
+                [decode_change(raw) for raw in batch]
+                for batch in payload["batches"]
+            ],
+        )
+
+
+def load_workload(path: Path) -> Workload:
+    return Workload.from_json(json.loads(Path(path).read_text()))
+
+
+def dump_workload(workload: Workload, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(workload.to_json(), indent=1, sort_keys=True))
+    return path
+
+
+def corpus_paths() -> List[Path]:
+    return sorted(CORPUS_DIR.glob("*.json"))
+
+
+def default_policies() -> List[Policy]:
+    return [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
+
+
+def fingerprint(verifier: RealConfig) -> Tuple:
+    """The complete observable state of one verifier arm: EC id sequence,
+    containment signatures, per-device port maps, and policy verdicts."""
+    model = verifier.model
+    ids = tuple(model.ecs.ec_ids())
+    sigs = {ec: frozenset(model.ecs.containers_of(ec)) for ec in ids}
+    ports = {
+        name: tuple(
+            sorted((ec, model.device(name).ports.get(ec)) for ec in ids)
+        )
+        for name in model.device_names()
+    }
+    verdicts = tuple(
+        sorted(
+            (status.policy.name, status.holds)
+            for status in verifier.policy_statuses()
+        )
+    )
+    return ids, sigs, ports, verdicts
+
+
+def _verdicts(verifier: RealConfig) -> Tuple:
+    return tuple(
+        sorted(
+            (status.policy.name, status.holds)
+            for status in verifier.policy_statuses()
+        )
+    )
+
+
+def assert_equivalent(
+    workload: Workload,
+    workers: int = 4,
+    backend: str = "auto",
+    policies: Optional[Sequence[Policy]] = None,
+) -> None:
+    """Replay ``workload`` through the three arms and cross-check them.
+
+    Raises AssertionError naming the workload and the first batch index
+    where an arm diverged.
+    """
+    snapshot = workload.snapshot()
+    serial = RealConfig(
+        snapshot,
+        policies=list(policies) if policies is not None else default_policies(),
+        update_order=workload.order,
+        model_mode=workload.mode,
+    )
+    parallel = RealConfig(
+        snapshot,
+        policies=list(policies) if policies is not None else default_policies(),
+        update_order=workload.order,
+        model_mode=workload.mode,
+        workers=workers,
+        parallel_backend=backend,
+    )
+    label = f"workload {workload.name!r}"
+    try:
+        assert fingerprint(serial) == fingerprint(parallel), (
+            f"{label}: arms diverged on the initial snapshot"
+        )
+        for index, changes in enumerate(workload.batches):
+            where = f"{label}, batch {index}"
+            d_serial = serial.apply_changes(list(changes))
+            d_parallel = parallel.apply_changes(list(changes))
+            assert fingerprint(serial) == fingerprint(parallel), (
+                f"{where}: serial and parallel state diverged"
+            )
+            assert d_serial.ok == d_parallel.ok, f"{where}: delta.ok differs"
+            assert sorted(
+                s.policy.name for s in d_serial.newly_violated
+            ) == sorted(s.policy.name for s in d_parallel.newly_violated), (
+                f"{where}: newly_violated differs"
+            )
+            assert sorted(
+                s.policy.name for s in d_serial.newly_satisfied
+            ) == sorted(s.policy.name for s in d_parallel.newly_satisfied), (
+                f"{where}: newly_satisfied differs"
+            )
+            assert (
+                d_serial.batch.num_inserts == d_parallel.batch.num_inserts
+                and d_serial.batch.num_deletes == d_parallel.batch.num_deletes
+            ), f"{where}: batch update counts differ"
+            assert (
+                d_serial.batch.ec_splits == d_parallel.batch.ec_splits
+                and d_serial.batch.ec_merges == d_parallel.batch.ec_merges
+            ), f"{where}: split/merge counts differ"
+            # The parallel batch reports net moves; reduce the serial batch
+            # to its net effect and compare endpoints.
+            net_serial = d_serial.batch.net_moves(serial.model)
+            net_parallel = {
+                (m.device, m.ec): (m.old_port, m.new_port)
+                for m in d_parallel.batch.moves
+            }
+            assert set(net_serial) == set(net_parallel), (
+                f"{where}: net move key sets differ"
+            )
+            for key in net_serial:
+                assert net_serial[key][1] == net_parallel[key][1], (
+                    f"{where}: net move {key} lands on different ports"
+                )
+        # Baseline arm 1: from-scratch FIB simulation against both arms'
+        # incremental state (ports/verdicts too in ecmp mode — priority
+        # mode FIBs only, where a fresh build legitimately relabels).
+        report = audit(serial)
+        assert report.ok, f"{label}: serial arm drifted from baseline: {report.summary()}"
+        report = audit(parallel)
+        assert report.ok, f"{label}: parallel arm drifted from baseline: {report.summary()}"
+        # Baseline arm 2 (ecmp only): a verifier built from scratch at the
+        # final snapshot must agree on every policy verdict.
+        if workload.mode == "ecmp":
+            fresh = RealConfig(
+                serial.snapshot,
+                policies=list(policies)
+                if policies is not None
+                else default_policies(),
+                update_order=workload.order,
+                model_mode=workload.mode,
+            )
+            assert _verdicts(fresh) == _verdicts(serial), (
+                f"{label}: incremental verdicts differ from a from-scratch build"
+            )
+    finally:
+        parallel.close()

@@ -1,0 +1,138 @@
+"""Regenerate the committed oracle corpus (``python tests/oracle/make_corpus.py``).
+
+Each workload is validated through the full differential harness before
+it is written, so a freshly generated corpus is green by construction.
+The corpus covers every change generator on the paper's two protocol
+families, the three batch orders, both model modes (including the
+Table-3 order-sensitive pairs: the same change set under insertion-first
+and deletion-first in priority mode), invert pairs that force EC merges,
+and degenerate batches.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from oracle.harness import (  # noqa: E402
+    CORPUS_DIR,
+    Workload,
+    assert_equivalent,
+    dump_workload,
+)
+
+from repro.config.changes import Change, apply_changes  # noqa: E402
+from repro.workloads.changegen import (  # noqa: E402
+    acl_changes,
+    lc_changes,
+    link_failures,
+    lp_changes,
+    stream_batches,
+)
+
+
+def _single(name, topo, proto, gen, count, seed, order="insertion-first",
+            mode="ecmp") -> Workload:
+    labeled_gen = gen  # resolved against the workload's own topology below
+    workload = Workload(name=name, topology=topo, protocol=proto,
+                        order=order, mode=mode)
+    changes = labeled_gen(workload.labeled(), count=count, seed=seed)
+    workload.batches = [list(changes)]
+    return workload
+
+
+def _stream(name, topo, proto, count, seed, order="insertion-first",
+            mode="ecmp") -> Workload:
+    workload = Workload(name=name, topology=topo, protocol=proto,
+                        order=order, mode=mode)
+    workload.batches = [
+        list(batch)
+        for batch in stream_batches(
+            workload.labeled(), protocol=proto, count=count, seed=seed
+        )
+    ]
+    return workload
+
+
+def _invert_pair(name, topo, proto, gen, count, seed, order="insertion-first",
+                 mode="ecmp") -> Workload:
+    """One batch of changes followed by the batch of their inverses —
+    the second batch drives the EC-merge path hard."""
+    workload = Workload(name=name, topology=topo, protocol=proto,
+                        order=order, mode=mode)
+    forward: List[Change] = list(
+        gen(workload.labeled(), count=count, seed=seed)
+    )
+    # Each inverse is computed against the snapshot state just before its
+    # change, then the whole list is replayed in reverse.
+    snap = workload.snapshot()
+    inverses: List[Change] = []
+    for change in forward:
+        inverses.append(change.invert(snap))
+        snap, _ = apply_changes(snap, [change])
+    workload.batches = [forward, list(reversed(inverses))]
+    return workload
+
+
+def build_corpus() -> List[Workload]:
+    workloads = [
+        # One workload per generator on each protocol family (ecmp).
+        _single("ft4-ospf-linkfail", "fat-tree:4", "ospf", link_failures, 3, 1),
+        _single("ft4-ospf-lc", "fat-tree:4", "ospf", lc_changes, 3, 2),
+        _single("ft4-ospf-acl", "fat-tree:4", "ospf", acl_changes, 2, 3),
+        _single("ring8-bgp-linkfail", "ring:8", "bgp", link_failures, 2, 5),
+        _single("ring8-bgp-lp", "ring:8", "bgp", lp_changes, 3, 6),
+        _single("ring8-bgp-acl", "ring:8", "bgp", acl_changes, 2, 7),
+        # Multi-batch serve-style streams under grouped ordering.
+        _stream("ft4-ospf-stream-grouped", "fat-tree:4", "ospf", 4, 4,
+                order="grouped"),
+        _stream("ring8-bgp-stream-grouped", "ring:8", "bgp", 4, 8,
+                order="grouped"),
+        # Table-3 order-sensitive pairs: the same change set replayed
+        # under insertion-first and deletion-first in priority mode.
+        _single("ft4-ospf-lc-priority-ins", "fat-tree:4", "ospf",
+                lc_changes, 3, 9, order="insertion-first", mode="priority"),
+        _single("ft4-ospf-lc-priority-del", "fat-tree:4", "ospf",
+                lc_changes, 3, 9, order="deletion-first", mode="priority"),
+        _single("ring8-bgp-lp-priority-ins", "ring:8", "bgp",
+                lp_changes, 3, 10, order="insertion-first", mode="priority"),
+        _single("ring8-bgp-lp-priority-del", "ring:8", "bgp",
+                lp_changes, 3, 10, order="deletion-first", mode="priority"),
+        # Other topology shapes.
+        _single("line6-ospf-linkfail", "line:6", "ospf", link_failures, 2, 11),
+        _stream("grid3x3-ospf-stream", "grid:3x3", "ospf", 3, 12),
+        _single("random10-ospf-lc", "random:10:3", "ospf", lc_changes, 3, 13),
+        # Invert pairs: the merge-heavy path.
+        _invert_pair("ft4-ospf-invert", "fat-tree:4", "ospf",
+                     link_failures, 2, 14),
+        _invert_pair("ring8-bgp-invert", "ring:8", "bgp", lp_changes, 2, 15),
+        # More order/mode coverage.
+        _stream("ft4-ospf-stream-priority-grouped", "fat-tree:4", "ospf",
+                3, 16, order="grouped", mode="priority"),
+        _single("ring8-bgp-linkfail-priority-del", "ring:8", "bgp",
+                link_failures, 2, 17, order="deletion-first", mode="priority"),
+        _single("ft4-ospf-acl-del", "fat-tree:4", "ospf", acl_changes, 2, 18,
+                order="deletion-first"),
+    ]
+    # Degenerate batches: empty and single no-net-effect flap pair.
+    empty = Workload(name="ft4-ospf-empty-batch", topology="fat-tree:4",
+                     protocol="ospf")
+    empty.batches = [[]]
+    workloads.append(empty)
+    return workloads
+
+
+def main() -> int:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for workload in build_corpus():
+        assert_equivalent(workload)
+        path = dump_workload(workload, CORPUS_DIR / f"{workload.name}.json")
+        print(f"wrote {path} ({len(workload.batches)} batch(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Replay every committed corpus workload through the differential oracle.
+
+Each workload runs through three arms — serial incremental, ``workers=4``
+parallel, and a from-scratch baseline — and must agree on EC partition,
+port maps, policy verdicts, and simulated FIBs.  Shrunk Hypothesis
+counterexamples land in the same corpus directory, so a failure found by
+the property test automatically becomes a regression workload here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.oracle.harness import (
+    assert_equivalent,
+    corpus_paths,
+    load_workload,
+)
+
+_PATHS = corpus_paths()
+
+
+def test_corpus_is_populated():
+    # ~20 committed regression workloads; a glob bug or a lost directory
+    # must not silently skip the whole suite.
+    assert len(_PATHS) >= 20
+
+
+@pytest.mark.parametrize("path", _PATHS, ids=lambda p: p.stem)
+def test_corpus_workload(path):
+    assert_equivalent(load_workload(path))
+
+
+def test_table3_pairs_present():
+    """The Table-3 order-sensitive cases: the same change set must be
+    covered under both insertion-first and deletion-first in priority
+    mode, on both protocol families."""
+    by_name = {p.stem: p for p in _PATHS}
+    for family in ("ft4-ospf-lc-priority", "ring8-bgp-lp-priority"):
+        assert f"{family}-ins" in by_name
+        assert f"{family}-del" in by_name
+    ins = load_workload(by_name["ft4-ospf-lc-priority-ins"])
+    del_ = load_workload(by_name["ft4-ospf-lc-priority-del"])
+    assert ins.order == "insertion-first" and del_.order == "deletion-first"
+    assert [c.describe() for batch in ins.batches for c in batch] == [
+        c.describe() for batch in del_.batches for c in batch
+    ]

@@ -1,0 +1,150 @@
+"""Hypothesis property: the parallel staged-batch merge equals serial,
+invariant to shard count and shard assignment order.
+
+The property drives the model layer directly (inline pool backend — the
+identical replay/shard/merge code paths as the forked pool, minus
+process overhead) so hundreds of examples run in seconds.  Shard count K
+ranges over {1, 2, 3, 7} (K=1 is the degenerate single-shard plan) and
+``shard_seed`` permutes the assignment, so a passing run proves the
+merged result depends only on the batch — never on how the work was
+dealt out.
+
+Shrunk counterexamples are dumped as replayable workload JSON into the
+corpus directory, where ``test_corpus`` replays them as regressions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.changes import apply_changes
+from repro.core.generator import IncrementalDataPlaneGenerator
+from repro.dataplane.batch import BatchUpdater
+from repro.dataplane.model import NetworkModel
+from repro.parallel import ParallelExecutor, forwarding_devices, stage_batch
+from repro.policy.paths import analyze_ec
+from repro.workloads import snapshot_for
+from repro.workloads.changegen import lc_changes, link_failures, lp_changes
+
+from tests.oracle.harness import CORPUS_DIR, Workload, build_topology, dump_workload
+
+#: (topology spec, protocol) -> applicable change generators.
+_CONFIGS = [
+    ("line:5", "ospf"),
+    ("ring:6", "ospf"),
+    ("ring:6", "bgp"),
+]
+_GENERATORS = {
+    "ospf": [link_failures, lc_changes],
+    "bgp": [link_failures, lp_changes],
+}
+_ORDERS = ("insertion-first", "deletion-first", "grouped")
+
+
+@lru_cache(maxsize=None)
+def _base(topo_spec: str, protocol: str):
+    """Converged base state, built once per (topology, protocol): the
+    snapshot, the generator's captured state, and the base rule updates."""
+    labeled = build_topology(topo_spec)
+    snapshot = snapshot_for(labeled, protocol)
+    generator = IncrementalDataPlaneGenerator()
+    base_updates = generator.update_to(snapshot)
+    return labeled, snapshot, generator.capture_state(), base_updates
+
+
+def _fresh_model(topo_spec, protocol, order, mode):
+    labeled, snapshot, gen_state, base_updates = _base(topo_spec, protocol)
+    model = NetworkModel(snapshot.topology, mode=mode)
+    updater = BatchUpdater(model, order=order)
+    updater.apply(base_updates)
+    return model, updater
+
+
+def _change_updates(topo_spec, protocol, changes):
+    """Rule updates for one change batch, from a generator restored to the
+    converged base state."""
+    _, snapshot, gen_state, _ = _base(topo_spec, protocol)
+    new_snapshot, _ = apply_changes(snapshot, changes)
+    generator = IncrementalDataPlaneGenerator()
+    generator.restore_state(gen_state)
+    return generator.update_to(new_snapshot)
+
+
+def _fingerprint(model: NetworkModel):
+    ids = tuple(model.ecs.ec_ids())
+    sigs = {ec: frozenset(model.ecs.containers_of(ec)) for ec in ids}
+    ports = {
+        name: tuple(
+            sorted((ec, model.device(name).ports.get(ec)) for ec in ids)
+        )
+        for name in model.device_names()
+    }
+    return ids, sigs, ports
+
+
+@st.composite
+def _cases(draw):
+    config_index = draw(st.integers(min_value=0, max_value=len(_CONFIGS) - 1))
+    topo_spec, protocol = _CONFIGS[config_index]
+    generators = _GENERATORS[protocol]
+    gen = generators[draw(st.integers(min_value=0, max_value=len(generators) - 1))]
+    count = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=500))
+    order = _ORDERS[draw(st.integers(min_value=0, max_value=2))]
+    mode = ("ecmp", "priority")[draw(st.integers(min_value=0, max_value=1))]
+    k = draw(st.sampled_from([1, 2, 3, 7]))
+    shard_seed = draw(st.integers(min_value=0, max_value=5))
+    labeled, _, _, _ = _base(topo_spec, protocol)
+    changes = gen(labeled, count=count, seed=seed)
+    return topo_spec, protocol, changes, order, mode, k, shard_seed
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(case=_cases())
+def test_parallel_merge_equals_serial(case):
+    topo_spec, protocol, changes, order, mode, k, shard_seed = case
+    updates = _change_updates(topo_spec, protocol, changes)
+
+    serial_model, serial_updater = _fresh_model(topo_spec, protocol, order, mode)
+    serial_updater.apply(updates)
+
+    parallel_model, _ = _fresh_model(topo_spec, protocol, order, mode)
+    try:
+        if k == 1:
+            plan = stage_batch(parallel_model, updates, order)
+            for node in forwarding_devices(updates):
+                parallel_model.reclassify_net(node, plan.affected.get(node, ()))
+        else:
+            executor = ParallelExecutor(
+                parallel_model, k, backend="inline", shard_seed=shard_seed
+            )
+            executor.start()
+            round_one = executor.run_batch(updates, order)
+            analyses = executor.run_analyses(round_one)
+            executor.commit_batch(updates, order, round_one)
+            executor.shutdown()
+            # Round-two analyses must equal fresh analysis of the
+            # committed model (the policy re-check consumes them as-is).
+            for ec, analysis in analyses.items():
+                assert analysis == analyze_ec(parallel_model, ec)
+        assert _fingerprint(serial_model) == _fingerprint(parallel_model)
+    except AssertionError:
+        dump_workload(
+            Workload(
+                name="shrunk-property",
+                topology=topo_spec,
+                protocol=protocol,
+                order=order,
+                mode=mode,
+                batches=[list(changes)],
+            ),
+            CORPUS_DIR / "shrunk-property.json",
+        )
+        raise
