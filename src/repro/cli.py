@@ -452,6 +452,16 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        from repro.lint.passes import explain_code
+
+        text = explain_code(args.explain)
+        if text is None:
+            raise CliError(f"unknown lint code {args.explain!r}")
+        print(text)
+        return 0
+    if args.snapshot is None:
+        raise CliError("snapshot directory required (or use --explain CODE)")
     try:
         suppressions = [Suppression.parse(text) for text in args.suppress]
     except ValueError as error:
@@ -468,7 +478,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(
             f"-- incremental: {len(result.passes_run)}/"
             f"{len(runner.passes)} passes re-run over "
-            f"{diff.summary()}",
+            f"{diff.summary()}; "
+            f"{result.objects_scanned}/{result.objects_total} graph "
+            "objects analyzed",
             file=sys.stderr,
         )
     else:
@@ -547,6 +559,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         "policies rechecked": [],
         "lint units reused": [],
         "lint units run": [],
+        "lint objects scanned": [],
+        "lint objects total": [],
     }
     verified = 0
     for _ in range(args.repeat):
@@ -575,6 +589,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
             if delta.lint is not None:
                 work["lint units reused"].append(delta.lint.units_reused)
                 work["lint units run"].append(delta.lint.units_run)
+                work["lint objects scanned"].append(
+                    delta.lint.objects_scanned
+                )
+                work["lint objects total"].append(delta.lint.objects_total)
             verifier.apply_change(inverse)  # roll back (also verified)
 
     num_devices = sum(1 for _ in snapshot.iter_devices())
@@ -640,6 +658,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
         print(
             f"  lint units reused  {reused:10.1f} / {units:.1f} total = "
             f"{_ratio(reused, units)}"
+        )
+    scanned = mean_of("lint objects scanned")
+    if scanned is not None:
+        graph_objects = mean_of("lint objects total") or 0.0
+        print(
+            f"  lint objects       {scanned:10.1f} / {graph_objects:.1f} "
+            f"graph = {_ratio(scanned, graph_objects)}"
         )
     verifier.close()
     return 0
@@ -876,12 +901,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--base, lints incrementally: only passes whose stanza scope "
         "intersects the diff re-run (the rest reuse the base result). "
         "Exits 0 when clean, 1 when any diagnostic reaches --fail-on, "
-        "2 on input errors — usable directly as a CI gate.",
+        "2 on input errors — usable directly as a CI gate. "
+        "Cross-device passes (LNK/BGP/BLK/RDL/ISO and friends) analyze "
+        "neighborhoods of the network dependency graph; incremental runs "
+        "re-analyze only the dependency closure of the changed devices.",
     )
-    p.add_argument("snapshot", help="snapshot directory to lint")
+    p.add_argument("snapshot", nargs="?", default=None,
+                   help="snapshot directory to lint")
     p.add_argument("--base",
                    help="base snapshot directory: lint incrementally, "
                         "scoped to the diff base -> snapshot")
+    p.add_argument("--explain", metavar="CODE", default=None,
+                   help="print the documentation for a finding code "
+                        "(e.g. BLK001) or pass prefix (e.g. LNK) and exit")
     p.add_argument("--format", choices=sorted(FORMATTERS), default="text",
                    help="output format (default: text)")
     p.add_argument("--fail-on", choices=["error", "warning", "info", "never"],

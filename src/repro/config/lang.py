@@ -87,6 +87,8 @@ def device_lines(config: DeviceConfig) -> Iterator[Tuple[str, str]]:
             yield key, f" ip address {format_ipv4(iface.address)}/{iface.prefix.length}"
         elif iface.prefix is not None:
             yield key, f" ip network {iface.prefix}"
+        if iface.mtu != 1500:
+            yield key, f" mtu {iface.mtu}"
         if iface.shutdown:
             yield key, " shutdown"
         if iface.ospf_enabled:
@@ -220,6 +222,8 @@ class _InterfaceContext(_Context):
             self.iface.prefix = Prefix.from_address_int(address, length)
         elif words[:2] == ["ip", "network"] and len(words) == 3:
             self.iface.prefix = Prefix.parse(words[2])
+        elif words[:1] == ["mtu"] and len(words) == 2 and words[1].isdigit():
+            self.iface.mtu = int(words[1])
         elif words == ["shutdown"]:
             self.iface.shutdown = True
         elif words == ["ip", "ospf", "enable"]:

@@ -39,6 +39,8 @@ class InterfaceConfig:
     prefix: Optional[Prefix] = None
     address: Optional[int] = None
     shutdown: bool = False
+    #: Link MTU; only rendered when it differs from the 1500 default.
+    mtu: int = 1500
     ospf_enabled: bool = False
     ospf_cost: int = 1
     acl_in: Optional[str] = None

@@ -185,6 +185,12 @@ class RealConfig:
             )
             self._executor.start()
 
+    @property
+    def lint_result(self) -> Optional[LintResult]:
+        """The lint findings for the *current* snapshot (``None`` when the
+        gate is off).  Updated after every committed change batch."""
+        return self._lint_result
+
     # -- verification entry points ------------------------------------------------
 
     def apply_change(self, change: Change) -> VerificationDelta:

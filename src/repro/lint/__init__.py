@@ -8,13 +8,21 @@ IR with:
 
 - a pass framework (:mod:`repro.lint.framework`): registry, severity-graded
   diagnostics with device/stanza/line anchors, glob suppressions;
-- eight built-in semantic passes (:mod:`repro.lint.passes`), from dangling
-  references to OSPF adjacency asymmetries and redistribution cycles;
+- a **network dependency graph** (:mod:`repro.lint.graph`): nodes are
+  (device, object) pairs, edges capture intra-device references and
+  cross-device coupling (links, BGP sessions, OSPF adjacencies, static
+  next hops), fingerprint-cached and incrementally patched;
+- fourteen built-in semantic passes (:mod:`repro.lint.passes`), from
+  dangling references to cross-device link/session consistency (LNK/BGP),
+  blackhole detection (BLK), network-wide redistribution loops (RDL), and
+  partition/isolation intent (ISO);
 - an **incremental mode** mirroring the paper's pipeline: given a
-  :class:`~repro.config.diff.LineDiff`, only the passes whose declared
-  stanza scope intersects the touched stanzas re-run, per touched device,
-  and untouched results are carried over;
-- text / JSON / SARIF output (:mod:`repro.lint.output`).
+  :class:`~repro.config.diff.LineDiff`, device-scoped passes re-run only
+  on touched devices, and cross-device passes only on the dependency
+  closure (coupling-graph ball or component) of the touched devices —
+  with results byte-identical to a full run;
+- text / JSON / SARIF output with stable result fingerprints
+  (:mod:`repro.lint.output`).
 
 Typical use::
 
@@ -36,6 +44,7 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.framework import (
     STANZA_KINDS,
+    CrossDevicePass,
     LintPass,
     LintResult,
     LintRunner,
@@ -45,6 +54,13 @@ from repro.lint.framework import (
     register_pass,
     stanza_kind,
     touched_kinds,
+)
+from repro.lint.graph import (
+    NetworkDependencyGraph,
+    ObjectRef,
+    device_fingerprint,
+    graph_for,
+    topology_touched_devices,
 )
 from repro.lint.output import format_json, format_sarif, format_text
 from repro.lint import passes as _passes  # populate the registry
@@ -57,6 +73,7 @@ __all__ = [
     "max_severity",
     "resolve_lines",
     "STANZA_KINDS",
+    "CrossDevicePass",
     "LintPass",
     "LintResult",
     "LintRunner",
@@ -66,6 +83,11 @@ __all__ = [
     "register_pass",
     "stanza_kind",
     "touched_kinds",
+    "NetworkDependencyGraph",
+    "ObjectRef",
+    "device_fingerprint",
+    "graph_for",
+    "topology_touched_devices",
     "format_json",
     "format_sarif",
     "format_text",

@@ -16,6 +16,7 @@ still reveals how much is being hidden.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, replace
 from fnmatch import fnmatchcase
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -80,6 +81,21 @@ class Diagnostic:
     def __str__(self) -> str:
         return f"{self.severity}: {self.code} {self.anchor()}: {self.message}"
 
+    def fingerprint(self) -> str:
+        """Stable identity hash over code, device, object path, and message
+        — deliberately *not* over line numbers, so CI diffing of lint
+        results survives unrelated edits that shift the rendering."""
+        basis = "\x1f".join(
+            (
+                self.code,
+                self.device,
+                self.stanza or "top",
+                self.line_text or "",
+                self.message,
+            )
+        )
+        return hashlib.sha256(basis.encode()).hexdigest()
+
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "code": self.code,
@@ -88,6 +104,7 @@ class Diagnostic:
             "stanza": self.stanza,
             "message": self.message,
             "pass": self.pass_name,
+            "fingerprint": self.fingerprint(),
         }
         if self.line is not None:
             out["line"] = self.line

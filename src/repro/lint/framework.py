@@ -1,22 +1,41 @@
 """The lint pass framework: pass registry, runner, and incremental scoping.
 
-A :class:`LintPass` analyzes either one device at a time (``device_scoped``)
-or the whole snapshot (cross-device passes like OSPF adjacency checking).
-Every pass declares a **scope**: the set of stanza *kinds* it reads
-(``interface``, ``acl``, ``route-map``, ``router-ospf``, ``router-bgp``,
-``top``).  The scope powers the incremental mode, which mirrors the paper's
-pipeline: given a :class:`~repro.config.diff.LineDiff` the runner maps each
-changed line to its stanza kind, then
+A :class:`LintPass` analyzes one device at a time (``device_scoped``), the
+whole snapshot (legacy snapshot-scoped passes), or — via the
+:class:`CrossDevicePass` subclass — a **connected neighborhood** of the
+:class:`~repro.lint.graph.NetworkDependencyGraph`.  Every pass declares a
+**scope**: the set of stanza *kinds* it reads (``interface``, ``acl``,
+``route-map``, ``router-ospf``, ``router-bgp``, ``top``).  The scope powers
+the incremental mode, which mirrors the paper's pipeline: given a
+:class:`~repro.config.diff.LineDiff` the runner maps each changed line to
+its stanza kind, then
 
 - re-runs a device-scoped pass only on the touched devices whose touched
   kinds intersect the pass's scope (carrying forward the previous result's
-  diagnostics for untouched devices), and
+  diagnostics for untouched devices),
 - re-runs a snapshot-scoped pass only if *any* touched kind intersects its
-  scope.
+  scope, and
+- re-runs a cross-device pass only on the **dependency closure** of the
+  touched devices: the coupling-graph ball of the pass's declared
+  ``radius`` around the seeds (or the seeds' connected components when
+  ``radius`` is ``None``), computed over the *union* of the old and new
+  coupling graphs so that changes which add or remove coupling are scoped
+  soundly.  Topology-only changes (a link added or removed with no config
+  line touched) are detected by comparing the cached graph's link set
+  against the new snapshot and seed the endpoints.
 
-``LintResult.passes_run`` records which passes actually executed, so tests
-and benchmarks can assert that a small diff re-runs strictly fewer passes
-than a full lint.
+The equivalence guarantee the differential tests pin down: a cross-device
+finding attributed to device *d* may only depend on configuration within
+``radius`` coupling hops of *d*; any change to that configuration seeds a
+device within ``radius`` of *d*, so *d* lands inside the re-analyzed
+region and its findings are recomputed — everything else is carried
+forward bucket-for-bucket, making incremental output byte-identical to a
+full run.
+
+``LintResult.passes_run`` records which passes actually executed, and
+``objects_scanned`` counts the dependency-graph objects the run analyzed,
+so tests and benchmarks can assert that a small diff re-runs strictly
+fewer passes and analyzes a small fraction of the network.
 """
 
 from __future__ import annotations
@@ -34,6 +53,12 @@ from repro.lint.diagnostics import (
     apply_suppressions,
     count_by_severity,
     max_severity,
+)
+from repro.lint.graph import (
+    NetworkDependencyGraph,
+    graph_for,
+    topology_touched_devices,
+    union_coupling,
 )
 from repro.telemetry import get_metrics, names, span
 
@@ -69,9 +94,10 @@ class LintPass:
     """Base class for lint passes.
 
     Subclasses set the class attributes and override :meth:`check_device`
-    (when ``device_scoped``) or :meth:`check_snapshot` (otherwise).  Passes
-    must be stateless: the runner may invoke them on any subset of devices
-    in any order.
+    (when ``device_scoped``), :meth:`check_snapshot` (snapshot-scoped), or
+    — for :class:`CrossDevicePass` subclasses — :meth:`check_region`.
+    Passes must be stateless: the runner may invoke them on any subset of
+    devices in any order.
     """
 
     #: Unique pass name (registry key).
@@ -86,6 +112,11 @@ class LintPass:
     #: Device-scoped passes see one device at a time and are incrementally
     #: re-run per device; snapshot-scoped passes see the whole snapshot.
     device_scoped: bool = True
+    #: True for :class:`CrossDevicePass` subclasses.
+    cross_device: bool = False
+    #: Per-code documentation for ``repro lint --explain`` (full code ->
+    #: explanation text).
+    docs: Dict[str, str] = {}
 
     def check_device(
         self, snapshot: Snapshot, device: DeviceConfig
@@ -113,6 +144,33 @@ class LintPass:
             line_text=line_text,
             pass_name=self.name,
         )
+
+
+class CrossDevicePass(LintPass):
+    """A pass whose unit of analysis is a neighborhood of the dependency
+    graph rather than a single device or the whole snapshot.
+
+    Subclasses override :meth:`check_region` and may only emit findings
+    attributed to devices in ``targets`` whose evidence lies within
+    ``radius`` coupling hops of the attributed device (``radius=None``
+    widens the contract to the device's connected component).  The runner
+    enforces the attribution half by filtering, and relies on the radius
+    half for incremental soundness.
+    """
+
+    device_scoped = False
+    cross_device = True
+    #: Coupling-graph radius of the evidence a finding may depend on.
+    #: ``None`` means "the attributed device's connected component".
+    radius: Optional[int] = 1
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
 
 
 #: name -> pass class, in registration order.
@@ -162,10 +220,20 @@ class LintResult:
     units_reused: int = 0
     suppressed: int = 0
     elapsed: float = 0.0
+    #: Dependency-graph objects analyzed by the executed units (a device
+    #: unit scans its device's objects; a snapshot unit scans them all).
+    objects_scanned: int = 0
+    #: Total objects in the snapshot's dependency graph.
+    objects_total: int = 0
     #: Per-pass diagnostics keyed by (pass name, device or None), carried
     #: between incremental runs.
     _by_unit: Dict[Tuple[str, Optional[str]], List[Diagnostic]] = field(
         default_factory=dict, repr=False
+    )
+    #: The dependency graph of the linted snapshot, reused (patched, not
+    #: rebuilt) by the next incremental run.
+    graph: Optional[NetworkDependencyGraph] = field(
+        default=None, repr=False, compare=False
     )
 
     def errors(self) -> List[Diagnostic]:
@@ -181,6 +249,14 @@ class LintResult:
         """True when no diagnostic reaches ``fail_on``."""
         worst = self.max_severity()
         return worst is None or worst < fail_on
+
+    def scan_ratio(self) -> float:
+        """Fraction of the dependency graph this run analyzed, relative to
+        a full run with the same passes (may exceed 1.0 only if a pass
+        scans devices repeatedly)."""
+        if not self.objects_total:
+            return 0.0
+        return self.objects_scanned / self.objects_total
 
     def summary(self) -> str:
         counts = count_by_severity(self.diagnostics)
@@ -213,18 +289,29 @@ class LintRunner:
         """Lint the whole snapshot with every pass."""
         started = time.perf_counter()
         result = LintResult()
+        graph = graph_for(snapshot)
+        result.graph = graph
+        result.objects_total = graph.num_objects()
+        live_devices = sorted(snapshot.devices)
         with span(names.SPAN_LINT_RUN) as sp:
             for lint_pass in self.passes:
-                if lint_pass.device_scoped:
-                    for device in snapshot.iter_devices():
-                        self._run_unit(
-                            result, lint_pass, snapshot, device.hostname
+                with self._pass_telemetry(result, lint_pass):
+                    if lint_pass.cross_device:
+                        self._run_region(
+                            result, lint_pass, snapshot, graph,
+                            set(live_devices),
                         )
-                else:
-                    self._run_unit(result, lint_pass, snapshot, None)
+                    elif lint_pass.device_scoped:
+                        for device_name in live_devices:
+                            self._run_unit(
+                                result, lint_pass, snapshot, graph, device_name
+                            )
+                    else:
+                        self._run_unit(result, lint_pass, snapshot, graph, None)
                 result.passes_run.append(lint_pass.name)
             self._finish(result, started)
             sp.set("units_run", result.units_run)
+            sp.set("objects_scanned", result.objects_scanned)
             sp.set("diagnostics", len(result.diagnostics))
         self._record_metrics(result)
         return result
@@ -241,61 +328,143 @@ class LintRunner:
         """
         started = time.perf_counter()
         touched = touched_kinds(diff)
+        previous_graph = previous.graph
+        if previous_graph is not None:
+            graph = previous_graph.patched(snapshot, set(touched))
+        else:
+            graph = graph_for(snapshot)
+        # A link added or removed with no config line changed still moves
+        # cross-device findings; seed the endpoints as if their interface
+        # stanzas had been edited.
+        for device_name in topology_touched_devices(previous_graph, graph):
+            touched.setdefault(device_name, set()).add("interface")
+        coupling = union_coupling(previous_graph, graph)
         touched_all: Set[str] = set()
         for kinds in touched.values():
             touched_all |= kinds
 
         result = LintResult()
+        result.graph = graph
+        result.objects_total = graph.num_objects()
         live_devices = set(snapshot.devices)
         with span(names.SPAN_LINT_INCREMENTAL) as sp:
             for lint_pass in self.passes:
                 ran = False
-                if lint_pass.device_scoped:
-                    for device_name in sorted(live_devices):
-                        kinds = touched.get(device_name)
-                        if kinds is not None and kinds & lint_pass.scope:
-                            self._run_unit(
-                                result, lint_pass, snapshot, device_name
+                with self._pass_telemetry(result, lint_pass):
+                    if lint_pass.cross_device:
+                        if previous_graph is None:
+                            # No graph to diff against: the sound fallback
+                            # is a full region run.
+                            targets = set(live_devices)
+                        else:
+                            seeds = {
+                                device_name
+                                for device_name, kinds in touched.items()
+                                if kinds & lint_pass.scope
+                            }
+                            targets = self._closure(
+                                graph, seeds, lint_pass.radius, coupling
+                            ) & live_devices
+                        if targets:
+                            self._run_region(
+                                result, lint_pass, snapshot, graph, targets
                             )
                             ran = True
-                        else:
+                        for device_name in sorted(live_devices - targets):
                             self._carry(
                                 result, previous, lint_pass.name, device_name
                             )
-                else:
-                    if touched_all & lint_pass.scope:
-                        self._run_unit(result, lint_pass, snapshot, None)
-                        ran = True
+                    elif lint_pass.device_scoped:
+                        for device_name in sorted(live_devices):
+                            kinds = touched.get(device_name)
+                            if kinds is not None and kinds & lint_pass.scope:
+                                self._run_unit(
+                                    result, lint_pass, snapshot, graph,
+                                    device_name,
+                                )
+                                ran = True
+                            else:
+                                self._carry(
+                                    result, previous, lint_pass.name,
+                                    device_name,
+                                )
                     else:
-                        self._carry(result, previous, lint_pass.name, None)
+                        if touched_all & lint_pass.scope:
+                            self._run_unit(
+                                result, lint_pass, snapshot, graph, None
+                            )
+                            ran = True
+                        else:
+                            self._carry(result, previous, lint_pass.name, None)
                 if ran:
                     result.passes_run.append(lint_pass.name)
             self._finish(result, started)
             sp.set("units_run", result.units_run)
             sp.set("units_reused", result.units_reused)
+            sp.set("objects_scanned", result.objects_scanned)
             sp.set("diagnostics", len(result.diagnostics))
         self._record_metrics(result)
         return result
 
     # -- internals ---------------------------------------------------------
 
+    @staticmethod
+    def _closure(
+        graph: NetworkDependencyGraph,
+        seeds: Set[str],
+        radius: Optional[int],
+        coupling: Dict[str, Set[str]],
+    ) -> Set[str]:
+        if not seeds:
+            return set()
+        if radius is None:
+            return graph.component(seeds, coupling)
+        return graph.ball(seeds, radius, coupling)
+
     def _run_unit(
         self,
         result: LintResult,
         lint_pass: LintPass,
         snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
         device_name: Optional[str],
     ) -> None:
         if device_name is None:
             found = list(lint_pass.check_snapshot(snapshot))
+            result.objects_scanned += graph.num_objects()
         else:
             found = list(
                 lint_pass.check_device(snapshot, snapshot.devices[device_name])
             )
+            result.objects_scanned += graph.num_device_objects(device_name)
         kept, muted = apply_suppressions(found, self.suppressions)
         result._by_unit[(lint_pass.name, device_name)] = kept
         result.suppressed += muted
         result.units_run += 1
+
+    def _run_region(
+        self,
+        result: LintResult,
+        lint_pass: LintPass,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> None:
+        found = list(lint_pass.check_region(snapshot, graph, set(targets)))
+        buckets: Dict[str, List[Diagnostic]] = {
+            device_name: [] for device_name in targets
+        }
+        for diag in found:
+            if diag.device in buckets:
+                buckets[diag.device].append(diag)
+        for device_name in sorted(targets):
+            kept, muted = apply_suppressions(
+                buckets[device_name], self.suppressions
+            )
+            result._by_unit[(lint_pass.name, device_name)] = kept
+            result.suppressed += muted
+            result.units_run += 1
+            result.objects_scanned += graph.num_device_objects(device_name)
 
     @staticmethod
     def _carry(
@@ -309,6 +478,9 @@ class LintRunner:
         if cached:
             result._by_unit[(pass_name, device_name)] = list(cached)
 
+    def _pass_telemetry(self, result: LintResult, lint_pass: LintPass):
+        return _PassTelemetry(result, lint_pass)
+
     @staticmethod
     def _record_metrics(result: LintResult) -> None:
         metrics = get_metrics()
@@ -317,6 +489,7 @@ class LintRunner:
         metrics.counter(names.LINT_UNITS_RUN).inc(result.units_run)
         metrics.counter(names.LINT_UNITS_REUSED).inc(result.units_reused)
         metrics.counter(names.LINT_DIAGNOSTICS).inc(len(result.diagnostics))
+        metrics.counter(names.LINT_OBJECTS_SCANNED).inc(result.objects_scanned)
 
     @staticmethod
     def _finish(result: LintResult, started: float) -> None:
@@ -325,6 +498,54 @@ class LintRunner:
         ):
             result.diagnostics.extend(result._by_unit[key])
         result.elapsed = time.perf_counter() - started
+
+
+class _PassTelemetry:
+    """Per-pass ``lint.pass.<CODE>`` span plus findings/objects counters,
+    measured as deltas over the shared result object."""
+
+    def __init__(self, result: LintResult, lint_pass: LintPass) -> None:
+        self._result = result
+        self._pass = lint_pass
+        self._ctx = None
+        self._sp = None
+        self._units = 0
+        self._objects = 0
+        self._findings = 0
+
+    def _found(self) -> int:
+        return sum(len(v) for v in self._result._by_unit.values())
+
+    def __enter__(self) -> "_PassTelemetry":
+        self._units = self._result.units_run
+        self._objects = self._result.objects_scanned
+        self._findings = self._found()
+        self._ctx = span(
+            names.SPAN_LINT_PASS_PREFIX + self._pass.code,
+            pass_name=self._pass.name,
+        )
+        self._sp = self._ctx.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        units = self._result.units_run - self._units
+        objects = self._result.objects_scanned - self._objects
+        findings = self._found() - self._findings
+        if exc_type is None and self._sp is not None:
+            self._sp.set("units", units)
+            self._sp.set("findings", findings)
+            self._sp.set("objects", objects)
+        assert self._ctx is not None
+        self._ctx.__exit__(exc_type, exc, tb)
+        if exc_type is None and units:
+            metrics = get_metrics()
+            if metrics.enabled:
+                labels = {"pass": self._pass.code}
+                metrics.counter(names.LINT_PASS_FINDINGS, **labels).inc(
+                    findings
+                )
+                metrics.counter(names.LINT_PASS_OBJECTS, **labels).inc(objects)
+        return False
 
 
 def touched_kinds(diff: LineDiff) -> Dict[str, Set[str]]:

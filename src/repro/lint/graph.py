@@ -1,0 +1,599 @@
+"""The network-wide dependency graph behind cross-device lint.
+
+Delta-net's lesson is that incrementality needs an explicit dependency
+structure so an update touches only what it overlaps.  This module builds
+that structure for the static-analysis layer: a
+:class:`NetworkDependencyGraph` whose nodes are ``(device, object)`` pairs
+(:class:`ObjectRef`) — interfaces, OSPF/BGP processes, BGP neighbors, ACLs,
+route maps, static routes, redistribution statements — and whose edges
+capture both intra-device references (an interface binding an ACL, a BGP
+neighbor riding an interface) and **cross-device coupling**:
+
+- ``link``          the two configured endpoint interfaces of a topology link
+- ``bgp-session``   the two neighbor statements of one peering
+- ``ospf-adjacency``  the OSPF processes adjacent over an enabled link
+- ``next-hop``      a static route resolving to a peer device's interface
+
+The graph serves three roles for ``repro.lint``:
+
+1. **Scoping.**  Its device-level projection (:meth:`device_neighbors`,
+   built from the physical topology, which every cross-device relation in
+   this model rides on) answers "which devices can a change at device D
+   affect within radius r" (:meth:`ball`) or "within D's connected
+   component" (:meth:`component`).  Incremental lint re-runs a
+   cross-device pass exactly on that closure.
+2. **Accounting.**  Object counts per device are the denominator of the
+   "objects analyzed" work metric reported by benchmarks and telemetry.
+3. **Caching.**  Graphs are fingerprinted per device configuration
+   (:func:`device_fingerprint`) plus topology, memoized by overall
+   fingerprint (:func:`graph_for`), and **incrementally patched**
+   (:meth:`NetworkDependencyGraph.patched`): only changed devices'
+   objects, fingerprints, and intra-device edges are recomputed;
+   cross-device edges are rebuilt from the (small) per-link summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.config.diff import LineDiff
+from repro.config.lang import render_device
+from repro.config.schema import DeviceConfig, Snapshot
+from repro.net.topology import InterfaceId
+
+# -- object kinds ------------------------------------------------------------
+
+KIND_INTERFACE = "interface"
+KIND_ACL = "acl"
+KIND_ROUTE_MAP = "route-map"
+KIND_OSPF = "ospf"
+KIND_BGP = "bgp"
+KIND_BGP_NEIGHBOR = "bgp-neighbor"
+KIND_STATIC_ROUTE = "static-route"
+KIND_REDISTRIBUTION = "redistribution"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectRef:
+    """One configuration object: a node of the dependency graph."""
+
+    device: str
+    kind: str
+    name: str
+
+    def path(self) -> str:
+        """Stable path string, e.g. ``r0/interface/eth0``."""
+        return f"{self.device}/{self.kind}/{self.name}"
+
+    def __str__(self) -> str:
+        return self.path()
+
+
+Edge = Tuple[ObjectRef, ObjectRef, str]
+#: A topology link keyed by its two (device, interface) endpoints, ordered.
+LinkKey = Tuple[Tuple[str, str], Tuple[str, str]]
+
+
+def device_fingerprint(config: DeviceConfig) -> str:
+    """Hash of the canonical rendering — the graph-cache key per device."""
+    return hashlib.sha256(render_device(config).encode()).hexdigest()
+
+
+def _link_key(a: InterfaceId, b: InterfaceId) -> LinkKey:
+    ends = sorted([(a.node, a.name), (b.node, b.name)])
+    return (ends[0], ends[1])
+
+
+def _static_route_name(route) -> str:
+    via = (
+        route.next_hop_interface
+        if route.next_hop_interface is not None
+        else f"{route.next_hop_ip}"
+    )
+    return f"{route.prefix}@{via}"
+
+
+def _device_contribution(
+    config: DeviceConfig,
+) -> Tuple[List[ObjectRef], List[Edge]]:
+    """The objects and intra-device edges contributed by one device.
+
+    Pure function of the device configuration — reused verbatim by
+    :meth:`NetworkDependencyGraph.patched` for unchanged devices.
+    """
+    dev = config.hostname
+    objects: List[ObjectRef] = []
+    edges: List[Edge] = []
+
+    def ref(kind: str, name: str) -> ObjectRef:
+        return ObjectRef(dev, kind, name)
+
+    iface_refs: Dict[str, ObjectRef] = {}
+    for name in sorted(config.interfaces):
+        iface_refs[name] = ref(KIND_INTERFACE, name)
+        objects.append(iface_refs[name])
+    acl_refs: Dict[str, ObjectRef] = {}
+    for name in sorted(config.acls):
+        acl_refs[name] = ref(KIND_ACL, name)
+        objects.append(acl_refs[name])
+    for name in sorted(config.route_maps):
+        objects.append(ref(KIND_ROUTE_MAP, name))
+
+    for name in sorted(config.interfaces):
+        iface = config.interfaces[name]
+        for acl_name in (iface.acl_in, iface.acl_out):
+            if acl_name is not None and acl_name in acl_refs:
+                edges.append((iface_refs[name], acl_refs[acl_name], "binds-acl"))
+
+    ospf_ref: Optional[ObjectRef] = None
+    if config.ospf is not None:
+        ospf_ref = ref(KIND_OSPF, str(config.ospf.process_id))
+        objects.append(ospf_ref)
+        for name in sorted(config.interfaces):
+            if config.interfaces[name].ospf_enabled:
+                edges.append((ospf_ref, iface_refs[name], "runs-on"))
+
+    bgp_ref: Optional[ObjectRef] = None
+    if config.bgp is not None:
+        bgp_ref = ref(KIND_BGP, str(config.bgp.asn))
+        objects.append(bgp_ref)
+        for if_name in sorted(config.bgp.neighbors):
+            neighbor_ref = ref(KIND_BGP_NEIGHBOR, if_name)
+            objects.append(neighbor_ref)
+            edges.append((bgp_ref, neighbor_ref, "session"))
+            if if_name in iface_refs:
+                edges.append((neighbor_ref, iface_refs[if_name], "on-interface"))
+            neighbor = config.bgp.neighbors[if_name]
+            for rm_name in (neighbor.route_map_in, neighbor.route_map_out):
+                if rm_name is not None and rm_name in config.route_maps:
+                    edges.append(
+                        (neighbor_ref, ref(KIND_ROUTE_MAP, rm_name), "applies")
+                    )
+
+    for route in config.static_routes:
+        route_ref = ref(KIND_STATIC_ROUTE, _static_route_name(route))
+        objects.append(route_ref)
+        if (
+            route.next_hop_interface is not None
+            and route.next_hop_interface in iface_refs
+        ):
+            edges.append(
+                (route_ref, iface_refs[route.next_hop_interface], "exits-via")
+            )
+
+    for target_name, process, target_ref in (
+        ("ospf", config.ospf, ospf_ref),
+        ("bgp", config.bgp, bgp_ref),
+    ):
+        if process is None:
+            continue
+        for redist in process.redistribute:
+            redist_ref = ref(
+                KIND_REDISTRIBUTION, f"{redist.source}->{target_name}"
+            )
+            objects.append(redist_ref)
+            if target_ref is not None:
+                edges.append((redist_ref, target_ref, "feeds"))
+            source_ref = {"ospf": ospf_ref, "bgp": bgp_ref}.get(redist.source)
+            if source_ref is not None:
+                edges.append((redist_ref, source_ref, "drains"))
+
+    return objects, edges
+
+
+def _cross_edges(snapshot: Snapshot) -> List[Edge]:
+    """Cross-device coupling edges, recomputed wholesale on every patch
+    (cost is O(links + sessions), not O(network configuration))."""
+    edges: List[Edge] = []
+    devices = snapshot.devices
+    for link in snapshot.topology.links():
+        a_id, b_id = link.endpoints()
+        a_dev = devices.get(a_id.node)
+        b_dev = devices.get(b_id.node)
+        a_iface = a_dev.interfaces.get(a_id.name) if a_dev else None
+        b_iface = b_dev.interfaces.get(b_id.name) if b_dev else None
+        if a_iface is None or b_iface is None:
+            continue
+        a_ref = ObjectRef(a_id.node, KIND_INTERFACE, a_id.name)
+        b_ref = ObjectRef(b_id.node, KIND_INTERFACE, b_id.name)
+        edges.append((a_ref, b_ref, "link"))
+        if (
+            a_dev.bgp is not None
+            and b_dev.bgp is not None
+            and a_id.name in a_dev.bgp.neighbors
+            and b_id.name in b_dev.bgp.neighbors
+        ):
+            edges.append(
+                (
+                    ObjectRef(a_id.node, KIND_BGP_NEIGHBOR, a_id.name),
+                    ObjectRef(b_id.node, KIND_BGP_NEIGHBOR, b_id.name),
+                    "bgp-session",
+                )
+            )
+        if (
+            a_dev.ospf is not None
+            and b_dev.ospf is not None
+            and a_iface.ospf_enabled
+            and b_iface.ospf_enabled
+            and a_iface.is_up()
+            and b_iface.is_up()
+        ):
+            edges.append(
+                (
+                    ObjectRef(a_id.node, KIND_OSPF, str(a_dev.ospf.process_id)),
+                    ObjectRef(b_id.node, KIND_OSPF, str(b_dev.ospf.process_id)),
+                    "ospf-adjacency",
+                )
+            )
+    for dev_name in sorted(devices):
+        config = devices[dev_name]
+        for route in config.static_routes:
+            if route.next_hop_ip is None:
+                continue
+            resolved = resolve_next_hop(snapshot, config, route.next_hop_ip)
+            if resolved is None:
+                continue
+            peer_dev, peer_iface = resolved
+            edges.append(
+                (
+                    ObjectRef(
+                        dev_name, KIND_STATIC_ROUTE, _static_route_name(route)
+                    ),
+                    ObjectRef(peer_dev, KIND_INTERFACE, peer_iface),
+                    "next-hop",
+                )
+            )
+    return edges
+
+
+def resolve_next_hop(
+    snapshot: Snapshot, config: DeviceConfig, next_hop_ip: int
+) -> Optional[Tuple[str, str]]:
+    """Resolve an IP next hop to the directly connected peer's
+    ``(device, interface)``, when one claims the address."""
+    for name in sorted(config.interfaces):
+        iface = config.interfaces[name]
+        if (
+            iface.prefix is None
+            or not iface.is_up()
+            or not iface.prefix.contains_address(next_hop_ip)
+        ):
+            continue
+        peer = snapshot.topology.neighbor_of(
+            InterfaceId(config.hostname, name)
+        )
+        if peer is None:
+            continue
+        peer_dev = snapshot.devices.get(peer.node)
+        peer_iface = peer_dev.interfaces.get(peer.name) if peer_dev else None
+        if peer_iface is not None and peer_iface.address == next_hop_ip:
+            return (peer.node, peer.name)
+    return None
+
+
+@dataclass
+class NetworkDependencyGraph:
+    """Nodes are (device, object) pairs; edges are reference and coupling
+    relations.  Immutable by convention: :meth:`patched` returns a new
+    graph sharing unchanged per-device contributions."""
+
+    #: device -> objects contributed by its configuration
+    objects_by_device: Dict[str, List[ObjectRef]] = field(default_factory=dict)
+    #: device -> intra-device edges (pure function of its configuration)
+    intra_edges: Dict[str, List[Edge]] = field(default_factory=dict)
+    #: cross-device coupling edges
+    cross_edges: List[Edge] = field(default_factory=list)
+    #: device -> sha256 of its canonical rendering
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: the physical link set, for topology-change detection
+    link_keys: FrozenSet[LinkKey] = frozenset()
+    #: device-level coupling projection (topology adjacency — every
+    #: cross-device relation in this model rides a physical link)
+    neighbors: Dict[str, Set[str]] = field(default_factory=dict)
+
+    _adjacency: Optional[Dict[ObjectRef, List[ObjectRef]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        snapshot: Snapshot,
+        fingerprints: Optional[Dict[str, str]] = None,
+    ) -> "NetworkDependencyGraph":
+        graph = cls()
+        for name in sorted(snapshot.devices):
+            config = snapshot.devices[name]
+            objects, edges = _device_contribution(config)
+            graph.objects_by_device[name] = objects
+            graph.intra_edges[name] = edges
+            graph.fingerprints[name] = (
+                fingerprints[name]
+                if fingerprints is not None and name in fingerprints
+                else device_fingerprint(config)
+            )
+        graph.cross_edges = _cross_edges(snapshot)
+        graph.link_keys = frozenset(
+            _link_key(*link.endpoints()) for link in snapshot.topology.links()
+        )
+        graph.neighbors = _device_coupling(snapshot, graph.link_keys)
+        return graph
+
+    def patched(
+        self, snapshot: Snapshot, changed_devices: Iterable[str]
+    ) -> "NetworkDependencyGraph":
+        """A graph for ``snapshot``, recomputing only ``changed_devices``
+        (plus added/removed devices); everything else is shared with
+        ``self``.  Cross-device edges and the link set are rebuilt from
+        the new snapshot (cheap relative to per-device contributions)."""
+        graph = NetworkDependencyGraph()
+        live = set(snapshot.devices)
+        dirty = (set(changed_devices) & live) | (live - set(self.fingerprints))
+        for name in sorted(live):
+            if name in dirty:
+                config = snapshot.devices[name]
+                objects, edges = _device_contribution(config)
+                graph.objects_by_device[name] = objects
+                graph.intra_edges[name] = edges
+                graph.fingerprints[name] = device_fingerprint(config)
+            else:
+                graph.objects_by_device[name] = self.objects_by_device[name]
+                graph.intra_edges[name] = self.intra_edges[name]
+                graph.fingerprints[name] = self.fingerprints[name]
+        graph.cross_edges = _cross_edges(snapshot)
+        graph.link_keys = frozenset(
+            _link_key(*link.endpoints()) for link in snapshot.topology.links()
+        )
+        graph.neighbors = _device_coupling(snapshot, graph.link_keys)
+        return graph
+
+    # -- inventory ---------------------------------------------------------
+
+    def devices(self) -> List[str]:
+        return sorted(self.objects_by_device)
+
+    def device_objects(self, device: str) -> List[ObjectRef]:
+        return self.objects_by_device.get(device, [])
+
+    def num_device_objects(self, device: str) -> int:
+        return len(self.objects_by_device.get(device, ()))
+
+    def num_objects(self) -> int:
+        return sum(len(objs) for objs in self.objects_by_device.values())
+
+    def edges(self) -> List[Edge]:
+        out: List[Edge] = []
+        for name in sorted(self.intra_edges):
+            out.extend(self.intra_edges[name])
+        out.extend(self.cross_edges)
+        return out
+
+    def num_edges(self) -> int:
+        return (
+            sum(len(edges) for edges in self.intra_edges.values())
+            + len(self.cross_edges)
+        )
+
+    def fingerprint(self) -> str:
+        """Overall graph key: per-device config hashes plus the link set."""
+        digest = hashlib.sha256()
+        for name in sorted(self.fingerprints):
+            digest.update(name.encode())
+            digest.update(self.fingerprints[name].encode())
+        for key in sorted(self.link_keys):
+            digest.update(repr(key).encode())
+        return digest.hexdigest()
+
+    # -- object-level closure ----------------------------------------------
+
+    def adjacency(self) -> Dict[ObjectRef, List[ObjectRef]]:
+        if self._adjacency is None:
+            adj: Dict[ObjectRef, List[ObjectRef]] = {}
+            for a, b, _relation in self.edges():
+                adj.setdefault(a, []).append(b)
+                adj.setdefault(b, []).append(a)
+            self._adjacency = adj
+        return self._adjacency
+
+    def neighborhood(
+        self, seeds: Iterable[ObjectRef], radius: int
+    ) -> Set[ObjectRef]:
+        """All objects within ``radius`` edges of any seed object."""
+        adjacency = self.adjacency()
+        seen: Set[ObjectRef] = set(seeds)
+        frontier = deque((seed, 0) for seed in sorted(seen))
+        while frontier:
+            obj, depth = frontier.popleft()
+            if depth >= radius:
+                continue
+            for peer in adjacency.get(obj, ()):
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append((peer, depth + 1))
+        return seen
+
+    # -- device-level closure ----------------------------------------------
+
+    def ball(
+        self,
+        seeds: Iterable[str],
+        radius: int,
+        coupling: Optional[Dict[str, Set[str]]] = None,
+    ) -> Set[str]:
+        """All devices within ``radius`` coupling hops of any seed."""
+        neighbors = coupling if coupling is not None else self.neighbors
+        seen: Set[str] = set(seeds)
+        frontier = deque((seed, 0) for seed in sorted(seen))
+        while frontier:
+            device, depth = frontier.popleft()
+            if depth >= radius:
+                continue
+            for peer in neighbors.get(device, ()):
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append((peer, depth + 1))
+        return seen
+
+    def component(
+        self,
+        seeds: Iterable[str],
+        coupling: Optional[Dict[str, Set[str]]] = None,
+    ) -> Set[str]:
+        """The union of the seeds' connected coupling components."""
+        neighbors = coupling if coupling is not None else self.neighbors
+        seen: Set[str] = set(seeds)
+        frontier = deque(sorted(seen))
+        while frontier:
+            device = frontier.popleft()
+            for peer in neighbors.get(device, ()):
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return seen
+
+
+def _device_coupling(
+    snapshot: Snapshot, link_keys: FrozenSet[LinkKey]
+) -> Dict[str, Set[str]]:
+    coupling: Dict[str, Set[str]] = {
+        name: set() for name in snapshot.topology.node_names()
+    }
+    for name in snapshot.devices:
+        coupling.setdefault(name, set())
+    for (a_node, _a_if), (b_node, _b_if) in link_keys:
+        if a_node != b_node:
+            coupling.setdefault(a_node, set()).add(b_node)
+            coupling.setdefault(b_node, set()).add(a_node)
+    return coupling
+
+
+def union_coupling(
+    old: Optional["NetworkDependencyGraph"],
+    new: "NetworkDependencyGraph",
+) -> Dict[str, Set[str]]:
+    """Device coupling over the union of two graphs' link sets — the sound
+    scoping relation for a change that may add or remove coupling."""
+    if old is None:
+        return new.neighbors
+    merged: Dict[str, Set[str]] = {}
+    for source in (old.neighbors, new.neighbors):
+        for device, peers in source.items():
+            merged.setdefault(device, set()).update(peers)
+    return merged
+
+
+def topology_touched_devices(
+    old: Optional["NetworkDependencyGraph"],
+    new: "NetworkDependencyGraph",
+) -> Set[str]:
+    """Devices incident to a link present in exactly one of the graphs —
+    the seeds a topology-only change contributes to incremental lint."""
+    if old is None:
+        return set()
+    touched: Set[str] = set()
+    for key in old.link_keys ^ new.link_keys:
+        (a_node, _a_if), (b_node, _b_if) = key
+        touched.add(a_node)
+        touched.add(b_node)
+    return touched
+
+
+# -- diff -> changed objects -------------------------------------------------
+
+
+def changed_objects(diff: LineDiff) -> Dict[str, Set[ObjectRef]]:
+    """Map each changed configuration line to the graph object it belongs
+    to (best effort: top-level lines map to a device-scope marker object
+    of kind ``static-route`` for ``ip route`` lines, else the device's
+    whole-config marker)."""
+    changed: Dict[str, Set[ObjectRef]] = {}
+    for line in list(diff.inserted) + list(diff.deleted):
+        ref = _object_for_line(line.device, line.stanza, line.text)
+        changed.setdefault(line.device, set()).add(ref)
+    return changed
+
+
+def _object_for_line(device: str, stanza: str, text: str) -> ObjectRef:
+    words = stanza.split()
+    if stanza.startswith("interface ") and len(words) == 2:
+        return ObjectRef(device, KIND_INTERFACE, words[1])
+    if stanza.startswith("ip access-list ") and len(words) == 3:
+        return ObjectRef(device, KIND_ACL, words[2])
+    if stanza.startswith("route-map ") and len(words) == 4:
+        return ObjectRef(device, KIND_ROUTE_MAP, words[1])
+    if stanza.startswith("router ospf") and len(words) == 3:
+        return ObjectRef(device, KIND_OSPF, words[2])
+    if stanza.startswith("router bgp") and len(words) == 3:
+        return ObjectRef(device, KIND_BGP, words[2])
+    stripped = text.strip()
+    if stripped.startswith("ip route "):
+        parts = stripped.split()
+        if len(parts) >= 4:
+            return ObjectRef(
+                device, KIND_STATIC_ROUTE, f"{parts[2]}@{parts[3]}"
+            )
+    return ObjectRef(device, "device", device)
+
+
+# -- graph cache -------------------------------------------------------------
+
+_GRAPH_CACHE: Dict[str, NetworkDependencyGraph] = {}
+_GRAPH_CACHE_CAP = 8
+
+
+def graph_for(snapshot: Snapshot) -> NetworkDependencyGraph:
+    """Build (or fetch from the fingerprint-keyed cache) the dependency
+    graph of ``snapshot``.  The cache makes repeated full lints of the
+    same configuration (CI gates, the serve loop, ``lint --base``'s base
+    run) pay for graph extraction once."""
+    fingerprints = {
+        name: device_fingerprint(config)
+        for name, config in snapshot.devices.items()
+    }
+    digest = hashlib.sha256()
+    for name in sorted(fingerprints):
+        digest.update(name.encode())
+        digest.update(fingerprints[name].encode())
+    for key in sorted(
+        _link_key(*link.endpoints()) for link in snapshot.topology.links()
+    ):
+        digest.update(repr(key).encode())
+    cache_key = digest.hexdigest()
+    cached = _GRAPH_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    graph = NetworkDependencyGraph.build(snapshot, fingerprints=fingerprints)
+    if len(_GRAPH_CACHE) >= _GRAPH_CACHE_CAP:
+        _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+    _GRAPH_CACHE[cache_key] = graph
+    return graph
+
+
+def clear_graph_cache() -> None:
+    _GRAPH_CACHE.clear()
+
+
+__all__ = [
+    "ObjectRef",
+    "NetworkDependencyGraph",
+    "device_fingerprint",
+    "resolve_next_hop",
+    "changed_objects",
+    "topology_touched_devices",
+    "union_coupling",
+    "graph_for",
+    "clear_graph_cache",
+    "KIND_INTERFACE",
+    "KIND_ACL",
+    "KIND_ROUTE_MAP",
+    "KIND_OSPF",
+    "KIND_BGP",
+    "KIND_BGP_NEIGHBOR",
+    "KIND_STATIC_ROUTE",
+    "KIND_REDISTRIBUTION",
+]

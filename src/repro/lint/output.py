@@ -47,6 +47,8 @@ def format_json(
         "summary": result.summary(),
         "passes_run": list(result.passes_run),
         "units_run": result.units_run,
+        "objects_scanned": result.objects_scanned,
+        "objects_total": result.objects_total,
         "suppressed": result.suppressed,
         "elapsed_seconds": result.elapsed,
         "diagnostics": [diag.to_dict() for diag in diags],
@@ -95,6 +97,11 @@ def format_sarif(
                 "level": diag.severity.sarif_level,
                 "message": {"text": diag.message},
                 "locations": [location],
+                # Stable across unrelated edits: hashes the finding's code,
+                # device, and object path — never line numbers.
+                "partialFingerprints": {
+                    "reproLintFingerprint/v1": diag.fingerprint()
+                },
             }
         )
     sarif = {

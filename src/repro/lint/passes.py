@@ -1,45 +1,68 @@
 """The built-in semantic lint passes.
 
-Eight pass classes covering the config-text error classes that behavioural
-verification (the RealConfig pipeline) either assumes away or reports only
-indirectly as policy violations:
+Fourteen pass classes covering the config-text error classes that
+behavioural verification (the RealConfig pipeline) either assumes away or
+reports only indirectly as policy violations.  Device-scoped passes read
+one configuration; snapshot-scoped passes read global identity spaces;
+cross-device passes (:class:`~repro.lint.framework.CrossDevicePass`)
+analyze a neighborhood of the network dependency graph:
 
-==========================  ======  =====================================
-pass                        codes   finds
-==========================  ======  =====================================
-undefined-references        REF0xx  dangling ACL / route-map / interface
-                                    references
-shadowed-acl-entries        ACL0xx  ACL entries unreachable behind an
-                                    earlier, broader entry
-unreachable-route-map       RMP0xx  route-map clauses behind a broader
-                                    earlier match
-duplicate-identity          DUP0xx  duplicate BGP AS identity, duplicate
-                                    addresses / prefixes on links
-ospf-adjacency              OSP0xx  subnet / cost / enablement asymmetry
-                                    across a physical link
-redistribution-cycles       RED0xx  mutual redistribution loops between
-                                    protocol domains
-static-route-nexthops       STA0xx  static routes whose next hop cannot
-                                    resolve
-shutdown-interface-config   SHD0xx  routing / filtering config bound to
-                                    administratively down interfaces
-==========================  ======  =====================================
+===========================  ======  ====================================
+pass                         codes   finds
+===========================  ======  ====================================
+undefined-references         REF0xx  dangling ACL / route-map / interface
+                                     references
+shadowed-acl-entries         ACL0xx  ACL entries unreachable behind an
+                                     earlier, broader entry
+unreachable-route-map        RMP0xx  route-map clauses behind a broader
+                                     earlier match
+duplicate-identity           DUP0xx  duplicate BGP AS identity
+duplicate-address            ADR0xx  duplicate addresses on links,
+                                     duplicate prefixes on a device
+ospf-adjacency               OSP0xx  subnet / cost / enablement asymmetry
+                                     across a physical link
+redistribution-cycles        RED0xx  mutual redistribution statements
+                                     between protocol domains
+static-route-nexthops        STA0xx  static routes whose next hop cannot
+                                     resolve
+shutdown-interface-config    SHD0xx  routing / filtering config bound to
+                                     administratively down interfaces
+link-endpoint-consistency    LNK0xx  subnet / MTU mismatch and
+                                     half-configured shared links
+bgp-session-consistency      BGP0xx  asymmetric / missing neighbor
+                                     statements, AS mismatches, sessions
+                                     on dead interfaces
+cross-device-blackholes      BLK0xx  static next hops pointing at devices
+                                     that drop or cannot forward
+network-redistribution-loops RDL0xx  redistribution cycles that span
+                                     devices over live protocol domains
+partition-isolation          ISO0xx  devices or protocol speakers with no
+                                     viable path to the rest of the net
+===========================  ======  ====================================
 
-Severity grading: a finding is an ERROR when it changes or breaks forwarding
-behaviour outright (dangling reference, masked opposite-action filter rule,
-unresolvable next hop, duplicate link address), a WARNING when it is very
+Severity grading: a finding is an ERROR when it changes or breaks
+forwarding behaviour outright (dangling reference, masked opposite-action
+filter rule, unresolvable next hop, duplicate link address, subnet
+mismatch, blackholed next hop, isolated device), a WARNING when it is very
 likely unintended but functional (shadowed same-action entries, asymmetric
-costs, mutual redistribution at multiple points), and INFO for hygiene.
+costs, MTU mismatch, redistribution loops), and INFO for hygiene.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.config.schema import AclEntry, DeviceConfig, Snapshot, StaticRoute
+from repro.config.schema import (
+    AclEntry,
+    DeviceConfig,
+    Snapshot,
+    StaticRoute,
+)
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.lint.framework import LintPass, register_pass
-from repro.net.addr import format_ipv4
+from repro.lint.framework import CrossDevicePass, LintPass, register_pass
+from repro.lint.graph import NetworkDependencyGraph, resolve_next_hop
+from repro.net.addr import Prefix, format_ipv4
+from repro.net.topology import InterfaceId
 
 
 def _static_route_line(route: StaticRoute) -> str:
@@ -54,6 +77,13 @@ def _static_route_line(route: StaticRoute) -> str:
     return text
 
 
+def _config_iface(snapshot: Snapshot, node: str, name: str):
+    device = snapshot.devices.get(node)
+    if device is None:
+        return None
+    return device.interfaces.get(name)
+
+
 @register_pass
 class UndefinedReferences(LintPass):
     """Names referenced but never defined on the device."""
@@ -66,6 +96,17 @@ class UndefinedReferences(LintPass):
     )
     scope = frozenset({"interface", "router-bgp", "top", "acl", "route-map"})
     device_scoped = True
+    docs = {
+        "REF001": "An interface binds an ACL name that is not defined on "
+        "the device; the binding filters nothing (or everything, depending "
+        "on platform) and is almost certainly a typo or a stale rename.",
+        "REF002": "A BGP neighbor statement names an interface the device "
+        "does not define; the session can never establish.",
+        "REF003": "A BGP neighbor applies a route-map that is not defined "
+        "on the device; policy silently does not apply.",
+        "REF004": "A static route exits via an interface the device does "
+        "not define; the route can never be installed.",
+    }
 
     def check_device(
         self, snapshot: Snapshot, device: DeviceConfig
@@ -159,6 +200,13 @@ class ShadowedAclEntries(LintPass):
     description = "every ACL entry should be reachable by some packet"
     scope = frozenset({"acl"})
     device_scoped = True
+    docs = {
+        "ACL001": "An ACL entry is fully covered by an earlier entry with "
+        "the same action: it can never match and is dead configuration.",
+        "ACL002": "An ACL entry is fully covered by an earlier entry with "
+        "the opposite action: the later entry's intent is silently "
+        "inverted for every packet it was written for.",
+    }
 
     def check_device(
         self, snapshot: Snapshot, device: DeviceConfig
@@ -191,6 +239,13 @@ class UnreachableRouteMapClauses(LintPass):
     description = "every route-map clause should be reachable by some route"
     scope = frozenset({"route-map"})
     device_scoped = True
+    docs = {
+        "RMP001": "A route-map clause sits behind an earlier clause with "
+        "the same action that already matches everything it would match.",
+        "RMP002": "A route-map clause sits behind an earlier clause with "
+        "the opposite action covering its matches: routes it was written "
+        "to permit (or deny) take the earlier clause instead.",
+    }
 
     def check_device(
         self, snapshot: Snapshot, device: DeviceConfig
@@ -226,20 +281,22 @@ class UnreachableRouteMapClauses(LintPass):
 
 @register_pass
 class DuplicateIdentity(LintPass):
-    """Identity clashes: shared BGP AS numbers and duplicate link addresses."""
+    """Identity clashes in the global BGP AS number space."""
 
     name = "duplicate-identity"
     code = "DUP"
     description = (
-        "BGP identities and interface addresses must be unique where "
-        "protocols require it"
+        "BGP AS identities must be unique in the one-AS-per-node model"
     )
-    scope = frozenset({"router-bgp", "interface"})
+    scope = frozenset({"router-bgp"})
     device_scoped = False
+    docs = {
+        "DUP001": "Two devices share a BGP AS number; in the one-AS-per-"
+        "node model their eBGP sessions will not exchange routes the way "
+        "the topology intends (loop prevention discards the updates).",
+    }
 
     def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
-        # (a) eBGP sessions between devices sharing an AS number never
-        # exchange routes the way the one-AS-per-node model intends.
         by_asn: Dict[int, List[str]] = {}
         for device in snapshot.iter_devices():
             if device.bgp is not None:
@@ -256,31 +313,61 @@ class DuplicateIdentity(LintPass):
                     f"{', '.join(o for o in owners if o != owner)}",
                     stanza=f"router bgp {asn}",
                 )
-        # (b) per link: both ends configured with the same interface address.
+
+
+@register_pass
+class DuplicateAddress(CrossDevicePass):
+    """Address and prefix clashes visible on shared links or one device."""
+
+    name = "duplicate-address"
+    code = "ADR"
+    description = (
+        "interface addresses must be unique per link and prefixes unique "
+        "per device"
+    )
+    scope = frozenset({"interface"})
+    radius = 1
+    docs = {
+        "ADR001": "Both endpoints of a physical link are configured with "
+        "the same interface address; ARP/ND resolution and every protocol "
+        "riding the link are undefined.",
+        "ADR002": "Two interfaces of one device carry the same prefix; "
+        "connected-route installation is ambiguous.",
+    }
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        # Per link: both ends configured with the same interface address.
         for link in snapshot.topology.links():
-            ends = []
-            for end in link.endpoints():
-                device = snapshot.devices.get(end.node)
-                iface = device.interfaces.get(end.name) if device else None
-                ends.append((end, iface))
-            (a_id, a_iface), (b_id, b_iface) = ends
+            a_id, b_id = link.endpoints()
+            if a_id.node not in targets and b_id.node not in targets:
+                continue
+            a_iface = _config_iface(snapshot, a_id.node, a_id.name)
+            b_iface = _config_iface(snapshot, b_id.node, b_id.name)
             if a_iface is None or b_iface is None:
                 continue
             if (
                 a_iface.address is not None
                 and a_iface.address == b_iface.address
             ):
-                for end_id, iface in ends:
+                for end_id, iface in ((a_id, a_iface), (b_id, b_iface)):
                     yield self._diag(
-                        "002",
+                        "001",
                         Severity.ERROR,
                         end_id.node,
                         f"address duplicated on both ends of link "
                         f"{a_id} <-> {b_id}",
                         stanza=f"interface {iface.name}",
                     )
-        # (c) per device: the same subnet configured on two interfaces.
-        for device in snapshot.iter_devices():
+        # Per device: the same subnet configured on two interfaces.
+        for device_name in sorted(targets):
+            device = snapshot.devices.get(device_name)
+            if device is None:
+                continue
             seen: Dict[object, str] = {}
             for name in sorted(device.interfaces):
                 iface = device.interfaces[name]
@@ -289,7 +376,7 @@ class DuplicateIdentity(LintPass):
                 first = seen.setdefault(iface.prefix, name)
                 if first != name:
                     yield self._diag(
-                        "003",
+                        "002",
                         Severity.WARNING,
                         device.hostname,
                         f"prefix {iface.prefix} configured on both "
@@ -299,7 +386,7 @@ class DuplicateIdentity(LintPass):
 
 
 @register_pass
-class OspfAdjacencyMismatch(LintPass):
+class OspfAdjacencyMismatch(CrossDevicePass):
     """Per-link OSPF asymmetries that silently break or skew adjacencies."""
 
     name = "ospf-adjacency"
@@ -309,13 +396,29 @@ class OspfAdjacencyMismatch(LintPass):
         "and (usually) cost"
     )
     scope = frozenset({"interface"})
-    device_scoped = False
+    radius = 1
+    docs = {
+        "OSP001": "OSPF is enabled on one end of a link but not the "
+        "other; the adjacency never forms and traffic silently takes "
+        "other paths.",
+        "OSP002": "The two ends of an OSPF-enabled link carry different "
+        "subnets; hellos are ignored and the adjacency never forms.",
+        "OSP003": "The two ends of an OSPF adjacency advertise different "
+        "costs; traffic becomes asymmetric, which is usually unintended.",
+    }
 
-    def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
         for link in snapshot.topology.links():
             a_id, b_id = link.endpoints()
-            a = self._config_iface(snapshot, a_id.node, a_id.name)
-            b = self._config_iface(snapshot, b_id.node, b_id.name)
+            if a_id.node not in targets and b_id.node not in targets:
+                continue
+            a = _config_iface(snapshot, a_id.node, a_id.name)
+            b = _config_iface(snapshot, b_id.node, b_id.name)
             if a is None or b is None:
                 continue
             if a.shutdown or b.shutdown:
@@ -358,13 +461,6 @@ class OspfAdjacencyMismatch(LintPass):
                     stanza=f"interface {a_id.name}",
                 )
 
-    @staticmethod
-    def _config_iface(snapshot: Snapshot, node: str, name: str):
-        device = snapshot.devices.get(node)
-        if device is None:
-            return None
-        return device.interfaces.get(name)
-
 
 @register_pass
 class RedistributionCycles(LintPass):
@@ -378,6 +474,14 @@ class RedistributionCycles(LintPass):
     )
     scope = frozenset({"router-ospf", "router-bgp"})
     device_scoped = False
+    docs = {
+        "RED001": "Redistribution statements across several devices close "
+        "an ospf->bgp->ospf cycle on paper; whether routes actually "
+        "circulate depends on domain connectivity (see RDL001).",
+        "RED002": "One device redistributes in both directions between "
+        "OSPF and BGP; the textbook border pattern, flagged for metric/"
+        "filter review.",
+    }
 
     def check_snapshot(self, snapshot: Snapshot) -> Iterator[Diagnostic]:
         # Directed edges between routing protocol domains, attributed to the
@@ -444,6 +548,13 @@ class StaticRouteNextHops(LintPass):
     )
     scope = frozenset({"top", "interface"})
     device_scoped = True
+    docs = {
+        "STA001": "A static route's IP next hop is outside every "
+        "connected subnet of an up interface; the route can never "
+        "resolve and the prefix blackholes locally.",
+        "STA002": "A static route's next hop is one of the device's own "
+        "addresses — a self-loop that resolves nowhere useful.",
+    }
 
     def check_device(
         self, snapshot: Snapshot, device: DeviceConfig
@@ -498,6 +609,16 @@ class ShutdownInterfaceConfig(LintPass):
     )
     scope = frozenset({"interface", "router-bgp", "top"})
     device_scoped = True
+    docs = {
+        "SHD001": "OSPF is enabled on a shutdown interface; the "
+        "enablement is dead configuration until the port comes back.",
+        "SHD002": "ACLs are bound to a shutdown interface; the filters "
+        "do nothing while the port is down.",
+        "SHD003": "A BGP neighbor rides a shutdown interface; the "
+        "session cannot establish.",
+        "SHD004": "A static route exits via a shutdown interface; the "
+        "route cannot be installed.",
+    }
 
     def check_device(
         self, snapshot: Snapshot, device: DeviceConfig
@@ -556,7 +677,534 @@ class ShutdownInterfaceConfig(LintPass):
                 )
 
 
-#: Mapping of rule code prefixes to pass metadata, for SARIF rule listings.
+@register_pass
+class LinkEndpointConsistency(CrossDevicePass):
+    """Protocol-independent consistency of the two ends of a shared link."""
+
+    name = "link-endpoint-consistency"
+    code = "LNK"
+    description = (
+        "both ends of a physical link should agree on subnet, mask, and "
+        "MTU, and both should be configured"
+    )
+    scope = frozenset({"interface"})
+    radius = 1
+    docs = {
+        "LNK001": "The two configured endpoints of a link carry "
+        "different subnets (or masks); directly connected traffic and "
+        "every protocol above it break, whether or not a routing "
+        "protocol runs on the link.",
+        "LNK002": "The two endpoints of a link disagree on MTU; large "
+        "frames are dropped in one direction, the classic source of "
+        "hard-to-debug partial outages.",
+        "LNK003": "Only one end of a physical link is configured; the "
+        "link cannot carry traffic and the configured end's config is "
+        "aspirational.",
+    }
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        for link in snapshot.topology.links():
+            a_id, b_id = link.endpoints()
+            if a_id.node not in targets and b_id.node not in targets:
+                continue
+            a = _config_iface(snapshot, a_id.node, a_id.name)
+            b = _config_iface(snapshot, b_id.node, b_id.name)
+            if a is None and b is None:
+                continue
+            if a is None or b is None:
+                present_id, present, absent_id = (
+                    (b_id, b, a_id) if a is None else (a_id, a, b_id)
+                )
+                yield self._diag(
+                    "003",
+                    Severity.WARNING,
+                    present_id.node,
+                    f"link {a_id} <-> {b_id} is half-configured: "
+                    f"{absent_id} has no interface configuration",
+                    stanza=f"interface {present_id.name}",
+                )
+                continue
+            if a.shutdown or b.shutdown:
+                continue  # an intentionally down link is exempt
+            if (
+                a.prefix is not None
+                and b.prefix is not None
+                and a.prefix != b.prefix
+            ):
+                yield self._diag(
+                    "001",
+                    Severity.ERROR,
+                    a_id.node,
+                    f"subnet mismatch on link {a_id} <-> {b_id}: "
+                    f"{a.prefix} vs {b.prefix}",
+                    stanza=f"interface {a_id.name}",
+                )
+            if a.mtu != b.mtu:
+                yield self._diag(
+                    "002",
+                    Severity.WARNING,
+                    a_id.node,
+                    f"MTU mismatch on link {a_id} <-> {b_id}: "
+                    f"{a.mtu} vs {b.mtu}",
+                    stanza=f"interface {a_id.name}",
+                )
+
+
+@register_pass
+class BgpSessionConsistency(CrossDevicePass):
+    """Cross-device agreement of the two halves of each BGP peering."""
+
+    name = "bgp-session-consistency"
+    code = "BGP"
+    description = (
+        "each BGP session needs matching neighbor statements, correct AS "
+        "numbers, and live interfaces on both ends"
+    )
+    scope = frozenset({"interface", "router-bgp"})
+    radius = 1
+    docs = {
+        "BGP001": "A device has a neighbor statement for a link whose "
+        "peer has no matching neighbor statement; the session stays in "
+        "Active forever.",
+        "BGP002": "A neighbor statement's remote-as does not match the "
+        "AS the peer device actually runs; the OPEN is rejected and the "
+        "session never establishes.",
+        "BGP003": "A neighbor statement rides an interface with no link "
+        "or an unconfigured peer interface; the session peers into the "
+        "void.",
+        "BGP004": "The peer interface of a BGP session is "
+        "administratively shut down; the session cannot establish until "
+        "the remote side re-enables the port.",
+    }
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        for device_name in sorted(targets):
+            device = snapshot.devices.get(device_name)
+            if device is None or device.bgp is None:
+                continue
+            stanza = f"router bgp {device.bgp.asn}"
+            for if_name in sorted(device.bgp.neighbors):
+                neighbor = device.bgp.neighbors[if_name]
+                local = device.interfaces.get(if_name)
+                if local is None or local.shutdown:
+                    continue  # REF002 / SHD003 own these
+                line = f"neighbor {if_name} remote-as {neighbor.remote_as}"
+                peer = snapshot.topology.neighbor_of(
+                    InterfaceId(device_name, if_name)
+                )
+                peer_iface = (
+                    _config_iface(snapshot, peer.node, peer.name)
+                    if peer is not None
+                    else None
+                )
+                if peer is None or peer_iface is None:
+                    where = (
+                        "an unlinked interface"
+                        if peer is None
+                        else f"unconfigured peer interface {peer}"
+                    )
+                    yield self._diag(
+                        "003",
+                        Severity.WARNING,
+                        device_name,
+                        f"BGP neighbor on {if_name} peers into the void "
+                        f"({where})",
+                        stanza=stanza,
+                        line_text=line,
+                    )
+                    continue
+                peer_device = snapshot.devices[peer.node]
+                if (
+                    peer_device.bgp is None
+                    or peer.name not in peer_device.bgp.neighbors
+                ):
+                    yield self._diag(
+                        "001",
+                        Severity.ERROR,
+                        device_name,
+                        f"asymmetric BGP session on {if_name}: {peer.node} "
+                        f"has no neighbor statement on {peer.name}",
+                        stanza=stanza,
+                        line_text=line,
+                    )
+                elif neighbor.remote_as != peer_device.bgp.asn:
+                    yield self._diag(
+                        "002",
+                        Severity.ERROR,
+                        device_name,
+                        f"remote-as mismatch on {if_name}: configured "
+                        f"{neighbor.remote_as}, but {peer.node} runs AS "
+                        f"{peer_device.bgp.asn}",
+                        stanza=stanza,
+                        line_text=line,
+                    )
+                if peer_iface.shutdown:
+                    yield self._diag(
+                        "004",
+                        Severity.WARNING,
+                        device_name,
+                        f"BGP session on {if_name} rides {peer}, which is "
+                        "shut down",
+                        stanza=stanza,
+                        line_text=line,
+                    )
+
+
+def _acl_drops_all(acl, prefix: Prefix) -> bool:
+    """True when an explicit deny entry provably drops every packet
+    destined to ``prefix`` (sound regardless of the implicit default:
+    only explicit denies count, and any earlier possibly-matching permit
+    clears the verdict)."""
+    for entry in acl.sorted_entries():
+        overlaps = entry.dst is None or entry.dst.overlaps(prefix)
+        if not overlaps:
+            continue
+        if entry.action == "permit":
+            return False
+        covers_all_packets = (
+            entry.proto is None
+            and entry.src is None
+            and entry.dst_port is None
+            and (entry.dst is None or entry.dst.contains(prefix))
+        )
+        if covers_all_packets:
+            return True
+        # A partial deny: some packets die here, the rest fall through.
+    return False
+
+
+@register_pass
+class CrossDeviceBlackholes(CrossDevicePass):
+    """Static routes that resolve fine locally but die at the next hop."""
+
+    name = "cross-device-blackholes"
+    code = "BLK"
+    description = (
+        "a static next hop must point at a device that accepts and can "
+        "forward the traffic"
+    )
+    scope = frozenset({"top", "interface", "acl"})
+    radius = 1
+    docs = {
+        "BLK001": "A static route's next-hop device drops the traffic on "
+        "arrival: the inbound ACL of the receiving interface contains an "
+        "explicit deny covering the routed prefix with no earlier permit "
+        "that could match.",
+        "BLK002": "A static route's next-hop device has no way to "
+        "forward the traffic onward: no routing protocol, and no "
+        "connected or static route overlapping the prefix.",
+    }
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        for device_name in sorted(targets):
+            device = snapshot.devices.get(device_name)
+            if device is None:
+                continue
+            for route in device.static_routes:
+                if route.next_hop_ip is None:
+                    continue
+                resolved = resolve_next_hop(
+                    snapshot, device, route.next_hop_ip
+                )
+                if resolved is None:
+                    continue  # STA001 owns unresolvable next hops
+                peer_node, peer_if = resolved
+                peer_device = snapshot.devices[peer_node]
+                peer_iface = peer_device.interfaces[peer_if]
+                acl = (
+                    peer_device.acls.get(peer_iface.acl_in)
+                    if peer_iface.acl_in is not None
+                    else None
+                )
+                if acl is not None and _acl_drops_all(acl, route.prefix):
+                    yield self._diag(
+                        "001",
+                        Severity.ERROR,
+                        device_name,
+                        f"static route {route.prefix} next hop "
+                        f"{peer_node}:{peer_if} drops the traffic: inbound "
+                        f"ACL {acl.name} denies the prefix",
+                        line_text=_static_route_line(route),
+                    )
+                    continue
+                if not self._peer_can_forward(peer_device, route.prefix):
+                    yield self._diag(
+                        "002",
+                        Severity.ERROR,
+                        device_name,
+                        f"static route {route.prefix} next hop "
+                        f"{peer_node}:{peer_if} cannot forward onward: "
+                        f"{peer_node} runs no routing protocol and has no "
+                        "overlapping connected or static route",
+                        line_text=_static_route_line(route),
+                    )
+
+    @staticmethod
+    def _peer_can_forward(peer_device: DeviceConfig, prefix: Prefix) -> bool:
+        if peer_device.ospf is not None or peer_device.bgp is not None:
+            return True  # may learn the prefix dynamically
+        for iface in peer_device.interfaces.values():
+            if (
+                iface.prefix is not None
+                and iface.is_up()
+                and iface.prefix.overlaps(prefix)
+            ):
+                return True
+        for other in peer_device.static_routes:
+            if other.prefix.overlaps(prefix):
+                return True
+        return False
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def add(self, item: str) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: str) -> str:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic representative: the lexicographically smaller.
+            lo, hi = sorted((ra, rb))
+            self._parent[hi] = lo
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._parent
+
+
+@register_pass
+class NetworkRedistributionLoops(CrossDevicePass):
+    """Redistribution cycles that actually span devices over live protocol
+    domains — the connectivity-checked generalization of RED001."""
+
+    name = "network-redistribution-loops"
+    code = "RDL"
+    description = (
+        "redistribution at multiple points between the same connected "
+        "OSPF and BGP domains lets routes circulate network-wide"
+    )
+    scope = frozenset({"interface", "router-ospf", "router-bgp"})
+    radius = None  # evidence spans the connected component
+    docs = {
+        "RDL001": "Two or more devices redistribute between the *same* "
+        "connected OSPF domain and the *same* connected BGP domain in "
+        "opposite directions; a route injected at one border returns at "
+        "the other and circulates, inflating metrics or looping. Unlike "
+        "RED001, this pass verifies over the dependency graph that the "
+        "domains are actually connected, so redistribution on unrelated "
+        "islands stays silent.",
+    }
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        ospf_domains, bgp_domains = self._protocol_domains(snapshot)
+        # domain-pair -> devices redistributing in each direction.
+        forward: Dict[Tuple[str, str], List[str]] = {}
+        backward: Dict[Tuple[str, str], List[str]] = {}
+        for device in snapshot.iter_devices():
+            name = device.hostname
+            if name not in ospf_domains or name not in bgp_domains:
+                continue
+            pair = (ospf_domains.find(name), bgp_domains.find(name))
+            if device.bgp is not None and any(
+                r.source == "ospf" for r in device.bgp.redistribute
+            ):
+                forward.setdefault(pair, []).append(name)
+            if device.ospf is not None and any(
+                r.source == "bgp" for r in device.ospf.redistribute
+            ):
+                backward.setdefault(pair, []).append(name)
+        for pair in sorted(set(forward) & set(backward)):
+            fwd, bwd = forward[pair], backward[pair]
+            participants = sorted(set(fwd) | set(bwd))
+            if len(participants) < 2:
+                continue  # single border device: RED002 owns this
+            for device_name in participants:
+                if device_name not in targets:
+                    continue
+                yield self._diag(
+                    "001",
+                    Severity.WARNING,
+                    device_name,
+                    "network-wide redistribution loop: ospf->bgp at "
+                    f"{', '.join(sorted(set(fwd)))} returns bgp->ospf at "
+                    f"{', '.join(sorted(set(bwd)))} across connected "
+                    "protocol domains",
+                    stanza=RedistributionCycles._stanza(snapshot, device_name),
+                )
+
+    @staticmethod
+    def _protocol_domains(
+        snapshot: Snapshot,
+    ) -> Tuple[_UnionFind, _UnionFind]:
+        ospf = _UnionFind()
+        bgp = _UnionFind()
+        for device in snapshot.iter_devices():
+            if device.ospf is not None:
+                ospf.add(device.hostname)
+            if device.bgp is not None:
+                bgp.add(device.hostname)
+        for link in snapshot.topology.links():
+            a_id, b_id = link.endpoints()
+            a = _config_iface(snapshot, a_id.node, a_id.name)
+            b = _config_iface(snapshot, b_id.node, b_id.name)
+            if a is None or b is None or a.shutdown or b.shutdown:
+                continue
+            a_dev = snapshot.devices[a_id.node]
+            b_dev = snapshot.devices[b_id.node]
+            if (
+                a_id.node in ospf
+                and b_id.node in ospf
+                and a.ospf_enabled
+                and b.ospf_enabled
+            ):
+                ospf.union(a_id.node, b_id.node)
+            if (
+                a_id.node in bgp
+                and b_id.node in bgp
+                and a_dev.bgp is not None
+                and b_dev.bgp is not None
+                and a_id.name in a_dev.bgp.neighbors
+                and b_id.name in b_dev.bgp.neighbors
+            ):
+                bgp.union(a_id.node, b_id.node)
+        return ospf, bgp
+
+
+@register_pass
+class PartitionIsolation(CrossDevicePass):
+    """Devices cut off from the network, physically or at the protocol
+    layer — partition/isolation intent checks."""
+
+    name = "partition-isolation"
+    code = "ISO"
+    description = (
+        "every device with links should have a viable path, and every "
+        "protocol speaker a viable adjacency or session"
+    )
+    scope = frozenset({"interface", "router-ospf", "router-bgp"})
+    radius = 1
+    docs = {
+        "ISO001": "A device has physical links but none of them is "
+        "viable (every link is shut down on one end or half-"
+        "configured); the device is partitioned from the network.",
+        "ISO002": "A device speaks a routing protocol (OSPF enabled on "
+        "interfaces, or BGP neighbors configured) but has no viable "
+        "adjacency or session on any link; its prefixes are announced "
+        "to no one.",
+    }
+
+    def check_region(
+        self,
+        snapshot: Snapshot,
+        graph: NetworkDependencyGraph,
+        targets: Set[str],
+    ) -> Iterator[Diagnostic]:
+        for device_name in sorted(targets):
+            device = snapshot.devices.get(device_name)
+            if device is None:
+                continue
+            linked = 0
+            viable = 0
+            ospf_attempts = 0
+            ospf_viable = 0
+            bgp_attempts = 0
+            bgp_viable = 0
+            for if_name in sorted(device.interfaces):
+                iface = device.interfaces[if_name]
+                peer = snapshot.topology.neighbor_of(
+                    InterfaceId(device_name, if_name)
+                )
+                if peer is None:
+                    continue
+                linked += 1
+                peer_iface = _config_iface(snapshot, peer.node, peer.name)
+                link_up = (
+                    iface.is_up()
+                    and peer_iface is not None
+                    and peer_iface.is_up()
+                )
+                if link_up:
+                    viable += 1
+                peer_device = snapshot.devices.get(peer.node)
+                if device.ospf is not None and iface.ospf_enabled:
+                    ospf_attempts += 1
+                    if (
+                        link_up
+                        and peer_device is not None
+                        and peer_device.ospf is not None
+                        and peer_iface is not None
+                        and peer_iface.ospf_enabled
+                    ):
+                        ospf_viable += 1
+                if (
+                    device.bgp is not None
+                    and if_name in device.bgp.neighbors
+                ):
+                    bgp_attempts += 1
+                    if (
+                        link_up
+                        and peer_device is not None
+                        and peer_device.bgp is not None
+                        and peer.name in peer_device.bgp.neighbors
+                    ):
+                        bgp_viable += 1
+            if linked and viable == 0:
+                yield self._diag(
+                    "001",
+                    Severity.ERROR,
+                    device_name,
+                    f"device is partitioned: none of its {linked} link(s) "
+                    "is up and configured on both ends",
+                )
+                continue  # protocol isolation is implied; don't double-report
+            protocol_islands = []
+            if ospf_attempts and ospf_viable == 0:
+                protocol_islands.append("OSPF adjacency")
+            if bgp_attempts and bgp_viable == 0:
+                protocol_islands.append("BGP session")
+            for what in protocol_islands:
+                yield self._diag(
+                    "002",
+                    Severity.WARNING,
+                    device_name,
+                    f"device speaks a routing protocol but no viable "
+                    f"{what} exists on any link: its routes reach no one",
+                )
+
+
+# -- catalog helpers ---------------------------------------------------------
+
+
 def rule_catalog() -> List[Tuple[str, str, str]]:
     """(code prefix, pass name, description) for every registered pass."""
     from repro.lint.framework import all_passes
@@ -564,14 +1212,41 @@ def rule_catalog() -> List[Tuple[str, str, str]]:
     return [(p.code, p.name, p.description) for p in all_passes()]
 
 
+def explain_code(code: str) -> Optional[str]:
+    """Human-readable documentation for a finding code (``LNK001``) or a
+    pass prefix (``LNK``), for ``repro lint --explain``."""
+    from repro.lint.framework import all_passes
+
+    code = code.upper()
+    for lint_pass in all_passes():
+        if code == lint_pass.code:
+            lines = [f"{lint_pass.code} · {lint_pass.name}"]
+            lines.append(lint_pass.description)
+            for full_code in sorted(lint_pass.docs):
+                lines.append(f"  {full_code}: {lint_pass.docs[full_code]}")
+            return "\n".join(lines)
+        if code in lint_pass.docs:
+            return (
+                f"{code} · {lint_pass.name}\n{lint_pass.docs[code]}"
+            )
+    return None
+
+
 __all__ = [
     "UndefinedReferences",
     "ShadowedAclEntries",
     "UnreachableRouteMapClauses",
     "DuplicateIdentity",
+    "DuplicateAddress",
     "OspfAdjacencyMismatch",
     "RedistributionCycles",
     "StaticRouteNextHops",
     "ShutdownInterfaceConfig",
+    "LinkEndpointConsistency",
+    "BgpSessionConsistency",
+    "CrossDeviceBlackholes",
+    "NetworkRedistributionLoops",
+    "PartitionIsolation",
     "rule_catalog",
+    "explain_code",
 ]

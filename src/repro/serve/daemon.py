@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Callable, Deque, Iterable, Iterator, List, Optional, Union
 
 from repro.config.changes import apply_changes
-from repro.core.realconfig import RealConfig
+from repro.core.realconfig import LintGateError, RealConfig
 from repro.resilience.checkpoint import read_checkpoint_extras, write_checkpoint
 from repro.serve.breaker import OPEN, CircuitBreaker
 from repro.serve.deadletter import DeadLetterBox
@@ -91,6 +91,8 @@ class ServeStats:
     audits: int = 0
     audit_rebuilds: int = 0
     new_violations: int = 0
+    lint_rejected: int = 0
+    lint_new_errors: int = 0
     max_queue_depth: int = 0
     skipped_on_resume: int = 0
     stopped_early: bool = False
@@ -114,6 +116,10 @@ class ServeStats:
             parts.append(f"{self.deadline_exceeded} deadline aborts")
         if self.new_violations:
             parts.append(f"{self.new_violations} new policy violations")
+        if self.lint_rejected:
+            parts.append(f"{self.lint_rejected} lint-rejected")
+        if self.lint_new_errors:
+            parts.append(f"{self.lint_new_errors} new lint errors")
         if self.skipped_on_resume:
             parts.append(f"resumed past {self.skipped_on_resume}")
         if self.stopped_early:
@@ -176,6 +182,15 @@ class ServeDaemon:
         self._to_skip = resume_cursor
         self._batches_since_audit = 0
         self._batches_since_checkpoint = 0
+        # Warn-mode lint accounting: error fingerprints already present at
+        # daemon start (or at the last rebuild) — anything beyond these is
+        # a *new* lint error introduced by the stream.
+        self._lint_errors_seen: Optional[set] = None
+        baseline = verifier.lint_result
+        if baseline is not None:
+            self._lint_errors_seen = {
+                diag.fingerprint() for diag in baseline.errors()
+            }
 
     # -- control -------------------------------------------------------------
 
@@ -331,6 +346,8 @@ class ServeDaemon:
                 self.stats.batches_ok += 1
                 self._count(names.SERVE_BATCHES_OK)
                 self.stats.new_violations += len(delta.newly_violated)
+                if delta.lint is not None:
+                    self._track_lint_errors(delta.lint)
                 return True
             if isinstance(error, DeadlineExceeded):
                 self.stats.deadline_exceeded += 1
@@ -356,7 +373,7 @@ class ServeDaemon:
                     # writing it off as poison.
                     return self._serve_rebuild(batch, prior_attempts=attempt)
             self._quarantine(
-                batch, error, attempt, classify_failure(error)
+                batch, error, attempt, self._failure_class(error)
             )
             return False
 
@@ -409,11 +426,13 @@ class ServeDaemon:
                 batch,
                 error,
                 prior_attempts + 1,
-                classify_failure(error),
+                self._failure_class(error),
             )
             return False
         self.verifier.close()  # release the replaced verifier's worker pool
         self.verifier = fresh
+        if fresh.lint_result is not None:
+            self._track_lint_errors(fresh.lint_result)
         self.stats.batches_ok += 1
         self._count(names.SERVE_BATCHES_OK)
         after = {
@@ -427,6 +446,30 @@ class ServeDaemon:
         )
         return True
 
+    @staticmethod
+    def _failure_class(error: BaseException) -> str:
+        """Dead-letter taxonomy: lint-gate refusals get their own class so
+        operators can triage "your change is malformed text" apart from
+        "the verifier choked"."""
+        if isinstance(error, LintGateError):
+            return "lint-rejected"
+        return classify_failure(error)
+
+    def _track_lint_errors(self, lint_result) -> None:
+        """Warn-mode accounting: count lint errors never seen before.
+
+        Under ``--lint enforce`` the gate quarantines offending batches, so
+        this stays zero; under ``--lint warn`` accepted batches may carry
+        new errors, and this is how many distinct ones the stream added."""
+        current = {diag.fingerprint() for diag in lint_result.errors()}
+        if self._lint_errors_seen is None:
+            self._lint_errors_seen = current
+            return
+        fresh = current - self._lint_errors_seen
+        if fresh:
+            self.stats.lint_new_errors += len(fresh)
+            self._lint_errors_seen |= fresh
+
     def _quarantine(
         self,
         batch: ChangeBatch,
@@ -434,6 +477,9 @@ class ServeDaemon:
         attempts: int,
         failure_class: str,
     ) -> None:
+        if failure_class == "lint-rejected":
+            self.stats.lint_rejected += 1
+            self._count(names.SERVE_LINT_REJECTED)
         # The transaction rolled back, so the verifier is at the pre-batch
         # state — exactly what the fingerprint must describe.
         self.dead_letter.quarantine(
@@ -507,6 +553,8 @@ class ServeDaemon:
             "retries": self.stats.retries,
             "quarantined": self.stats.quarantined,
             "new_violations": self.stats.new_violations,
+            "lint_rejected": self.stats.lint_rejected,
+            "lint_new_errors": self.stats.lint_new_errors,
         }
         if last_batch is not None:
             payload["last_batch"] = last_batch

@@ -30,6 +30,9 @@ SPAN_POLICY_CHECK = "realconfig.policy_check"
 SPAN_DDLOG_EPOCH = "ddlog.epoch"
 SPAN_LINT_RUN = "lint.run"
 SPAN_LINT_INCREMENTAL = "lint.incremental"
+#: Prefix of per-pass spans: ``lint.pass.<CODE>`` (one child per pass
+#: under lint.run / lint.incremental, e.g. ``lint.pass.LNK``).
+SPAN_LINT_PASS_PREFIX = "lint.pass."
 
 # Resilience spans.  SPAN_TXN_ROLLBACK appears under the verify root only
 # on the *failure* path (the success path keeps the exact STAGE_SPANS
@@ -100,6 +103,9 @@ POLICY_PAIRS_AFFECTED = "repro_policy_pairs_affected_total"
 LINT_UNITS_RUN = "repro_lint_units_run_total"
 LINT_UNITS_REUSED = "repro_lint_units_reused_total"
 LINT_DIAGNOSTICS = "repro_lint_diagnostics_total"
+LINT_OBJECTS_SCANNED = "repro_lint_objects_scanned_total"
+LINT_PASS_FINDINGS = "repro_lint_pass_findings_total"  # label: pass
+LINT_PASS_OBJECTS = "repro_lint_pass_objects_scanned_total"  # label: pass
 
 # -- resilience --------------------------------------------------------------
 TXN_COMMITS = "repro_txn_commits_total"
@@ -123,6 +129,7 @@ SERVE_BATCHES = "repro_serve_batches_total"
 SERVE_BATCHES_OK = "repro_serve_batches_ok_total"
 SERVE_RETRIES = "repro_serve_retries_total"
 SERVE_QUARANTINED = "repro_serve_quarantined_total"
+SERVE_LINT_REJECTED = "repro_serve_lint_rejected_total"
 SERVE_DEADLINE_EXCEEDED = "repro_serve_deadline_exceeded_total"
 SERVE_BREAKER_OPENS = "repro_serve_breaker_opens_total"
 SERVE_REBUILD_BATCHES = "repro_serve_rebuild_batches_total"
@@ -156,6 +163,9 @@ HELP = {
     LINT_UNITS_RUN: "Lint (pass, device) units executed",
     LINT_UNITS_REUSED: "Lint units reused from the previous result",
     LINT_DIAGNOSTICS: "Lint diagnostics emitted (post-suppression)",
+    LINT_OBJECTS_SCANNED: "Dependency-graph objects analyzed by lint units",
+    LINT_PASS_FINDINGS: "Diagnostics emitted per lint pass (label: pass)",
+    LINT_PASS_OBJECTS: "Objects analyzed per lint pass (label: pass)",
     TXN_COMMITS: "Verification transactions committed",
     TXN_ROLLBACKS: "Verification transactions rolled back after a failure",
     REBUILDS: "Full verifier rebuilds (rollback fallback or drift recovery)",
@@ -173,6 +183,7 @@ HELP = {
     SERVE_BATCHES_OK: "Change batches verified and committed",
     SERVE_RETRIES: "Batch verification attempts retried after a failure",
     SERVE_QUARANTINED: "Batches written to the dead-letter directory",
+    SERVE_LINT_REJECTED: "Batches quarantined by the enforce-mode lint gate",
     SERVE_DEADLINE_EXCEEDED: "Verification attempts aborted by the deadline",
     SERVE_BREAKER_OPENS: "Circuit-breaker transitions into the open state",
     SERVE_REBUILD_BATCHES: "Batches served in degraded full-rebuild mode",

@@ -1,0 +1,130 @@
+"""Incremental lint edge cases around the device *set* and the topology:
+devices appearing, disappearing, or renaming between the base and the new
+snapshot, and topology-only changes (a link moved with zero config lines
+touched).  In every case the incremental result must be byte-identical to
+a full run."""
+
+from __future__ import annotations
+
+from repro.config.diff import diff_snapshots
+from repro.config.schema import (
+    DeviceConfig,
+    InterfaceConfig,
+    OspfProcess,
+    Snapshot,
+)
+from repro.lint import LintRunner
+from repro.net.addr import Prefix
+from repro.net.topology import InterfaceId, Topology
+
+from tests.lint.conftest import two_router_snapshot
+
+
+def render(result):
+    return [(str(d), d.fingerprint()) for d in result.diagnostics]
+
+
+def assert_equivalent(runner, base, new):
+    previous = runner.run(base)
+    diff = diff_snapshots(base, new)
+    incremental = runner.run_incremental(new, diff, previous)
+    full = runner.run(new)
+    assert render(incremental) == render(full)
+    return incremental, full
+
+
+class TestDeviceSetChanges:
+    def test_device_added(self):
+        snapshot, _r1, _r2 = two_router_snapshot()
+        base = snapshot.clone()
+        del base.devices["r2"]  # r1's link end is half-configured
+        runner = LintRunner()
+        incremental, full = assert_equivalent(runner, base, snapshot)
+        # The base finding (half-configured link) must disappear once the
+        # new device configures its end.
+        assert "LNK003" not in {d.code for d in full.diagnostics}
+        assert "r2" in incremental.graph.devices()
+
+    def test_device_removed(self):
+        snapshot, _r1, _r2 = two_router_snapshot()
+        smaller = snapshot.clone()
+        del smaller.devices["r2"]
+        runner = LintRunner()
+        incremental, full = assert_equivalent(runner, snapshot, smaller)
+        assert "LNK003" in {d.code for d in full.diagnostics}
+        assert "r2" not in incremental.graph.devices()
+        # No stale diagnostics attributed to the departed device.
+        assert all(d.device != "r2" for d in incremental.diagnostics)
+
+    def test_device_renamed(self):
+        snapshot, _r1, _r2 = two_router_snapshot()
+        renamed = snapshot.clone()
+        moved = renamed.devices.pop("r2")
+        moved.hostname = "r9"
+        renamed.devices["r9"] = moved
+        runner = LintRunner()
+        incremental, _full = assert_equivalent(runner, snapshot, renamed)
+        devices = set(incremental.graph.devices())
+        assert "r9" in devices and "r2" not in devices
+
+
+def _triangle(links):
+    """Three routers a/b/c, fully interface-configured, linked per
+    ``links`` (pairs of node names); OSPF everywhere."""
+    pairs = [("a", "b"), ("b", "c"), ("c", "a")]
+    topo = Topology()
+    subnets = {
+        pair: Prefix.parse(f"10.1.{i}.0/30") for i, pair in enumerate(pairs)
+    }
+    devices = {}
+    for name in ("a", "b", "c"):
+        topo.add_node(name)
+        devices[name] = DeviceConfig(hostname=name)
+        devices[name].ospf = OspfProcess()
+    for pair in pairs:
+        prefix = subnets[pair]
+        for side, node in enumerate(pair):
+            if_name = f"to_{pair[1 - side]}"
+            address = prefix.first() + 1 + side
+            topo.add_interface(node, if_name, prefix=prefix, address=address)
+            devices[node].interfaces[if_name] = InterfaceConfig(
+                if_name, prefix=prefix, address=address, ospf_enabled=True
+            )
+    for pair in pairs:
+        if pair in links:
+            topo.add_link(
+                InterfaceId(pair[0], f"to_{pair[1]}"),
+                InterfaceId(pair[1], f"to_{pair[0]}"),
+            )
+    return Snapshot(topo, devices)
+
+
+class TestTopologyOnlyChanges:
+    def test_removed_link_with_empty_diff(self):
+        base = _triangle([("a", "b"), ("b", "c"), ("c", "a")])
+        severed = _triangle([("a", "b"), ("b", "c")])
+        severed.devices = base.clone().devices  # identical configurations
+        diff = diff_snapshots(base, severed)
+        assert not list(diff.inserted) and not list(diff.deleted)
+        runner = LintRunner()
+        previous = runner.run(base)
+        incremental = runner.run_incremental(severed, diff, previous)
+        full = runner.run(severed)
+        assert render(incremental) == render(full)
+        # The topology delta must actually seed re-analysis even though no
+        # config line changed: cross passes re-run on the link endpoints.
+        assert incremental.units_run > 0
+        assert "ospf-adjacency" in incremental.passes_run
+        assert "partition-isolation" in incremental.passes_run
+
+    def test_added_link_with_empty_diff(self):
+        base = _triangle([("a", "b"), ("b", "c")])
+        healed = _triangle([("a", "b"), ("b", "c"), ("c", "a")])
+        healed.devices = base.clone().devices
+        diff = diff_snapshots(base, healed)
+        assert not list(diff.inserted) and not list(diff.deleted)
+        runner = LintRunner()
+        previous = runner.run(base)
+        incremental = runner.run_incremental(healed, diff, previous)
+        full = runner.run(healed)
+        assert render(incremental) == render(full)

@@ -1,0 +1,328 @@
+"""The cross-device passes (ADR/LNK/BGP/BLK/RDL/ISO): one positive
+(defect present, diagnostic emitted) and one negative (clean network,
+silent) fixture per finding code, plus per-pass telemetry and the
+``--explain`` catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    BgpNeighbor,
+    BgpProcess,
+    OspfProcess,
+    Redistribution,
+    StaticRoute,
+)
+from repro.lint import LintRunner
+from repro.lint.passes import explain_code, rule_catalog
+from repro.net.addr import Prefix
+from repro.net.topologies import ring
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    names,
+    set_metrics,
+    set_tracer,
+)
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+from tests.lint.conftest import two_router_snapshot
+
+
+def run_codes(snapshot):
+    result = LintRunner().run(snapshot)
+    return {diag.code for diag in result.diagnostics}, result
+
+
+def codes_with_prefix(codes, prefix):
+    return {c for c in codes if c.startswith(prefix)}
+
+
+def bgp_pair(left_asn=65001, right_asn=65002):
+    """Two routers with a correct eBGP session over their shared link."""
+    snapshot, r1, r2 = two_router_snapshot()
+    r1.bgp = BgpProcess(asn=left_asn)
+    r1.bgp.add_neighbor(BgpNeighbor("eth0", right_asn))
+    r2.bgp = BgpProcess(asn=right_asn)
+    r2.bgp.add_neighbor(BgpNeighbor("eth0", left_asn))
+    return snapshot, r1, r2
+
+
+def ospf_pair():
+    snapshot, r1, r2 = two_router_snapshot()
+    for device in (r1, r2):
+        device.ospf = OspfProcess()
+        device.interfaces["eth0"].ospf_enabled = True
+    return snapshot, r1, r2
+
+
+class TestLinkEndpointConsistency:
+    def test_subnet_mismatch_errors(self):
+        snapshot, _r1, _r2 = two_router_snapshot(
+            "10.0.0.0/30", "10.0.1.0/30"
+        )
+        codes, result = run_codes(snapshot)
+        assert "LNK001" in codes
+        (diag,) = [d for d in result.diagnostics if d.code == "LNK001"]
+        assert "subnet mismatch" in diag.message
+
+    def test_mtu_mismatch_warns(self):
+        snapshot, _r1, r2 = two_router_snapshot()
+        r2.interfaces["eth0"].mtu = 9000
+        codes, _ = run_codes(snapshot)
+        assert "LNK002" in codes
+
+    def test_half_configured_link_warns(self):
+        snapshot, _r1, r2 = two_router_snapshot()
+        del r2.interfaces["eth0"]
+        codes, _ = run_codes(snapshot)
+        assert "LNK003" in codes
+
+    def test_shutdown_link_is_exempt(self):
+        snapshot, r1, _r2 = two_router_snapshot("10.0.0.0/30", "10.0.1.0/30")
+        r1.interfaces["eth0"].shutdown = True
+        codes, _ = run_codes(snapshot)
+        assert not codes_with_prefix(codes, "LNK")
+
+    def test_matching_link_is_clean(self):
+        snapshot, _r1, _r2 = two_router_snapshot()
+        codes, _ = run_codes(snapshot)
+        assert not codes_with_prefix(codes, "LNK")
+
+
+class TestBgpSessionConsistency:
+    def test_clean_session(self):
+        snapshot, _r1, _r2 = bgp_pair()
+        codes, _ = run_codes(snapshot)
+        assert not codes_with_prefix(codes, "BGP")
+
+    def test_asymmetric_session_errors(self):
+        snapshot, _r1, r2 = bgp_pair()
+        del r2.bgp.neighbors["eth0"]
+        codes, _ = run_codes(snapshot)
+        assert "BGP001" in codes
+
+    def test_remote_as_mismatch_errors(self):
+        snapshot, _r1, r2 = bgp_pair()
+        r2.bgp.asn = 65099  # r1 still expects remote-as 65002
+        r2.bgp.neighbors["eth0"].remote_as = 65001  # keep r2's half right
+        codes, result = run_codes(snapshot)
+        assert "BGP002" in codes
+        (diag,) = [d for d in result.diagnostics if d.code == "BGP002"]
+        assert diag.device == "r1"
+
+    def test_neighbor_into_the_void_warns(self):
+        from repro.config.schema import InterfaceConfig
+
+        snapshot, r1, _r2 = bgp_pair()
+        r1.interfaces["eth9"] = InterfaceConfig(
+            "eth9", prefix=Prefix.parse("10.9.0.0/30"), address=0x0A090001
+        )
+        r1.bgp.add_neighbor(BgpNeighbor("eth9", 65044))
+        codes, _ = run_codes(snapshot)
+        assert "BGP003" in codes
+
+    def test_peer_shutdown_warns(self):
+        snapshot, _r1, r2 = bgp_pair()
+        r2.interfaces["eth0"].shutdown = True
+        codes, result = run_codes(snapshot)
+        assert "BGP004" in codes
+        (diag,) = [d for d in result.diagnostics if d.code == "BGP004"]
+        assert diag.device == "r1"
+
+
+class TestCrossDeviceBlackholes:
+    PREFIX = Prefix.parse("203.0.113.0/24")
+
+    def _with_static(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        r1.static_routes.append(
+            StaticRoute(
+                self.PREFIX, next_hop_ip=r2.interfaces["eth0"].address
+            )
+        )
+        return snapshot, r1, r2
+
+    def test_peer_acl_drop_errors(self):
+        snapshot, _r1, r2 = self._with_static()
+        r2.ospf = OspfProcess()  # can forward — only the ACL is the problem
+        r2.acls["BLOCK"] = Acl(
+            "BLOCK", entries=[AclEntry(10, "deny", dst=self.PREFIX)]
+        )
+        r2.interfaces["eth0"].acl_in = "BLOCK"
+        codes, result = run_codes(snapshot)
+        assert "BLK001" in codes
+        (diag,) = [d for d in result.diagnostics if d.code == "BLK001"]
+        assert diag.device == "r1"
+
+    def test_earlier_permit_clears_the_drop(self):
+        snapshot, _r1, r2 = self._with_static()
+        r2.ospf = OspfProcess()
+        r2.acls["BLOCK"] = Acl(
+            "BLOCK",
+            entries=[
+                AclEntry(5, "permit", dst=self.PREFIX),
+                AclEntry(10, "deny", dst=self.PREFIX),
+            ],
+        )
+        r2.interfaces["eth0"].acl_in = "BLOCK"
+        codes, _ = run_codes(snapshot)
+        assert not codes_with_prefix(codes, "BLK")
+
+    def test_peer_cannot_forward_errors(self):
+        snapshot, _r1, _r2 = self._with_static()
+        codes, _ = run_codes(snapshot)
+        assert "BLK002" in codes
+
+    def test_routing_peer_is_clean(self):
+        snapshot, _r1, r2 = self._with_static()
+        r2.ospf = OspfProcess()
+        codes, _ = run_codes(snapshot)
+        assert not codes_with_prefix(codes, "BLK")
+
+    def test_peer_with_covering_static_is_clean(self):
+        snapshot, _r1, r2 = self._with_static()
+        r2.static_routes.append(
+            StaticRoute(self.PREFIX, next_hop_interface="eth0")
+        )
+        codes, _ = run_codes(snapshot)
+        assert not codes_with_prefix(codes, "BLK")
+
+
+class TestNetworkRedistributionLoops:
+    def _mutual_pair(self):
+        """Both protocol domains connected; redistribution split across
+        the two border devices in opposite directions."""
+        snapshot, r1, r2 = bgp_pair()
+        for device in (r1, r2):
+            device.ospf = OspfProcess()
+            device.interfaces["eth0"].ospf_enabled = True
+        r1.bgp.redistribute.append(Redistribution("ospf"))
+        r2.ospf.redistribute.append(Redistribution("bgp"))
+        return snapshot, r1, r2
+
+    def test_connected_loop_warns_both_participants(self):
+        snapshot, _r1, _r2 = self._mutual_pair()
+        codes, result = run_codes(snapshot)
+        assert "RDL001" in codes
+        diags = [d for d in result.diagnostics if d.code == "RDL001"]
+        assert {d.device for d in diags} == {"r1", "r2"}
+
+    def test_disconnected_ospf_domains_stay_silent(self):
+        snapshot, r1, r2 = self._mutual_pair()
+        # Sever the OSPF adjacency: the textual cycle (RED001) remains,
+        # but routes cannot actually circulate.
+        r1.interfaces["eth0"].ospf_enabled = False
+        r2.interfaces["eth0"].ospf_enabled = False
+        codes, _ = run_codes(snapshot)
+        assert "RED001" in codes
+        assert not codes_with_prefix(codes, "RDL")
+
+    def test_single_border_device_is_red002s_problem(self):
+        snapshot, r1, _r2 = self._mutual_pair()
+        # Move both directions onto r1.
+        snapshot.devices["r2"].ospf.redistribute.clear()
+        r1.ospf.redistribute.append(Redistribution("bgp"))
+        codes, _ = run_codes(snapshot)
+        assert "RED002" in codes
+        assert not codes_with_prefix(codes, "RDL")
+
+
+class TestPartitionIsolation:
+    def test_partitioned_device_errors(self):
+        snapshot, _r1, r2 = two_router_snapshot()
+        r2.interfaces["eth0"].shutdown = True
+        codes, result = run_codes(snapshot)
+        assert "ISO001" in codes
+        assert "r1" in {
+            d.device for d in result.diagnostics if d.code == "ISO001"
+        }
+
+    def test_protocol_island_warns(self):
+        snapshot, _r1, r2 = ospf_pair()
+        r2.interfaces["eth0"].ospf_enabled = False
+        codes, result = run_codes(snapshot)
+        diags = [d for d in result.diagnostics if d.code == "ISO002"]
+        assert any(d.device == "r1" for d in diags)
+
+    def test_clean_ring_is_silent(self):
+        codes, _ = run_codes(ospf_snapshot(ring(4)))
+        assert not codes_with_prefix(codes, "ISO")
+        codes, _ = run_codes(bgp_snapshot(ring(4)))
+        assert not codes_with_prefix(codes, "ISO")
+
+
+class TestCleanNetworksStayClean:
+    """No false positives from any cross-device pass on the canonical
+    workload snapshots."""
+
+    @pytest.mark.parametrize("build", [ospf_snapshot, bgp_snapshot])
+    def test_ring_is_diagnostic_free(self, build):
+        result = LintRunner().run(build(ring(6)))
+        assert result.diagnostics == []
+
+
+class TestPerPassTelemetry:
+    def test_counters_and_spans_per_pass(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        previous_metrics = set_metrics(registry)
+        previous_tracer = set_tracer(tracer)
+        try:
+            snapshot, _r1, _r2 = two_router_snapshot(
+                "10.0.0.0/30", "10.0.1.0/30"
+            )
+            LintRunner().run(snapshot)
+        finally:
+            set_metrics(previous_metrics)
+            set_tracer(previous_tracer)
+        lnk = {"pass": "LNK"}
+        assert registry.value(names.LINT_PASS_FINDINGS, **lnk) >= 1
+        assert registry.value(names.LINT_PASS_OBJECTS, **lnk) >= 1
+        # A clean pass still reports its scanned objects.
+        assert registry.value(names.LINT_PASS_OBJECTS, **{"pass": "ISO"}) >= 1
+        span_names = {s.name for s in tracer.finished}
+        assert names.SPAN_LINT_PASS_PREFIX + "LNK" in span_names
+        assert names.SPAN_LINT_PASS_PREFIX + "BGP" in span_names
+
+
+class TestExplain:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "LNK001",
+            "LNK002",
+            "LNK003",
+            "BGP001",
+            "BGP002",
+            "BGP003",
+            "BGP004",
+            "BLK001",
+            "BLK002",
+            "RDL001",
+            "ISO001",
+            "ISO002",
+            "ADR001",
+            "ADR002",
+        ],
+    )
+    def test_every_new_code_is_documented(self, code):
+        text = explain_code(code)
+        assert text is not None
+        assert code in text
+
+    def test_pass_prefix_lists_all_codes(self):
+        text = explain_code("lnk")
+        assert text is not None
+        for code in ("LNK001", "LNK002", "LNK003"):
+            assert code in text
+
+    def test_unknown_code_is_none(self):
+        assert explain_code("NOPE999") is None
+
+    def test_catalog_covers_every_pass(self):
+        prefixes = {code for code, _name, _desc in rule_catalog()}
+        assert {"LNK", "BGP", "BLK", "RDL", "ISO", "ADR"} <= prefixes

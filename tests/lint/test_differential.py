@@ -1,0 +1,180 @@
+"""Differential oracle: incremental lint must be byte-identical to a full
+run on hundreds of randomized (snapshot, change) workloads.
+
+Each trial starts from a canonical workload snapshot, applies a chain of
+random configuration mutations (injected defects included), and after
+every step compares ``run_incremental`` — seeded from the *previous
+incremental* result, so carry-forward is exercised across the chain —
+against a from-scratch ``run`` of the same passes on the same snapshot.
+Codes, devices, messages, ordering, and stable fingerprints must match
+exactly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config.diff import diff_snapshots
+from repro.config.schema import (
+    Acl,
+    AclEntry,
+    Redistribution,
+    StaticRoute,
+)
+from repro.lint import LintRunner
+from repro.net.addr import Prefix
+from repro.net.topologies import fat_tree, ring
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+#: (label, topology builder, snapshot builder)
+CONFIGURATIONS = [
+    ("ring6-ospf", lambda: ring(6), ospf_snapshot),
+    ("ring6-bgp", lambda: ring(6), bgp_snapshot),
+    ("fattree4-ospf", lambda: fat_tree(4), ospf_snapshot),
+    ("fattree4-bgp", lambda: fat_tree(4), bgp_snapshot),
+]
+SEEDS_PER_CONFIGURATION = 17
+CHAIN_LENGTH = 3
+# 4 configurations x 17 seeds x 3 chained changes = 204 workloads.
+
+
+def _pick_interface(rng, snapshot):
+    device = snapshot.devices[rng.choice(sorted(snapshot.devices))]
+    name = rng.choice(sorted(device.interfaces))
+    return device, device.interfaces[name]
+
+
+def _mutate(rng: random.Random, snapshot) -> None:
+    """Apply one random configuration mutation in place."""
+    choice = rng.randrange(10)
+    if choice == 0:  # flip administrative state
+        _, iface = _pick_interface(rng, snapshot)
+        iface.shutdown = not iface.shutdown
+    elif choice == 1:  # MTU drift
+        _, iface = _pick_interface(rng, snapshot)
+        iface.mtu = rng.choice([1400, 1500, 9000])
+    elif choice == 2:  # renumber one end of a link
+        _, iface = _pick_interface(rng, snapshot)
+        prefix = Prefix.parse(f"10.254.{rng.randrange(200)}.0/30")
+        iface.prefix = prefix
+        iface.address = prefix.first() + 1
+    elif choice == 3:  # static route, resolvable or not
+        device, _ = _pick_interface(rng, snapshot)
+        other = snapshot.devices[rng.choice(sorted(snapshot.devices))]
+        candidates = [
+            i.address for i in other.interfaces.values()
+            if i.address is not None
+        ]
+        next_hop = (
+            rng.choice(candidates)
+            if candidates and rng.random() < 0.7
+            else Prefix.parse("192.0.2.0/24").first() + 1
+        )
+        device.static_routes.append(
+            StaticRoute(
+                Prefix.parse(f"198.51.{rng.randrange(200)}.0/24"),
+                next_hop_ip=next_hop,
+            )
+        )
+    elif choice == 4:  # inbound deny ACL
+        device, iface = _pick_interface(rng, snapshot)
+        name = f"DIFF{rng.randrange(8)}"
+        device.acls[name] = Acl(
+            name,
+            entries=[
+                AclEntry(
+                    10,
+                    rng.choice(["deny", "permit"]),
+                    dst=Prefix.parse(f"198.51.{rng.randrange(200)}.0/24"),
+                )
+            ],
+        )
+        iface.acl_in = name
+    elif choice == 5:  # OSPF membership flip
+        device, iface = _pick_interface(rng, snapshot)
+        if device.ospf is not None:
+            iface.ospf_enabled = not iface.ospf_enabled
+        else:
+            iface.shutdown = not iface.shutdown
+    elif choice == 6:  # drop one half of a BGP session
+        device, _ = _pick_interface(rng, snapshot)
+        if device.bgp is not None and device.bgp.neighbors:
+            del device.bgp.neighbors[
+                rng.choice(sorted(device.bgp.neighbors))
+            ]
+        else:
+            _, iface = _pick_interface(rng, snapshot)
+            iface.mtu = 1280
+    elif choice == 7:  # corrupt a remote-as
+        device, _ = _pick_interface(rng, snapshot)
+        if device.bgp is not None and device.bgp.neighbors:
+            neighbor = device.bgp.neighbors[
+                rng.choice(sorted(device.bgp.neighbors))
+            ]
+            neighbor.remote_as += rng.randrange(1, 3)
+        else:
+            _, iface = _pick_interface(rng, snapshot)
+            iface.shutdown = not iface.shutdown
+    elif choice == 8:  # redistribution statement
+        device, _ = _pick_interface(rng, snapshot)
+        if device.bgp is not None:
+            device.bgp.redistribute.append(Redistribution("ospf"))
+        elif device.ospf is not None:
+            device.ospf.redistribute.append(Redistribution("bgp"))
+    else:  # unconfigure an interface entirely (half-configured link)
+        device, iface = _pick_interface(rng, snapshot)
+        if len(device.interfaces) > 1:
+            del device.interfaces[iface.name]
+        else:
+            iface.shutdown = not iface.shutdown
+
+
+def _render(result):
+    return [(str(d), d.fingerprint()) for d in result.diagnostics]
+
+
+@pytest.mark.parametrize(
+    "label,topo,build",
+    [(label, topo, build) for label, topo, build in CONFIGURATIONS],
+    ids=[c[0] for c in CONFIGURATIONS],
+)
+def test_incremental_equals_full_on_random_chains(label, topo, build):
+    runner = LintRunner()
+    for seed in range(SEEDS_PER_CONFIGURATION):
+        rng = random.Random(f"{label}-{seed}")
+        snapshot = build(topo())
+        previous = runner.run(snapshot)
+        for _step in range(CHAIN_LENGTH):
+            changed = snapshot.clone()
+            _mutate(rng, changed)
+            diff = diff_snapshots(snapshot, changed)
+            incremental = runner.run_incremental(changed, diff, previous)
+            full = runner.run(changed)
+            assert _render(incremental) == _render(full), (
+                f"divergence at {label} seed={seed} step={_step}: "
+                f"{diff.summary()}"
+            )
+            assert incremental.objects_total == full.objects_total
+            snapshot, previous = changed, incremental
+
+
+def test_incremental_never_rescans_more_than_full():
+    """On a one-device change in a larger network the incremental run must
+    analyze strictly fewer graph objects than the full run."""
+    runner = LintRunner()
+    snapshot = ospf_snapshot(fat_tree(4))
+    previous = runner.run(snapshot)
+    changed = snapshot.clone()
+    changed.devices["edge0_0"].interfaces[
+        sorted(changed.devices["edge0_0"].interfaces)[0]
+    ].mtu = 9000
+    diff = diff_snapshots(snapshot, changed)
+    incremental = runner.run_incremental(changed, diff, previous)
+    full = runner.run(changed)
+    assert _render(incremental) == _render(full)
+    assert incremental.objects_scanned < full.objects_scanned
+    # The dependency-scoped run touches a small fraction of the object
+    # scans a full run performs (the ISSUE's <20% bar is asserted at k=8
+    # by the benchmark; k=4 already clears 50% with margin).
+    assert incremental.objects_scanned / full.objects_scanned < 0.5

@@ -1,0 +1,223 @@
+"""The network dependency graph: construction, incremental patching,
+closure queries, fingerprints, and the snapshot-keyed cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.changes import (
+    AddStaticRouteIp,
+    SetOspfCost,
+    ShutdownInterface,
+    apply_changes,
+)
+from repro.lint.graph import (
+    KIND_INTERFACE,
+    KIND_OSPF,
+    KIND_STATIC_ROUTE,
+    NetworkDependencyGraph,
+    ObjectRef,
+    changed_objects,
+    clear_graph_cache,
+    device_fingerprint,
+    graph_for,
+    resolve_next_hop,
+    topology_touched_devices,
+    union_coupling,
+)
+from repro.net.addr import Prefix
+from repro.net.topologies import ring
+from repro.workloads import bgp_snapshot, ospf_snapshot
+
+from tests.lint.conftest import two_router_snapshot
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_graph_cache()
+    yield
+    clear_graph_cache()
+
+
+class TestBuild:
+    def test_every_device_contributes_objects(self):
+        snapshot = ospf_snapshot(ring(4))
+        graph = NetworkDependencyGraph.build(snapshot)
+        assert graph.devices() == sorted(snapshot.devices)
+        for device in graph.devices():
+            kinds = {ref.kind for ref in graph.device_objects(device)}
+            assert KIND_INTERFACE in kinds
+            assert KIND_OSPF in kinds
+        assert graph.num_objects() == sum(
+            graph.num_device_objects(d) for d in graph.devices()
+        )
+
+    def test_link_and_adjacency_edges_present(self):
+        snapshot = ospf_snapshot(ring(4))
+        graph = NetworkDependencyGraph.build(snapshot)
+        relations = {relation for _a, _b, relation in graph.cross_edges}
+        assert "link" in relations
+        assert "ospf-adjacency" in relations
+
+    def test_bgp_session_edges_present(self):
+        snapshot = bgp_snapshot(ring(4))
+        graph = NetworkDependencyGraph.build(snapshot)
+        relations = {relation for _a, _b, relation in graph.cross_edges}
+        assert "bgp-session" in relations
+
+    def test_next_hop_edge_follows_static_route(self):
+        base = ospf_snapshot(ring(4))
+        changed, _ = apply_changes(
+            base,
+            [
+                AddStaticRouteIp(
+                    "r0",
+                    Prefix.parse("203.0.113.0/24"),
+                    base.devices["r1"].interfaces["eth0"].address,
+                )
+            ],
+        )
+        graph = NetworkDependencyGraph.build(changed)
+        hops = [
+            (a, b)
+            for a, b, relation in graph.cross_edges
+            if relation == "next-hop"
+        ]
+        assert any(
+            a.device == "r0" and a.kind == KIND_STATIC_ROUTE and b.device == "r1"
+            for a, b in hops
+        )
+
+    def test_device_coupling_mirrors_topology(self):
+        snapshot = ospf_snapshot(ring(4))
+        graph = NetworkDependencyGraph.build(snapshot)
+        assert graph.neighbors["r0"] == {"r1", "r3"}
+        assert graph.neighbors["r2"] == {"r1", "r3"}
+
+
+class TestPatched:
+    def test_patched_equals_fresh_build(self):
+        base = ospf_snapshot(ring(4))
+        old = NetworkDependencyGraph.build(base)
+        changed, _diff = apply_changes(base, [SetOspfCost("r0", "eth0", 77)])
+        patched = old.patched(changed, {"r0"})
+        fresh = NetworkDependencyGraph.build(changed)
+        assert patched == fresh
+        assert patched.fingerprint() == fresh.fingerprint()
+
+    def test_patched_shares_unchanged_contributions(self):
+        base = ospf_snapshot(ring(4))
+        old = NetworkDependencyGraph.build(base)
+        changed, _diff = apply_changes(base, [SetOspfCost("r0", "eth0", 77)])
+        patched = old.patched(changed, {"r0"})
+        assert patched.objects_by_device["r2"] is old.objects_by_device["r2"]
+        assert patched.objects_by_device["r0"] is not old.objects_by_device["r0"]
+
+    def test_patched_picks_up_added_and_removed_devices(self):
+        base = ospf_snapshot(ring(4))
+        old = NetworkDependencyGraph.build(base)
+        smaller = base.clone()
+        del smaller.devices["r3"]
+        patched = old.patched(smaller, set())
+        assert "r3" not in patched.objects_by_device
+        assert patched == NetworkDependencyGraph.build(smaller)
+
+    def test_fingerprint_tracks_config_changes(self):
+        base = ospf_snapshot(ring(4))
+        changed, _ = apply_changes(base, [ShutdownInterface("r1", "eth0")])
+        assert device_fingerprint(base.devices["r1"]) != device_fingerprint(
+            changed.devices["r1"]
+        )
+        assert device_fingerprint(base.devices["r2"]) == device_fingerprint(
+            changed.devices["r2"]
+        )
+
+
+class TestClosures:
+    def test_ball_radius_one_on_a_ring(self):
+        graph = NetworkDependencyGraph.build(ospf_snapshot(ring(6)))
+        assert graph.ball({"r0"}, 1) == {"r5", "r0", "r1"}
+        assert graph.ball({"r0"}, 2) == {"r4", "r5", "r0", "r1", "r2"}
+
+    def test_component_covers_the_ring(self):
+        graph = NetworkDependencyGraph.build(ospf_snapshot(ring(5)))
+        assert graph.component({"r2"}) == {f"r{i}" for i in range(5)}
+
+    def test_empty_seeds_stay_empty(self):
+        graph = NetworkDependencyGraph.build(ospf_snapshot(ring(4)))
+        assert graph.ball(set(), 3) == set()
+        assert graph.component(set()) == set()
+
+    def test_object_neighborhood(self):
+        snapshot = ospf_snapshot(ring(4))
+        graph = NetworkDependencyGraph.build(snapshot)
+        seed = ObjectRef("r0", KIND_INTERFACE, "eth0")
+        near = graph.neighborhood({seed}, 1)
+        assert seed in near
+        # One hop reaches the peer interface across the link.
+        assert any(ref.device != "r0" for ref in near)
+
+
+class TestTopologyDeltas:
+    def test_touched_devices_of_a_removed_link(self):
+        base = ospf_snapshot(ring(4))
+        old = NetworkDependencyGraph.build(base)
+        # Rebuild the same devices over a ring missing one link.
+        smaller = ring(3)
+        new_snapshot = ospf_snapshot(smaller)
+        new = NetworkDependencyGraph.build(new_snapshot)
+        touched = topology_touched_devices(old, new)
+        assert "r3" in touched  # every link incident to r3 disappeared
+
+    def test_union_coupling_keeps_old_edges(self):
+        old = NetworkDependencyGraph.build(ospf_snapshot(ring(4)))
+        new = NetworkDependencyGraph.build(ospf_snapshot(ring(3)))
+        merged = union_coupling(old, new)
+        # r3's old coupling survives in the union even though the new
+        # graph no longer knows the device.
+        assert merged["r3"] == {"r0", "r2"}
+
+    def test_union_coupling_without_previous_graph(self):
+        new = NetworkDependencyGraph.build(ospf_snapshot(ring(3)))
+        assert union_coupling(None, new) == new.neighbors
+        assert topology_touched_devices(None, new) == set()
+
+
+class TestResolveNextHop:
+    def test_resolves_to_peer_interface(self):
+        snapshot, r1, r2 = two_router_snapshot()
+        resolved = resolve_next_hop(
+            snapshot, r1, r2.interfaces["eth0"].address
+        )
+        assert resolved == ("r2", "eth0")
+
+    def test_unclaimed_address_is_none(self):
+        snapshot, r1, _r2 = two_router_snapshot()
+        assert resolve_next_hop(snapshot, r1, 0x0A0000FE) is None
+
+
+class TestChangedObjects:
+    def test_interface_line_maps_to_interface_object(self):
+        base = ospf_snapshot(ring(4))
+        _changed, diff = apply_changes(base, [SetOspfCost("r0", "eth0", 9)])
+        refs = changed_objects(diff)
+        assert ObjectRef("r0", KIND_INTERFACE, "eth0") in refs["r0"]
+
+
+class TestCache:
+    def test_graph_for_is_memoized(self):
+        snapshot = ospf_snapshot(ring(4))
+        first = graph_for(snapshot)
+        again = graph_for(snapshot.clone())
+        assert again is first
+
+    def test_distinct_configurations_get_distinct_graphs(self):
+        base = ospf_snapshot(ring(4))
+        changed, _ = apply_changes(base, [SetOspfCost("r0", "eth0", 12)])
+        assert graph_for(base) is not graph_for(changed)
+
+    def test_clear_empties_the_cache(self):
+        snapshot = ospf_snapshot(ring(4))
+        first = graph_for(snapshot)
+        clear_graph_cache()
+        assert graph_for(snapshot) is not first

@@ -132,9 +132,13 @@ class TestIncrementalScoping:
             [AddAclEntry("r0", "SEC", AclEntry(10, "permit"))],
         )
         incremental = runner.run_incremental(changed, diff, previous)
+        # Device-scoped passes touched by "acl" plus the one cross-device
+        # pass whose scope includes ACLs (blackhole analysis follows ACL
+        # edits across the next-hop edge).
         assert set(incremental.passes_run) == {
             "undefined-references",
             "shadowed-acl-entries",
+            "cross-device-blackholes",
         }
 
     def test_empty_diff_runs_nothing(self):

@@ -79,3 +79,60 @@ class TestSarif:
         )
         line_no = ref["locations"][0]["physicalLocation"]["region"]["startLine"]
         assert rendered[line_no - 1].strip() == "ip access-group NOPE in"
+
+
+class TestFingerprints:
+    def test_sarif_round_trip(self):
+        """Every SARIF result carries a partialFingerprint that matches the
+        recomputed fingerprint of its diagnostic."""
+        snapshot = defective_snapshot()
+        result = LintRunner().run(snapshot)
+        sarif = json.loads(format_sarif(result, snapshot))
+        by_fingerprint = {d.fingerprint(): d for d in result.diagnostics}
+        for sarif_result in sarif["runs"][0]["results"]:
+            fp = sarif_result["partialFingerprints"]["reproLintFingerprint/v1"]
+            diag = by_fingerprint[fp]
+            assert sarif_result["ruleId"] == diag.code
+            assert sarif_result["message"]["text"] == diag.message
+
+    def test_stable_across_line_shifts(self):
+        """A fingerprint hashes code/device/object path, never line
+        numbers: unrelated edits that shift the rendering keep it fixed."""
+        from repro.config.schema import InterfaceConfig
+        from repro.net.addr import Prefix
+
+        snapshot = defective_snapshot()
+
+        def fingerprints(snap):
+            result = LintRunner().run(snap)
+            return {
+                d.fingerprint()
+                for d in result.diagnostics
+                if d.code in ("REF001", "ACL002")
+            }
+
+        before = fingerprints(snapshot)
+        # Insert an interface that renders *above* the offending stanzas,
+        # shifting every line number, without changing the findings.
+        shifted = snapshot.clone()
+        shifted.devices["r1"].interfaces["eth00"] = InterfaceConfig(
+            "eth00", prefix=Prefix.parse("10.9.9.0/30"), address=0x0A090901
+        )
+        sarif = json.loads(
+            format_sarif(LintRunner().run(shifted), shifted)
+        )
+        after = {
+            r["partialFingerprints"]["reproLintFingerprint/v1"]
+            for r in sarif["runs"][0]["results"]
+            if r["ruleId"] in ("REF001", "ACL002")
+        }
+        assert before == after
+
+    def test_json_payload_carries_fingerprints(self):
+        snapshot = defective_snapshot()
+        payload = json.loads(format_json(LintRunner().run(snapshot), snapshot))
+        assert all(
+            len(d["fingerprint"]) == 64 for d in payload["diagnostics"]
+        )
+        assert payload["objects_total"] > 0
+        assert payload["objects_scanned"] > 0

@@ -33,8 +33,8 @@ def by_pass(name):
 
 
 class TestRegistry:
-    def test_eight_passes_registered(self):
-        assert len(all_passes()) == 8
+    def test_fourteen_passes_registered(self):
+        assert len(all_passes()) == 14
 
     def test_unique_codes_and_names(self):
         passes = all_passes()
@@ -175,7 +175,7 @@ class TestDuplicateIdentity:
         snapshot, r1, r2 = two_router_snapshot()
         r2.interfaces["eth0"].address = r1.interfaces["eth0"].address
         codes, _ = run_codes(snapshot)
-        assert "DUP002" in codes
+        assert "ADR001" in codes
 
     def test_same_prefix_on_two_interfaces_of_one_device(self):
         snapshot, r1, _ = two_router_snapshot()
@@ -185,14 +185,16 @@ class TestDuplicateIdentity:
             "eth1", prefix=r1.interfaces["eth0"].prefix, address=addr("10.0.0.3")
         )
         codes, _ = run_codes(snapshot)
-        assert "DUP003" in codes
+        assert "ADR002" in codes
 
     def test_distinct_identities_clean(self):
         snapshot, r1, r2 = two_router_snapshot()
         r1.bgp = BgpProcess(asn=65001)
         r2.bgp = BgpProcess(asn=65002)
         codes, _ = run_codes(snapshot)
-        assert not {c for c in codes if c.startswith("DUP")}
+        assert not {
+            c for c in codes if c.startswith("DUP") or c.startswith("ADR")
+        }
 
 
 class TestOspfAdjacency:

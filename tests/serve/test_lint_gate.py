@@ -1,0 +1,127 @@
+"""The serve-loop lint gate: batches that introduce new lint errors are
+quarantined under their own dead-letter class in enforce mode and counted
+(but accepted) in warn mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.changes import AddStaticRouteIp, SetOspfCost
+from repro.core.realconfig import RealConfig
+from repro.net.addr import Prefix, parse_ipv4
+from repro.net.topologies import ring
+from repro.serve import DeadLetterBox, ServeDaemon, ServeOptions, read_stream
+from repro.serve.stream import write_stream
+from repro.telemetry import MetricsRegistry, names, set_metrics
+from repro.workloads import ospf_snapshot
+
+
+#: An IP outside every subnet of the ring: STA001 (error) on arrival.
+BLACKHOLE = AddStaticRouteIp(
+    "r0", Prefix.parse("198.51.100.0/24"), parse_ipv4("192.0.2.77")
+)
+
+
+def _interface_name(snapshot):
+    return sorted(snapshot.devices["r0"].interfaces)[0]
+
+
+@pytest.fixture
+def make_gated_daemon(tmp_path):
+    def build(lint_mode, batches, **option_overrides):
+        snapshot = ospf_snapshot(ring(4))
+        stream_path = tmp_path / "stream.jsonl"
+        write_stream(batches, stream_path)
+        option_overrides.setdefault("breaker_threshold", 0)
+        option_overrides.setdefault("backoff_base", 0.0)
+        daemon = ServeDaemon(
+            RealConfig(snapshot, lint_mode=lint_mode),
+            read_stream(stream_path),
+            DeadLetterBox(tmp_path / "deadletter"),
+            ServeOptions(**option_overrides),
+            clock=lambda: 0.0,
+            sleep=lambda seconds: None,
+        )
+        return daemon
+
+    return build
+
+
+def _cost_change(snapshot):
+    return SetOspfCost("r0", _interface_name(snapshot), 7)
+
+
+class TestEnforceMode:
+    def test_offending_batch_is_quarantined_as_lint_rejected(
+        self, make_gated_daemon
+    ):
+        snapshot = ospf_snapshot(ring(4))
+        daemon = make_gated_daemon(
+            "enforce", [[_cost_change(snapshot)], [BLACKHOLE]]
+        )
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            stats = daemon.run()
+        finally:
+            set_metrics(previous)
+        assert stats.batches_ok == 1
+        assert stats.quarantined == 1
+        assert stats.lint_rejected == 1
+        assert stats.retries == 0  # permanent: no retry budget wasted
+        (batch_id,) = stats.quarantined_ids
+        meta = daemon.dead_letter.meta(batch_id)
+        assert meta["failure_class"] == "lint-rejected"
+        assert "lint gate" in meta["error"]
+        assert registry.value(names.SERVE_LINT_REJECTED) == 1
+        assert "lint-rejected" in stats.summary()
+
+    def test_verifier_state_untouched_by_rejected_batch(
+        self, make_gated_daemon
+    ):
+        daemon = make_gated_daemon("enforce", [[BLACKHOLE]])
+        daemon.run()
+        assert not daemon.verifier.snapshot.devices["r0"].static_routes
+        assert daemon.verifier.lint_result is not None
+        assert daemon.verifier.lint_result.errors() == []
+
+
+class TestWarnMode:
+    def test_new_lint_errors_are_counted_not_blocked(
+        self, make_gated_daemon
+    ):
+        snapshot = ospf_snapshot(ring(4))
+        daemon = make_gated_daemon(
+            "warn", [[BLACKHOLE], [_cost_change(snapshot)]]
+        )
+        stats = daemon.run()
+        assert stats.batches_ok == 2
+        assert stats.quarantined == 0
+        assert stats.lint_rejected == 0
+        assert stats.lint_new_errors == 1
+        assert "new lint errors" in stats.summary()
+        # The offending route actually landed.
+        assert daemon.verifier.snapshot.devices["r0"].static_routes
+
+    def test_clean_stream_counts_nothing(self, make_gated_daemon):
+        snapshot = ospf_snapshot(ring(4))
+        daemon = make_gated_daemon("warn", [[_cost_change(snapshot)]])
+        stats = daemon.run()
+        assert stats.lint_new_errors == 0
+        assert stats.lint_rejected == 0
+
+
+class TestHealthPayload:
+    def test_health_file_reports_lint_counts(
+        self, make_gated_daemon, tmp_path
+    ):
+        import json
+
+        health = tmp_path / "health.json"
+        daemon = make_gated_daemon(
+            "enforce", [[BLACKHOLE]], health_file=health
+        )
+        daemon.run()
+        payload = json.loads(health.read_text())
+        assert payload["lint_rejected"] == 1
+        assert payload["lint_new_errors"] == 0
