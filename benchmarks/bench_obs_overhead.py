@@ -1,0 +1,149 @@
+"""Observability overhead — the full obs stack must cost under 5%.
+
+Streams the same flap workload through :class:`ServeDaemon` twice: once
+with observability at its defaults (in-memory journal, no HTTP server)
+and once with everything on — a file-backed journal flushed per event,
+the flight recorder, and a live introspection server being scraped
+mid-run.  The per-batch median is the comparison statistic (a loaded
+host's scheduler stalls land in the mean), and the acceptance bar is
+``REPRO_BENCH_MAX_OBS_OVERHEAD`` percent (default 5, the bound quoted in
+EXPERIMENTS.md; CI smoke runs at tiny scale where fixed per-batch costs
+loom larger, and relaxes it via the env var).
+
+Results land in ``BENCH_obs.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+from urllib.request import urlopen
+
+from benchmarks.conftest import NUM_CHANGES, SCALE_K, record_row
+from repro.core.realconfig import RealConfig
+from repro.serve import DeadLetterBox, ServeDaemon, ServeOptions
+from repro.serve.stream import ChangeBatch, encode_batch
+from repro.workloads import ospf_snapshot, stream_batches
+
+NUM_BATCHES = max(10, NUM_CHANGES * 4)
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+MAX_OVERHEAD_PERCENT = float(
+    os.environ.get("REPRO_BENCH_MAX_OBS_OVERHEAD", "5.0")
+)
+
+
+def _stream(labeled):
+    batches = stream_batches(labeled, count=NUM_BATCHES, seed=11)
+    return [
+        ChangeBatch(
+            batch_id=f"{index:06d}",
+            changes=changes,
+            payload=encode_batch(f"{index:06d}", changes),
+        )
+        for index, changes in enumerate(batches)
+    ]
+
+
+def _run_arm(snapshot, batches, options, tmp_path, tag, scrape_every=0):
+    """One daemon run; returns per-batch seconds (pop -> done callback)."""
+    clock = time.perf_counter
+    latencies = []
+    done = {"count": 0}
+
+    def on_done(daemon, batch, ok):
+        latencies.append(clock() - on_done.started)
+        done["count"] += 1
+        if scrape_every and done["count"] % scrape_every == 0:
+            for endpoint in ("/metrics", "/health"):
+                with urlopen(
+                    daemon.obs_server.url + endpoint, timeout=5.0
+                ) as response:
+                    response.read()
+
+    daemon = ServeDaemon(
+        RealConfig(snapshot),
+        iter(batches),
+        DeadLetterBox(tmp_path / f"dl-{tag}"),
+        options,
+        sleep=lambda seconds: None,
+        on_batch_done=on_done,
+    )
+    original_process = daemon._process_batch
+
+    def timed_process(batch):
+        on_done.started = clock()
+        return original_process(batch)
+
+    daemon._process_batch = timed_process
+    stats = daemon.run()
+    assert stats.batches_ok == len(batches)
+    return latencies
+
+
+def test_obs_overhead(fattree, tmp_path):
+    snapshot = ospf_snapshot(fattree)
+    batches = _stream(fattree)
+
+    off_options = ServeOptions(
+        max_retries=0, breaker_threshold=0, backoff_base=0.0
+    )
+    on_options = ServeOptions(
+        max_retries=0,
+        breaker_threshold=0,
+        backoff_base=0.0,
+        journal_file=tmp_path / "journal.jsonl",
+        obs_port=0,
+    )
+
+    # Interleave arms best-of-3 so drifting host load hits both equally.
+    off_runs, on_runs = [], []
+    for attempt in range(3):
+        off_runs.append(
+            _run_arm(snapshot, batches, off_options, tmp_path,
+                     f"off-{attempt}")
+        )
+        on_runs.append(
+            _run_arm(snapshot, batches, on_options, tmp_path,
+                     f"on-{attempt}", scrape_every=max(1, NUM_BATCHES // 4))
+        )
+    off_median = min(statistics.median(run) for run in off_runs)
+    on_median = min(statistics.median(run) for run in on_runs)
+    overhead = (on_median / off_median - 1.0) * 100.0
+
+    record_row(
+        "Observability overhead: per-batch medians (best of 3)",
+        f"obs off {off_median * 1000:7.2f} ms | "
+        f"journal+recorder+server on {on_median * 1000:7.2f} ms | "
+        f"overhead {overhead:+6.2f}%",
+    )
+
+    payload = {
+        "benchmark": "obs-overhead",
+        "topology": f"fat-tree:{SCALE_K}",
+        "nodes": fattree.topology.num_nodes(),
+        "batches": NUM_BATCHES,
+        "repeats": 3,
+        "statistic": "best-of-3 per-batch median",
+        "obs_off_median_seconds": off_median,
+        "obs_on_median_seconds": on_median,
+        "overhead_percent": overhead,
+        "bar_percent": MAX_OVERHEAD_PERCENT,
+        "obs_on_configuration": (
+            "file journal (flushed per event) + flight recorder + "
+            "introspection server scraped (/metrics, /health) every "
+            f"{max(1, NUM_BATCHES // 4)} batches"
+        ),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    record_row(
+        "Observability overhead: per-batch medians (best of 3)",
+        f"wrote {OUTPUT.name} (bar: {MAX_OVERHEAD_PERCENT:.1f}%)",
+    )
+
+    assert overhead < MAX_OVERHEAD_PERCENT, (
+        f"obs stack costs {overhead:.2f}% per batch "
+        f"(bar {MAX_OVERHEAD_PERCENT:.1f}%)"
+    )

@@ -30,6 +30,10 @@ Subcommands (also available as ``python -m repro``):
   health-file heartbeat, and graceful checkpointing shutdown;
 - ``watch``     the polling alias of ``serve`` — pick up new batch files
   dropped into a directory;
+- ``top``       compact dashboard of a running serve daemon, read from
+  the live introspection server (``serve --obs-port``);
+- ``tail``      replay / follow a serve daemon's event journal over the
+  same introspection server;
 - ``emit-stream`` generate a JSONL change-batch stream (the producer
   side of ``serve``).
 
@@ -61,7 +65,9 @@ Example session::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.config.diff import diff_snapshots
@@ -78,11 +84,15 @@ from repro.policy.trace import format_traces, trace_packet
 from repro.telemetry import (
     MetricsRegistry,
     Tracer,
+    atomic_write_text,
     chrome_trace,
+    get_tracer,
+    names,
     prometheus_text,
     set_metrics,
     set_tracer,
     summary_tree,
+    tracing_enabled,
 )
 from repro.workloads import snapshot_for
 
@@ -281,6 +291,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         health_file=args.health_file,
         checkpoint_file=args.checkpoint,
+        journal_file=args.journal,
+        obs_port=args.obs_port,
     )
     if watching:
         source = watch_stream(
@@ -296,6 +308,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         options,
         resume_cursor=cursor,
     )
+    if daemon.obs_server is not None:
+        print(
+            f"introspection server on {daemon.obs_server.url} "
+            f"(try: repro top {daemon.obs_server.host}:"
+            f"{daemon.obs_server.port})"
+        )
     stats = daemon.run(handle_signals=True)
     print(f"serve finished: {stats.summary()}")
     if stats.quarantined:
@@ -526,9 +544,73 @@ def _ratio(part: float, whole: float) -> str:
     return f"{part / whole:.3f}"
 
 
+def _print_worker_attribution(tracer: Tracer) -> None:
+    """Aggregate the grafted ``parallel.worker`` spans into a per-worker
+    wall-clock table: rounds handled, dispatch-queue wait, and compute
+    per phase — plus the compute split across the worker-side stages."""
+    per_worker = {}
+    stage_totals = {}
+    for sp in tracer.finished:
+        if sp.name == names.SPAN_WORKER:
+            idx = sp.attributes.get("worker", -1)
+            row = per_worker.setdefault(
+                idx,
+                {
+                    "rounds": 0,
+                    "queue_wait": 0.0,
+                    "seed": 0.0,
+                    "model": 0.0,
+                    "policy": 0.0,
+                },
+            )
+            row["rounds"] += 1
+            row["queue_wait"] += sp.attributes.get("queue_wait_seconds", 0.0)
+            phase = sp.attributes.get("phase")
+            if phase in ("seed", "model", "policy"):
+                row[phase] += sp.duration
+        elif sp.name.startswith(names.SPAN_WORKER + "."):
+            stage = sp.name[len(names.SPAN_WORKER) + 1:]
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + sp.duration
+    print()
+    print("parallel worker attribution (grafted worker spans, ms)")
+    if not per_worker:
+        print("  no worker spans recorded (inline backend seeds eagerly; "
+              "rounds may have run before tracing was enabled)")
+        return
+    print(f"  {'worker':<8s} {'rounds':>6s} {'queue':>9s} {'seed':>9s} "
+          f"{'model':>9s} {'policy':>9s}")
+    for idx in sorted(per_worker):
+        row = per_worker[idx]
+        print(
+            f"  w{idx:<7d} {row['rounds']:>6d} "
+            f"{row['queue_wait'] * 1000:>9.2f} {row['seed'] * 1000:>9.2f} "
+            f"{row['model'] * 1000:>9.2f} {row['policy'] * 1000:>9.2f}"
+        )
+    if stage_totals:
+        split = ", ".join(
+            f"{stage} {seconds * 1000:.2f}"
+            for stage, seconds in sorted(stage_totals.items())
+        )
+        print(f"  compute split across workers (ms): {split}")
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Replay a generated change workload and print where time and
     incremental work went — the CLI face of the paper's Tables 2-3."""
+    if (args.workers or 1) > 1 and not tracing_enabled():
+        # Per-worker attribution is built from grafted worker spans, so a
+        # parallel profile records them on a local tracer even when the
+        # global --trace flag did not install one.
+        local = Tracer()
+        previous = set_tracer(local)
+        try:
+            return _profile_run(args)
+        finally:
+            set_tracer(previous)
+    return _profile_run(args)
+
+
+def _profile_run(args: argparse.Namespace) -> int:
     import statistics
 
     snapshot = load_snapshot(args.snapshot)
@@ -666,8 +748,145 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"  lint objects       {scanned:10.1f} / {graph_objects:.1f} "
             f"graph = {_ratio(scanned, graph_objects)}"
         )
+    if (args.workers or 1) > 1 and get_tracer().enabled:
+        _print_worker_attribution(get_tracer())
     verifier.close()
     return 0
+
+
+def _obs_base_url(target: str) -> str:
+    """Accept 'HOST:PORT', ':PORT', or a full URL for top/tail."""
+    if target.startswith(":"):
+        target = "127.0.0.1" + target
+    if "://" not in target:
+        target = "http://" + target
+    return target.rstrip("/")
+
+
+def _obs_get(url: str, timeout: float = 5.0) -> str:
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 - loopback
+        return response.read().decode("utf-8")
+
+
+def _render_top(health: dict, stats: dict) -> None:
+    breaker = health.get("breaker") or {}
+    print(
+        f"status={health.get('status')} mode={health.get('mode')} "
+        f"cursor={health.get('cursor')} "
+        f"queue={health.get('queue_depth')} "
+        f"breaker={breaker.get('state', 'off')}"
+    )
+    print(
+        f"  batches {health.get('batches_ok')}/{health.get('batches_seen')}"
+        f" ok, {health.get('retries')} retries, "
+        f"{health.get('quarantined')} quarantined, "
+        f"{health.get('new_violations')} new violations"
+    )
+    histograms = stats.get("histograms") or {}
+    if histograms:
+        print(f"  {'stage':<12s} {'count':>6s} {'mean ms':>9s} {'p50':>8s} "
+              f"{'p95':>8s} {'p99':>8s} {'max':>8s}")
+        for stage, h in sorted(histograms.items()):
+            print(
+                f"  {stage:<12s} {h['count']:>6d} "
+                f"{h['mean_seconds'] * 1000:>9.2f} "
+                f"{h['p50_seconds'] * 1000:>8.2f} "
+                f"{h['p95_seconds'] * 1000:>8.2f} "
+                f"{h['p99_seconds'] * 1000:>8.2f} "
+                f"{h['max_seconds'] * 1000:>8.2f}"
+            )
+    print(
+        f"  journal seq {stats.get('journal_seq')}, "
+        f"flight dumps {stats.get('flight_dumps')}"
+    )
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """One-shot (or --watch) dashboard over /health and /stats."""
+    import json
+
+    base = _obs_base_url(args.server)
+    try:
+        while True:
+            health = json.loads(_obs_get(base + "/health"))
+            stats = json.loads(_obs_get(base + "/stats"))
+            if args.watch > 0:
+                print(f"-- {time.strftime('%H:%M:%S')} {base}")
+            _render_top(health, stats)
+            if args.watch <= 0:
+                return 0
+            time.sleep(args.watch)
+            print()
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ValueError) as error:
+        raise CliError(
+            f"cannot read introspection server at {base}: {error}"
+        ) from error
+
+
+def _format_event(event: dict) -> str:
+    threaded = {"seq", "ts", "event", "cid", "batch", "stage", "worker",
+                "finding"}
+    extras = " ".join(
+        f"{key}={event[key]}" for key in sorted(event) if key not in threaded
+    )
+    stamp = time.strftime("%H:%M:%S", time.localtime(event.get("ts", 0)))
+    line = (
+        f"{event.get('seq', '?'):>6} {stamp} "
+        f"{event.get('event', '?'):<18s} {event.get('cid', '')}"
+    )
+    return f"{line}  {extras}" if extras else line
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Replay (and with --follow, keep streaming) the event journal."""
+    import json
+
+    if args.journal is None and args.server is None:
+        raise CliError("tail needs a SERVER address or --journal FILE")
+    if args.journal is not None and args.server is not None:
+        raise CliError("pass either a SERVER address or --journal, not both")
+    since = args.since
+
+    if args.journal is not None:
+        # Offline mode: replay the JSONL file directly — works after the
+        # daemon has exited (seqs are the same ones /events serves).
+        from repro.obs import read_events
+
+        try:
+            while True:
+                for event in read_events(args.journal, since=since):
+                    since = max(since, event.get("seq", since))
+                    print(_format_event(event))
+                if not args.follow:
+                    return 0
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+    base = _obs_base_url(args.server)
+    try:
+        while True:
+            body = _obs_get(f"{base}/events?since={since}")
+            for line in body.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                since = max(since, event.get("seq", since))
+                print(_format_event(event))
+            if not args.follow:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ValueError) as error:
+        raise CliError(
+            f"cannot read introspection server at {base}: {error}"
+        ) from error
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -789,6 +1008,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume-from", default=None, metavar="FILE",
                        help="restore the verifier and stream cursor from a "
                             "serve checkpoint and continue the stream")
+        p.add_argument("--journal", default=None, metavar="FILE",
+                       help="append every batch outcome to this JSONL "
+                            "event journal (sequence numbers stay gapless "
+                            "across daemon restarts on the same file)")
+        p.add_argument("--obs-port", type=int, default=None, metavar="PORT",
+                       help="start the live introspection HTTP server on "
+                            "127.0.0.1:PORT (/health /stats /events "
+                            "/metrics; 0 picks an ephemeral port). "
+                            "Inspect with 'repro top' and 'repro tail'")
         p.add_argument("--all-pairs", action="store_true",
                        help="also register all-pairs reachability policies")
         p.add_argument("--lint", choices=["off", "warn", "enforce"],
@@ -816,6 +1044,46 @@ def build_parser() -> argparse.ArgumentParser:
         "Stop with SIGINT/SIGTERM (graceful, checkpointing) or "
         "--idle-timeout.",
     )
+
+    p = sub.add_parser(
+        "top",
+        help="dashboard of a running serve daemon (via --obs-port)",
+        description="Fetch /health and /stats from a daemon's live "
+        "introspection server and print a compact dashboard: serving "
+        "counters, breaker state, queue depth, and the flight recorder's "
+        "per-stage latency percentiles. With --watch, refresh until "
+        "interrupted.",
+    )
+    p.add_argument("server",
+                   help="introspection address: HOST:PORT, :PORT, or URL "
+                        "(printed by 'repro serve --obs-port')")
+    p.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                   help="refresh every SECONDS until interrupted "
+                        "(default: print once and exit)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "tail",
+        help="stream a serve daemon's event journal (via --obs-port)",
+        description="Replay /events from a daemon's live introspection "
+        "server — one line per journal event with its seq, correlation "
+        "id, and fields. Sequence numbers are gapless across daemon "
+        "restarts, so '--since SEQ' resumes exactly where a previous "
+        "tail stopped. With --follow, keep polling for new events. "
+        "Pass --journal FILE instead of a server address to replay a "
+        "journal file offline (after the daemon has exited).",
+    )
+    p.add_argument("server", nargs="?", default=None,
+                   help="introspection address: HOST:PORT, :PORT, or URL")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="replay this journal file instead of a live server")
+    p.add_argument("--since", type=int, default=0, metavar="SEQ",
+                   help="only events with seq > SEQ (default: 0 = all)")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep polling for new events until interrupted")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="poll interval with --follow (default: 1)")
+    p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser(
         "emit-stream",
@@ -977,14 +1245,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro tail ... | head` closes stdout early; that is not an
+        # error.  Detach stdout so the interpreter's shutdown flush does
+        # not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     finally:
         # Export even when the command failed: a trace of a refused or
         # crashed verification is exactly what one wants to look at.
         if tracer is not None:
             set_tracer(previous_tracer)
             if args.trace is not None:
-                with open(args.trace, "w") as handle:
-                    handle.write(chrome_trace(tracer))
+                atomic_write_text(args.trace, chrome_trace(tracer))
                 print(
                     f"-- wrote {len(tracer.finished)} span(s) to "
                     f"{args.trace} (Chrome trace-event JSON)",
@@ -994,8 +1268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(summary_tree(tracer), file=sys.stderr)
         if registry is not None:
             set_metrics(previous_metrics)
-            with open(args.metrics, "w") as handle:
-                handle.write(prometheus_text(registry))
+            atomic_write_text(args.metrics, prometheus_text(registry))
             print(
                 f"-- wrote metrics exposition to {args.metrics}",
                 file=sys.stderr,

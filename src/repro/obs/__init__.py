@@ -1,0 +1,76 @@
+"""repro.obs — production observability for the serving pipeline.
+
+Three cooperating pieces, all wired into :class:`~repro.serve.daemon.ServeDaemon`
+and readable live while it runs:
+
+- :mod:`repro.obs.journal` — the structured **event journal**: an
+  append-only JSONL file of every batch outcome (committed, retried,
+  quarantined, lint-rejected, breaker transition, ...) with monotonic
+  sequence numbers that survive daemon restarts and correlation ids
+  threading batch → stage → worker → finding;
+- :mod:`repro.obs.recorder` — the **flight recorder**: a bounded
+  in-memory ring of recent events plus per-stage latency histograms
+  (p50/p95/p99), dumped atomically into the dead-letter directory
+  whenever a batch is quarantined or the circuit breaker opens;
+- :mod:`repro.obs.server` — the **live introspection server**: a stdlib
+  ``http.server`` thread serving ``/health``, ``/stats``,
+  ``/events?since=SEQ``, and ``/metrics`` (Prometheus text), consumed by
+  the ``repro top`` and ``repro tail`` CLI verbs.
+
+Cross-process *span* aggregation (pool workers shipping their span trees
+back to the parent tracer) lives in :mod:`repro.telemetry.tracer`
+(:func:`~repro.telemetry.tracer.export_spans` /
+:func:`~repro.telemetry.tracer.graft_spans`) and
+:mod:`repro.parallel.worker`; this package covers the serving side.
+"""
+
+from repro.obs.journal import (
+    EVENT_AUDIT,
+    EVENT_BREAKER,
+    EVENT_CHECKPOINT,
+    EVENT_COMMITTED,
+    EVENT_DEADLINE,
+    EVENT_FINDING,
+    EVENT_LINT_REJECTED,
+    EVENT_MALFORMED,
+    EVENT_QUARANTINED,
+    EVENT_REBUILD,
+    EVENT_RETRIED,
+    EVENT_STAGE,
+    EVENT_START,
+    EVENT_STOP,
+    EVENT_TYPES,
+    EventJournal,
+    correlation_id,
+    last_sequence,
+    read_events,
+)
+from repro.obs.recorder import FlightRecorder, load_flight_dump, percentile
+from repro.obs.server import IntrospectionServer, ObsState
+
+__all__ = [
+    "EVENT_AUDIT",
+    "EVENT_BREAKER",
+    "EVENT_CHECKPOINT",
+    "EVENT_COMMITTED",
+    "EVENT_DEADLINE",
+    "EVENT_FINDING",
+    "EVENT_LINT_REJECTED",
+    "EVENT_MALFORMED",
+    "EVENT_QUARANTINED",
+    "EVENT_REBUILD",
+    "EVENT_RETRIED",
+    "EVENT_STAGE",
+    "EVENT_START",
+    "EVENT_STOP",
+    "EVENT_TYPES",
+    "EventJournal",
+    "correlation_id",
+    "last_sequence",
+    "read_events",
+    "FlightRecorder",
+    "load_flight_dump",
+    "percentile",
+    "IntrospectionServer",
+    "ObsState",
+]

@@ -1,0 +1,221 @@
+"""The structured event journal: append-only JSONL with monotonic seqs.
+
+Every consequential daemon action becomes one JSON object on one line::
+
+    {"seq": 42, "ts": 1754650000.123, "event": "committed",
+     "cid": "000007", "batch": "000007", "attempts": 1, ...}
+
+Schema (every event):
+
+- ``seq``    monotonic sequence number, **gapless across daemon
+  restarts**: a journal reopened on the same file resumes numbering from
+  the last durable line, so ``/events?since=SEQ`` replays the stream with
+  no hole and no reuse;
+- ``ts``     wall-clock unix timestamp (the only wall-clock field in the
+  telemetry stack — journals are operational logs, not diffable traces);
+- ``event``  one of :data:`EVENT_TYPES`;
+- ``cid``    the correlation id: ``batch[/stage][/wN][/finding]``,
+  threading one batch through its stages, the worker that computed a
+  shard, and any policy finding it produced.
+
+Event-specific fields ride alongside (``attempts``, ``failure_class``,
+``seconds``, ``from``/``to`` for breaker transitions, ...); consumers must
+ignore fields they do not know.
+
+Appends are flushed per event, so a crash loses at most the line being
+written; the reader tolerates a torn final line (it is skipped, and the
+writer's tail scan ignores it too, so the next daemon reuses its seq —
+a seq is only *taken* once its line is durable and parseable).
+
+A journal constructed with ``path=None`` keeps the same seq/subscriber
+behaviour purely in memory — that is what lets the flight recorder and
+the introspection server run even when no journal file was configured.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.telemetry import get_metrics, names
+
+EVENT_START = "daemon-start"
+EVENT_STOP = "daemon-stop"
+EVENT_COMMITTED = "committed"
+EVENT_RETRIED = "retried"
+EVENT_QUARANTINED = "quarantined"
+EVENT_LINT_REJECTED = "lint-rejected"
+EVENT_MALFORMED = "malformed"
+EVENT_REBUILD = "rebuild"
+EVENT_DEADLINE = "deadline-exceeded"
+EVENT_BREAKER = "breaker"
+EVENT_STAGE = "stage"
+EVENT_FINDING = "finding"
+EVENT_AUDIT = "audit"
+EVENT_CHECKPOINT = "checkpoint"
+
+#: Every event type the daemon emits, in rough lifecycle order.  The docs
+#: table in DESIGN.md mirrors this tuple; tests assert they stay in sync.
+EVENT_TYPES = (
+    EVENT_START,
+    EVENT_STOP,
+    EVENT_COMMITTED,
+    EVENT_RETRIED,
+    EVENT_QUARANTINED,
+    EVENT_LINT_REJECTED,
+    EVENT_MALFORMED,
+    EVENT_REBUILD,
+    EVENT_DEADLINE,
+    EVENT_BREAKER,
+    EVENT_STAGE,
+    EVENT_FINDING,
+    EVENT_AUDIT,
+    EVENT_CHECKPOINT,
+)
+
+
+def correlation_id(
+    batch: Optional[str] = None,
+    stage: Optional[str] = None,
+    worker: Optional[int] = None,
+    finding: Optional[str] = None,
+) -> str:
+    """``batch[/stage][/wN][/finding]`` — empty segments between two
+    present ones are kept (as ``-``) so the path stays positional."""
+    segments: List[str] = [
+        batch or "-",
+        stage or "-",
+        f"w{worker}" if worker is not None else "-",
+        finding or "-",
+    ]
+    while len(segments) > 1 and segments[-1] == "-":
+        segments.pop()
+    return "/".join(segments)
+
+
+class EventJournal:
+    """Appends events to a JSONL file (or memory) with gapless seqs."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._handle = None
+        self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
+        self._seq = 0
+        if self.path is not None:
+            if self.path.parent and not self.path.parent.exists():
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._seq = last_sequence(self.path)
+            self._handle = self.path.open("a")
+            # A crash mid-append leaves a torn, unterminated last line;
+            # start on a fresh line so the next event is not glued to it.
+            if self.path.stat().st_size > 0:
+                with self.path.open("rb") as tail:
+                    tail.seek(-1, 2)
+                    if tail.read(1) != b"\n":
+                        self._handle.write("\n")
+                        self._handle.flush()
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recently emitted event."""
+        return self._seq
+
+    def subscribe(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        """``callback(event)`` runs synchronously on every emit — the
+        flight recorder taps the journal this way."""
+        self._subscribers.append(callback)
+
+    def emit(
+        self,
+        event: str,
+        batch: Optional[str] = None,
+        stage: Optional[str] = None,
+        worker: Optional[int] = None,
+        finding: Optional[str] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Append one event; returns the full record (with seq/ts/cid)."""
+        self._seq += 1
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "event": event,
+            "cid": correlation_id(batch, stage, worker, finding),
+        }
+        if batch is not None:
+            record["batch"] = batch
+        if stage is not None:
+            record["stage"] = stage
+        if worker is not None:
+            record["worker"] = worker
+        if finding is not None:
+            record["finding"] = finding
+        record.update(fields)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(names.OBS_EVENTS, event=event).inc()
+            metrics.gauge(names.OBS_JOURNAL_SEQ).set(self._seq)
+        for callback in self._subscribers:
+            callback(record)
+        return record
+
+    def events_since(self, since: int = 0) -> List[Dict[str, Any]]:
+        """Durable events with ``seq > since`` (file-backed journals read
+        the file, so this replays across restarts; memory journals can
+        only answer from what the caller retained — they return [])."""
+        if self.path is None:
+            return []
+        return list(read_events(self.path, since=since))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_events(
+    path: Union[str, Path], since: int = 0
+) -> Iterator[Dict[str, Any]]:
+    """Iterate journal events with ``seq > since``, in file order.
+
+    Torn or malformed lines (a crash mid-append) are skipped rather than
+    raised: the journal is an operational log and must stay readable
+    after any crash.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict) or "seq" not in record:
+                continue
+            if record["seq"] > since:
+                yield record
+
+
+def last_sequence(path: Union[str, Path]) -> int:
+    """The seq of the last durable, parseable event in ``path`` (0 when
+    the file is missing or empty) — what a reopened journal resumes from."""
+    last = 0
+    for record in read_events(path):
+        if isinstance(record.get("seq"), int):
+            last = max(last, record["seq"])
+    return last

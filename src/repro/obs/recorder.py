@@ -1,0 +1,144 @@
+"""The flight recorder: recent events + latency histograms, in memory.
+
+Black-box style: a bounded ring of the most recent journal events and a
+sliding window of per-stage latency samples, kept cheap enough to run
+always.  When something goes wrong — a batch is quarantined, the circuit
+breaker opens — the daemon dumps the recorder's snapshot atomically into
+the dead-letter directory next to the payload and traceback, so the
+post-mortem shows not just *what* failed but what the pipeline was doing
+in the moments before.
+
+Percentiles are computed at snapshot time from the sample window (the
+window bounds memory, not accuracy-over-all-time: ``count``/``sum`` do
+cover the whole run).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from repro.telemetry import atomic_write_text, get_metrics, names
+
+#: Events kept in the ring.
+DEFAULT_EVENT_CAPACITY = 256
+#: Latency samples kept per stage for percentile estimation.
+DEFAULT_SAMPLE_WINDOW = 512
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The q-th percentile (0..100) of ``samples`` by the nearest-rank
+    method; 0.0 for an empty list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[min(len(ordered), int(rank)) - 1]
+
+
+class _StageWindow:
+    __slots__ = ("samples", "count", "total", "peak")
+
+    def __init__(self, window: int) -> None:
+        self.samples: Deque[float] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+        self.peak = max(self.peak, seconds)
+
+    def summary(self) -> Dict[str, float]:
+        window = list(self.samples)
+        return {
+            "count": self.count,
+            "sum_seconds": self.total,
+            "mean_seconds": (self.total / self.count) if self.count else 0.0,
+            "max_seconds": self.peak,
+            "p50_seconds": percentile(window, 50),
+            "p95_seconds": percentile(window, 95),
+            "p99_seconds": percentile(window, 99),
+            "window": len(window),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent events + per-stage latency windows."""
+
+    def __init__(
+        self,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+        sample_window: int = DEFAULT_SAMPLE_WINDOW,
+    ) -> None:
+        if event_capacity < 1:
+            raise ValueError("event_capacity must be >= 1")
+        if sample_window < 1:
+            raise ValueError("sample_window must be >= 1")
+        self.event_capacity = event_capacity
+        self.sample_window = sample_window
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=event_capacity)
+        self._stages: Dict[str, _StageWindow] = {}
+        self.dumps_written = 0
+
+    # -- feeding ---------------------------------------------------------------
+
+    def record_event(self, event: Dict[str, Any]) -> None:
+        """Keep one journal event in the ring (journal.subscribe target)."""
+        self._events.append(event)
+
+    def observe_stage(self, stage: str, seconds: float) -> None:
+        """Add one latency sample for a pipeline stage (or ``batch`` for
+        whole-batch wall clock)."""
+        window = self._stages.get(stage)
+        if window is None:
+            window = self._stages[stage] = _StageWindow(self.sample_window)
+        window.observe(seconds)
+
+    # -- reading ---------------------------------------------------------------
+
+    def events(self, since: int = 0) -> List[Dict[str, Any]]:
+        """Ring events with ``seq > since`` (the in-memory fallback for
+        ``/events`` when no journal file is configured)."""
+        return [e for e in self._events if e.get("seq", 0) > since]
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        return {
+            stage: self._stages[stage].summary()
+            for stage in sorted(self._stages)
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The dumpable state: recent events + per-stage summaries."""
+        return {
+            "events": list(self._events),
+            "histograms": self.histograms(),
+            "event_capacity": self.event_capacity,
+            "sample_window": self.sample_window,
+        }
+
+    def dump_to(self, path) -> None:
+        """Atomically write the snapshot as JSON (the dead-letter dump)."""
+        atomic_write_text(
+            path, json.dumps(self.snapshot(), sort_keys=True, indent=2)
+        )
+        self.dumps_written += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(names.OBS_FLIGHT_DUMPS).inc()
+
+
+def load_flight_dump(path) -> Optional[Dict[str, Any]]:
+    """Read a flight dump back (None when absent) — the replay/triage
+    helper mirroring :meth:`FlightRecorder.dump_to`."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    payload: Union[Dict[str, Any], Any] = json.loads(path.read_text())
+    return payload if isinstance(payload, dict) else None

@@ -1,0 +1,178 @@
+"""The live introspection server: a stdlib HTTP thread in the daemon.
+
+Four read-only endpoints over the daemon's live state:
+
+- ``GET /health``           the liveness/readiness payload (same JSON the
+  ``--health-file`` heartbeat writes, always current);
+- ``GET /stats``            serving counters, queue depth, breaker state,
+  cursor, and the flight recorder's per-stage latency summaries;
+- ``GET /events?since=SEQ`` journal replay: every durable event with
+  ``seq > SEQ``, as JSONL (``application/x-ndjson``) — gapless across
+  daemon restarts because the journal's seqs are;
+- ``GET /metrics``          Prometheus text exposition (version 0.0.4)
+  of the process-global metrics registry.
+
+The server owns no state: everything is pulled through the callables of
+an :class:`ObsState` at request time, so responses always reflect the
+instant of the GET.  It binds ``127.0.0.1`` by default (introspection is
+an operator loopback tool, not a public API) and ``port=0`` picks an
+ephemeral port, published via :attr:`IntrospectionServer.port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List
+from urllib.parse import parse_qs, urlparse
+
+from repro.telemetry import get_metrics, names
+
+ENDPOINTS = ("/health", "/stats", "/events", "/metrics")
+
+
+def _no_metrics_exposition() -> str:
+    return "# metrics collection disabled (no registry installed)\n"
+
+
+def default_metrics_text() -> str:
+    """Exposition of the process-global registry (or a comment when
+    metrics collection is off)."""
+    from repro.telemetry import MetricsRegistry, prometheus_text
+
+    registry = get_metrics()
+    if isinstance(registry, MetricsRegistry):
+        return prometheus_text(registry)
+    return _no_metrics_exposition()
+
+
+@dataclass
+class ObsState:
+    """The pull-side contract between the server and its daemon."""
+
+    health: Callable[[], Dict[str, Any]]
+    stats: Callable[[], Dict[str, Any]]
+    events_since: Callable[[int], List[Dict[str, Any]]]
+    metrics_text: Callable[[], str] = field(default=default_metrics_text)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by the server factory.
+    state: ObsState
+
+    #: Suppress per-request stderr logging (the daemon owns the terminal).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(names.OBS_HTTP_REQUESTS, endpoint=route).inc()
+        try:
+            if route == "/health":
+                self._send_json(self.state.health())
+            elif route == "/stats":
+                self._send_json(self.state.stats())
+            elif route == "/events":
+                self._send_events(parsed.query)
+            elif route == "/metrics":
+                self._send_text(
+                    self.state.metrics_text(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_error(404, f"unknown endpoint {route!r}")
+        except BrokenPipeError:
+            pass
+        except Exception as error:  # noqa: BLE001 - introspection must not kill serving
+            try:
+                self._send_error(500, f"{type(error).__name__}: {error}")
+            except Exception:
+                pass
+
+    # -- responses -------------------------------------------------------------
+
+    def _send_events(self, query: str) -> None:
+        params = parse_qs(query)
+        raw = params.get("since", ["0"])[-1]
+        try:
+            since = int(raw)
+        except ValueError:
+            self._send_error(400, f"since must be an integer, got {raw!r}")
+            return
+        lines = [
+            json.dumps(event, sort_keys=True)
+            for event in self.state.events_since(since)
+        ]
+        body = "\n".join(lines) + ("\n" if lines else "")
+        self._send_text(body, content_type="application/x-ndjson")
+
+    def _send_json(self, payload: Dict[str, Any]) -> None:
+        self._send_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            content_type="application/json",
+        )
+
+    def _send_text(self, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error(self, code: int, message: str) -> None:
+        data = (json.dumps({"error": message}) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class IntrospectionServer:
+    """A daemon-threaded HTTP server over an :class:`ObsState`."""
+
+    def __init__(
+        self, state: ObsState, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"state": state})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "IntrospectionServer":
+        if self._thread is not None:
+            raise RuntimeError("introspection server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None

@@ -37,9 +37,16 @@ from repro.dataplane.rule import RuleUpdate
 from repro.parallel.plan import forwarding_devices, stage_batch
 from repro.parallel.pool import ForkPool, InlinePool, PoolError, fork_available
 from repro.parallel.shard import assign_shards
-from repro.parallel.worker import MSG_ANALYZE, MSG_PLAN, MSG_SEED
+from repro.parallel.worker import MSG_ANALYZE, MSG_PLAN, MSG_SEED, obs_envelope
 from repro.policy.paths import EcAnalysis
-from repro.telemetry import get_metrics, names, span
+from repro.telemetry import (
+    get_metrics,
+    get_tracer,
+    graft_spans,
+    names,
+    span,
+    tracing_enabled,
+)
 
 BACKENDS = ("auto", "fork", "inline")
 
@@ -64,6 +71,9 @@ class RoundOne:
     #: filter-change ECs (all alive at end of replay, by construction).
     affected_ecs: List[EcId] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Per-worker {"queue_wait_seconds", "compute_seconds"} for the model
+    #: round, in worker order (filled from the replies' obs timings).
+    worker_timings: List[Dict[str, float]] = field(default_factory=list)
 
 
 def resolve_backend(backend: str) -> str:
@@ -149,15 +159,23 @@ class ParallelExecutor:
                 names.SPAN_PARALLEL_SEED,
                 workers=self.workers,
                 backend=self.backend,
-            ):
+            ) as sp:
                 payload = {
                     "topology": self.model.topology,
                     "merge_ecs": self.model.ecs.merge_on_unregister,
                     "mode": self.model.mode,
                     "state": self.model.capture_state(),
                 }
-                self._pool.broadcast((MSG_SEED, self._epoch, payload))
+                trace = tracing_enabled()
+                # Per-worker send (not broadcast) so each envelope carries
+                # the worker index for span/timing attribution.
+                for idx in range(self.workers):
+                    self._pool.send(
+                        idx,
+                        (MSG_SEED, self._epoch, payload, obs_envelope(idx, trace)),
+                    )
                 replies = self._gather()
+                self._absorb_replies(sp, replies)
             expected = {reply["checksum"] for reply in replies}
             if len(expected) != 1:
                 raise PoolDriftError(
@@ -181,6 +199,19 @@ class ParallelExecutor:
             self._teardown()
             raise
 
+    def _absorb_replies(self, parent, replies: List[Dict]) -> List[Dict[str, float]]:
+        """Graft the workers' shipped span trees under the dispatching span
+        and pull out the per-worker timings (queue wait vs. compute), in
+        worker order.  The tracer check makes the untraced path free."""
+        timings: List[Dict[str, float]] = []
+        tracer = get_tracer()
+        for idx, reply in enumerate(replies):
+            timings.append(reply.get("timings") or {})
+            records = reply.pop("spans", None)
+            if records and tracer.enabled:
+                graft_spans(tracer, parent, records, worker=idx)
+        return timings
+
     # -- round one: sharded model update -----------------------------------------
 
     def run_batch(
@@ -202,6 +233,7 @@ class ParallelExecutor:
             workers=self.workers,
             devices=len(devices),
         ) as sp:
+            trace = tracing_enabled()
             for idx in range(self.workers):
                 self._pool.send(
                     idx,
@@ -212,9 +244,11 @@ class ParallelExecutor:
                         order,
                         shards[idx],
                         idx == 0,  # one worker reports the batch extras
+                        obs_envelope(idx, trace),
                     ),
                 )
             replies = self._gather(abort_check)
+            timings = self._absorb_replies(sp, replies)
             checksums = {reply["checksum"] for reply in replies}
             if len(checksums) != 1:
                 self._teardown()
@@ -241,6 +275,7 @@ class ParallelExecutor:
                 ec_merges=extras["ec_merges"],
                 affected_ecs=affected,
                 elapsed_seconds=time.perf_counter() - started,
+                worker_timings=timings,
             )
             sp.set("moves", len(merged))
             sp.set("affected_ecs", len(affected))
@@ -265,12 +300,21 @@ class ParallelExecutor:
             phase="policy",
             workers=self.workers,
             ecs=len(round_one.affected_ecs),
-        ):
+        ) as sp:
+            trace = tracing_enabled()
             for idx in range(self.workers):
                 self._pool.send(
-                    idx, (MSG_ANALYZE, self._epoch, round_one.moves, shards[idx])
+                    idx,
+                    (
+                        MSG_ANALYZE,
+                        self._epoch,
+                        round_one.moves,
+                        shards[idx],
+                        obs_envelope(idx, trace),
+                    ),
                 )
             replies = self._gather(abort_check)
+            self._absorb_replies(sp, replies)
         analyses: Dict[EcId, EcAnalysis] = {}
         for reply in replies:
             analyses.update(reply["analyses"])

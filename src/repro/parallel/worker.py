@@ -8,6 +8,17 @@ epoch-stamped tuples; a replica that observes a gap refuses to answer
 (:class:`StaleReplicaError`) rather than return results computed against
 drifted state, and the executor responds by reseeding.
 
+Every message ends with an **obs envelope** (or ``None``): a plain dict
+``{"worker": idx, "sent_at": monotonic, "trace": bool}``.  From it the
+replica computes queue-wait (dispatch-to-dequeue latency on the shared
+monotonic clock) and compute time, returned in ``reply["timings"]``; and
+when ``trace`` is set the replica records its work on a private local
+:class:`~repro.telemetry.tracer.Tracer` — a ``parallel.worker`` root span
+with replay/reclassify/sync/analyze children — and ships the serialized
+tree back in ``reply["spans"]`` for the executor to graft under the
+dispatching span.  This is what makes one trace show the whole
+cross-process round.
+
 The same :class:`Replica` class backs both the forked worker processes
 (:func:`worker_main`) and the in-process inline backend, so property
 tests exercise the identical replay/shard/merge code paths without
@@ -17,15 +28,24 @@ process overhead.
 from __future__ import annotations
 
 import pickle
+import time
 import traceback
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dataplane.model import EcMove, NetworkModel
 from repro.parallel.plan import partition_checksum, stage_batch
 from repro.policy.paths import analyze_ec
+from repro.telemetry import (
+    NullTracer,
+    Tracer,
+    export_spans,
+    names,
+    set_tracer,
+    span,
+)
 
 # Message kinds (main -> worker).  Every message after the kind starts
-# with the epoch it belongs to.
+# with the epoch it belongs to and ends with the obs envelope (or None).
 MSG_SEED = "seed"
 MSG_PLAN = "plan"
 MSG_ANALYZE = "analyze"
@@ -34,6 +54,14 @@ MSG_STOP = "stop"
 # Reply kinds (worker -> main).
 REPLY_OK = "ok"
 REPLY_ERROR = "error"
+
+#: message kind -> the phase attribute of the worker root span.
+_PHASES = {MSG_SEED: "seed", MSG_PLAN: "model", MSG_ANALYZE: "policy"}
+
+
+def obs_envelope(worker: int, trace: bool) -> Dict[str, Any]:
+    """The per-message observability envelope the executor attaches."""
+    return {"worker": worker, "sent_at": time.monotonic(), "trace": trace}
 
 
 class StaleReplicaError(RuntimeError):
@@ -49,29 +77,70 @@ class Replica:
         self.epoch = -1
 
     def handle(self, message: Tuple) -> Dict[str, Any]:
+        received = time.monotonic()
         kind = message[0]
-        if kind == MSG_SEED:
-            return self._handle_seed(message)
-        if kind == MSG_PLAN:
-            return self._handle_plan(message)
-        if kind == MSG_ANALYZE:
-            return self._handle_analyze(message)
-        raise ValueError(f"unknown pool message kind {kind!r}")
+        handlers = {
+            MSG_SEED: self._handle_seed,
+            MSG_PLAN: self._handle_plan,
+            MSG_ANALYZE: self._handle_analyze,
+        }
+        handler = handlers.get(kind)
+        if handler is None:
+            raise ValueError(f"unknown pool message kind {kind!r}")
+        obs = message[-1]
+        if not isinstance(obs, dict):
+            obs = None
+        if obs is None or not obs.get("trace"):
+            reply = handler(message)
+            if obs is not None:
+                reply["timings"] = self._timings(obs, received)
+            return reply
+        # Traced round: record on a private tracer (never the inherited
+        # global — a forked worker shares the parent's pre-fork tracer
+        # object, whose spans would otherwise be lost or double-counted).
+        queue_wait = max(0.0, received - obs.get("sent_at", received))
+        local = Tracer()
+        previous = set_tracer(local)
+        try:
+            with span(
+                names.SPAN_WORKER,
+                worker=obs.get("worker"),
+                epoch=message[1],
+                phase=_PHASES[kind],
+                queue_wait_seconds=queue_wait,
+            ):
+                reply = handler(message)
+        finally:
+            set_tracer(previous)
+        reply["spans"] = export_spans(local)
+        reply["timings"] = self._timings(obs, received)
+        return reply
+
+    @staticmethod
+    def _timings(obs: Dict[str, Any], received: float) -> Dict[str, float]:
+        now = time.monotonic()
+        return {
+            "queue_wait_seconds": max(
+                0.0, received - obs.get("sent_at", received)
+            ),
+            "compute_seconds": now - received,
+        }
 
     def _handle_seed(self, message: Tuple) -> Dict[str, Any]:
-        _, epoch, payload = message
-        model = NetworkModel(
-            payload["topology"],
-            merge_on_unregister=payload["merge_ecs"],
-            mode=payload["mode"],
-        )
-        model.restore_state(payload["state"])
+        _, epoch, payload = message[0], message[1], message[2]
+        with span(names.SPAN_WORKER_SEED):
+            model = NetworkModel(
+                payload["topology"],
+                merge_on_unregister=payload["merge_ecs"],
+                mode=payload["mode"],
+            )
+            model.restore_state(payload["state"])
         self.model = model
         self.epoch = epoch
         return {"checksum": partition_checksum(model)}
 
     def _handle_plan(self, message: Tuple) -> Dict[str, Any]:
-        _, epoch, updates, order, devices, want_extras = message
+        _, epoch, updates, order, devices, want_extras = message[:6]
         if self.model is None:
             raise StaleReplicaError("replica was never seeded")
         if epoch != self.epoch + 1:
@@ -79,12 +148,17 @@ class Replica:
                 f"replica at epoch {self.epoch} received plan for {epoch}"
             )
         self.epoch = epoch
-        plan = stage_batch(self.model, updates, order)
+        with span(names.SPAN_WORKER_REPLAY, updates=len(updates)):
+            plan = stage_batch(self.model, updates, order)
         moves: List[EcMove] = []
-        for node in devices:
-            moves.extend(
-                self.model.reclassify_net(node, plan.affected.get(node, ()))
-            )
+        with span(names.SPAN_WORKER_RECLASSIFY, devices=len(devices)) as sp:
+            for node in devices:
+                moves.extend(
+                    self.model.reclassify_net(
+                        node, plan.affected.get(node, ())
+                    )
+                )
+            sp.set("moves", len(moves))
         reply: Dict[str, Any] = {"moves": moves, "checksum": plan.checksum}
         if want_extras:
             reply["extras"] = {
@@ -98,7 +172,7 @@ class Replica:
         return reply
 
     def _handle_analyze(self, message: Tuple) -> Dict[str, Any]:
-        _, epoch, moves, ecs = message
+        _, epoch, moves, ecs = message[:4]
         if self.model is None:
             raise StaleReplicaError("replica was never seeded")
         if epoch != self.epoch:
@@ -107,12 +181,14 @@ class Replica:
             )
         # Sync the other shards' net moves first (idempotent for our own),
         # so every replica's port maps equal the post-commit main model.
-        self.model.apply_moves(moves)
-        analyses = {
-            ec: analyze_ec(self.model, ec)
-            for ec in ecs
-            if self.model.ecs.exists(ec)
-        }
+        with span(names.SPAN_WORKER_SYNC, moves=len(moves)):
+            self.model.apply_moves(moves)
+        with span(names.SPAN_WORKER_ANALYZE, ecs=len(ecs)):
+            analyses = {
+                ec: analyze_ec(self.model, ec)
+                for ec in ecs
+                if self.model.ecs.exists(ec)
+            }
         return {"analyses": analyses}
 
 
@@ -129,6 +205,10 @@ def _picklable(exc: BaseException) -> BaseException:
 
 def worker_main(inbox, outbox) -> None:
     """Entry point of one pool process: serve messages until MSG_STOP."""
+    # A forked worker inherits the parent's (possibly enabled) global
+    # tracer; spans recorded there would never be exported.  Worker spans
+    # travel only via the obs envelope's traced path.
+    set_tracer(NullTracer())
     replica = Replica()
     while True:
         message = inbox.get()

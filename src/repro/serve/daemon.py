@@ -40,6 +40,26 @@ from typing import Callable, Deque, Iterable, Iterator, List, Optional, Union
 
 from repro.config.changes import apply_changes
 from repro.core.realconfig import LintGateError, RealConfig
+from repro.obs import (
+    EVENT_AUDIT,
+    EVENT_BREAKER,
+    EVENT_CHECKPOINT,
+    EVENT_COMMITTED,
+    EVENT_DEADLINE,
+    EVENT_FINDING,
+    EVENT_LINT_REJECTED,
+    EVENT_MALFORMED,
+    EVENT_QUARANTINED,
+    EVENT_REBUILD,
+    EVENT_RETRIED,
+    EVENT_STAGE,
+    EVENT_START,
+    EVENT_STOP,
+    EventJournal,
+    FlightRecorder,
+    IntrospectionServer,
+    ObsState,
+)
 from repro.resilience.checkpoint import read_checkpoint_extras, write_checkpoint
 from repro.serve.breaker import OPEN, CircuitBreaker
 from repro.serve.deadletter import DeadLetterBox
@@ -50,7 +70,7 @@ from repro.serve.policy import (
     classify_failure,
 )
 from repro.serve.stream import ChangeBatch, StreamError, fib_fingerprint
-from repro.telemetry import get_metrics, names, span
+from repro.telemetry import atomic_write_text, get_metrics, names, span
 
 
 @dataclass
@@ -71,6 +91,13 @@ class ServeOptions:
     checkpoint_every: int = 0  # periodic checkpoint cadence (batches)
     health_file: Optional[Union[str, Path]] = None
     checkpoint_file: Optional[Union[str, Path]] = None
+    #: JSONL event-journal file (None = in-memory seqs only, events are
+    #: still fed to the flight recorder and the introspection server).
+    journal_file: Optional[Union[str, Path]] = None
+    #: Port for the live introspection server (None = no server, 0 = pick
+    #: an ephemeral port, published via ``ServeDaemon.obs_server.port``).
+    obs_port: Optional[int] = None
+    obs_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -191,6 +218,25 @@ class ServeDaemon:
             self._lint_errors_seen = {
                 diag.fingerprint() for diag in baseline.errors()
             }
+        self._status = "starting"
+        self._last_batch: Optional[str] = None
+        #: The event journal (file-backed when --journal is set, in-memory
+        #: otherwise) and the flight recorder tapping it.
+        self.journal = EventJournal(self.options.journal_file)
+        self.recorder = FlightRecorder()
+        self.journal.subscribe(self.recorder.record_event)
+        #: Started eagerly (not in run()) so callers can read the bound
+        #: port / print the URL before the blocking loop begins.
+        self.obs_server: Optional[IntrospectionServer] = None
+        if self.options.obs_port is not None:
+            state = ObsState(
+                health=self.health_payload,
+                stats=self.stats_payload,
+                events_since=self._events_since,
+            )
+            self.obs_server = IntrospectionServer(
+                state, host=self.options.obs_host, port=self.options.obs_port
+            ).start()
 
     # -- control -------------------------------------------------------------
 
@@ -251,6 +297,10 @@ class ServeDaemon:
     def run(self, handle_signals: bool = False) -> ServeStats:
         if handle_signals:
             self.install_signal_handlers()
+        self._status = "serving"
+        self.journal.emit(
+            EVENT_START, cursor=self.cursor, pid=os.getpid()
+        )
         self._write_health("serving")
         self._set_gauge(names.SERVE_HEALTHY, 1)
         try:
@@ -291,8 +341,22 @@ class ServeDaemon:
             self.write_checkpoint()
         self.verifier.close()  # release the worker pool, if any
         self.stats.stopped_early = self._stop_requested
+        self._status = "stopped"
+        self.journal.emit(
+            EVENT_STOP,
+            cursor=self.cursor,
+            stopped_early=self._stop_requested,
+            batches_ok=self.stats.batches_ok,
+            batches_seen=self.stats.batches_seen,
+            quarantined=self.stats.quarantined,
+        )
         self._write_health("stopped")
         self._set_gauge(names.SERVE_HEALTHY, 0)
+        # Health/journal before teardown: a last scrape during shutdown
+        # still sees the final state; then the server and journal go away.
+        if self.obs_server is not None:
+            self.obs_server.stop()
+        self.journal.close()
         if handle_signals:
             self._restore_signal_handlers()
 
@@ -301,30 +365,41 @@ class ServeDaemon:
     def _process_batch(self, batch: ChangeBatch) -> bool:
         self.stats.batches_seen += 1
         self._count(names.SERVE_BATCHES)
-        with span(names.SPAN_SERVE_BATCH, batch=batch.batch_id) as sp:
-            if batch.decode_error is not None:
-                self._quarantine(
-                    batch,
-                    StreamError(batch.decode_error),
-                    attempts=0,
-                    failure_class="permanent",
+        started = time.perf_counter()
+        try:
+            with span(names.SPAN_SERVE_BATCH, batch=batch.batch_id) as sp:
+                if batch.decode_error is not None:
+                    self.journal.emit(
+                        EVENT_MALFORMED,
+                        batch=batch.batch_id,
+                        error=batch.decode_error,
+                    )
+                    self._quarantine(
+                        batch,
+                        StreamError(batch.decode_error),
+                        attempts=0,
+                        failure_class="permanent",
+                    )
+                    sp.set("outcome", "malformed")
+                    return False
+                incremental = (
+                    self.breaker.allows_incremental() if self.breaker else True
                 )
-                sp.set("outcome", "malformed")
-                return False
-            incremental = (
-                self.breaker.allows_incremental() if self.breaker else True
-            )
-            self._set_gauge(
-                names.SERVE_BREAKER_STATE,
-                self.breaker.gauge_value() if self.breaker else 0,
-            )
-            if not incremental:
-                ok = self._serve_rebuild(batch)
-                sp.set("outcome", "rebuild" if ok else "quarantined")
+                self._set_gauge(
+                    names.SERVE_BREAKER_STATE,
+                    self.breaker.gauge_value() if self.breaker else 0,
+                )
+                if not incremental:
+                    ok = self._serve_rebuild(batch)
+                    sp.set("outcome", "rebuild" if ok else "quarantined")
+                    return ok
+                ok = self._serve_incremental(batch)
+                sp.set("outcome", "ok" if ok else "failed-incremental")
                 return ok
-            ok = self._serve_incremental(batch)
-            sp.set("outcome", "ok" if ok else "failed-incremental")
-            return ok
+        finally:
+            self.recorder.observe_stage(
+                "batch", time.perf_counter() - started
+            )
 
     def _serve_incremental(self, batch: ChangeBatch) -> bool:
         attempt = 0
@@ -348,13 +423,27 @@ class ServeDaemon:
                 self.stats.new_violations += len(delta.newly_violated)
                 if delta.lint is not None:
                     self._track_lint_errors(delta.lint)
+                self._record_commit(batch, delta, attempt)
                 return True
             if isinstance(error, DeadlineExceeded):
                 self.stats.deadline_exceeded += 1
                 self._count(names.SERVE_DEADLINE_EXCEEDED)
+                self.journal.emit(
+                    EVENT_DEADLINE,
+                    batch=batch.batch_id,
+                    attempt=attempt,
+                    deadline_seconds=self.options.deadline_seconds,
+                )
             if self.retry_policy.should_retry(attempt, error):
                 self.stats.retries += 1
                 self._count(names.SERVE_RETRIES)
+                self.journal.emit(
+                    EVENT_RETRIED,
+                    batch=batch.batch_id,
+                    attempt=attempt,
+                    error_type=type(error).__name__,
+                    error=str(error),
+                )
                 self._sleep(self.retry_policy.backoff_seconds(attempt))
                 continue
             # Retry budget spent (or the failure is permanent).
@@ -367,6 +456,19 @@ class ServeDaemon:
                 if self.breaker.opens > opens_before:
                     self.stats.breaker_opens += 1
                     self._count(names.SERVE_BREAKER_OPENS)
+                    self.journal.emit(
+                        EVENT_BREAKER,
+                        batch=batch.batch_id,
+                        state=self.breaker.state,
+                        opens=self.breaker.opens,
+                        consecutive_failures=(
+                            self.breaker.consecutive_failures
+                        ),
+                    )
+                    self._dump_flight(
+                        self.dead_letter.directory
+                        / f"flight-breaker-open-{self.breaker.opens:03d}.json"
+                    )
                 if self.breaker.state == OPEN:
                     # The incremental path just proved systematically bad:
                     # give this batch the robust from-scratch path before
@@ -389,6 +491,53 @@ class ServeDaemon:
             return self.verifier.apply_changes(batch.changes)
         finally:
             self.verifier.abort_check = None
+
+    #: delta.timings attribute -> the stage label used in journal events
+    #: and the flight recorder's latency histograms.
+    _STAGES = (
+        ("config_diff", "diff"),
+        ("lint", "lint"),
+        ("generation", "generation"),
+        ("model_update", "model"),
+        ("policy_check", "policy"),
+    )
+
+    def _record_commit(self, batch: ChangeBatch, delta, attempts: int) -> None:
+        """Journal one committed batch: per-stage latencies (also fed to
+        the flight recorder), the commit itself, and one finding event per
+        newly violated policy — the batch -> stage / batch -> finding legs
+        of the correlation-id scheme."""
+        timings = delta.timings
+        for attr, stage_label in self._STAGES:
+            seconds = getattr(timings, attr, 0.0)
+            self.recorder.observe_stage(stage_label, seconds)
+            self.journal.emit(
+                EVENT_STAGE,
+                batch=batch.batch_id,
+                stage=stage_label,
+                seconds=seconds,
+            )
+        self.journal.emit(
+            EVENT_COMMITTED,
+            batch=batch.batch_id,
+            attempts=attempts,
+            seconds=timings.total,
+            new_violations=len(delta.newly_violated),
+        )
+        for status in delta.newly_violated:
+            self.journal.emit(
+                EVENT_FINDING,
+                batch=batch.batch_id,
+                finding=status.policy.name,
+            )
+
+    def _dump_flight(self, path: Path) -> None:
+        """Best-effort atomic flight-recorder dump (observability must
+        never take the serving loop down with it)."""
+        try:
+            self.recorder.dump_to(path)
+        except OSError:
+            pass
 
     def _serve_rebuild(self, batch: ChangeBatch, prior_attempts: int = 0) -> bool:
         """Degraded mode: apply the batch to the snapshot and re-verify the
@@ -439,11 +588,25 @@ class ServeDaemon:
             status.policy.name: status.holds
             for status in fresh.checker.statuses()
         }
-        self.stats.new_violations += sum(
-            1
+        newly_violated = sorted(
+            policy_name
             for policy_name, holds in after.items()
             if not holds and before.get(policy_name, True)
         )
+        self.stats.new_violations += len(newly_violated)
+        self.journal.emit(
+            EVENT_REBUILD,
+            batch=batch.batch_id,
+            attempts=prior_attempts + 1,
+            new_violations=len(newly_violated),
+        )
+        for policy_name in newly_violated:
+            self.journal.emit(
+                EVENT_FINDING,
+                batch=batch.batch_id,
+                finding=policy_name,
+                mode="rebuild",
+            )
         return True
 
     @staticmethod
@@ -480,9 +643,12 @@ class ServeDaemon:
         if failure_class == "lint-rejected":
             self.stats.lint_rejected += 1
             self._count(names.SERVE_LINT_REJECTED)
+            self.journal.emit(
+                EVENT_LINT_REJECTED, batch=batch.batch_id, error=str(error)
+            )
         # The transaction rolled back, so the verifier is at the pre-batch
         # state — exactly what the fingerprint must describe.
-        self.dead_letter.quarantine(
+        entry = self.dead_letter.quarantine(
             batch,
             error,
             attempts=attempts,
@@ -492,6 +658,17 @@ class ServeDaemon:
         self.stats.quarantined += 1
         self.stats.quarantined_ids.append(batch.batch_id)
         self._count(names.SERVE_QUARANTINED)
+        self.journal.emit(
+            EVENT_QUARANTINED,
+            batch=batch.batch_id,
+            attempts=attempts,
+            failure_class=failure_class,
+            error_type=type(error).__name__,
+            error=str(error),
+        )
+        # The post-mortem dump rides next to batch.json / error.txt /
+        # meta.json, with the quarantine event already in its ring.
+        self._dump_flight(entry / "flight.json")
 
     # -- watchdog / health / checkpoint ---------------------------------------
 
@@ -509,6 +686,7 @@ class ServeDaemon:
         if not report.ok:
             self.verifier.rebuild()
             self.stats.audit_rebuilds += 1
+        self.journal.emit(EVENT_AUDIT, ok=report.ok, cursor=self.cursor)
 
     def write_checkpoint(self) -> None:
         assert self.options.checkpoint_file is not None
@@ -522,14 +700,17 @@ class ServeDaemon:
                 }
             },
         )
+        self.journal.emit(EVENT_CHECKPOINT, cursor=self.cursor)
 
-    def _write_health(
-        self, status: str, last_batch: Optional[str] = None
-    ) -> None:
-        if self.options.health_file is None:
-            return
+    # -- the introspection surface ---------------------------------------------
+
+    def health_payload(
+        self, status: Optional[str] = None, last_batch: Optional[str] = None
+    ) -> dict:
+        """The liveness/readiness JSON — one shape for both the
+        ``--health-file`` heartbeat and ``GET /health``."""
         payload = {
-            "status": status,
+            "status": status or self._status,
             "pid": os.getpid(),
             "updated_unix": time.time(),
             "cursor": self.cursor,
@@ -557,11 +738,44 @@ class ServeDaemon:
             "lint_new_errors": self.stats.lint_new_errors,
         }
         if last_batch is not None:
-            payload["last_batch"] = last_batch
-        path = Path(self.options.health_file)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2))
-        os.replace(tmp, path)
+            self._last_batch = last_batch
+        if self._last_batch is not None:
+            payload["last_batch"] = self._last_batch
+        return payload
+
+    def stats_payload(self) -> dict:
+        """``GET /stats``: serving counters + journal position + the
+        flight recorder's per-stage latency summaries."""
+        return {
+            "stats": dict(vars(self.stats)),
+            "cursor": self.cursor,
+            "queue_depth": len(self._queue),
+            "breaker_state": self.breaker.state if self.breaker else None,
+            "journal_seq": self.journal.seq,
+            "journal_file": (
+                str(self.journal.path) if self.journal.path else None
+            ),
+            "flight_dumps": self.recorder.dumps_written,
+            "histograms": self.recorder.histograms(),
+        }
+
+    def _events_since(self, since: int) -> list:
+        """``GET /events``: durable journal replay when a file is
+        configured, the flight recorder's in-memory ring otherwise."""
+        if self.journal.path is not None:
+            return self.journal.events_since(since)
+        return self.recorder.events(since)
+
+    def _write_health(
+        self, status: str, last_batch: Optional[str] = None
+    ) -> None:
+        if self.options.health_file is None:
+            return
+        payload = self.health_payload(status, last_batch)
+        atomic_write_text(
+            Path(self.options.health_file),
+            json.dumps(payload, sort_keys=True, indent=2),
+        )
 
     # -- telemetry shims -------------------------------------------------------
 

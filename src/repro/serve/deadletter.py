@@ -10,6 +10,9 @@ and moves on.  Each quarantined batch gets its own subdirectory::
         error.txt    the exception type, message, and traceback
         meta.json    attempts made, failure class, pre-batch FIB
                      fingerprint, quarantine timestamp
+        flight.json  the daemon's flight-recorder dump at quarantine
+                     time: recent journal events + per-stage latency
+                     histograms (written by the daemon, not this class)
 
 ``batch.json`` is the same tagged-JSON format the stream uses, so the
 runbook for draining the directory is just: fix the root cause, then
@@ -101,6 +104,13 @@ class DeadLetterBox:
     def meta(self, batch_id: str) -> dict:
         path = self.directory / batch_id / "meta.json"
         return json.loads(path.read_text())
+
+    def flight(self, batch_id: str) -> Optional[dict]:
+        """The flight-recorder dump quarantined alongside the batch (None
+        when the daemon ran without one, e.g. direct quarantine calls)."""
+        from repro.obs.recorder import load_flight_dump
+
+        return load_flight_dump(self.directory / batch_id / "flight.json")
 
     def replay(self) -> Iterator[ChangeBatch]:
         """The quarantined batches as a stream, in quarantine order —

@@ -13,6 +13,7 @@ The observability layer every benchmark and perf PR reads from:
 """
 
 from repro.telemetry import names
+from repro.telemetry.atomic import atomic_write_text
 from repro.telemetry.exporters import (
     chrome_trace,
     chrome_trace_events,
@@ -34,7 +35,9 @@ from repro.telemetry.tracer import (
     NullTracer,
     Span,
     Tracer,
+    export_spans,
     get_tracer,
+    graft_spans,
     set_tracer,
     span,
     tracing_enabled,
@@ -42,6 +45,7 @@ from repro.telemetry.tracer import (
 
 __all__ = [
     "names",
+    "atomic_write_text",
     "chrome_trace",
     "chrome_trace_events",
     "prometheus_text",
@@ -58,7 +62,9 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "export_spans",
     "get_tracer",
+    "graft_spans",
     "set_tracer",
     "span",
     "tracing_enabled",

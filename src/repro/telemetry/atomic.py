@@ -1,0 +1,42 @@
+"""Crash-safe whole-file writes for telemetry artifacts.
+
+Every telemetry file the toolchain emits — Chrome traces, Prometheus
+expositions, health heartbeats, flight-recorder dumps — goes through
+:func:`atomic_write_text`: the bytes land in a temporary file in the same
+directory, are fsynced, and are renamed over the destination with
+:func:`os.replace`.  A process killed mid-export therefore never leaves a
+truncated artifact: the destination either still holds the previous
+complete file or already holds the new one.  This is the same discipline
+checkpoints use (:mod:`repro.resilience.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + rename)."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_name = None
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=str(path.parent or ".")
+        )
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+        tmp_name = None
+    finally:
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass

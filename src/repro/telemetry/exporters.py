@@ -17,6 +17,18 @@ from repro.telemetry.tracer import Span, Tracer
 # -- Chrome trace-event JSON -------------------------------------------------
 
 
+#: tid of main-process spans; grafted worker spans go on worker + 2 so
+#: every pool worker gets its own lane in the viewer.
+MAIN_TID = 1
+
+
+def _span_tid(span: Span) -> int:
+    worker = span.attributes.get("worker")
+    if isinstance(worker, int) and worker >= 0:
+        return worker + MAIN_TID + 1
+    return MAIN_TID
+
+
 def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
     """Spans as Chrome trace-event *complete* events (``ph: "X"``).
 
@@ -24,7 +36,10 @@ def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
     what Perfetto and ``chrome://tracing`` expect; span attributes become
     the event's ``args``.  Nesting is reconstructed by the viewer from
     containment, so parent ids ride along in ``args`` only as a debugging
-    aid.
+    aid.  Spans grafted from pool workers (they carry a ``worker``
+    attribute) are placed on per-worker ``tid`` lanes — replica clocks are
+    the same CLOCK_MONOTONIC domain as the parent's, so their intervals
+    sit correctly under the dispatching span's wall-clock extent.
     """
     events: List[Dict[str, Any]] = []
     for span in sorted(tracer.finished, key=lambda s: (s.start, s.span_id)):
@@ -42,7 +57,7 @@ def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[Dict[str, Any]]:
                 "ts": (span.start - tracer.origin) * 1e6,
                 "dur": span.duration * 1e6,
                 "pid": pid,
-                "tid": 1,
+                "tid": _span_tid(span),
                 "args": args,
             }
         )

@@ -61,6 +61,20 @@ SPAN_PARALLEL_SHARD = "parallel.shard"
 SPAN_PARALLEL_MERGE = "parallel.merge"
 SPAN_PARALLEL_SEED = "parallel.seed"
 
+# Worker-side spans (recorded inside pool workers and grafted under the
+# dispatching parallel.shard/parallel.seed span by the executor, so one
+# trace shows the whole cross-process round).  The parallel.worker root
+# carries worker=IDX, phase, and queue_wait_seconds (dispatch-to-dequeue
+# latency on the shared monotonic clock); its children break the round
+# into replay (phase A), reclassify (phase B net moves for the shard),
+# sync (merged-move application), and analyze (per-EC path analyses).
+SPAN_WORKER = "parallel.worker"
+SPAN_WORKER_REPLAY = "parallel.worker.replay"
+SPAN_WORKER_RECLASSIFY = "parallel.worker.reclassify"
+SPAN_WORKER_SYNC = "parallel.worker.sync"
+SPAN_WORKER_ANALYZE = "parallel.worker.analyze"
+SPAN_WORKER_SEED = "parallel.worker.seed"
+
 #: The five stage children every root verification span carries.
 STAGE_SPANS = (
     SPAN_CONFIG_DIFF,
@@ -124,6 +138,12 @@ PARALLEL_TEARDOWNS = "repro_parallel_teardowns_total"
 PARALLEL_SHARD_MOVES = "repro_parallel_shard_moves_total"
 PARALLEL_REMOTE_ANALYSES = "repro_parallel_remote_analyses_total"
 
+# -- observability (repro.obs) -----------------------------------------------
+OBS_EVENTS = "repro_obs_events_total"  # label: event
+OBS_JOURNAL_SEQ = "repro_obs_journal_seq"  # gauge
+OBS_HTTP_REQUESTS = "repro_obs_http_requests_total"  # label: endpoint
+OBS_FLIGHT_DUMPS = "repro_obs_flight_dumps_total"
+
 # -- serving -----------------------------------------------------------------
 SERVE_BATCHES = "repro_serve_batches_total"
 SERVE_BATCHES_OK = "repro_serve_batches_ok_total"
@@ -179,6 +199,10 @@ HELP = {
     PARALLEL_TEARDOWNS: "Worker-pool teardowns (failure, abort, or drift)",
     PARALLEL_SHARD_MOVES: "Net EC moves computed by pool workers",
     PARALLEL_REMOTE_ANALYSES: "Per-EC path analyses computed by pool workers",
+    OBS_EVENTS: "Structured journal events emitted (label: event)",
+    OBS_JOURNAL_SEQ: "Sequence number of the latest journal event",
+    OBS_HTTP_REQUESTS: "Introspection-server requests served (label: endpoint)",
+    OBS_FLIGHT_DUMPS: "Flight-recorder dumps written to the dead-letter directory",
     SERVE_BATCHES: "Change batches pulled off the stream by the daemon",
     SERVE_BATCHES_OK: "Change batches verified and committed",
     SERVE_RETRIES: "Batch verification attempts retried after a failure",

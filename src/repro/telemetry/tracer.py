@@ -215,6 +215,81 @@ class Tracer:
         return [s for s in self.finished if s.name == name]
 
 
+# -- cross-process span transport ---------------------------------------------
+#
+# Worker processes record spans on their own local Tracer, serialize the
+# finished tree with export_spans(), and ship it back over the pool's
+# result queue; the parent grafts it under the dispatching span with
+# graft_spans().  Span clocks are time.perf_counter(), which on Linux is
+# CLOCK_MONOTONIC — a system-wide clock — so worker timestamps line up
+# with the parent's timeline for forked workers; the inline backend runs
+# in-process and needs no alignment at all.
+
+
+def export_spans(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The tracer's finished spans as plain picklable dicts, preserving
+    ids, nesting, timestamps, and attributes."""
+    records: List[Dict[str, Any]] = []
+    for finished in tracer.finished:
+        if finished.end is None:
+            continue
+        records.append(
+            {
+                "name": finished.name,
+                "span_id": finished.span_id,
+                "parent_id": finished.parent_id,
+                "depth": finished.depth,
+                "start": finished.start,
+                "end": finished.end,
+                "attributes": dict(finished.attributes),
+            }
+        )
+    return records
+
+
+def graft_spans(
+    tracer: Tracer,
+    parent: Span,
+    records: List[Dict[str, Any]],
+    **extra_attributes: Any,
+) -> List[Span]:
+    """Attach spans exported from another tracer (usually another process)
+    under ``parent``.
+
+    Spans are re-identified from ``tracer``'s id sequence so grafted ids
+    never collide with native ones; internal parent/child links are
+    remapped, and any span whose parent is not in the shipment (a worker
+    root) becomes a direct child of ``parent``.  ``extra_attributes``
+    (e.g. ``worker=3``) are stamped on every grafted span."""
+    if not records:
+        return []
+    id_map: Dict[int, Span] = {}
+    grafted: List[Span] = []
+    base_depth = parent.depth + 1
+    for record in records:
+        sprout = Span(
+            name=record["name"],
+            span_id=tracer._next_id,
+            parent_id=None,
+            depth=base_depth + record["depth"],
+            start=record["start"],
+            attributes=dict(record["attributes"]),
+        )
+        tracer._next_id += 1
+        sprout.end = record["end"]
+        sprout.attributes.update(extra_attributes)
+        id_map[record["span_id"]] = sprout
+        grafted.append(sprout)
+    for record, sprout in zip(records, grafted):
+        old_parent = record["parent_id"]
+        if old_parent is not None and old_parent in id_map:
+            sprout.parent_id = id_map[old_parent].span_id
+        else:
+            sprout.parent_id = parent.span_id
+    tracer.finished.extend(grafted)
+    return grafted
+
+
 #: The process-global tracer instrumented code dispatches to.
 _GLOBAL_TRACER: "NullTracer | Tracer" = NullTracer()
 

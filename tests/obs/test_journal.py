@@ -1,0 +1,107 @@
+"""Tests for the event journal: seqs, correlation ids, crash tolerance."""
+
+import json
+
+from repro.obs import (
+    EVENT_COMMITTED,
+    EVENT_START,
+    EVENT_TYPES,
+    EventJournal,
+    correlation_id,
+    last_sequence,
+    read_events,
+)
+
+
+class TestCorrelationId:
+    def test_batch_only(self):
+        assert correlation_id("000007") == "000007"
+
+    def test_full_thread(self):
+        assert (
+            correlation_id("000007", "model", 2, "loop-free")
+            == "000007/model/w2/loop-free"
+        )
+
+    def test_gaps_kept_positional(self):
+        assert correlation_id("000007", worker=1) == "000007/-/w1"
+        assert correlation_id("000007", finding="x") == "000007/-/-/x"
+
+    def test_trailing_placeholders_trimmed(self):
+        assert correlation_id("b", "stage") == "b/stage"
+        assert correlation_id() == "-"
+
+    def test_worker_zero_is_not_a_placeholder(self):
+        assert correlation_id("b", worker=0) == "b/-/w0"
+
+
+class TestEventJournal:
+    def test_emits_monotonic_seqs_and_schema(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            first = journal.emit(EVENT_START, cursor=0)
+            second = journal.emit(EVENT_COMMITTED, batch="000001", attempts=1)
+        assert first["seq"] == 1 and second["seq"] == 2
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        for record in records:
+            assert set(record) >= {"seq", "ts", "event", "cid"}
+        assert records[1]["batch"] == "000001"
+        assert records[1]["cid"] == "000001"
+
+    def test_seqs_gapless_across_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            for _ in range(3):
+                journal.emit(EVENT_COMMITTED, batch="a")
+        with EventJournal(path) as journal:
+            record = journal.emit(EVENT_COMMITTED, batch="b")
+        assert record["seq"] == 4
+        seqs = [event["seq"] for event in read_events(path)]
+        assert seqs == [1, 2, 3, 4]
+
+    def test_torn_final_line_skipped_and_seq_reused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            journal.emit(EVENT_START)
+            journal.emit(EVENT_COMMITTED, batch="a")
+        with path.open("a") as handle:  # simulate a crash mid-append
+            handle.write('{"seq": 3, "event": "comm')
+        assert last_sequence(path) == 2
+        with EventJournal(path) as journal:
+            record = journal.emit(EVENT_COMMITTED, batch="b")
+        assert record["seq"] == 3  # the torn seq was never durable
+        assert [e["seq"] for e in read_events(path)] == [1, 2, 3]
+
+    def test_read_events_since_filters(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            for index in range(5):
+                journal.emit(EVENT_COMMITTED, batch=f"{index:06d}")
+        assert [e["seq"] for e in read_events(path, since=3)] == [4, 5]
+        assert list(read_events(path, since=5)) == []
+
+    def test_subscribers_see_every_emit(self, tmp_path):
+        seen = []
+        journal = EventJournal(tmp_path / "j.jsonl")
+        journal.subscribe(seen.append)
+        journal.emit(EVENT_START)
+        journal.emit(EVENT_COMMITTED, batch="x")
+        journal.close()
+        assert [event["event"] for event in seen] == [
+            EVENT_START,
+            EVENT_COMMITTED,
+        ]
+
+    def test_in_memory_journal_keeps_seqs(self):
+        journal = EventJournal(None)
+        journal.emit(EVENT_START)
+        record = journal.emit(EVENT_COMMITTED, batch="x")
+        assert record["seq"] == 2
+        assert journal.events_since(0) == []  # nothing durable to replay
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert list(read_events(tmp_path / "absent.jsonl")) == []
+        assert last_sequence(tmp_path / "absent.jsonl") == 0
+
+    def test_event_types_are_distinct(self):
+        assert len(set(EVENT_TYPES)) == len(EVENT_TYPES)

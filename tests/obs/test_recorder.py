@@ -1,0 +1,88 @@
+"""Tests for the flight recorder: ring bounds, percentiles, dumps."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, load_flight_dump, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 95) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank_on_known_set(self):
+        samples = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_zero_quantile_is_minimum(self):
+        assert percentile([5.0, 1.0, 9.0], 0) == 1.0
+
+
+class TestFlightRecorder:
+    def test_event_ring_is_bounded(self):
+        recorder = FlightRecorder(event_capacity=4)
+        for seq in range(1, 11):
+            recorder.record_event({"seq": seq, "event": "committed"})
+        events = recorder.events()
+        assert [e["seq"] for e in events] == [7, 8, 9, 10]
+
+    def test_events_since_filters_on_seq(self):
+        recorder = FlightRecorder()
+        for seq in (1, 2, 3):
+            recorder.record_event({"seq": seq})
+        assert [e["seq"] for e in recorder.events(since=2)] == [3]
+
+    def test_histogram_summary(self):
+        recorder = FlightRecorder()
+        for value in (0.010, 0.020, 0.030, 0.040):
+            recorder.observe_stage("model", value)
+        summary = recorder.histograms()["model"]
+        assert summary["count"] == 4
+        assert summary["sum_seconds"] == pytest.approx(0.100)
+        assert summary["mean_seconds"] == pytest.approx(0.025)
+        assert summary["max_seconds"] == pytest.approx(0.040)
+        assert summary["p50_seconds"] == pytest.approx(0.020)
+        assert summary["p99_seconds"] == pytest.approx(0.040)
+
+    def test_window_bounds_percentiles_but_not_totals(self):
+        recorder = FlightRecorder(sample_window=3)
+        for value in (1.0, 1.0, 10.0, 10.0, 10.0):
+            recorder.observe_stage("batch", value)
+        summary = recorder.histograms()["batch"]
+        assert summary["count"] == 5  # lifetime
+        assert summary["sum_seconds"] == pytest.approx(32.0)
+        assert summary["window"] == 3  # percentile basis
+        assert summary["p50_seconds"] == 10.0
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record_event({"seq": 1, "event": "quarantined"})
+        recorder.observe_stage("policy", 0.5)
+        path = tmp_path / "flight.json"
+        recorder.dump_to(path)
+        assert recorder.dumps_written == 1
+        dump = load_flight_dump(path)
+        assert dump["events"][0]["event"] == "quarantined"
+        assert dump["histograms"]["policy"]["count"] == 1
+        # The file itself is complete, pretty JSON (atomic write).
+        assert json.loads(path.read_text()) == dump
+
+    def test_load_missing_dump_is_none(self, tmp_path):
+        assert load_flight_dump(tmp_path / "absent.json") is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(event_capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(sample_window=0)

@@ -1,0 +1,131 @@
+"""Tests for the introspection server, over real loopback HTTP."""
+
+import json
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.obs import IntrospectionServer, ObsState
+from repro.telemetry import MetricsRegistry, set_metrics
+
+
+@pytest.fixture
+def server():
+    events = [
+        {"seq": 1, "event": "daemon-start", "cid": "-"},
+        {"seq": 2, "event": "committed", "cid": "000001"},
+        {"seq": 3, "event": "quarantined", "cid": "000002"},
+    ]
+    state = ObsState(
+        health=lambda: {"status": "serving", "cursor": 2},
+        stats=lambda: {"batches_ok": 2, "histograms": {}},
+        events_since=lambda since: [e for e in events if e["seq"] > since],
+        metrics_text=lambda: "# TYPE repro_up gauge\nrepro_up 1\n",
+    )
+    live = IntrospectionServer(state).start()
+    yield live
+    live.stop()
+
+
+def get(server, path):
+    with urlopen(server.url + path, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, headers, body = get(server, "/health")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body) == {"status": "serving", "cursor": 2}
+
+    def test_stats(self, server):
+        status, _, body = get(server, "/stats")
+        assert status == 200
+        assert json.loads(body)["batches_ok"] == 2
+
+    def test_metrics_prometheus_content_type(self, server):
+        status, headers, body = get(server, "/metrics")
+        assert status == 200
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert "repro_up 1" in body
+
+    def test_events_replay_all(self, server):
+        status, headers, body = get(server, "/events")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        events = [json.loads(line) for line in body.splitlines()]
+        assert [e["seq"] for e in events] == [1, 2, 3]
+
+    def test_events_since_filters(self, server):
+        _, _, body = get(server, "/events?since=2")
+        events = [json.loads(line) for line in body.splitlines()]
+        assert [e["seq"] for e in events] == [3]
+
+    def test_events_empty_body_when_caught_up(self, server):
+        _, _, body = get(server, "/events?since=99")
+        assert body == ""
+
+    def test_trailing_slash_routes(self, server):
+        status, _, _ = get(server, "/health/")
+        assert status == 200
+
+
+class TestErrors:
+    def test_unknown_endpoint_404(self, server):
+        with pytest.raises(HTTPError) as excinfo:
+            get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_since_400(self, server):
+        with pytest.raises(HTTPError) as excinfo:
+            get(server, "/events?since=banana")
+        assert excinfo.value.code == 400
+
+    def test_callback_exception_is_500_not_crash(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        state = ObsState(
+            health=broken, stats=broken, events_since=lambda since: []
+        )
+        server = IntrospectionServer(state).start()
+        try:
+            with pytest.raises(HTTPError) as excinfo:
+                get(server, "/health")
+            assert excinfo.value.code == 500
+            # The server thread survived and still answers.
+            _, _, body = get(server, "/events")
+            assert body == ""
+        finally:
+            server.stop()
+
+
+class TestLifecycle:
+    def test_ephemeral_port_published(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_double_start_rejected(self, server):
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        state = ObsState(
+            health=dict, stats=dict, events_since=lambda since: []
+        )
+        server = IntrospectionServer(state).start()
+        server.stop()
+        server.stop()
+
+    def test_default_metrics_text_uses_global_registry(self):
+        from repro.obs.server import default_metrics_text
+
+        registry = MetricsRegistry()
+        registry.counter("repro_probe_total").inc()
+        previous = set_metrics(registry)
+        try:
+            assert "repro_probe_total 1" in default_metrics_text()
+        finally:
+            set_metrics(previous)

@@ -125,3 +125,75 @@ class TestWatch:
         captured = capsys.readouterr()
         assert code == 0
         assert "3/3 batches ok" in captured.out
+
+
+class TestObsVerbs:
+    def test_serve_with_journal_and_obs_port_prints_url(
+        self, snap_dir, stream_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal.jsonl"
+        code = main(["serve", str(snap_dir), "--stream", str(stream_file),
+                     "--dead-letter", str(tmp_path / "dl"),
+                     "--backoff-base", "0",
+                     "--journal", str(journal),
+                     "--obs-port", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "introspection server on http://127.0.0.1:" in captured.out
+        assert journal.exists()
+
+    def test_tail_replays_journal_offline(
+        self, snap_dir, stream_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "journal.jsonl"
+        assert main(["serve", str(snap_dir), "--stream", str(stream_file),
+                     "--dead-letter", str(tmp_path / "dl"),
+                     "--backoff-base", "0",
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["tail", "--journal", str(journal)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "daemon-start" in lines[0]
+        assert "daemon-stop" in lines[-1]
+        # --since resumes mid-stream on the same seqs.
+        assert main(["tail", "--journal", str(journal), "--since",
+                     str(len(lines) - 1)]) == 0
+        resumed = capsys.readouterr().out.splitlines()
+        assert len(resumed) == 1
+        assert "daemon-stop" in resumed[0]
+
+    def test_tail_requires_exactly_one_source(self, tmp_path, capsys):
+        assert main(["tail"]) == 2
+        assert "SERVER address or --journal" in capsys.readouterr().err
+        assert main(["tail", "--journal", str(tmp_path / "j"), ":1234"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_top_renders_live_server(self, capsys):
+        from repro.obs import IntrospectionServer, ObsState
+
+        state = ObsState(
+            health=lambda: {"status": "serving", "mode": "incremental",
+                            "cursor": 3, "queue_depth": 1,
+                            "batches_ok": 3, "batches_seen": 3,
+                            "retries": 0, "quarantined": 0,
+                            "new_violations": 0},
+            stats=lambda: {"journal_seq": 9, "flight_dumps": 0,
+                           "histograms": {"batch": {
+                               "count": 3, "mean_seconds": 0.01,
+                               "p50_seconds": 0.01, "p95_seconds": 0.02,
+                               "p99_seconds": 0.02, "max_seconds": 0.02}}},
+            events_since=lambda since: [],
+        )
+        server = IntrospectionServer(state).start()
+        try:
+            assert main(["top", f"127.0.0.1:{server.port}"]) == 0
+        finally:
+            server.stop()
+        out = capsys.readouterr().out
+        assert "status=serving" in out
+        assert "batches 3/3 ok" in out
+        assert "journal seq 9" in out
+
+    def test_top_unreachable_server_exits_two(self, capsys):
+        assert main(["top", "127.0.0.1:9"]) == 2
+        assert "cannot read introspection server" in capsys.readouterr().err

@@ -1,0 +1,201 @@
+"""The daemon's observability wiring, end to end: journal events for
+every batch outcome, flight-recorder dumps next to dead-letter entries,
+gapless /events replay across restarts, and the live HTTP endpoints."""
+
+import json
+from urllib.request import urlopen
+
+from repro.obs import (
+    EVENT_COMMITTED,
+    EVENT_QUARANTINED,
+    EVENT_RETRIED,
+    EVENT_STAGE,
+    EVENT_START,
+    EVENT_STOP,
+    read_events,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+
+
+def journal_events(path):
+    return list(read_events(path))
+
+
+class TestJournal:
+    def test_batch_lifecycle_is_journaled(self, make_daemon, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        daemon, batches = make_daemon(count=3, journal_file=journal)
+        daemon.run()
+        events = journal_events(journal)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == EVENT_START
+        assert kinds[-1] == EVENT_STOP
+        assert kinds.count(EVENT_COMMITTED) == 3
+        # Five stage events per committed batch, cid = batch/stage.
+        stages = [e for e in events if e["event"] == EVENT_STAGE]
+        assert len(stages) == 3 * 5
+        assert {e["stage"] for e in stages} == {
+            "diff", "lint", "generation", "model", "policy",
+        }
+        first = next(e for e in stages if e["batch"] == "000000")
+        assert first["cid"] == f"000000/{first['stage']}"
+        # Seqs are strictly consecutive.
+        assert [e["seq"] for e in events] == list(
+            range(1, len(events) + 1)
+        )
+
+    def test_retries_and_quarantine_are_journaled(
+        self, make_daemon, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        daemon, _ = make_daemon(
+            count=5, max_retries=1, journal_file=journal
+        )
+        plan = FaultPlan(FaultSpec("generation", call=3, repeat=2))
+        with inject(plan):
+            daemon.run()
+        events = journal_events(journal)
+        retried = [e for e in events if e["event"] == EVENT_RETRIED]
+        assert len(retried) == 1
+        assert retried[0]["batch"] == "000002"
+        assert retried[0]["error_type"] == "FaultInjected"
+        quarantined = [e for e in events if e["event"] == EVENT_QUARANTINED]
+        assert len(quarantined) == 1
+        assert quarantined[0]["batch"] == "000002"
+        assert quarantined[0]["attempts"] == 2
+
+    def test_seqs_stay_gapless_across_daemon_restart(
+        self, make_daemon, tmp_path
+    ):
+        """The acceptance criterion: /events?since=SEQ replays without
+        gaps even across a daemon restart on the same journal file."""
+        journal = tmp_path / "journal.jsonl"
+        daemon, _ = make_daemon(count=2, journal_file=journal)
+        daemon.run()
+        first_run_last = journal_events(journal)[-1]["seq"]
+        daemon2, _ = make_daemon(count=2, journal_file=journal)
+        daemon2.run()
+        seqs = [e["seq"] for e in journal_events(journal)]
+        assert seqs == list(range(1, len(seqs) + 1))
+        resumed = [
+            e["seq"]
+            for e in read_events(journal, since=first_run_last)
+        ]
+        assert resumed[0] == first_run_last + 1
+
+
+class TestFlightDumps:
+    def test_quarantine_entry_includes_flight_dump(
+        self, make_daemon, tmp_path
+    ):
+        daemon, _ = make_daemon(count=5, max_retries=0)
+        plan = FaultPlan(FaultSpec("generation", call=3, repeat=1))
+        with inject(plan):
+            daemon.run()
+        assert daemon.dead_letter.batch_ids() == ["000002"]
+        flight = daemon.dead_letter.flight("000002")
+        assert flight is not None
+        # The ring already holds the quarantine event itself plus the
+        # preceding committed batches.
+        kinds = [event["event"] for event in flight["events"]]
+        assert EVENT_QUARANTINED in kinds
+        assert EVENT_COMMITTED in kinds
+        # Latency histograms cover the committed stages.
+        assert flight["histograms"]["batch"]["count"] >= 2
+        assert "model" in flight["histograms"]
+        assert daemon.recorder.dumps_written == 1
+
+    def test_breaker_open_dumps_flight_to_dead_letter_dir(
+        self, make_daemon
+    ):
+        daemon, _ = make_daemon(
+            count=4, max_retries=0, breaker_threshold=2,
+            breaker_cooldown=1e9,
+        )
+        plan = FaultPlan(FaultSpec("generation", call=1, repeat=2))
+        with inject(plan):
+            daemon.run()
+        dumps = sorted(
+            p.name
+            for p in daemon.dead_letter.directory.glob(
+                "flight-breaker-open-*.json"
+            )
+        )
+        assert dumps == ["flight-breaker-open-001.json"]
+
+    def test_no_dumps_on_clean_run(self, make_daemon):
+        daemon, _ = make_daemon(count=3)
+        daemon.run()
+        assert daemon.recorder.dumps_written == 0
+
+
+class TestHttpEndpoints:
+    def test_live_scrape_while_serving(self, make_daemon, tmp_path):
+        """Scrape every endpoint mid-run (from on_batch_done, while the
+        loop is between batches) and once more shapes after shutdown."""
+        journal = tmp_path / "journal.jsonl"
+        scraped = {}
+
+        def scrape(daemon, batch, ok):
+            if scraped:
+                return
+            base = daemon.obs_server.url
+            for endpoint in ("/health", "/stats", "/events", "/metrics"):
+                with urlopen(base + endpoint, timeout=5.0) as response:
+                    scraped[endpoint] = (
+                        response.status,
+                        response.read().decode(),
+                    )
+
+        daemon, _ = make_daemon(
+            count=3,
+            journal_file=journal,
+            obs_port=0,
+            on_batch_done=scrape,
+        )
+        assert daemon.obs_server is not None
+        daemon.run()
+        assert set(scraped) == {"/health", "/stats", "/events", "/metrics"}
+        assert all(status == 200 for status, _ in scraped.values())
+        health = json.loads(scraped["/health"][1])
+        assert health["status"] == "serving"
+        assert health["batches_ok"] >= 1
+        stats = json.loads(scraped["/stats"][1])
+        assert stats["journal_seq"] >= 1
+        assert "batch" in stats["histograms"]
+        events = [
+            json.loads(line)
+            for line in scraped["/events"][1].splitlines()
+        ]
+        assert events[0]["event"] == EVENT_START
+
+    def test_events_fall_back_to_ring_without_journal_file(
+        self, make_daemon
+    ):
+        collected = {}
+
+        def scrape(daemon, batch, ok):
+            if collected:
+                return
+            with urlopen(
+                daemon.obs_server.url + "/events", timeout=5.0
+            ) as response:
+                collected["events"] = [
+                    json.loads(line)
+                    for line in response.read().decode().splitlines()
+                ]
+
+        daemon, _ = make_daemon(count=2, obs_port=0, on_batch_done=scrape)
+        daemon.run()
+        assert [e["event"] for e in collected["events"]][0] == EVENT_START
+
+    def test_server_stopped_on_finalize(self, make_daemon):
+        daemon, _ = make_daemon(count=1, obs_port=0)
+        url = daemon.obs_server.url
+        daemon.run()
+        try:
+            urlopen(url + "/health", timeout=0.5)
+            alive = True
+        except OSError:
+            alive = False
+        assert not alive

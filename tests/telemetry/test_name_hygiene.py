@@ -1,0 +1,92 @@
+"""Span/metric name hygiene: every name used by instrumented code must
+come from :mod:`repro.telemetry.names` — no stray string literals — and
+the catalogue itself must stay consistent (no duplicate names, journal
+event types mirrored into DESIGN.md)."""
+
+import re
+from pathlib import Path
+
+from repro.obs import EVENT_TYPES
+from repro.telemetry import names
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+# The one place literal names are allowed to live.
+EXEMPT = {SRC / "telemetry" / "names.py"}
+
+LITERAL_CALL = re.compile(
+    r"""(?:\bspan|\.counter|\.gauge|\.histogram)\(\s*["']"""
+)
+
+
+def instrumented_sources():
+    for path in sorted(SRC.rglob("*.py")):
+        if path in EXEMPT:
+            continue
+        yield path, path.read_text()
+
+
+class TestNoStrayLiterals:
+    def test_span_and_metric_names_routed_through_catalogue(self):
+        offenders = []
+        for path, text in instrumented_sources():
+            for lineno, line in enumerate(text.splitlines(), 1):
+                stripped = line.strip()
+                if stripped.startswith("#"):
+                    continue
+                # Docstring/doc-comment examples show literal names; the
+                # telemetry module's own docs are the only such place.
+                if path.parent.name == "telemetry" and "with span(" in line:
+                    continue
+                if LITERAL_CALL.search(line):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}")
+        assert not offenders, (
+            "string-literal span/metric names (route through "
+            f"repro.telemetry.names): {offenders}"
+        )
+
+
+class TestCatalogueConsistency:
+    def catalogue(self, prefix):
+        return {
+            key: value
+            for key, value in vars(names).items()
+            if key.startswith(prefix) and isinstance(value, str)
+        }
+
+    def test_span_names_unique(self):
+        spans = self.catalogue("SPAN_")
+        values = list(spans.values())
+        assert len(values) == len(set(values)), "duplicate span names"
+
+    def test_metric_names_unique_and_prometheus_style(self):
+        metrics = {
+            key: value
+            for key, value in vars(names).items()
+            if isinstance(value, str)
+            and not key.startswith(("SPAN_", "_"))
+            and key.isupper()
+            and value.startswith("repro_")
+        }
+        values = list(metrics.values())
+        assert len(values) == len(set(values)), "duplicate metric names"
+        for value in values:
+            assert re.fullmatch(r"[a-z][a-z0-9_]*", value), value
+
+    def test_worker_span_names_share_parallel_prefix(self):
+        assert names.SPAN_WORKER.startswith("parallel.")
+        assert names.SPAN_WORKER_REPLAY.startswith(names.SPAN_WORKER + ".")
+        assert names.SPAN_WORKER_RECLASSIFY.startswith(
+            names.SPAN_WORKER + "."
+        )
+
+
+class TestDocsMirrorEventTypes:
+    def test_design_documents_every_event_type(self):
+        design = (SRC.parents[1] / "DESIGN.md").read_text()
+        missing = [
+            event for event in EVENT_TYPES if f"`{event}`" not in design
+        ]
+        assert not missing, (
+            f"DESIGN.md is missing journal event types: {missing}"
+        )

@@ -1,0 +1,205 @@
+"""Cross-process span aggregation: export, graft, and the full pipeline.
+
+The export/graft pair is what lets pool workers ship their span trees
+back over the result queue; the integration tests drive a real parallel
+verification and assert the acceptance criterion — worker spans appear
+*under* the dispatching ``parallel.shard`` span, with per-worker
+attribution intact, and survive the Chrome-trace export on per-worker
+tid lanes.
+"""
+
+import json
+
+import pytest
+
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import ring
+from repro.telemetry import (
+    Tracer,
+    chrome_trace,
+    export_spans,
+    graft_spans,
+    names,
+    set_tracer,
+    span,
+)
+from repro.telemetry.exporters import chrome_trace_events
+from repro.workloads import ospf_snapshot, stream_batches
+
+
+@pytest.fixture
+def tracer():
+    active = Tracer()
+    previous = set_tracer(active)
+    yield active
+    set_tracer(previous)
+
+
+class TestExportGraft:
+    def record_worker_tree(self):
+        local = Tracer()
+        previous = set_tracer(local)
+        try:
+            with span(names.SPAN_WORKER, worker=1, phase="model"):
+                with span(names.SPAN_WORKER_REPLAY, updates=3):
+                    pass
+                with span(names.SPAN_WORKER_RECLASSIFY, devices=2):
+                    pass
+        finally:
+            set_tracer(previous)
+        return export_spans(local)
+
+    def test_export_is_picklable_plain_data(self):
+        import pickle
+
+        records = self.record_worker_tree()
+        assert pickle.loads(pickle.dumps(records)) == records
+        assert {r["name"] for r in records} == {
+            names.SPAN_WORKER,
+            names.SPAN_WORKER_REPLAY,
+            names.SPAN_WORKER_RECLASSIFY,
+        }
+
+    def test_graft_reparents_roots_under_parent(self, tracer):
+        records = self.record_worker_tree()
+        with span("dispatch") as parent:
+            grafted = graft_spans(tracer, parent, records, worker=1)
+        by_name = {s.name: s for s in grafted}
+        root = by_name[names.SPAN_WORKER]
+        assert root.parent_id == parent.span_id
+        assert root.depth == parent.depth + 1
+        # Internal structure preserved: children hang off the new root id.
+        child = by_name[names.SPAN_WORKER_REPLAY]
+        assert child.parent_id == root.span_id
+        assert child.depth == root.depth + 1
+        assert child.attributes["updates"] == 3
+
+    def test_graft_assigns_fresh_ids(self, tracer):
+        records = self.record_worker_tree()
+        with span("dispatch") as parent:
+            grafted = graft_spans(tracer, parent, records)
+        existing = {parent.span_id}
+        for grafted_span in grafted:
+            assert grafted_span.span_id not in existing
+            existing.add(grafted_span.span_id)
+
+    def test_graft_stamps_extra_attributes_everywhere(self, tracer):
+        records = self.record_worker_tree()
+        with span("dispatch") as parent:
+            grafted = graft_spans(tracer, parent, records, worker=7)
+        assert all(s.attributes["worker"] == 7 for s in grafted)
+
+    def test_grafted_spans_land_in_finished(self, tracer):
+        records = self.record_worker_tree()
+        with span("dispatch") as parent:
+            graft_spans(tracer, parent, records)
+        finished_names = [s.name for s in tracer.finished]
+        assert names.SPAN_WORKER in finished_names
+
+
+class TestPipelineGrafting:
+    """The acceptance criterion, on a real parallel verification."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        labeled = ring(5)
+        snapshot = ospf_snapshot(labeled)
+        active = Tracer()
+        previous = set_tracer(active)
+        try:
+            verifier = RealConfig(
+                snapshot, workers=2, parallel_backend="inline"
+            )
+            for changes in stream_batches(labeled, count=2, seed=1):
+                verifier.apply_changes(changes)
+            verifier.close()
+        finally:
+            set_tracer(previous)
+        return active
+
+    def test_worker_spans_nest_under_dispatch_span(self, traced_run):
+        tracer = traced_run
+        by_id = {s.span_id: s for s in tracer.finished}
+        workers = [
+            s for s in tracer.finished if s.name == names.SPAN_WORKER
+        ]
+        assert workers, "no worker spans were grafted"
+        for worker_span in workers:
+            parent = by_id[worker_span.parent_id]
+            assert parent.name in (
+                names.SPAN_PARALLEL_SHARD,
+                names.SPAN_PARALLEL_SEED,
+            )
+            # Attribution attributes survived the trip.
+            assert worker_span.attributes["worker"] in (0, 1)
+            assert worker_span.attributes["phase"] in (
+                "seed", "model", "policy",
+            )
+            assert worker_span.attributes["queue_wait_seconds"] >= 0
+
+    def test_both_workers_and_phases_are_attributed(self, traced_run):
+        workers = [
+            s
+            for s in traced_run.finished
+            if s.name == names.SPAN_WORKER
+        ]
+        assert {s.attributes["worker"] for s in workers} == {0, 1}
+        assert {s.attributes["phase"] for s in workers} >= {
+            "model", "policy",
+        }
+
+    def test_worker_children_preserved(self, traced_run):
+        tracer = traced_run
+        by_id = {s.span_id: s for s in tracer.finished}
+        replay = [
+            s
+            for s in tracer.finished
+            if s.name == names.SPAN_WORKER_REPLAY
+        ]
+        assert replay
+        for child in replay:
+            assert by_id[child.parent_id].name == names.SPAN_WORKER
+
+    def test_chrome_trace_puts_workers_on_their_own_lanes(self, traced_run):
+        events = chrome_trace_events(traced_run)
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        for event in by_name[names.SPAN_WORKER]:
+            assert event["tid"] == event["args"]["worker"] + 2
+        for event in by_name[names.SPAN_SERVE_BATCH] if (
+            names.SPAN_SERVE_BATCH in by_name
+        ) else []:
+            assert event["tid"] == 1
+        # Main-process dispatch spans stay on the main lane.
+        for event in by_name[names.SPAN_PARALLEL_SHARD]:
+            assert event["tid"] == 1
+
+    def test_chrome_trace_round_trips_with_grafted_spans(self, traced_run):
+        payload = json.loads(chrome_trace(traced_run))
+        worker_events = [
+            e
+            for e in payload["traceEvents"]
+            if e["name"] == names.SPAN_WORKER
+        ]
+        assert worker_events
+        for event in worker_events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float) and event["dur"] >= 0
+            assert isinstance(event["args"]["parent_id"], int)
+
+    def test_grafted_worker_span_contained_in_dispatch_extent(
+        self, traced_run
+    ):
+        """Same-clock-domain check: the worker interval must sit inside
+        the dispatching span's wall-clock extent (inline backend: the
+        handler runs within the gather)."""
+        tracer = traced_run
+        by_id = {s.span_id: s for s in tracer.finished}
+        for worker_span in tracer.finished:
+            if worker_span.name != names.SPAN_WORKER:
+                continue
+            parent = by_id[worker_span.parent_id]
+            assert worker_span.start >= parent.start - 1e-6
+            assert worker_span.end <= parent.end + 1e-6
