@@ -30,6 +30,12 @@ Subcommands (also available as ``python -m repro``):
   health-file heartbeat, and graceful checkpointing shutdown;
 - ``watch``     the polling alias of ``serve`` — pick up new batch files
   dropped into a directory;
+- ``serve --tenants DIR`` serves a whole fleet: one verifier per tenant
+  directory, with per-tenant fault isolation, weighted-fair scheduling,
+  bounded per-tenant queues, and an LRU memory budget over hydrated
+  models (cold tenants live as checkpoints);
+- ``tenant``    fleet administration for ``serve --tenants``:
+  ``add`` / ``evict`` / ``status`` / ``replay``;
 - ``top``       compact dashboard of a running serve daemon, read from
   the live introspection server (``serve --obs-port``);
 - ``tail``      replay / follow a serve daemon's event journal over the
@@ -277,6 +283,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         watch_stream,
     )
 
+    if getattr(args, "tenants", None) is not None:
+        if args.snapshot is not None or args.stream is not None:
+            raise CliError(
+                "--tenants serves per-tenant snapshots/streams from DIR; "
+                "do not also pass SNAPSHOT or --stream"
+            )
+        if args.resume_from is not None:
+            raise CliError(
+                "--resume-from is implicit in multi-tenant mode: each "
+                "tenant resumes from its own checkpoint.ckpt"
+            )
+        return _cmd_serve_tenants(args)
+    if args.snapshot is None or args.stream is None:
+        raise CliError(
+            f"{args.command} needs SNAPSHOT and --stream"
+            + (" (or --tenants DIR)" if args.command == "serve" else "")
+        )
     verifier, cursor = _serve_verifier(args)
     watching = args.command == "watch"
     options = ServeOptions(
@@ -326,6 +349,185 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.checkpoint is not None:
         print(f"  final checkpoint: {args.checkpoint} (cursor {daemon.cursor})")
     return 0 if stats.clean else 1
+
+
+def _cmd_serve_tenants(args: argparse.Namespace) -> int:
+    """``repro serve --tenants DIR``: the multi-tenant service."""
+    from repro.serve import ServeOptions
+    from repro.tenants import TenantService, TenantServiceOptions
+
+    options = TenantServiceOptions(
+        serve=ServeOptions(
+            deadline_seconds=args.deadline,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff_base,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+        ),
+        memory_budget_bytes=int(args.memory_budget * 1024 * 1024),
+        tenant_queue_capacity=args.tenant_queue,
+        checkpoint_every=args.checkpoint_every,
+        poll_interval=args.poll_interval,
+        drain=not args.linger,
+        health_file=args.health_file,
+        journal_file=args.journal,
+        obs_port=args.obs_port,
+    )
+    service = TenantService(args.tenants, options)
+    print(f"serving {len(service.registry)} tenant(s) from {args.tenants}")
+    if service.obs_server is not None:
+        print(
+            f"introspection server on {service.obs_server.url} "
+            f"(try: curl {service.obs_server.url}/tenants)"
+        )
+    service.run(handle_signals=True)
+    totals = service._totals()
+    print(f"serve finished: {service.summary()}")
+    for state in service.registry.states():
+        if state.degraded:
+            print(
+                f"  degraded tenant {state.tenant_id}: "
+                f"{state.stats.quarantined} quarantined "
+                f"(replay with: repro tenant replay {args.tenants} "
+                f"{state.tenant_id})",
+                file=sys.stderr,
+            )
+    clean = (
+        totals["quarantined"] == 0
+        and totals["new_violations"] == 0
+        and totals["failed"] == 0
+    )
+    return 0 if clean else 1
+
+
+def cmd_tenant(args: argparse.Namespace) -> int:
+    """``repro tenant {add,evict,status,replay}`` fleet administration."""
+    from repro.tenants import TenantConfig, discover_tenants
+
+    directory = args.directory
+    if args.tenant_command == "add":
+        from repro.config.io import save_snapshot as _save
+        from repro.serve.stream import write_stream
+        from repro.workloads import snapshot_for, stream_batches
+
+        root = os.path.join(directory, args.id)
+        if os.path.isdir(root):
+            raise CliError(f"tenant directory {root} already exists")
+        labeled = _build_topology(args.topology)
+        config = TenantConfig(args.id, root, weight=args.weight)
+        config.save()
+        snapshot = snapshot_for(labeled, args.protocol)
+        _save(snapshot, config.snapshot_dir)
+        if args.batches > 0:
+            write_stream(
+                stream_batches(
+                    labeled,
+                    protocol=args.protocol,
+                    count=args.batches,
+                    seed=args.seed,
+                ),
+                config.stream_file,
+            )
+        print(
+            f"added tenant {args.id} ({args.topology}, {args.protocol}, "
+            f"{args.batches} batch(es), weight {args.weight}) under "
+            f"{directory} — a live 'serve --tenants' picks it up at its "
+            "next control scan"
+        )
+        return 0
+
+    if args.tenant_command == "evict":
+        config = TenantConfig.load(os.path.join(directory, args.id))
+        config.evict_marker.touch()
+        print(
+            f"eviction requested for tenant {config.tenant_id}: a live "
+            "service will checkpoint and release it at its next control "
+            "scan"
+        )
+        return 0
+
+    if args.tenant_command == "status":
+        import json as _json
+
+        if args.server is not None:
+            payload = _json.loads(
+                _obs_get(_obs_base_url(args.server) + "/tenants")
+            )
+            tenants = payload["tenants"]
+        else:
+            from repro.resilience.checkpoint import read_checkpoint_extras
+            from repro.serve import DeadLetterBox
+
+            tenants = []
+            for config in discover_tenants(directory):
+                cursor = 0
+                if config.checkpoint_file.exists():
+                    extras = read_checkpoint_extras(config.checkpoint_file)
+                    cursor = int((extras.get("serve") or {}).get("cursor", 0))
+                quarantined = (
+                    len(DeadLetterBox(config.deadletter_dir))
+                    if config.deadletter_dir.is_dir()
+                    else 0
+                )
+                tenants.append(
+                    {
+                        "tenant": config.tenant_id,
+                        "weight": config.weight,
+                        "status": "offline",
+                        "degraded": quarantined > 0,
+                        "cursor": cursor,
+                        "quarantined": quarantined,
+                    }
+                )
+        degraded = 0
+        for entry in tenants:
+            flag = " DEGRADED" if entry.get("degraded") else ""
+            degraded += 1 if entry.get("degraded") else 0
+            print(
+                f"{entry['tenant']:<12} {entry.get('status', '?'):<9} "
+                f"cursor {entry.get('cursor', 0):>5}  "
+                f"quarantined {entry.get('quarantined', 0)}"
+                f"{flag}"
+            )
+        print(f"-- {len(tenants)} tenant(s), {degraded} degraded")
+        return 1 if degraded else 0
+
+    if args.tenant_command == "replay":
+        from repro.core.realconfig import RealConfig as _RealConfig
+        from repro.resilience.checkpoint import read_checkpoint
+        from repro.serve import BatchEngine, DeadLetterBox, ServeOptions
+
+        config = TenantConfig.load(os.path.join(directory, args.id))
+        box = DeadLetterBox(config.deadletter_dir)
+        if len(box) == 0:
+            print(f"tenant {config.tenant_id}: dead-letter box is empty")
+            return 0
+        if config.checkpoint_file.exists():
+            verifier = read_checkpoint(config.checkpoint_file)
+            print(f"restored {config.tenant_id} from its checkpoint")
+        else:
+            verifier = _RealConfig(load_snapshot(config.snapshot_dir))
+            print(f"built {config.tenant_id} from its snapshot")
+        engine = BatchEngine(
+            verifier,
+            DeadLetterBox(config.deadletter_dir / "replay-failures"),
+            options=ServeOptions(breaker_threshold=0, backoff_base=0.0),
+        )
+        replayed = failed = 0
+        for batch in box.replay():
+            if engine.process_batch(batch):
+                replayed += 1
+            else:
+                failed += 1
+        engine.close()
+        print(
+            f"replayed {replayed}/{replayed + failed} quarantined "
+            f"batch(es) for {config.tenant_id}"
+            + (f"; {failed} failed again" if failed else "")
+        )
+        return 0 if failed == 0 else 1
+
+    raise CliError(f"unknown tenant subcommand {args.tenant_command!r}")
 
 
 def cmd_emit_stream(args: argparse.Namespace) -> int:
@@ -854,18 +1056,24 @@ def cmd_tail(args: argparse.Namespace) -> int:
     if args.journal is not None:
         # Offline mode: replay the JSONL file directly — works after the
         # daemon has exited (seqs are the same ones /events serves).
-        from repro.obs import read_events
+        from repro.obs import follow_events, read_events
 
         try:
-            while True:
+            if not args.follow:
                 for event in read_events(args.journal, since=since):
-                    since = max(since, event.get("seq", since))
                     print(_format_event(event))
-                if not args.follow:
-                    return 0
-                time.sleep(args.interval)
+                return 0
+            # follow_events survives logrotate-style rotation and
+            # in-place truncation: it re-opens on inode change and
+            # resets its cursor when the file shrinks, where a naive
+            # re-read with a rising `since` would go silent forever.
+            for event in follow_events(
+                args.journal, since=since, poll_interval=args.interval
+            ):
+                print(_format_event(event))
         except KeyboardInterrupt:
             return 0
+        return 0
 
     base = _obs_base_url(args.server)
     try:
@@ -954,11 +1162,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_serve_parser(name: str, help_text: str, description: str):
         p = sub.add_parser(name, help=help_text, description=description)
-        p.add_argument("snapshot", help="base snapshot directory")
-        p.add_argument("--stream", required=True,
+        p.add_argument("snapshot", nargs="?", default=None,
+                       help="base snapshot directory (omit with --tenants)")
+        p.add_argument("--stream", default=None,
                        help="JSONL stream file or batch directory"
                        if name == "serve"
                        else "directory to poll for new batch files")
+        if name == "serve":
+            p.add_argument("--tenants", default=None, metavar="DIR",
+                           help="multi-tenant mode: serve every tenant "
+                                "directory under DIR (each holding "
+                                "snapshot/, stream.jsonl, tenant.json) "
+                                "with per-tenant fault isolation, "
+                                "weighted-fair scheduling, and an LRU "
+                                "memory budget over hydrated models")
+            p.add_argument("--memory-budget", type=float, default=0.0,
+                           metavar="MB",
+                           help="multi-tenant: LRU budget over hydrated "
+                                "verifier state in megabytes; cold "
+                                "tenants are evicted to their checkpoint "
+                                "and rehydrated on demand (default: 0 = "
+                                "unlimited)")
+            p.add_argument("--tenant-queue", type=int, default=8, metavar="N",
+                           help="multi-tenant: bound of each tenant's "
+                                "pending-batch queue — the per-tenant "
+                                "backpressure/load-shed limit (default: 8)")
+            p.add_argument("--linger", action="store_true",
+                           help="multi-tenant: keep polling for appended "
+                                "batches and new tenant directories after "
+                                "the streams drain (stop with "
+                                "SIGINT/SIGTERM)")
         p.add_argument("--dead-letter", default="deadletter", metavar="DIR",
                        help="quarantine directory for poison batches "
                             "(default: ./deadletter)")
@@ -1044,6 +1277,57 @@ def build_parser() -> argparse.ArgumentParser:
         "Stop with SIGINT/SIGTERM (graceful, checkpointing) or "
         "--idle-timeout.",
     )
+
+    p = sub.add_parser(
+        "tenant",
+        help="administer a multi-tenant service root (add/evict/status/replay)",
+        description="Fleet administration for 'repro serve --tenants DIR'. "
+        "'add' materializes a new tenant directory (snapshot + stream + "
+        "tenant.json) that a live service admits at its next control "
+        "scan; 'evict' asks a live service to checkpoint-and-release a "
+        "tenant's in-memory model; 'status' lists the fleet (offline "
+        "from the directory, or live via --server); 'replay' re-runs a "
+        "tenant's quarantined dead-letter batches against its "
+        "checkpoint. Exits 0 on success, 1 when status finds degraded "
+        "tenants or a replay fails again, 2 on input errors.",
+    )
+    tenant_sub = p.add_subparsers(dest="tenant_command", required=True)
+
+    tp = tenant_sub.add_parser("add", help="materialize a new tenant dir")
+    tp.add_argument("directory", help="the service root (--tenants DIR)")
+    tp.add_argument("id", help="tenant id (also the directory name)")
+    tp.add_argument("--topology", default="ring:4",
+                    help="fat-tree:k | ring:n | line:n | grid:RxC "
+                         "(default: ring:4)")
+    tp.add_argument("--protocol", choices=["ospf", "bgp"], default="ospf")
+    tp.add_argument("--batches", type=int, default=10,
+                    help="change batches to pre-generate into the "
+                         "tenant's stream (default: 10)")
+    tp.add_argument("--weight", type=float, default=1.0,
+                    help="fair-share scheduling weight (default: 1)")
+    tp.add_argument("--seed", type=int, default=0)
+    tp.set_defaults(func=cmd_tenant)
+
+    tp = tenant_sub.add_parser(
+        "evict", help="ask a live service to checkpoint-and-release a tenant"
+    )
+    tp.add_argument("directory", help="the service root")
+    tp.add_argument("id", help="tenant id")
+    tp.set_defaults(func=cmd_tenant)
+
+    tp = tenant_sub.add_parser("status", help="list the fleet's health")
+    tp.add_argument("directory", help="the service root")
+    tp.add_argument("--server", default=None, metavar="ADDR",
+                    help="read live state from a service's introspection "
+                         "server (HOST:PORT) instead of the directory")
+    tp.set_defaults(func=cmd_tenant)
+
+    tp = tenant_sub.add_parser(
+        "replay", help="re-run a tenant's dead-letter batches"
+    )
+    tp.add_argument("directory", help="the service root")
+    tp.add_argument("id", help="tenant id")
+    tp.set_defaults(func=cmd_tenant)
 
     p = sub.add_parser(
         "top",

@@ -39,9 +39,15 @@ from repro.obs.journal import (
     EVENT_STAGE,
     EVENT_START,
     EVENT_STOP,
+    EVENT_TENANT_EVICTED,
+    EVENT_TENANT_FAILED,
+    EVENT_TENANT_HYDRATED,
+    EVENT_TENANT_SHED,
     EVENT_TYPES,
     EventJournal,
+    TenantJournal,
     correlation_id,
+    follow_events,
     last_sequence,
     read_events,
 )
@@ -63,9 +69,15 @@ __all__ = [
     "EVENT_STAGE",
     "EVENT_START",
     "EVENT_STOP",
+    "EVENT_TENANT_EVICTED",
+    "EVENT_TENANT_FAILED",
+    "EVENT_TENANT_HYDRATED",
+    "EVENT_TENANT_SHED",
     "EVENT_TYPES",
     "EventJournal",
+    "TenantJournal",
     "correlation_id",
+    "follow_events",
     "last_sequence",
     "read_events",
     "FlightRecorder",

@@ -55,6 +55,11 @@ EVENT_STAGE = "stage"
 EVENT_FINDING = "finding"
 EVENT_AUDIT = "audit"
 EVENT_CHECKPOINT = "checkpoint"
+# Multi-tenant service lifecycle (repro.tenants).
+EVENT_TENANT_HYDRATED = "tenant-hydrated"
+EVENT_TENANT_EVICTED = "tenant-evicted"
+EVENT_TENANT_SHED = "load-shed"
+EVENT_TENANT_FAILED = "tenant-failed"
 
 #: Every event type the daemon emits, in rough lifecycle order.  The docs
 #: table in DESIGN.md mirrors this tuple; tests assert they stay in sync.
@@ -73,6 +78,10 @@ EVENT_TYPES = (
     EVENT_FINDING,
     EVENT_AUDIT,
     EVENT_CHECKPOINT,
+    EVENT_TENANT_HYDRATED,
+    EVENT_TENANT_EVICTED,
+    EVENT_TENANT_SHED,
+    EVENT_TENANT_FAILED,
 )
 
 
@@ -81,9 +90,12 @@ def correlation_id(
     stage: Optional[str] = None,
     worker: Optional[int] = None,
     finding: Optional[str] = None,
+    tenant: Optional[str] = None,
 ) -> str:
-    """``batch[/stage][/wN][/finding]`` — empty segments between two
-    present ones are kept (as ``-``) so the path stays positional."""
+    """``[tenant:]batch[/stage][/wN][/finding]`` — empty segments between
+    two present ones are kept (as ``-``) so the path stays positional.
+    The tenant prefix (multi-tenant service) uses ``:`` so single-tenant
+    cids parse unchanged."""
     segments: List[str] = [
         batch or "-",
         stage or "-",
@@ -92,7 +104,8 @@ def correlation_id(
     ]
     while len(segments) > 1 and segments[-1] == "-":
         segments.pop()
-    return "/".join(segments)
+    path = "/".join(segments)
+    return f"{tenant}:{path}" if tenant is not None else path
 
 
 class EventJournal:
@@ -134,6 +147,7 @@ class EventJournal:
         stage: Optional[str] = None,
         worker: Optional[int] = None,
         finding: Optional[str] = None,
+        tenant: Optional[str] = None,
         **fields: Any,
     ) -> Dict[str, Any]:
         """Append one event; returns the full record (with seq/ts/cid)."""
@@ -142,7 +156,7 @@ class EventJournal:
             "seq": self._seq,
             "ts": time.time(),
             "event": event,
-            "cid": correlation_id(batch, stage, worker, finding),
+            "cid": correlation_id(batch, stage, worker, finding, tenant),
         }
         if batch is not None:
             record["batch"] = batch
@@ -152,6 +166,8 @@ class EventJournal:
             record["worker"] = worker
         if finding is not None:
             record["finding"] = finding
+        if tenant is not None:
+            record["tenant"] = tenant
         record.update(fields)
         if self._handle is not None:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -209,6 +225,82 @@ def read_events(
                 continue
             if record["seq"] > since:
                 yield record
+
+
+class TenantJournal:
+    """A tagging view over a shared :class:`EventJournal`: every emit is
+    stamped with one tenant id, so the multi-tenant service can hand each
+    per-tenant fault domain the same append-only file while keeping its
+    events attributable (``cid`` prefix + ``tenant`` field)."""
+
+    def __init__(self, inner: EventJournal, tenant: str) -> None:
+        self._inner = inner
+        self.tenant = tenant
+
+    @property
+    def seq(self) -> int:
+        return self._inner.seq
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._inner.path
+
+    def emit(self, event: str, **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("tenant", self.tenant)
+        return self._inner.emit(event, **kwargs)
+
+    def events_since(self, since: int = 0) -> List[Dict[str, Any]]:
+        return self._inner.events_since(since)
+
+
+def follow_events(
+    path: Union[str, Path],
+    since: int = 0,
+    poll_interval: float = 1.0,
+    should_stop: Optional[Callable[[], bool]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[Dict[str, Any]]:
+    """Tail a journal file forever, surviving rotation and truncation.
+
+    ``repro tail --follow`` used to re-read the same path with a rising
+    ``since`` — after a logrotate-style rename-and-recreate (or an
+    in-place truncation) the fresh file restarts its seqs at 1, every
+    event fails the ``seq > since`` filter, and the tail goes silent
+    while looking alive.  This generator stats the path between polls
+    and resets its cursor whenever the inode changes or the file
+    shrinks, so the first events of the successor file are yielded too.
+
+    ``should_stop``/``sleep`` are injectable for deterministic tests;
+    the generator itself never raises on a missing file (rotation can
+    momentarily leave no file at all).
+    """
+    import os as _os
+
+    path = Path(path)
+    identity: Optional[tuple] = None  # (st_ino, st_dev)
+    size = 0
+    while True:
+        try:
+            stat = _os.stat(path)
+        except OSError:
+            stat = None
+        if stat is not None:
+            if identity is None:
+                identity = (stat.st_ino, stat.st_dev)
+            elif (stat.st_ino, stat.st_dev) != identity or stat.st_size < size:
+                # Rotated (new inode) or truncated in place: the seq
+                # numbering restarted, so the cursor must too.
+                identity = (stat.st_ino, stat.st_dev)
+                since = 0
+            size = stat.st_size
+        for event in read_events(path, since=since):
+            raw_seq = event.get("seq", since)
+            if isinstance(raw_seq, int):
+                since = max(since, raw_seq)
+            yield event
+        if should_stop is not None and should_stop():
+            return
+        sleep(poll_interval)
 
 
 def last_sequence(path: Union[str, Path]) -> int:

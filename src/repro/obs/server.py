@@ -25,12 +25,12 @@ import json
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.telemetry import get_metrics, names
 
-ENDPOINTS = ("/health", "/stats", "/events", "/metrics")
+ENDPOINTS = ("/health", "/stats", "/events", "/metrics", "/tenants")
 
 
 def _no_metrics_exposition() -> str:
@@ -56,6 +56,9 @@ class ObsState:
     stats: Callable[[], Dict[str, Any]]
     events_since: Callable[[int], List[Dict[str, Any]]]
     metrics_text: Callable[[], str] = field(default=default_metrics_text)
+    #: Multi-tenant services publish per-tenant state here; single-tenant
+    #: daemons leave it None and ``GET /tenants`` answers 404.
+    tenants: Optional[Callable[[], Dict[str, Any]]] = None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -84,6 +87,13 @@ class _Handler(BaseHTTPRequestHandler):
                     self.state.metrics_text(),
                     content_type="text/plain; version=0.0.4; charset=utf-8",
                 )
+            elif route == "/tenants":
+                if self.state.tenants is None:
+                    self._send_error(
+                        404, "not a multi-tenant service (no /tenants state)"
+                    )
+                else:
+                    self._send_json(self.state.tenants())
             else:
                 self._send_error(404, f"unknown endpoint {route!r}")
         except BrokenPipeError:

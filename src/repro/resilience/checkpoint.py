@@ -27,6 +27,12 @@ from repro.telemetry import get_metrics, names, span
 
 FORMAT = "repro-checkpoint"
 VERSION = 1
+#: Schema version of the ``extras`` envelope (the caller-owned side-car:
+#: stream cursors, tenant lineage, ...).  Bumped whenever the shape of
+#: what writers put in ``extras`` changes incompatibly; readers refuse
+#: envelopes from a *newer* writer with :class:`CheckpointError` (the
+#: CLI's exit-2 contract) instead of mis-parsing them into a stack trace.
+EXTRAS_VERSION = 1
 
 
 class CheckpointError(ConfigError):
@@ -64,6 +70,7 @@ def write_checkpoint(
             "lint_result": verifier._lint_result,
             "initial": verifier.initial,
             "extras": dict(extras) if extras else {},
+            "extras_version": EXTRAS_VERSION,
         }
         path = Path(path)
         tmp_name = None
@@ -117,6 +124,15 @@ def _load_payload(path: Union[str, Path]) -> Dict[str, Any]:
         raise CheckpointError(
             f"unsupported checkpoint version {payload.get('version')!r} "
             f"(this build reads version {VERSION})"
+        )
+    # Pre-versioning checkpoints carry no marker; they were written by
+    # an older (compatible) writer, so treat them as version 1.
+    extras_version = payload.get("extras_version", 1)
+    if not isinstance(extras_version, int) or extras_version > EXTRAS_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} extras envelope is version "
+            f"{extras_version!r} (this build reads <= {EXTRAS_VERSION}); "
+            "upgrade repro to restore it"
         )
     return payload
 

@@ -15,6 +15,7 @@ from repro.serve.daemon import (
     resume_cursor_from,
 )
 from repro.serve.deadletter import DeadLetterBox
+from repro.serve.engine import BatchEngine
 from repro.serve.policy import (
     Deadline,
     DeadlineExceeded,
@@ -44,6 +45,7 @@ __all__ = [
     "ServeOptions",
     "ServeStats",
     "resume_cursor_from",
+    "BatchEngine",
     "DeadLetterBox",
     "Deadline",
     "DeadlineExceeded",

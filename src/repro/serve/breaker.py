@@ -15,10 +15,18 @@ which mode each batch uses:
   failure re-opens it and restarts the cooldown.
 
 The clock is injectable so tests drive the cooldown deterministically.
+
+Transitions are guarded by a re-entrant lock: in the multi-tenant
+service a half-open probe outcome and a concurrent quarantine (e.g. the
+watchdog thread, or an introspection snapshot racing the serve loop) may
+report against the same breaker, and the state machine must never
+observe a torn transition (a probe failure and a quarantine failure
+arriving together must produce exactly one re-open, not two).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -46,6 +54,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
         self._clock = clock
+        self._lock = threading.RLock()
         self.state = CLOSED
         self.consecutive_failures = 0
         self.opened_at = 0.0
@@ -56,48 +65,68 @@ class CircuitBreaker:
     def allows_incremental(self) -> bool:
         """Decide the mode for the next batch.  Transitions open ->
         half-open when the cooldown has elapsed (the probe)."""
-        if self.state == CLOSED:
-            return True
-        if self.state == OPEN:
-            if self._clock() - self.opened_at >= self.cooldown_seconds:
-                self.state = HALF_OPEN
+        with self._lock:
+            if self.state == CLOSED:
                 return True
-            return False
-        # Half-open: a probe is already the next batch.
-        return True
+            if self.state == OPEN:
+                if self._clock() - self.opened_at >= self.cooldown_seconds:
+                    self.state = HALF_OPEN
+                    return True
+                return False
+            # Half-open: a probe is already the next batch.
+            return True
 
     # -- outcome reporting ---------------------------------------------------
 
     def record_success(self) -> None:
         """An incremental batch committed: close from any state."""
-        self.consecutive_failures = 0
-        self.state = CLOSED
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = CLOSED
 
     def record_failure(self) -> None:
         """An incremental batch failed (after its retry budget)."""
-        self.consecutive_failures += 1
-        if self.state == HALF_OPEN:
-            self._open()
-        elif (
-            self.state == CLOSED
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self._open()
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == HALF_OPEN:
+                self._open()
+            elif (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._open()
 
     def _open(self) -> None:
+        # Caller holds the lock (record_failure); kept private so every
+        # transition into OPEN is serialized.
         self.state = OPEN
         self.opened_at = self._clock()
         self.opens += 1
+
+    def snapshot(self) -> dict:
+        """A consistent (state, failures, opens) view — what health
+        payloads and checkpoint extras should store, instead of reading
+        the three fields racily one by one."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "opens": self.opens,
+            }
 
     def gauge_value(self) -> int:
         return STATE_GAUGE[self.state]
 
     def describe(self) -> str:
-        if self.state == OPEN:
-            remaining = max(
-                0.0, self.cooldown_seconds - (self._clock() - self.opened_at)
+        with self._lock:
+            if self.state == OPEN:
+                remaining = max(
+                    0.0,
+                    self.cooldown_seconds - (self._clock() - self.opened_at),
+                )
+                return f"open (probe in {remaining:.1f}s)"
+            if self.state == HALF_OPEN:
+                return "half-open (probing)"
+            return (
+                f"closed ({self.consecutive_failures} consecutive failure(s))"
             )
-            return f"open (probe in {remaining:.1f}s)"
-        if self.state == HALF_OPEN:
-            return "half-open (probing)"
-        return f"closed ({self.consecutive_failures} consecutive failure(s))"

@@ -51,6 +51,13 @@ SPAN_SERVE_BATCH = "serve.batch"
 SPAN_SERVE_ATTEMPT = "serve.attempt"
 SPAN_SERVE_QUARANTINE = "serve.quarantine"
 
+# Multi-tenant service spans (repro.tenants).  tenants.hydrate covers one
+# checkpoint-or-snapshot restore of a cold tenant (attr tenant=ID,
+# source=checkpoint|snapshot); tenants.evict covers checkpointing a hot
+# tenant out of the LRU (attr reason=budget|request|shutdown).
+SPAN_TENANT_HYDRATE = "tenants.hydrate"
+SPAN_TENANT_EVICT = "tenants.evict"
+
 # Parallel-execution spans (workers > 1).  parallel.shard covers one
 # fan-out/gather round against the worker pool (phase="model" for the
 # staged batch replay, phase="policy" for per-EC analysis); parallel.merge
@@ -157,6 +164,15 @@ SERVE_QUEUE_DEPTH = "repro_serve_queue_depth"  # gauge
 SERVE_BREAKER_STATE = "repro_serve_breaker_state"  # gauge: 0/1/2
 SERVE_HEALTHY = "repro_serve_healthy"  # gauge: 1 serving, 0 stopped
 
+# -- multi-tenant service (repro.tenants) --------------------------------------
+TENANTS_REGISTERED = "repro_tenants_registered"  # gauge
+TENANTS_HYDRATED = "repro_tenants_hydrated"  # gauge
+TENANTS_DEGRADED = "repro_tenants_degraded"  # gauge
+TENANT_HYDRATIONS = "repro_tenant_hydrations_total"
+TENANT_EVICTIONS = "repro_tenant_evictions_total"
+TENANT_SHED = "repro_tenant_shed_total"
+TENANT_FOOTPRINT_BYTES = "repro_tenants_footprint_bytes"  # gauge (estimate)
+
 #: name -> help text (the Prometheus ``# HELP`` line and the docs table).
 HELP = {
     VERIFICATIONS: "Verifications run (initial load and per change batch)",
@@ -214,4 +230,11 @@ HELP = {
     SERVE_QUEUE_DEPTH: "Batches buffered in the daemon's bounded queue",
     SERVE_BREAKER_STATE: "Breaker state (0 closed, 1 half-open, 2 open)",
     SERVE_HEALTHY: "Daemon liveness (1 while serving, 0 after shutdown)",
+    TENANTS_REGISTERED: "Tenants registered with the multi-tenant service",
+    TENANTS_HYDRATED: "Tenants currently holding a live verifier in memory",
+    TENANTS_DEGRADED: "Tenants currently degraded (breaker open or failed)",
+    TENANT_HYDRATIONS: "Cold-tenant restores (checkpoint or snapshot)",
+    TENANT_EVICTIONS: "Hot tenants checkpointed out of the LRU budget",
+    TENANT_SHED: "Batches refused by per-tenant admission control",
+    TENANT_FOOTPRINT_BYTES: "Estimated bytes held by hydrated tenant models",
 }

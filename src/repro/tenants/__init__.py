@@ -1,0 +1,53 @@
+"""repro.tenants — the multi-tenant verification service.
+
+One ``repro serve --tenants DIR`` process serves many networks at once,
+each tenant a private fault domain built from the single-tenant
+robustness stack (:mod:`repro.serve`):
+
+- :mod:`repro.tenants.registry` — per-tenant state (verifier engine,
+  breaker, cursor, checkpoint lineage, dead-letter box) plus the
+  hydration LRU: a memory budget over live models, cold tenants evicted
+  to checkpoints and restored on demand with single-flight coalescing;
+- :mod:`repro.tenants.scheduler` — admission control (bounded
+  per-tenant queues, backpressure, load-shed) and weighted-fair
+  scheduling so no tenant starves another;
+- :mod:`repro.tenants.service` — the cooperative serving loop, with
+  tenant-tagged journal/metrics, a ``/tenants`` introspection endpoint,
+  operator controls, and checkpoint-everyone graceful shutdown.
+"""
+
+from repro.tenants.registry import (
+    CHECKPOINT_FILE,
+    DEADLETTER_DIR,
+    EVICT_MARKER,
+    SNAPSHOT_DIR,
+    STREAM_FILE,
+    TENANT_CONFIG_FILE,
+    TenantConfig,
+    TenantError,
+    TenantRegistry,
+    TenantState,
+    discover_tenants,
+    estimate_footprint,
+)
+from repro.tenants.scheduler import FairScheduler, TenantQueue
+from repro.tenants.service import TenantService, TenantServiceOptions
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "DEADLETTER_DIR",
+    "EVICT_MARKER",
+    "SNAPSHOT_DIR",
+    "STREAM_FILE",
+    "TENANT_CONFIG_FILE",
+    "TenantConfig",
+    "TenantError",
+    "TenantRegistry",
+    "TenantState",
+    "discover_tenants",
+    "estimate_footprint",
+    "FairScheduler",
+    "TenantQueue",
+    "TenantService",
+    "TenantServiceOptions",
+]

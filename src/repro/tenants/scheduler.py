@@ -1,0 +1,116 @@
+"""Admission control and weighted-fair scheduling for the tenant fleet.
+
+Two pieces, both deliberately simple and fully deterministic:
+
+- :class:`TenantQueue` — a bounded FIFO of pending batches per tenant.
+  For *pull* sources (the service reading each tenant's stream file) the
+  bound is backpressure: the service never reads further ahead than the
+  queue holds.  For *push* submissions a full queue is a **load-shed**:
+  :meth:`TenantQueue.push` returns ``False`` and the caller answers
+  "come back later" instead of buffering without bound — one tenant
+  flooding its queue cannot grow the service's memory.
+
+- :class:`FairScheduler` — credit-based weighted fair queueing over the
+  tenants that currently have work.  Each scheduling round adds every
+  *ready* tenant's normalized weight share to its credit, then serves
+  the highest-credit tenant and charges it one unit.  Long-run service
+  converges to the weight ratios, a heavy tenant cannot starve a light
+  one (every ready tenant's credit grows every round), and ties break
+  by tenant id so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class TenantQueue(Generic[T]):
+    """A bounded FIFO; a full queue refuses rather than grows."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+
+    def push(self, item: T) -> bool:
+        """True when admitted, False when the queue is full (load-shed)."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+    def clear(self) -> int:
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class FairScheduler:
+    """Credit-based weighted fair queueing over ready tenants."""
+
+    def __init__(self) -> None:
+        self._weights: Dict[str, float] = {}
+        self._credits: Dict[str, float] = {}
+
+    def register(self, tenant_id: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"tenant {tenant_id}: weight must be > 0")
+        if tenant_id in self._weights:
+            raise ValueError(f"tenant {tenant_id} already registered")
+        self._weights[tenant_id] = float(weight)
+        self._credits[tenant_id] = 0.0
+
+    def remove(self, tenant_id: str) -> None:
+        self._weights.pop(tenant_id, None)
+        self._credits.pop(tenant_id, None)
+
+    def weight(self, tenant_id: str) -> float:
+        return self._weights[tenant_id]
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def next_tenant(self, ready: Iterable[str]) -> Optional[str]:
+        """Pick who to serve this round, or None when nobody is ready.
+
+        Credits of tenants with no work are *frozen*, not accumulated:
+        fair shares are divided among the tenants actually contending,
+        so an idle heavy tenant does not bank a claim to a burst of
+        back-to-back service when it returns (no debt, no starvation).
+        """
+        contenders: List[str] = sorted(
+            tid for tid in ready if tid in self._weights
+        )
+        if not contenders:
+            return None
+        total_weight = sum(self._weights[tid] for tid in contenders)
+        for tid in contenders:
+            self._credits[tid] += self._weights[tid] / total_weight
+        # Highest credit wins; ties break lexicographically (sorted above,
+        # max() keeps the first of equals).
+        winner = max(contenders, key=lambda tid: self._credits[tid])
+        self._credits[winner] -= 1.0
+        return winner
+
+    def credits(self) -> Dict[str, float]:
+        return dict(self._credits)

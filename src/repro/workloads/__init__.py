@@ -20,6 +20,13 @@ from repro.workloads.changegen import (
     stream_batches,
 )
 from repro.workloads.enterprise import EnterpriseNetwork, build_enterprise, enterprise_topology
+from repro.workloads.tenants import (
+    build_fleet,
+    build_tenant,
+    poison_stream,
+    tenant_batch_counts,
+    zipf_shares,
+)
 from repro.workloads.specmining import (
     SweepResult,
     from_scratch_sweep,
@@ -48,4 +55,9 @@ __all__ = [
     "SweepResult",
     "from_scratch_sweep",
     "incremental_sweep",
+    "build_fleet",
+    "build_tenant",
+    "poison_stream",
+    "tenant_batch_counts",
+    "zipf_shares",
 ]

@@ -1,0 +1,130 @@
+"""Multi-tenant fleet + traffic generation for the tenants service.
+
+Real multi-tenant load is skewed: a few tenants produce most of the
+change traffic while a long tail barely changes at all.  We model that
+with a Zipf law — tenant at popularity rank ``k`` gets share
+``1/k^s`` (normalized) of both the batch traffic and its scheduler
+weight — which is exactly the regime the hydration LRU is designed
+for: the head of the distribution stays resident, the tail lives as
+checkpoints.
+
+:func:`build_fleet` materializes a service root ``DIR/<tenant>/...``
+(snapshot, stream, tenant.json) directly consumable by
+``repro serve --tenants DIR``; everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.config.io import save_snapshot
+from repro.net.topologies import ring
+from repro.tenants.registry import TenantConfig
+from repro.workloads.changegen import stream_batches
+from repro.workloads.fattree_configs import snapshot_for
+
+
+def zipf_shares(count: int, exponent: float = 1.1) -> List[float]:
+    """Normalized Zipf shares for ranks 1..count (sums to 1.0)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    raw = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+def tenant_batch_counts(
+    count: int,
+    total_batches: int,
+    exponent: float = 1.1,
+) -> List[int]:
+    """Split ``total_batches`` across tenants by Zipf rank (every tenant
+    gets at least one batch, so the tail still exercises hydration)."""
+    shares = zipf_shares(count, exponent)
+    counts = [max(1, round(share * total_batches)) for share in shares]
+    return counts
+
+
+def build_tenant(
+    root: Union[str, Path],
+    tenant_id: str,
+    weight: float = 1.0,
+    ring_size: int = 4,
+    protocol: str = "ospf",
+    batches: int = 10,
+    seed: int = 0,
+) -> TenantConfig:
+    """Materialize one tenant directory: snapshot + stream + config."""
+    from repro.serve.stream import write_stream
+
+    config = TenantConfig(tenant_id, Path(root) / tenant_id, weight=weight)
+    config.save()
+    labeled = ring(ring_size)
+    snapshot = snapshot_for(labeled, protocol)
+    save_snapshot(snapshot, config.snapshot_dir)
+    if batches > 0:
+        write_stream(
+            stream_batches(
+                labeled, protocol=protocol, count=batches, seed=seed
+            ),
+            config.stream_file,
+        )
+    return config
+
+
+def build_fleet(
+    root: Union[str, Path],
+    count: int,
+    total_batches: int = 200,
+    exponent: float = 1.1,
+    ring_sizes: Tuple[int, int] = (3, 5),
+    protocol: str = "ospf",
+    seed: int = 0,
+    poison_tenant: Optional[str] = None,
+) -> List[TenantConfig]:
+    """A whole service root: ``count`` tenants with Zipf-skewed traffic.
+
+    Tenant ids are ``t000, t001, ...`` in rank order (t000 is the
+    heaviest).  Topology sizes vary deterministically within
+    ``ring_sizes`` so footprints differ — the LRU budget then has real
+    choices to make.  ``poison_tenant`` appends one malformed line to
+    that tenant's stream (the fault-injection hook for isolation tests
+    and the CI smoke job).
+    """
+    rng = random.Random(seed)
+    shares = zipf_shares(count, exponent)
+    counts = tenant_batch_counts(count, total_batches, exponent)
+    low, high = ring_sizes
+    configs = []
+    for rank in range(count):
+        tenant_id = f"t{rank:03d}"
+        config = build_tenant(
+            root,
+            tenant_id,
+            # Scheduler weight mirrors the traffic share (normalized so
+            # the lightest tenant has weight ~1).
+            weight=max(shares[rank] / shares[-1], 1.0),
+            ring_size=rng.randint(low, high),
+            protocol=protocol,
+            batches=counts[rank],
+            seed=seed + rank,
+        )
+        configs.append(config)
+    if poison_tenant is not None:
+        poison_stream(Path(root) / poison_tenant)
+    return configs
+
+
+def poison_stream(
+    tenant_root: Union[str, Path], line: str = "{this is not json"
+) -> None:
+    """Append one undecodable line to a tenant's stream — the batch will
+    quarantine into that tenant's dead-letter box (and only that
+    tenant's)."""
+    from repro.tenants.registry import STREAM_FILE
+
+    stream = Path(tenant_root) / STREAM_FILE
+    with stream.open("a") as handle:
+        handle.write(line + "\n")

@@ -7,7 +7,9 @@ from repro.obs import (
     EVENT_START,
     EVENT_TYPES,
     EventJournal,
+    TenantJournal,
     correlation_id,
+    follow_events,
     last_sequence,
     read_events,
 )
@@ -105,3 +107,119 @@ class TestEventJournal:
 
     def test_event_types_are_distinct(self):
         assert len(set(EVENT_TYPES)) == len(EVENT_TYPES)
+
+
+def collect_follow(path, actions):
+    """Drive follow_events deterministically: each poll-sleep runs the
+    next scripted action; the tail stops once the script is exhausted."""
+    pending = list(actions)
+
+    def scripted_sleep(_interval):
+        if pending:
+            pending.pop(0)()
+
+    def should_stop():
+        return not pending
+
+    return list(
+        follow_events(
+            path, poll_interval=0, should_stop=should_stop, sleep=scripted_sleep
+        )
+    )
+
+
+class TestFollowEvents:
+    def test_follow_picks_up_appended_events(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path)
+        journal.emit(EVENT_COMMITTED, batch="one")
+
+        def append():
+            journal.emit(EVENT_COMMITTED, batch="two")
+
+        events = collect_follow(path, [append])
+        journal.close()
+        assert [e["batch"] for e in events] == ["one", "two"]
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_follow_survives_rename_rotation(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            for index in range(3):
+                journal.emit(EVENT_COMMITTED, batch=f"old{index}")
+
+        def rotate():
+            # logrotate style: rename away, recreate; the successor file
+            # restarts seqs at 1, which a naive since-cursor filters out.
+            path.rename(tmp_path / "j.jsonl.1")
+            with EventJournal(path) as fresh:
+                fresh.emit(EVENT_START)
+                fresh.emit(EVENT_COMMITTED, batch="new0")
+
+        events = collect_follow(path, [rotate])
+        assert [e["seq"] for e in events] == [1, 2, 3, 1, 2]
+        assert events[-1]["batch"] == "new0"
+
+    def test_follow_survives_rotation_with_a_file_gap(self, tmp_path):
+        # Between the rename and the recreate there is a poll with no
+        # file at all; the tail must stay silent, not raise, and still
+        # catch the successor.
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.emit(EVENT_COMMITTED, batch="old")
+
+        def rename_away():
+            path.rename(tmp_path / "j.jsonl.1")
+
+        def recreate():
+            with EventJournal(path) as fresh:
+                fresh.emit(EVENT_COMMITTED, batch="new")
+
+        events = collect_follow(path, [rename_away, recreate])
+        assert [e["batch"] for e in events] == ["old", "new"]
+
+    def test_follow_survives_in_place_truncation(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            for index in range(4):
+                journal.emit(EVENT_COMMITTED, batch=f"old{index}")
+
+        def truncate_and_restart():
+            path.write_text("")  # same inode, size shrinks
+            with EventJournal(path) as fresh:
+                fresh.emit(EVENT_COMMITTED, batch="fresh")
+
+        events = collect_follow(path, [truncate_and_restart])
+        assert [e["batch"] for e in events][-1] == "fresh"
+        assert events[-1]["seq"] == 1  # the restarted numbering is seen
+
+    def test_follow_starts_on_a_not_yet_existing_file(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+
+        def create():
+            with EventJournal(path) as journal:
+                journal.emit(EVENT_COMMITTED, batch="first")
+
+        events = collect_follow(path, [lambda: None, create])
+        assert [e["batch"] for e in events] == ["first"]
+
+
+class TestTenantJournal:
+    def test_emits_are_tenant_tagged(self, tmp_path):
+        inner = EventJournal(tmp_path / "j.jsonl")
+        tagged = TenantJournal(inner, "acme")
+        record = tagged.emit(EVENT_COMMITTED, batch="000001")
+        inner.close()
+        assert record["tenant"] == "acme"
+        assert record["cid"] == "acme:000001"
+        assert tagged.seq == inner.seq == 1
+
+    def test_two_views_share_one_seq_space(self, tmp_path):
+        inner = EventJournal(tmp_path / "j.jsonl")
+        first = TenantJournal(inner, "a")
+        second = TenantJournal(inner, "b")
+        first.emit(EVENT_COMMITTED, batch="x")
+        second.emit(EVENT_COMMITTED, batch="y")
+        inner.close()
+        events = list(read_events(tmp_path / "j.jsonl"))
+        assert [(e["seq"], e["tenant"]) for e in events] == [(1, "a"), (2, "b")]

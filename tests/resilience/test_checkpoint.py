@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.realconfig import RealConfig
 from repro.resilience.checkpoint import (
+    EXTRAS_VERSION,
     FORMAT,
     CheckpointError,
     read_checkpoint,
@@ -146,6 +147,59 @@ class TestExtras:
         path = tmp_path / "verifier.ckpt"
         write_checkpoint(verifier, path)
         assert read_checkpoint_extras(path) == {}
+
+    def test_writes_carry_the_extras_schema_version(
+        self, tmp_path, ring_snapshot
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "verifier.ckpt"
+        write_checkpoint(verifier, path, extras={"serve": {"cursor": 3}})
+        payload = pickle.loads(path.read_bytes())
+        assert payload["extras_version"] == EXTRAS_VERSION
+
+    def test_newer_extras_envelope_is_refused_not_misparsed(
+        self, tmp_path, ring_snapshot
+    ):
+        """A checkpoint written by a future repro (extras schema bumped)
+        must fail with CheckpointError — the CLI's exit-2 contract — not
+        restore against a mis-read cursor or crash with a traceback."""
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "future-extras.ckpt"
+        write_checkpoint(verifier, path, extras={"serve": {"cursor": 3}})
+        payload = pickle.loads(path.read_bytes())
+        payload["extras_version"] = EXTRAS_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError, match="upgrade repro"):
+            read_checkpoint(path)
+        with pytest.raises(CheckpointError, match="upgrade repro"):
+            read_checkpoint_extras(path)
+
+    def test_non_integer_extras_version_is_refused(
+        self, tmp_path, ring_snapshot
+    ):
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "odd.ckpt"
+        write_checkpoint(verifier, path)
+        payload = pickle.loads(path.read_bytes())
+        payload["extras_version"] = "2"
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CheckpointError):
+            read_checkpoint_extras(path)
+
+    def test_pre_versioning_checkpoint_still_restores(
+        self, tmp_path, ring_snapshot
+    ):
+        """Checkpoints from before the envelope was versioned carry no
+        marker; they are version 1 by definition and must keep loading."""
+        verifier = RealConfig(ring_snapshot, policies=make_policies())
+        path = tmp_path / "legacy.ckpt"
+        write_checkpoint(verifier, path, extras={"serve": {"cursor": 9}})
+        payload = pickle.loads(path.read_bytes())
+        del payload["extras_version"]
+        path.write_bytes(pickle.dumps(payload))
+        assert read_checkpoint_extras(path) == {"serve": {"cursor": 9}}
+        restored = read_checkpoint(path)
+        assert restored.model.num_ecs() == verifier.model.num_ecs()
 
 
 class TestBadFiles:

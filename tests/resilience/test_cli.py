@@ -109,6 +109,28 @@ class TestResumeFrom:
         assert "cannot restore verifier state" in err
         assert "Traceback" not in err
 
+    def test_future_extras_version_exits_two_with_upgrade_hint(
+        self, base_dir, changed_dir, tmp_path, capsys
+    ):
+        """A checkpoint whose extras envelope comes from a newer repro
+        must exit 2 with an actionable message, not a stack trace."""
+        import pickle
+
+        from repro.resilience.checkpoint import EXTRAS_VERSION
+
+        ckpt = tmp_path / "future.ckpt"
+        assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
+        capsys.readouterr()
+        payload = pickle.loads(ckpt.read_bytes())
+        payload["extras_version"] = EXTRAS_VERSION + 1
+        ckpt.write_bytes(pickle.dumps(payload))
+        assert main(["verify", str(base_dir), str(changed_dir),
+                     "--resume-from", str(ckpt)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "upgrade repro" in err
+        assert "Traceback" not in err
+
 
 class TestAuditCommand:
     def test_snapshot_directory_audits_clean(self, base_dir, capsys):

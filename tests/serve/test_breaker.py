@@ -1,5 +1,7 @@
 """The incremental/full-rebuild circuit breaker state machine."""
 
+import threading
+
 import pytest
 
 from repro.serve.breaker import (
@@ -121,3 +123,93 @@ class TestSurface:
             CircuitBreaker(failure_threshold=0, clock=clock)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_seconds=-1, clock=clock)
+
+
+def run_racing(*targets):
+    barrier = threading.Barrier(len(targets))
+    errors = []
+
+    def wrap(target):
+        barrier.wait()
+        try:
+            target()
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrap, args=(target,)) for target in targets
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+
+
+class TestConcurrency:
+    """The multi-tenant service reports probe outcomes and quarantine
+    failures against the same breaker from racing call sites; the lock
+    must make every interleaving land on a legal state."""
+
+    def test_probe_failure_racing_quarantine_opens_exactly_once(self, clock):
+        # Half-open, then two failures arrive together (the probe's and
+        # a concurrent quarantine's): one re-open, never two.
+        for _ in range(100):
+            clock.now = 0.0
+            breaker = CircuitBreaker(
+                failure_threshold=3, cooldown_seconds=10.0, clock=clock
+            )
+            for _ in range(3):
+                breaker.record_failure()
+            clock.now = 10.0
+            assert breaker.allows_incremental()
+            assert breaker.state == HALF_OPEN
+            run_racing(breaker.record_failure, breaker.record_failure)
+            snap = breaker.snapshot()
+            assert snap["state"] == OPEN
+            assert snap["opens"] == 2  # the trip, plus exactly one re-open
+
+    def test_probe_grant_racing_failure_is_atomic(self, clock):
+        # allows_incremental() (open -> half-open probe grant) racing
+        # record_failure(): only the two serialized orders may result.
+        #   grant first:   half-open, failure re-opens  -> (open, 2)
+        #   failure first: open absorbs it, then probes -> (half-open, 1)
+        # A torn transition would show (half-open, 2) or (open, 1).
+        for _ in range(100):
+            clock.now = 0.0
+            breaker = CircuitBreaker(
+                failure_threshold=3, cooldown_seconds=10.0, clock=clock
+            )
+            for _ in range(3):
+                breaker.record_failure()
+            clock.now = 10.0
+            run_racing(breaker.allows_incremental, breaker.record_failure)
+            snap = breaker.snapshot()
+            assert (snap["state"], snap["opens"]) in {
+                (OPEN, 2),
+                (HALF_OPEN, 1),
+            }
+
+    def test_hammering_all_transitions_never_tears_a_snapshot(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_seconds=0.0, clock=clock
+        )
+        snapshots = []
+
+        def churn():
+            for _ in range(300):
+                breaker.allows_incremental()
+                breaker.record_failure()
+                breaker.record_success()
+
+        def observe():
+            for _ in range(300):
+                snapshots.append(breaker.snapshot())
+
+        run_racing(churn, churn, churn, observe)
+        for snap in snapshots + [breaker.snapshot()]:
+            assert snap["state"] in (CLOSED, HALF_OPEN, OPEN)
+            assert snap["consecutive_failures"] >= 0
+            assert snap["opens"] >= 0
+        opens_seen = [s["opens"] for s in snapshots]
+        assert opens_seen == sorted(opens_seen)  # monotone, never rolled back

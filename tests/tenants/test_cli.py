@@ -1,0 +1,109 @@
+"""CLI surface of the multi-tenant service: ``repro serve --tenants``
+and ``repro tenant {add,evict,status,replay}``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.tenants import build_fleet, poison_stream
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    root = tmp_path / "fleet"
+    build_fleet(root, 3, total_batches=9, seed=21)
+    return root
+
+
+class TestServeTenants:
+    def test_clean_fleet_drains_and_exits_zero(self, fleet, capsys):
+        assert main(["serve", "--tenants", str(fleet)]) == 0
+        out = capsys.readouterr().out
+        assert "serving 3 tenant(s)" in out
+        assert "serve finished:" in out
+        # Every tenant now has a durable checkpoint with its cursor.
+        assert main(["tenant", "status", str(fleet)]) == 0
+        status = capsys.readouterr().out
+        assert "3 tenant(s), 0 degraded" in status
+        assert "cursor     0" not in status
+
+    def test_poisoned_fleet_exits_one_and_names_the_tenant(
+        self, fleet, capsys
+    ):
+        poison_stream(fleet / "t002")
+        assert main(["serve", "--tenants", str(fleet)]) == 1
+        captured = capsys.readouterr()
+        assert "degraded tenant t002" in captured.err
+        assert "repro tenant replay" in captured.err
+        # Offline status sees the dead-letter box and exits 1 too.
+        assert main(["tenant", "status", str(fleet)]) == 1
+        assert "DEGRADED" in capsys.readouterr().out
+
+    def test_tenants_mode_rejects_single_tenant_args(self, fleet, tmp_path):
+        assert main(["serve", str(tmp_path), "--tenants", str(fleet)]) == 2
+        assert main(["serve", "--tenants", str(fleet),
+                     "--stream", "x.jsonl"]) == 2
+        assert main(["serve", "--tenants", str(fleet),
+                     "--resume-from", "x.ckpt"]) == 2
+
+    def test_serve_without_snapshot_or_tenants_exits_two(self):
+        assert main(["serve"]) == 2
+
+    def test_health_and_journal_files(self, fleet, tmp_path, capsys):
+        health = tmp_path / "health.json"
+        journal = tmp_path / "journal.jsonl"
+        assert main(["serve", "--tenants", str(fleet),
+                     "--health-file", str(health),
+                     "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        payload = json.loads(health.read_text())
+        assert payload["status"] == "stopped"
+        assert payload["mode"] == "multi-tenant"
+        # The journal replays offline through the tail command.
+        assert main(["tail", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "tenant-hydrated" in out
+        assert "committed" in out
+
+
+class TestTenantAdmin:
+    def test_add_then_serve_then_status(self, tmp_path, capsys):
+        root = tmp_path / "fleet"
+        root.mkdir()
+        assert main(["tenant", "add", str(root), "acme",
+                     "--topology", "ring:3", "--batches", "4",
+                     "--weight", "2.0"]) == 0
+        assert "added tenant acme" in capsys.readouterr().out
+        assert (root / "acme" / "tenant.json").exists()
+        assert main(["serve", "--tenants", str(root)]) == 0
+        capsys.readouterr()
+        assert main(["tenant", "status", str(root)]) == 0
+        status = capsys.readouterr().out
+        assert "acme" in status
+        assert "cursor     4" in status
+
+    def test_add_existing_tenant_exits_two(self, fleet):
+        assert main(["tenant", "add", str(fleet), "t000"]) == 2
+
+    def test_evict_drops_the_marker(self, fleet, capsys):
+        assert main(["tenant", "evict", str(fleet), "t001"]) == 0
+        assert "eviction requested" in capsys.readouterr().out
+        assert (fleet / "t001" / ".evict").exists()
+
+    def test_replay_empty_box_is_a_clean_noop(self, fleet, capsys):
+        assert main(["tenant", "replay", str(fleet), "t000"]) == 0
+        assert "dead-letter box is empty" in capsys.readouterr().out
+
+    def test_replay_of_a_still_poison_batch_fails_again(
+        self, fleet, capsys
+    ):
+        poison_stream(fleet / "t000")
+        assert main(["serve", "--tenants", str(fleet)]) == 1
+        capsys.readouterr()
+        # The malformed line is still malformed: replay must exit 1,
+        # not pretend the quarantine was transient.
+        assert main(["tenant", "replay", str(fleet), "t000"]) == 1
+        assert "failed again" in capsys.readouterr().out

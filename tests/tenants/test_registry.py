@@ -1,0 +1,211 @@
+"""TenantRegistry: layout, hydration LRU, budget eviction, single-flight."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.engine import ServeOptions
+from repro.tenants import (
+    TenantConfig,
+    TenantError,
+    TenantRegistry,
+    discover_tenants,
+)
+from repro.workloads.tenants import build_fleet, build_tenant
+
+
+def make_registry(budget=0, breaker_threshold=0):
+    return TenantRegistry(
+        ServeOptions(breaker_threshold=breaker_threshold, backoff_base=0.0),
+        memory_budget_bytes=budget,
+    )
+
+
+class TestLayout:
+    def test_discover_finds_only_tenant_dirs(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 3, total_batches=3, seed=1)
+        (tmp_path / "fleet" / "notes.txt").write_text("not a tenant")
+        (tmp_path / "fleet" / "empty-dir").mkdir()
+        configs = discover_tenants(tmp_path / "fleet")
+        assert [c.tenant_id for c in configs] == ["t000", "t001", "t002"]
+
+    def test_config_roundtrip_preserves_weight(self, tmp_path):
+        build_tenant(tmp_path, "acme", weight=2.5, batches=0)
+        loaded = TenantConfig.load(tmp_path / "acme")
+        assert loaded.tenant_id == "acme"
+        assert loaded.weight == 2.5
+
+    def test_dir_without_snapshot_is_rejected(self, tmp_path):
+        (tmp_path / "ghost").mkdir()
+        with pytest.raises(TenantError):
+            TenantConfig.load(tmp_path / "ghost")
+
+    def test_zipf_head_gets_more_batches_than_tail(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 4, total_batches=40, seed=2)
+        configs = discover_tenants(tmp_path / "fleet")
+        sizes = [
+            len(c.stream_file.read_text().splitlines()) for c in configs
+        ]
+        assert sizes[0] > sizes[-1]
+        assert all(size >= 1 for size in sizes)
+
+
+class TestHydration:
+    def test_hydrate_builds_from_snapshot_then_serves(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 2, total_batches=4, seed=3)
+        registry = make_registry()
+        for config in discover_tenants(tmp_path / "fleet"):
+            registry.register(config)
+        engine = registry.hydrate("t000")
+        assert engine is registry.hydrate("t000")  # cached, LRU-touched
+        assert registry.hydrated_ids == ["t000"]
+        assert registry.state("t000").hydrations == 1
+        assert registry.state("t000").footprint > 0
+
+    def test_evict_writes_checkpoint_and_rehydrate_restores(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 1, total_batches=2, seed=4)
+        registry = make_registry()
+        config = discover_tenants(tmp_path / "fleet")[0]
+        state = registry.register(config)
+        registry.hydrate("t000")
+        state.cursor = 5
+        assert registry.evict("t000")
+        assert config.checkpoint_file.exists()
+        assert not state.hydrated
+        assert state.footprint == 0
+        # A fresh registry (fresh process) resumes the cursor from disk.
+        registry2 = make_registry()
+        state2 = registry2.register(TenantConfig.load(config.root))
+        assert state2.cursor == 5
+        registry2.hydrate("t000")
+        assert state2.hydrations == 1
+
+    def test_evict_cold_tenant_is_a_noop(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 1, total_batches=2, seed=5)
+        registry = make_registry()
+        registry.register(discover_tenants(tmp_path / "fleet")[0])
+        assert registry.evict("t000") is False
+
+    def test_unknown_tenant_raises(self, tmp_path):
+        registry = make_registry()
+        with pytest.raises(TenantError):
+            registry.hydrate("nobody")
+
+    def test_breaker_survives_evict_hydrate_cycle(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 1, total_batches=2, seed=6)
+        registry = make_registry(breaker_threshold=2)
+        state = registry.register(discover_tenants(tmp_path / "fleet")[0])
+        engine = registry.hydrate("t000")
+        assert engine.breaker is state.breaker
+        state.breaker.record_failure()
+        registry.evict("t000")
+        engine2 = registry.hydrate("t000")
+        # The tripping breaker cannot be laundered away by an eviction.
+        assert engine2.breaker is state.breaker
+        assert state.breaker.consecutive_failures == 1
+
+
+class TestBudgetLRU:
+    def test_budget_evicts_least_recently_served(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 3, total_batches=3, seed=7)
+        registry = make_registry()
+        for config in discover_tenants(tmp_path / "fleet"):
+            registry.register(config)
+        # Footprints settle after the first evict/rehydrate cycle (the
+        # checkpoint round-trip adds a little state): warm up once, then
+        # measure, then impose a budget that fits exactly {t000, t002}.
+        footprints = {}
+        for _ in range(2):
+            for tid in ("t000", "t001", "t002"):
+                registry.hydrate(tid)
+                footprints[tid] = registry.state(tid).footprint
+            registry.evict_all()
+        registry.memory_budget_bytes = (
+            footprints["t000"] + footprints["t002"] + 1
+        )
+        evictions_before = registry.state("t001").evictions
+        registry.hydrate("t000")
+        registry.hydrate("t001")
+        registry.hydrate("t000")  # touch: t001 becomes LRU-oldest
+        registry.hydrate("t002")  # over budget -> evicts t001, not t000
+        assert "t001" not in registry.hydrated_ids
+        assert "t000" in registry.hydrated_ids
+        assert "t002" in registry.hydrated_ids
+        assert registry.state("t001").evictions == evictions_before + 1
+        assert registry.state("t001").config.checkpoint_file.exists()
+
+    def test_just_hydrated_tenant_is_never_the_victim(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 2, total_batches=2, seed=8)
+        registry = make_registry(budget=1)  # nothing fits
+        for config in discover_tenants(tmp_path / "fleet"):
+            registry.register(config)
+        registry.hydrate("t000")
+        # t000 alone is over budget but must stay (it is being served).
+        assert registry.hydrated_ids == ["t000"]
+        registry.hydrate("t001")
+        assert registry.hydrated_ids == ["t001"]
+
+    def test_evict_all_releases_everyone(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 3, total_batches=3, seed=9)
+        registry = make_registry()
+        for config in discover_tenants(tmp_path / "fleet"):
+            registry.register(config)
+            registry.hydrate(config.tenant_id)
+        assert registry.evict_all() == 3
+        assert registry.hydrated_ids == []
+        assert registry.total_footprint() == 0
+
+
+class TestSingleFlight:
+    def test_thundering_herd_coalesces_to_one_restore(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 1, total_batches=2, seed=10)
+        registry = make_registry()
+        registry.register(discover_tenants(tmp_path / "fleet")[0])
+        engines = []
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            try:
+                engines.append(registry.hydrate("t000"))
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(engines) == 8
+        assert len({id(engine) for engine in engines}) == 1
+        assert registry.restores_performed == 1
+        assert registry.state("t000").hydrations == 1
+
+    def test_waiters_share_the_leaders_exception(self, tmp_path):
+        build_fleet(tmp_path / "fleet", 1, total_batches=2, seed=11)
+        registry = make_registry()
+        config = discover_tenants(tmp_path / "fleet")[0]
+        registry.register(config)
+        # Corrupt checkpoint: every hydration must fail, and concurrent
+        # callers must all see the failure (not hang).
+        config.checkpoint_file.write_bytes(b"garbage")
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            try:
+                registry.hydrate("t000")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(errors) == 4
