@@ -1,0 +1,35 @@
+"""Deterministic crash injection over the storage layer.
+
+``repro.chaos.points`` names every durability boundary; the driver
+(``python -m repro.chaos.driver``) runs a small serve workload with one
+of them armed to die, and the harness (`repro chaos`) re-runs the matrix
+and asserts the recovery invariants: no batch lost or applied twice, FIB
+fingerprint byte-identical to the fault-free run, journal seqs gapless.
+
+Only the stdlib-only ``points`` API is re-exported eagerly — the driver
+and harness pull in the full serve stack and are imported lazily so the
+instrumented modules (journal, checkpoint, atomic) can import this
+package without cycles.
+"""
+
+from repro.chaos.points import (
+    CRASH_POINTS,
+    ENV_VAR,
+    EXIT_CODE,
+    CrashPointHit,
+    arm,
+    crash_point,
+    disarm,
+    point_names,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "ENV_VAR",
+    "EXIT_CODE",
+    "CrashPointHit",
+    "arm",
+    "crash_point",
+    "disarm",
+    "point_names",
+]

@@ -1,0 +1,415 @@
+"""The crash matrix: kill the workload at every durability boundary.
+
+For each cell ``(crash point, hit count)`` the harness runs the
+deterministic workload (:mod:`repro.chaos.driver`) twice in a fresh
+working directory:
+
+1. **armed** — ``REPRO_CRASH_POINT=point[:hits]`` in the child's
+   environment, expecting the process to die with
+   :data:`~repro.chaos.points.EXIT_CODE` at exactly that boundary
+   (an exit of 0 means the point was never reached — that is a matrix
+   failure too, because an uninstrumented boundary proves nothing);
+2. **recovered** — the same command unarmed, resuming from whatever the
+   crash left on disk: a torn journal tail, a half-rotated generation
+   ring, a dead-letter entry without its meta.json, ...
+
+and then asserts the recovery invariants against a fault-free baseline
+run:
+
+- the final FIB fingerprint is byte-identical to the baseline's;
+- the stream cursor reaches the end of the stream;
+- the journal's durable seqs are gapless (``1..max`` with no hole and
+  no duplicate) across however many daemon lifetimes the cell took;
+- every stream batch was disposed of (committed, rebuilt, or
+  quarantined) **exactly once per surviving lineage**: within each
+  daemon run the disposals advance contiguously from that run's start
+  cursor, and the reconstruction over all runs covers every batch.
+
+The smoke matrix (:data:`SMOKE_POINTS`, one point per boundary class)
+is what CI runs per-PR; ``repro chaos --matrix`` runs every registered
+point at several hit depths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.chaos import driver as chaos_driver
+from repro.chaos.points import CRASH_POINTS, ENV_VAR, EXIT_CODE, point_names
+from repro.obs.journal import (
+    EVENT_COMMITTED,
+    EVENT_QUARANTINED,
+    EVENT_REBUILD,
+    EVENT_START,
+    read_events,
+)
+
+__all__ = [
+    "CellResult",
+    "DISPOSAL_EVENTS",
+    "MatrixReport",
+    "SMOKE_POINTS",
+    "matrix_cells",
+    "run_cell",
+    "run_matrix",
+    "verify_journal",
+]
+
+#: Events that dispose of exactly one stream batch.  ``malformed`` and
+#: ``lint-rejected`` are *not* here: both are followed by the
+#: ``quarantined`` event that is the actual disposal.
+DISPOSAL_EVENTS = (EVENT_COMMITTED, EVENT_REBUILD, EVENT_QUARANTINED)
+
+#: One crash point per boundary class — the per-PR CI subset.
+SMOKE_POINTS: Tuple[str, ...] = (
+    "checkpoint.replace",
+    "journal.append",
+    "cursor.commit",
+    "telemetry.export",
+    "deadletter.dump",
+)
+
+#: Hit depths per point for the full matrix.  Depth 1 dies at the very
+#: first crossing (often before any batch committed); the deeper hit
+#: dies mid-stream with generations already rotated.  ``deadletter.dump``
+#: is crossed exactly once (one poison batch per workload), so it only
+#: has depth 1.
+_EXTRA_HITS: Dict[str, Tuple[int, ...]] = {"deadletter.dump": (1,)}
+_DEFAULT_HITS: Tuple[int, ...] = (1, 3)
+
+
+def matrix_cells(
+    points: Optional[Sequence[str]] = None, smoke: bool = False
+) -> Tuple[Tuple[str, int], ...]:
+    """The ``(point, hits)`` cells to run.  ``points`` restricts the
+    matrix to a subset; ``smoke`` selects :data:`SMOKE_POINTS` at depth
+    1 only."""
+    known = point_names()
+    if points is not None:
+        unknown = [p for p in points if p not in known]
+        if unknown:
+            raise ValueError(f"unknown crash point(s): {', '.join(unknown)}")
+        chosen: Sequence[str] = points
+    elif smoke:
+        chosen = SMOKE_POINTS
+    else:
+        chosen = known
+    if smoke:
+        depths: Callable[[str], Tuple[int, ...]] = lambda p: (1,)
+    else:
+        depths = lambda p: _EXTRA_HITS.get(p, _DEFAULT_HITS)
+    return tuple((p, h) for p in chosen for h in depths(p))
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One ``(point, hits)`` cell of the matrix."""
+
+    point: str
+    hits: int
+    workdir: str
+    crash_exit: Optional[int] = None
+    recover_exit: Optional[int] = None
+    fingerprint: Optional[str] = None
+    cursor: Optional[int] = None
+    failures: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "hits": self.hits,
+            "workdir": self.workdir,
+            "crash_exit": self.crash_exit,
+            "recover_exit": self.recover_exit,
+            "fingerprint": self.fingerprint,
+            "cursor": self.cursor,
+            "ok": self.ok,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class MatrixReport:
+    """The whole matrix: the baseline constants plus one cell per kill."""
+
+    batches: int
+    seed: int
+    baseline_fingerprint: str = ""
+    baseline_cursor: int = 0
+    baseline_quarantined: int = 0
+    cells: List[CellResult] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(cell.ok for cell in self.cells)
+
+    @property
+    def failed_cells(self) -> List[CellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "seed": self.seed,
+            "baseline_fingerprint": self.baseline_fingerprint,
+            "baseline_cursor": self.baseline_cursor,
+            "baseline_quarantined": self.baseline_quarantined,
+            "ok": self.ok,
+            "error": self.error,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def _driver_env(armed: Optional[str] = None) -> Dict[str, str]:
+    """The subprocess environment: the current one with ``src`` on
+    PYTHONPATH (so the child finds this checkout, not an installed
+    repro) and the crash variable set or scrubbed."""
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    env.pop(ENV_VAR, None)
+    if armed is not None:
+        env[ENV_VAR] = armed
+    return env
+
+
+def _run_driver(
+    workdir: Path,
+    batches: int,
+    seed: int,
+    armed: Optional[str] = None,
+    timeout: float = 300.0,
+) -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.chaos.driver",
+            str(workdir),
+            "--batches",
+            str(batches),
+            "--seed",
+            str(seed),
+        ],
+        env=_driver_env(armed),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _load_result(workdir: Path) -> Optional[dict]:
+    try:
+        with open(workdir / chaos_driver.RESULT_NAME) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def verify_journal(journal_path: Path, batches: int) -> List[str]:
+    """The journal-level recovery invariants for one finished cell.
+
+    Returns human-readable failure strings (empty = all invariants hold).
+    """
+    failures: List[str] = []
+    events = list(read_events(journal_path))
+    if not events:
+        return [f"journal {journal_path} has no durable events"]
+
+    # Gapless seqs: every durable line numbered 1..max exactly once.
+    seqs = sorted(e["seq"] for e in events)
+    expected = list(range(1, seqs[-1] + 1))
+    if seqs != expected:
+        missing = sorted(set(expected) - set(seqs))[:5]
+        dupes = sorted({s for s in seqs if seqs.count(s) > 1})[:5]
+        failures.append(
+            f"journal seqs not gapless: missing {missing}, dupes {dupes}"
+        )
+
+    # Split into daemon lifetimes at each daemon-start event.
+    runs: List[dict] = []
+    for event in events:
+        if event.get("event") == EVENT_START:
+            runs.append({"cursor": int(event.get("cursor", 0)), "batches": []})
+        elif event.get("event") in DISPOSAL_EVENTS and runs:
+            runs[-1]["batches"].append(event.get("batch"))
+    if not runs:
+        return failures + ["journal has no daemon-start event"]
+
+    # Within each lifetime, disposals advance contiguously from that
+    # run's start cursor: stream index == batch id by construction.
+    final: Dict[int, int] = {}  # stream index -> disposing run
+    for number, run in enumerate(runs):
+        start = run["cursor"]
+        want = [f"{start + i:06d}" for i in range(len(run["batches"]))]
+        if run["batches"] != want:
+            failures.append(
+                f"run {number} (cursor {start}) disposed {run['batches']}, "
+                f"expected the contiguous {want}"
+            )
+            continue
+        for offset in range(len(run["batches"])):
+            final[start + offset] = number
+
+    # The reconstruction must cover the whole stream: every batch
+    # disposed (exactly once — `final` is per-index by construction).
+    covered = sorted(final)
+    if covered != list(range(batches)):
+        failures.append(
+            f"disposals cover stream indices {covered}, "
+            f"expected 0..{batches - 1}"
+        )
+    return failures
+
+
+def run_cell(
+    root: Path,
+    point: str,
+    hits: int,
+    batches: int,
+    seed: int,
+    baseline_fingerprint: str,
+    timeout: float = 300.0,
+) -> CellResult:
+    """Run one matrix cell in ``root/<point>_<hits>``: crash, recover,
+    verify."""
+    workdir = root / f"{point.replace('.', '_')}_{hits}"
+    workdir.mkdir(parents=True, exist_ok=True)
+    failures: List[str] = []
+
+    armed = point if hits == 1 else f"{point}:{hits}"
+    crashed = _run_driver(workdir, batches, seed, armed=armed, timeout=timeout)
+    if crashed.returncode != EXIT_CODE:
+        failures.append(
+            f"armed run exited {crashed.returncode}, expected {EXIT_CODE} "
+            + (
+                "(crash point never hit)"
+                if crashed.returncode == 0
+                else f"(stderr: {crashed.stderr.strip()[-300:]})"
+            )
+        )
+        return CellResult(
+            point,
+            hits,
+            str(workdir),
+            crash_exit=crashed.returncode,
+            failures=tuple(failures),
+        )
+
+    recovered = _run_driver(workdir, batches, seed, timeout=timeout)
+    if recovered.returncode != 0:
+        failures.append(
+            f"recovery run exited {recovered.returncode} "
+            f"(stderr: {recovered.stderr.strip()[-300:]})"
+        )
+        return CellResult(
+            point,
+            hits,
+            str(workdir),
+            crash_exit=crashed.returncode,
+            recover_exit=recovered.returncode,
+            failures=tuple(failures),
+        )
+
+    result = _load_result(workdir)
+    fingerprint = None
+    cursor = None
+    if result is None:
+        failures.append("recovery run left no readable result.json")
+    else:
+        fingerprint = result.get("fib_fingerprint")
+        cursor = result.get("cursor")
+        if fingerprint != baseline_fingerprint:
+            failures.append(
+                f"FIB fingerprint {fingerprint} != baseline "
+                f"{baseline_fingerprint} — recovered state diverged"
+            )
+        if cursor != batches:
+            failures.append(
+                f"final cursor {cursor} != stream length {batches}"
+            )
+    failures.extend(
+        verify_journal(workdir / chaos_driver.JOURNAL_NAME, batches)
+    )
+    return CellResult(
+        point,
+        hits,
+        str(workdir),
+        crash_exit=crashed.returncode,
+        recover_exit=recovered.returncode,
+        fingerprint=fingerprint,
+        cursor=cursor,
+        failures=tuple(failures),
+    )
+
+
+def run_matrix(
+    root: Optional[Path] = None,
+    points: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    batches: int = chaos_driver.DEFAULT_BATCHES,
+    seed: int = chaos_driver.DEFAULT_SEED,
+    timeout: float = 300.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> MatrixReport:
+    """Run the crash matrix and return the full report.
+
+    ``root`` holds one subdirectory per cell plus ``baseline/``; when
+    omitted a temporary directory is created (and left in place for
+    post-mortems — the cells' journals *are* the evidence)."""
+    say = progress or (lambda message: None)
+    if root is None:
+        root = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    root = Path(root)
+    report = MatrixReport(batches=batches, seed=seed)
+
+    say(f"baseline: fault-free run in {root / 'baseline'}")
+    baseline_dir = root / "baseline"
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    baseline_proc = _run_driver(baseline_dir, batches, seed, timeout=timeout)
+    baseline = _load_result(baseline_dir)
+    if baseline_proc.returncode != 0 or baseline is None:
+        report.error = (
+            f"baseline run failed (exit {baseline_proc.returncode}): "
+            f"{baseline_proc.stderr.strip()[-300:]}"
+        )
+        return report
+    report.baseline_fingerprint = baseline["fib_fingerprint"]
+    report.baseline_cursor = baseline["cursor"]
+    report.baseline_quarantined = baseline["quarantined"]
+
+    for point, hits in matrix_cells(points, smoke=smoke):
+        cell = run_cell(
+            root,
+            point,
+            hits,
+            batches,
+            seed,
+            report.baseline_fingerprint,
+            timeout=timeout,
+        )
+        report.cells.append(cell)
+        status = "ok" if cell.ok else "FAIL: " + "; ".join(cell.failures)
+        say(f"kill at {point} (hit {hits}): {status}")
+    return report
+
+
+# Re-exported so `python -m repro.chaos.harness --list` style tooling and
+# the docs table test can iterate the registry without importing points.
+REGISTERED_POINTS = CRASH_POINTS

@@ -1,0 +1,174 @@
+"""Named crash points at every durability boundary.
+
+A *crash point* marks the instant between two storage side effects where
+a process death must leave recoverable state: after the checkpoint temp
+file is written but before the fsync, after the fsync but before the
+rename, after a batch commits but before the cursor advances, and so on.
+The registry below is the single source of truth — the chaos matrix
+(`repro chaos`), the DESIGN §4i table, and the instrumentation call
+sites are all tested against it.
+
+Activation is deliberately dual:
+
+- **Subprocess mode** (the chaos harness): set ``REPRO_CRASH_POINT`` to
+  ``"name"`` or ``"name:N"`` in the child's environment and the N-th
+  execution of that point calls ``os._exit(EXIT_CODE)`` — no cleanup
+  handlers, no atexit, exactly like SIGKILL at that instruction.
+- **In-process mode** (unit tests): ``arm(name, mode="raise")`` makes
+  the point raise :class:`CrashPointHit` instead, so a test can assert
+  on-disk state without forking.
+
+This module must stay stdlib-only with no repro imports: it is called
+from ``telemetry.atomic``, ``obs.journal``, ``resilience.checkpoint``,
+and ``serve`` — importing any of them here would cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Tuple
+
+__all__ = [
+    "CRASH_POINTS",
+    "ENV_VAR",
+    "EXIT_CODE",
+    "CrashPointHit",
+    "arm",
+    "crash_point",
+    "disarm",
+    "point_names",
+]
+
+#: Environment variable read once at import: ``"name"`` or ``"name:N"``
+#: (die on the N-th hit, 1-based).
+ENV_VAR = "REPRO_CRASH_POINT"
+
+#: Exit status used by ``os._exit`` — matches SIGKILL's 128+9 so the
+#: harness can treat "we killed it" uniformly.
+EXIT_CODE = 137
+
+#: Every instrumented durability boundary: (name, what dies in between).
+#: Names are ``<subsystem>.<instant>``. The chaos matrix iterates this
+#: tuple; a test asserts each name has exactly one call site and one
+#: DESIGN.md table row.
+CRASH_POINTS: Tuple[Tuple[str, str], ...] = (
+    (
+        "checkpoint.tmp",
+        "checkpoint temp file written and flushed, not yet fsynced",
+    ),
+    (
+        "checkpoint.fsync",
+        "checkpoint temp file fsynced, not yet rotated or renamed",
+    ),
+    (
+        "checkpoint.rotate",
+        "generation ring rotated, new checkpoint not yet renamed in",
+    ),
+    (
+        "checkpoint.replace",
+        "checkpoint renamed into place, manifest not yet rewritten",
+    ),
+    (
+        "checkpoint.manifest",
+        "checkpoint and manifest both durable (post-commit control)",
+    ),
+    (
+        "journal.append",
+        "journal line half-written (torn tail, no trailing newline)",
+    ),
+    (
+        "cursor.commit",
+        "batch committed and journaled, cursor not yet advanced",
+    ),
+    (
+        "telemetry.export",
+        "telemetry temp file fsynced, not yet renamed over the target",
+    ),
+    (
+        "deadletter.dump",
+        "dead-letter batch payload written, meta.json not yet written",
+    ),
+)
+
+_NAMES = frozenset(name for name, _ in CRASH_POINTS)
+
+
+class CrashPointHit(RuntimeError):
+    """Raised (instead of dying) when a point armed in-process fires."""
+
+
+def point_names() -> Tuple[str, ...]:
+    return tuple(name for name, _ in CRASH_POINTS)
+
+
+def _parse_env(value: str) -> Tuple[str, int]:
+    name, _, count = value.partition(":")
+    try:
+        hits = int(count) if count else 1
+    except ValueError:
+        hits = 1
+    return name, max(1, hits)
+
+
+class _Armed:
+    __slots__ = ("name", "hits", "mode", "seen")
+
+    def __init__(self, name: str, hits: int, mode: str) -> None:
+        self.name = name
+        self.hits = hits
+        self.mode = mode
+        self.seen = 0
+
+
+_armed: Optional[_Armed] = None
+
+_env = os.environ.get(ENV_VAR)
+if _env:
+    _env_name, _env_hits = _parse_env(_env)
+    if _env_name in _NAMES:
+        _armed = _Armed(_env_name, _env_hits, "exit")
+    del _env_name, _env_hits
+del _env
+
+
+def arm(name: str, hits: int = 1, mode: str = "raise") -> None:
+    """Arm one crash point in-process.
+
+    ``mode="raise"`` raises :class:`CrashPointHit` on the ``hits``-th
+    execution; ``mode="exit"`` dies with ``os._exit(EXIT_CODE)`` exactly
+    like the subprocess env var. Only one point can be armed at a time.
+    """
+    global _armed
+    if name not in _NAMES:
+        raise ValueError(f"unknown crash point: {name!r}")
+    if mode not in ("raise", "exit"):
+        raise ValueError(f"unknown crash mode: {mode!r}")
+    _armed = _Armed(name, max(1, hits), mode)
+
+
+def disarm() -> None:
+    global _armed
+    _armed = None
+
+
+def crash_point(
+    name: str, tear: Optional[Callable[[], None]] = None
+) -> None:
+    """Die here if this point is armed; no-op (fast) otherwise.
+
+    ``tear`` runs just before dying — call sites use it to leave the
+    *realistic* partial state behind (e.g. ``journal.append`` writes the
+    torn half-line a mid-write kill would leave).
+    """
+    armed = _armed
+    if armed is None or armed.name != name:
+        return
+    armed.seen += 1
+    if armed.seen < armed.hits:
+        return
+    if tear is not None:
+        tear()
+    if armed.mode == "exit":
+        os._exit(EXIT_CODE)
+    disarm()
+    raise CrashPointHit(name)

@@ -39,7 +39,12 @@ Subcommands (also available as ``python -m repro``):
 - ``top``       compact dashboard of a running serve daemon, read from
   the live introspection server (``serve --obs-port``);
 - ``tail``      replay / follow a serve daemon's event journal over the
-  same introspection server;
+  same introspection server (``--journal FILE --repair`` fixes a torn
+  final line in place);
+- ``chaos``     run the deterministic crash matrix: kill a serve
+  workload at every instrumented durability boundary in turn and prove
+  recovery (byte-identical FIB fingerprint, gapless journal seqs, no
+  batch lost or applied twice);
 - ``emit-stream`` generate a JSONL change-batch stream (the producer
   side of ``serve``).
 
@@ -196,11 +201,43 @@ def _pool_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _restore_resolved(args: argparse.Namespace, path: str):
+    """Restore a checkpoint through the generation ring, applying any
+    pool-flag overrides.  Returns the full
+    :class:`~repro.resilience.checkpoint.RestoredCheckpoint` so callers
+    can read the extras (stream cursor) from the *same* resolution that
+    produced the verifier.  A fallback to an older generation is
+    reported on stderr — the newest file was corrupt and the operator
+    should know — but never fails the restore."""
+    from repro.resilience.checkpoint import restore_checkpoint
+
+    restored = restore_checkpoint(path)
+    verifier = restored.verifier
+    if args.workers is not None or args.parallel_backend is not None:
+        verifier.set_workers(
+            verifier._options.get("workers", 1)
+            if args.workers is None
+            else args.workers,
+            args.parallel_backend,
+        )
+    if restored.fell_back:
+        for skipped_path, error in restored.skipped:
+            print(
+                f"warning: skipped checkpoint generation "
+                f"{skipped_path}: {error}",
+                file=sys.stderr,
+            )
+        print(
+            f"warning: fell back to checkpoint generation "
+            f"{restored.generation} ({restored.path})",
+            file=sys.stderr,
+        )
+    return restored
+
+
 def _restore_verifier(args: argparse.Namespace, path: str) -> RealConfig:
     """Restore a checkpoint, applying any pool-flag overrides."""
-    return RealConfig.restore(
-        path, workers=args.workers, parallel_backend=args.parallel_backend
-    )
+    return _restore_resolved(args, path).verifier
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -248,27 +285,39 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _serve_verifier(args: argparse.Namespace):
-    """The (verifier, resume_cursor) pair for a serve/watch run."""
-    from repro.serve import resume_cursor_from
-
+    """The (verifier, resume_cursor, resume_fallback) triple for a
+    serve/watch run.  Verifier and cursor come from one checkpoint
+    resolution — resolving twice could straddle a concurrent write and
+    pair generation N state with generation N-1's cursor."""
     policies = [LoopFree("loop-free"), BlackholeFree("blackhole-free")]
     if args.all_pairs:
         snapshot = load_snapshot(args.snapshot)
         policies.extend(_reachability_policies(snapshot))
     if args.resume_from is not None:
-        verifier = _restore_verifier(args, args.resume_from)
-        cursor = resume_cursor_from(args.resume_from)
+        restored = _restore_resolved(args, args.resume_from)
+        cursor = int((restored.extras.get("serve") or {}).get("cursor", 0))
+        fallback = None
+        if restored.fell_back:
+            fallback = {
+                "requested": str(restored.requested),
+                "used": str(restored.path),
+                "generation": restored.generation,
+                "skipped": [
+                    {"path": str(p), "error": str(e)}
+                    for p, e in restored.skipped
+                ],
+            }
         print(
-            f"resumed verifier from {args.resume_from} "
+            f"resumed verifier from {restored.path} "
             f"at stream cursor {cursor}"
         )
-        return verifier, cursor
+        return restored.verifier, cursor, fallback
     snapshot = load_snapshot(args.snapshot)
     verifier = RealConfig(
         snapshot, policies=policies, lint_mode=args.lint, **_pool_kwargs(args)
     )
     print(f"base snapshot verified: {verifier.initial.report.summary()}")
-    return verifier, 0
+    return verifier, 0, None
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -300,7 +349,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{args.command} needs SNAPSHOT and --stream"
             + (" (or --tenants DIR)" if args.command == "serve" else "")
         )
-    verifier, cursor = _serve_verifier(args)
+    verifier, cursor, resume_fallback = _serve_verifier(args)
     watching = args.command == "watch"
     options = ServeOptions(
         deadline_seconds=args.deadline,
@@ -312,6 +361,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         audit_every=args.audit_every,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_generations=args.checkpoint_generations,
         health_file=args.health_file,
         checkpoint_file=args.checkpoint,
         journal_file=args.journal,
@@ -330,6 +380,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         DeadLetterBox(args.dead_letter),
         options,
         resume_cursor=cursor,
+        resume_fallback=resume_fallback,
     )
     if daemon.obs_server is not None:
         print(
@@ -363,6 +414,7 @@ def _cmd_serve_tenants(args: argparse.Namespace) -> int:
             backoff_base=args.backoff_base,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
+            checkpoint_generations=args.checkpoint_generations,
         ),
         memory_budget_bytes=int(args.memory_budget * 1024 * 1024),
         tenant_queue_capacity=args.tenant_queue,
@@ -1051,6 +1103,22 @@ def cmd_tail(args: argparse.Namespace) -> int:
         raise CliError("tail needs a SERVER address or --journal FILE")
     if args.journal is not None and args.server is not None:
         raise CliError("pass either a SERVER address or --journal, not both")
+    if args.repair:
+        if args.journal is None:
+            raise CliError("--repair works on a --journal FILE, not a server")
+        from repro.obs import repair_journal
+
+        report = repair_journal(args.journal)
+        if report.action == "missing":
+            raise CliError(f"no journal file at {args.journal}")
+        if report.action == "none":
+            print(
+                f"{args.journal}: clean ({report.kept_bytes} bytes, "
+                f"last seq {report.last_seq})"
+            )
+        else:
+            print(f"{args.journal}: {report.action} — {report.detail}")
+        return 0
     since = args.since
 
     if args.journal is not None:
@@ -1095,6 +1163,72 @@ def cmd_tail(args: argparse.Namespace) -> int:
         raise CliError(
             f"cannot read introspection server at {base}: {error}"
         ) from error
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: the deterministic crash matrix.
+
+    Kills a subprocess running the serve workload at each named
+    durability boundary, restarts it, and asserts the recovery
+    invariants (byte-identical FIB fingerprint, gapless journal seqs,
+    every batch disposed exactly once).  Exits 0 when every cell
+    passes, 1 on any failure, 2 on workload errors.
+    """
+    from pathlib import Path
+
+    from repro.chaos.harness import matrix_cells, run_matrix
+    from repro.chaos.points import CRASH_POINTS
+
+    if args.list:
+        width = max(len(name) for name, _ in CRASH_POINTS)
+        for name, description in CRASH_POINTS:
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    points = None
+    if args.points:
+        points = [p.strip() for p in args.points.split(",") if p.strip()]
+    try:
+        cells = matrix_cells(points, smoke=not args.matrix)
+    except ValueError as error:
+        raise CliError(str(error)) from error
+    print(
+        f"crash matrix: {len(cells)} cell(s), "
+        f"{args.batches} batches, seed {args.seed}"
+    )
+    report = run_matrix(
+        root=Path(args.workdir) if args.workdir else None,
+        points=points,
+        smoke=not args.matrix,
+        batches=args.batches,
+        seed=args.seed,
+        timeout=args.timeout,
+        progress=print,
+    )
+    if args.report is not None:
+        import json as _json
+
+        atomic_write_text(
+            args.report,
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+        print(f"report written to {args.report}")
+    if report.error is not None:
+        print(f"error: {report.error}", file=sys.stderr)
+        return 2
+    failed = report.failed_cells
+    print(
+        f"crash matrix: {len(report.cells) - len(failed)}/"
+        f"{len(report.cells)} cells passed "
+        f"(baseline fingerprint {report.baseline_fingerprint[:12]})"
+    )
+    for cell in failed:
+        print(
+            f"  FAIL {cell.point} (hit {cell.hits}): "
+            + "; ".join(cell.failures),
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1238,6 +1372,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                        help="also checkpoint every N batches (default: 0 = "
                             "only on shutdown)")
+        p.add_argument("--checkpoint-generations", type=int, default=3,
+                       metavar="N",
+                       help="keep the last N checkpoint generations "
+                            "(FILE, FILE.1, ...); a corrupt newest "
+                            "generation falls back to the previous one "
+                            "that verifies (default: 3)")
         p.add_argument("--resume-from", default=None, metavar="FILE",
                        help="restore the verifier and stream cursor from a "
                             "serve checkpoint and continue the stream")
@@ -1367,7 +1507,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep polling for new events until interrupted")
     p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
                    help="poll interval with --follow (default: 1)")
+    p.add_argument("--repair", action="store_true",
+                   help="with --journal: repair a torn final line in "
+                        "place (a complete line that merely lost its "
+                        "newline is terminated; a torn fragment is "
+                        "truncated) and report what was done, instead "
+                        "of only tolerating the tear on read")
     p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "chaos",
+        help="crash-inject every durability boundary and prove recovery",
+        description="Run the deterministic crash matrix: for each named "
+        "crash point, kill a subprocess serving a fixed workload at that "
+        "exact storage instant, restart it, and assert recovery — FIB "
+        "fingerprint byte-identical to the fault-free run, no batch lost "
+        "or applied twice, journal seqs gapless. Default: the smoke set "
+        "(one point per boundary class); --matrix runs every point at "
+        "multiple hit depths. Exits 0 all-pass, 1 on failures, 2 on "
+        "workload errors.",
+    )
+    p.add_argument("--matrix", action="store_true",
+                   help="run the full matrix (every crash point at "
+                        "multiple hit depths) instead of the smoke set")
+    p.add_argument("--points", default=None, metavar="A,B,...",
+                   help="comma-separated crash points to run instead "
+                        "(see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered crash points and exit")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep per-cell scratch dirs (journals, rings, "
+                        "dead letters) under DIR for post-mortems "
+                        "(default: a fresh temp dir)")
+    p.add_argument("--batches", type=int, default=8, metavar="N",
+                   help="stream length of the workload (default: 8)")
+    p.add_argument("--seed", type=int, default=0, metavar="S",
+                   help="workload seed (default: 0)")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="SECONDS",
+                   help="per-subprocess timeout (default: 300)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="also write the full matrix report as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "emit-stream",

@@ -333,13 +333,10 @@ class RealConfig:
         with span(
             names.SPAN_MODEL_UPDATE, order=order, workers=executor.workers
         ) as sp:
-            round_one = executor.run_batch(
+            round_one, analyses = executor.run_rounds(
                 updates, order, abort_check=self.abort_check
             )
-            t1 = time.perf_counter()
-            analyses = executor.run_analyses(
-                round_one, abort_check=self.abort_check
-            )
+            t1 = t0 + round_one.elapsed_seconds
             t2 = time.perf_counter()
             batch = executor.commit_batch(updates, order, round_one)
             record_batch_metrics(self.model, batch)
@@ -488,14 +485,25 @@ class RealConfig:
 
     # -- checkpoint / restore ------------------------------------------------------
 
-    def checkpoint(self, path, extras: Optional[Dict[str, Any]] = None) -> None:
+    def checkpoint(
+        self,
+        path,
+        extras: Optional[Dict[str, Any]] = None,
+        keep: Optional[int] = None,
+    ) -> None:
         """Serialize the verifier's full state to ``path`` (see
         :mod:`repro.resilience.checkpoint` for the format).  ``extras`` is
         stored alongside the verifier state for the caller's own cursor
-        data (e.g. the serving daemon's stream position)."""
-        from repro.resilience.checkpoint import write_checkpoint
+        data (e.g. the serving daemon's stream position).  ``keep`` caps
+        the generation ring (default: the module's ring size)."""
+        from repro.resilience.checkpoint import DEFAULT_GENERATIONS, write_checkpoint
 
-        write_checkpoint(self, path, extras=extras)
+        write_checkpoint(
+            self,
+            path,
+            extras=extras,
+            keep=DEFAULT_GENERATIONS if keep is None else keep,
+        )
 
     @classmethod
     def restore(

@@ -28,9 +28,12 @@ from repro.obs.journal import (
     EVENT_AUDIT,
     EVENT_BREAKER,
     EVENT_CHECKPOINT,
+    EVENT_CHECKPOINT_FAILED,
+    EVENT_CHECKPOINT_FALLBACK,
     EVENT_COMMITTED,
     EVENT_DEADLINE,
     EVENT_FINDING,
+    EVENT_JOURNAL_DEGRADED,
     EVENT_LINT_REJECTED,
     EVENT_MALFORMED,
     EVENT_QUARANTINED,
@@ -45,11 +48,13 @@ from repro.obs.journal import (
     EVENT_TENANT_SHED,
     EVENT_TYPES,
     EventJournal,
+    RepairReport,
     TenantJournal,
     correlation_id,
     follow_events,
     last_sequence,
     read_events,
+    repair_journal,
 )
 from repro.obs.recorder import FlightRecorder, load_flight_dump, percentile
 from repro.obs.server import IntrospectionServer, ObsState
@@ -58,6 +63,9 @@ __all__ = [
     "EVENT_AUDIT",
     "EVENT_BREAKER",
     "EVENT_CHECKPOINT",
+    "EVENT_CHECKPOINT_FAILED",
+    "EVENT_CHECKPOINT_FALLBACK",
+    "EVENT_JOURNAL_DEGRADED",
     "EVENT_COMMITTED",
     "EVENT_DEADLINE",
     "EVENT_FINDING",
@@ -75,11 +83,13 @@ __all__ = [
     "EVENT_TENANT_SHED",
     "EVENT_TYPES",
     "EventJournal",
+    "RepairReport",
     "TenantJournal",
     "correlation_id",
     "follow_events",
     "last_sequence",
     "read_events",
+    "repair_journal",
     "FlightRecorder",
     "load_flight_dump",
     "percentile",

@@ -35,10 +35,14 @@ the introspection server run even when no journal file was configured.
 from __future__ import annotations
 
 import json
+import os
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
+from repro.chaos.points import crash_point
+from repro.resilience.faults import fault_point
 from repro.telemetry import get_metrics, names
 
 EVENT_START = "daemon-start"
@@ -55,6 +59,10 @@ EVENT_STAGE = "stage"
 EVENT_FINDING = "finding"
 EVENT_AUDIT = "audit"
 EVENT_CHECKPOINT = "checkpoint"
+# Storage-fault degradation (PR "durable storage hardening").
+EVENT_CHECKPOINT_FALLBACK = "checkpoint-fallback"
+EVENT_CHECKPOINT_FAILED = "checkpoint-failed"
+EVENT_JOURNAL_DEGRADED = "journal-degraded"
 # Multi-tenant service lifecycle (repro.tenants).
 EVENT_TENANT_HYDRATED = "tenant-hydrated"
 EVENT_TENANT_EVICTED = "tenant-evicted"
@@ -78,6 +86,9 @@ EVENT_TYPES = (
     EVENT_FINDING,
     EVENT_AUDIT,
     EVENT_CHECKPOINT,
+    EVENT_CHECKPOINT_FALLBACK,
+    EVENT_CHECKPOINT_FAILED,
+    EVENT_JOURNAL_DEGRADED,
     EVENT_TENANT_HYDRATED,
     EVENT_TENANT_EVICTED,
     EVENT_TENANT_SHED,
@@ -116,6 +127,11 @@ class EventJournal:
         self._handle = None
         self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
         self._seq = 0
+        #: True once a file write failed (ENOSPC, EIO, ...): the journal
+        #: keeps emitting to subscribers (the flight recorder) in memory
+        #: instead of crashing the daemon.
+        self.degraded = False
+        self.last_write_error: Optional[str] = None
         if self.path is not None:
             if self.path.parent and not self.path.parent.exists():
                 self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -169,16 +185,49 @@ class EventJournal:
         if tenant is not None:
             record["tenant"] = tenant
         record.update(fields)
+        degraded_now = False
         if self._handle is not None:
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-            self._handle.flush()
+            line = json.dumps(record, sort_keys=True) + "\n"
+            try:
+                fault_point("journal_write", record)
+                crash_point("journal.append", tear=lambda: self._tear(line))
+                self._handle.write(line)
+                self._handle.flush()
+            except OSError as error:
+                # Storage fault (disk full, dying device): degrade to the
+                # in-memory flight recorder instead of killing the daemon.
+                # Subscribers still see every event; only durability is
+                # lost, and the degradation itself becomes an event.
+                degraded_now = True
+                self.degraded = True
+                self.last_write_error = str(error)
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.gauge(names.JOURNAL_DEGRADED).set(1)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter(names.OBS_EVENTS, event=event).inc()
             metrics.gauge(names.OBS_JOURNAL_SEQ).set(self._seq)
         for callback in self._subscribers:
             callback(record)
+        if degraded_now:
+            # Safe recursion: the handle is gone, so this emit is
+            # memory-only and cannot degrade again.
+            self.emit(EVENT_JOURNAL_DEGRADED, error=self.last_write_error)
         return record
+
+    def _tear(self, line: str) -> None:
+        """Leave the half-written line a mid-append kill would leave —
+        the ``journal.append`` crash point's realistic partial state."""
+        if self._handle is None:
+            return
+        self._handle.write(line[: max(1, len(line) // 2)])
+        self._handle.flush()
 
     def events_since(self, since: int = 0) -> List[Dict[str, Any]]:
         """Durable events with ``seq > since`` (file-backed journals read
@@ -311,3 +360,85 @@ def last_sequence(path: Union[str, Path]) -> int:
         if isinstance(record.get("seq"), int):
             last = max(last, record["seq"])
     return last
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What :func:`repair_journal` did to a journal file."""
+
+    path: Path
+    #: ``none`` (already clean), ``terminated`` (final line was complete
+    #: JSON missing only its newline — newline appended), ``truncated``
+    #: (torn final fragment removed), or ``missing`` (no file).
+    action: str
+    kept_bytes: int = 0
+    removed_bytes: int = 0
+    last_seq: int = 0
+    detail: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.action in ("terminated", "truncated")
+
+
+def _parse_record(raw: bytes) -> Optional[Dict[str, Any]]:
+    try:
+        record = json.loads(raw)
+    except ValueError:
+        return None
+    if isinstance(record, dict) and isinstance(record.get("seq"), int):
+        return record
+    return None
+
+
+def repair_journal(path: Union[str, Path]) -> RepairReport:
+    """Repair a torn final journal line *in place* and report it.
+
+    Readers already tolerate a torn tail by skipping it; this makes the
+    damage explicit and removes it, so tools that process the raw file
+    (or humans) see a clean log.  Two cases:
+
+    - the final fragment is complete JSON that merely lost its newline
+      (killed between ``write`` and the terminator): its seq was already
+      *taken* by readers, so the line is kept and the newline appended —
+      truncating it would let the next writer reuse that seq;
+    - anything else after the last newline is a torn fragment: truncated.
+
+    Damage *before* later good lines is left alone — only the tail is
+    ever touched, and the file is never rewritten wholesale.
+    """
+    path = Path(path)
+    if not path.exists():
+        return RepairReport(path, "missing", detail="no journal file")
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return RepairReport(
+            path, "none", kept_bytes=len(data), last_seq=last_sequence(path)
+        )
+    cut = data.rfind(b"\n") + 1  # 0 when the file is a single fragment
+    fragment = data[cut:]
+    record = _parse_record(fragment)
+    if record is not None:
+        with path.open("ab") as handle:
+            handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return RepairReport(
+            path,
+            "terminated",
+            kept_bytes=len(data) + 1,
+            last_seq=record["seq"],
+            detail=f"final line seq={record['seq']} lacked its newline",
+        )
+    with path.open("r+b") as handle:
+        handle.truncate(cut)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return RepairReport(
+        path,
+        "truncated",
+        kept_bytes=cut,
+        removed_bytes=len(fragment),
+        last_seq=last_sequence(path),
+        detail=f"removed a {len(fragment)}-byte torn fragment",
+    )

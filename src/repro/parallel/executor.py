@@ -284,6 +284,55 @@ class ParallelExecutor:
             metrics.counter(names.PARALLEL_SHARD_MOVES).inc(len(merged))
         return result
 
+    # -- rounds one + two with worker-crash recovery -------------------------------
+
+    def run_rounds(
+        self,
+        updates: Sequence[RuleUpdate],
+        order: str,
+        abort_check: Optional[Callable[[], None]] = None,
+    ):
+        """Run both pre-commit rounds, surviving worker death.
+
+        A fork worker dying mid-round (OOM kill, SIGKILL, crash) surfaces
+        as :class:`PoolError` / ``OSError`` / ``EOFError`` from the pipe.
+        Because nothing has mutated the main model yet, the whole
+        round pair is safely re-runnable: tear the dead pool down,
+        respawn a fresh one (reseeded from the untouched main model), and
+        retry once; if the respawned pool dies too, degrade to the inline
+        backend and finish the batch in-process.  Only
+        :class:`PoolDriftError` is never retried — a checksum divergence
+        means the *results* cannot be trusted, not that a process died,
+        and retrying would just recompute the same divergence.
+
+        Returns ``(round_one, analyses)``.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                round_one = self.run_batch(updates, order, abort_check)
+                analyses = self.run_analyses(round_one, abort_check)
+                return round_one, analyses
+            except PoolDriftError:
+                raise
+            except (PoolError, OSError, EOFError):
+                # _gather tears down on failure, but send() can raise
+                # BrokenPipeError before any gather — make sure the dead
+                # pool is gone either way.
+                self._teardown()
+                metrics = get_metrics()
+                if attempt == 1 and self.backend == "fork":
+                    if metrics.enabled:
+                        metrics.counter(names.PARALLEL_RESPAWNS).inc()
+                    continue
+                if self.backend != "inline":
+                    self.backend = "inline"
+                    if metrics.enabled:
+                        metrics.counter(names.PARALLEL_INLINE_FALLBACKS).inc()
+                    continue
+                raise
+
     # -- round two: parallel policy re-check --------------------------------------
 
     def run_analyses(

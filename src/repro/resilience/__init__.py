@@ -32,8 +32,14 @@ __all__ = [
     "get_fault_plan",
     "inject",
     "set_fault_plan",
+    "CheckpointCorruptError",
     "CheckpointError",
+    "ResolvedCheckpoint",
+    "RestoredCheckpoint",
+    "checkpoint_payload_bytes",
     "read_checkpoint",
+    "resolve_checkpoint",
+    "restore_checkpoint",
     "write_checkpoint",
     "DriftReport",
     "PolicyDrift",
@@ -43,8 +49,14 @@ __all__ = [
 ]
 
 _LAZY = {
+    "CheckpointCorruptError": "repro.resilience.checkpoint",
     "CheckpointError": "repro.resilience.checkpoint",
+    "ResolvedCheckpoint": "repro.resilience.checkpoint",
+    "RestoredCheckpoint": "repro.resilience.checkpoint",
+    "checkpoint_payload_bytes": "repro.resilience.checkpoint",
     "read_checkpoint": "repro.resilience.checkpoint",
+    "resolve_checkpoint": "repro.resilience.checkpoint",
+    "restore_checkpoint": "repro.resilience.checkpoint",
     "write_checkpoint": "repro.resilience.checkpoint",
     "DriftReport": "repro.resilience.audit",
     "PolicyDrift": "repro.resilience.audit",

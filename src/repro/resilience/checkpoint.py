@@ -1,4 +1,4 @@
-"""Verifier checkpoints.
+"""Verifier checkpoints: checksummed envelope + generation ring.
 
 A checkpoint is a single pickle of plain data: the current snapshot, the
 construction options, and the captured state of every pipeline component
@@ -10,16 +10,40 @@ with name/count sanity checks (see :meth:`repro.ddlog.engine.Engine.restore_stat
 
 A restored verifier resumes incremental verification immediately: no
 control plane re-convergence, no policy re-check.
+
+On disk a checkpoint is a *checksummed envelope*::
+
+    repro-ckpt-envelope 2\\n
+    {"algo": "sha256", "digest": "<hex>", "payload_bytes": N}\\n
+    <N bytes of pickle payload>
+
+The digest is verified on every read; damaged bytes raise the typed
+:class:`CheckpointCorruptError` — never a raw unpickle of corrupt data.
+Files without the magic first line are pre-envelope checkpoints and are
+read as raw pickles for compatibility.
+
+``write_checkpoint`` additionally keeps a *generation ring*: before the
+new checkpoint is renamed into place, the previous one is preserved as
+``<path>.1`` (older generations shift to ``.2``, ``.3``, …, the oldest
+beyond ``keep`` is dropped), and an advisory ``<path>.manifest.json``
+lists each generation with its digest.  ``resolve_checkpoint`` falls back
+to the newest generation whose digest verifies, so a single corrupt file
+no longer kills ``--resume-from``, tenant rehydration, or replay —
+corruption costs one checkpoint interval of history, not the service.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.chaos.points import crash_point
 from repro.config.schema import ConfigError
 from repro.ddlog.convergence import ConvergenceMonitor
 from repro.resilience.faults import fault_point
@@ -34,24 +58,299 @@ VERSION = 1
 #: CLI's exit-2 contract) instead of mis-parsing them into a stack trace.
 EXTRAS_VERSION = 1
 
+#: First line of every checksummed checkpoint file.  The trailing integer
+#: is the on-disk envelope version; files whose first line lacks this
+#: prefix are pre-envelope raw pickles.
+MAGIC_PREFIX = b"repro-ckpt-envelope "
+ENVELOPE_VERSION = 2
+
+#: Generations kept by default: the live checkpoint plus two fallbacks.
+DEFAULT_GENERATIONS = 3
+#: Hard ceiling on the fallback scan, so a directory full of stale
+#: ``.N`` files from an older, larger ``keep`` cannot stall a resolve.
+MAX_GENERATION_SCAN = 32
+
+MANIFEST_SUFFIX = ".manifest.json"
+MANIFEST_FORMAT = "repro-checkpoint-manifest"
+
 
 class CheckpointError(ConfigError):
     """Raised for unreadable, corrupt, or incompatible checkpoint files."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The file's bytes are damaged: digest mismatch, truncated payload,
+    unparseable envelope or pickle.  This — and only this — is what the
+    generation ring may transparently fall back across; incompatibility
+    errors (future version, newer extras schema) always surface."""
+
+
+def generation_path(path: Union[str, Path], generation: int) -> Path:
+    """``generation`` 0 is the live checkpoint, 1 the previous, ..."""
+    path = Path(path)
+    if generation <= 0:
+        return path
+    return path.with_name(f"{path.name}.{generation}")
+
+
+def manifest_path(path: Union[str, Path]) -> Path:
+    path = Path(path)
+    return path.with_name(path.name + MANIFEST_SUFFIX)
+
+
+# -- envelope ----------------------------------------------------------------
+
+
+def _encode_envelope(payload: bytes) -> bytes:
+    header = json.dumps(
+        {
+            "algo": "sha256",
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        },
+        sort_keys=True,
+    ).encode("ascii")
+    magic = MAGIC_PREFIX + str(ENVELOPE_VERSION).encode("ascii")
+    return magic + b"\n" + header + b"\n" + payload
+
+
+def _split_envelope(data: bytes, path: Union[str, Path]) -> bytes:
+    """Verify an enveloped checkpoint and return its payload bytes.
+
+    The caller has already established ``data`` starts with MAGIC_PREFIX.
+    """
+    magic_end = data.find(b"\n")
+    if magic_end < 0:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: truncated envelope magic"
+        )
+    version_bytes = data[len(MAGIC_PREFIX) : magic_end]
+    try:
+        envelope_version = int(version_bytes)
+    except ValueError as error:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: unreadable envelope version "
+            f"{version_bytes!r}"
+        ) from error
+    if envelope_version != ENVELOPE_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} uses envelope version {envelope_version} "
+            f"(this build reads version {ENVELOPE_VERSION}); "
+            "upgrade repro to restore it"
+        )
+    header_end = data.find(b"\n", magic_end + 1)
+    if header_end < 0:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: truncated envelope header"
+        )
+    try:
+        header = json.loads(data[magic_end + 1 : header_end])
+    except ValueError as error:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: unreadable envelope header: {error}"
+        ) from error
+    if not isinstance(header, dict):
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: envelope header is not an object"
+        )
+    payload = data[header_end + 1 :]
+    expected_bytes = header.get("payload_bytes")
+    if (
+        not isinstance(expected_bytes, int)
+        or len(payload) != expected_bytes
+    ):
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: payload is {len(payload)} bytes, "
+            f"envelope says {expected_bytes!r}"
+        )
+    algo = header.get("algo")
+    if algo != "sha256":
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: unknown digest algorithm {algo!r}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("digest"):
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: content digest mismatch "
+            f"(file is damaged)"
+        )
+    return payload
+
+
+def checkpoint_payload_bytes(path: Union[str, Path]) -> bytes:
+    """The verified pickle payload of ``path`` (the raw bytes for a
+    pre-envelope checkpoint).  Digest failures raise
+    :class:`CheckpointCorruptError`."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    if data.startswith(MAGIC_PREFIX):
+        return _split_envelope(data, path)
+    return data
+
+
+def _peek_header(path: Path) -> Optional[Dict[str, Any]]:
+    """The envelope header of ``path``, or None if missing/legacy/torn.
+    Reads two lines — never the payload — so manifests stay cheap."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.readline(256)
+            if not magic.startswith(MAGIC_PREFIX):
+                return None
+            header_line = handle.readline(4096)
+    except OSError:
+        return None
+    try:
+        header = json.loads(header_line)
+    except ValueError:
+        return None
+    return header if isinstance(header, dict) else None
+
+
+# -- payload checks ----------------------------------------------------------
+
+
+def _parse_payload(data: bytes, path: Union[str, Path]) -> Dict[str, Any]:
+    try:
+        payload = pickle.loads(data)
+    except Exception as error:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: {error}"
+        ) from error
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise CheckpointError(f"{path} is not a {FORMAT} file")
+    if payload.get("version") != VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {payload.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    # Pre-versioning checkpoints carry no marker; they were written by
+    # an older (compatible) writer, so treat them as version 1.
+    extras_version = payload.get("extras_version", 1)
+    if not isinstance(extras_version, int) or extras_version > EXTRAS_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} extras envelope is version "
+            f"{extras_version!r} (this build reads <= {EXTRAS_VERSION}); "
+            "upgrade repro to restore it"
+        )
+    return payload
+
+
+def _load_payload(path: Union[str, Path]) -> Dict[str, Any]:
+    return _parse_payload(checkpoint_payload_bytes(path), path)
+
+
+# -- write path --------------------------------------------------------------
+
+
+def _rotate_generations(path: Path, keep: int) -> None:
+    """Shift ``path`` into the ``.1 .. .keep-1`` ring before it is
+    overwritten.  ``path`` itself stays valid at every instant — the
+    current checkpoint is *hardlinked* aside, never moved — so a crash
+    anywhere in the rotation still leaves a restorable newest generation.
+    The ring is best-effort: rotation I/O errors never fail the write."""
+    if keep <= 1 or not path.exists():
+        return
+    try:
+        os.unlink(generation_path(path, keep - 1))
+    except OSError:
+        pass
+    for i in range(keep - 2, 0, -1):
+        source = generation_path(path, i)
+        if not source.exists():
+            continue
+        try:
+            os.replace(source, generation_path(path, i + 1))
+        except OSError:
+            pass
+    aside = path.with_name(path.name + ".gen.tmp")
+    try:
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
+        try:
+            os.link(path, aside)
+        except OSError:
+            aside.write_bytes(path.read_bytes())
+        os.replace(aside, generation_path(path, 1))
+    except OSError:
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
+
+
+def _write_manifest(path: Path, keep: int) -> int:
+    """Advisory sidecar listing the ring's generations and digests, for
+    operators and the chaos harness; resolution never requires it.
+    Returns the number of generations present."""
+    entries = []
+    for i in range(max(keep, 1)):
+        candidate = generation_path(path, i)
+        try:
+            size = candidate.stat().st_size
+        except OSError:
+            if i == 0:
+                continue
+            break
+        header = _peek_header(candidate) or {}
+        entries.append(
+            {
+                "generation": i,
+                "file": candidate.name,
+                "bytes": size,
+                "algo": header.get("algo"),
+                "digest": header.get("digest"),
+                "payload_bytes": header.get("payload_bytes"),
+            }
+        )
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "version": 1,
+        "keep": keep,
+        "generations": entries,
+    }
+    target = manifest_path(path)
+    tmp_name = None
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=path.parent or "."
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, target)
+        tmp_name = None
+    except OSError:
+        pass
+    finally:
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+    return len(entries)
 
 
 def write_checkpoint(
     verifier,
     path: Union[str, Path],
     extras: Optional[Dict[str, Any]] = None,
+    keep: int = DEFAULT_GENERATIONS,
 ) -> None:
     """Serialize ``verifier`` (a :class:`~repro.core.realconfig.RealConfig`)
-    to ``path``.
+    to ``path``, keeping the last ``keep`` generations.
 
-    The write is crash-safe: the pickle lands in a temporary file in the
+    The write is crash-safe: the envelope lands in a temporary file in the
     same directory and is renamed over ``path`` with :func:`os.replace`, so
     a crash mid-write (power loss, OOM kill, injected fault) can never
     leave a truncated checkpoint — ``path`` either still holds the previous
-    checkpoint or already holds the complete new one.
+    checkpoint or already holds the complete new one.  The previous
+    checkpoint survives as ``<path>.1`` (and so on up to ``keep - 1``).
 
     ``extras`` is an optional dict of plain data stored alongside the
     verifier state (e.g. the serving daemon's stream cursor); readers that
@@ -76,19 +375,26 @@ def write_checkpoint(
         tmp_name = None
         try:
             data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            envelope = _encode_envelope(data)
             fd, tmp_name = tempfile.mkstemp(
                 prefix=path.name + ".", suffix=".tmp", dir=path.parent or "."
             )
             with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
+                handle.write(envelope)
                 handle.flush()
+                crash_point("checkpoint.tmp")
                 os.fsync(handle.fileno())
+            crash_point("checkpoint.fsync")
             # Fault hook between the temp write and the rename: a fault
             # firing here models a crash mid-checkpoint, and the atomicity
-            # test asserts the previous checkpoint survives it intact.
+            # test asserts the previous checkpoint survives it intact —
+            # including that no generation has rotated yet.
             fault_point("checkpoint_write", tmp_name)
+            _rotate_generations(path, keep)
+            crash_point("checkpoint.rotate")
             os.replace(tmp_name, path)
             tmp_name = None
+            crash_point("checkpoint.replace")
         except OSError as error:
             raise CheckpointError(
                 f"cannot write checkpoint {path}: {error}"
@@ -99,52 +405,116 @@ def write_checkpoint(
                     os.unlink(tmp_name)
                 except OSError:
                     pass
+        generations = _write_manifest(path, keep)
+        crash_point("checkpoint.manifest")
         sp.set("bytes", len(data))
+        sp.set("generations", generations)
     metrics = get_metrics()
     if metrics.enabled:
         metrics.gauge(names.CHECKPOINT_BYTES).set(len(data))
+        metrics.gauge(names.CHECKPOINT_GENERATIONS).set(generations)
 
 
-def _load_payload(path: Union[str, Path]) -> Dict[str, Any]:
-    try:
-        data = Path(path).read_bytes()
-    except OSError as error:
-        raise CheckpointError(
-            f"cannot read checkpoint {path}: {error}"
-        ) from error
-    try:
-        payload = pickle.loads(data)
-    except Exception as error:
-        raise CheckpointError(
-            f"corrupt checkpoint {path}: {error}"
-        ) from error
-    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
-        raise CheckpointError(f"{path} is not a {FORMAT} file")
-    if payload.get("version") != VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint version {payload.get('version')!r} "
-            f"(this build reads version {VERSION})"
+# -- read path ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResolvedCheckpoint:
+    """A parsed checkpoint payload plus where in the ring it came from."""
+
+    payload: Dict[str, Any]
+    path: Path
+    requested: Path
+    generation: int
+    #: (candidate path, error) for every newer generation skipped over —
+    #: empty when the live checkpoint itself verified.
+    skipped: Tuple[Tuple[Path, CheckpointError], ...] = ()
+
+    @property
+    def fell_back(self) -> bool:
+        return self.generation > 0
+
+
+@dataclass(frozen=True)
+class RestoredCheckpoint:
+    """A restored verifier plus its extras and ring provenance."""
+
+    verifier: Any
+    extras: Dict[str, Any]
+    path: Path
+    requested: Path
+    generation: int
+    skipped: Tuple[Tuple[Path, CheckpointError], ...] = ()
+
+    @property
+    def fell_back(self) -> bool:
+        return self.generation > 0
+
+
+def resolve_checkpoint(path: Union[str, Path]) -> ResolvedCheckpoint:
+    """Load the newest generation of ``path`` whose digest verifies.
+
+    Only *corruption* (damaged bytes) and a missing file are skipped
+    over; incompatibility — a future checkpoint version or newer extras
+    schema — raises immediately, because silently restoring older state
+    when the operator needs a software upgrade would mask the real
+    problem.  If no generation verifies, the primary (generation-0)
+    error is raised.
+    """
+    requested = Path(path)
+    skipped: list = []
+    for i in range(MAX_GENERATION_SCAN):
+        candidate = generation_path(requested, i)
+        if not candidate.exists():
+            if i == 0:
+                skipped.append(
+                    (
+                        candidate,
+                        CheckpointError(
+                            f"cannot read checkpoint {candidate}: "
+                            "no such file"
+                        ),
+                    )
+                )
+                continue
+            break
+        try:
+            payload = _load_payload(candidate)
+        except CheckpointCorruptError as error:
+            skipped.append((candidate, error))
+            continue
+        if skipped:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter(names.CHECKPOINT_FALLBACKS).inc()
+        return ResolvedCheckpoint(
+            payload=payload,
+            path=candidate,
+            requested=requested,
+            generation=i,
+            skipped=tuple(skipped),
         )
-    # Pre-versioning checkpoints carry no marker; they were written by
-    # an older (compatible) writer, so treat them as version 1.
-    extras_version = payload.get("extras_version", 1)
-    if not isinstance(extras_version, int) or extras_version > EXTRAS_VERSION:
-        raise CheckpointError(
-            f"checkpoint {path} extras envelope is version "
-            f"{extras_version!r} (this build reads <= {EXTRAS_VERSION}); "
-            "upgrade repro to restore it"
-        )
-    return payload
+    raise skipped[0][1] if skipped else CheckpointError(
+        f"cannot read checkpoint {requested}: no such file"
+    )
 
 
-def read_checkpoint(
-    path: Union[str, Path], monitor: Optional[ConvergenceMonitor] = None
+def _extract_extras(
+    payload: Dict[str, Any], path: Union[str, Path]
+) -> Dict[str, Any]:
+    extras = payload.get("extras") or {}
+    if not isinstance(extras, dict):
+        raise CheckpointError(f"corrupt checkpoint {path}: bad extras block")
+    return extras
+
+
+def _restore_verifier(
+    payload: Dict[str, Any],
+    path: Union[str, Path],
+    monitor: Optional[ConvergenceMonitor],
 ):
-    """Rebuild a :class:`~repro.core.realconfig.RealConfig` from a
-    checkpoint file."""
     from repro.core.realconfig import RealConfig
 
-    payload = _load_payload(path)
     try:
         return RealConfig._from_checkpoint(payload, monitor)
     except CheckpointError:
@@ -160,10 +530,35 @@ def read_checkpoint(
         ) from error
 
 
+def restore_checkpoint(
+    path: Union[str, Path], monitor: Optional[ConvergenceMonitor] = None
+) -> RestoredCheckpoint:
+    """Resolve the newest verifiable generation of ``path`` and restore
+    the verifier *and* extras from that single resolution — callers that
+    need both never see two different generations."""
+    resolved = resolve_checkpoint(path)
+    verifier = _restore_verifier(resolved.payload, resolved.path, monitor)
+    extras = _extract_extras(resolved.payload, resolved.path)
+    return RestoredCheckpoint(
+        verifier=verifier,
+        extras=extras,
+        path=resolved.path,
+        requested=resolved.requested,
+        generation=resolved.generation,
+        skipped=resolved.skipped,
+    )
+
+
+def read_checkpoint(
+    path: Union[str, Path], monitor: Optional[ConvergenceMonitor] = None
+):
+    """Rebuild a :class:`~repro.core.realconfig.RealConfig` from a
+    checkpoint file (falling back across the generation ring)."""
+    return restore_checkpoint(path, monitor).verifier
+
+
 def read_checkpoint_extras(path: Union[str, Path]) -> Dict[str, Any]:
     """Return the ``extras`` dict stored in a checkpoint (empty for
     checkpoints written without one) without restoring the verifier."""
-    extras = _load_payload(path).get("extras") or {}
-    if not isinstance(extras, dict):
-        raise CheckpointError(f"corrupt checkpoint {path}: bad extras block")
-    return extras
+    resolved = resolve_checkpoint(path)
+    return _extract_extras(resolved.payload, resolved.path)

@@ -14,13 +14,15 @@ of the pipeline can import it without cycles.
 
 from __future__ import annotations
 
+import errno as _errno
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Actions a fault spec may take when it fires.
-ACTIONS = ("raise", "corrupt", "delay")
+ACTIONS = ("raise", "corrupt", "delay", "errno")
 
 
 class FaultInjected(RuntimeError):
@@ -34,7 +36,11 @@ class FaultSpec:
     - ``action="raise"`` raises ``exception`` (default :class:`FaultInjected`);
     - ``action="corrupt"`` calls ``mutate(payload)`` to damage the stage's
       in-flight payload, then lets the stage proceed;
-    - ``action="delay"`` sleeps ``delay_seconds`` then proceeds.
+    - ``action="delay"`` sleeps ``delay_seconds`` then proceeds;
+    - ``action="errno"`` raises ``OSError(err, strerror)`` — a *storage*
+      fault (``err`` defaults to ENOSPC) exactly as the OS would surface
+      a full disk or failing device, so the degradation paths that catch
+      ``OSError`` are exercised rather than the generic fault exception.
 
     ``repeat`` widens the spec to a run of consecutive calls: it fires on
     calls ``call .. call + repeat - 1`` (``repeat=0`` means every call from
@@ -50,6 +56,7 @@ class FaultSpec:
     delay_seconds: float = 0.0
     exception: Optional[BaseException] = None
     repeat: int = 1
+    err: int = 0
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -58,6 +65,8 @@ class FaultSpec:
             )
         if self.action == "corrupt" and self.mutate is None:
             raise ValueError("a 'corrupt' fault needs a mutate callable")
+        if self.action == "errno" and self.err == 0:
+            self.err = _errno.ENOSPC
         if self.call < 1:
             raise ValueError("call numbers are 1-based")
         if self.repeat < 0:
@@ -95,6 +104,8 @@ class FaultPlan:
             elif spec.action == "corrupt":
                 assert spec.mutate is not None
                 spec.mutate(payload)
+            elif spec.action == "errno":
+                raise OSError(spec.err, os.strerror(spec.err))
             else:
                 raise spec.exception or FaultInjected(
                     f"injected fault at stage {stage!r} (call {count})"

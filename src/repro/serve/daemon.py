@@ -43,10 +43,13 @@ from collections import deque
 from pathlib import Path
 from typing import Callable, Deque, Iterable, Iterator, List, Optional, Union
 
+from repro.chaos.points import crash_point
 from repro.core.realconfig import RealConfig
 from repro.obs import (
     EVENT_AUDIT,
     EVENT_CHECKPOINT,
+    EVENT_CHECKPOINT_FAILED,
+    EVENT_CHECKPOINT_FALLBACK,
     EVENT_START,
     EVENT_STOP,
     EventJournal,
@@ -54,7 +57,11 @@ from repro.obs import (
     IntrospectionServer,
     ObsState,
 )
-from repro.resilience.checkpoint import read_checkpoint_extras, write_checkpoint
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    read_checkpoint_extras,
+    write_checkpoint,
+)
 from repro.serve.breaker import OPEN, CircuitBreaker
 from repro.serve.deadletter import DeadLetterBox
 from repro.serve.engine import BatchEngine, ServeOptions, ServeStats
@@ -91,6 +98,7 @@ class ServeDaemon:
         on_batch_done: Optional[
             Callable[["ServeDaemon", ChangeBatch, bool], None]
         ] = None,
+        resume_fallback: Optional[dict] = None,
     ) -> None:
         self.options = options or ServeOptions()
         self._source: Iterator[Optional[ChangeBatch]] = iter(source)
@@ -106,6 +114,9 @@ class ServeDaemon:
         #: the resume cursor persisted in checkpoint extras.
         self.cursor = resume_cursor
         self._to_skip = resume_cursor
+        #: Set when the resume checkpoint was served by an older ring
+        #: generation (the newest was corrupt) — journaled after start.
+        self._resume_fallback = resume_fallback
         self._batches_since_audit = 0
         self._batches_since_checkpoint = 0
         self._status = "starting"
@@ -234,6 +245,10 @@ class ServeDaemon:
         self.journal.emit(
             EVENT_START, cursor=self.cursor, pid=os.getpid()
         )
+        if self._resume_fallback is not None:
+            self.journal.emit(
+                EVENT_CHECKPOINT_FALLBACK, **self._resume_fallback
+            )
         self._write_health("serving")
         self._set_gauge(names.SERVE_HEALTHY, 1)
         try:
@@ -250,6 +265,7 @@ class ServeDaemon:
                 batch = self._queue.popleft()
                 ok = self._process_batch(batch)
                 self.cursor += 1
+                crash_point("cursor.commit")
                 self._after_batch(batch, ok)
         finally:
             self._finalize(handle_signals)
@@ -311,19 +327,33 @@ class ServeDaemon:
             self.stats.audit_rebuilds += 1
         self.journal.emit(EVENT_AUDIT, ok=report.ok, cursor=self.cursor)
 
-    def write_checkpoint(self) -> None:
+    def write_checkpoint(self) -> bool:
+        """Checkpoint the verifier + cursor; a storage fault (disk full,
+        dying device) degrades — counted, journaled, kept serving —
+        instead of killing the daemon: the stream keeps draining and the
+        next cadence retries the write."""
         assert self.options.checkpoint_file is not None
-        write_checkpoint(
-            self.verifier,
-            self.options.checkpoint_file,
-            extras={
-                "serve": {
-                    "cursor": self.cursor,
-                    "quarantined_ids": list(self.stats.quarantined_ids),
-                }
-            },
-        )
+        try:
+            write_checkpoint(
+                self.verifier,
+                self.options.checkpoint_file,
+                extras={
+                    "serve": {
+                        "cursor": self.cursor,
+                        "quarantined_ids": list(self.stats.quarantined_ids),
+                    }
+                },
+                keep=self.options.checkpoint_generations,
+            )
+        except CheckpointError as error:
+            self.stats.checkpoint_failures += 1
+            self._count(names.CHECKPOINT_WRITE_FAILURES)
+            self.journal.emit(
+                EVENT_CHECKPOINT_FAILED, cursor=self.cursor, error=str(error)
+            )
+            return False
         self.journal.emit(EVENT_CHECKPOINT, cursor=self.cursor)
+        return True
 
     # -- the introspection surface ---------------------------------------------
 
@@ -353,6 +383,8 @@ class ServeDaemon:
             "new_violations": self.stats.new_violations,
             "lint_rejected": self.stats.lint_rejected,
             "lint_new_errors": self.stats.lint_new_errors,
+            "checkpoint_failures": self.stats.checkpoint_failures,
+            "journal_degraded": self.journal.degraded,
         }
         if last_batch is not None:
             self._last_batch = last_batch
@@ -378,8 +410,10 @@ class ServeDaemon:
 
     def _events_since(self, since: int) -> list:
         """``GET /events``: durable journal replay when a file is
-        configured, the flight recorder's in-memory ring otherwise."""
-        if self.journal.path is not None:
+        configured, the flight recorder's in-memory ring otherwise —
+        including after the journal degraded on a write error (the file
+        is frozen mid-stream; the ring has everything since)."""
+        if self.journal.path is not None and not self.journal.degraded:
             return self.journal.events_since(since)
         return self.recorder.events(since)
 

@@ -27,6 +27,7 @@ import traceback
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro.chaos.points import crash_point
 from repro.serve.stream import ChangeBatch, decode_batch
 from repro.telemetry import span
 from repro.telemetry import names as telemetry_names
@@ -67,6 +68,10 @@ class DeadLetterBox:
                     )
                 )
             )
+            # Crash boundary: the payload is durable but meta.json is
+            # not — recovery must treat a metaless entry as still
+            # quarantined (batch_ids() keys off batch.json alone).
+            crash_point("deadletter.dump")
             (entry / "meta.json").write_text(
                 json.dumps(
                     {

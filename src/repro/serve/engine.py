@@ -67,6 +67,9 @@ class ServeOptions:
     poll_interval: float = 0.5  # sleep when a watch source is idle
     audit_every: int = 0  # watchdog self-check cadence (batches)
     checkpoint_every: int = 0  # periodic checkpoint cadence (batches)
+    #: Checkpoint generations kept on disk (the live file plus ``N - 1``
+    #: numbered fallbacks a corrupt newest generation falls back to).
+    checkpoint_generations: int = 3
     health_file: Optional[Union[str, Path]] = None
     checkpoint_file: Optional[Union[str, Path]] = None
     #: JSONL event-journal file (None = in-memory seqs only, events are
@@ -80,6 +83,8 @@ class ServeOptions:
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if self.checkpoint_generations < 1:
+            raise ValueError("checkpoint_generations must be >= 1")
 
 
 @dataclass
@@ -100,6 +105,7 @@ class ServeStats:
     lint_new_errors: int = 0
     max_queue_depth: int = 0
     skipped_on_resume: int = 0
+    checkpoint_failures: int = 0
     stopped_early: bool = False
     quarantined_ids: List[str] = field(default_factory=list)
 
@@ -127,6 +133,8 @@ class ServeStats:
             parts.append(f"{self.lint_new_errors} new lint errors")
         if self.skipped_on_resume:
             parts.append(f"resumed past {self.skipped_on_resume}")
+        if self.checkpoint_failures:
+            parts.append(f"{self.checkpoint_failures} checkpoint failures")
         if self.stopped_early:
             parts.append("stopped early")
         return ", ".join(parts)

@@ -17,6 +17,8 @@ import tempfile
 from pathlib import Path
 from typing import Union
 
+from repro.chaos.points import crash_point
+
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
     """Write ``text`` to ``path`` atomically (tmp + fsync + rename)."""
@@ -32,6 +34,7 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
+        crash_point("telemetry.export")
         os.replace(tmp_name, path)
         tmp_name = None
     finally:

@@ -135,6 +135,10 @@ REBUILDS = "repro_rebuilds_total"
 AUDITS = "repro_audits_total"
 AUDIT_DRIFT = "repro_audit_drift_total"
 CHECKPOINT_BYTES = "repro_checkpoint_bytes"  # gauge
+CHECKPOINT_GENERATIONS = "repro_checkpoint_generations"  # gauge
+CHECKPOINT_FALLBACKS = "repro_checkpoint_fallbacks_total"
+CHECKPOINT_WRITE_FAILURES = "repro_checkpoint_write_failures_total"
+JOURNAL_DEGRADED = "repro_journal_degraded"  # gauge: 1 degraded, 0 ok
 
 # -- parallel execution ------------------------------------------------------
 PARALLEL_WORKERS = "repro_parallel_workers"  # gauge
@@ -142,6 +146,8 @@ PARALLEL_POOL_UP = "repro_parallel_pool_up"  # gauge: 1 pool live, 0 down
 PARALLEL_EPOCHS = "repro_parallel_epochs_total"
 PARALLEL_RESEEDS = "repro_parallel_reseeds_total"
 PARALLEL_TEARDOWNS = "repro_parallel_teardowns_total"
+PARALLEL_RESPAWNS = "repro_parallel_respawns_total"
+PARALLEL_INLINE_FALLBACKS = "repro_parallel_inline_fallbacks_total"
 PARALLEL_SHARD_MOVES = "repro_parallel_shard_moves_total"
 PARALLEL_REMOTE_ANALYSES = "repro_parallel_remote_analyses_total"
 
@@ -208,11 +214,17 @@ HELP = {
     AUDITS: "Drift audits run against a from-scratch recomputation",
     AUDIT_DRIFT: "Drift audits that found a divergence",
     CHECKPOINT_BYTES: "Size of the last checkpoint written, in bytes",
+    CHECKPOINT_GENERATIONS: "Checkpoint generations on disk after the last write",
+    CHECKPOINT_FALLBACKS: "Checkpoint reads served by an older generation",
+    CHECKPOINT_WRITE_FAILURES: "Checkpoint writes that failed (service kept running)",
+    JOURNAL_DEGRADED: "Journal degradation (1 in-memory only after a write error)",
     PARALLEL_WORKERS: "Configured worker processes for the parallel hot path",
     PARALLEL_POOL_UP: "Worker-pool liveness (1 spawned and seeded, 0 down)",
     PARALLEL_EPOCHS: "Epoch-stamped batch rounds broadcast to the pool",
     PARALLEL_RESEEDS: "Full replica reseeds (pool start, drift, or invalidation)",
     PARALLEL_TEARDOWNS: "Worker-pool teardowns (failure, abort, or drift)",
+    PARALLEL_RESPAWNS: "Worker pools respawned after a worker died mid-round",
+    PARALLEL_INLINE_FALLBACKS: "Batches degraded to the inline backend after pool loss",
     PARALLEL_SHARD_MOVES: "Net EC moves computed by pool workers",
     PARALLEL_REMOTE_ANALYSES: "Per-EC path analyses computed by pool workers",
     OBS_EVENTS: "Structured journal events emitted (label: event)",

@@ -37,6 +37,8 @@ from repro.config.io import load_snapshot
 from repro.config.schema import ConfigError
 from repro.core.realconfig import RealConfig
 from repro.obs import (
+    EVENT_CHECKPOINT_FAILED,
+    EVENT_CHECKPOINT_FALLBACK,
     EVENT_TENANT_EVICTED,
     EVENT_TENANT_HYDRATED,
     EventJournal,
@@ -45,8 +47,8 @@ from repro.obs import (
 )
 from repro.resilience.checkpoint import (
     CheckpointError,
-    read_checkpoint,
     read_checkpoint_extras,
+    restore_checkpoint,
     write_checkpoint,
 )
 from repro.serve.breaker import CircuitBreaker
@@ -183,6 +185,10 @@ class TenantState:
         self.evictions = 0
         self.shed = 0
         self.failed = False
+        #: The last evict/periodic checkpoint write failed (storage
+        #: fault): the tenant keeps serving from memory but its durable
+        #: lineage is stale — reported as degraded until a write lands.
+        self.checkpoint_failed = False
         self.last_error: Optional[str] = None
         if config.checkpoint_file.exists():
             try:
@@ -209,7 +215,7 @@ class TenantState:
         mode, or poison already quarantined from this tenant's stream."""
         from repro.serve.breaker import OPEN
 
-        if self.failed:
+        if self.failed or self.checkpoint_failed:
             return True
         if self.breaker is not None and self.breaker.state == OPEN:
             return True
@@ -225,6 +231,7 @@ class TenantState:
                 else ("hydrated" if self.hydrated else "evicted")
             ),
             "degraded": self.degraded,
+            "checkpoint_failed": self.checkpoint_failed,
             "cursor": self.cursor,
             "footprint_bytes": self.footprint,
             "hydrations": self.hydrations,
@@ -365,12 +372,26 @@ class TenantRegistry:
         ):
             self.restores_performed += 1
             if source == "checkpoint":
-                verifier = read_checkpoint(config.checkpoint_file)
-                extras = read_checkpoint_extras(config.checkpoint_file)
-                serve_extras = extras.get("serve") or {}
+                # One resolution serves both the verifier and the cursor:
+                # resolving twice could straddle a concurrent write and
+                # pair generation N's state with generation N-1's cursor.
+                restored = restore_checkpoint(config.checkpoint_file)
+                verifier = restored.verifier
+                serve_extras = restored.extras.get("serve") or {}
                 state.cursor = max(
                     state.cursor, int(serve_extras.get("cursor", 0))
                 )
+                if restored.fell_back:
+                    self.journal.emit(
+                        EVENT_CHECKPOINT_FALLBACK,
+                        tenant=state.tenant_id,
+                        requested=str(restored.requested),
+                        used=str(restored.path),
+                        generation=restored.generation,
+                        skipped=[
+                            str(path) for path, _ in restored.skipped
+                        ],
+                    )
             else:
                 verifier = RealConfig(load_snapshot(config.snapshot_dir))
             engine = BatchEngine(
@@ -417,7 +438,17 @@ class TenantRegistry:
         with span(
             names.SPAN_TENANT_EVICT, tenant=tenant_id, reason=reason
         ):
-            self.checkpoint_tenant(state, engine)
+            if not self.checkpoint_tenant(state, engine):
+                # The checkpoint did not land (disk full, I/O error):
+                # releasing the engine now would throw away the only
+                # copy of the tenant's state.  Reinstall it and keep
+                # serving from memory — degraded, but nothing lost.
+                with self._flight_lock:
+                    state.engine = engine
+                    self._lru[tenant_id] = None
+                    self._lru.move_to_end(tenant_id)
+                self._publish_gauges()
+                return False
             engine.close()
         state.evictions += 1
         state.footprint = 0
@@ -433,28 +464,48 @@ class TenantRegistry:
 
     def checkpoint_tenant(
         self, state: TenantState, engine: Optional[BatchEngine] = None
-    ) -> None:
+    ) -> bool:
         """Durable per-tenant lineage: verifier state + stream cursor +
-        quarantine ledger + breaker snapshot, crash-safely."""
+        quarantine ledger + breaker snapshot, crash-safely.  A storage
+        fault marks the tenant degraded (``checkpoint_failed``) and
+        returns False instead of crashing the service — the tenant keeps
+        serving and the next checkpoint attempt may land."""
         engine = engine if engine is not None else state.engine
         if engine is None:
-            return
-        write_checkpoint(
-            engine.verifier,
-            state.config.checkpoint_file,
-            extras={
-                "serve": {
-                    "cursor": state.cursor,
-                    "quarantined_ids": list(state.stats.quarantined_ids),
+            return False
+        try:
+            write_checkpoint(
+                engine.verifier,
+                state.config.checkpoint_file,
+                extras={
+                    "serve": {
+                        "cursor": state.cursor,
+                        "quarantined_ids": list(state.stats.quarantined_ids),
+                    },
+                    "tenant": {
+                        "id": state.tenant_id,
+                        "breaker": (
+                            state.breaker.snapshot() if state.breaker else None
+                        ),
+                    },
                 },
-                "tenant": {
-                    "id": state.tenant_id,
-                    "breaker": (
-                        state.breaker.snapshot() if state.breaker else None
-                    ),
-                },
-            },
-        )
+                keep=self.options.checkpoint_generations,
+            )
+        except CheckpointError as error:
+            state.checkpoint_failed = True
+            state.stats.checkpoint_failures += 1
+            state.last_error = str(error)
+            self._count(names.CHECKPOINT_WRITE_FAILURES)
+            self.journal.emit(
+                EVENT_CHECKPOINT_FAILED,
+                tenant=state.tenant_id,
+                cursor=state.cursor,
+                error=str(error),
+            )
+            self._publish_gauges()
+            return False
+        state.checkpoint_failed = False
+        return True
 
     def enforce_budget(self, keep: Optional[str] = None) -> int:
         """Evict least-recently-served tenants until the hydrated
@@ -465,14 +516,20 @@ class TenantRegistry:
         if self.memory_budget_bytes <= 0:
             return 0
         evicted = 0
+        tried: set = set()
         while self.total_footprint() > self.memory_budget_bytes:
             victim = next(
-                (tid for tid in self._lru if tid != keep), None
+                (tid for tid in self._lru if tid != keep and tid not in tried),
+                None,
             )
             if victim is None:
                 break
-            self.evict(victim, reason="budget")
-            evicted += 1
+            tried.add(victim)
+            # A failed eviction (checkpoint write fault) leaves the
+            # tenant resident; the ``tried`` guard keeps one stuck
+            # victim from spinning this loop forever over budget.
+            if self.evict(victim, reason="budget"):
+                evicted += 1
         return evicted
 
     def evict_all(self, reason: str = "shutdown") -> int:

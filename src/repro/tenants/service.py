@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
+from repro.chaos.points import crash_point
 from repro.obs import (
     EVENT_CHECKPOINT,
     EVENT_START,
@@ -329,6 +330,7 @@ class TenantService:
             self._fail_tenant(tenant_id, "process", error, batch=batch)
             return
         state.cursor += 1
+        crash_point("cursor.commit")
         self._since_checkpoint[tenant_id] += 1
         if (
             self.options.checkpoint_every > 0
@@ -336,10 +338,13 @@ class TenantService:
             >= self.options.checkpoint_every
         ):
             self._since_checkpoint[tenant_id] = 0
-            self.registry.checkpoint_tenant(state)
-            self.journal.emit(
-                EVENT_CHECKPOINT, tenant=tenant_id, cursor=state.cursor
-            )
+            # checkpoint_tenant already journals the failure case and
+            # marks the tenant degraded; only a landed write earns the
+            # checkpoint event.
+            if self.registry.checkpoint_tenant(state):
+                self.journal.emit(
+                    EVENT_CHECKPOINT, tenant=tenant_id, cursor=state.cursor
+                )
         self._write_health("serving", last_tenant=tenant_id)
 
     def _fail_tenant(

@@ -1,0 +1,125 @@
+"""The crash-matrix harness: journal invariant checks against synthetic
+journals, and one real kill-and-recover cell end to end."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.harness import run_matrix, verify_journal
+
+
+def journal_file(tmp_path: Path, records) -> Path:
+    path = tmp_path / "journal.jsonl"
+    lines = []
+    for seq, record in enumerate(records, start=1):
+        full = {"seq": seq, "ts": 0.0, "cid": record.get("batch", "-")}
+        full.update(record)
+        lines.append(json.dumps(full))
+    path.write_text("".join(line + "\n" for line in lines))
+    return path
+
+
+def start(cursor):
+    return {"event": "daemon-start", "cursor": cursor}
+
+
+def committed(index):
+    return {"event": "committed", "batch": f"{index:06d}"}
+
+
+class TestVerifyJournal:
+    def test_clean_single_run_passes(self, tmp_path):
+        path = journal_file(
+            tmp_path, [start(0)] + [committed(i) for i in range(4)]
+        )
+        assert verify_journal(path, 4) == []
+
+    def test_crash_and_resume_passes(self, tmp_path):
+        path = journal_file(
+            tmp_path,
+            [start(0), committed(0), committed(1),
+             start(2), committed(2), committed(3)],
+        )
+        assert verify_journal(path, 4) == []
+
+    def test_quarantine_and_rebuild_count_as_disposals(self, tmp_path):
+        path = journal_file(
+            tmp_path,
+            [start(0),
+             committed(0),
+             {"event": "malformed", "batch": "000001"},
+             {"event": "quarantined", "batch": "000001"},
+             {"event": "rebuild", "batch": "000002"}],
+        )
+        assert verify_journal(path, 3) == []
+
+    def test_empty_journal_fails(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        failures = verify_journal(path, 2)
+        assert failures and "no durable events" in failures[0]
+
+    def test_seq_gap_is_detected(self, tmp_path):
+        path = journal_file(
+            tmp_path, [start(0), committed(0), committed(1)]
+        )
+        # Remove the middle line: seq 2 now missing.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        failures = verify_journal(path, 2)
+        assert any("not gapless" in failure for failure in failures)
+
+    def test_duplicate_disposal_is_detected(self, tmp_path):
+        path = journal_file(
+            tmp_path, [start(0), committed(0), committed(0)]
+        )
+        failures = verify_journal(path, 2)
+        assert any("contiguous" in failure for failure in failures)
+
+    def test_skipped_batch_is_detected(self, tmp_path):
+        path = journal_file(
+            tmp_path, [start(0), committed(0), committed(2)]
+        )
+        failures = verify_journal(path, 3)
+        assert any("contiguous" in failure for failure in failures)
+
+    def test_resume_losing_a_batch_is_detected(self, tmp_path):
+        # Crash after batch 0; the resumed run starts at cursor 2 —
+        # batch 1 was never disposed of by anyone.
+        path = journal_file(
+            tmp_path,
+            [start(0), committed(0), start(2), committed(2)],
+        )
+        failures = verify_journal(path, 3)
+        assert any("cover stream indices" in failure for failure in failures)
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        path = journal_file(
+            tmp_path, [start(0), committed(0), committed(1)]
+        )
+        with path.open("a") as handle:
+            handle.write('{"seq": 4, "event": "comm')  # torn, no newline
+        assert verify_journal(path, 2) == []
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_single_cell_kill_and_recover(self, tmp_path):
+        report = run_matrix(
+            root=tmp_path, points=["cursor.commit"], smoke=True, batches=4
+        )
+        assert report.error is None
+        assert len(report.cells) == 1
+        cell = report.cells[0]
+        assert cell.ok, cell.failures
+        assert cell.crash_exit == 137
+        assert cell.recover_exit == 0
+        assert cell.fingerprint == report.baseline_fingerprint
+        assert cell.cursor == 4
+        # The evidence stays on disk for post-mortems.
+        workdir = Path(cell.workdir)
+        assert (workdir / "journal.jsonl").exists()
+        assert (workdir / "result.json").exists()

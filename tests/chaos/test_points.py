@@ -1,0 +1,102 @@
+"""Unit tests for the crash-point registry and its arming semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.points import (
+    CRASH_POINTS,
+    CrashPointHit,
+    _parse_env,
+    arm,
+    crash_point,
+    disarm,
+    point_names,
+)
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    """No test leaks an armed point into the next."""
+    disarm()
+    yield
+    disarm()
+
+
+class TestRegistry:
+    def test_names_are_unique(self):
+        names = point_names()
+        assert len(names) == len(set(names))
+
+    def test_names_follow_subsystem_dot_instant(self):
+        for name in point_names():
+            subsystem, _, instant = name.partition(".")
+            assert subsystem and instant, name
+            assert name == name.lower()
+
+    def test_every_point_has_a_description(self):
+        for name, description in CRASH_POINTS:
+            assert description.strip(), name
+
+
+class TestArming:
+    def test_unarmed_is_a_no_op(self):
+        crash_point("checkpoint.replace")  # must not raise
+
+    def test_arming_an_unknown_point_is_refused(self):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            arm("no.such.point")
+
+    def test_arming_an_unknown_mode_is_refused(self):
+        with pytest.raises(ValueError, match="unknown crash mode"):
+            arm("checkpoint.replace", mode="explode")
+
+    def test_raise_mode_fires_and_disarms(self):
+        arm("cursor.commit", mode="raise")
+        with pytest.raises(CrashPointHit, match="cursor.commit"):
+            crash_point("cursor.commit")
+        # One shot: the same point is a no-op afterwards.
+        crash_point("cursor.commit")
+
+    def test_other_points_do_not_fire(self):
+        arm("cursor.commit", mode="raise")
+        crash_point("journal.append")  # different point: no-op
+        with pytest.raises(CrashPointHit):
+            crash_point("cursor.commit")
+
+    def test_hits_counts_executions(self):
+        arm("journal.append", hits=3, mode="raise")
+        crash_point("journal.append")
+        crash_point("journal.append")
+        with pytest.raises(CrashPointHit):
+            crash_point("journal.append")
+
+    def test_tear_runs_before_the_hit(self):
+        torn = []
+        arm("journal.append", mode="raise")
+        with pytest.raises(CrashPointHit):
+            crash_point("journal.append", tear=lambda: torn.append(True))
+        assert torn == [True]
+
+    def test_tear_does_not_run_before_the_final_hit(self):
+        torn = []
+        arm("journal.append", hits=2, mode="raise")
+        crash_point("journal.append", tear=lambda: torn.append(True))
+        assert torn == []
+        with pytest.raises(CrashPointHit):
+            crash_point("journal.append", tear=lambda: torn.append(True))
+        assert torn == [True]
+
+
+class TestEnvParsing:
+    def test_bare_name(self):
+        assert _parse_env("checkpoint.replace") == ("checkpoint.replace", 1)
+
+    def test_name_with_hits(self):
+        assert _parse_env("journal.append:4") == ("journal.append", 4)
+
+    def test_garbage_hits_default_to_one(self):
+        assert _parse_env("journal.append:soon") == ("journal.append", 1)
+
+    def test_hits_are_at_least_one(self):
+        assert _parse_env("journal.append:0") == ("journal.append", 1)

@@ -1,0 +1,93 @@
+"""The crash-point registry is the single source of truth: every name
+must have an instrumentation call site, a DESIGN.md table row, and a
+place in the matrix."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.chaos.harness import SMOKE_POINTS, matrix_cells
+from repro.chaos.points import CRASH_POINTS, point_names
+
+SRC = Path(repro.__file__).resolve().parent
+REPO = SRC.parents[1]
+
+CALL_RE = re.compile(r"crash_point\(\s*\"([a-z.]+)\"")
+
+
+def _call_sites():
+    sites = {}
+    for path in SRC.rglob("*.py"):
+        if "chaos" in path.parts:
+            continue  # the registry and harness themselves don't count
+        for name in CALL_RE.findall(path.read_text()):
+            sites.setdefault(name, []).append(path.relative_to(REPO))
+    return sites
+
+
+class TestCallSites:
+    def test_every_point_is_instrumented_somewhere(self):
+        sites = _call_sites()
+        missing = [name for name in point_names() if name not in sites]
+        assert not missing, f"crash points with no call site: {missing}"
+
+    def test_every_call_site_names_a_registered_point(self):
+        unknown = set(_call_sites()) - set(point_names())
+        assert not unknown, f"unregistered crash_point call sites: {unknown}"
+
+
+class TestDesignMirror:
+    def test_design_table_lists_every_point(self):
+        design = (REPO / "DESIGN.md").read_text()
+        missing = [
+            name for name in point_names() if f"`{name}`" not in design
+        ]
+        assert not missing, f"DESIGN.md is missing crash points: {missing}"
+
+
+class TestMatrixShape:
+    def test_smoke_points_are_registered(self):
+        assert set(SMOKE_POINTS) <= set(point_names())
+
+    def test_smoke_covers_every_boundary_class(self):
+        """One point per subsystem prefix — the cheap per-PR set still
+        touches each durability boundary class."""
+        classes = {name.split(".")[0] for name in point_names()}
+        smoke_classes = {name.split(".")[0] for name in SMOKE_POINTS}
+        assert smoke_classes == classes
+
+    def test_smoke_cells_run_at_depth_one(self):
+        cells = matrix_cells(smoke=True)
+        assert [point for point, _ in cells] == list(SMOKE_POINTS)
+        assert all(hits == 1 for _, hits in cells)
+
+    def test_full_matrix_covers_every_point_at_depth(self):
+        cells = matrix_cells()
+        by_point = {}
+        for point, hits in cells:
+            by_point.setdefault(point, []).append(hits)
+        assert set(by_point) == set(point_names())
+        for point, depths in by_point.items():
+            if point == "deadletter.dump":
+                # one poison batch per workload: depth >1 can't fire
+                assert depths == [1]
+            else:
+                assert depths == [1, 3]
+
+    def test_unknown_point_is_refused(self):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            matrix_cells(points=["no.such.point"])
+
+    def test_point_subset_is_respected(self):
+        cells = matrix_cells(points=["cursor.commit"])
+        assert all(point == "cursor.commit" for point, _ in cells)
+        assert [hits for _, hits in cells] == [1, 3]
+
+    def test_registry_matches_points_module(self):
+        from repro.chaos.harness import REGISTERED_POINTS
+
+        assert REGISTERED_POINTS is CRASH_POINTS

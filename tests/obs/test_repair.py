@@ -1,0 +1,165 @@
+"""Journal durability: crash-mid-append tearing, in-place repair, and
+the memory-only degradation path for storage faults."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.points import CrashPointHit, arm, disarm
+from repro.cli import main
+from repro.obs.journal import (
+    EVENT_JOURNAL_DEGRADED,
+    EventJournal,
+    read_events,
+    repair_journal,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+
+
+@pytest.fixture(autouse=True)
+def always_disarmed():
+    disarm()
+    yield
+    disarm()
+
+
+class TestCrashMidAppend:
+    def test_armed_append_leaves_a_torn_half_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = EventJournal(path)
+        journal.emit("committed", batch="000000")
+        arm("journal.append", mode="raise")
+        with pytest.raises(CrashPointHit):
+            journal.emit("committed", batch="000001")
+        journal.close()
+        data = path.read_bytes()
+        assert not data.endswith(b"\n")
+        # The durable prefix is intact; the fragment is unparseable.
+        assert [e["seq"] for e in read_events(path)] == [1]
+
+    def test_reopen_after_tear_keeps_seqs_gapless(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = EventJournal(path)
+        journal.emit("committed", batch="000000")
+        arm("journal.append", mode="raise")
+        with pytest.raises(CrashPointHit):
+            journal.emit("committed", batch="000001")
+        journal.close()
+
+        reopened = EventJournal(path)
+        # The torn line never became durable, so its seq is reused.
+        record = reopened.emit("committed", batch="000001")
+        assert record["seq"] == 2
+        reopened.close()
+        assert [e["seq"] for e in read_events(path)] == [1, 2]
+
+    def test_repair_truncates_the_torn_fragment(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = EventJournal(path)
+        journal.emit("committed", batch="000000")
+        arm("journal.append", mode="raise")
+        with pytest.raises(CrashPointHit):
+            journal.emit("committed", batch="000001")
+        journal.close()
+
+        report = repair_journal(path)
+        assert report.action == "truncated"
+        assert report.changed
+        assert report.removed_bytes > 0
+        assert report.last_seq == 1
+        assert path.read_bytes().endswith(b"\n")
+        # Idempotent: a second repair finds nothing.
+        assert repair_journal(path).action == "none"
+
+
+class TestRepairCases:
+    def test_terminated_line_keeps_its_seq(self, tmp_path):
+        """A complete JSON line missing only its newline was killed
+        between write and terminator; its seq is already taken, so the
+        line is completed, not cut."""
+        path = tmp_path / "journal.jsonl"
+        line1 = json.dumps({"seq": 1, "event": "committed"})
+        line2 = json.dumps({"seq": 2, "event": "committed"})
+        path.write_text(line1 + "\n" + line2)  # no trailing newline
+        report = repair_journal(path)
+        assert report.action == "terminated"
+        assert report.last_seq == 2
+        assert [e["seq"] for e in read_events(path)] == [1, 2]
+
+    def test_clean_journal_is_untouched(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = EventJournal(path)
+        journal.emit("committed", batch="000000")
+        journal.close()
+        before = path.read_bytes()
+        report = repair_journal(path)
+        assert report.action == "none"
+        assert not report.changed
+        assert path.read_bytes() == before
+
+    def test_missing_journal_is_reported(self, tmp_path):
+        report = repair_journal(tmp_path / "ghost.jsonl")
+        assert report.action == "missing"
+
+
+class TestCliRepair:
+    def test_repair_requires_a_journal_path(self, capsys):
+        assert main(["tail", "--repair"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_journal_exits_two(self, tmp_path, capsys):
+        assert main(["tail", "--journal", str(tmp_path / "ghost.jsonl"),
+                     "--repair"]) == 2
+
+    def test_clean_journal_reports_clean(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        journal = EventJournal(path)
+        journal.emit("committed", batch="000000")
+        journal.close()
+        assert main(["tail", "--journal", str(path), "--repair"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_torn_journal_is_repaired(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"seq": 1, "event": "committed"}\n{"seq": 2, "ev')
+        assert main(["tail", "--journal", str(path), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out
+        assert path.read_bytes().endswith(b"\n")
+
+
+class TestDegradation:
+    def test_write_failure_degrades_to_memory(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = EventJournal(path)
+        seen = []
+        journal.subscribe(seen.append)
+        journal.emit("committed", batch="000000")
+
+        plan = FaultPlan(FaultSpec("journal_write", action="errno"))
+        with inject(plan):
+            journal.emit("committed", batch="000001")
+        assert journal.degraded
+        assert "No space left" in journal.last_write_error
+
+        # Subscribers saw the failing event, then the degradation marker.
+        assert [e["event"] for e in seen] == [
+            "committed", "committed", EVENT_JOURNAL_DEGRADED,
+        ]
+        # Memory-only from here on: seqs keep advancing, file does not.
+        record = journal.emit("committed", batch="000002")
+        assert record["seq"] == 4
+        durable = [e["seq"] for e in read_events(path)]
+        assert durable == [1]
+        journal.close()
+
+    def test_memory_journal_never_degrades(self):
+        journal = EventJournal(None)
+        plan = FaultPlan(
+            FaultSpec("journal_write", action="errno", repeat=0)
+        )
+        with inject(plan):
+            journal.emit("committed", batch="000000")
+        assert not journal.degraded

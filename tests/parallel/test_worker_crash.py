@@ -1,0 +1,164 @@
+"""Worker-pool crash recovery: a fork worker dying mid-stream must not
+fail the verification — the executor respawns the pool (reseeding from
+the untouched main model), and a second death degrades to the inline
+backend.  Checksum divergence, by contrast, is never retried."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core.realconfig import RealConfig
+from repro.net.topologies import ring
+from repro.parallel.executor import ParallelExecutor, PoolDriftError
+from repro.parallel.pool import PoolError, fork_available
+from repro.workloads import bgp_snapshot, link_failures
+
+from tests.resilience.helpers import fingerprint, make_policies
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return bgp_snapshot(ring(4))
+
+
+@pytest.fixture(scope="module")
+def changes(snapshot):
+    changes = link_failures(snapshot, seed=5)
+    assert len(changes) >= 2
+    return changes
+
+
+@pytest.fixture(scope="module")
+def serial_outcome(snapshot, changes):
+    """What a fault-free serial run produces, for equivalence checks."""
+    verifier = RealConfig(snapshot, policies=make_policies())
+    for change in changes:
+        verifier.apply_changes([change])
+    return fingerprint(verifier)
+
+
+@needs_fork
+@pytest.mark.slow
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_respawned_mid_stream(
+        self, snapshot, changes, serial_outcome
+    ):
+        verifier = RealConfig(
+            snapshot,
+            policies=make_policies(),
+            workers=2,
+            parallel_backend="fork",
+        )
+        try:
+            verifier.apply_changes([changes[0]])
+            victim = verifier._executor._pool._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            assert not victim.is_alive()
+            for change in changes[1:]:
+                verifier.apply_changes([change])
+            # Still on the fork backend: the pool was respawned, not
+            # abandoned.
+            assert verifier._executor.backend == "fork"
+            assert fingerprint(verifier) == serial_outcome
+        finally:
+            verifier.close()
+
+    def test_repeated_death_degrades_to_inline(
+        self, snapshot, changes, serial_outcome, monkeypatch
+    ):
+        verifier = RealConfig(
+            snapshot,
+            policies=make_policies(),
+            workers=2,
+            parallel_backend="fork",
+        )
+        try:
+            executor = verifier._executor
+            real_run_batch = executor.run_batch
+            deaths = {"left": 2}
+
+            def dying_run_batch(*args, **kwargs):
+                if deaths["left"] > 0 and executor.backend == "fork":
+                    deaths["left"] -= 1
+                    executor._teardown()
+                    raise PoolError("worker died (injected)")
+                return real_run_batch(*args, **kwargs)
+
+            monkeypatch.setattr(executor, "run_batch", dying_run_batch)
+            for change in changes:
+                verifier.apply_changes([change])
+            assert deaths["left"] == 0
+            assert executor.backend == "inline"
+            assert fingerprint(verifier) == serial_outcome
+        finally:
+            verifier.close()
+
+
+class TestRecoveryLadder:
+    """run_rounds retry policy, unit-level (no real forks needed)."""
+
+    @pytest.fixture
+    def executor(self, snapshot):
+        verifier = RealConfig(snapshot, policies=make_policies())
+        executor = ParallelExecutor(
+            verifier.model, workers=2, backend="inline"
+        )
+        yield executor
+        executor.shutdown()
+        verifier.close()
+
+    def test_drift_is_never_retried(self, executor, monkeypatch):
+        calls = {"count": 0}
+
+        def diverging(*args, **kwargs):
+            calls["count"] += 1
+            raise PoolDriftError("checksum divergence (injected)")
+
+        monkeypatch.setattr(executor, "run_batch", diverging)
+        with pytest.raises(PoolDriftError):
+            executor.run_rounds([], "+,-")
+        assert calls["count"] == 1
+
+    def test_inline_backend_exhausts_after_one_raise(
+        self, executor, monkeypatch
+    ):
+        """Already-inline executors have no further rung to fall to."""
+        calls = {"count": 0}
+
+        def dying(*args, **kwargs):
+            calls["count"] += 1
+            raise PoolError("worker died (injected)")
+
+        monkeypatch.setattr(executor, "run_batch", dying)
+        with pytest.raises(PoolError):
+            executor.run_rounds([], "+,-")
+        assert calls["count"] == 1
+
+    def test_fork_backend_respawns_then_degrades(self, snapshot, monkeypatch):
+        verifier = RealConfig(snapshot, policies=make_policies())
+        executor = ParallelExecutor(
+            verifier.model, workers=2, backend="fork"
+        )
+        attempts = []
+
+        def dying(*args, **kwargs):
+            attempts.append(executor.backend)
+            raise PoolError("worker died (injected)")
+
+        monkeypatch.setattr(executor, "run_batch", dying)
+        try:
+            with pytest.raises(PoolError):
+                executor.run_rounds([], "+,-")
+            # fork (respawn) -> fork (degrade decision) -> inline -> give up
+            assert attempts == ["fork", "fork", "inline"]
+        finally:
+            executor.shutdown()
+            verifier.close()

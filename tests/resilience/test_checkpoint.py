@@ -9,6 +9,7 @@ from repro.resilience.checkpoint import (
     EXTRAS_VERSION,
     FORMAT,
     CheckpointError,
+    checkpoint_payload_bytes,
     read_checkpoint,
     read_checkpoint_extras,
     write_checkpoint,
@@ -154,7 +155,7 @@ class TestExtras:
         verifier = RealConfig(ring_snapshot, policies=make_policies())
         path = tmp_path / "verifier.ckpt"
         write_checkpoint(verifier, path, extras={"serve": {"cursor": 3}})
-        payload = pickle.loads(path.read_bytes())
+        payload = pickle.loads(checkpoint_payload_bytes(path))
         assert payload["extras_version"] == EXTRAS_VERSION
 
     def test_newer_extras_envelope_is_refused_not_misparsed(
@@ -166,7 +167,7 @@ class TestExtras:
         verifier = RealConfig(ring_snapshot, policies=make_policies())
         path = tmp_path / "future-extras.ckpt"
         write_checkpoint(verifier, path, extras={"serve": {"cursor": 3}})
-        payload = pickle.loads(path.read_bytes())
+        payload = pickle.loads(checkpoint_payload_bytes(path))
         payload["extras_version"] = EXTRAS_VERSION + 1
         path.write_bytes(pickle.dumps(payload))
         with pytest.raises(CheckpointError, match="upgrade repro"):
@@ -180,7 +181,7 @@ class TestExtras:
         verifier = RealConfig(ring_snapshot, policies=make_policies())
         path = tmp_path / "odd.ckpt"
         write_checkpoint(verifier, path)
-        payload = pickle.loads(path.read_bytes())
+        payload = pickle.loads(checkpoint_payload_bytes(path))
         payload["extras_version"] = "2"
         path.write_bytes(pickle.dumps(payload))
         with pytest.raises(CheckpointError):
@@ -194,7 +195,7 @@ class TestExtras:
         verifier = RealConfig(ring_snapshot, policies=make_policies())
         path = tmp_path / "legacy.ckpt"
         write_checkpoint(verifier, path, extras={"serve": {"cursor": 9}})
-        payload = pickle.loads(path.read_bytes())
+        payload = pickle.loads(checkpoint_payload_bytes(path))
         del payload["extras_version"]
         path.write_bytes(pickle.dumps(payload))
         assert read_checkpoint_extras(path) == {"serve": {"cursor": 9}}

@@ -1,0 +1,124 @@
+"""Property-based corruption fuzzing: any truncation or bit flip of a
+checkpoint file must surface as a clean :class:`CheckpointError` (exit 2
+through the CLI) — never a raw pickle traceback, never silent success
+with damaged state."""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.cli import main  # noqa: E402
+from repro.core.realconfig import RealConfig  # noqa: E402
+from repro.net.topologies import ring  # noqa: E402
+from repro.resilience.checkpoint import (  # noqa: E402
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.workloads import bgp_snapshot  # noqa: E402
+
+from tests.resilience.helpers import make_policies  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """One valid checkpoint, written once; each example copies its bytes."""
+    verifier = RealConfig(bgp_snapshot(ring(4)), policies=make_policies())
+    path = tmp_path_factory.mktemp("fuzz") / "pristine.ckpt"
+    write_checkpoint(verifier, path, keep=1)
+    return path.read_bytes()
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestCorruptionAlwaysTyped:
+    @FUZZ_SETTINGS
+    @given(data=st.data())
+    def test_truncation_raises_checkpoint_error(
+        self, pristine, tmp_path, data
+    ):
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(pristine) - 1)
+        )
+        mangled = tmp_path / "truncated.ckpt"
+        mangled.write_bytes(pristine[:cut])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(mangled)
+
+    @FUZZ_SETTINGS
+    @given(data=st.data())
+    def test_bit_flip_raises_checkpoint_error(
+        self, pristine, tmp_path, data
+    ):
+        offset = data.draw(
+            st.integers(min_value=0, max_value=len(pristine) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        damaged = bytearray(pristine)
+        damaged[offset] ^= 1 << bit
+        mangled = tmp_path / "flipped.ckpt"
+        mangled.write_bytes(bytes(damaged))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(mangled)
+
+    @FUZZ_SETTINGS
+    @given(data=st.data())
+    def test_junk_injection_raises_checkpoint_error(
+        self, pristine, tmp_path, data
+    ):
+        offset = data.draw(
+            st.integers(min_value=0, max_value=len(pristine))
+        )
+        junk = data.draw(st.binary(min_size=1, max_size=64))
+        mangled = tmp_path / "injected.ckpt"
+        mangled.write_bytes(pristine[:offset] + junk + pristine[offset:])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(mangled)
+
+
+class TestCliExitTwo:
+    """A handful of fixed corruptions through the real CLI: the exit-2
+    contract with a message, never a traceback."""
+
+    @pytest.fixture
+    def base_dir(self, tmp_path):
+        path = tmp_path / "base"
+        assert main(["generate", "--topology", "ring:4", "--protocol",
+                     "bgp", "--out", str(path)]) == 0
+        return path
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            pytest.param(lambda data: data[: len(data) // 2], id="truncated"),
+            pytest.param(lambda data: data[:7], id="torn-magic"),
+            pytest.param(
+                lambda data: data[:-30]
+                + bytes(byte ^ 0xFF for byte in data[-30:]),
+                id="flipped-tail",
+            ),
+            pytest.param(lambda data: b"\x80\x05junk" + data, id="prefixed"),
+        ],
+    )
+    def test_corrupt_resume_exits_two(
+        self, base_dir, tmp_path, capsys, mangle
+    ):
+        ckpt = tmp_path / "base.ckpt"
+        assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
+        ckpt.write_bytes(mangle(ckpt.read_bytes()))
+        capsys.readouterr()
+        assert main(["verify", str(base_dir), str(base_dir),
+                     "--resume-from", str(ckpt)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err

@@ -1,0 +1,261 @@
+"""The checksummed envelope and the generation ring: corruption is
+detected, the newest verifying generation is restored, and
+incompatibility is never fallen back across."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.checkpoint import (
+    DEFAULT_GENERATIONS,
+    ENVELOPE_VERSION,
+    MAGIC_PREFIX,
+    CheckpointCorruptError,
+    CheckpointError,
+    checkpoint_payload_bytes,
+    generation_path,
+    manifest_path,
+    read_checkpoint,
+    resolve_checkpoint,
+    restore_checkpoint,
+    write_checkpoint,
+)
+
+from tests.resilience.helpers import fingerprint
+
+
+def corrupt(path, offset=-40):
+    """Flip a byte well inside the pickle payload."""
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestEnvelope:
+    def test_checkpoint_file_starts_with_magic(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        head = ckpt.read_bytes()[:64]
+        assert head.startswith(
+            MAGIC_PREFIX + str(ENVELOPE_VERSION).encode() + b"\n"
+        )
+
+    def test_header_digest_matches_payload(self, verifier, tmp_path):
+        import hashlib
+
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        header_line = ckpt.read_bytes().split(b"\n", 2)[1]
+        header = json.loads(header_line)
+        payload = checkpoint_payload_bytes(ckpt)
+        assert header["payload_bytes"] == len(payload)
+        assert header["digest"] == hashlib.sha256(payload).hexdigest()
+
+    def test_flipped_payload_byte_is_corruption(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt, keep=1)
+        corrupt(ckpt)
+        with pytest.raises(CheckpointCorruptError, match="digest mismatch"):
+            read_checkpoint(ckpt)
+
+    def test_legacy_raw_pickle_still_reads(self, verifier, tmp_path):
+        """Pre-envelope checkpoints (no magic line) are raw pickles and
+        must keep restoring."""
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt, keep=1)
+        ckpt.write_bytes(checkpoint_payload_bytes(ckpt))  # strip envelope
+        restored = read_checkpoint(ckpt)
+        assert fingerprint(restored) == fingerprint(verifier)
+
+
+class TestGenerationRing:
+    def test_second_write_keeps_the_first_as_gen_one(
+        self, verifier, tmp_path
+    ):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        first = ckpt.read_bytes()
+        write_checkpoint(verifier, ckpt)
+        assert generation_path(ckpt, 1).read_bytes() == first
+        assert not generation_path(ckpt, 2).exists()
+
+    def test_ring_is_bounded_by_keep(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        for _ in range(DEFAULT_GENERATIONS + 2):
+            write_checkpoint(verifier, ckpt)
+        for generation in range(DEFAULT_GENERATIONS):
+            assert generation_path(ckpt, generation).exists()
+        assert not generation_path(ckpt, DEFAULT_GENERATIONS).exists()
+
+    def test_keep_one_disables_the_ring(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt, keep=1)
+        write_checkpoint(verifier, ckpt, keep=1)
+        assert not generation_path(ckpt, 1).exists()
+
+    def test_manifest_lists_generations_with_digests(
+        self, verifier, tmp_path
+    ):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        write_checkpoint(verifier, ckpt)
+        manifest = json.loads(manifest_path(ckpt).read_text())
+        assert manifest["format"] == "repro-checkpoint-manifest"
+        assert manifest["keep"] == DEFAULT_GENERATIONS
+        generations = manifest["generations"]
+        assert [entry["generation"] for entry in generations] == [0, 1]
+        for entry in generations:
+            header = json.loads(
+                (tmp_path / entry["file"]).read_bytes().split(b"\n", 2)[1]
+            )
+            assert entry["digest"] == header["digest"]
+
+
+class TestFallback:
+    def test_corrupt_newest_falls_back_to_previous(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        write_checkpoint(verifier, ckpt)
+        corrupt(ckpt)
+        resolved = resolve_checkpoint(ckpt)
+        assert resolved.fell_back
+        assert resolved.generation == 1
+        assert resolved.path == generation_path(ckpt, 1)
+        assert len(resolved.skipped) == 1
+        skipped_path, skipped_error = resolved.skipped[0]
+        assert skipped_path == ckpt
+        assert isinstance(skipped_error, CheckpointCorruptError)
+
+    def test_fallback_restores_equivalent_state(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        write_checkpoint(verifier, ckpt)
+        corrupt(ckpt)
+        restored = restore_checkpoint(ckpt)
+        assert restored.fell_back
+        assert fingerprint(restored.verifier) == fingerprint(verifier)
+
+    def test_missing_gen_zero_falls_back(self, verifier, tmp_path):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        write_checkpoint(verifier, ckpt)
+        ckpt.unlink()
+        resolved = resolve_checkpoint(ckpt)
+        assert resolved.generation == 1
+
+    def test_all_generations_corrupt_raises_primary_error(
+        self, verifier, tmp_path
+    ):
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        write_checkpoint(verifier, ckpt)
+        corrupt(ckpt)
+        corrupt(generation_path(ckpt, 1))
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            resolve_checkpoint(ckpt)
+        # The generation-0 error surfaces, not the fallback's.
+        assert str(ckpt) in str(excinfo.value)
+
+    def test_missing_everything_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no such file"):
+            resolve_checkpoint(tmp_path / "ghost.ckpt")
+
+    def test_incompatibility_is_never_fallen_back_across(
+        self, verifier, tmp_path
+    ):
+        """A future envelope version means 'upgrade repro', and silently
+        restoring older state would mask that — it must raise even though
+        generation 1 verifies fine."""
+        ckpt = tmp_path / "v.ckpt"
+        write_checkpoint(verifier, ckpt)
+        write_checkpoint(verifier, ckpt)
+        data = ckpt.read_bytes()
+        future = data.replace(
+            MAGIC_PREFIX + str(ENVELOPE_VERSION).encode(),
+            MAGIC_PREFIX + str(ENVELOPE_VERSION + 1).encode(),
+            1,
+        )
+        ckpt.write_bytes(future)
+        with pytest.raises(CheckpointError, match="upgrade repro"):
+            resolve_checkpoint(ckpt)
+
+
+class TestCliResumeFallback:
+    """The acceptance criterion: corrupting the newest generation must
+    not break ``verify --resume-from`` — it transparently falls back."""
+
+    @pytest.fixture
+    def base_dir(self, tmp_path):
+        path = tmp_path / "base"
+        assert main(["generate", "--topology", "ring:4", "--protocol",
+                     "bgp", "--out", str(path)]) == 0
+        return path
+
+    @pytest.fixture
+    def changed_dir(self, base_dir, tmp_path):
+        import shutil
+
+        path = tmp_path / "changed"
+        shutil.copytree(base_dir, path)
+        cfg = path / "configs" / "r0.cfg"
+        cfg.write_text(
+            cfg.read_text().replace(
+                "interface eth1\n", "interface eth1\n shutdown\n", 1
+            )
+        )
+        return path
+
+    def test_resume_from_corrupt_newest_generation_succeeds(
+        self, base_dir, changed_dir, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "base.ckpt"
+        assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
+        assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
+        corrupt(ckpt)
+        capsys.readouterr()
+        assert main(["verify", str(base_dir), str(changed_dir),
+                     "--resume-from", str(ckpt)]) == 0
+        captured = capsys.readouterr()
+        assert "fell back to checkpoint generation 1" in captured.err
+        assert "resumed verifier from" in captured.out
+
+
+class TestTenantRehydrationFallback:
+    """The other acceptance criterion: a tenant whose newest checkpoint
+    generation is corrupt rehydrates from the previous one and journals
+    a checkpoint-fallback event."""
+
+    def test_rehydrate_falls_back_and_journals(self, tmp_path):
+        from repro.obs.journal import EVENT_CHECKPOINT_FALLBACK, EventJournal
+        from repro.serve.engine import ServeOptions
+        from repro.tenants import TenantConfig, TenantRegistry, discover_tenants
+        from repro.workloads.tenants import build_fleet
+
+        build_fleet(tmp_path / "fleet", 1, total_batches=2, seed=11)
+        options = ServeOptions(breaker_threshold=0, backoff_base=0.0)
+        registry = TenantRegistry(options)
+        config = discover_tenants(tmp_path / "fleet")[0]
+        registry.register(config)
+        # Two evict cycles: the ring now holds two generations.
+        registry.hydrate("t000")
+        assert registry.evict("t000")
+        registry.hydrate("t000")
+        assert registry.evict("t000")
+        assert generation_path(config.checkpoint_file, 1).exists()
+        corrupt(config.checkpoint_file)
+
+        journal = EventJournal(tmp_path / "journal.jsonl")
+        registry2 = TenantRegistry(options, journal=journal)
+        registry2.register(TenantConfig.load(config.root))
+        registry2.hydrate("t000")
+
+        events = [
+            event for event in journal.events_since(0)
+            if event["event"] == EVENT_CHECKPOINT_FALLBACK
+        ]
+        assert len(events) == 1
+        assert events[0]["tenant"] == "t000"
+        assert events[0]["generation"] == 1

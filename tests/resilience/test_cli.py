@@ -116,13 +116,18 @@ class TestResumeFrom:
         must exit 2 with an actionable message, not a stack trace."""
         import pickle
 
-        from repro.resilience.checkpoint import EXTRAS_VERSION
+        from repro.resilience.checkpoint import (
+            EXTRAS_VERSION,
+            checkpoint_payload_bytes,
+        )
 
         ckpt = tmp_path / "future.ckpt"
         assert main(["checkpoint", str(base_dir), str(ckpt)]) == 0
         capsys.readouterr()
-        payload = pickle.loads(ckpt.read_bytes())
+        payload = pickle.loads(checkpoint_payload_bytes(ckpt))
         payload["extras_version"] = EXTRAS_VERSION + 1
+        # Written back raw (pre-envelope style): the reader must still
+        # apply the extras check on the legacy fallback path.
         ckpt.write_bytes(pickle.dumps(payload))
         assert main(["verify", str(base_dir), str(changed_dir),
                      "--resume-from", str(ckpt)]) == 2

@@ -1,5 +1,7 @@
 """Unit tests of the fault-injection harness itself."""
 
+import errno
+
 import pytest
 
 from repro.resilience.faults import (
@@ -88,3 +90,41 @@ class TestFaultPlan:
         assert get_fault_plan() is plan
         set_fault_plan(None)
         assert get_fault_plan() is None
+
+
+class TestErrnoAction:
+    """``action="errno"`` surfaces as a real OSError — the storage-fault
+    shape the journal/checkpoint degradation paths catch — not as the
+    generic FaultInjected."""
+
+    def test_defaults_to_enospc(self):
+        spec = FaultSpec("journal_write", action="errno")
+        assert spec.err == errno.ENOSPC
+
+    def test_fires_oserror_with_errno(self):
+        plan = FaultPlan(FaultSpec("journal_write", action="errno"))
+        with inject(plan):
+            with pytest.raises(OSError) as excinfo:
+                fault_point("journal_write")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert not isinstance(excinfo.value, FaultInjected)
+        assert plan.fired == [("journal_write", 1, "errno")]
+
+    def test_custom_errno(self):
+        plan = FaultPlan(
+            FaultSpec("checkpoint_write", action="errno", err=errno.EIO)
+        )
+        with inject(plan):
+            with pytest.raises(OSError) as excinfo:
+                fault_point("checkpoint_write")
+        assert excinfo.value.errno == errno.EIO
+        assert "Input/output error" in str(excinfo.value)
+
+    def test_repeat_zero_fires_forever(self):
+        plan = FaultPlan(
+            FaultSpec("journal_write", action="errno", repeat=0)
+        )
+        with inject(plan):
+            for _ in range(3):
+                with pytest.raises(OSError):
+                    fault_point("journal_write")

@@ -1,0 +1,126 @@
+"""Storage faults during serving: a full disk (ENOSPC) or dying device
+(EIO) degrades durability — counted, journaled, visible in health — but
+never stops the stream from draining."""
+
+from __future__ import annotations
+
+import errno
+
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.serve import fib_fingerprint
+from repro.obs.journal import (
+    EVENT_CHECKPOINT_FAILED,
+    EVENT_JOURNAL_DEGRADED,
+    read_events,
+)
+
+from tests.serve.conftest import apply_direct
+
+
+class TestCheckpointWriteFailure:
+    def test_enospc_on_every_checkpoint_keeps_serving(
+        self, make_daemon, ring_snapshot, tmp_path
+    ):
+        ckpt = tmp_path / "serve.ckpt"
+        daemon, batches = make_daemon(
+            count=6, checkpoint_file=ckpt, checkpoint_every=2
+        )
+        plan = FaultPlan(
+            FaultSpec("checkpoint_write", action="errno", repeat=0)
+        )
+        with inject(plan):
+            stats = daemon.run()
+        # Every batch still served, state correct — only durability lost.
+        assert stats.batches_ok == 6
+        assert stats.checkpoint_failures > 0
+        assert not ckpt.exists()
+        assert fib_fingerprint(daemon.verifier) == fib_fingerprint(
+            apply_direct(ring_snapshot, batches)
+        )
+
+    def test_failure_is_journaled_and_in_health(
+        self, make_daemon, tmp_path
+    ):
+        ckpt = tmp_path / "serve.ckpt"
+        journal = tmp_path / "journal.jsonl"
+        daemon, _ = make_daemon(
+            count=4,
+            checkpoint_file=ckpt,
+            checkpoint_every=2,
+            journal_file=journal,
+        )
+        plan = FaultPlan(
+            FaultSpec("checkpoint_write", action="errno", err=errno.EIO)
+        )
+        with inject(plan):
+            daemon.run()
+        failed = [
+            e for e in read_events(journal)
+            if e["event"] == EVENT_CHECKPOINT_FAILED
+        ]
+        assert len(failed) == 1
+        assert "Input/output error" in failed[0]["error"]
+        assert daemon.health_payload()["checkpoint_failures"] == 1
+        # Later cadences succeeded once the fault cleared (call=1 only).
+        assert ckpt.exists()
+
+    def test_transient_fault_costs_one_interval_not_the_lineage(
+        self, make_daemon, tmp_path
+    ):
+        """The cadence retries: a checkpoint write that fails once is
+        simply overwritten by the next interval's successful write."""
+        from repro.serve import resume_cursor_from
+
+        ckpt = tmp_path / "serve.ckpt"
+        daemon, _ = make_daemon(
+            count=6, checkpoint_file=ckpt, checkpoint_every=2
+        )
+        plan = FaultPlan(
+            FaultSpec("checkpoint_write", action="errno", call=2)
+        )
+        with inject(plan):
+            stats = daemon.run()
+        assert stats.batches_ok == 6
+        assert stats.checkpoint_failures == 1
+        assert resume_cursor_from(ckpt) == 6
+
+
+class TestJournalDegradation:
+    def test_journal_fault_degrades_but_stream_drains(
+        self, make_daemon, ring_snapshot, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        daemon, batches = make_daemon(count=5, journal_file=journal)
+        plan = FaultPlan(
+            FaultSpec("journal_write", action="errno", call=4)
+        )
+        with inject(plan):
+            stats = daemon.run()
+        assert stats.batches_ok == 5
+        assert daemon.journal.degraded
+        assert daemon.health_payload()["journal_degraded"] is True
+        assert fib_fingerprint(daemon.verifier) == fib_fingerprint(
+            apply_direct(ring_snapshot, batches)
+        )
+        # The durable prefix survives; the degradation event itself is
+        # memory-only (there is nowhere durable left to put it).
+        durable = list(read_events(journal))
+        assert durable
+        assert all(
+            e["event"] != EVENT_JOURNAL_DEGRADED for e in durable
+        )
+
+    def test_recorder_still_sees_events_after_degradation(
+        self, make_daemon, tmp_path
+    ):
+        journal = tmp_path / "journal.jsonl"
+        daemon, _ = make_daemon(count=5, journal_file=journal)
+        plan = FaultPlan(
+            FaultSpec("journal_write", action="errno", call=2)
+        )
+        with inject(plan):
+            daemon.run()
+        events = [e["event"] for e in daemon.recorder.events()]
+        assert EVENT_JOURNAL_DEGRADED in events
+        # Disposals kept flowing to the in-memory subscribers.
+        assert events.count("committed") == 5
